@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Architectural ablation of the μ-engine (Section V's Bison-e
+ * comparison, [58]): the paper attributes Mix-GEMM's 5.4x-13x advantage
+ * over Bison-e — which also uses binary segmentation — to four
+ * features: the Source Buffers, the DSU, the AccMem, and the tailored
+ * BLIS library. This bench isolates them at μ-kernel level:
+ *
+ *   full       Mix-GEMM μ-engine (buffers, DSU, pipelined, AccMem)
+ *   shallow    Mix-GEMM with minimal Source Buffers (one group deep)
+ *   bison-e    explicit select/multiply/extract instruction sequences,
+ *              exposed multiplier latency, no AccMem (C spilled per
+ *              group)
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/core.h"
+#include "sim/kernel_traces.h"
+#include "sim/uengine_timing.h"
+#include "soc/soc_config.h"
+
+using namespace mixgemm;
+
+namespace
+{
+
+double
+cyclesPerMac(uint64_t cycles, const BsGeometry &g, unsigned mr,
+             unsigned nr, unsigned groups)
+{
+    return static_cast<double>(cycles) /
+           (static_cast<double>(mr) * nr * groups * g.group_extent);
+}
+
+} // namespace
+
+int
+main()
+{
+    const SoCConfig soc = SoCConfig::sargantana();
+    const unsigned mr = 4;
+    const unsigned nr = 4;
+    const unsigned groups = 8;
+    const auto l1 = [&soc](uint64_t, unsigned, bool) {
+        return soc.l1d.hit_latency;
+    };
+
+    std::cout << "μ-engine architectural ablation (steady-state "
+                 "μ-kernel, cycles per MAC)\n\n";
+
+    Table t({"config", "full μ-engine", "shallow buffers", "Bison-e "
+             "style", "full vs Bison-e"});
+    for (const auto &cfg :
+         {DataSizeConfig{8, 8, true, true}, DataSizeConfig{4, 4, true,
+                                                           true},
+          DataSizeConfig{2, 2, true, true}}) {
+        const auto g = computeBsGeometry(cfg);
+
+        UEngineTiming engine(g, soc.uengine);
+        InOrderCore core(soc, l1, &engine);
+        const uint64_t full = core.run(
+            mixMicroKernelTrace(g, mr, nr, groups, KernelAddresses{}));
+
+        UEngineConfig shallow_cfg = soc.uengine;
+        shallow_cfg.srcbuf_depth = g.group_pairs;
+        UEngineTiming shallow_engine(g, shallow_cfg);
+        InOrderCore shallow_core(soc, l1, &shallow_engine);
+        const uint64_t shallow = shallow_core.run(
+            mixMicroKernelTrace(g, mr, nr, groups, KernelAddresses{}));
+
+        InOrderCore bison_core(soc, l1);
+        const uint64_t bison = bison_core.run(
+            bisonEMicroKernelTrace(g, mr, nr, groups,
+                                   KernelAddresses{}));
+
+        t.addRow({cfg.name(),
+                  Table::fmt(cyclesPerMac(full, g, mr, nr, groups), 3),
+                  Table::fmt(cyclesPerMac(shallow, g, mr, nr, groups),
+                             3),
+                  Table::fmt(cyclesPerMac(bison, g, mr, nr, groups),
+                             3),
+                  Table::fmt(static_cast<double>(bison) / full, 1) +
+                      "x"});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper Section V: Mix-GEMM outperforms Bison-e by "
+                 "10.5x-13x on AlexNet and 5.4x-8.8x on VGG-16, "
+                 "attributing the gap to the Source Buffers + DSU "
+                 "(single-instruction μ-vector issue), the AccMem "
+                 "(no per-group C spills), and the BLIS library.\n";
+    return 0;
+}

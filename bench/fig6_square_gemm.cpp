@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 6: speed-up of Mix-GEMM over the BLIS-based DGEMM baseline on
+ * square matrices (64..2048 per dimension), for the paper's 12
+ * activation/weight configurations, plus the int8-BLIS reference row
+ * (the paper measures ~2.5x for it).
+ *
+ * Paper steady-state anchors: a8-w8 10.2x, a4-w4 ~16x, a2-w2 27.2x.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/gemm_timing.h"
+#include "soc/soc_config.h"
+
+using namespace mixgemm;
+
+int
+main()
+{
+    const GemmTimingModel model(SoCConfig::sargantana());
+    const std::vector<uint64_t> sizes{64, 128, 256, 512, 1024, 2048};
+    // The 12 configurations plotted in Fig. 6.
+    const std::vector<DataSizeConfig> configs{
+        {8, 8, true, true}, {8, 6, true, true}, {8, 4, true, true},
+        {8, 2, true, true}, {6, 6, true, true}, {6, 4, true, true},
+        {6, 2, true, true}, {4, 4, true, true}, {4, 2, true, true},
+        {3, 3, true, true}, {2, 2, true, true}, {5, 5, true, true},
+    };
+
+    std::cout << "Fig. 6 — Mix-GEMM speed-up over BLIS DGEMM, square "
+                 "matrices (simulated " << model.soc().name << ")\n\n";
+
+    std::vector<std::string> headers{"config"};
+    for (const uint64_t s : sizes)
+        headers.push_back(std::to_string(s));
+    headers.push_back("steady");
+    Table t(headers);
+
+    std::vector<double> dgemm_cycles;
+    for (const uint64_t s : sizes)
+        dgemm_cycles.push_back(
+            static_cast<double>(model.dgemm(s, s, s).cycles));
+
+    for (const auto &cfg : configs) {
+        const auto geom = computeBsGeometry(cfg);
+        std::vector<std::string> row{cfg.name()};
+        double steady = 0.0;
+        for (size_t i = 0; i < sizes.size(); ++i) {
+            const uint64_t s = sizes[i];
+            const auto mix = model.mixGemm(s, s, s, geom);
+            const double speedup =
+                dgemm_cycles[i] / static_cast<double>(mix.cycles);
+            row.push_back(Table::fmt(speedup, 1) + "x");
+            steady = speedup; // largest size = steady state
+        }
+        row.push_back(Table::fmt(steady, 1) + "x");
+        t.addRow(std::move(row));
+    }
+
+    // int8-BLIS reference row.
+    {
+        std::vector<std::string> row{"int8 BLIS"};
+        double steady = 0.0;
+        for (size_t i = 0; i < sizes.size(); ++i) {
+            const uint64_t s = sizes[i];
+            const auto i8 = model.int8Gemm(s, s, s);
+            const double speedup =
+                dgemm_cycles[i] / static_cast<double>(i8.cycles);
+            row.push_back(Table::fmt(speedup, 1) + "x");
+            steady = speedup;
+        }
+        row.push_back(Table::fmt(steady, 1) + "x");
+        t.addSeparator();
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper anchors (steady state): a8-w8 10.2x, a4-w4 "
+                 "~16x, a2-w2 27.2x, int8 BLIS ~2.5x.\n";
+    std::cout << "DGEMM baseline at 2048^3: "
+              << Table::fmt(model.dgemm(2048, 2048, 2048).gops, 2)
+              << " GOPS, "
+              << Table::fmt(model.dgemm(2048, 2048, 2048)
+                                .cycles_per_mac,
+                            2)
+              << " cycles/MAC.\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 7: performance-vs-TOP-1 Pareto frontier for the six CNNs.
+ *
+ * For each network, every (a, w) configuration is priced on the
+ * simulated SoC and paired with its QAT TOP-1 from the accuracy
+ * database; the Pareto-optimal points are printed together with the
+ * measured FP32 OpenBLAS baseline (SiFive U740 model) and the speed-up
+ * range over it. Paper anchors: speed-ups 5.3x-15.1x, a8-w8 always
+ * shown, losses < 1.5 points above 4-bit.
+ */
+
+#include <iostream>
+
+#include "accuracy/pareto.h"
+#include "accuracy/qat_database.h"
+#include "baselines/software_baselines.h"
+#include "common/table.h"
+#include "dnn/models.h"
+#include "dnn/network_timing.h"
+#include "soc/soc_config.h"
+
+using namespace mixgemm;
+
+int
+main()
+{
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto &db = AccuracyDatabase::paperQat();
+    const auto &fp32_model = openblasFp32U740();
+
+    std::cout << "Fig. 7 — performance vs TOP-1 Pareto frontier "
+                 "(simulated SoC + QAT accuracy database)\n";
+
+    for (const auto &model : allModels()) {
+        const double fp32_gops = fp32_model.networkGops(model);
+        const double fp32_top1 = db.fp32Top1(model.name);
+
+        std::vector<DataSizeConfig> configs = allSupportedConfigs();
+        std::vector<ParetoPoint> points;
+        std::vector<double> gops(configs.size());
+        for (size_t i = 0; i < configs.size(); ++i) {
+            gops[i] =
+                timeNetworkMixGemm(model, timing, configs[i]).gops;
+            points.push_back({gops[i], db.top1(model.name, configs[i])});
+        }
+        const auto frontier = paretoFrontier(points);
+
+        double min_up = 1e300;
+        double max_up = 0.0;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            min_up = std::min(min_up, gops[i] / fp32_gops);
+            max_up = std::max(max_up, gops[i] / fp32_gops);
+        }
+
+        std::cout << "\n" << model.name << "  (FP32 baseline "
+                  << Table::fmt(fp32_gops, 2) << " GOPS / "
+                  << Table::fmt(fp32_top1, 2)
+                  << " % TOP-1; Mix-GEMM speed-up range "
+                  << Table::fmt(min_up, 1) << "x-"
+                  << Table::fmt(max_up, 1) << "x)\n";
+
+        Table t({"config", "GOPS", "TOP-1 %", "vs FP32", "on frontier"});
+        // Always include a8-w8 as the paper does.
+        auto print_row = [&](size_t i, bool frontier_pt) {
+            t.addRow({configs[i].name(), Table::fmt(gops[i], 2),
+                      Table::fmt(points[i].accuracy, 2),
+                      Table::fmt(gops[i] / fp32_gops, 1) + "x",
+                      frontier_pt ? "yes" : "no"});
+        };
+        bool a8w8_on_frontier = false;
+        for (const size_t idx : frontier) {
+            print_row(idx, true);
+            a8w8_on_frontier =
+                a8w8_on_frontier || configs[idx].name() == "a8-w8";
+        }
+        if (!a8w8_on_frontier) {
+            for (size_t i = 0; i < configs.size(); ++i)
+                if (configs[i].name() == "a8-w8")
+                    print_row(i, false);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nPaper anchors: AlexNet 5.8-15.1x, VGG-16 5.8-14.6x, "
+                 "ResNet-18 5.7-13.8x, MobileNet-V1 5.3-10.6x, RegNet "
+                 "5.7-11x, EfficientNet-B0 5.7-14.5x over FP32.\n";
+    return 0;
+}

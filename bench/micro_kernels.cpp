@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the host-side library itself:
+ * the binary-segmentation datapath, the functional μ-engine, μ-vector
+ * packing, the full functional Mix-GEMM, and one QAT training step.
+ * These measure *this implementation on the host*, not the simulated
+ * SoC — they guard against performance regressions in the repo.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bs/cluster.h"
+#include "bs/engine.h"
+#include "bs/microvector.h"
+#include "common/random.h"
+#include "gemm/mixgemm.h"
+#include "nn/qat.h"
+
+using namespace mixgemm;
+
+namespace
+{
+
+void
+BM_ClusterInnerProduct(benchmark::State &state)
+{
+    const unsigned bw = static_cast<unsigned>(state.range(0));
+    const auto g = computeBsGeometry({bw, bw, true, true});
+    Rng rng(1);
+    std::vector<int32_t> a(g.cluster_size);
+    std::vector<int32_t> b(g.cluster_size);
+    for (unsigned i = 0; i < g.cluster_size; ++i) {
+        a[i] = static_cast<int32_t>(
+            rng.uniformInt(-(1 << (bw - 1)), (1 << (bw - 1)) - 1));
+        b[i] = static_cast<int32_t>(
+            rng.uniformInt(-(1 << (bw - 1)), (1 << (bw - 1)) - 1));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(clusterInnerProduct(a, b, g));
+    state.SetItemsProcessed(state.iterations() * g.cluster_size);
+}
+BENCHMARK(BM_ClusterInnerProduct)->Arg(8)->Arg(4)->Arg(2);
+
+void
+BM_BsEngineGroup(benchmark::State &state)
+{
+    const unsigned bw = static_cast<unsigned>(state.range(0));
+    const auto g = computeBsGeometry({bw, bw, true, true});
+    BsEngine engine;
+    engine.set(g, 16);
+    Rng rng(2);
+    std::vector<uint64_t> a_words(g.group_pairs);
+    std::vector<uint64_t> b_words(g.group_pairs);
+    for (auto &w : a_words)
+        w = rng.next() & 0x7f7f7f7f7f7f7f7full;
+    for (auto &w : b_words)
+        w = rng.next() & 0x7f7f7f7f7f7f7f7full;
+    size_t slot = 0;
+    for (auto _ : state) {
+        for (unsigned p = 0; p < g.group_pairs; ++p)
+            engine.ip(a_words[p], b_words[p]);
+        if (++slot == 16) {
+            slot = 0;
+            for (unsigned s = 0; s < 16; ++s)
+                benchmark::DoNotOptimize(engine.get(s));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * g.group_extent);
+}
+BENCHMARK(BM_BsEngineGroup)->Arg(8)->Arg(4)->Arg(2);
+
+void
+BM_PackMicroVectorStream(benchmark::State &state)
+{
+    const unsigned bw = static_cast<unsigned>(state.range(0));
+    Rng rng(3);
+    std::vector<int32_t> elems(4096);
+    for (auto &e : elems)
+        e = static_cast<int32_t>(
+            rng.uniformInt(-(1 << (bw - 1)), (1 << (bw - 1)) - 1));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(packMicroVectorStream(elems, bw, true));
+    state.SetItemsProcessed(state.iterations() * elems.size());
+}
+BENCHMARK(BM_PackMicroVectorStream)->Arg(8)->Arg(2);
+
+void
+BM_MixGemmFunctional(benchmark::State &state)
+{
+    const uint64_t s = static_cast<uint64_t>(state.range(0));
+    const auto g = computeBsGeometry({8, 8, true, true});
+    Rng rng(4);
+    std::vector<int32_t> a(s * s);
+    std::vector<int32_t> b(s * s);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    const CompressedA ca(a, s, s, g);
+    const CompressedB cb(b, s, s, g);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mixGemm(ca, cb));
+    state.SetItemsProcessed(state.iterations() * s * s * s);
+}
+BENCHMARK(BM_MixGemmFunctional)->Arg(32)->Arg(64);
+
+void
+BM_QatTrainingStep(benchmark::State &state)
+{
+    const PatternDataset data(16, 5);
+    Network net = makeSmallCnn(QatConfig{true, 4, 4});
+    size_t idx = 0;
+    for (auto _ : state) {
+        const auto &s = data.samples()[idx % data.size()];
+        const auto logits = net.forward(s.image, true);
+        double loss = 0.0;
+        net.backward(softmaxCrossEntropyGrad(logits, s.label, loss));
+        net.step(0.01, 0.9);
+        ++idx;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QatTrainingStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

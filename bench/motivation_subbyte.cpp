@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Introduction's motivating comparison: on a stock scalar ISA,
+ * sub-byte quantization "saves memory but not compute" — packed
+ * operands must be decompressed with bit-manipulation instructions
+ * before every MAC, so performance does not scale with the data size.
+ * Mix-GEMM's whole point is making the same compressed data *compute*
+ * faster. All rows share one SoC model and a 512^3 GEMM.
+ */
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "sim/gemm_timing.h"
+#include "soc/soc_config.h"
+
+using namespace mixgemm;
+
+int
+main()
+{
+    const GemmTimingModel model(SoCConfig::sargantana());
+    const uint64_t s = 512;
+    const double dgemm =
+        static_cast<double>(model.dgemm(s, s, s).cycles);
+
+    std::cout << "Introduction motivation — what sub-byte data buys "
+                 "with and without hardware support (512^3 GEMM)\n\n";
+
+    Table t({"data size", "storage vs FP64", "software decompress",
+             "Mix-GEMM", "hardware benefit"});
+    for (const unsigned bw : {8u, 6u, 4u, 2u}) {
+        const auto geom = computeBsGeometry({bw, bw, true, true});
+        const double sw =
+            dgemm / model.subByteSoftware(s, s, s, bw).cycles;
+        const double mix =
+            dgemm / model.mixGemm(s, s, s, geom).cycles;
+        t.addRow({strCat(bw, "-bit"), Table::fmt(64.0 / bw, 0) + "x",
+                  Table::fmt(sw, 1) + "x", Table::fmt(mix, 1) + "x",
+                  Table::fmt(mix / sw, 1) + "x"});
+    }
+    const double i8 = dgemm / model.int8Gemm(s, s, s).cycles;
+    t.addSeparator();
+    t.addRow({"int8 BLIS (byte loads)", "8x", Table::fmt(i8, 1) + "x",
+              "-", "-"});
+    t.print(std::cout);
+
+    std::cout << "\nSoftware decompression is flat in the data size "
+                 "(the shift/mask work replaces the saved loads), "
+                 "while Mix-GEMM's speed-up grows as operands shrink — "
+                 "the gap the μ-engine exists to close.\n";
+    return 0;
+}

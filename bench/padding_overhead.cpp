@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Section III-C: memory overhead of μ-vector zero-padding relative to
+ * ideal dense narrow packing, for all 49 configurations — analytic
+ * (from the geometry) and measured (by compressing a real matrix pair).
+ * The paper reports 2.4 % on average with kua/kub capped at 4.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "tensor/packing.h"
+
+using namespace mixgemm;
+
+int
+main()
+{
+    std::cout << "Section III-C — zero-padding memory overhead per "
+                 "configuration (kua, kub <= 4)\n\n";
+
+    Rng rng(11);
+    const uint64_t m = 64;
+    const uint64_t n = 64;
+    Table t({"config", "kua/kub", "analytic %", "measured %"});
+    RunningStat avg;
+    for (const auto &cfg : allSupportedConfigs()) {
+        const auto g = computeBsGeometry(cfg);
+        // k: several whole groups (steady-state overhead, no tail).
+        const uint64_t k = uint64_t{g.group_extent} * 12;
+        std::vector<int32_t> a(m * k);
+        std::vector<int32_t> b(k * n);
+        for (auto &v : a)
+            v = static_cast<int32_t>(
+                rng.uniformInt(-(1 << (cfg.bwa - 1)),
+                               (1 << (cfg.bwa - 1)) - 1));
+        for (auto &v : b)
+            v = static_cast<int32_t>(
+                rng.uniformInt(-(1 << (cfg.bwb - 1)),
+                               (1 << (cfg.bwb - 1)) - 1));
+        const CompressedA ca(a, m, k, g);
+        const CompressedB cb(b, k, n, g);
+        const double measured =
+            static_cast<double>(ca.bytes() + cb.bytes()) /
+                static_cast<double>(ca.idealBytes() + cb.idealBytes()) -
+            1.0;
+        const double analytic = g.paddingOverhead();
+        avg.add(100 * measured);
+        t.addRow({cfg.name(),
+                  strCat(g.kua, "/", g.kub),
+                  Table::fmt(100 * analytic, 2),
+                  Table::fmt(100 * measured, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nAverage measured overhead: "
+              << Table::fmt(avg.mean(), 2)
+              << " % (paper: 2.4 % average); worst "
+              << Table::fmt(avg.max(), 2) << " %.\n";
+    return 0;
+}

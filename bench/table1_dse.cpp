@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Table I: design-space exploration of the Mix-GEMM parameters.
+ *
+ * Sweeps the cache blocking (mc, nc, kc), the register/AccMem tile
+ * (mr, nr), and prints the kua/kub selection for the Fig. 4
+ * configurations, reporting the measured optimum next to the paper's
+ * (mc = nc = kc = 256, mr = nr = 4, kua = kub = 4, AccMem 16,
+ * Source Buffers 16).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "power/area_model.h"
+#include "sim/gemm_timing.h"
+#include "soc/soc_config.h"
+
+using namespace mixgemm;
+
+int
+main()
+{
+    const SoCConfig soc = SoCConfig::sargantana();
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    const uint64_t s = 512; // representative GEMM
+
+    std::cout << "Table I — Mix-GEMM parameter DSE (a8-w8, " << s << "^3"
+              << " GEMM on " << soc.name << ")\n\n";
+
+    // --- Cache blocking sweep.
+    std::cout << "Cache blocking (mr = nr = 4):\n";
+    Table cb({"mc", "nc", "kc", "cycles", "GOPS", "note"});
+    uint64_t best_cycles = ~uint64_t{0};
+    BlockingParams best;
+    for (const uint64_t kc : {64u, 128u, 256u, 512u}) {
+        for (const uint64_t mc : {64u, 128u, 256u, 512u}) {
+            for (const uint64_t nc : {128u, 256u, 512u}) {
+                BlockingParams b;
+                b.mc = mc;
+                b.nc = nc;
+                b.kc = kc;
+                const GemmTimingModel model(soc, b);
+                const auto t = model.mixGemm(s, s, s, geom);
+                if (t.cycles < best_cycles) {
+                    best_cycles = t.cycles;
+                    best = b;
+                }
+                if (mc == nc && (kc == mc || kc == mc / 2 ||
+                                 kc == 2 * mc))
+                    cb.addRow({std::to_string(mc), std::to_string(nc),
+                               std::to_string(kc),
+                               Table::fmtInt(t.cycles),
+                               Table::fmt(t.gops, 2), ""});
+            }
+        }
+    }
+    cb.addSeparator();
+    {
+        const GemmTimingModel model(soc, best);
+        const auto t = model.mixGemm(s, s, s, geom);
+        cb.addRow({std::to_string(best.mc), std::to_string(best.nc),
+                   std::to_string(best.kc), Table::fmtInt(t.cycles),
+                   Table::fmt(t.gops, 2), "measured optimum"});
+        cb.addRow({"256", "256", "256", "", "", "paper Table I"});
+    }
+    cb.print(std::cout);
+    std::cout << "Note: performance is flat above 256 in our model —\n"
+                 "compressed μ-panels are 8-32x smaller than DGEMM\n"
+                 "panels, so the L1 constraint that pins kc = 256 in\n"
+                 "the paper's [45]-style analysis binds only weakly; "
+                 "256 stays within a few percent of the flat optimum.\n";
+
+    // --- Register/AccMem tile sweep with RF feasibility.
+    std::cout << "\nRegister tile (mc = nc = kc = 256); RF budget: "
+                 "kua*mr + kub*nr <= 32 registers:\n";
+    Table rt({"mr", "nr", "RF regs", "feasible", "cycles", "AccMem"});
+    for (const unsigned mr : {2u, 4u, 8u}) {
+        for (const unsigned nr : {2u, 4u, 8u}) {
+            BlockingParams b;
+            b.mr = mr;
+            b.nr = nr;
+            const unsigned rf = geom.kua * mr + geom.kub * nr;
+            const GemmTimingModel model(soc, b);
+            const auto t = model.mixGemm(s, s, s, geom);
+            rt.addRow({std::to_string(mr), std::to_string(nr),
+                       std::to_string(rf), rf <= 32 ? "yes" : "no",
+                       Table::fmtInt(t.cycles),
+                       std::to_string(mr * nr)});
+        }
+    }
+    rt.print(std::cout);
+
+    // --- kua/kub selection (Fig. 4) and padding.
+    std::cout << "\nkua/kub selection per configuration (Fig. 4):\n";
+    Table ku({"config", "kua", "kub", "group extent", "group cycles",
+              "MAC/cycle", "padding %"});
+    for (const auto &cfg :
+         {DataSizeConfig{8, 8, true, true}, DataSizeConfig{8, 6, true,
+                                                           true},
+          DataSizeConfig{6, 4, true, true}, DataSizeConfig{8, 2, true,
+                                                           true},
+          DataSizeConfig{4, 4, true, true}, DataSizeConfig{2, 2, true,
+                                                           true}}) {
+        const auto g = computeBsGeometry(cfg);
+        ku.addRow({cfg.name(), std::to_string(g.kua),
+                   std::to_string(g.kub),
+                   std::to_string(g.group_extent),
+                   std::to_string(g.group_cycles),
+                   Table::fmt(g.macsPerCycle(), 2),
+                   Table::fmt(100 * g.paddingOverhead(), 1)});
+    }
+    ku.print(std::cout);
+
+    const AreaModel area;
+    std::cout << "\nAccMem = mr x nr = 16 slots; Source Buffers = 16 "
+                 "μ-vectors (see srcbuf_dse); μ-engine area "
+              << Table::fmt(area.uengineArea(), 0) << " μm².\n";
+    std::cout << "Paper Table I: mc=nc=kc=256, mr=nr=4, kua=kub=4, "
+                 "AccMem=16, SB=16.\n";
+    return 0;
+}

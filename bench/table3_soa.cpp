@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Table III: comparison with the state of the art.
+ *
+ * Prints the published rows (gathered data, src/baselines) and computes
+ * the Mix-GEMM row with our simulator: the Convolution* micro-kernel
+ * (16x16x32 input, 64x3x3x32 filter) and the six CNNs, as GOPS and
+ * TOPS/W ranges from a8-w8 down to a2-w2, plus the area-efficiency
+ * comparison against the decoupled accelerators after DeepScaleTool-
+ * style node scaling.
+ */
+
+#include <iostream>
+
+#include "baselines/related_work.h"
+#include "common/table.h"
+#include "dnn/models.h"
+#include "dnn/network_timing.h"
+#include "power/area_model.h"
+#include "power/energy_model.h"
+#include "power/tech_scaling.h"
+#include "soc/soc_config.h"
+#include "tensor/packing.h"
+
+using namespace mixgemm;
+
+namespace
+{
+
+struct Range
+{
+    double lo = 1e300;
+    double hi = 0.0;
+    void
+    add(double v)
+    {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::string
+    str(int precision = 1) const
+    {
+        return Table::fmt(lo, precision) + "-" +
+               Table::fmt(hi, precision);
+    }
+};
+
+double
+gemmGopsPerWatt(const GemmTimingModel &timing, const EnergyModel &em,
+                const BsGeometry &geom, uint64_t m, uint64_t n,
+                uint64_t k)
+{
+    const auto t = timing.mixGemm(m, n, k, geom);
+    const auto r = em.mixGemmEnergyFromShape(geom, m, n, k, t.cycles);
+    return r.gops_per_watt;
+}
+
+} // namespace
+
+int
+main()
+{
+    const SoCConfig soc = SoCConfig::sargantana();
+    const GemmTimingModel timing(soc);
+    const EnergyModel energy(soc);
+    const AreaModel area;
+
+    std::cout << "Table III — comparison with the state of the art "
+                 "(published rows + computed Mix-GEMM row)\n\n";
+
+    // --- Published rows.
+    Table t({"work", "data sizes", "mixed", "SoC", "GHz", "nm", "mm²",
+             "benchmark", "GOPS", "TOPS/W"});
+    for (const auto &row : relatedWorkTable()) {
+        bool first = true;
+        for (const auto &r : row.results) {
+            t.addRow({first ? row.citation + " " + row.name : "",
+                      first ? row.data_sizes : "",
+                      first ? (row.mixed_precision ? "yes" : "no") : "",
+                      first ? row.soc : "",
+                      first ? Table::fmt(row.freq_ghz, 2) : "",
+                      first && row.tech_nm > 0
+                          ? std::to_string(row.tech_nm)
+                          : "",
+                      first && row.area_mm2 > 0
+                          ? Table::fmt(row.area_mm2, 4)
+                          : "",
+                      r.benchmark, r.perf_gops.toString(),
+                      r.eff_tops_w.present() ? r.eff_tops_w.toString(2)
+                                             : "-"});
+            first = false;
+        }
+        t.addSeparator();
+    }
+
+    // --- Computed Mix-GEMM row.
+    const double mix_area = area.uengineArea() / 1e6; // mm²
+    bool first = true;
+    auto add_mix_row = [&](const std::string &bench, const Range &perf,
+                           const Range &eff) {
+        t.addRow({first ? "This work: Mix-GEMM" : "",
+                  first ? "All 8b-2b" : "", first ? "yes" : "",
+                  first ? "RV64" : "",
+                  first ? Table::fmt(soc.freq_ghz, 2) : "",
+                  first ? "22" : "",
+                  first ? Table::fmt(mix_area, 4) : "", bench,
+                  perf.str(), eff.str(2)});
+        first = false;
+    };
+
+    // Convolution* kernel.
+    {
+        const ConvSpec conv = tableIIIConvolution();
+        Range perf;
+        Range eff;
+        for (const unsigned bw : {8u, 4u, 2u}) {
+            const auto geom = geometryForK(
+                computeBsGeometry({bw, bw, true, true}), conv.gemmK());
+            const auto tt = timing.mixGemm(conv.gemmM(), conv.gemmN(),
+                                           conv.gemmK(), geom);
+            perf.add(tt.gops);
+            eff.add(gemmGopsPerWatt(timing, energy, geom, conv.gemmM(),
+                                    conv.gemmN(), conv.gemmK()) /
+                    1000.0);
+        }
+        add_mix_row("Convolution", perf, eff);
+    }
+
+    // The six CNNs, a8-w8 .. a2-w2.
+    const EnergyModel em(soc);
+    for (const auto &model : allModels()) {
+        Range perf;
+        Range eff;
+        for (unsigned bw = 2; bw <= 8; ++bw) {
+            const DataSizeConfig cfg{bw, bw, true, true};
+            const auto nt = timeNetworkMixGemm(model, timing, cfg);
+            perf.add(nt.gops);
+            // Network efficiency via per-layer activity.
+            double energy_pj = 0.0;
+            for (size_t i = 0; i < model.layers.size(); ++i) {
+                const auto &layer = model.layers[i];
+                DataSizeConfig lcfg = cfg;
+                if (layer.is_first || layer.is_last)
+                    lcfg.bwa = lcfg.bwb = 8;
+                const uint64_t k = layer.conv.gemmK();
+                const auto geom =
+                    geometryForK(computeBsGeometry(lcfg), k);
+                const uint64_t n = layer.conv.groups > 1
+                                       ? layer.conv.out_c
+                                       : layer.conv.gemmN();
+                energy_pj +=
+                    em.mixGemmEnergyFromShape(geom, layer.conv.gemmM(),
+                                              n, k,
+                                              nt.layers[i].cycles)
+                        .energy_uj *
+                    1e6;
+            }
+            eff.add(2.0 * static_cast<double>(model.totalMacs()) /
+                    energy_pj);
+        }
+        add_mix_row(model.name, perf, eff);
+    }
+    t.print(std::cout);
+
+    // --- Area-efficiency comparison against decoupled accelerators.
+    std::cout << "\nArea comparison after node scaling (65 -> 22 nm, "
+                 "DeepScaleTool-style):\n";
+    const double eyeriss22 = scaleArea(12.25, 65, 22);
+    const double unpu22 = scaleArea(16.0, 65, 22);
+    std::cout << "  Eyeriss " << Table::fmt(eyeriss22, 2)
+              << " mm² -> Mix-GEMM needs "
+              << Table::fmt(eyeriss22 / mix_area, 1)
+              << "x less area (paper: 96.8x)\n";
+    std::cout << "  UNPU    " << Table::fmt(unpu22, 2)
+              << " mm² -> Mix-GEMM needs "
+              << Table::fmt(unpu22 / mix_area, 1)
+              << "x less area (paper: 126.5x)\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * CNN inference on the simulated Mix-GEMM SoC.
+ *
+ * Prices all six evaluation networks at a handful of data-size
+ * configurations on the Sargantana-like SoC, reporting throughput,
+ * single-image latency, speedup over the on-SoC DGEMM baseline, and
+ * energy efficiency — plus a per-layer breakdown for ResNet-18.
+ */
+
+#include <iostream>
+
+#include "baselines/software_baselines.h"
+#include "common/table.h"
+#include "dnn/models.h"
+#include "dnn/network_timing.h"
+#include "power/energy_model.h"
+#include "soc/soc_config.h"
+#include "tensor/packing.h"
+
+using namespace mixgemm;
+
+namespace
+{
+
+/** Network energy: per-layer activity through the energy model. */
+double
+networkGopsPerWatt(const ModelSpec &model, const NetworkTiming &timing,
+                   const DataSizeConfig &config, const EnergyModel &em)
+{
+    double energy_pj = 0.0;
+    for (size_t i = 0; i < model.layers.size(); ++i) {
+        const auto &layer = model.layers[i];
+        DataSizeConfig cfg = config;
+        if (layer.is_first || layer.is_last)
+            cfg.bwa = cfg.bwb = 8;
+        const uint64_t k = layer.conv.gemmK();
+        const auto geom = geometryForK(computeBsGeometry(cfg), k);
+        const uint64_t n = layer.conv.groups > 1 ? layer.conv.out_c
+                                                 : layer.conv.gemmN();
+        const auto r = em.mixGemmEnergyFromShape(
+            geom, layer.conv.gemmM(), n, k, timing.layers[i].cycles);
+        energy_pj += r.energy_uj * 1e6;
+    }
+    return 2.0 * static_cast<double>(model.totalMacs()) / energy_pj *
+           1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    const SoCConfig soc = SoCConfig::sargantana();
+    GemmTimingModel timing(soc);
+    const EnergyModel energy(soc);
+
+    std::cout << "CNN inference on " << soc.name << " @ " << soc.freq_ghz
+              << " GHz (32 KB L1d, 512 KB L2)\n\n";
+
+    const std::vector<DataSizeConfig> configs{
+        {8, 8, true, true}, {5, 5, true, true}, {4, 4, true, true},
+        {2, 2, true, true},
+    };
+
+    Table t({"network", "GMACs", "config", "GOPS", "latency ms",
+             "vs DGEMM", "GOPS/W"});
+    for (const auto &model : allModels()) {
+        const auto dgemm = timeNetworkDgemm(model, timing);
+        for (const auto &cfg : configs) {
+            const auto mix = timeNetworkMixGemm(model, timing, cfg);
+            const double speedup =
+                static_cast<double>(dgemm.total_cycles) /
+                static_cast<double>(mix.total_cycles);
+            const double gpw =
+                networkGopsPerWatt(model, mix, cfg, energy);
+            t.addRow({model.name,
+                      Table::fmt(model.totalMacs() / 1e9, 2), cfg.name(),
+                      Table::fmt(mix.gops, 2),
+                      Table::fmt(mix.latency_ms, 2),
+                      Table::fmt(speedup, 1) + "x",
+                      Table::fmt(gpw, 0)});
+        }
+        t.addSeparator();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPer-layer breakdown: ResNet-18 at a4-w4\n";
+    const auto resnet = resNet18();
+    const auto detail =
+        timeNetworkMixGemm(resnet, timing, {4, 4, true, true});
+    Table lt({"layer", "MMACs", "cycles", "GOPS"});
+    for (const auto &l : detail.layers)
+        lt.addRow({l.name, Table::fmt(l.macs / 1e6, 1),
+                   Table::fmtInt(l.cycles), Table::fmt(l.gops, 2)});
+    lt.print(std::cout);
+
+    std::cout << "\nFP32 OpenBLAS baseline (SiFive U740 model): "
+              << Table::fmt(openblasFp32U740().networkGops(resnet), 2)
+              << " GOPS on ResNet-18\n";
+    return 0;
+}

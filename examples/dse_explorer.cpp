@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Design-space explorer: given a network and a maximum acceptable TOP-1
+ * drop, enumerate all 49 activation/weight configurations, price each
+ * on the simulated SoC, and report the Pareto-optimal deployments with
+ * throughput, memory footprint, and energy-efficiency estimates — the
+ * trade-off exploration that Mix-GEMM's per-layer reconfigurability
+ * (one bs.set) enables.
+ *
+ * Usage: dse_explorer [network] [max_top1_drop]
+ *   network        one of: alexnet vgg16 resnet18 mobilenet regnet
+ *                  efficientnet (default resnet18)
+ *   max_top1_drop  in percentage points (default 2.0)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "accuracy/pareto.h"
+#include "accuracy/qat_database.h"
+#include "common/table.h"
+#include "dnn/models.h"
+#include "dnn/network_timing.h"
+#include "power/energy_model.h"
+#include "soc/soc_config.h"
+
+using namespace mixgemm;
+
+namespace
+{
+
+ModelSpec
+modelByKey(const std::string &key)
+{
+    if (key == "alexnet")
+        return alexNet();
+    if (key == "vgg16")
+        return vgg16();
+    if (key == "resnet18")
+        return resNet18();
+    if (key == "mobilenet")
+        return mobileNetV1();
+    if (key == "regnet")
+        return regNetX400MF();
+    if (key == "efficientnet")
+        return efficientNetB0();
+    fatal("unknown network '" + key +
+          "'; expected alexnet|vgg16|resnet18|mobilenet|regnet|"
+          "efficientnet");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string key = argc > 1 ? argv[1] : "resnet18";
+    const double max_drop = argc > 2 ? std::stod(argv[2]) : 2.0;
+
+    const auto model = modelByKey(key);
+    const auto &db = AccuracyDatabase::paperQat();
+    const SoCConfig soc = SoCConfig::sargantana();
+    GemmTimingModel timing(soc);
+    const double fp32 = db.fp32Top1(model.name);
+
+    std::cout << "DSE for " << model.name << " (FP32 TOP-1 "
+              << Table::fmt(fp32, 2) << " %), max drop "
+              << Table::fmt(max_drop, 1) << " points\n\n";
+
+    struct Candidate
+    {
+        DataSizeConfig config;
+        double gops;
+        double top1;
+        double mem_rel; ///< weight footprint relative to 8-bit
+    };
+    std::vector<Candidate> candidates;
+    std::vector<ParetoPoint> points;
+    for (const auto &cfg : allSupportedConfigs()) {
+        const auto t = timeNetworkMixGemm(model, timing, cfg);
+        const double top1 = db.top1(model.name, cfg);
+        candidates.push_back(
+            {cfg, t.gops, top1, static_cast<double>(cfg.bwb) / 8.0});
+        points.push_back({t.gops, top1});
+    }
+
+    const auto frontier = paretoFrontier(points);
+    Table t({"config", "GOPS", "TOP-1 %", "drop", "weights vs 8b",
+             "meets target"});
+    for (const size_t idx : frontier) {
+        const auto &c = candidates[idx];
+        const double drop = fp32 - c.top1;
+        t.addRow({c.config.name(), Table::fmt(c.gops, 2),
+                  Table::fmt(c.top1, 2), Table::fmt(drop, 2),
+                  Table::fmt(100 * c.mem_rel, 0) + " %",
+                  drop <= max_drop ? "yes" : "no"});
+    }
+    t.print(std::cout);
+
+    // Recommend: fastest Pareto point within the accuracy budget.
+    const Candidate *best = nullptr;
+    for (const size_t idx : frontier) {
+        const auto &c = candidates[idx];
+        if (fp32 - c.top1 <= max_drop &&
+            (!best || c.gops > best->gops))
+            best = &c;
+    }
+    if (best) {
+        std::cout << "\nRecommended deployment: " << best->config.name()
+                  << " -> " << Table::fmt(best->gops, 2) << " GOPS at "
+                  << Table::fmt(best->top1, 2) << " % TOP-1 ("
+                  << Table::fmt(100 * (1 - best->mem_rel), 0)
+                  << " % weight-memory saving vs 8-bit)\n";
+    } else {
+        std::cout << "\nNo configuration meets the accuracy target; "
+                     "consider per-layer mixed precision.\n";
+    }
+    return 0;
+}

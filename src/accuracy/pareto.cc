@@ -1,0 +1,37 @@
+#include "accuracy/pareto.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mixgemm
+{
+
+bool
+dominates(const ParetoPoint &q, const ParetoPoint &p)
+{
+    const bool geq = q.performance >= p.performance &&
+                     q.accuracy >= p.accuracy;
+    const bool strictly = q.performance > p.performance ||
+                          q.accuracy > p.accuracy;
+    return geq && strictly;
+}
+
+std::vector<size_t>
+paretoFrontier(std::span<const ParetoPoint> points)
+{
+    std::vector<size_t> frontier;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j)
+            dominated = j != i && dominates(points[j], points[i]);
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [&](size_t a, size_t b) {
+                  return points[a].performance < points[b].performance;
+              });
+    return frontier;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Pareto-frontier extraction for the performance/accuracy trade-off
+ * plots of Fig. 7: a configuration is Pareto optimal when no other
+ * configuration is simultaneously faster and at least as accurate.
+ */
+
+#ifndef MIXGEMM_ACCURACY_PARETO_H
+#define MIXGEMM_ACCURACY_PARETO_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** One candidate design point: higher is better on both axes. */
+struct ParetoPoint
+{
+    double performance = 0.0; ///< e.g. GOPS
+    double accuracy = 0.0;    ///< e.g. TOP-1
+};
+
+/**
+ * Indices of the Pareto-optimal points, sorted by ascending
+ * performance. A point on the frontier is not dominated: no other point
+ * has strictly higher performance and >= accuracy, or >= performance
+ * and strictly higher accuracy.
+ */
+std::vector<size_t> paretoFrontier(std::span<const ParetoPoint> points);
+
+/** True iff @p p is dominated by @p q. */
+bool dominates(const ParetoPoint &q, const ParetoPoint &p);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_ACCURACY_PARETO_H

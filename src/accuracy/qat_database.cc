@@ -1,0 +1,116 @@
+#include "accuracy/qat_database.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Activation-vs-weight interpolation weight for mixed configurations. */
+constexpr double kActivationShare = 0.55;
+
+/** Deterministic jitter in [-0.08, 0.08] points from a config hash. */
+double
+jitter(const std::string &model, const DataSizeConfig &config)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : model)
+        h = (h ^ static_cast<uint64_t>(c)) * 1099511628211ull;
+    h = (h ^ config.bwa) * 1099511628211ull;
+    h = (h ^ config.bwb) * 1099511628211ull;
+    return (static_cast<double>(h % 1000) / 1000.0 - 0.5) * 0.16;
+}
+
+} // namespace
+
+const AccuracyDatabase &
+AccuracyDatabase::paperQat()
+{
+    static const AccuracyDatabase db = [] {
+        AccuracyDatabase d;
+        // diag_loss[i] = TOP-1 loss (points) at a(8-i)-w(8-i).
+        //                 8      7     6     5     4     3      2
+        d.networks_ = {
+            {"AlexNet",
+             {56.52, {-0.05, 0.02, 0.08, 0.20, 0.05, 1.10, 5.10}}},
+            {"VGG-16",
+             {71.59, {-0.10, 0.05, 0.15, 0.30, 0.60, 2.60, 6.50}}},
+            {"ResNet-18",
+             {69.76, {0.00, 0.08, 0.20, 0.40, 1.00, 4.90, 8.60}}},
+            {"MobileNet-V1",
+             {70.90, {0.10, 0.30, 0.60, 1.20, 3.00, 16.90, 34.50}}},
+            {"RegNet-X-400MF",
+             {72.80, {0.05, 0.15, 0.30, 0.60, 1.50, 5.80, 13.00}}},
+            {"EfficientNet-B0",
+             {77.10, {0.10, 0.40, 0.80, 1.40, 4.20, 22.90, 32.80}}},
+        };
+        return d;
+    }();
+    return db;
+}
+
+const AccuracyDatabase::NetworkAnchors &
+AccuracyDatabase::anchors(const std::string &model) const
+{
+    for (const auto &kv : networks_)
+        if (kv.first == model)
+            return kv.second;
+    fatal(strCat("AccuracyDatabase: unknown model '", model, "'"));
+}
+
+double
+AccuracyDatabase::fp32Top1(const std::string &model) const
+{
+    return anchors(model).fp32;
+}
+
+double
+AccuracyDatabase::top1(const std::string &model,
+                       const DataSizeConfig &config) const
+{
+    if (config.bwa < 2 || config.bwa > 8 || config.bwb < 2 ||
+        config.bwb > 8)
+        fatal("AccuracyDatabase: bitwidths must be in [2, 8]");
+    const NetworkAnchors &a = anchors(model);
+    const double loss_a = a.diag_loss[8 - config.bwa];
+    const double loss_w = a.diag_loss[8 - config.bwb];
+    const double loss = kActivationShare * loss_a +
+                        (1.0 - kActivationShare) * loss_w +
+                        jitter(model, config);
+    return a.fp32 - std::max(loss, -0.3);
+}
+
+std::vector<AccuracyEntry>
+AccuracyDatabase::grid(const std::string &model) const
+{
+    std::vector<AccuracyEntry> entries;
+    for (const auto &cfg : allSupportedConfigs())
+        entries.push_back({cfg, top1(model, cfg)});
+    return entries;
+}
+
+double
+AccuracyDatabase::diagonalLoss(const std::string &model,
+                               unsigned bits) const
+{
+    if (bits < 2 || bits > 8)
+        fatal("diagonalLoss: bits must be in [2, 8]");
+    return anchors(model).diag_loss[8 - bits];
+}
+
+std::vector<std::string>
+AccuracyDatabase::models() const
+{
+    std::vector<std::string> names;
+    names.reserve(networks_.size());
+    for (const auto &kv : networks_)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace mixgemm

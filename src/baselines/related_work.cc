@@ -1,0 +1,120 @@
+#include "baselines/related_work.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+std::string
+PubRange::toString(int precision) const
+{
+    if (!present())
+        return "-";
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << lo;
+    if (hi != lo)
+        os << "-" << hi;
+    return os.str();
+}
+
+const PubResult *
+RelatedWork::result(const std::string &benchmark) const
+{
+    for (const auto &r : results)
+        if (r.benchmark == benchmark)
+            return &r;
+    return nullptr;
+}
+
+std::vector<std::string>
+tableIIIBenchmarks()
+{
+    return {"Convolution", "AlexNet",       "VGG-16",
+            "ResNet-18",   "MobileNet-V1",  "RegNet-X-400MF",
+            "EfficientNet-B0"};
+}
+
+std::vector<RelatedWork>
+relatedWorkTable()
+{
+    // Published numbers exactly as gathered in Table III.
+    std::vector<RelatedWork> rows;
+
+    rows.push_back({"Baseline", "OpenBLAS FP32", "FP32", false, "RV64",
+                    1.2, -1, -1.0,
+                    {{"AlexNet", {0.9, 0.9}, {}},
+                     {"VGG-16", {0.9, 0.9}, {}},
+                     {"ResNet-18", {0.9, 0.9}, {}},
+                     {"MobileNet-V1", {0.9, 0.9}, {}},
+                     {"RegNet-X-400MF", {0.9, 0.9}, {}},
+                     {"EfficientNet-B0", {0.9, 0.9}, {}}}});
+
+    rows.push_back({"[33]", "GEMMLowp (Neon)", "8b", false, "ARMv8", 1.2,
+                    -1, -1.0,
+                    {{"AlexNet", {5.6, 5.6}, {}},
+                     {"VGG-16", {5.1, 5.1}, {}},
+                     {"ResNet-18", {4.7, 4.7}, {}},
+                     {"MobileNet-V1", {5.5, 5.5}, {}},
+                     {"RegNet-X-400MF", {4.8, 4.8}, {}},
+                     {"EfficientNet-B0", {5.8, 5.8}, {}}}});
+
+    rows.push_back({"[12]", "Dory (GAP-8)", "8b", false, "8xRV32", 0.26,
+                    -1, -1.0,
+                    {{"MobileNet-V1", {4.2, 4.2}, {0.02, 0.02}}}});
+
+    rows.push_back({"[13]", "CMix-NN", "8b/4b/2b", true, "ARMv7", 0.48,
+                    -1, -1.0,
+                    {{"MobileNet-V1", {0.3, 0.5}, {0.001, 0.002}}}});
+
+    rows.push_back({"[26]", "PULP-NN", "8b/4b/2b", false, "RV32", 0.17,
+                    -1, -1.0,
+                    {{"Convolution", {0.2, 0.6}, {}}}});
+
+    rows.push_back({"[11]", "Bruschi et al.", "8b/4b/2b", true, "8xRV32",
+                    0.17, -1, -1.0,
+                    {{"Convolution", {2.4, 6.1}, {}}}});
+
+    rows.push_back({"[52]", "Ottavi et al.", "8b/4b/2b", true, "RV32",
+                    0.25, 22, 0.002,
+                    {{"Convolution", {1.1, 3.3}, {0.2, 0.6}}}});
+
+    rows.push_back({"[27]", "XpulpNN", "8b/4b/2b", false, "8xRV32", 0.6,
+                    22, 0.04,
+                    {{"Convolution", {19.8, 47.9}, {0.7, 1.1}}}});
+
+    rows.push_back({"[58]", "Bison-e", "8b/4b/2b", false, "RV64", 0.6,
+                    22, 0.000419,
+                    {{"AlexNet", {0.4, 1.3}, {0.01, 0.5}},
+                     {"VGG-16", {0.6, 2.5}, {0.01, 0.03}}}});
+
+    rows.push_back({"[17]", "Eyeriss", "16b", false, "Decoupled", 0.25,
+                    65, 12.25,
+                    {{"AlexNet", {74.7, 74.7}, {0.3, 0.3}},
+                     {"VGG-16", {21.4, 21.4}, {0.09, 0.09}}}});
+
+    rows.push_back({"[41]", "UNPU", "a16, w1-w16", false, "Decoupled",
+                    0.2, 65, 16.0,
+                    {{"AlexNet", {461.1, 461.1}, {1.6, 1.6}},
+                     {"VGG-16", {567.3, 567.3}, {1.9, 1.9}}}});
+
+    return rows;
+}
+
+ConvSpec
+tableIIIConvolution()
+{
+    ConvSpec s;
+    s.in_c = 32;
+    s.in_h = s.in_w = 16;
+    s.out_c = 64;
+    s.kh = s.kw = 3;
+    s.stride = 1;
+    s.pad = 1;
+    s.validate();
+    return s;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Related-work comparison data (Table III).
+ *
+ * The paper's Table III gathers published results for eleven systems;
+ * those rows are reproduced here verbatim as structured data (they are
+ * *inputs* to the comparison, not measurements of this codebase), while
+ * the Mix-GEMM row is computed by our simulator in bench/table3_soa.
+ * The Convolution* micro-benchmark shape (input 16x16x32, filter
+ * 64x3x3x32) is also defined here.
+ */
+
+#ifndef MIXGEMM_BASELINES_RELATED_WORK_H
+#define MIXGEMM_BASELINES_RELATED_WORK_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/conv.h"
+
+namespace mixgemm
+{
+
+/** A published lo-hi range; lo == hi for single values, <0 if absent. */
+struct PubRange
+{
+    double lo = -1.0;
+    double hi = -1.0;
+
+    bool present() const { return lo >= 0.0; }
+    std::string toString(int precision = 1) const;
+};
+
+/** Per-benchmark published performance and efficiency. */
+struct PubResult
+{
+    std::string benchmark; ///< "Convolution", "AlexNet", ...
+    PubRange perf_gops;
+    PubRange eff_tops_w;
+};
+
+/** One Table III row. */
+struct RelatedWork
+{
+    std::string citation;   ///< "[33]", "Baseline", ...
+    std::string name;       ///< human-readable system name
+    std::string data_sizes; ///< "8b", "8b/4b/2b", "All 8b-2b", ...
+    bool mixed_precision = false;
+    std::string soc;        ///< "ARMv8", "8xRV32", "RV64", "Decoupled"
+    double freq_ghz = 0.0;
+    int tech_nm = -1;       ///< -1 when not published
+    double area_mm2 = -1.0; ///< -1 when not published
+    std::vector<PubResult> results;
+
+    /** Result row for @p benchmark, or nullptr. */
+    const PubResult *result(const std::string &benchmark) const;
+};
+
+/** All related-work rows of Table III (published numbers). */
+std::vector<RelatedWork> relatedWorkTable();
+
+/** Benchmark column names, in Table III order. */
+std::vector<std::string> tableIIIBenchmarks();
+
+/**
+ * The Convolution* kernel of Table III: input tensor 16x16x32 (HxWxC),
+ * filter 64x3x3x32, stride 1, pad 1.
+ */
+ConvSpec tableIIIConvolution();
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_BASELINES_RELATED_WORK_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Models of the two measured software baselines of Fig. 7 / Table III:
+ *
+ *  - OpenBLAS FP32 single-threaded on a SiFive U740 (dual-issue
+ *    in-order RV64 at 1.2 GHz) — the paper measures ~0.9 GOPS across
+ *    the six CNNs;
+ *  - GEMMLowp 8-bit on an Arm Cortex-A53 with Neon (dual-issue in-order
+ *    at 1.2 GHz) — the paper measures 4.7-5.8 GOPS.
+ *
+ * Neither processor is available here, so both are throughput models:
+ * a peak MAC/cycle rate derated by a GEMM-shape utilization factor
+ * (small k or n leave the SIMD pipeline underfed — why depthwise
+ * convolutions drag MobileNet down). The constants are calibrated so
+ * the six networks land on the paper's measured values.
+ */
+
+#ifndef MIXGEMM_BASELINES_SOFTWARE_BASELINES_H
+#define MIXGEMM_BASELINES_SOFTWARE_BASELINES_H
+
+#include "dnn/models.h"
+
+namespace mixgemm
+{
+
+/** Per-GEMM utilization-derated throughput model. */
+class SoftwareBaselineModel
+{
+  public:
+    /**
+     * @param peak_macs_per_cycle sustained MAC/cycle on large GEMMs
+     * @param k_half  k extent at which utilization halves
+     * @param n_half  n extent at which utilization halves
+     * @param freq_ghz processor frequency
+     */
+    SoftwareBaselineModel(double peak_macs_per_cycle, double k_half,
+                          double n_half, double freq_ghz);
+
+    /** Effective MAC/cycle for one GEMM shape. */
+    double macsPerCycle(uint64_t m, uint64_t n, uint64_t k) const;
+
+    /** Cycles for one GEMM. */
+    double gemmCycles(uint64_t m, uint64_t n, uint64_t k) const;
+
+    /** End-to-end GOPS for a network (all layers, grouped convs). */
+    double networkGops(const ModelSpec &model) const;
+
+    double freqGhz() const { return freq_ghz_; }
+
+  private:
+    double peak_;
+    double k_half_;
+    double n_half_;
+    double freq_ghz_;
+};
+
+/** OpenBLAS FP32 on SiFive U740 (Fig. 7 baseline). */
+const SoftwareBaselineModel &openblasFp32U740();
+
+/** GEMMLowp 8-bit with Neon on Cortex-A53 (Table III row [33]). */
+const SoftwareBaselineModel &gemmlowpA53();
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_BASELINES_SOFTWARE_BASELINES_H

@@ -1,0 +1,107 @@
+#include "bs/cluster.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Pack values at the given cw-spaced positions as an exact signed sum. */
+uint64_t
+packAtPositions(std::span<const int32_t> elems, const BsGeometry &geometry,
+                bool reversed)
+{
+    if (elems.size() > geometry.cluster_size)
+        panic("cluster chunk larger than input-cluster size");
+    int64_t value = 0;
+    for (size_t i = 0; i < elems.size(); ++i) {
+        const unsigned pos = reversed
+            ? geometry.cluster_size - 1 - static_cast<unsigned>(i)
+            : static_cast<unsigned>(i);
+        value += static_cast<int64_t>(elems[i]) << (geometry.cw * pos);
+    }
+    return static_cast<uint64_t>(value);
+}
+
+} // namespace
+
+uint64_t
+packClusterA(std::span<const int32_t> elems, const BsGeometry &geometry)
+{
+    return packAtPositions(elems, geometry, false);
+}
+
+uint64_t
+packClusterB(std::span<const int32_t> elems, const BsGeometry &geometry)
+{
+    return packAtPositions(elems, geometry, true);
+}
+
+int128
+clusterMultiply(uint64_t cluster_a, uint64_t cluster_b,
+                const BsGeometry &geometry)
+{
+    // The μ-engine reuses the scalar multiplier, which produces a full
+    // 128-bit product; signedness selects between MUL/MULH[S]U pairs.
+    const int128 a = geometry.config.a_signed
+        ? static_cast<int128>(static_cast<int64_t>(cluster_a))
+        : static_cast<int128>(cluster_a);
+    const int128 b = geometry.config.b_signed
+        ? static_cast<int128>(static_cast<int64_t>(cluster_b))
+        : static_cast<int128>(cluster_b);
+    return a * b;
+}
+
+int64_t
+extractInnerProduct(int128 product, const BsGeometry &geometry)
+{
+    const uint128 bits = static_cast<uint128>(product);
+    uint64_t slice =
+        bitSlice128(bits, geometry.slice_msb, geometry.slice_lsb);
+    const bool any_signed =
+        geometry.config.a_signed || geometry.config.b_signed;
+    if (any_signed) {
+        // Borrow correction: coefficients below the slice can be negative;
+        // when their packed sum is negative the raw slice reads coeff - 1.
+        // Because each lower coefficient fits in cw - 1 magnitude bits, the
+        // lower part's sign is exactly the bit just below the slice.
+        if (geometry.slice_lsb > 0) {
+            const unsigned borrow_bit = geometry.slice_lsb - 1;
+            slice += static_cast<uint64_t>((bits >> borrow_bit) & 1);
+        }
+        return signExtend64(slice, geometry.cw);
+    }
+    return static_cast<int64_t>(slice);
+}
+
+int64_t
+extractInnerProductExact(int128 product, const BsGeometry &geometry)
+{
+    const bool any_signed =
+        geometry.config.a_signed || geometry.config.b_signed;
+    int128 p = product;
+    int64_t coeff = 0;
+    for (unsigned k = 0; k < geometry.cluster_size; ++k) {
+        const uint64_t raw = static_cast<uint64_t>(
+            static_cast<uint128>(p) & mask128(geometry.cw));
+        coeff = any_signed ? signExtend64(raw, geometry.cw)
+                           : static_cast<int64_t>(raw);
+        p = (p - coeff) >> geometry.cw;
+    }
+    return coeff;
+}
+
+int64_t
+clusterInnerProduct(std::span<const int32_t> a, std::span<const int32_t> b,
+                    const BsGeometry &geometry)
+{
+    if (a.size() != b.size())
+        panic("cluster chunk size mismatch");
+    const uint64_t ca = packClusterA(a, geometry);
+    const uint64_t cb = packClusterB(b, geometry);
+    return extractInnerProduct(clusterMultiply(ca, cb, geometry), geometry);
+}
+
+} // namespace mixgemm

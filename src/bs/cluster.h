@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Input-cluster datapath: the functional model of what the DCU, the 64-bit
+ * multiplier, and the DFU do on one μ-engine cycle.
+ *
+ * A chunk of up to `cluster_size` A elements and the matching chunk of B
+ * elements are packed into two `mul_width`-bit integers (the
+ * *input-clusters*), multiplied once, and the slice
+ * [slice_msb : slice_lsb] of the product (Eq. 5) is the chunk's inner
+ * product. Signed elements are packed with borrow propagation (the cluster
+ * is the exact signed integer sum of a_i * 2^(cw*i)), and the extraction
+ * applies the hardware borrow correction: when the product bits below the
+ * slice encode a negative lower part, the raw slice reads one less than
+ * the true coefficient, so bit (slice_lsb - 1) is added back.
+ */
+
+#ifndef MIXGEMM_BS_CLUSTER_H
+#define MIXGEMM_BS_CLUSTER_H
+
+#include <cstdint>
+#include <span>
+
+#include "bs/geometry.h"
+#include "common/bitutils.h"
+
+namespace mixgemm
+{
+
+/**
+ * Pack a chunk of A elements into an input-cluster.
+ * Element i lands at bit position cw * i (ascending layout).
+ * @param elems chunk values, already in range for the configured bitwidth
+ * @pre elems.size() <= geometry.cluster_size
+ */
+uint64_t packClusterA(std::span<const int32_t> elems,
+                      const BsGeometry &geometry);
+
+/**
+ * Pack a chunk of B elements into an input-cluster.
+ * Per binary-segmentation first principles the B chunk is order-reversed:
+ * element j lands at bit position cw * (cluster_size - 1 - j), so the
+ * product coefficient at slice_lsb accumulates sum(a_i * b_i).
+ * @pre elems.size() <= geometry.cluster_size
+ */
+uint64_t packClusterB(std::span<const int32_t> elems,
+                      const BsGeometry &geometry);
+
+/**
+ * Multiply two input-clusters on the (modelled) 64-bit multiplier.
+ * Cluster words are interpreted as signed when the corresponding operand
+ * is signed, matching the MULH/MULHU selection the μ-engine performs.
+ */
+int128 clusterMultiply(uint64_t cluster_a, uint64_t cluster_b,
+                       const BsGeometry &geometry);
+
+/**
+ * Extract the chunk inner product from a cluster product the way the DFU
+ * does: raw bit slice (Eq. 5) plus single-bit borrow correction for
+ * signed operands.
+ */
+int64_t extractInnerProduct(int128 product, const BsGeometry &geometry);
+
+/**
+ * Reference extraction: iteratively peel signed cw-bit coefficients from
+ * the bottom of the product. Mathematically exact for any coefficient
+ * pattern; tests verify extractInnerProduct() against this.
+ */
+int64_t extractInnerProductExact(int128 product, const BsGeometry &geometry);
+
+/**
+ * Full one-cycle datapath: pack both chunks, multiply, extract.
+ * @pre a.size() == b.size() and a.size() <= geometry.cluster_size
+ */
+int64_t clusterInnerProduct(std::span<const int32_t> a,
+                            std::span<const int32_t> b,
+                            const BsGeometry &geometry);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_BS_CLUSTER_H

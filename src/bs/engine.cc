@@ -1,0 +1,119 @@
+#include "bs/engine.h"
+
+#include <algorithm>
+#include <span>
+
+#include "bs/cluster.h"
+#include "bs/microvector.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+BsEngine::BsEngine(unsigned accmem_slots)
+    : accmem_(accmem_slots, 0)
+{
+    if (accmem_slots == 0)
+        fatal("μ-engine AccMem needs at least one slot");
+}
+
+void
+BsEngine::set(const BsGeometry &geometry, unsigned active_slots)
+{
+    if (active_slots == 0 || active_slots > accmem_.size())
+        fatal(strCat("bs.set: active slots ", active_slots,
+                     " exceed AccMem capacity ", accmem_.size()));
+    geometry_ = geometry;
+    chunk_schedule_ = dsuChunkSchedule(geometry);
+    active_slots_ = active_slots;
+    current_slot_ = 0;
+    pairs_in_group_ = 0;
+    group_a_.clear();
+    group_b_.clear();
+    std::fill(accmem_.begin(), accmem_.end(), 0);
+    busy_cycles_ = 0;
+    pairs_issued_ = 0;
+    configured_ = true;
+}
+
+void
+BsEngine::ip(uint64_t a_word, uint64_t b_word)
+{
+    if (!configured_)
+        fatal("bs.ip issued before bs.set");
+    const auto &cfg = geometry_.config;
+    if (pairs_in_group_ < geometry_.kua)
+        unpackMicroVectorInto(a_word, cfg.bwa, cfg.a_signed,
+                              geometry_.elems_per_avec, group_a_);
+    if (pairs_in_group_ < geometry_.kub)
+        unpackMicroVectorInto(b_word, cfg.bwb, cfg.b_signed,
+                              geometry_.elems_per_bvec, group_b_);
+    ++pairs_in_group_;
+    ++pairs_issued_;
+    if (pairs_in_group_ == geometry_.group_pairs)
+        finishGroup();
+}
+
+void
+BsEngine::finishGroup()
+{
+    // Pairs beyond the group extent are zero padding by the packing
+    // contract; the DSU never selects them.
+    group_a_.resize(geometry_.group_extent, 0);
+    group_b_.resize(geometry_.group_extent, 0);
+    int64_t acc = 0;
+    size_t pos = 0;
+    for (const unsigned chunk : chunk_schedule_) {
+        acc += clusterInnerProduct(
+            std::span<const int32_t>(group_a_).subspan(pos, chunk),
+            std::span<const int32_t>(group_b_).subspan(pos, chunk),
+            geometry_);
+        pos += chunk;
+    }
+    accmem_[current_slot_] += acc;
+    busy_cycles_ += geometry_.group_cycles;
+    current_slot_ = (current_slot_ + 1) % active_slots_;
+    pairs_in_group_ = 0;
+    group_a_.clear();
+    group_b_.clear();
+}
+
+int64_t
+BsEngine::get(unsigned slot)
+{
+    if (!configured_)
+        fatal("bs.get issued before bs.set");
+    if (slot >= active_slots_)
+        fatal(strCat("bs.get: slot ", slot, " out of the active range ",
+                     active_slots_));
+    if (pairs_in_group_ != 0)
+        fatal("bs.get issued mid accumulation group");
+    const int64_t value = accmem_[slot];
+    accmem_[slot] = 0;
+    return value;
+}
+
+int64_t
+microVectorStreamInnerProduct(const std::vector<int32_t> &a,
+                              const std::vector<int32_t> &b,
+                              const BsGeometry &geometry)
+{
+    if (a.size() != b.size())
+        panic("stream inner product: length mismatch");
+    const auto chunks = dsuChunkSchedule(geometry);
+    int64_t acc = 0;
+    size_t pos = 0;
+    for (const unsigned chunk : chunks) {
+        if (pos + chunk > a.size())
+            panic("stream inner product: schedule overruns stream");
+        acc += clusterInnerProduct(
+            std::span<const int32_t>(a).subspan(pos, chunk),
+            std::span<const int32_t>(b).subspan(pos, chunk), geometry);
+        pos += chunk;
+    }
+    if (pos != a.size())
+        panic("stream inner product: schedule does not cover stream");
+    return acc;
+}
+
+} // namespace mixgemm

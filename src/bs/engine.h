@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional model of the μ-engine (Section III-B), exposing exactly the
+ * three custom-instruction entry points the GEMM library uses:
+ *
+ *  - set():  load a configuration into the Control Unit,
+ *  - ip():   issue one μ-vector pair,
+ *  - get():  collect one AccMem slot.
+ *
+ * Semantics follow Algorithm 1. μ-vector pairs arrive in *accumulation
+ * groups* of max(kua, kub) pairs (pairs beyond kua/kub carry a zero
+ * A/B word, Algorithm 1 line 7); each group
+ * contributes one inner product of `group_extent` elements, accumulated
+ * into the current AccMem slot, after which the Control Unit advances to
+ * the next of the mr * nr slots. Every multiply/extract goes through the
+ * bit-exact cluster datapath of cluster.h, so this model computes the same
+ * values the RTL would. It also counts μ-engine busy cycles using the DSU
+ * chunk schedule, which the timing model (src/sim) consumes.
+ */
+
+#ifndef MIXGEMM_BS_ENGINE_H
+#define MIXGEMM_BS_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bs/geometry.h"
+
+namespace mixgemm
+{
+
+/** Functional (value-computing) model of the μ-engine. */
+class BsEngine
+{
+  public:
+    /** Default AccMem capacity in elements (Table I: mr * nr = 16). */
+    static constexpr unsigned kDefaultAccMemSlots = 16;
+
+    explicit BsEngine(unsigned accmem_slots = kDefaultAccMemSlots);
+
+    /**
+     * bs.set: configure the Control Unit for a data-size configuration
+     * and an AccMem walk over @p active_slots slots (mr * nr of the
+     * current μ-kernel). Clears AccMem and all sequencing state.
+     * @pre active_slots <= accmemSlots()
+     */
+    void set(const BsGeometry &geometry, unsigned active_slots);
+
+    /**
+     * bs.ip: issue one μ-vector pair. For pair indices >= kub within the
+     * current accumulation group the B word must be 0 (Algorithm 1,
+     * line 7); the engine ignores it either way.
+     */
+    void ip(uint64_t a_word, uint64_t b_word);
+
+    /**
+     * bs.get: read AccMem slot @p slot and clear it, ready for the next
+     * μ-kernel invocation.
+     */
+    int64_t get(unsigned slot);
+
+    /** Total μ-engine busy cycles since the last set(). */
+    uint64_t busyCycles() const { return busy_cycles_; }
+
+    /** Total μ-vector pairs issued since the last set(). */
+    uint64_t pairsIssued() const { return pairs_issued_; }
+
+    /** Physical AccMem capacity. */
+    unsigned accmemSlots() const
+    {
+        return static_cast<unsigned>(accmem_.size());
+    }
+
+    /** Currently loaded geometry. */
+    const BsGeometry &geometry() const { return geometry_; }
+
+  private:
+    /** Close the current accumulation group: compute and accumulate. */
+    void finishGroup();
+
+    BsGeometry geometry_;
+    std::vector<unsigned> chunk_schedule_; ///< cached DSU schedule
+    std::vector<int64_t> accmem_;
+    unsigned active_slots_ = 0;
+    unsigned current_slot_ = 0;
+    unsigned pairs_in_group_ = 0;
+    std::vector<int32_t> group_a_;
+    std::vector<int32_t> group_b_;
+    uint64_t busy_cycles_ = 0;
+    uint64_t pairs_issued_ = 0;
+    bool configured_ = false;
+};
+
+/**
+ * Convenience: the inner product of two μ-vector streams covering
+ * @p extent elements, computed through the cluster datapath with the
+ * configured chunking. Used by tests to cross-check the engine.
+ */
+int64_t microVectorStreamInnerProduct(const std::vector<int32_t> &a,
+                                      const std::vector<int32_t> &b,
+                                      const BsGeometry &geometry);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_BS_ENGINE_H

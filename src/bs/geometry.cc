@@ -1,0 +1,168 @@
+#include "bs/geometry.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+std::string
+DataSizeConfig::name() const
+{
+    return strCat("a", bwa, "-w", bwb);
+}
+
+double
+BsGeometry::macsPerCycle() const
+{
+    if (group_cycles == 0)
+        return 0.0;
+    return static_cast<double>(group_extent) /
+           static_cast<double>(group_cycles);
+}
+
+double
+BsGeometry::paddingOverhead() const
+{
+    // Reference: fully-packed μ-vectors (floor(64/bw) elements per
+    // word, the paper's "maximum theoretical memory compression");
+    // overhead is the extra zero-padded element slots the kua/kub
+    // grouping introduces on top of that.
+    const double ideal_words =
+        static_cast<double>(group_extent) / elems_per_avec +
+        static_cast<double>(group_extent) / elems_per_bvec;
+    return static_cast<double>(kua + kub) / ideal_words - 1.0;
+}
+
+unsigned
+clusterSizeFor(unsigned bwa, unsigned bwb, unsigned mul_width)
+{
+    unsigned best = 0;
+    for (unsigned n = 1; n <= mul_width; ++n) {
+        const unsigned cw = 1 + bwa + bwb + ceilLog2(n + 1);
+        if (n * cw <= mul_width)
+            best = n;
+        else
+            break;
+    }
+    return best;
+}
+
+std::pair<unsigned, unsigned>
+selectKu(const DataSizeConfig &config, unsigned max_ku)
+{
+    const unsigned elems_a = 64 / config.bwa;
+    const unsigned elems_b = 64 / config.bwb;
+    unsigned best_kua = 1;
+    unsigned best_kub = 1;
+    double best_overhead = 1e300;
+    unsigned best_extent = 0;
+    for (unsigned kua = 1; kua <= max_ku; ++kua) {
+        for (unsigned kub = 1; kub <= max_ku; ++kub) {
+            const unsigned extent =
+                std::min(kua * elems_a, kub * elems_b);
+            const double ideal_words =
+                static_cast<double>(extent) / elems_a +
+                static_cast<double>(extent) / elems_b;
+            const double overhead =
+                static_cast<double>(kua + kub) / ideal_words - 1.0;
+            if (overhead < best_overhead - 1e-12 ||
+                (overhead < best_overhead + 1e-12 &&
+                 extent > best_extent)) {
+                best_overhead = overhead;
+                best_extent = extent;
+                best_kua = kua;
+                best_kub = kub;
+            }
+        }
+    }
+    return {best_kua, best_kub};
+}
+
+BsGeometry
+computeBsGeometry(const DataSizeConfig &config, unsigned mul_width,
+                  unsigned max_ku)
+{
+    if (config.bwa < 2 || config.bwa > 8 || config.bwb < 2 || config.bwb > 8)
+        fatal(strCat("unsupported data sizes ", config.name(),
+                     ": bitwidths must be in [2, 8]"));
+    if (mul_width < 8 || mul_width > 64)
+        fatal(strCat("unsupported multiplier width ", mul_width));
+
+    BsGeometry g;
+    g.config = config;
+    g.mul_width = mul_width;
+    g.cluster_size = clusterSizeFor(config.bwa, config.bwb, mul_width);
+    if (g.cluster_size == 0)
+        fatal(strCat("no feasible input-cluster for ", config.name(),
+                     " on a ", mul_width, "-bit multiplier"));
+    g.cw = 1 + config.bwa + config.bwb + ceilLog2(g.cluster_size + 1);
+    g.slice_lsb = (g.cluster_size - 1) * g.cw;
+    g.slice_msb = g.slice_lsb + g.cw - 1;
+    g.elems_per_avec = 64 / config.bwa;
+    g.elems_per_bvec = 64 / config.bwb;
+    std::tie(g.kua, g.kub) = selectKu(config, max_ku);
+    g.group_pairs = std::max(g.kua, g.kub);
+    g.group_extent = std::min(g.kua * g.elems_per_avec,
+                              g.kub * g.elems_per_bvec);
+    g.group_cycles = static_cast<unsigned>(dsuChunkSchedule(g).size());
+    return g;
+}
+
+std::vector<unsigned>
+dsuChunkSchedule(const BsGeometry &geometry)
+{
+    std::vector<unsigned> chunks;
+    const unsigned extent = geometry.group_extent;
+    const unsigned na = geometry.elems_per_avec;
+    const unsigned nb = geometry.elems_per_bvec;
+    unsigned pos = 0;
+    while (pos < extent) {
+        const unsigned to_a_boundary = na - pos % na;
+        const unsigned to_b_boundary = nb - pos % nb;
+        const unsigned chunk =
+            std::min({geometry.cluster_size, to_a_boundary, to_b_boundary,
+                      extent - pos});
+        chunks.push_back(chunk);
+        pos += chunk;
+    }
+    return chunks;
+}
+
+BsGeometry
+geometryForK(const BsGeometry &geometry, uint64_t k)
+{
+    if (k == 0)
+        fatal("geometryForK: k must be positive");
+    if (k >= geometry.group_extent)
+        return geometry;
+    BsGeometry g = geometry;
+    g.group_extent = static_cast<unsigned>(k);
+    g.kua = static_cast<unsigned>(divCeil(k, g.elems_per_avec));
+    g.kub = static_cast<unsigned>(divCeil(k, g.elems_per_bvec));
+    g.group_pairs = std::max(g.kua, g.kub);
+    g.group_cycles = static_cast<unsigned>(dsuChunkSchedule(g).size());
+    return g;
+}
+
+std::vector<DataSizeConfig>
+allSupportedConfigs(bool signed_data)
+{
+    std::vector<DataSizeConfig> configs;
+    for (unsigned bwa = 8; bwa >= 2; --bwa) {
+        for (unsigned bwb = 8; bwb >= 2; --bwb) {
+            DataSizeConfig c;
+            c.bwa = bwa;
+            c.bwb = bwb;
+            c.a_signed = signed_data;
+            c.b_signed = signed_data;
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Binary-segmentation geometry: Eq. (3)-(7) of the Mix-GEMM paper.
+ *
+ * Given the element bitwidths of the two GEMM operands and the width of the
+ * processor multiplier, this module derives every derived quantity the
+ * μ-engine Control Unit is configured with:
+ *
+ *  - the clustering width `cw` (bits per packed element, Eq. 3),
+ *  - the input-cluster size (elements multiplied per cycle, Eq. 4),
+ *  - the multiplier-output slice holding the inner product (Eq. 5-7),
+ *  - the μ-vector element counts (64-bit words packing floor(64/bw)
+ *    narrow elements),
+ *  - the kua/kub μ-vector issue counts that balance mixed-precision
+ *    element streams (Fig. 4), and
+ *  - the DSU chunk schedule: how many elements the Data Selection Unit
+ *    consumes on each μ-engine cycle, honouring μ-vector boundaries
+ *    (reproducing the paper's 12/12/9-cycle accumulation-group examples).
+ */
+
+#ifndef MIXGEMM_BS_GEOMETRY_H
+#define MIXGEMM_BS_GEOMETRY_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** Operand data-size configuration of a Mix-GEMM computation ("aX-wY"). */
+struct DataSizeConfig
+{
+    unsigned bwa = 8;      ///< activation (A operand) element bitwidth
+    unsigned bwb = 8;      ///< weight (B operand) element bitwidth
+    bool a_signed = true;  ///< A elements are two's complement
+    bool b_signed = true;  ///< B elements are two's complement
+
+    /** Short name in the paper's notation, e.g. "a8-w6". */
+    std::string name() const;
+
+    bool operator==(const DataSizeConfig &other) const = default;
+};
+
+/** All derived binary-segmentation constants for one configuration. */
+struct BsGeometry
+{
+    DataSizeConfig config;
+    unsigned mul_width = 64;    ///< processor multiplier width in bits
+    unsigned cw = 0;            ///< clustering width (Eq. 3)
+    unsigned cluster_size = 0;  ///< elements per input-cluster (Eq. 4)
+    unsigned slice_lsb = 0;     ///< Eq. 6
+    unsigned slice_msb = 0;     ///< Eq. 7
+    unsigned elems_per_avec = 0;///< narrow elements per 64-bit A μ-vector
+    unsigned elems_per_bvec = 0;///< narrow elements per 64-bit B μ-vector
+    unsigned kua = 1;           ///< A μ-vectors per accumulation group
+    unsigned kub = 1;           ///< B μ-vectors per accumulation group
+    unsigned group_pairs = 1;   ///< bs.ip instructions per group:
+                                ///< max(kua, kub); the shorter operand
+                                ///< stream carries zero words at the tail
+    unsigned group_extent = 0;  ///< real k-elements covered per group
+    unsigned group_cycles = 0;  ///< μ-engine cycles per accumulation group
+
+    /** MACs per μ-engine cycle for this configuration (3..7 at 64 bit). */
+    double macsPerCycle() const;
+
+    /**
+     * Fraction of packed μ-vector storage wasted on zero-padding,
+     * relative to perfectly dense narrow packing (Section III-C reports
+     * a 2.4 % average across configurations).
+     */
+    double paddingOverhead() const;
+};
+
+/**
+ * Compute the full geometry for a configuration.
+ *
+ * @param config operand bitwidths/signedness; bitwidths must be in [2, 8].
+ * @param mul_width multiplier width in bits (64 for the target SoC).
+ * @param max_ku upper bound for kua/kub (4 in the paper's DSE, Table I).
+ * @throws FatalError on out-of-range bitwidths or an infeasible geometry.
+ */
+BsGeometry computeBsGeometry(const DataSizeConfig &config,
+                             unsigned mul_width = 64, unsigned max_ku = 4);
+
+/**
+ * Input-cluster size for raw bitwidths: the largest n such that
+ * n * (1 + bwa + bwb + ceil(log2(n + 1))) <= mul_width. Returns 0 when
+ * even n = 1 does not fit.
+ */
+unsigned clusterSizeFor(unsigned bwa, unsigned bwb, unsigned mul_width);
+
+/**
+ * Select (kua, kub) in [1, max_ku]^2 minimizing the zero-padding
+ * overhead of the accumulation group — the μ-vector storage spent,
+ * (kua + kub) * 64 bits, relative to the dense narrow footprint of the
+ * group extent — tie-breaking toward the largest extent (throughput).
+ * Reproduces the paper's Fig. 4 choices (a8-w8 -> 4/4, a8-w6 -> 4/3,
+ * a6-w4 -> 3/2) and its ~2.4 % average padding (Section III-C).
+ */
+std::pair<unsigned, unsigned> selectKu(const DataSizeConfig &config,
+                                       unsigned max_ku = 4);
+
+/**
+ * DSU chunk schedule for one accumulation group: the number of elements
+ * selected on each μ-engine cycle. Chunks never exceed the input-cluster
+ * size and never cross an A or B μ-vector boundary. The schedule length
+ * is the group's μ-engine cycle count (12/12/9 for the Fig. 4 trio).
+ */
+std::vector<unsigned> dsuChunkSchedule(const BsGeometry &geometry);
+
+/** All 49 supported (bwa, bwb) combinations, 8 down to 2 bits. */
+std::vector<DataSizeConfig> allSupportedConfigs(bool signed_data = true);
+
+/**
+ * Shrink a geometry's accumulation group to a short k extent.
+ *
+ * The Control Unit receives the inner-product length through bs.set
+ * (Section III-B), so for GEMMs whose k dimension is smaller than the
+ * full group extent (e.g. depthwise convolutions with k = 9) the DSU
+ * only walks the real elements. Returns @p geometry unchanged when
+ * k >= group_extent.
+ */
+BsGeometry geometryForK(const BsGeometry &geometry, uint64_t k);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_BS_GEOMETRY_H

@@ -1,0 +1,75 @@
+#include "bs/microvector.h"
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+uint64_t
+packMicroVector(std::span<const int32_t> elems, unsigned bw, bool is_signed)
+{
+    const unsigned capacity = elemsPerMicroVector(bw);
+    if (elems.size() > capacity)
+        panic(strCat("packMicroVector: ", elems.size(),
+                     " elements exceed capacity ", capacity));
+    uint64_t word = 0;
+    for (size_t i = 0; i < elems.size(); ++i) {
+        const int32_t v = elems[i];
+        const bool ok = is_signed ? fitsSigned(v, bw)
+                                  : (v >= 0 && fitsUnsigned(v, bw));
+        if (!ok)
+            panic(strCat("packMicroVector: value ", v, " does not fit ",
+                         is_signed ? "signed " : "unsigned ", bw, " bits"));
+        word |= (static_cast<uint64_t>(static_cast<uint32_t>(v)) &
+                 mask64(bw)) << (bw * i);
+    }
+    return word;
+}
+
+int32_t
+microVectorElement(uint64_t word, unsigned bw, bool is_signed,
+                   unsigned index)
+{
+    const uint64_t raw = (word >> (bw * index)) & mask64(bw);
+    return is_signed ? static_cast<int32_t>(signExtend64(raw, bw))
+                     : static_cast<int32_t>(raw);
+}
+
+std::vector<int32_t>
+unpackMicroVector(uint64_t word, unsigned bw, bool is_signed, unsigned count)
+{
+    if (count > elemsPerMicroVector(bw))
+        panic("unpackMicroVector: count exceeds capacity");
+    std::vector<int32_t> elems(count);
+    for (unsigned i = 0; i < count; ++i)
+        elems[i] = microVectorElement(word, bw, is_signed, i);
+    return elems;
+}
+
+void
+unpackMicroVectorInto(uint64_t word, unsigned bw, bool is_signed,
+                      unsigned count, std::vector<int32_t> &out)
+{
+    if (count > elemsPerMicroVector(bw))
+        panic("unpackMicroVectorInto: count exceeds capacity");
+    for (unsigned i = 0; i < count; ++i)
+        out.push_back(microVectorElement(word, bw, is_signed, i));
+}
+
+std::vector<uint64_t>
+packMicroVectorStream(std::span<const int32_t> elems, unsigned bw,
+                      bool is_signed)
+{
+    const unsigned capacity = elemsPerMicroVector(bw);
+    std::vector<uint64_t> words;
+    words.reserve((elems.size() + capacity - 1) / capacity);
+    for (size_t base = 0; base < elems.size(); base += capacity) {
+        const size_t n = std::min<size_t>(capacity, elems.size() - base);
+        words.push_back(packMicroVector(elems.subspan(base, n), bw,
+                                        is_signed));
+    }
+    return words;
+}
+
+} // namespace mixgemm

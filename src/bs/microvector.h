@@ -1,0 +1,65 @@
+/**
+ * @file
+ * μ-vector memory format.
+ *
+ * The Mix-GEMM software library keeps matrices compressed: a μ-vector is a
+ * single 64-bit word packing floor(64 / bw) narrow elements along the GEMM
+ * k dimension (8-bit -> 8 elements, ..., 2-bit -> 32 elements). Elements
+ * are stored as bw-bit two's-complement (or unsigned) fields, element i at
+ * bit position bw * i. Unused high bits are zero.
+ */
+
+#ifndef MIXGEMM_BS_MICROVECTOR_H
+#define MIXGEMM_BS_MICROVECTOR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** Number of elements a 64-bit μ-vector packs for a given bitwidth. */
+constexpr unsigned
+elemsPerMicroVector(unsigned bw)
+{
+    return 64 / bw;
+}
+
+/**
+ * Pack up to elemsPerMicroVector(bw) values into one μ-vector word.
+ * Values must fit the (bw, is_signed) range; out-of-range input is a
+ * caller bug and triggers panic(). Missing trailing elements pack as 0.
+ */
+uint64_t packMicroVector(std::span<const int32_t> elems, unsigned bw,
+                         bool is_signed);
+
+/**
+ * Unpack @p count elements (default: all) from a μ-vector word.
+ * @param count number of leading elements to extract.
+ */
+std::vector<int32_t> unpackMicroVector(uint64_t word, unsigned bw,
+                                       bool is_signed, unsigned count);
+
+/** Unpack element @p index from a μ-vector word. */
+int32_t microVectorElement(uint64_t word, unsigned bw, bool is_signed,
+                           unsigned index);
+
+/**
+ * Append @p count unpacked elements to @p out without reallocating on
+ * every call (hot path of the functional μ-engine).
+ */
+void unpackMicroVectorInto(uint64_t word, unsigned bw, bool is_signed,
+                           unsigned count, std::vector<int32_t> &out);
+
+/**
+ * Pack a full stream of values into consecutive μ-vectors; the last word
+ * is zero-padded. Returns ceil(elems.size() / elemsPerMicroVector(bw))
+ * words.
+ */
+std::vector<uint64_t> packMicroVectorStream(std::span<const int32_t> elems,
+                                            unsigned bw, bool is_signed);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_BS_MICROVECTOR_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the Mix-GEMM code base.
+ *
+ * All routines are constexpr and operate on explicit-width integer types.
+ * They implement the small amount of two's-complement machinery that the
+ * binary-segmentation datapath (src/bs) and the packing code (src/tensor)
+ * are built on: field masks, sign extension, and ceil-log2.
+ */
+
+#ifndef MIXGEMM_COMMON_BITUTILS_H
+#define MIXGEMM_COMMON_BITUTILS_H
+
+#include <cstdint>
+
+namespace mixgemm
+{
+
+/** Unsigned 128-bit product type used to model the 64x64 multiplier. */
+using uint128 = unsigned __int128;
+/** Signed 128-bit product type used to model the 64x64 multiplier. */
+using int128 = __int128;
+
+/**
+ * Build a mask with the low @p bits bits set.
+ * @param bits number of low-order bits to set; must be in [0, 64].
+ */
+constexpr uint64_t
+mask64(unsigned bits)
+{
+    return bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+}
+
+/** Build a 128-bit mask with the low @p bits bits set (bits in [0, 128]). */
+constexpr uint128
+mask128(unsigned bits)
+{
+    return bits >= 128 ? ~uint128{0} : ((uint128{1} << bits) - 1);
+}
+
+/**
+ * Sign-extend the low @p bits bits of @p value to a signed 64-bit integer.
+ * @pre 1 <= bits <= 64.
+ */
+constexpr int64_t
+signExtend64(uint64_t value, unsigned bits)
+{
+    const uint64_t m = mask64(bits);
+    const uint64_t v = value & m;
+    const uint64_t sign_bit = uint64_t{1} << (bits - 1);
+    return static_cast<int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/** Sign-extend the low @p bits bits of a 128-bit value (1 <= bits <= 128). */
+constexpr int128
+signExtend128(uint128 value, unsigned bits)
+{
+    const uint128 m = mask128(bits);
+    const uint128 v = value & m;
+    const uint128 sign_bit = uint128{1} << (bits - 1);
+    return static_cast<int128>((v ^ sign_bit) - sign_bit);
+}
+
+/** Ceiling of log2(@p value); returns 0 for value <= 1. */
+constexpr unsigned
+ceilLog2(uint64_t value)
+{
+    unsigned bits = 0;
+    uint64_t v = 1;
+    while (v < value) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Integer division rounded up; @pre den > 0. */
+constexpr uint64_t
+divCeil(uint64_t num, uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Round @p value up to the next multiple of @p align; @pre align > 0. */
+constexpr uint64_t
+roundUp(uint64_t value, uint64_t align)
+{
+    return divCeil(value, align) * align;
+}
+
+/** True iff @p value fits in a signed two's-complement field of @p bits. */
+constexpr bool
+fitsSigned(int64_t value, unsigned bits)
+{
+    const int64_t lo = -(int64_t{1} << (bits - 1));
+    const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** True iff @p value fits in an unsigned field of @p bits. */
+constexpr bool
+fitsUnsigned(uint64_t value, unsigned bits)
+{
+    return bits >= 64 || value <= mask64(bits);
+}
+
+/**
+ * Extract the bit field [msb:lsb] (inclusive, LSB-0 numbering) from a
+ * 128-bit value, mirroring the hardware slice notation of Eq. (5).
+ */
+constexpr uint64_t
+bitSlice128(uint128 value, unsigned msb, unsigned lsb)
+{
+    return static_cast<uint64_t>((value >> lsb) &
+                                 mask128(msb - lsb + 1));
+}
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_BITUTILS_H

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace mixgemm
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace mixgemm

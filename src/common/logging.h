@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal status/error reporting, following the gem5 fatal/panic split:
+ * fatal() for user errors (bad configuration, invalid arguments) and
+ * panic() for internal invariant violations.
+ */
+
+#ifndef MIXGEMM_COMMON_LOGGING_H
+#define MIXGEMM_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mixgemm
+{
+
+/** Thrown by fatal(): the caller supplied an unusable configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Thrown by panic(): an internal invariant was violated (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Report an unrecoverable user error. Always throws FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal library bug. Always throws PanicError. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/**
+ * Format helper: streams all arguments into a string.
+ * Example: fatal(strCat("bad width ", w, " for config ", cfg)).
+ */
+template <typename... Args>
+std::string
+strCat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_LOGGING_H

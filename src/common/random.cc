@@ -1,0 +1,97 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** splitmix64 step, used only to expand the seed into generator state. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Modulo bias is negligible for the narrow ranges used here.
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+double
+Rng::normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniformReal();
+    double u2 = uniformReal();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    cached_normal_ = r * std::sin(2.0 * M_PI * u2);
+    have_cached_normal_ = true;
+    return r * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+} // namespace mixgemm

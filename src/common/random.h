@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for tests, benchmarks, and
+ * the synthetic dataset generator. A fixed algorithm (xoshiro256**) keeps
+ * every run reproducible across platforms and standard libraries, unlike
+ * std::default_random_engine whose behaviour is implementation-defined.
+ */
+
+#ifndef MIXGEMM_COMMON_RANDOM_H
+#define MIXGEMM_COMMON_RANDOM_H
+
+#include <cstdint>
+
+namespace mixgemm
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (any value, including 0, is valid). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform real in [0, 1). */
+    double uniformReal();
+
+    /** Uniform real in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Standard normal variate (Box-Muller, one value per call). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+  private:
+    uint64_t s_[4];
+    bool have_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_RANDOM_H

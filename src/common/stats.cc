@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace mixgemm
+{
+
+void
+RunningStat::add(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+    ++count_;
+    sum_ += value;
+    log_sum_ += value > 0.0 ? std::log(value) : 0.0;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStat::geomean() const
+{
+    return count_ ? std::exp(log_sum_ / static_cast<double>(count_)) : 0.0;
+}
+
+void
+CounterSet::inc(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+CounterSet::set(const std::string &name, uint64_t value)
+{
+    counters_[name] = value;
+}
+
+uint64_t
+CounterSet::get(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+CounterSet::clear()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+void
+CounterSet::merge(const CounterSet &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second;
+}
+
+void
+CounterSet::mergeScaled(const CounterSet &other, uint64_t factor)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second * factor;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight statistics helpers: named counters (used by the simulator
+ * PMU) and running scalar summaries (used by benches to report averages,
+ * geomeans, and min/max over sweeps).
+ */
+
+#ifndef MIXGEMM_COMMON_STATS_H
+#define MIXGEMM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mixgemm
+{
+
+/** Running summary of a stream of doubles. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Number of samples added. */
+    uint64_t count() const { return count_; }
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+    /** Geometric mean; requires all samples > 0; 0 when empty. */
+    double geomean() const;
+    /** Smallest sample; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Largest sample; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double log_sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named bag of 64-bit counters. The simulator PMU and the GEMM timing
+ * model both expose their event counts through one of these, so tests and
+ * benches can read e.g. counters.get("srcbuf_full_stall_cycles").
+ */
+class CounterSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at 0 if absent). */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, uint64_t value);
+
+    /** Read counter @p name; absent counters read as 0. */
+    uint64_t get(const std::string &name) const;
+
+    /** Reset every counter to zero (the set of names is preserved). */
+    void clear();
+
+    /** Merge: add every counter of @p other into this set. */
+    void merge(const CounterSet &other);
+
+    /** Merge with every count of @p other scaled by @p factor. */
+    void mergeScaled(const CounterSet &other, uint64_t factor);
+
+    /** Access the underlying map (sorted by name) for printing. */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_STATS_H

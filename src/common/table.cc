@@ -1,0 +1,90 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace mixgemm
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back({kSeparatorTag});
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparatorTag)
+            continue;
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_rule = [&] {
+        os << '+';
+        for (const size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << '|';
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    print_rule();
+    print_row(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparatorTag)
+            print_rule();
+        else
+            print_row(row);
+    }
+    print_rule();
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::fmtInt(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    const size_t n = digits.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (i > 0 && (n - i) % 3 == 0)
+            out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+} // namespace mixgemm

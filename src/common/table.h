@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-width console table printer. Every bench binary uses this to print
+ * the rows of the paper table/figure it regenerates, so running every
+ * binary under build/bench reads like the paper's evaluation section.
+ */
+
+#ifndef MIXGEMM_COMMON_TABLE_H
+#define MIXGEMM_COMMON_TABLE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** A console table with a header row and uniform column alignment. */
+class Table
+{
+  public:
+    /** Construct with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; missing trailing cells render empty. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Format an integer with thousands separators ("12,345,678"). */
+    static std::string fmtInt(uint64_t value);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    static constexpr const char *kSeparatorTag = "\x01--";
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_TABLE_H

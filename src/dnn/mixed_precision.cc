@@ -1,0 +1,186 @@
+#include "dnn/mixed_precision.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "dnn/network_timing.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Interpolated per-config loss contribution factor (points). */
+double
+configLoss(const AccuracyDatabase &db, const std::string &model,
+           const DataSizeConfig &cfg)
+{
+    return 0.55 * db.diagonalLoss(model, cfg.bwa) +
+           0.45 * db.diagonalLoss(model, cfg.bwb);
+}
+
+/** Sensitivity weight of each layer (MAC share over tunable layers). */
+std::vector<double>
+sensitivityWeights(const ModelSpec &model, bool first_last_8bit)
+{
+    std::vector<double> weights(model.layers.size(), 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < model.layers.size(); ++i) {
+        const auto &l = model.layers[i];
+        if (first_last_8bit && (l.is_first || l.is_last))
+            continue;
+        weights[i] = static_cast<double>(l.macs());
+        total += weights[i];
+    }
+    if (total > 0.0)
+        for (auto &w : weights)
+            w /= total;
+    return weights;
+}
+
+} // namespace
+
+double
+estimatePlanLoss(const ModelSpec &model,
+                 const std::vector<DataSizeConfig> &configs,
+                 const AccuracyDatabase &db)
+{
+    if (configs.size() != model.layers.size())
+        fatal("estimatePlanLoss: one config per layer required");
+    const auto weights = sensitivityWeights(model, false);
+    double loss = 0.0;
+    for (size_t i = 0; i < configs.size(); ++i)
+        loss += weights[i] * configLoss(db, model.name, configs[i]);
+    return std::max(loss, 0.0);
+}
+
+uint64_t
+planCycles(const ModelSpec &model, const GemmTimingModel &timing,
+           const std::vector<DataSizeConfig> &configs)
+{
+    if (configs.size() != model.layers.size())
+        fatal("planCycles: one config per layer required");
+    uint64_t cycles = 0;
+    for (size_t i = 0; i < configs.size(); ++i)
+        cycles += layerCycles(model.layers[i], timing, &configs[i]);
+    return cycles;
+}
+
+MixedPrecisionPlan
+optimizeMixedPrecision(const ModelSpec &model,
+                       const GemmTimingModel &timing,
+                       const AccuracyDatabase &db,
+                       const MixedPrecisionOptions &options)
+{
+    if (options.min_bits < 2 || options.min_bits > 8)
+        fatal("optimizeMixedPrecision: min_bits must be in [2, 8]");
+
+    const size_t n_layers = model.layers.size();
+    std::vector<DataSizeConfig> configs(n_layers,
+                                        DataSizeConfig{8, 8, true, true});
+    // Weights match estimatePlanLoss (normalized over all layers);
+    // pinned layers simply never move.
+    const auto weights = sensitivityWeights(model, false);
+
+    auto tunable = [&](size_t i) {
+        return !(options.first_last_8bit && (model.layers[i].is_first ||
+                                             model.layers[i].is_last));
+    };
+
+    // Cache per-layer cycles per candidate config (the greedy probes
+    // the same (layer, config) pairs across iterations).
+    std::map<std::pair<size_t, std::pair<unsigned, unsigned>>, uint64_t>
+        cycle_cache;
+    auto cycles_of = [&](size_t i, const DataSizeConfig &cfg) {
+        const auto key = std::make_pair(
+            i, std::make_pair(cfg.bwa, cfg.bwb));
+        const auto it = cycle_cache.find(key);
+        if (it != cycle_cache.end())
+            return it->second;
+        const uint64_t c = layerCycles(model.layers[i], timing, &cfg);
+        cycle_cache.emplace(key, c);
+        return c;
+    };
+
+    std::vector<uint64_t> cur_cycles(n_layers);
+    for (size_t i = 0; i < n_layers; ++i)
+        cur_cycles[i] = cycles_of(i, configs[i]);
+
+    // Track the raw (unclamped) weighted loss; budget checks use the
+    // clamped value so a slightly-negative a8-w8 baseline cannot
+    // inflate the budget.
+    double loss = 0.0;
+    for (size_t i = 0; i < n_layers; ++i)
+        loss += weights[i] * configLoss(db, model.name, configs[i]);
+
+    while (true) {
+        // Candidate moves: lower a or w of one tunable layer by 1 bit.
+        double best_score = 0.0;
+        size_t best_layer = n_layers;
+        DataSizeConfig best_cfg;
+        uint64_t best_cycles = 0;
+        double best_dloss = 0.0;
+        for (size_t i = 0; i < n_layers; ++i) {
+            if (!tunable(i))
+                continue;
+            // Candidate moves: any configuration dominated by the
+            // current one (single-bit steps often sit on throughput
+            // plateaus — e.g. a8 -> a7 keeps the 3 MAC/cycle cluster —
+            // so the greedy must be able to jump across them).
+            for (unsigned a = options.min_bits; a <= configs[i].bwa;
+                 ++a) {
+                for (unsigned w = options.min_bits;
+                     w <= configs[i].bwb; ++w) {
+                    if (a == configs[i].bwa && w == configs[i].bwb)
+                        continue;
+                    DataSizeConfig cand = configs[i];
+                    cand.bwa = a;
+                    cand.bwb = w;
+                    const double dloss =
+                        weights[i] *
+                        (configLoss(db, model.name, cand) -
+                         configLoss(db, model.name, configs[i]));
+                    if (std::max(loss + dloss, 0.0) > options.max_loss)
+                        continue;
+                    const uint64_t new_cycles = cycles_of(i, cand);
+                    if (new_cycles >= cur_cycles[i])
+                        continue; // no speed gain; never take it
+                    const double gain =
+                        static_cast<double>(cur_cycles[i] -
+                                            new_cycles);
+                    const double score = gain / std::max(dloss, 1e-9);
+                    if (score > best_score) {
+                        best_score = score;
+                        best_layer = i;
+                        best_cfg = cand;
+                        best_cycles = new_cycles;
+                        best_dloss = dloss;
+                    }
+                }
+            }
+        }
+        if (best_layer == n_layers)
+            break;
+        configs[best_layer] = best_cfg;
+        cur_cycles[best_layer] = best_cycles;
+        loss += best_dloss;
+    }
+
+    MixedPrecisionPlan plan;
+    plan.model = model.name;
+    plan.layer_configs = configs;
+    plan.total_cycles = 0;
+    for (const uint64_t c : cur_cycles)
+        plan.total_cycles += c;
+    plan.gops = 2.0 * static_cast<double>(model.totalMacs()) *
+                timing.soc().freq_ghz /
+                static_cast<double>(plan.total_cycles);
+    plan.estimated_loss = estimatePlanLoss(model, configs, db);
+    plan.estimated_top1 = db.fp32Top1(model.name) - plan.estimated_loss;
+    return plan;
+}
+
+} // namespace mixgemm

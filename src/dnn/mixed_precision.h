@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-layer mixed-precision assignment.
+ *
+ * The μ-engine reconfigures in a single cycle (bs.set), so every layer
+ * can run at its own activation/weight data sizes — the degree of
+ * freedom the paper highlights in Section III-B. This module implements
+ * a greedy optimizer over that space: starting from a8-w8 everywhere,
+ * it repeatedly downgrades the layer step with the best
+ * cycles-saved-per-accuracy-lost ratio until an accuracy budget is
+ * exhausted.
+ *
+ * The per-layer accuracy model distributes the network-level QAT
+ * anchor losses over layers in proportion to a sensitivity weight
+ * (parameter share, with first/last layers pinned to 8-bit as in the
+ * paper) — a first-order model in the spirit of per-layer sensitivity
+ * analyses; DESIGN.md lists it among the substitutions.
+ */
+
+#ifndef MIXGEMM_DNN_MIXED_PRECISION_H
+#define MIXGEMM_DNN_MIXED_PRECISION_H
+
+#include <string>
+#include <vector>
+
+#include "accuracy/qat_database.h"
+#include "dnn/models.h"
+#include "sim/gemm_timing.h"
+
+namespace mixgemm
+{
+
+/** A per-layer data-size assignment. */
+struct MixedPrecisionPlan
+{
+    std::string model;
+    std::vector<DataSizeConfig> layer_configs; ///< one per layer
+    uint64_t total_cycles = 0;
+    double gops = 0.0;
+    double estimated_loss = 0.0; ///< TOP-1 points vs FP32
+    double estimated_top1 = 0.0;
+};
+
+/** Tuning knobs of the greedy optimizer. */
+struct MixedPrecisionOptions
+{
+    double max_loss = 1.0;     ///< accuracy budget in TOP-1 points
+    unsigned min_bits = 2;     ///< lowest data size considered
+    bool first_last_8bit = true;
+};
+
+/**
+ * Estimated network TOP-1 loss of a per-layer assignment under the
+ * sensitivity model described above.
+ */
+double estimatePlanLoss(const ModelSpec &model,
+                        const std::vector<DataSizeConfig> &configs,
+                        const AccuracyDatabase &db);
+
+/** Greedy per-layer optimization under an accuracy budget. */
+MixedPrecisionPlan optimizeMixedPrecision(
+    const ModelSpec &model, const GemmTimingModel &timing,
+    const AccuracyDatabase &db,
+    const MixedPrecisionOptions &options = MixedPrecisionOptions{});
+
+/** Cycles of a network under a per-layer assignment. */
+uint64_t planCycles(const ModelSpec &model, const GemmTimingModel &timing,
+                    const std::vector<DataSizeConfig> &configs);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_DNN_MIXED_PRECISION_H

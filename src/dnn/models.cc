@@ -1,0 +1,278 @@
+#include "dnn/models.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Incremental network builder tracking the spatial extent. */
+class Builder
+{
+  public:
+    Builder(std::string name, unsigned input_size)
+        : size_(input_size)
+    {
+        model_.name = std::move(name);
+    }
+
+    /** Append a convolution; updates the running spatial size. */
+    Builder &
+    conv(const std::string &name, unsigned in_c, unsigned out_c,
+         unsigned k, unsigned stride = 1, unsigned pad = 0,
+         unsigned groups = 1)
+    {
+        ConvSpec s;
+        s.in_c = in_c;
+        s.in_h = s.in_w = size_;
+        s.out_c = out_c;
+        s.kh = s.kw = k;
+        s.stride = stride;
+        s.pad = pad;
+        s.groups = groups;
+        s.validate();
+        model_.layers.push_back({name, s, false, false});
+        size_ = s.outH();
+        return *this;
+    }
+
+    /** Append a fully-connected layer (1x1 conv on 1x1 spatial). */
+    Builder &
+    fc(const std::string &name, unsigned in, unsigned out)
+    {
+        ConvSpec s;
+        s.in_c = in;
+        s.in_h = s.in_w = 1;
+        s.out_c = out;
+        s.kh = s.kw = 1;
+        model_.layers.push_back({name, s, false, false});
+        return *this;
+    }
+
+    /** Non-GEMM spatial reduction (pooling); updates the extent only. */
+    Builder &
+    pool(unsigned out_size)
+    {
+        size_ = out_size;
+        return *this;
+    }
+
+    unsigned size() const { return size_; }
+
+    ModelSpec
+    finish()
+    {
+        if (model_.layers.empty())
+            fatal("Builder: model has no layers");
+        model_.layers.front().is_first = true;
+        model_.layers.back().is_last = true;
+        return std::move(model_);
+    }
+
+  private:
+    ModelSpec model_;
+    unsigned size_;
+};
+
+} // namespace
+
+uint64_t
+ModelSpec::totalMacs() const
+{
+    uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.macs();
+    return total;
+}
+
+ModelSpec
+alexNet()
+{
+    Builder b("AlexNet", 224);
+    b.conv("conv1", 3, 64, 11, 4, 2);
+    b.pool(27);
+    b.conv("conv2", 64, 192, 5, 1, 2);
+    b.pool(13);
+    b.conv("conv3", 192, 384, 3, 1, 1);
+    b.conv("conv4", 384, 256, 3, 1, 1);
+    b.conv("conv5", 256, 256, 3, 1, 1);
+    b.fc("fc6", 256 * 6 * 6, 4096);
+    b.fc("fc7", 4096, 4096);
+    b.fc("fc8", 4096, 1000);
+    return b.finish();
+}
+
+ModelSpec
+vgg16()
+{
+    Builder b("VGG-16", 224);
+    b.conv("conv1_1", 3, 64, 3, 1, 1).conv("conv1_2", 64, 64, 3, 1, 1);
+    b.pool(112);
+    b.conv("conv2_1", 64, 128, 3, 1, 1)
+        .conv("conv2_2", 128, 128, 3, 1, 1);
+    b.pool(56);
+    b.conv("conv3_1", 128, 256, 3, 1, 1)
+        .conv("conv3_2", 256, 256, 3, 1, 1)
+        .conv("conv3_3", 256, 256, 3, 1, 1);
+    b.pool(28);
+    b.conv("conv4_1", 256, 512, 3, 1, 1)
+        .conv("conv4_2", 512, 512, 3, 1, 1)
+        .conv("conv4_3", 512, 512, 3, 1, 1);
+    b.pool(14);
+    b.conv("conv5_1", 512, 512, 3, 1, 1)
+        .conv("conv5_2", 512, 512, 3, 1, 1)
+        .conv("conv5_3", 512, 512, 3, 1, 1);
+    b.pool(7);
+    b.fc("fc6", 512 * 7 * 7, 4096);
+    b.fc("fc7", 4096, 4096);
+    b.fc("fc8", 4096, 1000);
+    return b.finish();
+}
+
+ModelSpec
+resNet18()
+{
+    Builder b("ResNet-18", 224);
+    b.conv("conv1", 3, 64, 7, 2, 3);
+    b.pool(56);
+    // layer1: two basic blocks at 56x56, 64 channels.
+    for (int blk = 1; blk <= 2; ++blk) {
+        b.conv(strCat("layer1.", blk, ".conv1"), 64, 64, 3, 1, 1);
+        b.conv(strCat("layer1.", blk, ".conv2"), 64, 64, 3, 1, 1);
+    }
+    // layer2-4: first block downsamples with a strided conv plus a 1x1
+    // projection shortcut.
+    const unsigned widths[3] = {128, 256, 512};
+    for (int stage = 0; stage < 3; ++stage) {
+        const unsigned w = widths[stage];
+        const unsigned w_in = w / 2;
+        b.conv(strCat("layer", stage + 2, ".1.conv1"), w_in, w, 3, 2, 1);
+        b.conv(strCat("layer", stage + 2, ".1.conv2"), w, w, 3, 1, 1);
+        // Projection shortcut, evaluated at the stage input resolution
+        // (the builder's spatial state is rewound for its emission).
+        b.pool(b.size() * 2);
+        b.conv(strCat("layer", stage + 2, ".1.downsample"), w_in, w, 1,
+               2, 0);
+        b.conv(strCat("layer", stage + 2, ".2.conv1"), w, w, 3, 1, 1);
+        b.conv(strCat("layer", stage + 2, ".2.conv2"), w, w, 3, 1, 1);
+    }
+    b.pool(1);
+    b.fc("fc", 512, 1000);
+    return b.finish();
+}
+
+ModelSpec
+mobileNetV1()
+{
+    Builder b("MobileNet-V1", 224);
+    b.conv("conv1", 3, 32, 3, 2, 1);
+    unsigned in_c = 32;
+    // (out_c, stride) per depthwise-separable block.
+    const std::pair<unsigned, unsigned> blocks[] = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+        {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+        {512, 1}, {1024, 2}, {1024, 1},
+    };
+    int idx = 2;
+    for (const auto &[out_c, stride] : blocks) {
+        b.conv(strCat("conv", idx, ".dw"), in_c, in_c, 3, stride, 1,
+               in_c);
+        b.conv(strCat("conv", idx, ".pw"), in_c, out_c, 1, 1, 0);
+        in_c = out_c;
+        ++idx;
+    }
+    b.pool(1);
+    b.fc("fc", 1024, 1000);
+    return b.finish();
+}
+
+ModelSpec
+regNetX400MF()
+{
+    Builder b("RegNet-X-400MF", 224);
+    b.conv("stem", 3, 32, 3, 2, 1);
+    // Stages: depth, width, group width 16, bottleneck ratio 1.
+    const struct
+    {
+        unsigned depth;
+        unsigned width;
+    } stages[] = {{1, 32}, {2, 64}, {7, 160}, {12, 400}};
+    unsigned in_c = 32;
+    for (int s = 0; s < 4; ++s) {
+        const unsigned w = stages[s].width;
+        for (unsigned d = 0; d < stages[s].depth; ++d) {
+            const bool first = d == 0;
+            const unsigned stride = first ? 2 : 1;
+            const std::string p = strCat("stage", s + 1, ".b", d + 1);
+            b.conv(p + ".conv1", first ? in_c : w, w, 1, 1, 0);
+            b.conv(p + ".conv2", w, w, 3, stride, 1, w / 16);
+            b.conv(p + ".conv3", w, w, 1, 1, 0);
+            if (first) {
+                // Projection shortcut at the stage input resolution.
+                b.pool(b.size() * 2);
+                b.conv(p + ".proj", in_c, w, 1, 2, 0);
+            }
+        }
+        in_c = w;
+    }
+    b.pool(1);
+    b.fc("fc", 400, 1000);
+    return b.finish();
+}
+
+ModelSpec
+efficientNetB0()
+{
+    Builder b("EfficientNet-B0", 224);
+    b.conv("stem", 3, 32, 3, 2, 1);
+    unsigned in_c = 32;
+    // MBConv stages: expansion, kernel, out channels, stride, repeats.
+    const struct
+    {
+        unsigned expand;
+        unsigned k;
+        unsigned out_c;
+        unsigned stride;
+        unsigned repeats;
+    } stages[] = {
+        {1, 3, 16, 1, 1},  {6, 3, 24, 2, 2},  {6, 5, 40, 2, 2},
+        {6, 3, 80, 2, 3},  {6, 5, 112, 1, 3}, {6, 5, 192, 2, 4},
+        {6, 3, 320, 1, 1},
+    };
+    int blk = 1;
+    for (const auto &st : stages) {
+        for (unsigned r = 0; r < st.repeats; ++r, ++blk) {
+            const unsigned stride = r == 0 ? st.stride : 1;
+            const unsigned mid = in_c * st.expand;
+            const std::string p = strCat("mb", blk);
+            if (st.expand != 1)
+                b.conv(p + ".expand", in_c, mid, 1, 1, 0);
+            b.conv(p + ".dw", mid, mid, st.k, stride, st.k / 2, mid);
+            // Squeeze-and-excitation: two 1x1 convs on pooled (1x1)
+            // activations; squeeze ratio 0.25 of the block input.
+            const unsigned se = std::max(1u, in_c / 4);
+            const unsigned spatial = b.size();
+            b.pool(1);
+            b.conv(p + ".se_reduce", mid, se, 1, 1, 0);
+            b.conv(p + ".se_expand", se, mid, 1, 1, 0);
+            b.pool(spatial);
+            b.conv(p + ".project", mid, st.out_c, 1, 1, 0);
+            in_c = st.out_c;
+        }
+    }
+    b.conv("head", 320, 1280, 1, 1, 0);
+    b.pool(1);
+    b.fc("fc", 1280, 1000);
+    return b.finish();
+}
+
+std::vector<ModelSpec>
+allModels()
+{
+    return {alexNet(),      vgg16(),         resNet18(),
+            mobileNetV1(),  regNetX400MF(),  efficientNetB0()};
+}
+
+} // namespace mixgemm

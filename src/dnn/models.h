@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Layer tables of the six CNNs the paper evaluates (Section IV):
+ * AlexNet, VGG-16, ResNet-18, MobileNet-V1, RegNet-X-400MF, and
+ * EfficientNet-B0, all at 224x224 input. Every convolutional and
+ * fully-connected layer is described by a ConvSpec (FC layers are 1x1
+ * convolutions on a 1x1 spatial extent), which the GEMM lowering of
+ * tensor/conv.h turns into matrix shapes. Total MAC counts are tested
+ * against the published figures for each network.
+ */
+
+#ifndef MIXGEMM_DNN_MODELS_H
+#define MIXGEMM_DNN_MODELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/conv.h"
+
+namespace mixgemm
+{
+
+/** One GEMM-lowered layer of a CNN. */
+struct LayerSpec
+{
+    std::string name;
+    ConvSpec conv;
+    bool is_first = false; ///< kept at 8-bit during quantization
+    bool is_last = false;  ///< kept at 8-bit during quantization
+
+    uint64_t macs() const { return conv.macs(); }
+};
+
+/** A whole network. */
+struct ModelSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    /** Total multiply-accumulates for one 224x224 image. */
+    uint64_t totalMacs() const;
+    /** Total operations (2 * MACs). */
+    uint64_t totalOps() const { return 2 * totalMacs(); }
+};
+
+ModelSpec alexNet();
+ModelSpec vgg16();
+ModelSpec resNet18();
+ModelSpec mobileNetV1();
+ModelSpec regNetX400MF();
+ModelSpec efficientNetB0();
+
+/** All six evaluation networks, in the paper's order. */
+std::vector<ModelSpec> allModels();
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_DNN_MODELS_H

@@ -1,0 +1,87 @@
+#include "dnn/network_timing.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+uint64_t
+layerCycles(const LayerSpec &layer, const GemmTimingModel &timing,
+            const DataSizeConfig *config, unsigned batch)
+{
+    // Grouped (depthwise) convolutions are priced as one channel-wide
+    // GEMM rather than `groups` degenerate n=1 GEMMs: production
+    // kernels vectorize depthwise layers across channels, so their
+    // throughput tracks the dense-GEMM rate at the same k extent (the
+    // μ-vector padding cost still applies).
+    const uint64_t m = layer.conv.gemmM() * std::max(1u, batch);
+    const uint64_t k = layer.conv.gemmK();
+    const uint64_t n =
+        layer.conv.groups > 1 ? layer.conv.out_c : layer.conv.gemmN();
+    if (config) {
+        const auto geom = geometryForK(computeBsGeometry(*config), k);
+        return timing.mixGemm(m, n, k, geom).cycles;
+    }
+    return timing.dgemm(m, n, k).cycles;
+}
+
+namespace
+{
+
+NetworkTiming
+timeNetwork(const ModelSpec &model, const GemmTimingModel &timing,
+            const DataSizeConfig *config, bool first_last_8bit,
+            unsigned batch)
+{
+    if (batch == 0)
+        fatal("timeNetwork: batch must be positive");
+    NetworkTiming result;
+    result.model = model.name;
+    result.config = config ? config->name() : "fp64";
+
+    for (const auto &layer : model.layers) {
+        uint64_t cycles = 0;
+        if (config) {
+            DataSizeConfig layer_cfg = *config;
+            if (first_last_8bit && (layer.is_first || layer.is_last)) {
+                layer_cfg.bwa = 8;
+                layer_cfg.bwb = 8;
+            }
+            cycles = layerCycles(layer, timing, &layer_cfg, batch);
+        } else {
+            cycles = layerCycles(layer, timing, nullptr, batch);
+        }
+        const uint64_t macs = layer.macs() * batch;
+        const double gops =
+            2.0 * macs * timing.soc().freq_ghz / cycles;
+        result.layers.push_back({layer.name, macs, cycles, gops});
+        result.total_cycles += cycles;
+    }
+
+    result.gops = 2.0 * model.totalMacs() * batch *
+                  timing.soc().freq_ghz /
+                  static_cast<double>(result.total_cycles);
+    result.latency_ms = static_cast<double>(result.total_cycles) /
+                        (timing.soc().freq_ghz * 1e6);
+    return result;
+}
+
+} // namespace
+
+NetworkTiming
+timeNetworkMixGemm(const ModelSpec &model, const GemmTimingModel &timing,
+                   const DataSizeConfig &config, bool first_last_8bit,
+                   unsigned batch)
+{
+    return timeNetwork(model, timing, &config, first_last_8bit, batch);
+}
+
+NetworkTiming
+timeNetworkDgemm(const ModelSpec &model, const GemmTimingModel &timing)
+{
+    return timeNetwork(model, timing, nullptr, true, 1);
+}
+
+} // namespace mixgemm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * End-to-end CNN inference timing (Fig. 7, Table III rows).
+ *
+ * Each layer is lowered to its im2row GEMM shape (grouped convolutions
+ * run one GEMM per group) and priced by the hybrid GEMM timing model.
+ * Following Section IV-A, the first and last layers stay at 8-bit while
+ * the inner layers use the selected data-size configuration; GOPS is
+ * reported over the network's total operations at the SoC frequency, as
+ * the paper does ("accounting for the execution time spent on each
+ * convolutional layer").
+ */
+
+#ifndef MIXGEMM_DNN_NETWORK_TIMING_H
+#define MIXGEMM_DNN_NETWORK_TIMING_H
+
+#include <string>
+#include <vector>
+
+#include "dnn/models.h"
+#include "sim/gemm_timing.h"
+
+namespace mixgemm
+{
+
+/** Timing of one layer. */
+struct LayerTiming
+{
+    std::string name;
+    uint64_t macs = 0;
+    uint64_t cycles = 0;
+    double gops = 0.0;
+};
+
+/** Timing of a full network at one data-size configuration. */
+struct NetworkTiming
+{
+    std::string model;
+    std::string config;
+    uint64_t total_cycles = 0;
+    double gops = 0.0;         ///< total ops / execution time
+    double latency_ms = 0.0;   ///< single-image latency
+    std::vector<LayerTiming> layers;
+};
+
+/**
+ * Price a network on Mix-GEMM.
+ *
+ * @param model      layer table
+ * @param timing     GEMM timing model (carries the SoC)
+ * @param config     inner-layer data sizes
+ * @param first_last_8bit keep first/last layers at a8-w8 (paper policy)
+ * @param batch      images per inference; im2row stacks the batch into
+ *                   the GEMM m dimension (Section II-A), which mainly
+ *                   amortizes the m = 1 fully-connected layers
+ */
+NetworkTiming timeNetworkMixGemm(const ModelSpec &model,
+                                 const GemmTimingModel &timing,
+                                 const DataSizeConfig &config,
+                                 bool first_last_8bit = true,
+                                 unsigned batch = 1);
+
+/** Price a network on the BLIS DGEMM baseline (same SoC). */
+NetworkTiming timeNetworkDgemm(const ModelSpec &model,
+                               const GemmTimingModel &timing);
+
+/**
+ * Cycles of one layer at one configuration (grouped convolutions are
+ * priced channel-wide; pass nullptr for the DGEMM baseline).
+ */
+uint64_t layerCycles(const LayerSpec &layer, const GemmTimingModel &timing,
+                     const DataSizeConfig *config, unsigned batch = 1);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_DNN_NETWORK_TIMING_H

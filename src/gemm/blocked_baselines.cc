@@ -1,0 +1,104 @@
+#include "gemm/blocked_baselines.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/**
+ * Shared 5-loop blocked GEMM skeleton. The register-blocked μ-kernel
+ * keeps an mr x nr accumulator tile, loading mr + nr operand elements
+ * per k step — the operation mix the in-order core timing model prices.
+ *
+ * @tparam TIn   operand element type
+ * @tparam TAcc  accumulator/output element type
+ */
+template <typename TIn, typename TAcc>
+BlockedGemmResult<TAcc>
+blockedGemm(std::span<const TIn> a, std::span<const TIn> b, uint64_t m,
+            uint64_t n, uint64_t k, const BlockingParams &blocking,
+            const char *mul_counter, const char *add_counter)
+{
+    blocking.validate();
+    if (a.size() != m * k || b.size() != k * n)
+        fatal("blockedGemm: operand sizes do not match dimensions");
+
+    BlockedGemmResult<TAcc> result;
+    result.c.assign(m * n, TAcc{});
+    CounterSet &ctr = result.counters;
+
+    std::vector<TAcc> tile(uint64_t{blocking.mr} * blocking.nr);
+
+    for (uint64_t jc = 0; jc < n; jc += blocking.nc) {
+        const uint64_t nc = std::min<uint64_t>(blocking.nc, n - jc);
+        for (uint64_t lc = 0; lc < k; lc += blocking.kc) {
+            const uint64_t kc = std::min<uint64_t>(blocking.kc, k - lc);
+            ctr.inc("b_panels");
+            for (uint64_t ic = 0; ic < m; ic += blocking.mc) {
+                const uint64_t mc = std::min<uint64_t>(blocking.mc,
+                                                       m - ic);
+                ctr.inc("a_panels");
+                for (uint64_t jr = 0; jr < nc; jr += blocking.nr) {
+                    const unsigned nr = static_cast<unsigned>(
+                        std::min<uint64_t>(blocking.nr, nc - jr));
+                    for (uint64_t ir = 0; ir < mc; ir += blocking.mr) {
+                        const unsigned mr = static_cast<unsigned>(
+                            std::min<uint64_t>(blocking.mr, mc - ir));
+                        // μ-kernel over the [ir, jr] tile.
+                        std::fill(tile.begin(), tile.end(), TAcc{});
+                        const uint64_t row0 = ic + ir;
+                        const uint64_t col0 = jc + jr;
+                        for (uint64_t l = lc; l < lc + kc; ++l) {
+                            for (unsigned j = 0; j < mr; ++j) {
+                                const TAcc av = a[(row0 + j) * k + l];
+                                for (unsigned i = 0; i < nr; ++i)
+                                    tile[j * blocking.nr + i] +=
+                                        av *
+                                        static_cast<TAcc>(
+                                            b[l * n + col0 + i]);
+                            }
+                            ctr.inc("operand_loads", mr + nr);
+                            ctr.inc(mul_counter, uint64_t{mr} * nr);
+                            ctr.inc(add_counter, uint64_t{mr} * nr);
+                        }
+                        for (unsigned j = 0; j < mr; ++j)
+                            for (unsigned i = 0; i < nr; ++i)
+                                result.c[(row0 + j) * n + col0 + i] +=
+                                    tile[j * blocking.nr + i];
+                        ctr.inc("c_updates", uint64_t{mr} * nr);
+                        ctr.inc("micro_kernels");
+                    }
+                }
+            }
+        }
+    }
+    ctr.set("ops", 2 * m * n * k);
+    return result;
+}
+
+} // namespace
+
+BlockedGemmResult<double>
+blockedDgemm(std::span<const double> a, std::span<const double> b,
+             uint64_t m, uint64_t n, uint64_t k,
+             const BlockingParams &blocking)
+{
+    return blockedGemm<double, double>(a, b, m, n, k, blocking, "fmul",
+                                       "fadd");
+}
+
+BlockedGemmResult<int32_t>
+blockedInt8Gemm(std::span<const int8_t> a, std::span<const int8_t> b,
+                uint64_t m, uint64_t n, uint64_t k,
+                const BlockingParams &blocking)
+{
+    return blockedGemm<int8_t, int32_t>(a, b, m, n, k, blocking, "imul",
+                                        "iadd");
+}
+
+} // namespace mixgemm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Baseline blocked GEMMs the paper compares against (Section IV-B):
+ *
+ *  - blockedDgemm: the BLIS-derived DGEMM on 64-bit doubles, the
+ *    speed-up baseline of Fig. 6;
+ *  - blockedInt8Gemm: the same BLIS structure on 8-bit integers stored
+ *    one per byte (what "BLIS running with 8-bit data" can do on a
+ *    stock RV64 scalar core: one MAC per element, eight elements per
+ *    64-bit load), which the paper measures at ~2.5x over DGEMM.
+ *
+ * Both use the same 5-loop blocking as Mix-GEMM and report the dynamic
+ * operation mix in a CounterSet, which the timing models in src/sim
+ * turn into cycles.
+ */
+
+#ifndef MIXGEMM_GEMM_BLOCKED_BASELINES_H
+#define MIXGEMM_GEMM_BLOCKED_BASELINES_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "gemm/blocking.h"
+
+namespace mixgemm
+{
+
+/** Result of a baseline blocked GEMM. */
+template <typename T>
+struct BlockedGemmResult
+{
+    std::vector<T> c;
+    CounterSet counters; ///< loads/stores/fmul/fadd/imul/iadd/ops
+};
+
+/** BLIS-style blocked DGEMM: C(m x n) = A(m x k) * B(k x n). */
+BlockedGemmResult<double> blockedDgemm(
+    std::span<const double> a, std::span<const double> b, uint64_t m,
+    uint64_t n, uint64_t k,
+    const BlockingParams &blocking = BlockingParams::paperDefaults());
+
+/** BLIS-style blocked int8 GEMM with int32 accumulation. */
+BlockedGemmResult<int32_t> blockedInt8Gemm(
+    std::span<const int8_t> a, std::span<const int8_t> b, uint64_t m,
+    uint64_t n, uint64_t k,
+    const BlockingParams &blocking = BlockingParams::paperDefaults());
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_GEMM_BLOCKED_BASELINES_H

@@ -1,0 +1,42 @@
+#include "gemm/blocking.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+void
+BlockingParams::validate() const
+{
+    if (mc == 0 || nc == 0 || kc == 0 || mr == 0 || nr == 0)
+        fatal("BlockingParams: all dimensions must be positive");
+    if (mr > mc || nr > nc)
+        fatal("BlockingParams: register blocks exceed cache blocks");
+}
+
+BlockingParams
+deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes, unsigned elem_bytes,
+               unsigned mr, unsigned nr)
+{
+    if (l1_bytes == 0 || l2_bytes == 0 || elem_bytes == 0)
+        fatal("deriveBlocking: sizes must be positive");
+    BlockingParams p;
+    p.mr = mr;
+    p.nr = nr;
+    // kc: an [mr x kc] + [nr x kc] μ-panel pair should occupy about
+    // three quarters of L1 (the C μ-panel lives in registers or, for
+    // Mix-GEMM, in the AccMem, so the μ-panels are the main residents).
+    const uint64_t kc =
+        l1_bytes * 3 / 4 / (uint64_t{mr + nr} * elem_bytes);
+    p.kc = std::clamp<uint64_t>(kc, mr, 256);
+    // mc: the packed [mc x kc] A panel should occupy about half of L2.
+    const uint64_t mc = l2_bytes / 2 / (p.kc * elem_bytes);
+    p.mc = std::clamp<uint64_t>(mc, mr, 256);
+    p.nc = 256;
+    p.validate();
+    return p;
+}
+
+} // namespace mixgemm

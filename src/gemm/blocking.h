@@ -1,0 +1,49 @@
+/**
+ * @file
+ * BLIS-style blocking parameters (Section II-C, Fig. 2, Table I).
+ *
+ * A GEMM is tiled into panels sized so each block lives in the right
+ * level of the memory hierarchy: a [mc x kc] A panel in L2, [nr x kc]
+ * B μ-panels in L1, and the [mr x nr] C μ-panel in the register file —
+ * or, in Mix-GEMM, in the μ-engine's AccMem. Table I's DSE settles on
+ * mc = nc = kc = 256 and mr = nr = 4 for the target SoC.
+ */
+
+#ifndef MIXGEMM_GEMM_BLOCKING_H
+#define MIXGEMM_GEMM_BLOCKING_H
+
+#include <cstdint>
+
+namespace mixgemm
+{
+
+/** Cache-blocking and register-blocking dimensions. */
+struct BlockingParams
+{
+    uint64_t mc = 256; ///< A-panel rows (L2 resident)
+    uint64_t nc = 256; ///< B-panel columns (memory/L2 streamed)
+    uint64_t kc = 256; ///< shared k extent of a panel pair (L1 resident)
+    unsigned mr = 4;   ///< μ-panel rows (register / AccMem blocked)
+    unsigned nr = 4;   ///< μ-panel columns (register / AccMem blocked)
+
+    /** Table I defaults. */
+    static BlockingParams paperDefaults() { return BlockingParams{}; }
+
+    /** @throws FatalError when any dimension is zero or mr*nr == 0. */
+    void validate() const;
+};
+
+/**
+ * Analytical blocking derivation in the spirit of Low et al. [45]:
+ * choose kc so an [mr x kc] A μ-panel and [nr x kc] B μ-panel fill a
+ * share of L1, mc so the A panel fits L2, and cap everything at the
+ * Table I defaults. Element sizes are in bytes (8 for μ-vector words
+ * and doubles).
+ */
+BlockingParams deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes,
+                              unsigned elem_bytes, unsigned mr,
+                              unsigned nr);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_GEMM_BLOCKING_H

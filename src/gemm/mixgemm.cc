@@ -1,0 +1,123 @@
+#include "gemm/mixgemm.h"
+
+#include <algorithm>
+
+#include "bs/engine.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** One μ-kernel: mr x nr output cells over [g0, g1) accumulation groups. */
+void
+microKernel(const CompressedA &a, const CompressedB &b, BsEngine &engine,
+            uint64_t ir, uint64_t jr, unsigned g0, unsigned g1,
+            unsigned mr, unsigned nr, std::vector<int64_t> &c,
+            CounterSet &counters)
+{
+    const BsGeometry &geom = a.geometry();
+    const uint64_t m = a.m();
+    const uint64_t n = b.n();
+
+    for (unsigned g = g0; g < g1; ++g) {
+        for (unsigned i = 0; i < nr; ++i) {
+            const uint64_t col = jr + i;
+            for (unsigned j = 0; j < mr; ++j) {
+                const uint64_t row = ir + j;
+                for (unsigned p = 0; p < geom.group_pairs; ++p) {
+                    const uint64_t aw =
+                        (row < m && p < geom.kua) ? a.word(row, g, p) : 0;
+                    const uint64_t bw =
+                        (col < n && p < geom.kub) ? b.word(col, g, p) : 0;
+                    engine.ip(aw, bw);
+                }
+            }
+        }
+        counters.inc("bs_ip",
+                     uint64_t{nr} * mr * geom.group_pairs);
+    }
+
+    for (unsigned i = 0; i < nr; ++i) {
+        for (unsigned j = 0; j < mr; ++j) {
+            const int64_t value = engine.get(i * mr + j);
+            counters.inc("bs_get");
+            const uint64_t row = ir + j;
+            const uint64_t col = jr + i;
+            if (row < m && col < n)
+                c[row * n + col] += value;
+        }
+    }
+}
+
+} // namespace
+
+MixGemmResult
+mixGemm(const CompressedA &a, const CompressedB &b,
+        const BlockingParams &blocking)
+{
+    blocking.validate();
+    if (a.k() != b.k())
+        fatal("mixGemm: operand k dimensions differ");
+    if (!(a.geometry().config == b.geometry().config))
+        fatal("mixGemm: operand data-size configurations differ");
+
+    const BsGeometry &geom = a.geometry();
+    const uint64_t m = a.m();
+    const uint64_t n = b.n();
+    const unsigned k_groups = a.kGroups();
+    const unsigned mr = blocking.mr;
+    const unsigned nr = blocking.nr;
+    // kc in whole accumulation groups, at least one.
+    const unsigned kc_groups = std::max<unsigned>(
+        1, static_cast<unsigned>(blocking.kc / geom.group_extent));
+
+    MixGemmResult result;
+    result.c.assign(m * n, 0);
+
+    BsEngine engine(uint64_t{mr} * nr);
+    engine.set(geom, mr * nr);
+    result.counters.inc("bs_set");
+
+    // M-GEMM panel loops (Algorithm 1, lines 21-28).
+    for (uint64_t jc = 0; jc < n; jc += blocking.nc) {
+        const uint64_t nc = std::min<uint64_t>(blocking.nc, n - jc);
+        for (unsigned gc = 0; gc < k_groups; gc += kc_groups) {
+            const unsigned g1 =
+                std::min<unsigned>(gc + kc_groups, k_groups);
+            result.counters.inc("b_panels");
+            for (uint64_t ic = 0; ic < m; ic += blocking.mc) {
+                const uint64_t mc = std::min<uint64_t>(blocking.mc,
+                                                       m - ic);
+                result.counters.inc("a_panels");
+                // MACRO-KERNEL μ-panel loops (lines 15-20).
+                for (uint64_t jr = 0; jr < nc; jr += nr) {
+                    for (uint64_t ir = 0; ir < mc; ir += mr) {
+                        microKernel(a, b, engine, ic + ir, jc + jr, gc,
+                                    g1, mr, nr, result.c,
+                                    result.counters);
+                        result.counters.inc("micro_kernels");
+                    }
+                }
+            }
+        }
+    }
+
+    result.counters.set("engine_busy_cycles", engine.busyCycles());
+    result.counters.set("ops", 2 * m * n * a.k());
+    return result;
+}
+
+MixGemmResult
+mixGemm(std::span<const int32_t> a, std::span<const int32_t> b, uint64_t m,
+        uint64_t n, uint64_t k, const BsGeometry &geometry,
+        const BlockingParams &blocking)
+{
+    const CompressedA ca(a, m, k, geometry);
+    const CompressedB cb(b, k, n, geometry);
+    return mixGemm(ca, cb, blocking);
+}
+
+} // namespace mixgemm

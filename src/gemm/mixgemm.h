@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Mix-GEMM software library (Section III-A, Algorithm 1).
+ *
+ * Computes C = A * B over compressed narrow-integer operands using the
+ * BLIS 5-loop structure, issuing accumulation groups to the functional
+ * μ-engine exactly as the M-GEMM / MACRO-KERNEL / μ-KERNEL procedures of
+ * Algorithm 1 do:
+ *
+ *   M-GEMM         n/nc, k/kc(groups), m/mc panel loops + bs.set
+ *   MACRO-KERNEL   nc/nr, mc/mr μ-panel loops
+ *   μ-KERNEL       per group: nr x mr cells x group_pairs bs.ip,
+ *                  then mr x nr bs.get collecting the C μ-panel
+ *
+ * Matrix edges (m or n not multiples of mr/nr) are handled the standard
+ * BLIS way: μ-panels are zero-padded, and out-of-range C cells are
+ * discarded at bs.get time. The returned counters expose the dynamic
+ * instruction mix; cycle-accurate timing is the job of src/sim, which is
+ * cross-validated against these counts.
+ */
+
+#ifndef MIXGEMM_GEMM_MIXGEMM_H
+#define MIXGEMM_GEMM_MIXGEMM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "gemm/blocking.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+
+/** Result of a Mix-GEMM execution. */
+struct MixGemmResult
+{
+    std::vector<int64_t> c; ///< row-major m x n output
+    CounterSet counters;    ///< bs_set/bs_ip/bs_get/engine_busy_cycles/...
+};
+
+/**
+ * Execute C = A * B through the functional μ-engine.
+ *
+ * @param a compressed A operand (m x k)
+ * @param b compressed B operand (k x n); geometries must match
+ * @param blocking cache/register blocking; kc is rounded down to a whole
+ *        number of accumulation groups (at least one)
+ */
+MixGemmResult mixGemm(const CompressedA &a, const CompressedB &b,
+                      const BlockingParams &blocking =
+                          BlockingParams::paperDefaults());
+
+/**
+ * Convenience overload: quantized row-major int32 operands are
+ * compressed on the fly.
+ */
+MixGemmResult mixGemm(std::span<const int32_t> a,
+                      std::span<const int32_t> b, uint64_t m, uint64_t n,
+                      uint64_t k, const BsGeometry &geometry,
+                      const BlockingParams &blocking =
+                          BlockingParams::paperDefaults());
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_GEMM_MIXGEMM_H

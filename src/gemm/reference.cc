@@ -1,0 +1,40 @@
+#include "gemm/reference.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+std::vector<int64_t>
+referenceGemmInt(std::span<const int32_t> a, std::span<const int32_t> b,
+                 uint64_t m, uint64_t n, uint64_t k)
+{
+    if (a.size() != m * k || b.size() != k * n)
+        fatal("referenceGemmInt: operand sizes do not match dimensions");
+    std::vector<int64_t> c(m * n, 0);
+    for (uint64_t i = 0; i < m; ++i)
+        for (uint64_t l = 0; l < k; ++l) {
+            const int64_t av = a[i * k + l];
+            for (uint64_t j = 0; j < n; ++j)
+                c[i * n + j] += av * b[l * n + j];
+        }
+    return c;
+}
+
+std::vector<double>
+referenceGemmDouble(std::span<const double> a, std::span<const double> b,
+                    uint64_t m, uint64_t n, uint64_t k)
+{
+    if (a.size() != m * k || b.size() != k * n)
+        fatal("referenceGemmDouble: operand sizes do not match dimensions");
+    std::vector<double> c(m * n, 0.0);
+    for (uint64_t i = 0; i < m; ++i)
+        for (uint64_t l = 0; l < k; ++l) {
+            const double av = a[i * k + l];
+            for (uint64_t j = 0; j < n; ++j)
+                c[i * n + j] += av * b[l * n + j];
+        }
+    return c;
+}
+
+} // namespace mixgemm

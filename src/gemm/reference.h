@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Naive reference GEMMs used as correctness oracles for the blocked
+ * implementations. Triple loop, no tiling, no cleverness.
+ */
+
+#ifndef MIXGEMM_GEMM_REFERENCE_H
+#define MIXGEMM_GEMM_REFERENCE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** C(m x n) = A(m x k) * B(k x n) on int32 inputs, int64 accumulation. */
+std::vector<int64_t> referenceGemmInt(std::span<const int32_t> a,
+                                      std::span<const int32_t> b,
+                                      uint64_t m, uint64_t n, uint64_t k);
+
+/** C(m x n) = A(m x k) * B(k x n) on doubles. */
+std::vector<double> referenceGemmDouble(std::span<const double> a,
+                                        std::span<const double> b,
+                                        uint64_t m, uint64_t n, uint64_t k);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_GEMM_REFERENCE_H

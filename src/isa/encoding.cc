@@ -1,0 +1,101 @@
+#include "isa/encoding.h"
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+const char *
+mnemonic(BsFunct3 f3)
+{
+    switch (f3) {
+      case BsFunct3::kSet: return "bs.set";
+      case BsFunct3::kIp: return "bs.ip";
+      case BsFunct3::kGet: return "bs.get";
+    }
+    return "bs.?";
+}
+
+} // namespace
+
+uint32_t
+encodeBsInstruction(const BsInstruction &insn)
+{
+    if (insn.rd > 31 || insn.rs1 > 31 || insn.rs2 > 31)
+        fatal("register id out of range in bs.* encoding");
+    uint32_t word = kCustom0Opcode;
+    word |= static_cast<uint32_t>(insn.rd) << 7;
+    word |= static_cast<uint32_t>(insn.funct3) << 12;
+    word |= static_cast<uint32_t>(insn.rs1) << 15;
+    word |= static_cast<uint32_t>(insn.rs2) << 20;
+    // funct7 = 0 for all three instructions.
+    return word;
+}
+
+std::optional<BsInstruction>
+decodeBsInstruction(uint32_t word)
+{
+    if ((word & 0x7f) != kCustom0Opcode)
+        return std::nullopt;
+    const uint32_t funct3 = (word >> 12) & 0x7;
+    const uint32_t funct7 = (word >> 25) & 0x7f;
+    if (funct3 > 2 || funct7 != 0)
+        return std::nullopt;
+    BsInstruction insn;
+    insn.funct3 = static_cast<BsFunct3>(funct3);
+    insn.rd = (word >> 7) & 0x1f;
+    insn.rs1 = (word >> 15) & 0x1f;
+    insn.rs2 = (word >> 20) & 0x1f;
+    return insn;
+}
+
+std::string
+disassembleBs(const BsInstruction &insn)
+{
+    return strCat(mnemonic(insn.funct3), " x", unsigned(insn.rd), ", x",
+                  unsigned(insn.rs1), ", x", unsigned(insn.rs2));
+}
+
+uint64_t
+packBsSetConfig(const BsSetConfig &config)
+{
+    if (config.bwa < 1 || config.bwa > 8 || config.bwb < 1 || config.bwb > 8)
+        fatal("bs.set bitwidths must be in [1, 8]");
+    if (config.cluster_size < 1 || config.cluster_size > 15)
+        fatal("bs.set cluster size must be in [1, 15]");
+    if (config.cw < 1 || config.cw > 63)
+        fatal("bs.set clustering width must be in [1, 63]");
+    uint64_t w = 0;
+    w |= uint64_t{static_cast<uint8_t>(config.bwa - 1)} & 0x7;
+    w |= (uint64_t{static_cast<uint8_t>(config.bwb - 1)} & 0x7) << 3;
+    w |= uint64_t{config.a_signed} << 6;
+    w |= uint64_t{config.b_signed} << 7;
+    w |= (uint64_t{config.cluster_size} & 0xf) << 8;
+    w |= (uint64_t{config.cw} & 0x3f) << 12;
+    w |= (uint64_t{config.ip_length} & 0xff) << 18;
+    w |= (uint64_t{config.slice_lsb} & 0x7f) << 26;
+    w |= (uint64_t{config.slice_msb} & 0x7f) << 33;
+    return w;
+}
+
+BsSetConfig
+unpackBsSetConfig(uint64_t word)
+{
+    BsSetConfig c;
+    c.bwa = static_cast<uint8_t>((word & 0x7) + 1);
+    c.bwb = static_cast<uint8_t>(((word >> 3) & 0x7) + 1);
+    c.a_signed = (word >> 6) & 1;
+    c.b_signed = (word >> 7) & 1;
+    c.cluster_size = static_cast<uint8_t>((word >> 8) & 0xf);
+    c.cw = static_cast<uint8_t>((word >> 12) & 0x3f);
+    c.ip_length = static_cast<uint16_t>((word >> 18) & 0xff);
+    c.slice_lsb = static_cast<uint8_t>((word >> 26) & 0x7f);
+    c.slice_msb = static_cast<uint8_t>((word >> 33) & 0x7f);
+    return c;
+}
+
+} // namespace mixgemm

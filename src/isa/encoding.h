@@ -1,0 +1,95 @@
+/**
+ * @file
+ * RISC-V encodings for the three Mix-GEMM custom instructions.
+ *
+ * The paper extends RV64G with three single-cycle R-type instructions
+ * hosted on the custom-0 major opcode:
+ *
+ *   bs.set rd, rs1, rs2   -- configure the μ-engine Control Unit
+ *   bs.ip  rd, rs1, rs2   -- issue a μ-vector pair (rs1 = A, rs2 = B)
+ *   bs.get rd, rs1, rs2   -- read AccMem slot (rs1 holds the slot index)
+ *
+ * This module provides bit-exact encode/decode/disassemble plus the layout
+ * of the 64-bit configuration word carried by bs.set, mirroring the
+ * Control Unit state listed in Section III-B: operand data sizes,
+ * signedness, input-cluster size, clustering width, inner-product length,
+ * and the multiplier-output slice bounds.
+ */
+
+#ifndef MIXGEMM_ISA_ENCODING_H
+#define MIXGEMM_ISA_ENCODING_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mixgemm
+{
+
+/** Major opcode used by the extension (RISC-V custom-0). */
+constexpr uint32_t kCustom0Opcode = 0x0b;
+
+/** funct3 selectors for the three instructions. */
+enum class BsFunct3 : uint8_t
+{
+    kSet = 0,
+    kIp = 1,
+    kGet = 2,
+};
+
+/** A decoded R-type custom instruction. */
+struct BsInstruction
+{
+    BsFunct3 funct3 = BsFunct3::kSet;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+};
+
+/** Encode a custom instruction into its 32-bit RISC-V word. */
+uint32_t encodeBsInstruction(const BsInstruction &insn);
+
+/**
+ * Decode a 32-bit word; returns nullopt if the word is not one of the
+ * three bs.* instructions (wrong opcode, funct3, or funct7).
+ */
+std::optional<BsInstruction> decodeBsInstruction(uint32_t word);
+
+/** Render "bs.ip x10, x11, x12" style assembly for a decoded word. */
+std::string disassembleBs(const BsInstruction &insn);
+
+/**
+ * Layout of the bs.set configuration word (passed in rs1).
+ *
+ * bits [2:0]   bwa - 1      A-operand element bitwidth minus one (1..7)
+ * bits [5:3]   bwb - 1      B-operand element bitwidth minus one
+ * bit  [6]     a signed
+ * bit  [7]     b signed
+ * bits [11:8]  input-cluster size (1..15 elements)
+ * bits [17:12] clustering width cw (1..63 bits)
+ * bits [25:18] inner-product length (elements per accumulation group)
+ * bits [32:26] slice lsb (Eq. 6)
+ * bits [39:33] slice msb (Eq. 7)
+ */
+struct BsSetConfig
+{
+    uint8_t bwa = 8;
+    uint8_t bwb = 8;
+    bool a_signed = true;
+    bool b_signed = true;
+    uint8_t cluster_size = 3;
+    uint8_t cw = 20;
+    uint16_t ip_length = 0;
+    uint8_t slice_lsb = 0;
+    uint8_t slice_msb = 0;
+};
+
+/** Pack a configuration into the 64-bit bs.set operand word. */
+uint64_t packBsSetConfig(const BsSetConfig &config);
+
+/** Unpack a bs.set operand word. Inverse of packBsSetConfig. */
+BsSetConfig unpackBsSetConfig(uint64_t word);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_ISA_ENCODING_H

@@ -1,0 +1,150 @@
+#include "isa/uop.h"
+
+#include <sstream>
+
+namespace mixgemm
+{
+
+Uop
+Uop::alu(RegId dst, RegId s1, RegId s2)
+{
+    Uop u;
+    u.kind = UopKind::kAlu;
+    u.dst = dst;
+    u.src1 = s1;
+    u.src2 = s2;
+    return u;
+}
+
+Uop
+Uop::mul(RegId dst, RegId s1, RegId s2)
+{
+    Uop u;
+    u.kind = UopKind::kMul;
+    u.dst = dst;
+    u.src1 = s1;
+    u.src2 = s2;
+    return u;
+}
+
+Uop
+Uop::fmul(RegId dst, RegId s1, RegId s2)
+{
+    Uop u;
+    u.kind = UopKind::kFmul;
+    u.dst = dst;
+    u.src1 = s1;
+    u.src2 = s2;
+    return u;
+}
+
+Uop
+Uop::fadd(RegId dst, RegId s1, RegId s2)
+{
+    Uop u;
+    u.kind = UopKind::kFadd;
+    u.dst = dst;
+    u.src1 = s1;
+    u.src2 = s2;
+    return u;
+}
+
+Uop
+Uop::load(RegId dst, uint64_t addr, uint8_t size)
+{
+    Uop u;
+    u.kind = UopKind::kLoad;
+    u.dst = dst;
+    u.addr = addr;
+    u.size = size;
+    return u;
+}
+
+Uop
+Uop::store(RegId src, uint64_t addr, uint8_t size)
+{
+    Uop u;
+    u.kind = UopKind::kStore;
+    u.src1 = src;
+    u.addr = addr;
+    u.size = size;
+    return u;
+}
+
+Uop
+Uop::branch()
+{
+    Uop u;
+    u.kind = UopKind::kBranch;
+    return u;
+}
+
+Uop
+Uop::bsSet()
+{
+    Uop u;
+    u.kind = UopKind::kBsSet;
+    return u;
+}
+
+Uop
+Uop::bsIp(RegId a, RegId b)
+{
+    Uop u;
+    u.kind = UopKind::kBsIp;
+    u.src1 = a;
+    u.src2 = b;
+    return u;
+}
+
+Uop
+Uop::bsGet(RegId dst, uint16_t slot)
+{
+    Uop u;
+    u.kind = UopKind::kBsGet;
+    u.dst = dst;
+    u.acc_slot = slot;
+    return u;
+}
+
+const char *
+uopKindName(UopKind kind)
+{
+    switch (kind) {
+      case UopKind::kAlu: return "alu";
+      case UopKind::kMul: return "mul";
+      case UopKind::kFadd: return "fadd";
+      case UopKind::kFmul: return "fmul";
+      case UopKind::kLoad: return "load";
+      case UopKind::kStore: return "store";
+      case UopKind::kBranch: return "branch";
+      case UopKind::kBsSet: return "bs.set";
+      case UopKind::kBsIp: return "bs.ip";
+      case UopKind::kBsGet: return "bs.get";
+      case UopKind::kNop: return "nop";
+    }
+    return "?";
+}
+
+std::string
+Uop::toString() const
+{
+    std::ostringstream os;
+    os << uopKindName(kind);
+    auto reg = [](RegId r) {
+        if (r == kNoReg)
+            return std::string("-");
+        if (r >= kFpRegBase)
+            return "f" + std::to_string(r - kFpRegBase);
+        return "x" + std::to_string(r);
+    };
+    os << " dst=" << reg(dst) << " src=" << reg(src1) << "," << reg(src2);
+    if (kind == UopKind::kLoad || kind == UopKind::kStore)
+        os << " addr=0x" << std::hex << addr << std::dec
+           << " size=" << unsigned(size);
+    if (kind == UopKind::kBsGet)
+        os << " slot=" << acc_slot;
+    return os.str();
+}
+
+} // namespace mixgemm

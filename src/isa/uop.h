@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Micro-operation (μ-op) intermediate representation.
+ *
+ * The SoC simulator (src/sim) is trace-driven: the GEMM library's timing
+ * backend emits a stream of μ-ops describing the dynamic instruction
+ * sequence a compiled μ-kernel would execute on the RV64 core, and the
+ * core model replays it cycle by cycle. Each μ-op carries its register
+ * dependencies so the in-order scoreboard can model load-use and
+ * multi-cycle-FU stalls, and loads/stores carry the effective address so
+ * the cache hierarchy sees the real blocked access pattern.
+ */
+
+#ifndef MIXGEMM_ISA_UOP_H
+#define MIXGEMM_ISA_UOP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** Dynamic instruction classes recognized by the core model. */
+enum class UopKind : uint8_t
+{
+    kAlu,      ///< 1-cycle integer op (add/addi/bookkeeping)
+    kMul,      ///< 64-bit integer multiply on the shared multiplier
+    kFadd,     ///< floating-point add (DGEMM baseline)
+    kFmul,     ///< floating-point multiply (DGEMM baseline)
+    kLoad,     ///< memory load (address + size attached)
+    kStore,    ///< memory store (address + size attached)
+    kBranch,   ///< conditional branch / loop back-edge
+    kBsSet,    ///< custom bs.set: configure the μ-engine Control Unit
+    kBsIp,     ///< custom bs.ip: push a μ-vector pair into Source Buffers
+    kBsGet,    ///< custom bs.get: read one AccMem slot
+    kNop,      ///< filler (e.g., alignment)
+};
+
+/** Register id; integer regs 0..31, FP regs 32..63. */
+using RegId = uint8_t;
+
+/** Sentinel meaning "no register operand". */
+constexpr RegId kNoReg = 0xff;
+
+/** First floating-point register id. */
+constexpr RegId kFpRegBase = 32;
+
+/** One dynamic micro-operation. */
+struct Uop
+{
+    UopKind kind = UopKind::kNop;
+    RegId dst = kNoReg;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+    /** Effective byte address (loads/stores only). */
+    uint64_t addr = 0;
+    /** Access size in bytes (loads/stores only). */
+    uint8_t size = 0;
+    /** For kBsGet: AccMem slot index being read. */
+    uint16_t acc_slot = 0;
+
+    /** Convenience constructors. */
+    static Uop alu(RegId dst, RegId s1 = kNoReg, RegId s2 = kNoReg);
+    static Uop mul(RegId dst, RegId s1, RegId s2);
+    static Uop fmul(RegId dst, RegId s1, RegId s2);
+    static Uop fadd(RegId dst, RegId s1, RegId s2);
+    static Uop load(RegId dst, uint64_t addr, uint8_t size);
+    static Uop store(RegId src, uint64_t addr, uint8_t size);
+    static Uop branch();
+    static Uop bsSet();
+    static Uop bsIp(RegId a, RegId b);
+    static Uop bsGet(RegId dst, uint16_t slot);
+
+    /** Human-readable rendering for traces and test failures. */
+    std::string toString() const;
+};
+
+/** A dynamic μ-op trace (one basic block or one whole kernel). */
+using UopTrace = std::vector<Uop>;
+
+/** Name of a μ-op kind ("alu", "bs.ip", ...). */
+const char *uopKindName(UopKind kind);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_ISA_UOP_H

@@ -1,0 +1,285 @@
+#include "iss/assembler.h"
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+uint32_t
+rType(uint32_t funct7, unsigned rs2, unsigned rs1, uint32_t funct3,
+      unsigned rd, uint32_t opcode)
+{
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+uint32_t
+iType(int32_t imm, unsigned rs1, uint32_t funct3, unsigned rd,
+      uint32_t opcode)
+{
+    if (imm < -2048 || imm > 2047)
+        fatal(strCat("assembler: I-immediate ", imm, " out of range"));
+    return (static_cast<uint32_t>(imm & 0xfff) << 20) | (rs1 << 15) |
+           (funct3 << 12) | (rd << 7) | opcode;
+}
+
+uint32_t
+sType(int32_t imm, unsigned rs2, unsigned rs1, uint32_t funct3,
+      uint32_t opcode)
+{
+    if (imm < -2048 || imm > 2047)
+        fatal(strCat("assembler: S-immediate ", imm, " out of range"));
+    const uint32_t u = static_cast<uint32_t>(imm & 0xfff);
+    return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           ((u & 0x1f) << 7) | opcode;
+}
+
+uint32_t
+bType(int32_t offset, unsigned rs1, unsigned rs2, uint32_t funct3)
+{
+    if (offset < -4096 || offset > 4094 || (offset & 1))
+        fatal(strCat("assembler: branch offset ", offset,
+                     " out of range"));
+    const uint32_t u = static_cast<uint32_t>(offset);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+           (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | 0x63;
+}
+
+uint32_t
+jType(int32_t offset, unsigned rd)
+{
+    if (offset < -(1 << 20) || offset >= (1 << 20) || (offset & 1))
+        fatal(strCat("assembler: jal offset ", offset, " out of range"));
+    const uint32_t u = static_cast<uint32_t>(offset);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+           (rd << 7) | 0x6f;
+}
+
+} // namespace
+
+void
+Program::addi(unsigned rd, unsigned rs1, int32_t imm)
+{
+    emit(iType(imm, rs1, 0, rd, 0x13));
+}
+
+void
+Program::add(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    emit(rType(0x00, rs2, rs1, 0, rd, 0x33));
+}
+
+void
+Program::sub(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    emit(rType(0x20, rs2, rs1, 0, rd, 0x33));
+}
+
+void
+Program::slli(unsigned rd, unsigned rs1, unsigned shamt)
+{
+    emit((shamt << 20) | (rs1 << 15) | (1u << 12) | (rd << 7) | 0x13);
+}
+
+void
+Program::srli(unsigned rd, unsigned rs1, unsigned shamt)
+{
+    emit((shamt << 20) | (rs1 << 15) | (5u << 12) | (rd << 7) | 0x13);
+}
+
+void
+Program::srai(unsigned rd, unsigned rs1, unsigned shamt)
+{
+    // RV64 funct6 = 010000; shamt occupies bits [25:20].
+    emit((0x10u << 26) | ((shamt & 0x3f) << 20) | (rs1 << 15) |
+         (5u << 12) | (rd << 7) | 0x13);
+}
+
+void
+Program::andi(unsigned rd, unsigned rs1, int32_t imm)
+{
+    emit(iType(imm, rs1, 7, rd, 0x13));
+}
+
+void
+Program::mul(unsigned rd, unsigned rs1, unsigned rs2)
+{
+    emit(rType(0x01, rs2, rs1, 0, rd, 0x33));
+}
+
+void
+Program::addiw(unsigned rd, unsigned rs1, int32_t imm)
+{
+    emit(iType(imm, rs1, 0, rd, 0x1b));
+}
+
+void
+Program::li(unsigned rd, uint64_t value)
+{
+    // The standard RV64 materialization (as compilers emit it):
+    // small -> addi; int32 -> lui + addiw; otherwise build the upper
+    // bits recursively, shift by 12, and add the low 12 bits.
+    const int64_t v = static_cast<int64_t>(value);
+    if (v >= -2048 && v <= 2047) {
+        addi(rd, ZERO, static_cast<int32_t>(v));
+        return;
+    }
+    const int32_t low =
+        static_cast<int32_t>(((v & 0xfff) ^ 0x800) - 0x800);
+    if (v >= INT32_MIN && v <= INT32_MAX) {
+        const uint32_t hi20 =
+            static_cast<uint32_t>((v - low) & 0xfffff000);
+        emit(hi20 | (rd << 7) | 0x37); // lui (addiw sign-fixes the rest)
+        if (low != 0)
+            addiw(rd, rd, low);
+        return;
+    }
+    li(rd, static_cast<uint64_t>((v - low) >> 12));
+    slli(rd, rd, 12);
+    if (low != 0)
+        addi(rd, rd, low);
+}
+
+void
+Program::ld(unsigned rd, unsigned rs1, int32_t offset)
+{
+    emit(iType(offset, rs1, 3, rd, 0x03));
+}
+
+void
+Program::lw(unsigned rd, unsigned rs1, int32_t offset)
+{
+    emit(iType(offset, rs1, 2, rd, 0x03));
+}
+
+void
+Program::lbu(unsigned rd, unsigned rs1, int32_t offset)
+{
+    emit(iType(offset, rs1, 4, rd, 0x03));
+}
+
+void
+Program::sd(unsigned rs2, unsigned rs1, int32_t offset)
+{
+    emit(sType(offset, rs2, rs1, 3, 0x23));
+}
+
+void
+Program::sw(unsigned rs2, unsigned rs1, int32_t offset)
+{
+    emit(sType(offset, rs2, rs1, 2, 0x23));
+}
+
+void
+Program::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("assembler: duplicate label '" + name + "'");
+    labels_[name] = words_.size();
+}
+
+void
+Program::beq(unsigned rs1, unsigned rs2, const std::string &target)
+{
+    fixups_.push_back({words_.size(), target, false});
+    emit(bType(0, rs1, rs2, 0));
+}
+
+void
+Program::bne(unsigned rs1, unsigned rs2, const std::string &target)
+{
+    fixups_.push_back({words_.size(), target, false});
+    emit(bType(0, rs1, rs2, 1));
+}
+
+void
+Program::blt(unsigned rs1, unsigned rs2, const std::string &target)
+{
+    fixups_.push_back({words_.size(), target, false});
+    emit(bType(0, rs1, rs2, 4));
+}
+
+void
+Program::bge(unsigned rs1, unsigned rs2, const std::string &target)
+{
+    fixups_.push_back({words_.size(), target, false});
+    emit(bType(0, rs1, rs2, 5));
+}
+
+void
+Program::jal(unsigned rd, const std::string &target)
+{
+    fixups_.push_back({words_.size(), target, true});
+    emit(jType(0, rd));
+}
+
+void
+Program::ebreak()
+{
+    emit(0x00100073);
+}
+
+void
+Program::bsSet(unsigned rs1, unsigned rs2)
+{
+    BsInstruction insn;
+    insn.funct3 = BsFunct3::kSet;
+    insn.rs1 = static_cast<uint8_t>(rs1);
+    insn.rs2 = static_cast<uint8_t>(rs2);
+    emit(encodeBsInstruction(insn));
+}
+
+void
+Program::bsIp(unsigned rs1, unsigned rs2)
+{
+    BsInstruction insn;
+    insn.funct3 = BsFunct3::kIp;
+    insn.rs1 = static_cast<uint8_t>(rs1);
+    insn.rs2 = static_cast<uint8_t>(rs2);
+    emit(encodeBsInstruction(insn));
+}
+
+void
+Program::bsGet(unsigned rd, unsigned rs1)
+{
+    BsInstruction insn;
+    insn.funct3 = BsFunct3::kGet;
+    insn.rd = static_cast<uint8_t>(rd);
+    insn.rs1 = static_cast<uint8_t>(rs1);
+    emit(encodeBsInstruction(insn));
+}
+
+std::vector<uint32_t>
+Program::assemble() const
+{
+    std::vector<uint32_t> out = words_;
+    for (const Fixup &f : fixups_) {
+        const auto it = labels_.find(f.target);
+        if (it == labels_.end())
+            fatal("assembler: undefined label '" + f.target + "'");
+        const int64_t offset =
+            (static_cast<int64_t>(it->second) -
+             static_cast<int64_t>(f.index)) *
+            4;
+        const uint32_t old = out[f.index];
+        if (f.is_jal) {
+            const unsigned rd = (old >> 7) & 0x1f;
+            out[f.index] = jType(static_cast<int32_t>(offset), rd);
+        } else {
+            const unsigned rs1 = (old >> 15) & 0x1f;
+            const unsigned rs2 = (old >> 20) & 0x1f;
+            const uint32_t funct3 = (old >> 12) & 0x7;
+            out[f.index] = bType(static_cast<int32_t>(offset), rs1, rs2,
+                                 funct3);
+        }
+    }
+    return out;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tiny two-pass assembler for the ISS: builds RV64I+M+bs programs
+ * programmatically with label-based control flow, so tests and examples
+ * can write the paper's kernels "in assembly" without an external
+ * toolchain. Only the encodings the machine executes are provided.
+ *
+ * Usage:
+ *   Program p;
+ *   p.li(T0, 42);
+ *   p.label("loop");
+ *   p.addi(T0, T0, -1);
+ *   p.bne(T0, ZERO, "loop");
+ *   p.ebreak();
+ *   auto words = p.assemble();
+ */
+
+#ifndef MIXGEMM_ISS_ASSEMBLER_H
+#define MIXGEMM_ISS_ASSEMBLER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** Conventional register aliases (subset). */
+enum Reg : unsigned
+{
+    ZERO = 0, RA = 1, SP = 2, T0 = 5, T1 = 6, T2 = 7,
+    S0 = 8, S1 = 9, A0 = 10, A1 = 11, A2 = 12, A3 = 13,
+    A4 = 14, A5 = 15, A6 = 16, A7 = 17, S2 = 18, S3 = 19,
+    S4 = 20, S5 = 21, S6 = 22, S7 = 23, S8 = 24, S9 = 25,
+    S10 = 26, S11 = 27, T3 = 28, T4 = 29, T5 = 30, T6 = 31,
+};
+
+/** Two-pass program builder. */
+class Program
+{
+  public:
+    // --- ALU register/immediate.
+    void addi(unsigned rd, unsigned rs1, int32_t imm);
+    void addiw(unsigned rd, unsigned rs1, int32_t imm);
+    void add(unsigned rd, unsigned rs1, unsigned rs2);
+    void sub(unsigned rd, unsigned rs1, unsigned rs2);
+    void slli(unsigned rd, unsigned rs1, unsigned shamt);
+    void srli(unsigned rd, unsigned rs1, unsigned shamt);
+    void srai(unsigned rd, unsigned rs1, unsigned shamt);
+    void andi(unsigned rd, unsigned rs1, int32_t imm);
+    void mul(unsigned rd, unsigned rs1, unsigned rs2);
+
+    /** Load a (possibly wide) immediate via lui/addi/slli sequences. */
+    void li(unsigned rd, uint64_t value);
+
+    // --- Memory.
+    void ld(unsigned rd, unsigned rs1, int32_t offset);
+    void lw(unsigned rd, unsigned rs1, int32_t offset);
+    void lbu(unsigned rd, unsigned rs1, int32_t offset);
+    void sd(unsigned rs2, unsigned rs1, int32_t offset);
+    void sw(unsigned rs2, unsigned rs1, int32_t offset);
+
+    // --- Control flow (label-based).
+    void label(const std::string &name);
+    void beq(unsigned rs1, unsigned rs2, const std::string &target);
+    void bne(unsigned rs1, unsigned rs2, const std::string &target);
+    void blt(unsigned rs1, unsigned rs2, const std::string &target);
+    void bge(unsigned rs1, unsigned rs2, const std::string &target);
+    void jal(unsigned rd, const std::string &target);
+    void ebreak();
+
+    // --- Mix-GEMM custom instructions.
+    void bsSet(unsigned rs1, unsigned rs2);
+    void bsIp(unsigned rs1, unsigned rs2);
+    void bsGet(unsigned rd, unsigned rs1);
+
+    /**
+     * Resolve labels and return the instruction words.
+     * @throws FatalError on undefined labels or out-of-range branches.
+     */
+    std::vector<uint32_t> assemble() const;
+
+    /** Instructions emitted so far (branch targets are placeholders). */
+    size_t size() const { return words_.size(); }
+
+  private:
+    struct Fixup
+    {
+        size_t index;
+        std::string target;
+        bool is_jal;
+    };
+
+    void emit(uint32_t word) { words_.push_back(word); }
+
+    std::vector<uint32_t> words_;
+    std::map<std::string, size_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_ISS_ASSEMBLER_H

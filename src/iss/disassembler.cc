@@ -1,0 +1,178 @@
+#include "iss/disassembler.h"
+
+#include <sstream>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+std::string
+r(unsigned idx)
+{
+    return "x" + std::to_string(idx);
+}
+
+int64_t
+immI(uint32_t insn)
+{
+    return static_cast<int32_t>(insn) >> 20;
+}
+
+int64_t
+immS(uint32_t insn)
+{
+    const uint32_t raw = ((insn >> 25) << 5) | ((insn >> 7) & 0x1f);
+    return signExtend64(raw, 12);
+}
+
+int64_t
+immB(uint32_t insn)
+{
+    const uint32_t raw = (((insn >> 31) & 1) << 12) |
+                         (((insn >> 7) & 1) << 11) |
+                         (((insn >> 25) & 0x3f) << 5) |
+                         (((insn >> 8) & 0xf) << 1);
+    return signExtend64(raw, 13);
+}
+
+int64_t
+immJ(uint32_t insn)
+{
+    const uint32_t raw = (((insn >> 31) & 1) << 20) |
+                         (((insn >> 12) & 0xff) << 12) |
+                         (((insn >> 20) & 1) << 11) |
+                         (((insn >> 21) & 0x3ff) << 1);
+    return signExtend64(raw, 21);
+}
+
+std::string
+unknown(uint32_t insn)
+{
+    std::ostringstream os;
+    os << ".word 0x" << std::hex << insn;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(uint32_t insn)
+{
+    const uint32_t opcode = insn & 0x7f;
+    const unsigned rd = (insn >> 7) & 0x1f;
+    const unsigned rs1 = (insn >> 15) & 0x1f;
+    const unsigned rs2 = (insn >> 20) & 0x1f;
+    const unsigned funct3 = (insn >> 12) & 0x7;
+    const unsigned funct7 = (insn >> 25) & 0x7f;
+    std::ostringstream os;
+
+    switch (opcode) {
+      case 0x37:
+        os << "lui " << r(rd) << ", 0x" << std::hex << (insn >> 12);
+        return os.str();
+      case 0x17:
+        os << "auipc " << r(rd) << ", 0x" << std::hex << (insn >> 12);
+        return os.str();
+      case 0x6f:
+        os << "jal " << r(rd) << ", " << immJ(insn);
+        return os.str();
+      case 0x67:
+        os << "jalr " << r(rd) << ", " << immI(insn) << "(" << r(rs1)
+           << ")";
+        return os.str();
+      case 0x63: {
+        static const char *names[] = {"beq", "bne", nullptr, nullptr,
+                                      "blt", "bge", "bltu", "bgeu"};
+        if (!names[funct3])
+            return unknown(insn);
+        os << names[funct3] << " " << r(rs1) << ", " << r(rs2) << ", "
+           << immB(insn);
+        return os.str();
+      }
+      case 0x03: {
+        static const char *names[] = {"lb", "lh", "lw", "ld",
+                                      "lbu", "lhu", "lwu", nullptr};
+        if (!names[funct3])
+            return unknown(insn);
+        os << names[funct3] << " " << r(rd) << ", " << immI(insn) << "("
+           << r(rs1) << ")";
+        return os.str();
+      }
+      case 0x23: {
+        static const char *names[] = {"sb", "sh", "sw", "sd"};
+        if (funct3 > 3)
+            return unknown(insn);
+        os << names[funct3] << " " << r(rs2) << ", " << immS(insn) << "("
+           << r(rs1) << ")";
+        return os.str();
+      }
+      case 0x13: {
+        static const char *names[] = {"addi", "slli", "slti", "sltiu",
+                                      "xori", nullptr, "ori", "andi"};
+        if (funct3 == 1) {
+            os << "slli " << r(rd) << ", " << r(rs1) << ", "
+               << ((insn >> 20) & 0x3f);
+            return os.str();
+        }
+        if (funct3 == 5) {
+            os << ((insn >> 30) & 1 ? "srai " : "srli ") << r(rd) << ", "
+               << r(rs1) << ", " << ((insn >> 20) & 0x3f);
+            return os.str();
+        }
+        os << names[funct3] << " " << r(rd) << ", " << r(rs1) << ", "
+           << immI(insn);
+        return os.str();
+      }
+      case 0x1b:
+        if (funct3 == 0) {
+            os << "addiw " << r(rd) << ", " << r(rs1) << ", "
+               << immI(insn);
+            return os.str();
+        }
+        return unknown(insn);
+      case 0x33: {
+        if (funct7 == 0x01) {
+            static const char *names[] = {"mul", "mulh", "mulhsu",
+                                          "mulhu", "div", "divu",
+                                          "rem", "remu"};
+            os << names[funct3] << " " << r(rd) << ", " << r(rs1)
+               << ", " << r(rs2);
+            return os.str();
+        }
+        static const char *names[] = {"add", "sll", "slt", "sltu",
+                                      "xor", "srl", "or", "and"};
+        std::string name = names[funct3];
+        if (funct7 & 0x20)
+            name = funct3 == 0 ? "sub" : "sra";
+        os << name << " " << r(rd) << ", " << r(rs1) << ", " << r(rs2);
+        return os.str();
+      }
+      case kCustom0Opcode: {
+        const auto decoded = decodeBsInstruction(insn);
+        return decoded ? disassembleBs(*decoded) : unknown(insn);
+      }
+      case 0x73:
+        return insn == 0x00100073 ? "ebreak" : "ecall";
+      default:
+        return unknown(insn);
+    }
+}
+
+std::string
+disassembleProgram(const std::vector<uint32_t> &words, uint64_t base)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < words.size(); ++i) {
+        os << std::hex << (base + 4 * i) << std::dec << ":\t"
+           << disassemble(words[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mixgemm

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Disassembler for the ISS's instruction subset (RV64I+M plus the
+ * Mix-GEMM custom-0 instructions). Produces GNU-style mnemonics for
+ * debugging assembled programs and machine traces.
+ */
+
+#ifndef MIXGEMM_ISS_DISASSEMBLER_H
+#define MIXGEMM_ISS_DISASSEMBLER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mixgemm
+{
+
+/**
+ * Render one instruction word; unknown encodings render as
+ * ".word 0x????????" rather than throwing.
+ */
+std::string disassemble(uint32_t insn);
+
+/** Render a whole program with PC-relative branch/jump targets. */
+std::string disassembleProgram(const std::vector<uint32_t> &words,
+                               uint64_t base = 0);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_ISS_DISASSEMBLER_H

@@ -1,0 +1,114 @@
+#include "iss/gemm_program.h"
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "isa/encoding.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** bs.set operand word for a geometry. */
+uint64_t
+setWord(const BsGeometry &g)
+{
+    BsSetConfig cfg;
+    cfg.bwa = static_cast<uint8_t>(g.config.bwa);
+    cfg.bwb = static_cast<uint8_t>(g.config.bwb);
+    cfg.a_signed = g.config.a_signed;
+    cfg.b_signed = g.config.b_signed;
+    cfg.cluster_size = static_cast<uint8_t>(g.cluster_size);
+    cfg.cw = static_cast<uint8_t>(g.cw);
+    cfg.ip_length = static_cast<uint16_t>(g.group_extent);
+    cfg.slice_lsb = static_cast<uint8_t>(g.slice_lsb);
+    cfg.slice_msb = static_cast<uint8_t>(g.slice_msb);
+    return packBsSetConfig(cfg);
+}
+
+/** Emit "ld rd, addr" with the address materialized in T0. */
+void
+loadAbsolute(Program &p, unsigned rd, uint64_t addr)
+{
+    p.li(T0, addr);
+    p.ld(rd, T0, 0);
+}
+
+} // namespace
+
+Program
+generateMixGemmProgram(uint64_t m, uint64_t n, uint64_t k,
+                       const BsGeometry &geometry,
+                       const GemmProgramLayout &layout)
+{
+    if (m == 0 || n == 0 || k == 0)
+        fatal("generateMixGemmProgram: empty GEMM");
+    constexpr unsigned mr = 4;
+    constexpr unsigned nr = 4;
+    const unsigned k_groups = kGroupCount(k, geometry);
+    const unsigned kua = geometry.kua;
+    const unsigned kub = geometry.kub;
+    const unsigned pairs = geometry.group_pairs;
+
+    // The generator knows every address at emission time, so it emits
+    // a fully unrolled program — what a JIT backend for the extension
+    // would produce for a fixed problem shape.
+    Program p;
+    p.li(A0, setWord(geometry));
+    p.li(A1, mr * nr);
+    p.bsSet(A0, A1);
+
+    for (uint64_t jr = 0; jr < n; jr += nr) {
+        for (uint64_t ir = 0; ir < m; ir += mr) {
+            for (unsigned g = 0; g < k_groups; ++g) {
+                for (unsigned i = 0; i < nr; ++i) {
+                    const uint64_t col = jr + i;
+                    for (unsigned j = 0; j < mr; ++j) {
+                        const uint64_t row = ir + j;
+                        for (unsigned pp = 0; pp < pairs; ++pp) {
+                            if (row < m && pp < kua) {
+                                const uint64_t addr =
+                                    layout.a_base +
+                                    8 * ((row * k_groups + g) * kua +
+                                         pp);
+                                loadAbsolute(p, A2, addr);
+                            } else {
+                                p.li(A2, 0);
+                            }
+                            if (col < n && pp < kub) {
+                                const uint64_t addr =
+                                    layout.b_base +
+                                    8 * ((col * k_groups + g) * kub +
+                                         pp);
+                                loadAbsolute(p, A3, addr);
+                            } else {
+                                p.li(A3, 0);
+                            }
+                            p.bsIp(A2, A3);
+                        }
+                    }
+                }
+            }
+            // Collect the tile: slot i * mr + j -> C[ir + j, jr + i].
+            for (unsigned i = 0; i < nr; ++i) {
+                for (unsigned j = 0; j < mr; ++j) {
+                    p.li(A4, uint64_t{i} * mr + j);
+                    p.bsGet(A0, A4);
+                    const uint64_t row = ir + j;
+                    const uint64_t col = jr + i;
+                    if (row < m && col < n) {
+                        p.li(T0,
+                             layout.c_base + 8 * (row * n + col));
+                        p.sd(A0, T0, 0);
+                    }
+                }
+            }
+        }
+    }
+    p.ebreak();
+    return p;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Assembly-level Mix-GEMM generator: emits the complete blocked GEMM of
+ * Algorithm 1 as an RV64+bs program for the ISS — the closest software
+ * analogue of "the GEMM library compiled by the extended GNU toolchain"
+ * the paper runs on its FPGA platform.
+ *
+ * The generated program walks the compressed operand layouts of
+ * tensor/packing.h directly (register-tiled mr x nr = 4 x 4 μ-kernels
+ * over accumulation groups, AccMem-collected C tiles, zero-padded edge
+ * handling), producing bit-identical results to the host-side library —
+ * which tests assert for a matrix of shapes and configurations.
+ */
+
+#ifndef MIXGEMM_ISS_GEMM_PROGRAM_H
+#define MIXGEMM_ISS_GEMM_PROGRAM_H
+
+#include <cstdint>
+
+#include "bs/geometry.h"
+#include "iss/assembler.h"
+
+namespace mixgemm
+{
+
+/** Memory layout the generated program expects. */
+struct GemmProgramLayout
+{
+    uint64_t a_base = 0x100000; ///< CompressedA words
+    uint64_t b_base = 0x200000; ///< CompressedB words
+    uint64_t c_base = 0x300000; ///< row-major int64 C output
+};
+
+/**
+ * Generate a full m x n x k Mix-GEMM program for @p geometry.
+ *
+ * Edge tiles (m or n not multiples of 4) are handled the library way:
+ * out-of-range rows/columns issue zero μ-vectors and their bs.get
+ * results are discarded. The program ends with ebreak.
+ *
+ * @pre m, n >= 1 and k >= 1; the AccMem must hold 16 slots.
+ */
+Program generateMixGemmProgram(uint64_t m, uint64_t n, uint64_t k,
+                               const BsGeometry &geometry,
+                               const GemmProgramLayout &layout =
+                                   GemmProgramLayout{});
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_ISS_GEMM_PROGRAM_H

@@ -1,0 +1,372 @@
+#include "iss/machine.h"
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Sign-extended immediate extractors for the standard formats. */
+int64_t
+immI(uint32_t insn)
+{
+    return static_cast<int32_t>(insn) >> 20;
+}
+
+int64_t
+immS(uint32_t insn)
+{
+    const uint32_t raw = ((insn >> 25) << 5) | ((insn >> 7) & 0x1f);
+    return signExtend64(raw, 12);
+}
+
+int64_t
+immB(uint32_t insn)
+{
+    const uint32_t raw = (((insn >> 31) & 1) << 12) |
+                         (((insn >> 7) & 1) << 11) |
+                         (((insn >> 25) & 0x3f) << 5) |
+                         (((insn >> 8) & 0xf) << 1);
+    return signExtend64(raw, 13);
+}
+
+int64_t
+immU(uint32_t insn)
+{
+    return static_cast<int32_t>(insn & 0xfffff000);
+}
+
+int64_t
+immJ(uint32_t insn)
+{
+    const uint32_t raw = (((insn >> 31) & 1) << 20) |
+                         (((insn >> 12) & 0xff) << 12) |
+                         (((insn >> 20) & 1) << 11) |
+                         (((insn >> 21) & 0x3ff) << 1);
+    return signExtend64(raw, 21);
+}
+
+} // namespace
+
+RiscvMachine::RiscvMachine()
+    : engine_(64) // generous AccMem so programs choose their slots
+{
+}
+
+std::vector<uint8_t> &
+RiscvMachine::page(uint64_t addr)
+{
+    auto &p = pages_[addr / kPageBytes];
+    if (p.empty())
+        p.assign(kPageBytes, 0);
+    return p;
+}
+
+const std::vector<uint8_t> *
+RiscvMachine::pageIfPresent(uint64_t addr) const
+{
+    const auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+uint64_t
+RiscvMachine::reg(unsigned index) const
+{
+    if (index >= 32)
+        fatal("RiscvMachine: register index out of range");
+    return index == 0 ? 0 : regs_[index];
+}
+
+void
+RiscvMachine::setReg(unsigned index, uint64_t value)
+{
+    if (index >= 32)
+        fatal("RiscvMachine: register index out of range");
+    if (index != 0)
+        regs_[index] = value;
+}
+
+uint8_t
+RiscvMachine::readByte(uint64_t addr) const
+{
+    const auto *p = pageIfPresent(addr);
+    return p ? (*p)[addr % kPageBytes] : 0;
+}
+
+void
+RiscvMachine::writeByte(uint64_t addr, uint8_t value)
+{
+    page(addr)[addr % kPageBytes] = value;
+}
+
+uint64_t
+RiscvMachine::readWord(uint64_t addr, unsigned bytes) const
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        value |= uint64_t{readByte(addr + i)} << (8 * i);
+    return value;
+}
+
+void
+RiscvMachine::writeWord(uint64_t addr, uint64_t value, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+RiscvMachine::writeBlock(uint64_t addr, std::span<const uint64_t> words)
+{
+    for (size_t i = 0; i < words.size(); ++i)
+        writeWord(addr + 8 * i, words[i], 8);
+}
+
+void
+RiscvMachine::loadProgram(std::span<const uint32_t> words, uint64_t base)
+{
+    for (size_t i = 0; i < words.size(); ++i)
+        writeWord(base + 4 * i, words[i], 4);
+    pc_ = base;
+    halt_ = HaltReason::kRunning;
+}
+
+bool
+RiscvMachine::step()
+{
+    const uint32_t insn =
+        static_cast<uint32_t>(readWord(pc_, 4));
+    ++executed_;
+    return execute(insn);
+}
+
+HaltReason
+RiscvMachine::run(uint64_t max_steps)
+{
+    for (uint64_t i = 0; i < max_steps; ++i)
+        if (!step())
+            return halt_;
+    halt_ = HaltReason::kRunning;
+    return halt_;
+}
+
+bool
+RiscvMachine::execute(uint32_t insn)
+{
+    const uint32_t opcode = insn & 0x7f;
+    const unsigned rd = (insn >> 7) & 0x1f;
+    const unsigned rs1 = (insn >> 15) & 0x1f;
+    const unsigned rs2 = (insn >> 20) & 0x1f;
+    const unsigned funct3 = (insn >> 12) & 0x7;
+    const unsigned funct7 = (insn >> 25) & 0x7f;
+    uint64_t next_pc = pc_ + 4;
+
+    const uint64_t a = reg(rs1);
+    const uint64_t b = reg(rs2);
+
+    switch (opcode) {
+      case 0x37: // lui
+        setReg(rd, static_cast<uint64_t>(immU(insn)));
+        break;
+      case 0x17: // auipc
+        setReg(rd, pc_ + static_cast<uint64_t>(immU(insn)));
+        break;
+      case 0x6f: // jal
+        setReg(rd, pc_ + 4);
+        next_pc = pc_ + static_cast<uint64_t>(immJ(insn));
+        counters_.inc("jumps");
+        break;
+      case 0x67: // jalr
+        setReg(rd, pc_ + 4);
+        next_pc = (a + static_cast<uint64_t>(immI(insn))) & ~uint64_t{1};
+        counters_.inc("jumps");
+        break;
+      case 0x63: { // branches
+        bool taken = false;
+        switch (funct3) {
+          case 0: taken = a == b; break;               // beq
+          case 1: taken = a != b; break;               // bne
+          case 4: taken = static_cast<int64_t>(a) <
+                          static_cast<int64_t>(b); break; // blt
+          case 5: taken = static_cast<int64_t>(a) >=
+                          static_cast<int64_t>(b); break; // bge
+          case 6: taken = a < b; break;                // bltu
+          case 7: taken = a >= b; break;               // bgeu
+          default:
+            halt_ = HaltReason::kBadInsn;
+            return false;
+        }
+        if (taken)
+            next_pc = pc_ + static_cast<uint64_t>(immB(insn));
+        counters_.inc("branches");
+        break;
+      }
+      case 0x03: { // loads
+        const uint64_t addr = a + static_cast<uint64_t>(immI(insn));
+        switch (funct3) {
+          case 0: setReg(rd, static_cast<uint64_t>(signExtend64(
+                              readWord(addr, 1), 8))); break;  // lb
+          case 1: setReg(rd, static_cast<uint64_t>(signExtend64(
+                              readWord(addr, 2), 16))); break; // lh
+          case 2: setReg(rd, static_cast<uint64_t>(signExtend64(
+                              readWord(addr, 4), 32))); break; // lw
+          case 3: setReg(rd, readWord(addr, 8)); break;        // ld
+          case 4: setReg(rd, readWord(addr, 1)); break;        // lbu
+          case 5: setReg(rd, readWord(addr, 2)); break;        // lhu
+          case 6: setReg(rd, readWord(addr, 4)); break;        // lwu
+          default:
+            halt_ = HaltReason::kBadInsn;
+            return false;
+        }
+        counters_.inc("loads");
+        break;
+      }
+      case 0x23: { // stores
+        const uint64_t addr = a + static_cast<uint64_t>(immS(insn));
+        switch (funct3) {
+          case 0: writeWord(addr, b, 1); break; // sb
+          case 1: writeWord(addr, b, 2); break; // sh
+          case 2: writeWord(addr, b, 4); break; // sw
+          case 3: writeWord(addr, b, 8); break; // sd
+          default:
+            halt_ = HaltReason::kBadInsn;
+            return false;
+        }
+        counters_.inc("stores");
+        break;
+      }
+      case 0x13: { // ALU immediate
+        const int64_t imm = immI(insn);
+        switch (funct3) {
+          case 0: setReg(rd, a + imm); break;                  // addi
+          case 1: setReg(rd, a << (imm & 0x3f)); break;        // slli
+          case 2: setReg(rd, static_cast<int64_t>(a) < imm);
+                  break;                                       // slti
+          case 3: setReg(rd, a < static_cast<uint64_t>(imm));
+                  break;                                       // sltiu
+          case 4: setReg(rd, a ^ imm); break;                  // xori
+          case 5:
+            if (funct7 & 0x20)
+                setReg(rd, static_cast<uint64_t>(
+                               static_cast<int64_t>(a) >>
+                               (imm & 0x3f))); // srai
+            else
+                setReg(rd, a >> (imm & 0x3f)); // srli
+            break;
+          case 6: setReg(rd, a | imm); break;                  // ori
+          case 7: setReg(rd, a & imm); break;                  // andi
+        }
+        break;
+      }
+      case 0x1b: { // ALU immediate, word (addiw/slliw/...)
+        const int64_t imm = immI(insn);
+        int32_t w = static_cast<int32_t>(a);
+        switch (funct3) {
+          case 0: w = static_cast<int32_t>(a + imm); break;    // addiw
+          case 1: w = static_cast<int32_t>(a) << (imm & 0x1f);
+                  break;                                       // slliw
+          case 5:
+            if (funct7 & 0x20)
+                w = static_cast<int32_t>(a) >> (imm & 0x1f);   // sraiw
+            else
+                w = static_cast<int32_t>(
+                    static_cast<uint32_t>(a) >> (imm & 0x1f)); // srliw
+            break;
+          default:
+            halt_ = HaltReason::kBadInsn;
+            return false;
+        }
+        setReg(rd, static_cast<uint64_t>(static_cast<int64_t>(w)));
+        break;
+      }
+      case 0x33: { // R-type ALU / RV64M
+        if (funct7 == 0x01) { // M extension
+            switch (funct3) {
+              case 0: setReg(rd, a * b); break; // mul
+              case 1:  // mulh
+                setReg(rd, static_cast<uint64_t>(
+                               (static_cast<int128>(
+                                    static_cast<int64_t>(a)) *
+                                static_cast<int64_t>(b)) >>
+                               64));
+                break;
+              case 3: // mulhu
+                setReg(rd, static_cast<uint64_t>(
+                               (static_cast<uint128>(a) * b) >> 64));
+                break;
+              default:
+                halt_ = HaltReason::kBadInsn;
+                return false;
+            }
+            counters_.inc("muls");
+            break;
+        }
+        switch (funct3) {
+          case 0:
+            setReg(rd, funct7 & 0x20 ? a - b : a + b);
+            break;
+          case 1: setReg(rd, a << (b & 0x3f)); break;
+          case 2: setReg(rd, static_cast<int64_t>(a) <
+                             static_cast<int64_t>(b)); break;
+          case 3: setReg(rd, a < b); break;
+          case 4: setReg(rd, a ^ b); break;
+          case 5:
+            if (funct7 & 0x20)
+                setReg(rd, static_cast<uint64_t>(
+                               static_cast<int64_t>(a) >> (b & 0x3f)));
+            else
+                setReg(rd, a >> (b & 0x3f));
+            break;
+          case 6: setReg(rd, a | b); break;
+          case 7: setReg(rd, a & b); break;
+        }
+        break;
+      }
+      case kCustom0Opcode: { // bs.set / bs.ip / bs.get
+        const auto decoded = decodeBsInstruction(insn);
+        if (!decoded) {
+            halt_ = HaltReason::kBadInsn;
+            return false;
+        }
+        switch (decoded->funct3) {
+          case BsFunct3::kSet: {
+            const BsSetConfig cfg = unpackBsSetConfig(a);
+            DataSizeConfig ds;
+            ds.bwa = cfg.bwa;
+            ds.bwb = cfg.bwb;
+            ds.a_signed = cfg.a_signed;
+            ds.b_signed = cfg.b_signed;
+            engine_.set(computeBsGeometry(ds),
+                        static_cast<unsigned>(b));
+            counters_.inc("bs_set");
+            break;
+          }
+          case BsFunct3::kIp:
+            engine_.ip(a, b);
+            counters_.inc("bs_ip");
+            break;
+          case BsFunct3::kGet:
+            setReg(rd, static_cast<uint64_t>(
+                           engine_.get(static_cast<unsigned>(a))));
+            counters_.inc("bs_get");
+            break;
+        }
+        break;
+      }
+      case 0x73: // system: ebreak/ecall halt the machine
+        halt_ = HaltReason::kEbreak;
+        return false;
+      default:
+        halt_ = HaltReason::kBadInsn;
+        return false;
+    }
+
+    pc_ = next_pc;
+    return true;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Functional RV64 instruction-set simulator with the Mix-GEMM ISA
+ * extension.
+ *
+ * The paper compiles its library with a GNU toolchain extended with
+ * bs.set/bs.ip/bs.get and runs it on an FPGA-emulated SoC. This ISS is
+ * the software stand-in for that flow: it decodes and executes *real
+ * encoded* RV64I+M instructions plus the three custom-0 instructions
+ * (wired to the bit-exact functional μ-engine of bs/engine.h), so
+ * kernels written at the assembly level produce the same values the
+ * hardware would. Timing is the job of src/sim; this machine is purely
+ * functional and exists to validate the ISA extension end to end:
+ * encode -> decode -> execute -> binary-segmentation arithmetic.
+ *
+ * Supported subset: the RV64I ALU/branch/load/store/jump instructions
+ * and RV64M multiplies — enough to hand-write blocked GEMM kernels
+ * (see tests/test_iss.cc, which runs one against the reference GEMM).
+ *
+ * Custom-instruction register conventions (R-type, custom-0):
+ *   bs.set rd, rs1, rs2   rs1 = packed BsSetConfig word,
+ *                         rs2 = active AccMem slots
+ *   bs.ip  rd, rs1, rs2   rs1 = A μ-vector, rs2 = B μ-vector
+ *   bs.get rd, rs1, rs2   rs1 = AccMem slot index; rd = value
+ */
+
+#ifndef MIXGEMM_ISS_MACHINE_H
+#define MIXGEMM_ISS_MACHINE_H
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "bs/engine.h"
+#include "common/stats.h"
+
+namespace mixgemm
+{
+
+/** Why the machine stopped. */
+enum class HaltReason
+{
+    kRunning,   ///< step limit reached without halting
+    kEbreak,    ///< program executed ebreak (normal completion)
+    kBadInsn,   ///< undecodable or unsupported instruction
+};
+
+/** Functional RV64I+M+bs machine. */
+class RiscvMachine
+{
+  public:
+    RiscvMachine();
+
+    /** Load a program (32-bit words) at @p base and set the PC. */
+    void loadProgram(std::span<const uint32_t> words, uint64_t base);
+
+    /** Read/write integer registers (x0 stays 0). */
+    uint64_t reg(unsigned index) const;
+    void setReg(unsigned index, uint64_t value);
+
+    /** Byte-granular memory access (sparse backing store). */
+    uint8_t readByte(uint64_t addr) const;
+    void writeByte(uint64_t addr, uint8_t value);
+    uint64_t readWord(uint64_t addr, unsigned bytes) const;
+    void writeWord(uint64_t addr, uint64_t value, unsigned bytes);
+
+    /** Bulk helpers for test setup. */
+    void writeBlock(uint64_t addr, std::span<const uint64_t> words);
+
+    /** Execute one instruction; returns false when halted. */
+    bool step();
+
+    /**
+     * Run until ebreak, an undecodable instruction, or @p max_steps.
+     * @return the halt reason.
+     */
+    HaltReason run(uint64_t max_steps = 100'000'000);
+
+    uint64_t pc() const { return pc_; }
+    HaltReason haltReason() const { return halt_; }
+    uint64_t instructionsExecuted() const { return executed_; }
+    const CounterSet &counters() const { return counters_; }
+
+    /** The attached functional μ-engine (inspectable by tests). */
+    BsEngine &engine() { return engine_; }
+
+  private:
+    uint64_t regs_[32] = {};
+    uint64_t pc_ = 0;
+    std::map<uint64_t, std::vector<uint8_t>> pages_;
+    BsEngine engine_;
+    HaltReason halt_ = HaltReason::kRunning;
+    uint64_t executed_ = 0;
+    CounterSet counters_;
+
+    static constexpr uint64_t kPageBytes = 4096;
+
+    std::vector<uint8_t> &page(uint64_t addr);
+    const std::vector<uint8_t> *pageIfPresent(uint64_t addr) const;
+
+    /** Execute one decoded instruction word; returns false to halt. */
+    bool execute(uint32_t insn);
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_ISS_MACHINE_H

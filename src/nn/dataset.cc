@@ -1,0 +1,79 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mixgemm
+{
+
+PatternDataset::PatternDataset(size_t count, uint64_t seed, double noise)
+{
+    Rng rng(seed);
+    samples_.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        samples_.push_back(
+            makeSample(static_cast<unsigned>(i % kNumClasses), rng,
+                       noise));
+}
+
+Sample
+PatternDataset::makeSample(unsigned label, Rng &rng, double noise) const
+{
+    const unsigned n = kImageSize;
+    Sample s;
+    s.label = label;
+    s.image = Tensor<double>({1, 1, n, n});
+    const unsigned phase = static_cast<unsigned>(rng.uniformInt(0, 3));
+    const unsigned cx =
+        static_cast<unsigned>(rng.uniformInt(3, n - 4));
+    const unsigned cy =
+        static_cast<unsigned>(rng.uniformInt(3, n - 4));
+
+    for (unsigned y = 0; y < n; ++y) {
+        for (unsigned x = 0; x < n; ++x) {
+            double v = 0.0;
+            switch (label) {
+              case 0: // horizontal stripes
+                v = (y + phase) % 4 < 2 ? 1.0 : 0.0;
+                break;
+              case 1: // vertical stripes
+                v = (x + phase) % 4 < 2 ? 1.0 : 0.0;
+                break;
+              case 2: // diagonal stripes
+                v = (x + y + phase) % 4 < 2 ? 1.0 : 0.0;
+                break;
+              case 3: // checkerboard
+                v = ((x / 2 + y / 2 + phase) % 2) ? 1.0 : 0.0;
+                break;
+              case 4: { // centred blob
+                const double dx = static_cast<double>(x) - cx;
+                const double dy = static_cast<double>(y) - cy;
+                v = std::exp(-(dx * dx + dy * dy) / 6.0);
+                break;
+              }
+              case 5: // cross
+                v = (std::abs(static_cast<int>(x) -
+                              static_cast<int>(cx)) <= 1 ||
+                     std::abs(static_cast<int>(y) -
+                              static_cast<int>(cy)) <= 1)
+                        ? 1.0
+                        : 0.0;
+                break;
+              case 6: // filled corner square
+                v = (x < n / 2) == (phase % 2 == 0) &&
+                            (y < n / 2) == (phase / 2 == 0)
+                        ? 1.0
+                        : 0.0;
+                break;
+              default: // sparse dots
+                v = (x % 4 == phase && y % 4 == phase) ? 1.0 : 0.0;
+                break;
+            }
+            v += rng.uniformReal(-noise, noise);
+            s.image.at(0, 0, y, x) = std::clamp(v, 0.0, 1.0);
+        }
+    }
+    return s;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,483 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+// ---------------------------------------------------------------------
+// FakeQuant
+// ---------------------------------------------------------------------
+
+FakeQuant::FakeQuant(unsigned bits, bool track_ema, bool is_signed)
+    : bits_(bits), track_ema_(track_ema), is_signed_(is_signed)
+{
+    if (bits < 2 || bits > 8)
+        fatal("FakeQuant: bits must be in [2, 8]");
+}
+
+void
+FakeQuant::apply(Tensor<double> &x, bool update_stats)
+{
+    double absmax = 0.0;
+    for (const double v : x.flat())
+        absmax = std::max(absmax, std::abs(v));
+    if (track_ema_) {
+        if (update_stats) {
+            ema_absmax_ = ema_absmax_ == 0.0
+                              ? absmax
+                              : 0.95 * ema_absmax_ + 0.05 * absmax;
+        }
+        absmax = ema_absmax_ != 0.0 ? ema_absmax_ : absmax;
+    }
+    const int64_t qmax = is_signed_
+                             ? (int64_t{1} << (bits_ - 1)) - 1
+                             : (int64_t{1} << bits_) - 1;
+    const int64_t qmin =
+        is_signed_ ? -(int64_t{1} << (bits_ - 1)) : 0;
+    scale_ = absmax > 0.0 ? absmax / static_cast<double>(qmax) : 1.0;
+
+    clamped_.assign(x.size(), false);
+    for (size_t i = 0; i < x.size(); ++i) {
+        const double q = std::nearbyint(x[i] / scale_);
+        if (q > static_cast<double>(qmax) ||
+            q < static_cast<double>(qmin))
+            clamped_[i] = true;
+        x[i] = std::clamp(q, static_cast<double>(qmin),
+                          static_cast<double>(qmax)) *
+               scale_;
+    }
+}
+
+void
+FakeQuant::maskGradient(Tensor<double> &grad) const
+{
+    if (clamped_.size() != grad.size())
+        panic("FakeQuant: gradient/mask size mismatch");
+    for (size_t i = 0; i < grad.size(); ++i)
+        if (clamped_[i])
+            grad[i] = 0.0;
+}
+
+// ---------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Kaiming-style uniform init in [-b, b]. */
+void
+initUniform(Tensor<double> &w, double fan_in, Rng &rng)
+{
+    const double bound = std::sqrt(3.0 / fan_in);
+    for (auto &v : w.flat())
+        v = rng.uniformReal(-bound, bound);
+}
+
+} // namespace
+
+Conv2d::Conv2d(unsigned in_c, unsigned out_c, unsigned k, unsigned pad,
+               const QatConfig &qat, Rng &rng)
+    : in_c_(in_c), out_c_(out_c), k_(k), pad_(pad), qat_(qat),
+      w_({out_c, in_c, k, k}), b_(out_c, 0.0),
+      w_grad_({out_c, in_c, k, k}), b_grad_(out_c, 0.0),
+      w_vel_({out_c, in_c, k, k}), b_vel_(out_c, 0.0),
+      aq_(qat.a_bits, true, !qat.unsigned_activations),
+      wq_(qat.w_bits, false)
+{
+    initUniform(w_, static_cast<double>(in_c) * k * k, rng);
+}
+
+Tensor<double>
+Conv2d::forward(const Tensor<double> &x, bool train)
+{
+    x_cache_ = x;
+    if (qat_.enabled)
+        aq_.apply(x_cache_, train);
+    wq_cache_ = w_;
+    if (qat_.enabled)
+        wq_.apply(wq_cache_, train);
+
+    const unsigned h = static_cast<unsigned>(x.dim(2));
+    const unsigned w = static_cast<unsigned>(x.dim(3));
+    const unsigned oh = h + 2 * pad_ - k_ + 1;
+    const unsigned ow = w + 2 * pad_ - k_ + 1;
+    Tensor<double> out({1, out_c_, oh, ow});
+    for (unsigned o = 0; o < out_c_; ++o) {
+        for (unsigned y = 0; y < oh; ++y) {
+            for (unsigned xx = 0; xx < ow; ++xx) {
+                double acc = b_[o];
+                for (unsigned c = 0; c < in_c_; ++c) {
+                    for (unsigned ky = 0; ky < k_; ++ky) {
+                        for (unsigned kx = 0; kx < k_; ++kx) {
+                            const long iy =
+                                static_cast<long>(y) + ky - pad_;
+                            const long ix =
+                                static_cast<long>(xx) + kx - pad_;
+                            if (iy < 0 || iy >= static_cast<long>(h) ||
+                                ix < 0 || ix >= static_cast<long>(w))
+                                continue;
+                            acc += x_cache_.at(0, c, iy, ix) *
+                                   wq_cache_.at(o, c, ky, kx);
+                        }
+                    }
+                }
+                out.at(0, o, y, xx) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor<double>
+Conv2d::backward(const Tensor<double> &grad)
+{
+    const unsigned h = static_cast<unsigned>(x_cache_.dim(2));
+    const unsigned w = static_cast<unsigned>(x_cache_.dim(3));
+    const unsigned oh = static_cast<unsigned>(grad.dim(2));
+    const unsigned ow = static_cast<unsigned>(grad.dim(3));
+    Tensor<double> dx({1, in_c_, h, w});
+    Tensor<double> dw({out_c_, in_c_, k_, k_});
+
+    for (unsigned o = 0; o < out_c_; ++o) {
+        for (unsigned y = 0; y < oh; ++y) {
+            for (unsigned xx = 0; xx < ow; ++xx) {
+                const double g = grad.at(0, o, y, xx);
+                b_grad_[o] += g;
+                for (unsigned c = 0; c < in_c_; ++c) {
+                    for (unsigned ky = 0; ky < k_; ++ky) {
+                        for (unsigned kx = 0; kx < k_; ++kx) {
+                            const long iy =
+                                static_cast<long>(y) + ky - pad_;
+                            const long ix =
+                                static_cast<long>(xx) + kx - pad_;
+                            if (iy < 0 || iy >= static_cast<long>(h) ||
+                                ix < 0 || ix >= static_cast<long>(w))
+                                continue;
+                            dw.at(o, c, ky, kx) +=
+                                g * x_cache_.at(0, c, iy, ix);
+                            dx.at(0, c, iy, ix) +=
+                                g * wq_cache_.at(o, c, ky, kx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if (qat_.enabled) {
+        wq_.maskGradient(dw);
+        aq_.maskGradient(dx);
+    }
+    for (size_t i = 0; i < dw.size(); ++i)
+        w_grad_[i] += dw[i];
+    return dx;
+}
+
+void
+Conv2d::setParameters(const Tensor<double> &w,
+                      const std::vector<double> &b)
+{
+    if (w.size() != w_.size() || b.size() != b_.size())
+        fatal("Conv2d::setParameters: shape mismatch");
+    w_ = w;
+    b_ = b;
+}
+
+void
+Conv2d::step(double lr, double momentum)
+{
+    for (size_t i = 0; i < w_.size(); ++i) {
+        w_vel_[i] = momentum * w_vel_[i] - lr * w_grad_[i];
+        w_[i] += w_vel_[i];
+        w_grad_[i] = 0.0;
+    }
+    for (size_t i = 0; i < b_.size(); ++i) {
+        b_vel_[i] = momentum * b_vel_[i] - lr * b_grad_[i];
+        b_[i] += b_vel_[i];
+        b_grad_[i] = 0.0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// DepthwiseConv2d
+// ---------------------------------------------------------------------
+
+DepthwiseConv2d::DepthwiseConv2d(unsigned channels, unsigned k,
+                                 unsigned pad, const QatConfig &qat,
+                                 Rng &rng)
+    : channels_(channels), k_(k), pad_(pad), qat_(qat),
+      w_({channels, 1, k, k}), b_(channels, 0.0),
+      w_grad_({channels, 1, k, k}), b_grad_(channels, 0.0),
+      w_vel_({channels, 1, k, k}), b_vel_(channels, 0.0),
+      aq_(qat.a_bits, true, !qat.unsigned_activations),
+      wq_(qat.w_bits, false)
+{
+    initUniform(w_, static_cast<double>(k) * k, rng);
+}
+
+Tensor<double>
+DepthwiseConv2d::forward(const Tensor<double> &x, bool train)
+{
+    if (x.dim(1) != channels_)
+        fatal("DepthwiseConv2d: channel mismatch");
+    x_cache_ = x;
+    if (qat_.enabled)
+        aq_.apply(x_cache_, train);
+    wq_cache_ = w_;
+    if (qat_.enabled)
+        wq_.apply(wq_cache_, train);
+
+    const unsigned h = static_cast<unsigned>(x.dim(2));
+    const unsigned w = static_cast<unsigned>(x.dim(3));
+    const unsigned oh = h + 2 * pad_ - k_ + 1;
+    const unsigned ow = w + 2 * pad_ - k_ + 1;
+    Tensor<double> out({1, channels_, oh, ow});
+    for (unsigned c = 0; c < channels_; ++c) {
+        for (unsigned y = 0; y < oh; ++y) {
+            for (unsigned xx = 0; xx < ow; ++xx) {
+                double acc = b_[c];
+                for (unsigned ky = 0; ky < k_; ++ky) {
+                    for (unsigned kx = 0; kx < k_; ++kx) {
+                        const long iy =
+                            static_cast<long>(y) + ky - pad_;
+                        const long ix =
+                            static_cast<long>(xx) + kx - pad_;
+                        if (iy < 0 || iy >= static_cast<long>(h) ||
+                            ix < 0 || ix >= static_cast<long>(w))
+                            continue;
+                        acc += x_cache_.at(0, c, iy, ix) *
+                               wq_cache_.at(c, 0, ky, kx);
+                    }
+                }
+                out.at(0, c, y, xx) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor<double>
+DepthwiseConv2d::backward(const Tensor<double> &grad)
+{
+    const unsigned h = static_cast<unsigned>(x_cache_.dim(2));
+    const unsigned w = static_cast<unsigned>(x_cache_.dim(3));
+    const unsigned oh = static_cast<unsigned>(grad.dim(2));
+    const unsigned ow = static_cast<unsigned>(grad.dim(3));
+    Tensor<double> dx({1, channels_, h, w});
+    Tensor<double> dw({channels_, 1, k_, k_});
+    for (unsigned c = 0; c < channels_; ++c) {
+        for (unsigned y = 0; y < oh; ++y) {
+            for (unsigned xx = 0; xx < ow; ++xx) {
+                const double g = grad.at(0, c, y, xx);
+                b_grad_[c] += g;
+                for (unsigned ky = 0; ky < k_; ++ky) {
+                    for (unsigned kx = 0; kx < k_; ++kx) {
+                        const long iy =
+                            static_cast<long>(y) + ky - pad_;
+                        const long ix =
+                            static_cast<long>(xx) + kx - pad_;
+                        if (iy < 0 || iy >= static_cast<long>(h) ||
+                            ix < 0 || ix >= static_cast<long>(w))
+                            continue;
+                        dw.at(c, 0, ky, kx) +=
+                            g * x_cache_.at(0, c, iy, ix);
+                        dx.at(0, c, iy, ix) +=
+                            g * wq_cache_.at(c, 0, ky, kx);
+                    }
+                }
+            }
+        }
+    }
+    if (qat_.enabled) {
+        wq_.maskGradient(dw);
+        aq_.maskGradient(dx);
+    }
+    for (size_t i = 0; i < dw.size(); ++i)
+        w_grad_[i] += dw[i];
+    return dx;
+}
+
+void
+DepthwiseConv2d::setParameters(const Tensor<double> &w,
+                               const std::vector<double> &b)
+{
+    if (w.size() != w_.size() || b.size() != b_.size())
+        fatal("DepthwiseConv2d::setParameters: shape mismatch");
+    w_ = w;
+    b_ = b;
+}
+
+void
+DepthwiseConv2d::step(double lr, double momentum)
+{
+    for (size_t i = 0; i < w_.size(); ++i) {
+        w_vel_[i] = momentum * w_vel_[i] - lr * w_grad_[i];
+        w_[i] += w_vel_[i];
+        w_grad_[i] = 0.0;
+    }
+    for (size_t i = 0; i < b_.size(); ++i) {
+        b_vel_[i] = momentum * b_vel_[i] - lr * b_grad_[i];
+        b_[i] += b_vel_[i];
+        b_grad_[i] = 0.0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relu / MaxPool2
+// ---------------------------------------------------------------------
+
+Tensor<double>
+Relu::forward(const Tensor<double> &x, bool)
+{
+    x_cache_ = x;
+    Tensor<double> out = x;
+    for (auto &v : out.flat())
+        v = std::max(v, 0.0);
+    return out;
+}
+
+Tensor<double>
+Relu::backward(const Tensor<double> &grad)
+{
+    Tensor<double> dx = grad;
+    for (size_t i = 0; i < dx.size(); ++i)
+        if (x_cache_[i] <= 0.0)
+            dx[i] = 0.0;
+    return dx;
+}
+
+Tensor<double>
+MaxPool2::forward(const Tensor<double> &x, bool)
+{
+    in_shape_ = x.shape();
+    const unsigned c = static_cast<unsigned>(x.dim(1));
+    const unsigned h = static_cast<unsigned>(x.dim(2));
+    const unsigned w = static_cast<unsigned>(x.dim(3));
+    const unsigned oh = h / 2;
+    const unsigned ow = w / 2;
+    Tensor<double> out({1, c, oh, ow});
+    argmax_.assign(out.size(), 0);
+    size_t oi = 0;
+    for (unsigned cc = 0; cc < c; ++cc) {
+        for (unsigned y = 0; y < oh; ++y) {
+            for (unsigned xx = 0; xx < ow; ++xx, ++oi) {
+                double best = -1e300;
+                size_t best_idx = 0;
+                for (unsigned dy = 0; dy < 2; ++dy) {
+                    for (unsigned dx = 0; dx < 2; ++dx) {
+                        const size_t idx =
+                            ((0 * c + cc) * h + 2 * y + dy) * w +
+                            2 * xx + dx;
+                        if (x[idx] > best) {
+                            best = x[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out[oi] = best;
+                argmax_[oi] = best_idx;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor<double>
+MaxPool2::backward(const Tensor<double> &grad)
+{
+    Tensor<double> dx(in_shape_);
+    for (size_t i = 0; i < grad.size(); ++i)
+        dx[argmax_[i]] += grad[i];
+    return dx;
+}
+
+// ---------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------
+
+Linear::Linear(unsigned in, unsigned out, const QatConfig &qat, Rng &rng)
+    : in_(in), out_(out), qat_(qat), w_({out, in}), b_(out, 0.0),
+      w_grad_({out, in}), b_grad_(out, 0.0), w_vel_({out, in}),
+      b_vel_(out, 0.0), aq_(qat.a_bits, true, !qat.unsigned_activations),
+      wq_(qat.w_bits, false)
+{
+    initUniform(w_, in, rng);
+}
+
+Tensor<double>
+Linear::forward(const Tensor<double> &x, bool train)
+{
+    if (x.size() != in_)
+        fatal(strCat("Linear: input size ", x.size(), " != ", in_));
+    x_cache_ = Tensor<double>({1, in_}, std::vector<double>(
+                                            x.flat().begin(),
+                                            x.flat().end()));
+    if (qat_.enabled)
+        aq_.apply(x_cache_, train);
+    wq_cache_ = w_;
+    if (qat_.enabled)
+        wq_.apply(wq_cache_, train);
+
+    Tensor<double> out({1, out_});
+    for (unsigned o = 0; o < out_; ++o) {
+        double acc = b_[o];
+        for (unsigned i = 0; i < in_; ++i)
+            acc += wq_cache_.at(o, i) * x_cache_[i];
+        out[o] = acc;
+    }
+    return out;
+}
+
+Tensor<double>
+Linear::backward(const Tensor<double> &grad)
+{
+    Tensor<double> dx({1, in_});
+    Tensor<double> dw({out_, in_});
+    for (unsigned o = 0; o < out_; ++o) {
+        const double g = grad[o];
+        b_grad_[o] += g;
+        for (unsigned i = 0; i < in_; ++i) {
+            dw.at(o, i) += g * x_cache_[i];
+            dx[i] += g * wq_cache_.at(o, i);
+        }
+    }
+    if (qat_.enabled) {
+        wq_.maskGradient(dw);
+        aq_.maskGradient(dx);
+    }
+    for (size_t i = 0; i < dw.size(); ++i)
+        w_grad_[i] += dw[i];
+    return dx;
+}
+
+void
+Linear::setParameters(const Tensor<double> &w,
+                      const std::vector<double> &b)
+{
+    if (w.size() != w_.size() || b.size() != b_.size())
+        fatal("Linear::setParameters: shape mismatch");
+    w_ = w;
+    b_ = b;
+}
+
+void
+Linear::step(double lr, double momentum)
+{
+    for (size_t i = 0; i < w_.size(); ++i) {
+        w_vel_[i] = momentum * w_vel_[i] - lr * w_grad_[i];
+        w_[i] += w_vel_[i];
+        w_grad_[i] = 0.0;
+    }
+    for (size_t i = 0; i < b_.size(); ++i) {
+        b_vel_[i] = momentum * b_vel_[i] - lr * b_grad_[i];
+        b_[i] += b_vel_[i];
+        b_grad_[i] = 0.0;
+    }
+}
+
+} // namespace mixgemm

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Minimal trainable layers with straight-through-estimator (STE)
+ * fake quantization — the QAT substrate of the Fig. 3 workflow.
+ *
+ * Layers process one sample at a time ([1 x C x H x W] tensors); the
+ * trainer accumulates gradients over a mini-batch and then calls
+ * step(). Conv2d and Linear optionally fake-quantize their weights
+ * (per-tensor absmax scale, recomputed every forward) and their input
+ * activations (EMA-tracked absmax scale), with gradients passed through
+ * the rounding and zeroed where values clamp — the standard STE rule.
+ */
+
+#ifndef MIXGEMM_NN_LAYERS_H
+#define MIXGEMM_NN_LAYERS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "quant/quantizer.h"
+#include "tensor/tensor.h"
+
+namespace mixgemm
+{
+
+/** Quantization-aware-training configuration. */
+struct QatConfig
+{
+    bool enabled = false;
+    unsigned a_bits = 8; ///< activation bitwidth
+    unsigned w_bits = 8; ///< weight bitwidth
+    /**
+     * Quantize activations unsigned ([0, 2^bits - 1]). Post-ReLU
+     * activations are non-negative, so the unsigned range doubles the
+     * usable resolution — the μ-engine's Control Unit supports
+     * signed/unsigned per operand (Section III-B), and the deployment
+     * path selects the matching configuration.
+     */
+    bool unsigned_activations = false;
+};
+
+/** Base class for trainable layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Forward pass; caches whatever backward() needs. */
+    virtual Tensor<double> forward(const Tensor<double> &x,
+                                   bool train) = 0;
+
+    /** Backward pass: input = dL/d(output), returns dL/d(input). */
+    virtual Tensor<double> backward(const Tensor<double> &grad) = 0;
+
+    /** SGD + momentum update; also clears accumulated gradients. */
+    virtual void step(double lr, double momentum) { (void)lr,
+                                                    (void)momentum; }
+
+    virtual std::string name() const = 0;
+};
+
+/** STE fake-quantizer for one tensor role. */
+class FakeQuant
+{
+  public:
+    FakeQuant(unsigned bits, bool track_ema, bool is_signed = true);
+
+    /**
+     * Quantize-dequantize @p x in place and record the clamp mask.
+     * The scale is the tensor absmax (weights) or an EMA of batch
+     * absmax values (activations) mapped onto the signed range.
+     */
+    void apply(Tensor<double> &x, bool update_stats);
+
+    /** STE: zero @p grad where the forward value clamped. */
+    void maskGradient(Tensor<double> &grad) const;
+
+    double scale() const { return scale_; }
+    unsigned bits() const { return bits_; }
+    bool isSigned() const { return is_signed_; }
+
+  private:
+    unsigned bits_;
+    bool track_ema_;
+    bool is_signed_;
+    double ema_absmax_ = 0.0;
+    double scale_ = 1.0;
+    std::vector<bool> clamped_;
+};
+
+/** 2-D convolution (square kernel, stride 1, configurable padding). */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(unsigned in_c, unsigned out_c, unsigned k, unsigned pad,
+           const QatConfig &qat, Rng &rng);
+
+    Tensor<double> forward(const Tensor<double> &x, bool train) override;
+    Tensor<double> backward(const Tensor<double> &grad) override;
+    void step(double lr, double momentum) override;
+    std::string name() const override { return "conv2d"; }
+
+    /** Trained (float) weights, [out_c x in_c x k x k]. */
+    const Tensor<double> &weights() const { return w_; }
+    const std::vector<double> &bias() const { return b_; }
+    /** Warm-start from another layer's parameters (paper Section IV-A:
+     * low-bit configurations retrain from higher-bit checkpoints). */
+    void setParameters(const Tensor<double> &w,
+                       const std::vector<double> &b);
+    /** Activation/weight scales of the last forward (for deployment). */
+    double activationScale() const { return aq_.scale(); }
+    double weightScale() const { return wq_.scale(); }
+    unsigned inChannels() const { return in_c_; }
+    unsigned outChannels() const { return out_c_; }
+    unsigned kernel() const { return k_; }
+    unsigned padding() const { return pad_; }
+    const QatConfig &qat() const { return qat_; }
+
+  private:
+    unsigned in_c_, out_c_, k_, pad_;
+    QatConfig qat_;
+    Tensor<double> w_;
+    std::vector<double> b_;
+    Tensor<double> w_grad_;
+    std::vector<double> b_grad_;
+    Tensor<double> w_vel_;
+    std::vector<double> b_vel_;
+    FakeQuant aq_;
+    FakeQuant wq_;
+    Tensor<double> x_cache_;  ///< quantized input of last forward
+    Tensor<double> wq_cache_; ///< quantized weights of last forward
+};
+
+/**
+ * Depthwise 2-D convolution (groups == channels, stride 1): the
+ * MobileNet/EfficientNet building block. One k x k filter per channel.
+ */
+class DepthwiseConv2d : public Layer
+{
+  public:
+    DepthwiseConv2d(unsigned channels, unsigned k, unsigned pad,
+                    const QatConfig &qat, Rng &rng);
+
+    Tensor<double> forward(const Tensor<double> &x, bool train) override;
+    Tensor<double> backward(const Tensor<double> &grad) override;
+    void step(double lr, double momentum) override;
+    std::string name() const override { return "depthwise_conv2d"; }
+
+    /** Trained weights, [channels x 1 x k x k]. */
+    const Tensor<double> &weights() const { return w_; }
+    const std::vector<double> &bias() const { return b_; }
+    void setParameters(const Tensor<double> &w,
+                       const std::vector<double> &b);
+    double activationScale() const { return aq_.scale(); }
+    unsigned channels() const { return channels_; }
+    unsigned kernel() const { return k_; }
+    unsigned padding() const { return pad_; }
+    const QatConfig &qat() const { return qat_; }
+
+  private:
+    unsigned channels_, k_, pad_;
+    QatConfig qat_;
+    Tensor<double> w_;
+    std::vector<double> b_;
+    Tensor<double> w_grad_;
+    std::vector<double> b_grad_;
+    Tensor<double> w_vel_;
+    std::vector<double> b_vel_;
+    FakeQuant aq_;
+    FakeQuant wq_;
+    Tensor<double> x_cache_;
+    Tensor<double> wq_cache_;
+};
+
+/** Rectified linear unit. */
+class Relu : public Layer
+{
+  public:
+    Tensor<double> forward(const Tensor<double> &x, bool train) override;
+    Tensor<double> backward(const Tensor<double> &grad) override;
+    std::string name() const override { return "relu"; }
+
+  private:
+    Tensor<double> x_cache_;
+};
+
+/** 2x2 max pooling, stride 2. */
+class MaxPool2 : public Layer
+{
+  public:
+    Tensor<double> forward(const Tensor<double> &x, bool train) override;
+    Tensor<double> backward(const Tensor<double> &grad) override;
+    std::string name() const override { return "maxpool2"; }
+
+  private:
+    std::vector<size_t> argmax_;
+    std::vector<size_t> in_shape_;
+};
+
+/** Fully connected layer on a flattened input. */
+class Linear : public Layer
+{
+  public:
+    Linear(unsigned in, unsigned out, const QatConfig &qat, Rng &rng);
+
+    Tensor<double> forward(const Tensor<double> &x, bool train) override;
+    Tensor<double> backward(const Tensor<double> &grad) override;
+    void step(double lr, double momentum) override;
+    std::string name() const override { return "linear"; }
+
+    const Tensor<double> &weights() const { return w_; } ///< [out x in]
+    const std::vector<double> &bias() const { return b_; }
+    /** Warm-start from another layer's parameters. */
+    void setParameters(const Tensor<double> &w,
+                       const std::vector<double> &b);
+    double activationScale() const { return aq_.scale(); }
+    double weightScale() const { return wq_.scale(); }
+    unsigned inFeatures() const { return in_; }
+    unsigned outFeatures() const { return out_; }
+    const QatConfig &qat() const { return qat_; }
+
+  private:
+    unsigned in_, out_;
+    QatConfig qat_;
+    Tensor<double> w_;
+    std::vector<double> b_;
+    Tensor<double> w_grad_;
+    std::vector<double> b_grad_;
+    Tensor<double> w_vel_;
+    std::vector<double> b_vel_;
+    FakeQuant aq_;
+    FakeQuant wq_;
+    Tensor<double> x_cache_;
+    Tensor<double> wq_cache_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_NN_LAYERS_H

@@ -1,0 +1,211 @@
+#include "nn/qat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+Tensor<double>
+Flatten::forward(const Tensor<double> &x, bool)
+{
+    in_shape_ = x.shape();
+    return Tensor<double>({1, x.size()},
+                          std::vector<double>(x.flat().begin(),
+                                              x.flat().end()));
+}
+
+Tensor<double>
+Flatten::backward(const Tensor<double> &grad)
+{
+    return Tensor<double>(in_shape_,
+                          std::vector<double>(grad.flat().begin(),
+                                              grad.flat().end()));
+}
+
+void
+Network::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+Tensor<double>
+Network::forward(const Tensor<double> &x, bool train)
+{
+    Tensor<double> t = x;
+    for (auto &layer : layers_)
+        t = layer->forward(t, train);
+    return t;
+}
+
+void
+Network::backward(const Tensor<double> &grad)
+{
+    Tensor<double> g = grad;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+}
+
+void
+Network::step(double lr, double momentum)
+{
+    for (auto &layer : layers_)
+        layer->step(lr, momentum);
+}
+
+unsigned
+Network::predict(const Tensor<double> &image)
+{
+    const auto logits = forward(image, false);
+    unsigned best = 0;
+    for (unsigned i = 1; i < logits.size(); ++i)
+        if (logits[i] > logits[best])
+            best = i;
+    return best;
+}
+
+Network
+makeSmallCnn(const QatConfig &qat, uint64_t seed)
+{
+    Rng rng(seed);
+    Network net;
+    net.add(std::make_unique<Conv2d>(1, 6, 3, 1, qat, rng));
+    net.add(std::make_unique<Relu>());
+    net.add(std::make_unique<MaxPool2>());
+    net.add(std::make_unique<Conv2d>(6, 12, 3, 1, qat, rng));
+    net.add(std::make_unique<Relu>());
+    net.add(std::make_unique<MaxPool2>());
+    net.add(std::make_unique<Flatten>());
+    net.add(std::make_unique<Linear>(
+        12 * (PatternDataset::kImageSize / 4) *
+            (PatternDataset::kImageSize / 4),
+        PatternDataset::kNumClasses, qat, rng));
+    return net;
+}
+
+void
+copyParameters(const Network &src, Network &dst)
+{
+    if (src.layers().size() != dst.layers().size())
+        fatal("copyParameters: architectures differ");
+    for (size_t i = 0; i < src.layers().size(); ++i) {
+        Layer *d = dst.layers()[i].get();
+        const Layer *s = src.layers()[i].get();
+        if (const auto *sc = dynamic_cast<const Conv2d *>(s)) {
+            auto *dc = dynamic_cast<Conv2d *>(d);
+            if (!dc)
+                fatal("copyParameters: layer kind mismatch");
+            dc->setParameters(sc->weights(), sc->bias());
+        } else if (const auto *sl = dynamic_cast<const Linear *>(s)) {
+            auto *dl = dynamic_cast<Linear *>(d);
+            if (!dl)
+                fatal("copyParameters: layer kind mismatch");
+            dl->setParameters(sl->weights(), sl->bias());
+        } else if (const auto *sd =
+                       dynamic_cast<const DepthwiseConv2d *>(s)) {
+            auto *dd = dynamic_cast<DepthwiseConv2d *>(d);
+            if (!dd)
+                fatal("copyParameters: layer kind mismatch");
+            dd->setParameters(sd->weights(), sd->bias());
+        }
+    }
+}
+
+Network
+makeDepthwiseCnn(const QatConfig &qat, uint64_t seed)
+{
+    Rng rng(seed);
+    Network net;
+    net.add(std::make_unique<Conv2d>(1, 8, 3, 1, qat, rng));
+    net.add(std::make_unique<Relu>());
+    net.add(std::make_unique<MaxPool2>());
+    net.add(std::make_unique<DepthwiseConv2d>(8, 3, 1, qat, rng));
+    net.add(std::make_unique<Relu>());
+    net.add(std::make_unique<Conv2d>(8, 16, 1, 0, qat, rng));
+    net.add(std::make_unique<Relu>());
+    net.add(std::make_unique<MaxPool2>());
+    net.add(std::make_unique<Flatten>());
+    net.add(std::make_unique<Linear>(
+        16 * (PatternDataset::kImageSize / 4) *
+            (PatternDataset::kImageSize / 4),
+        PatternDataset::kNumClasses, qat, rng));
+    return net;
+}
+
+Tensor<double>
+softmaxCrossEntropyGrad(const Tensor<double> &logits, unsigned label,
+                        double &loss)
+{
+    if (label >= logits.size())
+        fatal("softmaxCrossEntropyGrad: label out of range");
+    double maxv = logits[0];
+    for (size_t i = 1; i < logits.size(); ++i)
+        maxv = std::max(maxv, logits[i]);
+    double denom = 0.0;
+    for (size_t i = 0; i < logits.size(); ++i)
+        denom += std::exp(logits[i] - maxv);
+    Tensor<double> grad({1, logits.size()});
+    for (size_t i = 0; i < logits.size(); ++i) {
+        const double p = std::exp(logits[i] - maxv) / denom;
+        grad[i] = p - (i == label ? 1.0 : 0.0);
+        if (i == label)
+            loss = -std::log(std::max(p, 1e-12));
+    }
+    return grad;
+}
+
+double
+train(Network &net, const PatternDataset &data, const TrainConfig &config)
+{
+    if (data.size() == 0)
+        fatal("train: empty dataset");
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(config.shuffle_seed);
+
+    double last_epoch_loss = 0.0;
+    for (unsigned epoch = 0; epoch < config.epochs; ++epoch) {
+        // Fisher-Yates shuffle with the deterministic RNG.
+        for (size_t i = order.size() - 1; i > 0; --i)
+            std::swap(order[i],
+                      order[static_cast<size_t>(
+                          rng.uniformInt(0, static_cast<int64_t>(i)))]);
+        double epoch_loss = 0.0;
+        unsigned in_batch = 0;
+        for (const size_t idx : order) {
+            const Sample &s = data.samples()[idx];
+            const auto logits = net.forward(s.image, true);
+            double loss = 0.0;
+            const auto grad =
+                softmaxCrossEntropyGrad(logits, s.label, loss);
+            epoch_loss += loss;
+            net.backward(grad);
+            if (++in_batch == config.batch_size) {
+                net.step(config.lr / config.batch_size,
+                         config.momentum);
+                in_batch = 0;
+            }
+        }
+        if (in_batch > 0)
+            net.step(config.lr / in_batch, config.momentum);
+        last_epoch_loss = epoch_loss / static_cast<double>(data.size());
+    }
+    return last_epoch_loss;
+}
+
+double
+evaluate(Network &net, const PatternDataset &data)
+{
+    if (data.size() == 0)
+        fatal("evaluate: empty dataset");
+    size_t correct = 0;
+    for (const Sample &s : data.samples())
+        correct += net.predict(s.image) == s.label;
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+} // namespace mixgemm

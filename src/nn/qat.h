@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Network container and QAT training loop (the Fig. 3 workflow):
+ * build a small CNN, optionally with fake-quantized weights and
+ * activations, train it with SGD + momentum and cross-entropy on the
+ * synthetic pattern dataset, and evaluate TOP-1 accuracy.
+ */
+
+#ifndef MIXGEMM_NN_QAT_H
+#define MIXGEMM_NN_QAT_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/layers.h"
+
+namespace mixgemm
+{
+
+/** Flatten to a rank-2 [1 x features] tensor, remembering the shape. */
+class Flatten : public Layer
+{
+  public:
+    Tensor<double> forward(const Tensor<double> &x, bool train) override;
+    Tensor<double> backward(const Tensor<double> &grad) override;
+    std::string name() const override { return "flatten"; }
+
+  private:
+    std::vector<size_t> in_shape_;
+};
+
+/** A feed-forward stack of layers. */
+class Network
+{
+  public:
+    void add(std::unique_ptr<Layer> layer);
+
+    Tensor<double> forward(const Tensor<double> &x, bool train);
+    void backward(const Tensor<double> &grad);
+    void step(double lr, double momentum);
+
+    /** Predicted class for one sample (argmax of logits). */
+    unsigned predict(const Tensor<double> &image);
+
+    const std::vector<std::unique_ptr<Layer>> &layers() const
+    {
+        return layers_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/**
+ * The reference small CNN: conv(1->6,3x3,p1) relu pool conv(6->12,3x3,
+ * p1) relu pool flatten fc(108->8). ~7k parameters; reaches >90 %
+ * TOP-1 on the pattern dataset in a few epochs.
+ */
+Network makeSmallCnn(const QatConfig &qat, uint64_t seed = 42);
+
+/** Training hyper-parameters. */
+struct TrainConfig
+{
+    unsigned epochs = 6;
+    unsigned batch_size = 16;
+    double lr = 0.03;
+    double momentum = 0.9;
+    uint64_t shuffle_seed = 7;
+};
+
+/**
+ * A MobileNet-style variant of the small CNN using a depthwise-
+ * separable block: conv(1->8) relu pool, depthwise 3x3, relu,
+ * pointwise 1x1 (8->16), relu pool, fc. Exercises the depthwise path
+ * through QAT and deployment.
+ */
+Network makeDepthwiseCnn(const QatConfig &qat, uint64_t seed = 42);
+
+/**
+ * Copy trainable parameters between two architecturally identical
+ * networks — the paper's warm start for aggressive quantization
+ * (a3/a2 configurations retrain from a4/a3 checkpoints, Section IV-A).
+ */
+void copyParameters(const Network &src, Network &dst);
+
+/** Softmax + cross-entropy gradient of logits for @p label. */
+Tensor<double> softmaxCrossEntropyGrad(const Tensor<double> &logits,
+                                       unsigned label, double &loss);
+
+/** Train in place; returns the final average training loss. */
+double train(Network &net, const PatternDataset &data,
+             const TrainConfig &config);
+
+/** TOP-1 accuracy in [0, 1]. */
+double evaluate(Network &net, const PatternDataset &data);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_NN_QAT_H

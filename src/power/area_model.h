@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Parametric area model of the μ-engine and SoC (Section IV-C,
+ * Table II, Fig. 8).
+ *
+ * The paper implements the SoC in GF 22FDX and reports post-PnR areas;
+ * we substitute a parametric model calibrated so the default
+ * configuration (16-entry Source Buffers, 16-slot AccMem, 64-bit
+ * datapath) reproduces Table II exactly:
+ *
+ *   Source Buffers 4934.63 μm², DSU 1094.45, DCU 2832.46, DFU 1842.25,
+ *   Adder 741.58, AccMem 1214.35, Control Unit 981.43
+ *   -> μ-engine total 13641.14 μm² = 1.00 % of the 1.96 mm² SoC.
+ *
+ * Scaling rules: buffer-like structures (Source Buffers, AccMem) scale
+ * with capacity; the Source Buffers additionally carry a selection
+ * network that grows superlinearly with depth, calibrated to the
+ * paper's measured +67.6 % μ-engine area from depth 16 to 32.
+ * Datapath units (DSU/DCU/DFU/Adder) scale with multiplier width.
+ */
+
+#ifndef MIXGEMM_POWER_AREA_MODEL_H
+#define MIXGEMM_POWER_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+
+/** Area of one μ-engine component. */
+struct ComponentArea
+{
+    std::string name;
+    double um2 = 0.0;          ///< area in μm²
+    double soc_overhead = 0.0; ///< fraction of total SoC area
+};
+
+/** μ-engine and SoC area breakdown. */
+class AreaModel
+{
+  public:
+    /**
+     * @param uengine μ-engine structural parameters
+     * @param mul_width datapath (multiplier) width in bits
+     */
+    explicit AreaModel(const UEngineConfig &uengine = UEngineConfig{},
+                       unsigned mul_width = 64);
+
+    /** Per-component breakdown in Table II order. */
+    std::vector<ComponentArea> breakdown() const;
+
+    /** Total μ-engine area in μm². */
+    double uengineArea() const;
+
+    /** Total SoC area in mm² (core + caches + uncore + IO pads). */
+    double socArea() const;
+
+    /**
+     * SoC logic area in mm² (without the IO pad ring) — the
+     * denominator of Table II's overhead percentages.
+     */
+    double socLogicArea() const;
+
+    /** μ-engine share of the SoC logic area (Table II: 1.00 %). */
+    double uengineOverhead() const;
+
+    /**
+     * SoC area in mm² for reduced caches (Section IV-B reports -53 %
+     * when moving to 16 KB L1 + 64 KB L2).
+     */
+    static double socAreaForCaches(uint64_t l1_bytes, uint64_t l2_bytes);
+
+  private:
+    UEngineConfig uengine_;
+    unsigned mul_width_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_POWER_AREA_MODEL_H

@@ -1,0 +1,64 @@
+#include "power/energy_model.h"
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+
+EnergyModel::EnergyModel(const SoCConfig &soc, EnergyParams params)
+    : soc_(soc), params_(params)
+{
+    soc.validate();
+}
+
+EnergyReport
+EnergyModel::mixGemmEnergy(const BsGeometry &geometry,
+                           uint64_t engine_cycles, uint64_t pairs,
+                           uint64_t total_cycles,
+                           uint64_t total_ops) const
+{
+    if (total_cycles == 0)
+        fatal("EnergyModel: zero execution time");
+    // Elements processed: the DSU/DCU touch every narrow element, so
+    // their energy scales with MACs while the multiplier/DFU/adder
+    // toggle once per engine cycle — which is why efficiency rises
+    // sub-linearly as data sizes shrink.
+    const double macs = static_cast<double>(engine_cycles) *
+                        geometry.macsPerCycle();
+    const double dynamic_pj =
+        static_cast<double>(engine_cycles) *
+            (params_.mul64_pj + params_.pipeline_pj + params_.accmem_pj) +
+        macs * params_.per_mac_pj +
+        static_cast<double>(pairs) * params_.srcbuf_pj;
+    const double leakage_pj =
+        static_cast<double>(total_cycles) * params_.leakage_pj_per_cycle;
+    const double energy_pj = dynamic_pj + leakage_pj;
+
+    EnergyReport r;
+    r.energy_uj = energy_pj * 1e-6;
+    const double seconds =
+        static_cast<double>(total_cycles) / (soc_.freq_ghz * 1e9);
+    r.avg_power_mw = energy_pj * 1e-12 / seconds * 1e3;
+    // GOPS/W == ops per nanojoule.
+    r.gops_per_watt = static_cast<double>(total_ops) / energy_pj * 1e3;
+    return r;
+}
+
+EnergyReport
+EnergyModel::mixGemmEnergyFromShape(const BsGeometry &geometry,
+                                    uint64_t m, uint64_t n, uint64_t k,
+                                    uint64_t total_cycles) const
+{
+    // Accumulation groups: one per (k group, output cell) with the
+    // default 4 x 4 register tiles (edge tiles issue the full walk).
+    const uint64_t cell_groups = uint64_t{kGroupCount(k, geometry)} *
+                                 divCeil(m, 4) * divCeil(n, 4) * 16;
+    const uint64_t engine_cycles = cell_groups * geometry.group_cycles;
+    const uint64_t pairs = cell_groups * geometry.group_pairs;
+    return mixGemmEnergy(geometry, engine_cycles, pairs, total_cycles,
+                         2 * m * n * k);
+}
+
+} // namespace mixgemm

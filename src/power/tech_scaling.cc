@@ -1,0 +1,44 @@
+#include "power/tech_scaling.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/**
+ * Relative dense-logic area per gate, normalized to 65 nm = 1.0.
+ * Derived from published foundry density data (the deep-submicron
+ * scaling DeepScaleTool tabulates): each step scales by roughly the
+ * lithographic factor squared, with sub-28 nm nodes gaining less than
+ * ideal.
+ */
+const std::map<unsigned, double> kRelativeArea{
+    {65, 1.0}, {45, 0.48}, {32, 0.25}, {28, 0.19},
+    {22, 0.115}, {16, 0.062},
+};
+
+} // namespace
+
+double
+areaScaleFactor(unsigned from_nm, unsigned to_nm)
+{
+    const auto from = kRelativeArea.find(from_nm);
+    const auto to = kRelativeArea.find(to_nm);
+    if (from == kRelativeArea.end() || to == kRelativeArea.end())
+        fatal(strCat("areaScaleFactor: unsupported node ", from_nm,
+                     " -> ", to_nm));
+    return to->second / from->second;
+}
+
+double
+scaleArea(double area_mm2, unsigned from_nm, unsigned to_nm)
+{
+    return area_mm2 * areaScaleFactor(from_nm, to_nm);
+}
+
+} // namespace mixgemm

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Technology-node area scaling in the spirit of DeepScaleTool [61],
+ * used by the Table III comparison to normalize related-work areas
+ * (e.g., Eyeriss at 65 nm, UNPU at 65 nm) to the paper's 22 nm node.
+ */
+
+#ifndef MIXGEMM_POWER_TECH_SCALING_H
+#define MIXGEMM_POWER_TECH_SCALING_H
+
+namespace mixgemm
+{
+
+/**
+ * Area scaling factor from @p from_nm to @p to_nm: multiply an area at
+ * from_nm by the returned factor to estimate it at to_nm. Factors
+ * follow published dense-logic scaling data between the supported
+ * nodes {65, 45, 32, 22, 16} nm.
+ * @throws FatalError for unsupported nodes.
+ */
+double areaScaleFactor(unsigned from_nm, unsigned to_nm);
+
+/** Scale an area in mm² between nodes. */
+double scaleArea(double area_mm2, unsigned from_nm, unsigned to_nm);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_POWER_TECH_SCALING_H

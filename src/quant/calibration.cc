@@ -1,0 +1,150 @@
+#include "quant/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** The @p percentile percentile of |values| (nearest-rank method). */
+double
+absPercentile(std::span<const double> values, double percentile)
+{
+    if (values.empty())
+        fatal("calibration requires at least one value");
+    std::vector<double> mags(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        mags[i] = std::abs(values[i]);
+    // Nearest-rank: the ceil(p/100 * n)-th smallest magnitude.
+    size_t rank = static_cast<size_t>(
+        std::ceil(percentile / 100.0 * static_cast<double>(mags.size())));
+    rank = std::clamp<size_t>(rank, 1, mags.size());
+    std::nth_element(mags.begin(), mags.begin() + (rank - 1), mags.end());
+    return mags[rank - 1];
+}
+
+QuantParams
+paramsFromAbsmax(double absmax, unsigned bits, bool is_signed)
+{
+    QuantParams p;
+    p.bits = bits;
+    p.is_signed = is_signed;
+    p.zero_point = 0;
+    p.scale = absmax > 0.0 ? absmax / p.qmax() : 1.0;
+    return p;
+}
+
+} // namespace
+
+QuantParams
+calibrateAbsmax(std::span<const double> values, unsigned bits,
+                bool is_signed)
+{
+    if (values.empty())
+        fatal("calibrateAbsmax requires at least one value");
+    double absmax = 0.0;
+    for (const double v : values)
+        absmax = std::max(absmax, std::abs(v));
+    return paramsFromAbsmax(absmax, bits, is_signed);
+}
+
+QuantParams
+calibratePercentile(std::span<const double> values, double percentile,
+                    unsigned bits, bool is_signed)
+{
+    if (percentile <= 0.0 || percentile > 100.0)
+        fatal("percentile must be in (0, 100]");
+    return paramsFromAbsmax(absPercentile(values, percentile), bits,
+                            is_signed);
+}
+
+PercentileCalibrator::PercentileCalibrator(double percentile, unsigned bits,
+                                           bool is_signed)
+    : percentile_(percentile), bits_(bits), is_signed_(is_signed)
+{
+    if (percentile <= 0.0 || percentile > 100.0)
+        fatal("percentile must be in (0, 100]");
+}
+
+void
+PercentileCalibrator::addBatch(std::span<const double> values)
+{
+    percentile_sum_ += absPercentile(values, percentile_);
+    ++batches_;
+}
+
+QuantParams
+PercentileCalibrator::finish() const
+{
+    if (batches_ == 0)
+        fatal("PercentileCalibrator::finish with no batches");
+    return paramsFromAbsmax(percentile_sum_ / batches_, bits_, is_signed_);
+}
+
+QuantParams
+calibratePowerOfTwo(std::span<const double> values, unsigned bits,
+                    bool is_signed)
+{
+    QuantParams p = calibrateAbsmax(values, bits, is_signed);
+    // Round the scale up to the next power of two so the full absmax
+    // range stays representable.
+    p.scale = std::exp2(std::ceil(std::log2(p.scale)));
+    return p;
+}
+
+bool
+isPowerOfTwoScale(const QuantParams &params)
+{
+    if (params.scale <= 0.0)
+        return false;
+    const double l = std::log2(params.scale);
+    return l == std::nearbyint(l);
+}
+
+int
+scaleShift(const QuantParams &params)
+{
+    if (!isPowerOfTwoScale(params))
+        fatal("scaleShift: scale is not a power of two");
+    return static_cast<int>(std::nearbyint(std::log2(params.scale)));
+}
+
+std::vector<QuantParams>
+calibratePerChannelAbsmax(std::span<const double> values, size_t channels,
+                          unsigned bits, bool is_signed)
+{
+    if (channels == 0 || values.size() % channels != 0)
+        fatal("calibratePerChannelAbsmax: bad channel count");
+    const size_t per_channel = values.size() / channels;
+    std::vector<QuantParams> params;
+    params.reserve(channels);
+    for (size_t c = 0; c < channels; ++c)
+        params.push_back(calibrateAbsmax(
+            values.subspan(c * per_channel, per_channel), bits, is_signed));
+    return params;
+}
+
+std::vector<double>
+biasCorrection(std::span<const double> float_outputs,
+               std::span<const double> quant_outputs, size_t channels)
+{
+    if (channels == 0 || float_outputs.size() != quant_outputs.size() ||
+        float_outputs.size() % channels != 0)
+        fatal("biasCorrection: mismatched shapes");
+    const size_t samples = float_outputs.size() / channels;
+    std::vector<double> corrections(channels, 0.0);
+    for (size_t s = 0; s < samples; ++s)
+        for (size_t c = 0; c < channels; ++c)
+            corrections[c] += float_outputs[s * channels + c] -
+                              quant_outputs[s * channels + c];
+    for (auto &c : corrections)
+        c /= static_cast<double>(samples);
+    return corrections;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Post-training calibration of quantization scales (Section IV-A).
+ *
+ * The paper initializes activation quantization by averaging the 99.999
+ * percentile of activation absolute values over calibration batches, and
+ * quantizes weights per-channel with scale computed from the tensor
+ * absmax; a bias-correction pass then compensates the mean shift
+ * quantization introduces. This module implements those three
+ * ingredients.
+ */
+
+#ifndef MIXGEMM_QUANT_CALIBRATION_H
+#define MIXGEMM_QUANT_CALIBRATION_H
+
+#include <span>
+#include <vector>
+
+#include "quant/quantizer.h"
+
+namespace mixgemm
+{
+
+/**
+ * Symmetric scale from the absolute maximum: s = absmax / qmax.
+ * An all-zero tensor calibrates to scale 1 (any scale represents it).
+ */
+QuantParams calibrateAbsmax(std::span<const double> values, unsigned bits,
+                            bool is_signed);
+
+/**
+ * Symmetric scale from the given percentile of |values| (the paper uses
+ * 99.999). @p percentile is in (0, 100].
+ */
+QuantParams calibratePercentile(std::span<const double> values,
+                                double percentile, unsigned bits,
+                                bool is_signed);
+
+/**
+ * Running percentile calibrator: feeds batches, averages the per-batch
+ * percentile as the paper does over 8 calibration batches.
+ */
+class PercentileCalibrator
+{
+  public:
+    PercentileCalibrator(double percentile, unsigned bits, bool is_signed);
+
+    /** Accumulate one batch of activation values. */
+    void addBatch(std::span<const double> values);
+
+    /** Final parameters; averages the per-batch percentiles. */
+    QuantParams finish() const;
+
+    /** Number of batches observed. */
+    unsigned batches() const { return batches_; }
+
+  private:
+    double percentile_;
+    unsigned bits_;
+    bool is_signed_;
+    double percentile_sum_ = 0.0;
+    unsigned batches_ = 0;
+};
+
+/**
+ * Symmetric calibration with the scale rounded up to a power of two:
+ * requantization then reduces to an arithmetic shift, the
+ * hardware-friendly variant edge deployments often prefer (no
+ * multiplier in the requant path). The representable range can grow by
+ * up to 2x relative to absmax calibration, costing at most one bit of
+ * effective resolution.
+ */
+QuantParams calibratePowerOfTwo(std::span<const double> values,
+                                unsigned bits, bool is_signed);
+
+/** True when the scale is an exact (possibly negative) power of two. */
+bool isPowerOfTwoScale(const QuantParams &params);
+
+/**
+ * log2 of a power-of-two scale (the requantization shift amount).
+ * @throws FatalError when the scale is not a power of two.
+ */
+int scaleShift(const QuantParams &params);
+
+/** Per-channel absmax calibration of a [channels x per_channel] tensor. */
+std::vector<QuantParams> calibratePerChannelAbsmax(
+    std::span<const double> values, size_t channels, unsigned bits,
+    bool is_signed);
+
+/**
+ * Bias correction (Nagel et al., cited as [50]): returns the per-channel
+ * corrections E[Wx] - E[W_q x] to *add* to the layer bias so the
+ * quantized layer's expected output matches the float layer's.
+ *
+ * @param float_outputs   row-major [samples x channels] float-layer
+ *                        pre-activation outputs on calibration data
+ * @param quant_outputs   same shape, outputs of the quantized layer
+ */
+std::vector<double> biasCorrection(std::span<const double> float_outputs,
+                                   std::span<const double> quant_outputs,
+                                   size_t channels);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_QUANT_CALIBRATION_H

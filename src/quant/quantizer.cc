@@ -1,0 +1,135 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+int32_t
+QuantParams::qmin() const
+{
+    return is_signed ? -(int32_t{1} << (bits - 1)) : 0;
+}
+
+int32_t
+QuantParams::qmax() const
+{
+    return is_signed ? (int32_t{1} << (bits - 1)) - 1
+                     : (int32_t{1} << bits) - 1;
+}
+
+int32_t
+quantize(double x, const QuantParams &params)
+{
+    if (params.scale <= 0.0)
+        fatal("quantize: scale must be positive");
+    if (params.bits < 1 || params.bits > 16)
+        fatal("quantize: bits must be in [1, 16]");
+    const double q = std::nearbyint(x / params.scale) + params.zero_point;
+    const double lo = params.qmin();
+    const double hi = params.qmax();
+    return static_cast<int32_t>(std::clamp(q, lo, hi));
+}
+
+double
+dequantize(int32_t q, const QuantParams &params)
+{
+    return params.scale * (q - params.zero_point);
+}
+
+double
+fakeQuantize(double x, const QuantParams &params)
+{
+    return dequantize(quantize(x, params), params);
+}
+
+std::vector<int32_t>
+quantize(std::span<const double> values, const QuantParams &params)
+{
+    std::vector<int32_t> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        out[i] = quantize(values[i], params);
+    return out;
+}
+
+std::vector<double>
+dequantize(std::span<const int32_t> values, const QuantParams &params)
+{
+    std::vector<double> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        out[i] = dequantize(values[i], params);
+    return out;
+}
+
+std::vector<int32_t>
+quantizePerChannel(std::span<const double> values, size_t channels,
+                   std::span<const QuantParams> params)
+{
+    if (channels == 0 || values.size() % channels != 0)
+        fatal("quantizePerChannel: size not divisible by channel count");
+    if (params.size() != channels)
+        fatal("quantizePerChannel: one QuantParams required per channel");
+    const size_t per_channel = values.size() / channels;
+    std::vector<int32_t> out(values.size());
+    for (size_t c = 0; c < channels; ++c)
+        for (size_t i = 0; i < per_channel; ++i)
+            out[c * per_channel + i] =
+                quantize(values[c * per_channel + i], params[c]);
+    return out;
+}
+
+double
+requantizeMultiplier(const QuantParams &a, const QuantParams &w,
+                     const QuantParams &out)
+{
+    if (out.scale <= 0.0)
+        fatal("requantizeMultiplier: output scale must be positive");
+    return a.scale * w.scale / out.scale;
+}
+
+FixedPointMultiplier
+quantizeMultiplier(double multiplier)
+{
+    if (multiplier <= 0.0)
+        fatal("quantizeMultiplier: multiplier must be positive");
+    FixedPointMultiplier fp;
+    int exponent = 0;
+    const double mantissa = std::frexp(multiplier, &exponent);
+    // mantissa in [0.5, 1) -> Q31 in [2^30, 2^31].
+    int64_t q = static_cast<int64_t>(std::nearbyint(
+        mantissa * static_cast<double>(int64_t{1} << 31)));
+    if (q == (int64_t{1} << 31)) { // rounding overflow: 1.0 * 2^e
+        q /= 2;
+        ++exponent;
+    }
+    fp.mantissa = static_cast<int32_t>(q);
+    fp.shift = 31 - exponent;
+    if (fp.shift < 0)
+        fatal("quantizeMultiplier: multiplier too large");
+    return fp;
+}
+
+int32_t
+requantizeFixedPoint(int64_t acc, const FixedPointMultiplier &multiplier)
+{
+    // acc * (mantissa / 2^31) * 2^exponent collapses to one rounding
+    // right shift by `shift` = 31 - exponent; round half away from
+    // zero like nearbyint on the exact product.
+    const int128 product =
+        static_cast<int128>(acc) * multiplier.mantissa;
+    const unsigned total_shift =
+        static_cast<unsigned>(multiplier.shift);
+    if (total_shift == 0)
+        return static_cast<int32_t>(product);
+    const int128 rounding = int128{1} << (total_shift - 1);
+    const int128 shifted =
+        product >= 0 ? (product + rounding) >> total_shift
+                     : -((-product + rounding) >> total_shift);
+    return static_cast<int32_t>(shifted);
+}
+
+} // namespace mixgemm

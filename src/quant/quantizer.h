@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Uniform affine integer quantization (Section II-A, Eq. 1-2).
+ *
+ *   q(x) = clamp(round(x / s + z), y_min, y_max)
+ *
+ * with scale s, zero-point z, and clamp range derived from the bitwidth
+ * and signedness. The paper's deployed models use symmetric quantization
+ * (z = 0) with per-channel weight scales and per-tensor activation
+ * scales; this module supports the general asymmetric form as well so the
+ * design space of Section II-A is fully representable.
+ */
+
+#ifndef MIXGEMM_QUANT_QUANTIZER_H
+#define MIXGEMM_QUANT_QUANTIZER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** Quantization parameters for one tensor (or one channel). */
+struct QuantParams
+{
+    double scale = 1.0;     ///< s in Eq. 1; must be > 0
+    int32_t zero_point = 0; ///< z in Eq. 1; 0 for symmetric quantization
+    unsigned bits = 8;      ///< n_b in Eq. 2
+    bool is_signed = true;  ///< selects the signed/unsigned clamp range
+
+    /** Lower clamp bound y_min (Eq. 2). */
+    int32_t qmin() const;
+    /** Upper clamp bound y_max (Eq. 2). */
+    int32_t qmax() const;
+    /** True when zero_point == 0. */
+    bool symmetric() const { return zero_point == 0; }
+};
+
+/** Quantize one value (Eq. 1). */
+int32_t quantize(double x, const QuantParams &params);
+
+/** Dequantize one value: s * (q - z). */
+double dequantize(int32_t q, const QuantParams &params);
+
+/** Fake-quantize: dequantize(quantize(x)) — the QAT forward operator. */
+double fakeQuantize(double x, const QuantParams &params);
+
+/** Quantize a tensor. */
+std::vector<int32_t> quantize(std::span<const double> values,
+                              const QuantParams &params);
+
+/** Dequantize a tensor. */
+std::vector<double> dequantize(std::span<const int32_t> values,
+                               const QuantParams &params);
+
+/**
+ * Quantize a 2-D weight tensor per-channel (one scale per output
+ * channel, as in the paper's weight quantization).
+ *
+ * @param values row-major [channels x per_channel] data
+ * @param params one QuantParams per channel (params.size() == channels)
+ */
+std::vector<int32_t> quantizePerChannel(
+    std::span<const double> values, size_t channels,
+    std::span<const QuantParams> params);
+
+/**
+ * The effective requantization multiplier that folds input and weight
+ * scales into the output scale: (s_a * s_w) / s_out. Used by the runtime
+ * to map int32 accumulators back to the next layer's input format.
+ */
+double requantizeMultiplier(const QuantParams &a, const QuantParams &w,
+                            const QuantParams &out);
+
+/**
+ * Integer-only requantization, the fixed-point path an edge deployment
+ * runs (no floating point in the inference loop): a real multiplier in
+ * (0, 1) is represented as a Q31 fixed-point mantissa plus a right
+ * shift, and applied with a rounding doubling-high multiply — the
+ * TFLite/gemmlowp convention.
+ */
+struct FixedPointMultiplier
+{
+    int32_t mantissa = 0; ///< Q31, in [2^30, 2^31) for nonzero inputs
+    int shift = 0;        ///< total right shift after the high multiply
+};
+
+/**
+ * Decompose @p multiplier into Q31 mantissa + shift.
+ * @pre 0 < multiplier < 1 (the usual requant regime; larger values are
+ *      supported up to 2^30 by negative shifts)
+ */
+FixedPointMultiplier quantizeMultiplier(double multiplier);
+
+/**
+ * Apply: round(acc * multiplier) using only integer ops (64-bit
+ * rounding multiply followed by a rounding arithmetic shift).
+ * Matches the double-precision product within 1 LSB.
+ */
+int32_t requantizeFixedPoint(int64_t acc,
+                             const FixedPointMultiplier &multiplier);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_QUANT_QUANTIZER_H

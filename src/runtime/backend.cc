@@ -1,0 +1,28 @@
+#include "runtime/backend.h"
+
+#include "gemm/mixgemm.h"
+#include "gemm/reference.h"
+
+namespace mixgemm
+{
+
+std::vector<int64_t>
+NaiveBackend::gemm(std::span<const int32_t> a, std::span<const int32_t> b,
+                   uint64_t m, uint64_t n, uint64_t k,
+                   const DataSizeConfig &)
+{
+    return referenceGemmInt(a, b, m, n, k);
+}
+
+std::vector<int64_t>
+MixGemmBackend::gemm(std::span<const int32_t> a,
+                     std::span<const int32_t> b, uint64_t m, uint64_t n,
+                     uint64_t k, const DataSizeConfig &config)
+{
+    const auto geometry = geometryForK(computeBsGeometry(config), k);
+    auto result = mixGemm(a, b, m, n, k, geometry);
+    total_bs_ip_ += result.counters.get("bs_ip");
+    return std::move(result.c);
+}
+
+} // namespace mixgemm

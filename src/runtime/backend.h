@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Pluggable integer GEMM backends for the quantized inference runtime —
+ * the role Mix-GEMM plays as an ONNX Runtime backend in Fig. 3. The
+ * naive backend is the correctness oracle; the Mix-GEMM backend routes
+ * every quantized matrix multiplication through the compressed μ-vector
+ * format and the functional μ-engine, so deployment-path results are
+ * bit-identical to the reference (verified by tests).
+ */
+
+#ifndef MIXGEMM_RUNTIME_BACKEND_H
+#define MIXGEMM_RUNTIME_BACKEND_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bs/geometry.h"
+
+namespace mixgemm
+{
+
+/** Integer GEMM provider: C(m x n) = A(m x k) * B(k x n). */
+class GemmBackend
+{
+  public:
+    virtual ~GemmBackend() = default;
+
+    /**
+     * Multiply quantized operands. Values must fit the bitwidths in
+     * @p config.
+     */
+    virtual std::vector<int64_t> gemm(std::span<const int32_t> a,
+                                      std::span<const int32_t> b,
+                                      uint64_t m, uint64_t n, uint64_t k,
+                                      const DataSizeConfig &config) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Triple-loop reference backend. */
+class NaiveBackend : public GemmBackend
+{
+  public:
+    std::vector<int64_t> gemm(std::span<const int32_t> a,
+                              std::span<const int32_t> b, uint64_t m,
+                              uint64_t n, uint64_t k,
+                              const DataSizeConfig &config) override;
+    std::string name() const override { return "naive"; }
+};
+
+/** Mix-GEMM backend: compressed μ-vectors through the μ-engine. */
+class MixGemmBackend : public GemmBackend
+{
+  public:
+    std::vector<int64_t> gemm(std::span<const int32_t> a,
+                              std::span<const int32_t> b, uint64_t m,
+                              uint64_t n, uint64_t k,
+                              const DataSizeConfig &config) override;
+    std::string name() const override { return "mixgemm"; }
+
+    /** Total bs.ip instructions issued across all calls. */
+    uint64_t totalBsIp() const { return total_bs_ip_; }
+
+  private:
+    uint64_t total_bs_ip_ = 0;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_RUNTIME_BACKEND_H

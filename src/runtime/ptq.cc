@@ -1,0 +1,151 @@
+#include "runtime/ptq.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "quant/calibration.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Per-tensor symmetric absmax weight parameters. */
+QuantParams
+weightAbsmax(std::span<const double> values, unsigned bits)
+{
+    return calibrateAbsmax(values, bits, true);
+}
+
+} // namespace
+
+QuantizedGraph
+buildPtqGraph(Network &network, const PatternDataset &data,
+              const PtqOptions &options)
+{
+    if (data.size() == 0)
+        fatal("buildPtqGraph: empty calibration dataset");
+    const size_t cal_count =
+        std::min<size_t>(options.calibration_samples, data.size());
+
+    // --- 1. Observe per-layer input activation ranges on the float
+    //        network (the paper averages the 99.999 percentile over
+    //        calibration batches).
+    const auto &layers = network.layers();
+    std::vector<PercentileCalibrator> calibrators;
+    calibrators.reserve(layers.size());
+    for (size_t i = 0; i < layers.size(); ++i)
+        calibrators.emplace_back(options.percentile, options.a_bits,
+                                 true);
+
+    for (size_t s = 0; s < cal_count; ++s) {
+        Tensor<double> t = data.samples()[s].image;
+        for (size_t i = 0; i < layers.size(); ++i) {
+            Layer *layer = layers[i].get();
+            if (dynamic_cast<Conv2d *>(layer) ||
+                dynamic_cast<Linear *>(layer) ||
+                dynamic_cast<DepthwiseConv2d *>(layer))
+                calibrators[i].addBatch(t.flat());
+            t = layer->forward(t, false);
+        }
+    }
+
+    // --- 2. Quantize weights (per-tensor absmax) and assemble nodes.
+    std::vector<QNode> nodes;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        Layer *layer = layers[i].get();
+        if (auto *conv = dynamic_cast<Conv2d *>(layer)) {
+            QuantParams ap = calibrators[i].finish();
+            ap.bits = options.a_bits;
+            nodes.push_back(makeConvNode(
+                *conv, ap,
+                weightAbsmax(conv->weights().flat(), options.w_bits)));
+        } else if (auto *fc = dynamic_cast<Linear *>(layer)) {
+            QuantParams ap = calibrators[i].finish();
+            ap.bits = options.a_bits;
+            nodes.push_back(makeLinearNode(
+                *fc, ap,
+                weightAbsmax(fc->weights().flat(), options.w_bits)));
+        } else if (auto *dw = dynamic_cast<DepthwiseConv2d *>(layer)) {
+            QuantParams ap = calibrators[i].finish();
+            ap.bits = options.a_bits;
+            nodes.push_back(makeDepthwiseNode(
+                *dw, ap,
+                weightAbsmax(dw->weights().flat(), options.w_bits)));
+        } else if (dynamic_cast<Relu *>(layer)) {
+            QNode n;
+            n.kind = QNode::Kind::kRelu;
+            nodes.push_back(n);
+        } else if (dynamic_cast<MaxPool2 *>(layer)) {
+            QNode n;
+            n.kind = QNode::Kind::kMaxPool2;
+            nodes.push_back(n);
+        } else if (dynamic_cast<Flatten *>(layer)) {
+            QNode n;
+            n.kind = QNode::Kind::kFlatten;
+            nodes.push_back(n);
+        } else {
+            fatal(strCat("buildPtqGraph: unsupported layer ",
+                         layer->name()));
+        }
+    }
+    QuantizedGraph graph(std::move(nodes));
+
+    // --- 3. Bias correction (Nagel et al.): walk float and quantized
+    //        paths together; at each linear node, shift its bias by
+    //        the mean per-channel output difference, then continue
+    //        both paths with the corrected node.
+    if (options.bias_correction) {
+        const size_t bias_count =
+            std::min<size_t>(options.bias_samples, data.size());
+        NaiveBackend backend;
+        for (size_t ni = 0; ni < graph.nodes().size(); ++ni) {
+            QNode &node = graph.nodes()[ni];
+            if (node.kind != QNode::Kind::kConv &&
+                node.kind != QNode::Kind::kDepthwise &&
+                node.kind != QNode::Kind::kLinear)
+                continue;
+            std::vector<double> f_out;
+            std::vector<double> q_out;
+            for (size_t s = 0; s < bias_count; ++s) {
+                // Drive both paths up to this node.
+                Tensor<double> ft = data.samples()[s].image;
+                Tensor<double> qt = data.samples()[s].image;
+                for (size_t j = 0; j < ni; ++j) {
+                    ft = layers[j]->forward(ft, false);
+                    qt = runQNode(graph.nodes()[j], qt, backend);
+                }
+                const auto f_layer = layers[ni]->forward(ft, false);
+                const auto q_layer = runQNode(node, qt, backend);
+                // Per-channel means over the spatial extent.
+                const size_t channels = node.spec.out_c;
+                const size_t per_c = f_layer.size() / channels;
+                for (size_t c = 0; c < channels; ++c) {
+                    double fm = 0.0;
+                    double qm = 0.0;
+                    if (node.kind != QNode::Kind::kLinear) {
+                        for (size_t p = 0; p < per_c; ++p) {
+                            fm += f_layer[c * per_c + p];
+                            qm += q_layer[c * per_c + p];
+                        }
+                        fm /= static_cast<double>(per_c);
+                        qm /= static_cast<double>(per_c);
+                    } else {
+                        fm = f_layer[c];
+                        qm = q_layer[c];
+                    }
+                    f_out.push_back(fm);
+                    q_out.push_back(qm);
+                }
+            }
+            const auto corrections =
+                biasCorrection(f_out, q_out, node.spec.out_c);
+            for (size_t c = 0; c < corrections.size(); ++c)
+                node.bias[c] += corrections[c];
+        }
+    }
+    return graph;
+}
+
+} // namespace mixgemm

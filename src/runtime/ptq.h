@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Post-Training Quantization pipeline (Section II-A / IV-A).
+ *
+ * The paper initializes QAT from PTQ: activation scales come from
+ * averaging the 99.999 percentile of activation magnitudes over
+ * calibration batches, weights quantize per-tensor from their absmax,
+ * and a bias-correction pass compensates the mean output shift. This
+ * module implements that pipeline against a *float-trained* network,
+ * producing a deployable QuantizedGraph without any retraining — and,
+ * as the paper observes, it holds up at 7-8 bits but collapses at
+ * aggressive data sizes where QAT is required (tested).
+ */
+
+#ifndef MIXGEMM_RUNTIME_PTQ_H
+#define MIXGEMM_RUNTIME_PTQ_H
+
+#include "nn/dataset.h"
+#include "nn/qat.h"
+#include "runtime/qgraph.h"
+
+namespace mixgemm
+{
+
+/** PTQ knobs (defaults follow the paper's setup). */
+struct PtqOptions
+{
+    unsigned a_bits = 8;
+    unsigned w_bits = 8;
+    double percentile = 99.999; ///< activation calibration percentile
+    unsigned calibration_samples = 64;
+    bool bias_correction = true;
+    unsigned bias_samples = 64;
+};
+
+/**
+ * Calibrate and quantize a float-trained network into an executable
+ * quantized graph. The network is run (unmodified) over calibration
+ * data to observe per-layer activation ranges.
+ */
+QuantizedGraph buildPtqGraph(Network &network, const PatternDataset &data,
+                             const PtqOptions &options = PtqOptions{});
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_RUNTIME_PTQ_H

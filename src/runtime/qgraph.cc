@@ -1,0 +1,353 @@
+#include "runtime/qgraph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Per-tensor symmetric absmax parameters for a weight tensor. */
+QuantParams
+weightParams(std::span<const double> values, unsigned bits)
+{
+    double absmax = 0.0;
+    for (const double v : values)
+        absmax = std::max(absmax, std::abs(v));
+    QuantParams p;
+    p.bits = bits;
+    p.is_signed = true;
+    p.scale = absmax > 0.0 ? absmax / p.qmax() : 1.0;
+    return p;
+}
+
+QuantParams
+activationParams(double scale, unsigned bits, bool is_signed)
+{
+    QuantParams p;
+    p.bits = bits;
+    p.is_signed = is_signed;
+    p.scale = scale > 0.0 ? scale : 1.0;
+    return p;
+}
+
+/** Quantize a float tensor into integer values (as doubles). */
+Tensor<double>
+quantizeTensor(const Tensor<double> &t, const QuantParams &params)
+{
+    Tensor<double> q(t.shape());
+    for (size_t i = 0; i < t.size(); ++i)
+        q[i] = static_cast<double>(quantize(t[i], params));
+    return q;
+}
+
+std::vector<int32_t>
+toInt(const Tensor<double> &t)
+{
+    std::vector<int32_t> out(t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+        out[i] = static_cast<int32_t>(std::lround(t[i]));
+    return out;
+}
+
+} // namespace
+
+QNode
+makeConvNode(const Conv2d &conv, const QuantParams &a_params,
+             const QuantParams &w_params)
+{
+    QNode node;
+    node.kind = QNode::Kind::kConv;
+    node.spec.in_c = conv.inChannels();
+    node.spec.out_c = conv.outChannels();
+    node.spec.kh = node.spec.kw = conv.kernel();
+    node.spec.pad = conv.padding();
+    node.spec.stride = 1;
+    node.a_params = a_params;
+    node.w_params = w_params;
+    // B operand in im2row column order: row (c, ky, kx), col o.
+    const uint64_t k = node.spec.gemmK();
+    const uint64_t n = node.spec.gemmN();
+    node.weights_q.resize(k * n);
+    for (unsigned o = 0; o < node.spec.out_c; ++o) {
+        uint64_t row = 0;
+        for (unsigned c = 0; c < node.spec.in_c; ++c)
+            for (unsigned ky = 0; ky < node.spec.kh; ++ky)
+                for (unsigned kx = 0; kx < node.spec.kw; ++kx, ++row)
+                    node.weights_q[row * n + o] = quantize(
+                        conv.weights().at(o, c, ky, kx), node.w_params);
+    }
+    node.bias = conv.bias();
+    return node;
+}
+
+QNode
+makeLinearNode(const Linear &fc, const QuantParams &a_params,
+               const QuantParams &w_params)
+{
+    QNode node;
+    node.kind = QNode::Kind::kLinear;
+    node.spec.in_c = fc.inFeatures();
+    node.spec.out_c = fc.outFeatures();
+    node.spec.in_h = node.spec.in_w = 1;
+    node.a_params = a_params;
+    node.w_params = w_params;
+    const uint64_t k = fc.inFeatures();
+    const uint64_t n = fc.outFeatures();
+    node.weights_q.resize(k * n);
+    for (unsigned o = 0; o < n; ++o)
+        for (unsigned i = 0; i < k; ++i)
+            node.weights_q[i * n + o] =
+                quantize(fc.weights().at(o, i), node.w_params);
+    node.bias = fc.bias();
+    return node;
+}
+
+QNode
+makeDepthwiseNode(const DepthwiseConv2d &conv,
+                  const QuantParams &a_params,
+                  const QuantParams &w_params)
+{
+    QNode node;
+    node.kind = QNode::Kind::kDepthwise;
+    node.spec.in_c = conv.channels();
+    node.spec.out_c = conv.channels();
+    node.spec.groups = conv.channels();
+    node.spec.kh = node.spec.kw = conv.kernel();
+    node.spec.pad = conv.padding();
+    node.spec.stride = 1;
+    node.a_params = a_params;
+    node.w_params = w_params;
+    // Per channel: one k x 1 column in (ky, kx) order.
+    const uint64_t k = uint64_t{conv.kernel()} * conv.kernel();
+    node.weights_q.resize(k * conv.channels());
+    for (unsigned c = 0; c < conv.channels(); ++c) {
+        uint64_t row = 0;
+        for (unsigned ky = 0; ky < conv.kernel(); ++ky)
+            for (unsigned kx = 0; kx < conv.kernel(); ++kx, ++row)
+                node.weights_q[c * k + row] = quantize(
+                    conv.weights().at(c, 0, ky, kx), node.w_params);
+    }
+    node.bias = conv.bias();
+    return node;
+}
+
+QuantizedGraph
+QuantizedGraph::fromNetwork(const Network &network)
+{
+    QuantizedGraph graph;
+    for (const auto &layer : network.layers()) {
+        if (const auto *conv = dynamic_cast<const Conv2d *>(layer.get())) {
+            if (!conv->qat().enabled)
+                fatal("QuantizedGraph: export requires a QAT-trained "
+                      "network (activation scales are learned during "
+                      "training)");
+            graph.nodes_.push_back(makeConvNode(
+                *conv,
+                activationParams(conv->activationScale(),
+                                 conv->qat().a_bits,
+                                 !conv->qat().unsigned_activations),
+                weightParams(conv->weights().flat(),
+                             conv->qat().w_bits)));
+        } else if (const auto *fc =
+                       dynamic_cast<const Linear *>(layer.get())) {
+            if (!fc->qat().enabled)
+                fatal("QuantizedGraph: export requires a QAT-trained "
+                      "network");
+            graph.nodes_.push_back(makeLinearNode(
+                *fc,
+                activationParams(fc->activationScale(),
+                                 fc->qat().a_bits,
+                                 !fc->qat().unsigned_activations),
+                weightParams(fc->weights().flat(), fc->qat().w_bits)));
+        } else if (const auto *dw = dynamic_cast<const DepthwiseConv2d *>(
+                       layer.get())) {
+            if (!dw->qat().enabled)
+                fatal("QuantizedGraph: export requires a QAT-trained "
+                      "network");
+            graph.nodes_.push_back(makeDepthwiseNode(
+                *dw,
+                activationParams(dw->activationScale(),
+                                 dw->qat().a_bits,
+                                 !dw->qat().unsigned_activations),
+                weightParams(dw->weights().flat(), dw->qat().w_bits)));
+        } else if (dynamic_cast<const Relu *>(layer.get())) {
+            QNode node;
+            node.kind = QNode::Kind::kRelu;
+            graph.nodes_.push_back(std::move(node));
+        } else if (dynamic_cast<const MaxPool2 *>(layer.get())) {
+            QNode node;
+            node.kind = QNode::Kind::kMaxPool2;
+            graph.nodes_.push_back(std::move(node));
+        } else if (dynamic_cast<const Flatten *>(layer.get())) {
+            QNode node;
+            node.kind = QNode::Kind::kFlatten;
+            graph.nodes_.push_back(std::move(node));
+        } else {
+            fatal(strCat("QuantizedGraph: unsupported layer ",
+                         layer->name()));
+        }
+    }
+    if (graph.nodes_.empty())
+        fatal("QuantizedGraph: empty network");
+    return graph;
+}
+
+Tensor<double>
+runQNode(const QNode &node, const Tensor<double> &input,
+         GemmBackend &backend)
+{
+    Tensor<double> t = input;
+    {
+        switch (node.kind) {
+          case QNode::Kind::kConv: {
+            ConvSpec spec = node.spec;
+            spec.in_h = static_cast<unsigned>(t.dim(2));
+            spec.in_w = static_cast<unsigned>(t.dim(3));
+            spec.validate();
+            const auto qa = quantizeTensor(t, node.a_params);
+            const auto a_int = toInt(im2row(qa, spec));
+            const DataSizeConfig cfg{node.a_params.bits,
+                                     node.w_params.bits,
+                                     node.a_params.is_signed,
+                                     node.w_params.is_signed};
+            const auto c = backend.gemm(a_int, node.weights_q,
+                                        spec.gemmM(), spec.gemmN(),
+                                        spec.gemmK(), cfg);
+            const double requant =
+                node.a_params.scale * node.w_params.scale;
+            Tensor<double> out({1, spec.out_c, spec.outH(),
+                                spec.outW()});
+            uint64_t row = 0;
+            for (unsigned y = 0; y < spec.outH(); ++y)
+                for (unsigned x = 0; x < spec.outW(); ++x, ++row)
+                    for (unsigned o = 0; o < spec.out_c; ++o)
+                        out.at(0, o, y, x) =
+                            requant *
+                                static_cast<double>(
+                                    c[row * spec.out_c + o]) +
+                            node.bias[o];
+            t = std::move(out);
+            break;
+          }
+          case QNode::Kind::kDepthwise: {
+            ConvSpec spec = node.spec;
+            spec.in_h = static_cast<unsigned>(t.dim(2));
+            spec.in_w = static_cast<unsigned>(t.dim(3));
+            spec.validate();
+            const auto qa = quantizeTensor(t, node.a_params);
+            const DataSizeConfig cfg{node.a_params.bits,
+                                     node.w_params.bits,
+                                     node.a_params.is_signed,
+                                     node.w_params.is_signed};
+            const double requant =
+                node.a_params.scale * node.w_params.scale;
+            const uint64_t k = spec.gemmK(); // kh * kw per channel
+            Tensor<double> out({1, spec.out_c, spec.outH(),
+                                spec.outW()});
+            for (unsigned c = 0; c < spec.groups; ++c) {
+                const auto a_int = toInt(im2row(qa, spec, c));
+                const std::span<const int32_t> w_col(
+                    node.weights_q.data() + uint64_t{c} * k, k);
+                const auto col = backend.gemm(a_int, w_col,
+                                              spec.gemmM(), 1, k, cfg);
+                uint64_t row = 0;
+                for (unsigned y = 0; y < spec.outH(); ++y)
+                    for (unsigned x = 0; x < spec.outW(); ++x, ++row)
+                        out.at(0, c, y, x) =
+                            requant * static_cast<double>(col[row]) +
+                            node.bias[c];
+            }
+            t = std::move(out);
+            break;
+          }
+          case QNode::Kind::kLinear: {
+            const uint64_t k = node.spec.in_c;
+            const uint64_t n = node.spec.out_c;
+            if (t.size() != k)
+                fatal("QuantizedGraph: linear input size mismatch");
+            const auto qa = quantizeTensor(t, node.a_params);
+            const auto a_int = toInt(qa);
+            const DataSizeConfig cfg{node.a_params.bits,
+                                     node.w_params.bits,
+                                     node.a_params.is_signed,
+                                     node.w_params.is_signed};
+            const auto c =
+                backend.gemm(a_int, node.weights_q, 1, n, k, cfg);
+            const double requant =
+                node.a_params.scale * node.w_params.scale;
+            Tensor<double> out({1, n});
+            for (unsigned o = 0; o < n; ++o)
+                out[o] = requant * static_cast<double>(c[o]) +
+                         node.bias[o];
+            t = std::move(out);
+            break;
+          }
+          case QNode::Kind::kRelu:
+            for (auto &v : t.flat())
+                v = std::max(v, 0.0);
+            break;
+          case QNode::Kind::kMaxPool2: {
+            const unsigned c = static_cast<unsigned>(t.dim(1));
+            const unsigned h = static_cast<unsigned>(t.dim(2));
+            const unsigned w = static_cast<unsigned>(t.dim(3));
+            Tensor<double> out({1, c, h / 2, w / 2});
+            for (unsigned cc = 0; cc < c; ++cc)
+                for (unsigned y = 0; y < h / 2; ++y)
+                    for (unsigned x = 0; x < w / 2; ++x)
+                        out.at(0, cc, y, x) = std::max(
+                            {t.at(0, cc, 2 * y, 2 * x),
+                             t.at(0, cc, 2 * y, 2 * x + 1),
+                             t.at(0, cc, 2 * y + 1, 2 * x),
+                             t.at(0, cc, 2 * y + 1, 2 * x + 1)});
+            t = std::move(out);
+            break;
+          }
+          case QNode::Kind::kFlatten:
+            t = Tensor<double>({1, t.size()},
+                               std::vector<double>(t.flat().begin(),
+                                                   t.flat().end()));
+            break;
+        }
+    }
+    return t;
+}
+
+std::vector<double>
+QuantizedGraph::run(const Tensor<double> &image,
+                    GemmBackend &backend) const
+{
+    Tensor<double> t = image;
+    for (const QNode &node : nodes_)
+        t = runQNode(node, t, backend);
+    return std::vector<double>(t.flat().begin(), t.flat().end());
+}
+
+unsigned
+QuantizedGraph::predict(const Tensor<double> &image,
+                        GemmBackend &backend) const
+{
+    const auto logits = run(image, backend);
+    unsigned best = 0;
+    for (unsigned i = 1; i < logits.size(); ++i)
+        if (logits[i] > logits[best])
+            best = i;
+    return best;
+}
+
+double
+QuantizedGraph::evaluate(const PatternDataset &data,
+                         GemmBackend &backend) const
+{
+    size_t correct = 0;
+    for (const Sample &s : data.samples())
+        correct += predict(s.image, backend) == s.label;
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+} // namespace mixgemm

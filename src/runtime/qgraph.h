@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Quantized inference graph: the deployment half of the Fig. 3
+ * workflow. A trained QAT Network (src/nn) is exported into an integer
+ * graph — per-layer quantized weights plus activation/weight scales —
+ * and executed with any GemmBackend: convolutions lower through im2row
+ * to integer GEMMs, accumulators requantize back to float for the
+ * non-linearities, mirroring the QLinear op pattern of ONNX Runtime.
+ */
+
+#ifndef MIXGEMM_RUNTIME_QGRAPH_H
+#define MIXGEMM_RUNTIME_QGRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/qat.h"
+#include "quant/quantizer.h"
+#include "runtime/backend.h"
+#include "tensor/conv.h"
+
+namespace mixgemm
+{
+
+/** One node of the quantized graph. */
+struct QNode
+{
+    enum class Kind
+    {
+        kConv,      ///< quantized convolution (im2row + GEMM)
+        kDepthwise, ///< quantized depthwise conv (one GEMM per channel)
+        kLinear,    ///< quantized fully-connected (GEMM with m = 1)
+        kRelu,
+        kMaxPool2,
+        kFlatten,
+    };
+
+    Kind kind = Kind::kRelu;
+    // kConv / kLinear payload:
+    ConvSpec spec;                 ///< conv geometry (kLinear: 1x1)
+    std::vector<int32_t> weights_q;///< quantized B operand, k x n
+    std::vector<double> bias;
+    QuantParams a_params;          ///< activation quantization
+    QuantParams w_params;          ///< weight quantization
+};
+
+/** Executable quantized graph. */
+class QuantizedGraph
+{
+  public:
+    QuantizedGraph() = default;
+
+    /** Build directly from nodes (used by the PTQ pipeline and the
+     * deserializer). */
+    explicit QuantizedGraph(std::vector<QNode> nodes);
+
+    /**
+     * Export a trained QAT network. Conv2d/Linear layers must have run
+     * at least one forward pass (training sets the activation EMA
+     * scales this export reuses).
+     */
+    static QuantizedGraph fromNetwork(const Network &network);
+
+    /**
+     * Serialize to a line-oriented text format (the repository's
+     * stand-in for an ONNX model file). Stable across platforms.
+     */
+    std::string serialize() const;
+
+    /** Inverse of serialize(). @throws FatalError on malformed input. */
+    static QuantizedGraph deserialize(const std::string &text);
+
+    /** Run one image; returns the float logits. */
+    std::vector<double> run(const Tensor<double> &image,
+                            GemmBackend &backend) const;
+
+    /** Predicted class (argmax of logits). */
+    unsigned predict(const Tensor<double> &image,
+                     GemmBackend &backend) const;
+
+    /** TOP-1 accuracy over a dataset. */
+    double evaluate(const PatternDataset &data,
+                    GemmBackend &backend) const;
+
+    const std::vector<QNode> &nodes() const { return nodes_; }
+    std::vector<QNode> &nodes() { return nodes_; }
+
+  private:
+    std::vector<QNode> nodes_;
+};
+
+/** Execute one node on an input tensor (exposed for the PTQ
+ * bias-correction pass, which runs the graph layer by layer). */
+Tensor<double> runQNode(const QNode &node, const Tensor<double> &input,
+                        GemmBackend &backend);
+
+/** Build a conv node from a trained layer with explicit quantization
+ * parameters (the QAT export and the PTQ pipeline share this). */
+QNode makeConvNode(const Conv2d &conv, const QuantParams &a_params,
+                   const QuantParams &w_params);
+
+/** Build a linear node from a trained layer. */
+QNode makeLinearNode(const Linear &fc, const QuantParams &a_params,
+                     const QuantParams &w_params);
+
+/** Build a depthwise-conv node from a trained layer. */
+QNode makeDepthwiseNode(const DepthwiseConv2d &conv,
+                        const QuantParams &a_params,
+                        const QuantParams &w_params);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_RUNTIME_QGRAPH_H

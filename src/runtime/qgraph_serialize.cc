@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Text serialization of QuantizedGraph — the repository's stand-in for
+ * the ONNX model files of the paper's deployment flow (Fig. 3). One
+ * node per "node" line; weights/bias payloads follow as counted lines.
+ * Floating-point fields round-trip exactly via 17 significant digits.
+ */
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+#include "runtime/qgraph.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "mixgemm-qgraph-v1";
+
+const char *
+kindName(QNode::Kind kind)
+{
+    switch (kind) {
+      case QNode::Kind::kConv: return "conv";
+      case QNode::Kind::kDepthwise: return "depthwise";
+      case QNode::Kind::kLinear: return "linear";
+      case QNode::Kind::kRelu: return "relu";
+      case QNode::Kind::kMaxPool2: return "maxpool2";
+      case QNode::Kind::kFlatten: return "flatten";
+    }
+    return "?";
+}
+
+QNode::Kind
+kindFromName(const std::string &name)
+{
+    if (name == "conv")
+        return QNode::Kind::kConv;
+    if (name == "depthwise")
+        return QNode::Kind::kDepthwise;
+    if (name == "linear")
+        return QNode::Kind::kLinear;
+    if (name == "relu")
+        return QNode::Kind::kRelu;
+    if (name == "maxpool2")
+        return QNode::Kind::kMaxPool2;
+    if (name == "flatten")
+        return QNode::Kind::kFlatten;
+    fatal("qgraph: unknown node kind '" + name + "'");
+}
+
+void
+writeParams(std::ostream &os, const QuantParams &p)
+{
+    os << p.bits << ' ' << (p.is_signed ? 1 : 0) << ' ' << p.zero_point
+       << ' ' << std::setprecision(17) << p.scale;
+}
+
+QuantParams
+readParams(std::istream &is)
+{
+    QuantParams p;
+    int is_signed = 0;
+    if (!(is >> p.bits >> is_signed >> p.zero_point >> p.scale))
+        fatal("qgraph: truncated quantization parameters");
+    p.is_signed = is_signed != 0;
+    return p;
+}
+
+} // namespace
+
+QuantizedGraph::QuantizedGraph(std::vector<QNode> nodes)
+    : nodes_(std::move(nodes))
+{
+    if (nodes_.empty())
+        fatal("QuantizedGraph: empty node list");
+}
+
+std::string
+QuantizedGraph::serialize() const
+{
+    std::ostringstream os;
+    os << kMagic << '\n' << nodes_.size() << '\n';
+    for (const QNode &n : nodes_) {
+        os << "node " << kindName(n.kind) << '\n';
+        if (n.kind == QNode::Kind::kConv ||
+            n.kind == QNode::Kind::kDepthwise ||
+            n.kind == QNode::Kind::kLinear) {
+            os << n.spec.in_c << ' ' << n.spec.out_c << ' ' << n.spec.kh
+               << ' ' << n.spec.pad << '\n';
+            os << "a_params ";
+            writeParams(os, n.a_params);
+            os << '\n';
+            os << "w_params ";
+            writeParams(os, n.w_params);
+            os << '\n';
+            os << "weights " << n.weights_q.size() << '\n';
+            for (size_t i = 0; i < n.weights_q.size(); ++i)
+                os << n.weights_q[i]
+                   << ((i + 1) % 16 == 0 || i + 1 == n.weights_q.size()
+                           ? '\n'
+                           : ' ');
+            os << "bias " << n.bias.size() << '\n' << std::setprecision(17);
+            for (size_t i = 0; i < n.bias.size(); ++i)
+                os << n.bias[i]
+                   << ((i + 1) % 8 == 0 || i + 1 == n.bias.size()
+                           ? '\n'
+                           : ' ');
+        }
+    }
+    return os.str();
+}
+
+QuantizedGraph
+QuantizedGraph::deserialize(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic;
+    if (!(is >> magic) || magic != kMagic)
+        fatal("qgraph: bad magic (expected mixgemm-qgraph-v1)");
+    size_t count = 0;
+    if (!(is >> count) || count == 0)
+        fatal("qgraph: bad node count");
+
+    std::vector<QNode> nodes;
+    nodes.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        std::string tag;
+        std::string kind;
+        if (!(is >> tag >> kind) || tag != "node")
+            fatal("qgraph: expected a node record");
+        QNode n;
+        n.kind = kindFromName(kind);
+        if (n.kind == QNode::Kind::kConv ||
+            n.kind == QNode::Kind::kDepthwise ||
+            n.kind == QNode::Kind::kLinear) {
+            unsigned k = 0;
+            if (!(is >> n.spec.in_c >> n.spec.out_c >> k >> n.spec.pad))
+                fatal("qgraph: truncated layer geometry");
+            n.spec.kh = n.spec.kw = k;
+            n.spec.stride = 1;
+            if (n.kind == QNode::Kind::kLinear)
+                n.spec.in_h = n.spec.in_w = 1;
+            if (n.kind == QNode::Kind::kDepthwise)
+                n.spec.groups = n.spec.in_c;
+            std::string ptag;
+            if (!(is >> ptag) || ptag != "a_params")
+                fatal("qgraph: expected a_params");
+            n.a_params = readParams(is);
+            if (!(is >> ptag) || ptag != "w_params")
+                fatal("qgraph: expected w_params");
+            n.w_params = readParams(is);
+            size_t wn = 0;
+            if (!(is >> ptag >> wn) || ptag != "weights")
+                fatal("qgraph: expected weights");
+            n.weights_q.resize(wn);
+            for (auto &w : n.weights_q)
+                if (!(is >> w))
+                    fatal("qgraph: truncated weights");
+            size_t bn = 0;
+            if (!(is >> ptag >> bn) || ptag != "bias")
+                fatal("qgraph: expected bias");
+            n.bias.resize(bn);
+            for (auto &b : n.bias)
+                if (!(is >> b))
+                    fatal("qgraph: truncated bias");
+        }
+        nodes.push_back(std::move(n));
+    }
+    return QuantizedGraph(std::move(nodes));
+}
+
+} // namespace mixgemm

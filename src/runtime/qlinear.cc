@@ -1,0 +1,111 @@
+#include "runtime/qlinear.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+DataSizeConfig
+configFor(const QuantParams &a, const QuantParams &b)
+{
+    DataSizeConfig cfg;
+    cfg.bwa = a.bits;
+    cfg.bwb = b.bits;
+    cfg.a_signed = a.is_signed;
+    cfg.b_signed = b.is_signed;
+    return cfg;
+}
+
+} // namespace
+
+std::vector<int64_t>
+qlinearGemm(std::span<const int32_t> a, std::span<const int32_t> b,
+            uint64_t m, uint64_t n, uint64_t k,
+            const QuantParams &a_params, const QuantParams &b_params,
+            GemmBackend &backend)
+{
+    if (a.size() != m * k || b.size() != k * n)
+        fatal("qlinearGemm: operand sizes do not match dimensions");
+    const int64_t za = a_params.zero_point;
+    const int64_t zb = b_params.zero_point;
+
+    auto c = backend.gemm(a, b, m, n, k, configFor(a_params, b_params));
+
+    if (za != 0 || zb != 0) {
+        // Rank-1 corrections from row/column sums.
+        std::vector<int64_t> row_sum(m, 0);
+        std::vector<int64_t> col_sum(n, 0);
+        if (zb != 0)
+            for (uint64_t i = 0; i < m; ++i)
+                for (uint64_t l = 0; l < k; ++l)
+                    row_sum[i] += a[i * k + l];
+        if (za != 0)
+            for (uint64_t l = 0; l < k; ++l)
+                for (uint64_t j = 0; j < n; ++j)
+                    col_sum[j] += b[l * n + j];
+        const int64_t kzz = static_cast<int64_t>(k) * za * zb;
+        for (uint64_t i = 0; i < m; ++i)
+            for (uint64_t j = 0; j < n; ++j)
+                c[i * n + j] += kzz - za * col_sum[j] -
+                                zb * row_sum[i];
+    }
+    return c;
+}
+
+std::vector<double>
+qlinearGemmPerChannel(std::span<const int32_t> a,
+                      std::span<const int32_t> b, uint64_t m, uint64_t n,
+                      uint64_t k, const QuantParams &a_params,
+                      std::span<const QuantParams> b_params,
+                      GemmBackend &backend)
+{
+    if (b_params.size() != n)
+        fatal("qlinearGemmPerChannel: one QuantParams per column "
+              "required");
+    // All channels must share bitwidth/signedness (one bs.set per
+    // layer); scales and zero points may differ.
+    for (const auto &p : b_params)
+        if (p.bits != b_params[0].bits ||
+            p.is_signed != b_params[0].is_signed)
+            fatal("qlinearGemmPerChannel: channels must share the "
+                  "weight data size");
+
+    // Handle per-channel zero points by folding them into the
+    // correction pass after one shared integer GEMM.
+    const auto cfg_b = b_params[0];
+    auto c = backend.gemm(a, b, m, n, k, configFor(a_params, cfg_b));
+
+    const int64_t za = a_params.zero_point;
+    std::vector<int64_t> row_sum(m, 0);
+    std::vector<int64_t> col_sum(n, 0);
+    bool any_zb = false;
+    for (const auto &p : b_params)
+        any_zb = any_zb || p.zero_point != 0;
+    if (any_zb)
+        for (uint64_t i = 0; i < m; ++i)
+            for (uint64_t l = 0; l < k; ++l)
+                row_sum[i] += a[i * k + l];
+    if (za != 0)
+        for (uint64_t l = 0; l < k; ++l)
+            for (uint64_t j = 0; j < n; ++j)
+                col_sum[j] += b[l * n + j];
+
+    std::vector<double> out(m * n);
+    for (uint64_t j = 0; j < n; ++j) {
+        const int64_t zb = b_params[j].zero_point;
+        const int64_t kzz = static_cast<int64_t>(k) * za * zb;
+        const double requant = a_params.scale * b_params[j].scale;
+        for (uint64_t i = 0; i < m; ++i) {
+            const int64_t corrected = c[i * n + j] + kzz -
+                                      za * col_sum[j] -
+                                      zb * row_sum[i];
+            out[i * n + j] = requant * static_cast<double>(corrected);
+        }
+    }
+    return out;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * QLinear-style integer matmul with zero-point handling.
+ *
+ * Uniform affine quantization (Eq. 1) in its general asymmetric form
+ * represents x as s * (q - z). A quantized GEMM therefore expands to
+ *
+ *   C[i,j] = sum_k (qa[i,k] - za) * (qb[k,j] - zb)
+ *          = sum_k qa*qb  - za * colsum_b[j] - zb * rowsum_a[i]
+ *            + K * za * zb
+ *
+ * so an asymmetric multiply is one integer GEMM (through any
+ * GemmBackend, including the μ-engine-backed one) plus rank-1
+ * corrections from precomputable row/column sums — exactly how ONNX
+ * Runtime's QLinearMatMul lowers. This module implements that
+ * expansion and the matching requantization helpers, enabling the
+ * unsigned/asymmetric quadrant of the μ-engine's configuration space
+ * to be exercised end to end.
+ */
+
+#ifndef MIXGEMM_RUNTIME_QLINEAR_H
+#define MIXGEMM_RUNTIME_QLINEAR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quant/quantizer.h"
+#include "runtime/backend.h"
+
+namespace mixgemm
+{
+
+/**
+ * Asymmetric integer GEMM: inputs are raw quantized codes (including
+ * their zero-point offsets); the result is the exact integer
+ * sum_k (qa - za)(qb - zb) per output element.
+ *
+ * @param a row-major m x k codes in the (a_params.bits, signedness)
+ *          range
+ * @param b row-major k x n codes
+ */
+std::vector<int64_t> qlinearGemm(std::span<const int32_t> a,
+                                 std::span<const int32_t> b, uint64_t m,
+                                 uint64_t n, uint64_t k,
+                                 const QuantParams &a_params,
+                                 const QuantParams &b_params,
+                                 GemmBackend &backend);
+
+/**
+ * Per-channel variant: column j of B is quantized with b_params[j]
+ * (shared bitwidth/signedness, per-channel scale and zero point, as
+ * the paper's per-channel weight quantization produces). Returns the
+ * *dequantized* C in doubles: C = a_scale * b_scale[j] * C_int.
+ */
+std::vector<double> qlinearGemmPerChannel(
+    std::span<const int32_t> a, std::span<const int32_t> b, uint64_t m,
+    uint64_t n, uint64_t k, const QuantParams &a_params,
+    std::span<const QuantParams> b_params, GemmBackend &backend);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_RUNTIME_QLINEAR_H

@@ -1,0 +1,146 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Validate before any member initializer divides by config fields. */
+const CacheConfig &
+validated(const CacheConfig &config)
+{
+    config.validate();
+    return config;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(validated(config)), num_sets_(config.sets()),
+      lines_(num_sets_ * config.associativity)
+{
+}
+
+uint64_t
+Cache::setIndex(uint64_t addr) const
+{
+    return (addr / config_.line_bytes) & (num_sets_ - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr / config_.line_bytes / num_sets_;
+}
+
+bool
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++tick_;
+    const uint64_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line *ways = &lines_[set * config_.associativity];
+
+    for (unsigned w = 0; w < config_.associativity; ++w) {
+        Line &line = ways[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            line.dirty = line.dirty || is_write;
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: evict the first invalid way, else the least-recently-used.
+    Line *victim = &ways[0];
+    for (unsigned w = 0; w < config_.associativity; ++w) {
+        if (!ways[w].valid) {
+            victim = &ways[w];
+            break;
+        }
+        if (ways[w].lru < victim->lru)
+            victim = &ways[w];
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    victim->dirty = is_write;
+    return false;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    const uint64_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    const Line *ways = &lines_[set * config_.associativity];
+    for (unsigned w = 0; w < config_.associativity; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    std::fill(lines_.begin(), lines_.end(), Line{});
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1,
+                                 const CacheConfig &l2,
+                                 unsigned mem_latency)
+    : l1_(l1), l2_(l2), mem_latency_(mem_latency)
+{
+    if (l2.size_bytes < l1.size_bytes)
+        warn("MemoryHierarchy: L2 smaller than L1");
+}
+
+unsigned
+MemoryHierarchy::access(uint64_t addr, unsigned size, bool is_write)
+{
+    const unsigned line = l1_.config().line_bytes;
+    const uint64_t first = addr / line;
+    const uint64_t last = (addr + std::max(size, 1u) - 1) / line;
+    unsigned worst = l1_.config().hit_latency;
+    for (uint64_t l = first; l <= last; ++l) {
+        const uint64_t line_addr = l * line;
+        unsigned latency = l1_.config().hit_latency;
+        if (!l1_.access(line_addr, is_write)) {
+            latency = l2_.config().hit_latency;
+            if (!l2_.access(line_addr, is_write))
+                latency = mem_latency_;
+        }
+        worst = std::max(worst, latency);
+    }
+    return worst;
+}
+
+CounterSet
+MemoryHierarchy::counters() const
+{
+    CounterSet c;
+    c.set("l1_hits", l1_.hits());
+    c.set("l1_misses", l1_.misses());
+    c.set("l2_hits", l2_.hits());
+    c.set("l2_misses", l2_.misses());
+    return c;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+}
+
+} // namespace mixgemm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Set-associative LRU cache model and a two-level hierarchy.
+ *
+ * Used two ways: (a) by the full-trace simulator, which drives every
+ * load/store of a small GEMM through it, and (b) by the hybrid GEMM
+ * timing model, which replays only panel-granularity streams. The model
+ * is write-allocate/write-back with no coherence (single core) and no
+ * MSHR modelling: each miss pays the next level's latency in full, which
+ * matches an in-order core that blocks on use.
+ */
+
+#ifndef MIXGEMM_SIM_CACHE_H
+#define MIXGEMM_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+
+/** One set-associative write-back cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access one line-aligned block. Returns true on hit. On miss the
+     * line is allocated (LRU victim evicted).
+     */
+    bool access(uint64_t addr, bool is_write);
+
+    /** Probe without modifying state. */
+    bool contains(uint64_t addr) const;
+
+    /** Invalidate everything (e.g., between benchmark repetitions). */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint64_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig config_;
+    uint64_t num_sets_;
+    std::vector<Line> lines_; ///< num_sets_ x associativity
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** L1 + L2 + memory, returning a load-use latency per access. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                    unsigned mem_latency);
+
+    /**
+     * Perform one access of @p size bytes at @p addr; accesses that
+     * straddle line boundaries touch every covered line and pay the
+     * worst latency. Returns the load-use latency in cycles.
+     */
+    unsigned access(uint64_t addr, unsigned size, bool is_write);
+
+    /** Counter snapshot: l1_hits/l1_misses/l2_hits/l2_misses. */
+    CounterSet counters() const;
+
+    void reset();
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    unsigned memLatency() const { return mem_latency_; }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    unsigned mem_latency_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SIM_CACHE_H

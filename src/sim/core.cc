@@ -1,0 +1,133 @@
+#include "sim/core.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+InOrderCore::InOrderCore(const SoCConfig &config, LoadLatencyFn load_fn,
+                         UEngineTiming *engine)
+    : config_(config), load_fn_(std::move(load_fn)), engine_(engine)
+{
+    config.validate();
+}
+
+void
+InOrderCore::reset()
+{
+    now_ = 0;
+    std::memset(reg_ready_, 0, sizeof(reg_ready_));
+    fmul_free_ = 0;
+    fadd_free_ = 0;
+    counters_ = CounterSet{};
+}
+
+uint64_t
+InOrderCore::run(const UopTrace &trace)
+{
+    const uint64_t start = now_;
+    const CoreTimings &t = config_.core;
+
+    for (const Uop &uop : trace) {
+        // In-order single issue: one instruction per cycle at best.
+        uint64_t issue = now_;
+
+        // Read-after-write: wait for source operands.
+        uint64_t ready = issue;
+        if (uop.src1 != kNoReg)
+            ready = std::max(ready, reg_ready_[uop.src1]);
+        if (uop.src2 != kNoReg)
+            ready = std::max(ready, reg_ready_[uop.src2]);
+        if (ready > issue) {
+            counters_.inc("raw_stall_cycles", ready - issue);
+            issue = ready;
+        }
+
+        uint64_t next_issue = issue + 1;
+        uint64_t dst_ready = issue + 1;
+
+        switch (uop.kind) {
+          case UopKind::kAlu:
+          case UopKind::kNop:
+            dst_ready = issue + t.alu_latency;
+            break;
+          case UopKind::kMul:
+            dst_ready = issue + t.mul_latency;
+            break;
+          case UopKind::kFmul:
+            if (fmul_free_ > issue) {
+                counters_.inc("fu_struct_stall_cycles",
+                              fmul_free_ - issue);
+                issue = fmul_free_;
+                next_issue = issue + 1;
+            }
+            fmul_free_ = issue + t.fmul_interval;
+            dst_ready = issue + t.fmul_latency;
+            break;
+          case UopKind::kFadd:
+            if (fadd_free_ > issue) {
+                counters_.inc("fu_struct_stall_cycles",
+                              fadd_free_ - issue);
+                issue = fadd_free_;
+                next_issue = issue + 1;
+            }
+            fadd_free_ = issue + t.fadd_interval;
+            dst_ready = issue + t.fadd_latency;
+            break;
+          case UopKind::kLoad: {
+            const unsigned lat = load_fn_(uop.addr, uop.size, false);
+            dst_ready = issue + lat;
+            counters_.inc("loads");
+            break;
+          }
+          case UopKind::kStore:
+            load_fn_(uop.addr, uop.size, true);
+            counters_.inc("stores");
+            break;
+          case UopKind::kBranch:
+            next_issue = issue + 1 + t.branch_penalty;
+            counters_.inc("branches");
+            break;
+          case UopKind::kBsSet:
+            if (!engine_)
+                fatal("core: bs.set in trace but no μ-engine attached");
+            engine_->reset(engine_->geometry());
+            break;
+          case UopKind::kBsIp: {
+            if (!engine_)
+                fatal("core: bs.ip in trace but no μ-engine attached");
+            const uint64_t actual = engine_->issueIp(issue);
+            if (actual > issue) {
+                issue = actual;
+                next_issue = issue + 1;
+            }
+            break;
+          }
+          case UopKind::kBsGet: {
+            if (!engine_)
+                fatal("core: bs.get in trace but no μ-engine attached");
+            const uint64_t drained = engine_->drainCycle();
+            if (drained > issue) {
+                counters_.inc("bs_get_stall_cycles", drained - issue);
+                issue = drained;
+                next_issue = issue + 1;
+            }
+            dst_ready = issue + 2; // AccMem read + writeback
+            break;
+          }
+        }
+
+        if (uop.dst != kNoReg)
+            reg_ready_[uop.dst] = dst_ready;
+        counters_.inc("instructions");
+        now_ = next_issue;
+    }
+
+    counters_.set("cycles", now_);
+    return now_ - start;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cycle model of the 7-stage, single-issue, in-order RV64 core
+ * (Section IV-A) executing μ-op traces.
+ *
+ * The model captures the effects that determine GEMM kernel throughput
+ * on such a core:
+ *   - one instruction issued per cycle, in order;
+ *   - a register scoreboard: an instruction waits until its source
+ *     registers' producers have completed (load-use and FP-latency
+ *     stalls);
+ *   - non-fully-pipelined FP units (initiation intervals);
+ *   - per-access load latency supplied by a callback, so the caller
+ *     chooses between a real cache hierarchy (full-trace mode) and a
+ *     steady-state policy (hybrid mode);
+ *   - bs.ip back-pressure and bs.get drain stalls via UEngineTiming.
+ *
+ * State (current cycle, scoreboard, μ-engine) persists across run()
+ * calls so a GEMM can be simulated as a sequence of kernel traces.
+ */
+
+#ifndef MIXGEMM_SIM_CORE_H
+#define MIXGEMM_SIM_CORE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.h"
+#include "isa/uop.h"
+#include "sim/uengine_timing.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+
+/** Returns the load-use latency of an access, in cycles. */
+using LoadLatencyFn =
+    std::function<unsigned(uint64_t addr, unsigned size, bool is_write)>;
+
+/** In-order single-issue core executing μ-op traces. */
+class InOrderCore
+{
+  public:
+    /**
+     * @param config   SoC timing parameters
+     * @param load_fn  load/store latency callback
+     * @param engine   μ-engine timing model, or nullptr when the trace
+     *                 contains no bs.* μ-ops
+     */
+    InOrderCore(const SoCConfig &config, LoadLatencyFn load_fn,
+                UEngineTiming *engine = nullptr);
+
+    /** Execute a trace; returns the cycle count consumed by this call. */
+    uint64_t run(const UopTrace &trace);
+
+    /** Current core cycle (monotonic across run() calls). */
+    uint64_t now() const { return now_; }
+
+    /** Stall/issue counters accumulated so far. */
+    const CounterSet &counters() const { return counters_; }
+
+    /** Reset time, scoreboard, and counters (the engine is reset by its
+     * owner through UEngineTiming::reset). */
+    void reset();
+
+  private:
+    SoCConfig config_;
+    LoadLatencyFn load_fn_;
+    UEngineTiming *engine_;
+    uint64_t now_ = 0;
+    uint64_t reg_ready_[64] = {};
+    uint64_t fmul_free_ = 0;
+    uint64_t fadd_free_ = 0;
+    CounterSet counters_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SIM_CORE_H

@@ -1,0 +1,225 @@
+#include "sim/full_trace.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/cache.h"
+#include "sim/core.h"
+#include "sim/kernel_traces.h"
+#include "sim/uengine_timing.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/**
+ * Gather-pack trace: load each (possibly scattered) source word and
+ * store it to a contiguous destination, with loop overhead per 8 words
+ * — the CreatePanel procedures of Algorithm 1.
+ */
+UopTrace
+gatherPackTrace(const std::vector<uint64_t> &src_addrs, uint64_t dst_base)
+{
+    UopTrace trace;
+    trace.reserve(src_addrs.size() * 2 + src_addrs.size() / 8 + 1);
+    for (size_t w = 0; w < src_addrs.size(); ++w) {
+        trace.push_back(Uop::load(7, src_addrs[w], 8));
+        trace.push_back(Uop::store(7, dst_base + 8 * w, 8));
+        if ((w + 1) % 8 == 0)
+            trace.push_back(Uop::branch());
+    }
+    return trace;
+}
+
+} // namespace
+
+FullTraceResult
+simulateMixGemmFullTrace(uint64_t m, uint64_t n, uint64_t k,
+                         const BsGeometry &geometry, const SoCConfig &soc,
+                         const BlockingParams &blocking,
+                         const TraceMemoryMap &map)
+{
+    blocking.validate();
+    if (m == 0 || n == 0 || k == 0)
+        fatal("simulateMixGemmFullTrace: empty GEMM");
+
+    // Word-index helpers mirroring the CompressedA/B layouts (no data
+    // needed — timing only depends on addresses).
+    const unsigned k_groups = kGroupCount(k, geometry);
+    const unsigned kua = geometry.kua;
+    const unsigned kub = geometry.kub;
+    auto a_word_addr = [&](uint64_t row, unsigned g, unsigned w) {
+        return map.a_matrix + 8 * ((row * k_groups + g) * kua + w);
+    };
+    auto b_word_addr = [&](uint64_t col, unsigned g, unsigned w) {
+        return map.b_matrix + 8 * ((col * k_groups + g) * kub + w);
+    };
+
+    const unsigned mr = blocking.mr;
+    const unsigned nr = blocking.nr;
+    const unsigned kc_groups = std::max<unsigned>(
+        1, static_cast<unsigned>(blocking.kc / geometry.group_extent));
+
+    MemoryHierarchy memory(soc.l1d, soc.l2, soc.mem_latency);
+    UEngineTiming engine(geometry, soc.uengine);
+    InOrderCore core(
+        soc,
+        [&memory](uint64_t addr, unsigned size, bool is_write) {
+            return memory.access(addr, size, is_write);
+        },
+        &engine);
+
+    core.run({Uop::bsSet()});
+
+    std::vector<uint64_t> src;
+    for (uint64_t jc = 0; jc < n; jc += blocking.nc) {
+        const uint64_t nc_eff = std::min<uint64_t>(blocking.nc, n - jc);
+        for (unsigned gc = 0; gc < k_groups; gc += kc_groups) {
+            const unsigned g1 =
+                std::min<unsigned>(gc + kc_groups, k_groups);
+            const unsigned groups = g1 - gc;
+
+            // Pack the B panel: per column, its [gc, g1) words.
+            src.clear();
+            for (uint64_t col = jc; col < jc + nc_eff; ++col)
+                for (unsigned g = gc; g < g1; ++g)
+                    for (unsigned w = 0; w < kub; ++w)
+                        src.push_back(b_word_addr(col, g, w));
+            core.run(gatherPackTrace(src, map.b_panel));
+
+            for (uint64_t ic = 0; ic < m; ic += blocking.mc) {
+                const uint64_t mc_eff =
+                    std::min<uint64_t>(blocking.mc, m - ic);
+
+                // Pack the A panel: μ-panel order [ir][g][j][w].
+                src.clear();
+                for (uint64_t ir = 0; ir < mc_eff; ir += mr)
+                    for (unsigned g = gc; g < g1; ++g)
+                        for (unsigned j = 0; j < mr; ++j)
+                            for (unsigned w = 0; w < kua; ++w)
+                                src.push_back(a_word_addr(
+                                    std::min<uint64_t>(ic + ir + j,
+                                                       m - 1),
+                                    g, w));
+                core.run(gatherPackTrace(src, map.a_panel));
+
+                const uint64_t a_upanel_bytes =
+                    uint64_t{8} * groups * mr * kua;
+                const uint64_t b_upanel_bytes =
+                    uint64_t{8} * groups * nr * kub;
+                for (uint64_t jr = 0; jr < nc_eff; jr += nr) {
+                    for (uint64_t ir = 0; ir < mc_eff; ir += mr) {
+                        KernelAddresses addr;
+                        addr.a_panel =
+                            map.a_panel + (ir / mr) * a_upanel_bytes;
+                        addr.b_panel =
+                            map.b_panel + (jr / nr) * b_upanel_bytes;
+                        addr.c_base = map.c_matrix +
+                                      ((ic + ir) * n + jc + jr) * 8;
+                        addr.c_row_stride = n * 8;
+                        core.run(mixMicroKernelTrace(geometry, mr, nr,
+                                                     groups, addr));
+                    }
+                }
+            }
+        }
+    }
+
+    FullTraceResult result;
+    result.cycles = core.now();
+    result.counters.merge(core.counters());
+    result.counters.merge(engine.counters());
+    result.counters.merge(memory.counters());
+    return result;
+}
+
+FullTraceResult
+simulateDgemmFullTrace(uint64_t m, uint64_t n, uint64_t k,
+                       const SoCConfig &soc,
+                       const BlockingParams &blocking,
+                       const TraceMemoryMap &map)
+{
+    blocking.validate();
+    if (m == 0 || n == 0 || k == 0)
+        fatal("simulateDgemmFullTrace: empty GEMM");
+
+    auto a_addr = [&](uint64_t row, uint64_t l) {
+        return map.a_matrix + 8 * (row * k + l);
+    };
+    auto b_addr = [&](uint64_t l, uint64_t col) {
+        return map.b_matrix + 8 * (l * n + col);
+    };
+
+    const unsigned mr = blocking.mr;
+    const unsigned nr = blocking.nr;
+
+    MemoryHierarchy memory(soc.l1d, soc.l2, soc.mem_latency);
+    InOrderCore core(
+        soc, [&memory](uint64_t addr, unsigned size, bool is_write) {
+            return memory.access(addr, size, is_write);
+        });
+
+    std::vector<uint64_t> src;
+    for (uint64_t jc = 0; jc < n; jc += blocking.nc) {
+        const uint64_t nc_eff = std::min<uint64_t>(blocking.nc, n - jc);
+        for (uint64_t lc = 0; lc < k; lc += blocking.kc) {
+            const uint64_t kc_eff =
+                std::min<uint64_t>(blocking.kc, k - lc);
+
+            // Pack the B panel in μ-panel-major order.
+            src.clear();
+            for (uint64_t jr = 0; jr < nc_eff; jr += nr)
+                for (uint64_t l = lc; l < lc + kc_eff; ++l)
+                    for (unsigned i = 0; i < nr; ++i)
+                        src.push_back(b_addr(
+                            l, std::min<uint64_t>(jc + jr + i, n - 1)));
+            core.run(gatherPackTrace(src, map.b_panel));
+
+            for (uint64_t ic = 0; ic < m; ic += blocking.mc) {
+                const uint64_t mc_eff =
+                    std::min<uint64_t>(blocking.mc, m - ic);
+                src.clear();
+                for (uint64_t ir = 0; ir < mc_eff; ir += mr)
+                    for (uint64_t l = lc; l < lc + kc_eff; ++l)
+                        for (unsigned j = 0; j < mr; ++j)
+                            src.push_back(a_addr(
+                                std::min<uint64_t>(ic + ir + j, m - 1),
+                                l));
+                core.run(gatherPackTrace(src, map.a_panel));
+
+                const uint64_t a_upanel_bytes = 8 * kc_eff * mr;
+                const uint64_t b_upanel_bytes = 8 * kc_eff * nr;
+                for (uint64_t jr = 0; jr < nc_eff; jr += nr) {
+                    for (uint64_t ir = 0; ir < mc_eff; ir += mr) {
+                        KernelAddresses addr;
+                        addr.a_panel =
+                            map.a_panel + (ir / mr) * a_upanel_bytes;
+                        addr.b_panel =
+                            map.b_panel + (jr / nr) * b_upanel_bytes;
+                        addr.c_base = map.c_matrix +
+                                      ((ic + ir) * n + jc + jr) * 8;
+                        addr.c_row_stride = n * 8;
+                        core.run(dgemmMicroKernelTrace(
+                            static_cast<unsigned>(std::min<uint64_t>(
+                                mr, mc_eff - ir)),
+                            static_cast<unsigned>(std::min<uint64_t>(
+                                nr, nc_eff - jr)),
+                            kc_eff, addr));
+                    }
+                }
+            }
+        }
+    }
+
+    FullTraceResult result;
+    result.cycles = core.now();
+    result.counters.merge(core.counters());
+    result.counters.merge(memory.counters());
+    return result;
+}
+
+} // namespace mixgemm

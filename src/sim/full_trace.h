@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Full-trace GEMM simulation: the validation path for the hybrid timing
+ * model.
+ *
+ * For small problems, the *entire* dynamic execution of the blocked
+ * Mix-GEMM (or DGEMM baseline) is replayed μ-op by μ-op through the
+ * in-order core, the real two-level cache hierarchy, and the μ-engine
+ * timing model: panel packing with the true scattered source addresses,
+ * every μ-kernel with its true panel/C addresses, and all loop
+ * overhead. No analytic shortcuts — every load goes through the cache
+ * simulator.
+ *
+ * tests/test_sim_integration.cc uses this to bound the error of the
+ * hybrid composition (sim/gemm_timing.h), which is what prices the
+ * large GEMMs of Fig. 6.
+ */
+
+#ifndef MIXGEMM_SIM_FULL_TRACE_H
+#define MIXGEMM_SIM_FULL_TRACE_H
+
+#include <cstdint>
+
+#include "bs/geometry.h"
+#include "common/stats.h"
+#include "gemm/blocking.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+
+/** Result of a full-trace simulation. */
+struct FullTraceResult
+{
+    uint64_t cycles = 0;
+    CounterSet counters; ///< core + engine + cache counters merged
+};
+
+/** Memory map used by the full-trace simulator. */
+struct TraceMemoryMap
+{
+    uint64_t a_matrix = 0x10000000;  ///< compressed A operand
+    uint64_t b_matrix = 0x20000000;  ///< compressed B operand
+    uint64_t c_matrix = 0x30000000;  ///< C output (8 B elements)
+    uint64_t a_panel = 0x40000000;   ///< packed A panel buffer
+    uint64_t b_panel = 0x50000000;   ///< packed B panel buffer
+};
+
+/**
+ * Replay a complete Mix-GEMM of shape m x n x k at @p geometry.
+ * Intended for small shapes (the trace grows with m*n*k).
+ */
+FullTraceResult simulateMixGemmFullTrace(
+    uint64_t m, uint64_t n, uint64_t k, const BsGeometry &geometry,
+    const SoCConfig &soc,
+    const BlockingParams &blocking = BlockingParams::paperDefaults(),
+    const TraceMemoryMap &map = TraceMemoryMap{});
+
+/** Replay a complete blocked DGEMM of shape m x n x k. */
+FullTraceResult simulateDgemmFullTrace(
+    uint64_t m, uint64_t n, uint64_t k, const SoCConfig &soc,
+    const BlockingParams &blocking = BlockingParams::paperDefaults(),
+    const TraceMemoryMap &map = TraceMemoryMap{});
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SIM_FULL_TRACE_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Hybrid (cycle + analytic) GEMM timing model.
+ *
+ * Large GEMMs (Fig. 6 runs to 2048^3) cannot be replayed μ-op by μ-op in
+ * reasonable time, so this model composes:
+ *
+ *  1. *Cycle-accurate μ-kernel simulation*: each distinct μ-kernel shape
+ *     (mr_eff, nr_eff, k extent) is replayed once through the in-order
+ *     core + μ-engine models with steady-state (L1-hit) operand loads —
+ *     the BLIS invariant that μ-panels are L1 resident — and memoized.
+ *  2. *Exact loop accounting*: the BLIS 5-loop structure is walked at
+ *     panel granularity (a few hundred iterations even at 2048^3) to
+ *     count kernel instances of each shape, packing passes, and C tile
+ *     passes, including all edge cases.
+ *  3. *Analytic memory penalties*: panel packing pays per-line source
+ *     miss latency (L2 or DRAM depending on matrix footprint), and
+ *     per-pass panel/C refetch penalties are charged when the respective
+ *     footprint exceeds the cache level that should hold it.
+ *
+ * The same model prices Mix-GEMM, the BLIS DGEMM baseline, and the int8
+ * BLIS baseline, so Fig. 6 speedups come out of one consistent machine
+ * model. The composition is validated against full-trace simulation on
+ * small problems by tests/test_sim_integration.cc.
+ */
+
+#ifndef MIXGEMM_SIM_GEMM_TIMING_H
+#define MIXGEMM_SIM_GEMM_TIMING_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "bs/geometry.h"
+#include "common/stats.h"
+#include "gemm/blocking.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+
+/** Timing result of one simulated GEMM. */
+struct GemmTiming
+{
+    uint64_t cycles = 0;
+    uint64_t ops = 0;          ///< 2 * m * n * k
+    double gops = 0.0;         ///< at the SoC frequency
+    double cycles_per_mac = 0.0;
+    CounterSet counters;       ///< kernel/packing/memory breakdown
+};
+
+/** Which GEMM implementation to price. */
+enum class GemmKind
+{
+    kMixGemm,    ///< compressed μ-vector GEMM through the μ-engine
+    kDgemm,      ///< BLIS FP64 baseline
+    kInt8Gemm,   ///< BLIS int8 scalar baseline
+    kSubByteSW,  ///< packed sub-byte operands, software decompression
+};
+
+/** Hybrid timing model for one SoC configuration. */
+class GemmTimingModel
+{
+  public:
+    /**
+     * @param soc SoC description; blocking is derived from its caches
+     *        unless @p blocking is given (DSE sweeps override it).
+     */
+    explicit GemmTimingModel(
+        const SoCConfig &soc,
+        std::optional<BlockingParams> blocking = std::nullopt);
+
+    /** Price a Mix-GEMM of the given shape and data-size geometry. */
+    GemmTiming mixGemm(uint64_t m, uint64_t n, uint64_t k,
+                       const BsGeometry &geometry) const;
+
+    /** Price the BLIS DGEMM baseline. */
+    GemmTiming dgemm(uint64_t m, uint64_t n, uint64_t k) const;
+
+    /** Price the BLIS int8 baseline. */
+    GemmTiming int8Gemm(uint64_t m, uint64_t n, uint64_t k) const;
+
+    /**
+     * Price the software sub-byte baseline of the Introduction:
+     * operands stored packed at @p bw bits (Mix-GEMM's footprint) but
+     * decompressed with shift/mask instructions before every scalar
+     * MAC. Quantifies "saving memory without the compute benefit".
+     */
+    GemmTiming subByteSoftware(uint64_t m, uint64_t n, uint64_t k,
+                               unsigned bw) const;
+
+    const BlockingParams &blocking() const { return blocking_; }
+    const SoCConfig &soc() const { return soc_; }
+
+  private:
+    struct KernelKey
+    {
+        GemmKind kind;
+        unsigned mr, nr;
+        uint64_t kc; ///< groups for mix, k steps otherwise
+        unsigned group_extent; ///< distinguishes short-k geometries
+        std::string config;
+        auto operator<=>(const KernelKey &) const = default;
+    };
+
+    /** Cycle-simulate one μ-kernel shape (memoized). */
+    uint64_t kernelCycles(GemmKind kind, const BsGeometry *geometry,
+                          unsigned mr, unsigned nr, uint64_t kc,
+                          unsigned sub_bw) const;
+
+    GemmTiming compose(GemmKind kind, const BsGeometry *geometry,
+                       uint64_t m, uint64_t n, uint64_t k,
+                       unsigned sub_bw = 0) const;
+
+    SoCConfig soc_;
+    BlockingParams blocking_;
+    mutable std::map<KernelKey, uint64_t> kernel_cache_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SIM_GEMM_TIMING_H

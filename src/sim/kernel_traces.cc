@@ -1,0 +1,376 @@
+#include "sim/kernel_traces.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+// Register allocation (model): x5/x6 pointers, x7 temp/index,
+// x8..x23 A μ-vector slice, x24..x31 + x8-reuse B slice. We model at
+// most 16 A and 16 B registers (Table I: kua*mr = kub*nr = 16), mapping
+// indices modulo the available range; FP registers f0.. hold the DGEMM
+// accumulator tile and operand elements.
+constexpr RegId kPtrA = 5;
+constexpr RegId kPtrB = 6;
+constexpr RegId kTmp = 7;
+constexpr RegId kABase = 8;   // up to 16 regs: x8..x23
+constexpr RegId kBBase = 24;  // up to 8 regs: x24..x31 (wraps)
+
+RegId
+aReg(unsigned i)
+{
+    return static_cast<RegId>(kABase + i % 16);
+}
+
+RegId
+bReg(unsigned i)
+{
+    return static_cast<RegId>(kBBase + i % 8);
+}
+
+RegId
+fReg(unsigned i)
+{
+    return static_cast<RegId>(kFpRegBase + i % 32);
+}
+
+} // namespace
+
+UopTrace
+mixMicroKernelTrace(const BsGeometry &geometry, unsigned mr, unsigned nr,
+                    unsigned groups, const KernelAddresses &addr,
+                    unsigned load_words)
+{
+    if (mr == 0 || nr == 0 || groups == 0)
+        fatal("mixMicroKernelTrace: empty kernel");
+    if (load_words == 0)
+        fatal("mixMicroKernelTrace: load width must be positive");
+    UopTrace trace;
+    const unsigned kua = geometry.kua;
+    const unsigned kub = geometry.kub;
+    const unsigned pairs = geometry.group_pairs;
+    trace.reserve(uint64_t{groups} *
+                      (mr * kua + nr * kub + uint64_t{mr} * nr *
+                       (pairs + 1) + nr + 2) +
+                  uint64_t{mr} * nr * 4 + 4);
+
+    const uint8_t load_size = static_cast<uint8_t>(8 * load_words);
+    uint64_t a_word = 0; // running word offsets into the packed panels
+    uint64_t b_word = 0;
+    for (unsigned g = 0; g < groups; ++g) {
+        // Refill the RF-resident A and B μ-vector slices for this
+        // group; wide (128-bit) loads fetch load_words μ-vectors each.
+        for (unsigned w = 0; w < mr * kua; w += load_words) {
+            trace.push_back(
+                Uop::load(aReg(w), addr.a_panel + 8 * a_word, load_size));
+            a_word += load_words;
+        }
+        for (unsigned w = 0; w < nr * kub; w += load_words) {
+            trace.push_back(
+                Uop::load(bReg(w), addr.b_panel + 8 * b_word, load_size));
+            b_word += load_words;
+        }
+        trace.push_back(Uop::alu(kPtrA, kPtrA)); // advance panel pointers
+        trace.push_back(Uop::alu(kPtrB, kPtrB));
+        // Issue the accumulation groups: nr x mr cells x pairs.
+        for (unsigned i = 0; i < nr; ++i) {
+            for (unsigned j = 0; j < mr; ++j) {
+                for (unsigned p = 0; p < pairs; ++p) {
+                    const RegId ar =
+                        p < kua ? aReg(j * kua + p) : kTmp;
+                    const RegId br =
+                        p < kub ? bReg(i * kub + p) : kTmp;
+                    trace.push_back(Uop::bsIp(ar, br));
+                }
+                trace.push_back(Uop::alu(kTmp)); // cell bookkeeping
+            }
+            trace.push_back(Uop::branch()); // row loop back-edge
+        }
+    }
+
+    // Epilogue: collect the C μ-panel from AccMem and accumulate into C.
+    for (unsigned i = 0; i < nr; ++i) {
+        for (unsigned j = 0; j < mr; ++j) {
+            const uint64_t c_addr =
+                addr.c_base + j * addr.c_row_stride + uint64_t{i} * 8;
+            trace.push_back(
+                Uop::bsGet(kTmp, static_cast<uint16_t>(i * mr + j)));
+            trace.push_back(Uop::load(aReg(0), c_addr, 8));
+            trace.push_back(Uop::alu(aReg(0), aReg(0), kTmp));
+            trace.push_back(Uop::store(aReg(0), c_addr, 8));
+        }
+    }
+    trace.push_back(Uop::branch()); // kernel return
+    return trace;
+}
+
+UopTrace
+dgemmMicroKernelTrace(unsigned mr, unsigned nr, uint64_t kc,
+                      const KernelAddresses &addr)
+{
+    if (mr == 0 || nr == 0 || kc == 0)
+        fatal("dgemmMicroKernelTrace: empty kernel");
+    UopTrace trace;
+    trace.reserve(kc * (mr + nr + 2 * uint64_t{mr} * nr + 2) +
+                  uint64_t{mr} * nr * 3 + 2);
+
+    // FP register map: f0..f(mr*nr-1) accumulators, then operands.
+    const unsigned acc0 = 0;
+    const unsigned fa0 = mr * nr;
+    const unsigned fb0 = fa0 + mr;
+    const unsigned ftmp = fb0 + nr;
+
+    uint64_t a_off = 0;
+    uint64_t b_off = 0;
+    for (uint64_t l = 0; l < kc; ++l) {
+        for (unsigned j = 0; j < mr; ++j)
+            trace.push_back(
+                Uop::load(fReg(fa0 + j), addr.a_panel + 8 * a_off++, 8));
+        for (unsigned i = 0; i < nr; ++i)
+            trace.push_back(
+                Uop::load(fReg(fb0 + i), addr.b_panel + 8 * b_off++, 8));
+        // Software-pipelined cell loop: the fadd consuming a product is
+        // emitted two cells after its fmul (4 rotating temporaries), so
+        // RAW latency is hidden and only the FP units' initiation
+        // intervals bound throughput — what a production BLIS μ-kernel
+        // schedule achieves.
+        const unsigned cells = mr * nr;
+        for (unsigned c = 0; c < cells + 2; ++c) {
+            if (c < cells) {
+                const unsigned j = c / nr;
+                const unsigned i = c % nr;
+                trace.push_back(Uop::fmul(fReg(ftmp + c % 4),
+                                          fReg(fa0 + j),
+                                          fReg(fb0 + i)));
+            }
+            if (c >= 2) {
+                const unsigned d = c - 2;
+                trace.push_back(Uop::fadd(fReg(acc0 + d),
+                                          fReg(acc0 + d),
+                                          fReg(ftmp + d % 4)));
+            }
+        }
+        trace.push_back(Uop::alu(kPtrA, kPtrA)); // pointer bump
+        trace.push_back(Uop::branch());          // k-loop back-edge
+    }
+
+    // Epilogue: C tile update.
+    for (unsigned j = 0; j < mr; ++j) {
+        for (unsigned i = 0; i < nr; ++i) {
+            const uint64_t c_addr =
+                addr.c_base + j * addr.c_row_stride + uint64_t{i} * 8;
+            trace.push_back(Uop::load(fReg(ftmp), c_addr, 8));
+            trace.push_back(Uop::fadd(fReg(ftmp), fReg(ftmp),
+                                      fReg(acc0 + j * nr + i)));
+            trace.push_back(Uop::store(fReg(ftmp), c_addr, 8));
+        }
+    }
+    trace.push_back(Uop::branch());
+    return trace;
+}
+
+UopTrace
+int8MicroKernelTrace(unsigned mr, unsigned nr, uint64_t kc,
+                     const KernelAddresses &addr)
+{
+    if (mr == 0 || nr == 0 || kc == 0)
+        fatal("int8MicroKernelTrace: empty kernel");
+    UopTrace trace;
+
+    // Integer register map mirroring the DGEMM kernel: accumulators live
+    // in x8.., operands extracted into kTmp-adjacent temps.
+    auto acc = [&](unsigned j, unsigned i) {
+        return aReg(j * nr + i);
+    };
+    uint64_t a_off = 0;
+    uint64_t b_off = 0;
+    for (uint64_t l = 0; l < kc; ++l) {
+        // Packed operand loads amortized over 8 k steps.
+        if (l % 8 == 0) {
+            for (unsigned j = 0; j < mr; ++j)
+                trace.push_back(
+                    Uop::load(bReg(j), addr.a_panel + 8 * a_off++, 8));
+            for (unsigned i = 0; i < nr; ++i)
+                trace.push_back(Uop::load(bReg(mr + i),
+                                          addr.b_panel + 8 * b_off++,
+                                          8));
+        }
+        // Per-element extraction (shift + sign-extend folded into one
+        // modelled ALU op per element use).
+        for (unsigned j = 0; j < mr; ++j)
+            trace.push_back(Uop::alu(bReg(j), bReg(j)));
+        for (unsigned i = 0; i < nr; ++i)
+            trace.push_back(Uop::alu(bReg(mr + i), bReg(mr + i)));
+        // Software-pipelined MAC loop (lag-2 accumulate through three
+        // rotating temporaries), hiding the integer-multiply latency as
+        // a scheduled production kernel would.
+        const unsigned cells = mr * nr;
+        const RegId tmp[3] = {kTmp, 2, 3};
+        for (unsigned c = 0; c < cells + 2; ++c) {
+            if (c < cells) {
+                const unsigned j = c / nr;
+                const unsigned i = c % nr;
+                trace.push_back(
+                    Uop::mul(tmp[c % 3], bReg(j), bReg(mr + i)));
+            }
+            if (c >= 2) {
+                const unsigned d = c - 2;
+                trace.push_back(Uop::alu(acc(d / nr, d % nr),
+                                         acc(d / nr, d % nr),
+                                         tmp[d % 3]));
+            }
+        }
+        trace.push_back(Uop::alu(kPtrA, kPtrA));
+        trace.push_back(Uop::branch());
+    }
+
+    // Epilogue: C tile update (int32 C elements).
+    for (unsigned j = 0; j < mr; ++j) {
+        for (unsigned i = 0; i < nr; ++i) {
+            const uint64_t c_addr =
+                addr.c_base + j * addr.c_row_stride + uint64_t{i} * 4;
+            trace.push_back(Uop::load(kTmp, c_addr, 4));
+            trace.push_back(Uop::alu(kTmp, kTmp, acc(j, i)));
+            trace.push_back(Uop::store(kTmp, c_addr, 4));
+        }
+    }
+    trace.push_back(Uop::branch());
+    return trace;
+}
+
+UopTrace
+subByteSoftwareKernelTrace(unsigned bw, unsigned mr, unsigned nr,
+                           uint64_t kc, const KernelAddresses &addr)
+{
+    if (bw < 2 || bw > 8)
+        fatal("subByteSoftwareKernelTrace: bw must be in [2, 8]");
+    if (mr == 0 || nr == 0 || kc == 0)
+        fatal("subByteSoftwareKernelTrace: empty kernel");
+    UopTrace trace;
+    const unsigned elems_per_word = 64 / bw;
+
+    // Accumulators in aReg(0..mr*nr-1); packed operand words in
+    // bReg(0..mr+nr-1); extraction temporaries kTmp/x2/x3.
+    auto acc = [&](unsigned j, unsigned i) { return aReg(j * nr + i); };
+    uint64_t a_off = 0;
+    uint64_t b_off = 0;
+    for (uint64_t l = 0; l < kc; ++l) {
+        if (l % elems_per_word == 0) {
+            for (unsigned j = 0; j < mr; ++j)
+                trace.push_back(
+                    Uop::load(bReg(j), addr.a_panel + 8 * a_off++, 8));
+            for (unsigned i = 0; i < nr; ++i)
+                trace.push_back(Uop::load(bReg(mr + i),
+                                          addr.b_panel + 8 * b_off++,
+                                          8));
+        }
+        // Per element use: shift + mask/sign-extend (two ALU ops, the
+        // "costly bit-manipulation" of the Introduction), then MAC.
+        for (unsigned j = 0; j < mr; ++j) {
+            trace.push_back(Uop::alu(2, bReg(j)));
+            trace.push_back(Uop::alu(2, 2));
+        }
+        for (unsigned i = 0; i < nr; ++i) {
+            trace.push_back(Uop::alu(3, bReg(mr + i)));
+            trace.push_back(Uop::alu(3, 3));
+        }
+        const unsigned cells = mr * nr;
+        const RegId tmp[3] = {kTmp, 2, 3};
+        for (unsigned c = 0; c < cells + 2; ++c) {
+            if (c < cells)
+                trace.push_back(Uop::mul(tmp[c % 3], 2, 3));
+            if (c >= 2) {
+                const unsigned d = c - 2;
+                trace.push_back(Uop::alu(acc(d / nr, d % nr),
+                                         acc(d / nr, d % nr),
+                                         tmp[d % 3]));
+            }
+        }
+        trace.push_back(Uop::alu(kPtrA, kPtrA));
+        trace.push_back(Uop::branch());
+    }
+
+    for (unsigned j = 0; j < mr; ++j) {
+        for (unsigned i = 0; i < nr; ++i) {
+            const uint64_t c_addr =
+                addr.c_base + j * addr.c_row_stride + uint64_t{i} * 4;
+            trace.push_back(Uop::load(kTmp, c_addr, 4));
+            trace.push_back(Uop::alu(kTmp, kTmp, acc(j, i)));
+            trace.push_back(Uop::store(kTmp, c_addr, 4));
+        }
+    }
+    trace.push_back(Uop::branch());
+    return trace;
+}
+
+UopTrace
+bisonEMicroKernelTrace(const BsGeometry &geometry, unsigned mr,
+                       unsigned nr, unsigned groups,
+                       const KernelAddresses &addr)
+{
+    if (mr == 0 || nr == 0 || groups == 0)
+        fatal("bisonEMicroKernelTrace: empty kernel");
+    UopTrace trace;
+    const unsigned kua = geometry.kua;
+    const unsigned kub = geometry.kub;
+    const unsigned chunks = geometry.group_cycles; // DSU chunk count
+
+    uint64_t a_word = 0;
+    uint64_t b_word = 0;
+    for (unsigned g = 0; g < groups; ++g) {
+        // Operand μ-vector loads (same data volume as Mix-GEMM).
+        for (unsigned w = 0; w < mr * kua; ++w)
+            trace.push_back(
+                Uop::load(aReg(w), addr.a_panel + 8 * a_word++, 8));
+        for (unsigned w = 0; w < nr * kub; ++w)
+            trace.push_back(
+                Uop::load(bReg(w), addr.b_panel + 8 * b_word++, 8));
+        trace.push_back(Uop::alu(kPtrA, kPtrA));
+        trace.push_back(Uop::alu(kPtrB, kPtrB));
+        // Per output cell: every input-cluster chunk costs an explicit
+        // select, a segmented multiply, and a dependent
+        // extract-accumulate; the multiply latency is exposed because
+        // the accumulate consumes it immediately (no engine pipeline).
+        for (unsigned i = 0; i < nr; ++i) {
+            for (unsigned j = 0; j < mr; ++j) {
+                const RegId acc = aReg(j);
+                for (unsigned c = 0; c < chunks; ++c) {
+                    trace.push_back(
+                        Uop::alu(kTmp, aReg(j * kua), bReg(i * kub)));
+                    trace.push_back(Uop::mul(2, kTmp, kTmp));
+                    trace.push_back(Uop::alu(acc, acc, 2));
+                }
+                // No AccMem: spill the cell accumulator every group.
+                const uint64_t c_addr = addr.c_base +
+                                        j * addr.c_row_stride +
+                                        uint64_t{i} * 8;
+                trace.push_back(Uop::load(3, c_addr, 8));
+                trace.push_back(Uop::alu(3, 3, acc));
+                trace.push_back(Uop::store(3, c_addr, 8));
+            }
+            trace.push_back(Uop::branch());
+        }
+    }
+    trace.push_back(Uop::branch());
+    return trace;
+}
+
+UopTrace
+packingTrace(uint64_t words, uint64_t src_base, uint64_t dst_base,
+             unsigned words_per_iter)
+{
+    UopTrace trace;
+    trace.reserve(words * 2 + words / std::max(1u, words_per_iter) + 1);
+    for (uint64_t w = 0; w < words; ++w) {
+        trace.push_back(Uop::load(kTmp, src_base + 8 * w, 8));
+        trace.push_back(Uop::store(kTmp, dst_base + 8 * w, 8));
+        if (words_per_iter != 0 && (w + 1) % words_per_iter == 0)
+            trace.push_back(Uop::branch());
+    }
+    return trace;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * μ-op trace builders for the inner kernels whose throughput the paper's
+ * evaluation measures. Each builder emits the dynamic instruction
+ * sequence a compiled RV64G(+bs) μ-kernel executes, with realistic
+ * register allocation and addressing:
+ *
+ *  - Mix-GEMM μ-kernel (Algorithm 1 lines 1-14): per accumulation group,
+ *    load kua x mr A μ-vectors and kub x nr B μ-vectors into the RF,
+ *    issue group_pairs bs.ip per output cell, then collect the C μ-panel
+ *    with mr x nr bs.get and accumulate it into C;
+ *  - BLIS DGEMM μ-kernel: per k step, mr + nr FP64 loads and mr x nr
+ *    fmul/fadd pairs into a register accumulator tile;
+ *  - int8 BLIS μ-kernel: packed 64-bit loads of eight 8-bit elements,
+ *    per-element extract ALU ops, and integer mul/add per cell.
+ *
+ * Addresses follow the panel layouts of tensor/packing.h so full-trace
+ * simulation exercises a real cache hierarchy; hybrid mode replays the
+ * same traces with a steady-state latency policy.
+ */
+
+#ifndef MIXGEMM_SIM_KERNEL_TRACES_H
+#define MIXGEMM_SIM_KERNEL_TRACES_H
+
+#include <cstdint>
+
+#include "bs/geometry.h"
+#include "isa/uop.h"
+
+namespace mixgemm
+{
+
+/** Address bases for one μ-kernel invocation. */
+struct KernelAddresses
+{
+    uint64_t a_panel = 0x10000000;  ///< packed A μ-panel base
+    uint64_t b_panel = 0x20000000;  ///< packed B μ-panel base
+    uint64_t c_base = 0x30000000;   ///< C tile base (row-major)
+    uint64_t c_row_stride = 4 * 8;  ///< C row stride in bytes
+};
+
+/**
+ * Mix-GEMM μ-kernel trace: @p groups accumulation groups over an
+ * mr x nr C μ-panel, plus the bs.get collection and C update epilogue.
+ *
+ * @param load_words μ-vectors fetched per load instruction (1 for the
+ *        64-bit scalar core; 2 for the 128-bit-load SIMD variant of
+ *        Section III-B's scalability discussion)
+ */
+UopTrace mixMicroKernelTrace(const BsGeometry &geometry, unsigned mr,
+                             unsigned nr, unsigned groups,
+                             const KernelAddresses &addr,
+                             unsigned load_words = 1);
+
+/** BLIS DGEMM μ-kernel trace over @p kc k steps. */
+UopTrace dgemmMicroKernelTrace(unsigned mr, unsigned nr, uint64_t kc,
+                               const KernelAddresses &addr);
+
+/**
+ * int8 BLIS μ-kernel trace over @p kc k steps, using packed 64-bit
+ * loads (8 elements per load) and one extract ALU op per element use.
+ */
+UopTrace int8MicroKernelTrace(unsigned mr, unsigned nr, uint64_t kc,
+                              const KernelAddresses &addr);
+
+/**
+ * Packing loop trace: stream @p words 64-bit words from a source region
+ * to a destination panel (load + store + bookkeeping every word, one
+ * branch per @p words_per_iter words).
+ */
+UopTrace packingTrace(uint64_t words, uint64_t src_base, uint64_t dst_base,
+                      unsigned words_per_iter = 8);
+
+/**
+ * Software sub-byte decompression kernel (the Introduction's
+ * motivation: on a stock ISA, sub-byte operands "have to be ...
+ * decompressed before the actual computation exploiting costly
+ * bit-manipulation operations"). Operands are stored packed at
+ * @p bw bits (so memory footprint matches Mix-GEMM), but every element
+ * use costs two bit-manipulation ALU ops (shift + mask/sign-extend)
+ * before its scalar multiply-accumulate.
+ */
+UopTrace subByteSoftwareKernelTrace(unsigned bw, unsigned mr, unsigned nr,
+                                    uint64_t kc,
+                                    const KernelAddresses &addr);
+
+/**
+ * Bison-e-style kernel trace (Section V, [58]): binary segmentation
+ * through custom instructions but *without* the μ-engine's structures.
+ * Per input-cluster chunk the core must explicitly (a) select/align
+ * the chunk from the loaded μ-vectors (1 ALU op — no DSU), (b) issue
+ * the segmented multiply on the shared multiplier (1 mul — no
+ * pipelined engine, so the multiplier's latency is exposed), (c)
+ * extract-and-accumulate (1 ALU dependent on the multiply — no DFU/
+ * AccMem), and (d) per output element, store the accumulator back
+ * (no AccMem to hold the C μ-panel, so C traffic goes through memory
+ * every group as the paper's third criticism states).
+ */
+UopTrace bisonEMicroKernelTrace(const BsGeometry &geometry, unsigned mr,
+                                unsigned nr, unsigned groups,
+                                const KernelAddresses &addr);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SIM_KERNEL_TRACES_H

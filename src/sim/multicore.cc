@@ -1,0 +1,51 @@
+#include "sim/multicore.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+MulticoreTiming
+multicoreMixGemm(uint64_t m, uint64_t n, uint64_t k,
+                 const BsGeometry &geometry, const SoCConfig &soc,
+                 unsigned cores)
+{
+    if (cores == 0)
+        fatal("multicoreMixGemm: at least one core required");
+
+    const GemmTimingModel single(soc);
+    const uint64_t single_cycles = single.mixGemm(m, n, k, geometry)
+                                       .cycles;
+
+    MulticoreTiming t;
+    t.cores = cores;
+    if (cores == 1) {
+        t.cycles = single_cycles;
+    } else {
+        // Each core works on an m/cores row slab with its share of the
+        // shared L2 (power-of-two rounded down for a valid cache
+        // geometry).
+        SoCConfig per_core = soc;
+        uint64_t l2_share = soc.l2.size_bytes / cores;
+        uint64_t pow2 = 1;
+        while (pow2 * 2 <= l2_share)
+            pow2 *= 2;
+        per_core.l2.size_bytes = std::max<uint64_t>(pow2,
+                                                    soc.l1d.size_bytes);
+        const GemmTimingModel model(per_core);
+        const uint64_t slab = divCeil(m, cores);
+        // The slowest core owns a full slab.
+        t.cycles = model.mixGemm(slab, n, k, geometry).cycles;
+    }
+    t.gops = 2.0 * static_cast<double>(m) * n * k * soc.freq_ghz /
+             static_cast<double>(t.cycles);
+    t.speedup = static_cast<double>(single_cycles) /
+                static_cast<double>(t.cycles);
+    t.efficiency = t.speedup / cores;
+    return t;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Multi-core scaling model (Section III-B scalability: the BLIS-based
+ * library parallelizes with near-constant per-core throughput, and one
+ * μ-engine is instantiated per core at negligible area cost).
+ *
+ * Work is partitioned over the GEMM m dimension (independent row
+ * panels, the standard BLIS threading strategy); each core runs the
+ * single-core hybrid timing model against its private L1 and an equal
+ * share of the shared L2. Total time is the slowest core's time.
+ */
+
+#ifndef MIXGEMM_SIM_MULTICORE_H
+#define MIXGEMM_SIM_MULTICORE_H
+
+#include "sim/gemm_timing.h"
+
+namespace mixgemm
+{
+
+/** Multi-core Mix-GEMM timing result. */
+struct MulticoreTiming
+{
+    unsigned cores = 1;
+    uint64_t cycles = 0;   ///< slowest core
+    double gops = 0.0;     ///< aggregate
+    double speedup = 1.0;  ///< vs single core
+    double efficiency = 1.0; ///< speedup / cores
+};
+
+/**
+ * Price an m x n x k Mix-GEMM on @p cores cores of the given SoC.
+ * @pre cores >= 1
+ */
+MulticoreTiming multicoreMixGemm(uint64_t m, uint64_t n, uint64_t k,
+                                 const BsGeometry &geometry,
+                                 const SoCConfig &soc, unsigned cores);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SIM_MULTICORE_H

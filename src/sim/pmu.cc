@@ -1,0 +1,78 @@
+#include "sim/pmu.h"
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace mixgemm
+{
+
+void
+Pmu::ingest(const CounterSet &counters)
+{
+    counters_.merge(counters);
+}
+
+void
+Pmu::setWindow(uint64_t cycles, uint64_t macs)
+{
+    window_cycles_ = cycles;
+    window_macs_ = macs;
+}
+
+PmuMetrics
+Pmu::metrics() const
+{
+    PmuMetrics m;
+    m.cycles = window_cycles_ != 0 ? window_cycles_
+                                   : counters_.get("cycles");
+    m.instructions = counters_.get("instructions");
+    if (m.cycles == 0)
+        return m;
+    const double cycles = static_cast<double>(m.cycles);
+    m.ipc = static_cast<double>(m.instructions) / cycles;
+    m.srcbuf_stall_frac =
+        static_cast<double>(counters_.get("srcbuf_full_stall_cycles")) /
+        cycles;
+    m.bs_get_stall_frac =
+        static_cast<double>(counters_.get("bs_get_stall_cycles")) /
+        cycles;
+    m.raw_stall_frac =
+        static_cast<double>(counters_.get("raw_stall_cycles")) / cycles;
+    const uint64_t busy = counters_.get("engine_busy_cycles");
+    m.engine_busy_frac = static_cast<double>(busy) / cycles;
+    m.macs_per_cycle = static_cast<double>(window_macs_) / cycles;
+    const uint64_t l1_hits = counters_.get("l1_hits");
+    const uint64_t l1_misses = counters_.get("l1_misses");
+    if (l1_hits + l1_misses > 0)
+        m.l1_miss_rate = static_cast<double>(l1_misses) /
+                         static_cast<double>(l1_hits + l1_misses);
+    return m;
+}
+
+void
+Pmu::printReport(std::ostream &os, const std::string &title) const
+{
+    const PmuMetrics m = metrics();
+    os << title << "\n";
+    Table t({"metric", "value"});
+    t.addRow({"cycles", Table::fmtInt(m.cycles)});
+    t.addRow({"instructions", Table::fmtInt(m.instructions)});
+    t.addRow({"IPC", Table::fmt(m.ipc, 3)});
+    t.addRow({"srcbuf-full stalls",
+              Table::fmt(100 * m.srcbuf_stall_frac, 1) + " %"});
+    t.addRow({"bs.get stalls",
+              Table::fmt(100 * m.bs_get_stall_frac, 1) + " %"});
+    t.addRow({"RAW stalls",
+              Table::fmt(100 * m.raw_stall_frac, 1) + " %"});
+    if (m.engine_busy_frac > 0.0)
+        t.addRow({"μ-engine busy",
+                  Table::fmt(100 * m.engine_busy_frac, 1) + " %"});
+    if (m.macs_per_cycle > 0.0)
+        t.addRow({"MAC/cycle", Table::fmt(m.macs_per_cycle, 2)});
+    if (m.l1_miss_rate > 0.0)
+        t.addRow({"L1d miss rate",
+                  Table::fmt(100 * m.l1_miss_rate, 2) + " %"});
+    t.print(os);
+}
+
+} // namespace mixgemm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Performance Monitoring Unit (Section III-C: "We equip the μ-engine
+ * with a PMU to collect its metrics during execution").
+ *
+ * Aggregates the raw counters of the core, the μ-engine timing model,
+ * and the cache hierarchy into the derived metrics the paper's DSE
+ * reads off it — stall-cycle fractions, IPC, MAC throughput, and cache
+ * miss rates — and renders a report table.
+ */
+
+#ifndef MIXGEMM_SIM_PMU_H
+#define MIXGEMM_SIM_PMU_H
+
+#include <ostream>
+#include <string>
+
+#include "common/stats.h"
+
+namespace mixgemm
+{
+
+/** Derived PMU metrics over one measured execution window. */
+struct PmuMetrics
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    double ipc = 0.0;
+    /** Fraction of cycles stalled on full Source Buffers (§III-C). */
+    double srcbuf_stall_frac = 0.0;
+    /** Fraction of cycles stalled waiting for bs.get drains. */
+    double bs_get_stall_frac = 0.0;
+    /** Fraction of cycles lost to RAW dependences. */
+    double raw_stall_frac = 0.0;
+    /** μ-engine busy fraction. */
+    double engine_busy_frac = 0.0;
+    /** Sustained MACs per cycle (0 when no group was processed). */
+    double macs_per_cycle = 0.0;
+    /** L1 data miss rate over L1 accesses (0 when untracked). */
+    double l1_miss_rate = 0.0;
+};
+
+/** Counter aggregator with derived-metric computation. */
+class Pmu
+{
+  public:
+    /** Merge a counter snapshot (core, engine, or cache counters). */
+    void ingest(const CounterSet &counters);
+
+    /**
+     * Record the measurement window and the MACs it covered (used for
+     * the MAC/cycle rate; pass 0 when unknown).
+     */
+    void setWindow(uint64_t cycles, uint64_t macs);
+
+    /** Compute the derived metrics from everything ingested. */
+    PmuMetrics metrics() const;
+
+    /** Render a paper-style report table. */
+    void printReport(std::ostream &os,
+                     const std::string &title = "PMU report") const;
+
+    const CounterSet &raw() const { return counters_; }
+
+  private:
+    CounterSet counters_;
+    uint64_t window_cycles_ = 0;
+    uint64_t window_macs_ = 0;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SIM_PMU_H

@@ -1,0 +1,92 @@
+#include "sim/uengine_timing.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+UEngineTiming::UEngineTiming(const BsGeometry &geometry,
+                             const UEngineConfig &config)
+    : geometry_(geometry), config_(config)
+{
+    if (config.srcbuf_depth < geometry.group_pairs)
+        fatal("UEngineTiming: Source Buffers shallower than one group");
+    if (config.multipliers == 0)
+        fatal("UEngineTiming: at least one multiplier required");
+    pending_.reserve(geometry.group_pairs);
+}
+
+unsigned
+UEngineTiming::groupCycles() const
+{
+    // With w multipliers the DSU dispatches w chunks per cycle
+    // (Section III-B scalability).
+    return static_cast<unsigned>(
+        divCeil(geometry_.group_cycles, config_.multipliers));
+}
+
+void
+UEngineTiming::reset(const BsGeometry &geometry)
+{
+    geometry_ = geometry;
+    occupancy_.clear();
+    pending_.clear();
+    engine_free_ = 0;
+    busy_cycles_ = 0;
+}
+
+unsigned
+UEngineTiming::retireOffset(unsigned p) const
+{
+    // Pairs retire as the DSU consumes their μ-vectors; model the
+    // consumption as uniform across the group's cycles (exact boundaries
+    // differ by at most one cycle, which the DSE results are
+    // insensitive to).
+    return static_cast<unsigned>(
+        divCeil(uint64_t{p + 1} * groupCycles(),
+                geometry_.group_pairs));
+}
+
+uint64_t
+UEngineTiming::issueIp(uint64_t cycle)
+{
+    // Wait for a free Source Buffer slot.
+    uint64_t issue = cycle;
+    if (occupancy_.size() + pending_.size() >= config_.srcbuf_depth) {
+        const uint64_t free_at = occupancy_.front();
+        if (free_at > issue) {
+            counters_.inc("srcbuf_full_stall_cycles", free_at - issue);
+            issue = free_at;
+        }
+        occupancy_.pop_front();
+    }
+    // Drop any other slots that have already retired by now.
+    while (!occupancy_.empty() && occupancy_.front() <= issue)
+        occupancy_.pop_front();
+
+    pending_.push_back(issue);
+    counters_.inc("bs_ip_issued");
+
+    if (pending_.size() == geometry_.group_pairs) {
+        // Group fully buffered: schedule its processing.
+        const uint64_t start = std::max(engine_free_, pending_.back() + 1);
+        for (unsigned p = 0; p < geometry_.group_pairs; ++p)
+            occupancy_.push_back(start + retireOffset(p));
+        engine_free_ = start + groupCycles();
+        busy_cycles_ += groupCycles();
+        counters_.inc("groups_processed");
+        pending_.clear();
+    }
+    return issue;
+}
+
+uint64_t
+UEngineTiming::drainCycle() const
+{
+    return engine_free_ + config_.pipeline_depth;
+}
+
+} // namespace mixgemm

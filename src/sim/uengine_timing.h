@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Timing model of the μ-engine (Section III-B, Fig. 5).
+ *
+ * The functional value computation lives in bs/engine.h; this class
+ * models *when* things happen: bs.ip operands enter the depth-limited
+ * Source Buffers, the engine consumes whole accumulation groups at the
+ * DSU chunk-schedule rate through its 4-stage pipeline
+ * (DSU/DCU/MUL/DFU), pairs retire and free buffer slots progressively,
+ * and bs.get cannot complete until the engine has drained. The core
+ * model (core.h) consults this object when issuing bs.* μ-ops, which is
+ * how the paper's Source-Buffer-full stalls (17.8 / 14.3 / 11.2 % for
+ * depths 8/16/32) and bs.get stalls arise in simulation.
+ */
+
+#ifndef MIXGEMM_SIM_UENGINE_TIMING_H
+#define MIXGEMM_SIM_UENGINE_TIMING_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bs/geometry.h"
+#include "common/stats.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+
+/** Cycle-level model of Source Buffers, group processing, and drain. */
+class UEngineTiming
+{
+  public:
+    UEngineTiming(const BsGeometry &geometry, const UEngineConfig &config);
+
+    /**
+     * Issue one bs.ip whose operands are ready at @p cycle. Returns the
+     * cycle at which the instruction actually issues (>= cycle; later
+     * when the Source Buffers are full). Buffer-full wait cycles are
+     * accumulated in the "srcbuf_full_stall_cycles" counter.
+     */
+    uint64_t issueIp(uint64_t cycle);
+
+    /**
+     * Earliest cycle at which a bs.get issued now would have its value
+     * ready: all buffered groups processed plus the pipeline depth.
+     */
+    uint64_t drainCycle() const;
+
+    /** Reconfigure (bs.set): clears buffers and sequencing state. */
+    void reset(const BsGeometry &geometry);
+
+    /** Total group-processing cycles so far. */
+    uint64_t busyCycles() const { return busy_cycles_; }
+
+    const CounterSet &counters() const { return counters_; }
+    const BsGeometry &geometry() const { return geometry_; }
+
+    /** Group processing cycles for this engine width. */
+    unsigned groupCycles() const;
+
+  private:
+    /** Retire-time offset (cycles after group start) of pair p. */
+    unsigned retireOffset(unsigned p) const;
+
+    BsGeometry geometry_;
+    UEngineConfig config_;
+    /** Retire cycles of pairs currently occupying buffer slots (FIFO). */
+    std::deque<uint64_t> occupancy_;
+    /** Issue cycles of pairs in the group being assembled. */
+    std::vector<uint64_t> pending_;
+    /** Cycle the engine finishes its last scheduled group. */
+    uint64_t engine_free_ = 0;
+    uint64_t busy_cycles_ = 0;
+    CounterSet counters_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SIM_UENGINE_TIMING_H

@@ -1,0 +1,89 @@
+#include "soc/soc_config.h"
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+uint64_t
+CacheConfig::sets() const
+{
+    return size_bytes / (uint64_t{line_bytes} * associativity);
+}
+
+void
+CacheConfig::validate() const
+{
+    if (!isPowerOfTwo(size_bytes) || !isPowerOfTwo(line_bytes))
+        fatal("CacheConfig: size and line must be powers of two");
+    if (associativity == 0 ||
+        size_bytes % (uint64_t{line_bytes} * associativity) != 0)
+        fatal("CacheConfig: size not divisible by line * associativity");
+    if (!isPowerOfTwo(sets()))
+        fatal("CacheConfig: set count must be a power of two");
+}
+
+void
+SoCConfig::validate() const
+{
+    l1d.validate();
+    l2.validate();
+    if (freq_ghz <= 0.0)
+        fatal("SoCConfig: frequency must be positive");
+    if (uengine.srcbuf_depth == 0 || uengine.accmem_slots == 0)
+        fatal("SoCConfig: μ-engine structures must be non-empty");
+}
+
+SoCConfig
+SoCConfig::sargantana()
+{
+    return SoCConfig{};
+}
+
+SoCConfig
+SoCConfig::sargantanaSmallCaches()
+{
+    SoCConfig c;
+    c.name = "sargantana-mixgemm-small";
+    c.l1d.size_bytes = 16 * 1024;
+    c.l2.size_bytes = 64 * 1024;
+    return c;
+}
+
+SoCConfig
+SoCConfig::sifiveU740()
+{
+    SoCConfig c;
+    c.name = "sifive-u740";
+    c.freq_ghz = 1.2;
+    c.l1d = CacheConfig{32 * 1024, 64, 8, 2};
+    c.l2 = CacheConfig{2 * 1024 * 1024, 64, 16, 14};
+    c.mem_latency = 90;
+    return c;
+}
+
+SoCConfig
+SoCConfig::cortexA53()
+{
+    SoCConfig c;
+    c.name = "cortex-a53";
+    c.freq_ghz = 1.2;
+    c.l1d = CacheConfig{32 * 1024, 64, 4, 2};
+    c.l2 = CacheConfig{512 * 1024, 64, 16, 12};
+    c.mem_latency = 90;
+    return c;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SoC configuration presets (Section IV-A).
+ *
+ * The evaluation platform is an edge RISC-V SoC: a single-core, 7-stage,
+ * in-order, single-issue RV64G pipeline at 1.2 GHz with 32 KB L1d and
+ * 512 KB L2, hosting the μ-engine in its execution stage. Presets are
+ * also provided for the two commercial comparison processors the paper
+ * measures baselines on (SiFive U740 for OpenBLAS FP32, Arm Cortex-A53
+ * for GEMMLowp); those two are used only by the coarse baseline models
+ * in src/baselines.
+ */
+
+#ifndef MIXGEMM_SOC_SOC_CONFIG_H
+#define MIXGEMM_SOC_SOC_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace mixgemm
+{
+
+/** One cache level. */
+struct CacheConfig
+{
+    uint64_t size_bytes = 32 * 1024;
+    unsigned line_bytes = 64;
+    unsigned associativity = 8;
+    unsigned hit_latency = 2; ///< load-use latency on a hit, cycles
+
+    /** Number of sets; size must divide evenly. */
+    uint64_t sets() const;
+
+    /** @throws FatalError on non-power-of-two or inconsistent geometry. */
+    void validate() const;
+};
+
+/** Functional-unit and pipeline timing of the in-order core. */
+struct CoreTimings
+{
+    unsigned alu_latency = 1;
+    unsigned mul_latency = 3;   ///< 64-bit integer multiply
+    // The edge core's FP64 units are modelled as not fully pipelined
+    // (initiation interval > 1), typical of area-constrained in-order
+    // cores; this is what prices the DGEMM baseline of Fig. 6.
+    unsigned fmul_latency = 5;  ///< FP64 multiply result latency
+    unsigned fmul_interval = 4; ///< FP64 multiply initiation interval
+    unsigned fadd_latency = 4;
+    unsigned fadd_interval = 2;
+    unsigned branch_penalty = 1; ///< taken-branch bubble, cycles
+};
+
+/** μ-engine structural parameters (Table I). */
+struct UEngineConfig
+{
+    unsigned srcbuf_depth = 16; ///< Source Buffer entries (μ-vectors)
+    unsigned accmem_slots = 16; ///< AccMem capacity (mr * nr)
+    unsigned pipeline_depth = 4; ///< DSU/DCU/MUL/DFU stages before AccMem
+    /**
+     * Multipliers driven in parallel (Section III-B scalability: on
+     * SIMD-capable cores the DSU/DCU select and convert a wider
+     * cluster, partitioning it across all the FU multipliers; Source
+     * Buffers then hold correspondingly wider μ-vector bundles).
+     */
+    unsigned multipliers = 1;
+};
+
+/** Full SoC description. */
+struct SoCConfig
+{
+    std::string name = "sargantana-mixgemm";
+    double freq_ghz = 1.2;
+    CacheConfig l1d{32 * 1024, 64, 8, 2};
+    CacheConfig l2{512 * 1024, 64, 8, 12};
+    unsigned mem_latency = 80; ///< DRAM access latency, cycles
+    CoreTimings core;
+    UEngineConfig uengine;
+
+    void validate() const;
+
+    /** The paper's evaluation SoC (Sargantana-like RV64 + μ-engine). */
+    static SoCConfig sargantana();
+
+    /**
+     * The reduced-cache variant explored in Section IV-B
+     * (16 KB L1 / 64 KB L2, -53 % SoC area).
+     */
+    static SoCConfig sargantanaSmallCaches();
+
+    /** SiFive U740-like preset (FP32 OpenBLAS baseline host). */
+    static SoCConfig sifiveU740();
+
+    /** Arm Cortex-A53-like preset (GEMMLowp baseline host). */
+    static SoCConfig cortexA53();
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SOC_SOC_CONFIG_H

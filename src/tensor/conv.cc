@@ -1,0 +1,158 @@
+#include "tensor/conv.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+void
+ConvSpec::validate() const
+{
+    if (groups == 0 || in_c % groups != 0 || out_c % groups != 0)
+        fatal(strCat("ConvSpec: channels not divisible by groups in ",
+                     toString()));
+    if (stride == 0)
+        fatal("ConvSpec: stride must be positive");
+    if (in_h + 2 * pad < kh || in_w + 2 * pad < kw)
+        fatal(strCat("ConvSpec: kernel larger than padded input in ",
+                     toString()));
+}
+
+std::string
+ConvSpec::toString() const
+{
+    return strCat("conv ", in_c, "x", in_h, "x", in_w, " -> ", out_c, " k",
+                  kh, "x", kw, " s", stride, " p", pad, " g", groups);
+}
+
+Tensor<double>
+im2row(const Tensor<double> &input, const ConvSpec &spec, unsigned group)
+{
+    spec.validate();
+    if (group >= spec.groups)
+        fatal("im2row: group index out of range");
+    const unsigned cg = spec.in_c / spec.groups;
+    const unsigned c0 = group * cg;
+    const unsigned oh = spec.outH();
+    const unsigned ow = spec.outW();
+    Tensor<double> a({uint64_t{oh} * ow, spec.gemmK()});
+
+    size_t row = 0;
+    for (unsigned y = 0; y < oh; ++y) {
+        for (unsigned x = 0; x < ow; ++x, ++row) {
+            size_t col = 0;
+            for (unsigned c = 0; c < cg; ++c) {
+                for (unsigned ky = 0; ky < spec.kh; ++ky) {
+                    for (unsigned kx = 0; kx < spec.kw; ++kx, ++col) {
+                        const long iy = static_cast<long>(y) * spec.stride +
+                                        ky - spec.pad;
+                        const long ix = static_cast<long>(x) * spec.stride +
+                                        kx - spec.pad;
+                        double v = 0.0;
+                        if (iy >= 0 && iy < static_cast<long>(spec.in_h) &&
+                            ix >= 0 && ix < static_cast<long>(spec.in_w)) {
+                            v = input.at(0, c0 + c,
+                                         static_cast<size_t>(iy),
+                                         static_cast<size_t>(ix));
+                        }
+                        a.at(row, col) = v;
+                    }
+                }
+            }
+        }
+    }
+    return a;
+}
+
+Tensor<double>
+im2col(const Tensor<double> &input, const ConvSpec &spec, unsigned group)
+{
+    const auto rows = im2row(input, spec, group);
+    Tensor<double> cols({rows.dim(1), rows.dim(0)});
+    for (size_t r = 0; r < rows.dim(0); ++r)
+        for (size_t c = 0; c < rows.dim(1); ++c)
+            cols.at(c, r) = rows.at(r, c);
+    return cols;
+}
+
+Tensor<double>
+weightsToGemmB(const Tensor<double> &weights, const ConvSpec &spec,
+               unsigned group)
+{
+    spec.validate();
+    if (group >= spec.groups)
+        fatal("weightsToGemmB: group index out of range");
+    const unsigned cg = spec.in_c / spec.groups;
+    const unsigned og = spec.out_c / spec.groups;
+    const unsigned o0 = group * og;
+    Tensor<double> b({spec.gemmK(), spec.gemmN()});
+    for (unsigned o = 0; o < og; ++o) {
+        size_t row = 0;
+        for (unsigned c = 0; c < cg; ++c)
+            for (unsigned ky = 0; ky < spec.kh; ++ky)
+                for (unsigned kx = 0; kx < spec.kw; ++kx, ++row)
+                    b.at(row, o) = weights.at(o0 + o, c, ky, kx);
+    }
+    return b;
+}
+
+Tensor<double>
+directConv(const Tensor<double> &input, const Tensor<double> &weights,
+           const ConvSpec &spec)
+{
+    spec.validate();
+    const unsigned cg = spec.in_c / spec.groups;
+    const unsigned og = spec.out_c / spec.groups;
+    const unsigned oh = spec.outH();
+    const unsigned ow = spec.outW();
+    Tensor<double> out({1, spec.out_c, oh, ow});
+    for (unsigned g = 0; g < spec.groups; ++g) {
+        for (unsigned o = 0; o < og; ++o) {
+            const unsigned oc = g * og + o;
+            for (unsigned y = 0; y < oh; ++y) {
+                for (unsigned x = 0; x < ow; ++x) {
+                    double acc = 0.0;
+                    for (unsigned c = 0; c < cg; ++c) {
+                        for (unsigned ky = 0; ky < spec.kh; ++ky) {
+                            for (unsigned kx = 0; kx < spec.kw; ++kx) {
+                                const long iy =
+                                    static_cast<long>(y) * spec.stride +
+                                    ky - spec.pad;
+                                const long ix =
+                                    static_cast<long>(x) * spec.stride +
+                                    kx - spec.pad;
+                                if (iy < 0 ||
+                                    iy >= static_cast<long>(spec.in_h) ||
+                                    ix < 0 ||
+                                    ix >= static_cast<long>(spec.in_w))
+                                    continue;
+                                acc += input.at(0, g * cg + c,
+                                                static_cast<size_t>(iy),
+                                                static_cast<size_t>(ix)) *
+                                       weights.at(oc, c, ky, kx);
+                            }
+                        }
+                    }
+                    out.at(0, oc, y, x) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void
+gemmOutputToConv(const Tensor<double> &c, const ConvSpec &spec,
+                 unsigned group, Tensor<double> &output)
+{
+    const unsigned og = spec.out_c / spec.groups;
+    const unsigned oh = spec.outH();
+    const unsigned ow = spec.outW();
+    size_t row = 0;
+    for (unsigned y = 0; y < oh; ++y)
+        for (unsigned x = 0; x < ow; ++x, ++row)
+            for (unsigned o = 0; o < og; ++o)
+                output.at(0, group * og + o, y, x) = c.at(row, o);
+}
+
+} // namespace mixgemm

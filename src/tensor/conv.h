@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Convolution lowering to GEMM (Section II-A).
+ *
+ * The paper follows the im2row/im2col family: each output pixel of a
+ * convolution becomes one row of the GEMM A operand (the flattened
+ * receptive field), and each output channel's flattened filter becomes
+ * one column of B, so conv == A(m x k) * B(k x n) with
+ *   m = batch * out_h * out_w, k = (in_c / groups) * kh * kw, n = out_c.
+ * Grouped convolutions (MobileNet/EfficientNet depthwise layers) lower
+ * to `groups` independent GEMMs over channel slices.
+ *
+ * A direct nested-loop convolution is provided as the correctness
+ * reference for the lowering.
+ */
+
+#ifndef MIXGEMM_TENSOR_CONV_H
+#define MIXGEMM_TENSOR_CONV_H
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mixgemm
+{
+
+/** Static description of one convolution layer. */
+struct ConvSpec
+{
+    unsigned in_c = 1;
+    unsigned in_h = 1;
+    unsigned in_w = 1;
+    unsigned out_c = 1;
+    unsigned kh = 1;
+    unsigned kw = 1;
+    unsigned stride = 1;
+    unsigned pad = 0;
+    unsigned groups = 1;
+
+    unsigned outH() const { return (in_h + 2 * pad - kh) / stride + 1; }
+    unsigned outW() const { return (in_w + 2 * pad - kw) / stride + 1; }
+
+    /** GEMM m dimension for one image (rows = output pixels). */
+    uint64_t gemmM() const { return uint64_t{outH()} * outW(); }
+    /** GEMM k dimension (per group). */
+    uint64_t gemmK() const { return uint64_t{in_c / groups} * kh * kw; }
+    /** GEMM n dimension (per group). */
+    uint64_t gemmN() const { return out_c / groups; }
+
+    /** Multiply-accumulate count for one image (all groups). */
+    uint64_t macs() const { return gemmM() * gemmK() * gemmN() * groups; }
+
+    /** Validate divisibility and kernel-fits-input constraints. */
+    void validate() const;
+
+    std::string toString() const;
+};
+
+/**
+ * im2row lowering for one group: builds the A operand of the GEMM.
+ *
+ * @param input  [in_c x in_h x in_w] single-image activation tensor
+ * @param spec   layer description (validated)
+ * @param group  group index in [0, spec.groups)
+ * @return       [gemmM() x gemmK()] matrix; padded taps read as 0
+ */
+Tensor<double> im2row(const Tensor<double> &input, const ConvSpec &spec,
+                      unsigned group = 0);
+
+/**
+ * im2col lowering for one group: the column-major sibling of im2row
+ * (each *column* is one output pixel's flattened receptive field).
+ * Returns the [gemmK() x gemmM()] transpose of im2row(); kept for
+ * libraries that multiply W(n x k) * im2col(k x m) instead.
+ */
+Tensor<double> im2col(const Tensor<double> &input, const ConvSpec &spec,
+                      unsigned group = 0);
+
+/**
+ * Flatten the weights of one group into the B operand of the GEMM.
+ *
+ * @param weights [out_c x (in_c/groups) x kh x kw] filter tensor
+ * @return        [gemmK() x gemmN()] matrix (column per output channel)
+ */
+Tensor<double> weightsToGemmB(const Tensor<double> &weights,
+                              const ConvSpec &spec, unsigned group = 0);
+
+/**
+ * Direct convolution reference (single image, NCHW, no dilation).
+ *
+ * @param input   [in_c x in_h x in_w]
+ * @param weights [out_c x (in_c/groups) x kh x kw]
+ * @return        [out_c x outH() x outW()]
+ */
+Tensor<double> directConv(const Tensor<double> &input,
+                          const Tensor<double> &weights,
+                          const ConvSpec &spec);
+
+/**
+ * Fold a GEMM output back into the [out_c x outH() x outW()] layout for
+ * one group. C is [gemmM() x gemmN()] with rows in row-major pixel order.
+ */
+void gemmOutputToConv(const Tensor<double> &c, const ConvSpec &spec,
+                      unsigned group, Tensor<double> &output);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TENSOR_CONV_H

@@ -1,0 +1,192 @@
+#include "tensor/packing.h"
+
+#include <algorithm>
+
+#include "bs/microvector.h"
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/**
+ * Pack the k-run of one row/column into group-of-μ-vector format.
+ *
+ * @param fetch    fetch(k_index) returns the element at logical position
+ *                 k_index (row-major A row or strided B column)
+ * @param k        logical run length
+ * @param words    output span of kGroupCount(k) * ku words
+ */
+template <typename Fetch>
+void
+packRun(Fetch fetch, uint64_t k, unsigned elems_per_vec, unsigned ku,
+        unsigned extent, unsigned bw, bool is_signed,
+        std::span<uint64_t> words)
+{
+    const unsigned groups = static_cast<unsigned>(divCeil(k, extent));
+    std::vector<int32_t> vec_elems;
+    vec_elems.reserve(elems_per_vec);
+    size_t out = 0;
+    for (unsigned g = 0; g < groups; ++g) {
+        const uint64_t g0 = uint64_t{g} * extent;
+        const unsigned real = static_cast<unsigned>(
+            std::min<uint64_t>(extent, k - g0));
+        for (unsigned w = 0; w < ku; ++w) {
+            vec_elems.clear();
+            const unsigned e0 = w * elems_per_vec;
+            for (unsigned e = e0;
+                 e < std::min(e0 + elems_per_vec, real); ++e)
+                vec_elems.push_back(fetch(g0 + e));
+            words[out++] = packMicroVector(vec_elems, bw, is_signed);
+        }
+    }
+}
+
+} // namespace
+
+unsigned
+kGroupCount(uint64_t k, const BsGeometry &geometry)
+{
+    return static_cast<unsigned>(divCeil(k, geometry.group_extent));
+}
+
+CompressedA::CompressedA(uint64_t m, uint64_t k,
+                         const BsGeometry &geometry)
+    : m_(m), k_(k), k_groups_(kGroupCount(k, geometry)),
+      geometry_(geometry)
+{
+    if (m == 0 || k == 0)
+        fatal("CompressedA: empty matrix");
+    words_.resize(uint64_t{m} * k_groups_ * geometry.kua);
+}
+
+CompressedA::CompressedA(std::span<const int32_t> data, uint64_t m,
+                         uint64_t k, const BsGeometry &geometry)
+    : CompressedA(m, k, geometry)
+{
+    if (data.size() != m * k)
+        fatal("CompressedA: data size does not match m x k");
+    for (uint64_t row = 0; row < m; ++row) {
+        const int32_t *row_data = data.data() + row * k;
+        packRun([row_data](uint64_t i) { return row_data[i]; }, k,
+                geometry.elems_per_avec, geometry.kua,
+                geometry.group_extent, geometry.config.bwa,
+                geometry.config.a_signed,
+                std::span<uint64_t>(words_)
+                    .subspan(row * k_groups_ * geometry.kua,
+                             uint64_t{k_groups_} * geometry.kua));
+    }
+}
+
+CompressedA
+CompressedA::fromColumnMajor(std::span<const int32_t> data, uint64_t m,
+                             uint64_t k, const BsGeometry &geometry)
+{
+    CompressedA a(m, k, geometry);
+    if (data.size() != m * k)
+        fatal("CompressedA: data size does not match m x k");
+    for (uint64_t row = 0; row < m; ++row) {
+        const int32_t *base = data.data() + row;
+        packRun([base, m](uint64_t i) { return base[i * m]; }, k,
+                geometry.elems_per_avec, geometry.kua,
+                geometry.group_extent, geometry.config.bwa,
+                geometry.config.a_signed,
+                std::span<uint64_t>(a.words_)
+                    .subspan(row * a.k_groups_ * geometry.kua,
+                             uint64_t{a.k_groups_} * geometry.kua));
+    }
+    return a;
+}
+
+uint64_t
+CompressedA::wordIndex(uint64_t row, unsigned g, unsigned w) const
+{
+    return (row * k_groups_ + g) * geometry_.kua + w;
+}
+
+uint64_t
+CompressedA::word(uint64_t row, unsigned g, unsigned w) const
+{
+    return words_[wordIndex(row, g, w)];
+}
+
+uint64_t
+CompressedA::idealBytes() const
+{
+    // Fully-packed μ-vector reference: 8 bytes per elems_per_avec
+    // k positions, per row.
+    return static_cast<uint64_t>(
+        static_cast<double>(m_) * k_ * 8.0 / geometry_.elems_per_avec);
+}
+
+CompressedB::CompressedB(uint64_t k, uint64_t n,
+                         const BsGeometry &geometry)
+    : k_(k), n_(n), k_groups_(kGroupCount(k, geometry)),
+      geometry_(geometry)
+{
+    if (k == 0 || n == 0)
+        fatal("CompressedB: empty matrix");
+    words_.resize(uint64_t{n} * k_groups_ * geometry.kub);
+}
+
+CompressedB
+CompressedB::fromTransposed(std::span<const int32_t> data, uint64_t k,
+                            uint64_t n, const BsGeometry &geometry)
+{
+    CompressedB b(k, n, geometry);
+    if (data.size() != k * n)
+        fatal("CompressedB: data size does not match k x n");
+    for (uint64_t col = 0; col < n; ++col) {
+        const int32_t *row_data = data.data() + col * k;
+        packRun([row_data](uint64_t i) { return row_data[i]; }, k,
+                geometry.elems_per_bvec, geometry.kub,
+                geometry.group_extent, geometry.config.bwb,
+                geometry.config.b_signed,
+                std::span<uint64_t>(b.words_)
+                    .subspan(col * b.k_groups_ * geometry.kub,
+                             uint64_t{b.k_groups_} * geometry.kub));
+    }
+    return b;
+}
+
+CompressedB::CompressedB(std::span<const int32_t> data, uint64_t k,
+                         uint64_t n, const BsGeometry &geometry)
+    : CompressedB(k, n, geometry)
+{
+    if (data.size() != k * n)
+        fatal("CompressedB: data size does not match k x n");
+    for (uint64_t col = 0; col < n; ++col) {
+        const int32_t *base = data.data() + col;
+        packRun([base, n](uint64_t i) { return base[i * n]; }, k,
+                geometry.elems_per_bvec, geometry.kub,
+                geometry.group_extent, geometry.config.bwb,
+                geometry.config.b_signed,
+                std::span<uint64_t>(words_)
+                    .subspan(col * k_groups_ * geometry.kub,
+                             uint64_t{k_groups_} * geometry.kub));
+    }
+}
+
+uint64_t
+CompressedB::wordIndex(uint64_t col, unsigned g, unsigned w) const
+{
+    return (col * k_groups_ + g) * geometry_.kub + w;
+}
+
+uint64_t
+CompressedB::word(uint64_t col, unsigned g, unsigned w) const
+{
+    return words_[wordIndex(col, g, w)];
+}
+
+uint64_t
+CompressedB::idealBytes() const
+{
+    return static_cast<uint64_t>(
+        static_cast<double>(k_) * n_ * 8.0 / geometry_.elems_per_bvec);
+}
+
+} // namespace mixgemm

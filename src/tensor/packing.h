@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Compressed matrix storage for the Mix-GEMM library (Section III-A).
+ *
+ * Input matrices stay compressed over the common k dimension: chunks of
+ * narrow elements pack into 64-bit μ-vectors, grouped in *accumulation
+ * groups* of kua (A) / kub (B) μ-vectors covering `group_extent` logical
+ * k positions each. The tail of the last μ-vector in a group, and the
+ * tail of the last group in k, are zero-padded — the padding the DSE in
+ * Section III-C measures at ~2.4 % on average.
+ *
+ * Layouts (all words contiguous, 8 bytes each):
+ *   CompressedA (m x k): word[(row * kGroups() + g) * kua + w]
+ *   CompressedB (k x n): word[(col * kGroups() + g) * kub + w]
+ */
+
+#ifndef MIXGEMM_TENSOR_PACKING_H
+#define MIXGEMM_TENSOR_PACKING_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bs/geometry.h"
+
+namespace mixgemm
+{
+
+/** Number of accumulation groups covering a logical k extent. */
+unsigned kGroupCount(uint64_t k, const BsGeometry &geometry);
+
+/** The A operand of a Mix-GEMM, compressed along k. */
+class CompressedA
+{
+  public:
+    /**
+     * Compress a row-major m x k int32 matrix whose values fit the
+     * configured (bwa, a_signed) format.
+     */
+    CompressedA(std::span<const int32_t> data, uint64_t m, uint64_t k,
+                const BsGeometry &geometry);
+
+    /**
+     * Compress from a column-major source (i.e. the operand is stored
+     * transposed, as BLAS op(A) = A^T): @p data is k x m row-major.
+     * The compressed layout is identical; only the gather differs.
+     */
+    static CompressedA fromColumnMajor(std::span<const int32_t> data,
+                                       uint64_t m, uint64_t k,
+                                       const BsGeometry &geometry);
+
+    uint64_t m() const { return m_; }
+    uint64_t k() const { return k_; }
+    unsigned kGroups() const { return k_groups_; }
+    const BsGeometry &geometry() const { return geometry_; }
+
+    /** μ-vector @p w of accumulation group @p g of row @p row. */
+    uint64_t word(uint64_t row, unsigned g, unsigned w) const;
+
+    /** Flat index of word(row, g, w) into words(); defines addresses. */
+    uint64_t wordIndex(uint64_t row, unsigned g, unsigned w) const;
+
+    std::span<const uint64_t> words() const { return words_; }
+
+    /** Compressed footprint in bytes. */
+    uint64_t bytes() const { return words_.size() * 8; }
+
+    /** Footprint of an ideal dense narrow packing, in bytes (fractional
+     * bits rounded up at the matrix level). */
+    uint64_t idealBytes() const;
+
+  private:
+    CompressedA(uint64_t m, uint64_t k, const BsGeometry &geometry);
+
+    uint64_t m_;
+    uint64_t k_;
+    unsigned k_groups_;
+    BsGeometry geometry_;
+    std::vector<uint64_t> words_;
+};
+
+/** The B operand of a Mix-GEMM, compressed along k, column-major. */
+class CompressedB
+{
+  public:
+    /**
+     * Compress a row-major k x n int32 matrix whose values fit the
+     * configured (bwb, b_signed) format.
+     */
+    CompressedB(std::span<const int32_t> data, uint64_t k, uint64_t n,
+                const BsGeometry &geometry);
+
+    /**
+     * Compress from a transposed source (BLAS op(B) = B^T): @p data is
+     * n x k row-major — each operand column is contiguous, the common
+     * layout for DNN weight tensors.
+     */
+    static CompressedB fromTransposed(std::span<const int32_t> data,
+                                      uint64_t k, uint64_t n,
+                                      const BsGeometry &geometry);
+
+    uint64_t k() const { return k_; }
+    uint64_t n() const { return n_; }
+    unsigned kGroups() const { return k_groups_; }
+    const BsGeometry &geometry() const { return geometry_; }
+
+    /** μ-vector @p w of accumulation group @p g of column @p col. */
+    uint64_t word(uint64_t col, unsigned g, unsigned w) const;
+
+    /** Flat index of word(col, g, w) into words(); defines addresses. */
+    uint64_t wordIndex(uint64_t col, unsigned g, unsigned w) const;
+
+    std::span<const uint64_t> words() const { return words_; }
+
+    uint64_t bytes() const { return words_.size() * 8; }
+    uint64_t idealBytes() const;
+
+  private:
+    CompressedB(uint64_t k, uint64_t n, const BsGeometry &geometry);
+
+    uint64_t k_;
+    uint64_t n_;
+    unsigned k_groups_;
+    BsGeometry geometry_;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TENSOR_PACKING_H

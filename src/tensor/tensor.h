@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal dense row-major tensor. Deliberately small: the DNN layers and
+ * the mini training framework only need shape bookkeeping, element
+ * access, and flat iteration; everything heavy happens inside the GEMM
+ * libraries which operate on raw spans.
+ */
+
+#ifndef MIXGEMM_TENSOR_TENSOR_H
+#define MIXGEMM_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+/** Dense row-major tensor of up to 4 dimensions. */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(std::vector<size_t> shape)
+        : shape_(std::move(shape)),
+          data_(std::accumulate(shape_.begin(), shape_.end(), size_t{1},
+                                std::multiplies<>()),
+                T{})
+    {
+        if (shape_.empty())
+            fatal("Tensor: shape must have at least one dimension");
+    }
+
+    /** Construct from existing data; size must match the shape. */
+    Tensor(std::vector<size_t> shape, std::vector<T> data)
+        : shape_(std::move(shape)), data_(std::move(data))
+    {
+        size_t expected = 1;
+        for (const size_t d : shape_)
+            expected *= d;
+        if (shape_.empty() || data_.size() != expected)
+            fatal("Tensor: data size does not match shape");
+    }
+
+    const std::vector<size_t> &shape() const { return shape_; }
+    size_t rank() const { return shape_.size(); }
+    size_t size() const { return data_.size(); }
+    size_t dim(size_t i) const { return shape_.at(i); }
+
+    std::span<T> flat() { return data_; }
+    std::span<const T> flat() const { return data_; }
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+
+    /** 2-D element access (rank must be 2). */
+    T &
+    at(size_t i, size_t j)
+    {
+        return data_[i * shape_[1] + j];
+    }
+    const T &
+    at(size_t i, size_t j) const
+    {
+        return data_[i * shape_[1] + j];
+    }
+
+    /** 4-D element access (rank must be 4), NCHW order. */
+    T &
+    at(size_t n, size_t c, size_t h, size_t w)
+    {
+        return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+    }
+    const T &
+    at(size_t n, size_t c, size_t h, size_t w) const
+    {
+        return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+    }
+
+    void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  private:
+    std::vector<size_t> shape_;
+    std::vector<T> data_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TENSOR_TENSOR_H

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for src/accuracy and src/baselines: the synthesized QAT grids
+ * must satisfy every quantitative statement of Section IV, the Pareto
+ * extraction must be correct, the Table III data must be structurally
+ * complete, and the software baseline models must land on the paper's
+ * measured values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accuracy/pareto.h"
+#include "accuracy/qat_database.h"
+#include "baselines/related_work.h"
+#include "baselines/software_baselines.h"
+#include "common/logging.h"
+#include "dnn/models.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(AccuracyDatabase, Fp32Baselines)
+{
+    const auto &db = AccuracyDatabase::paperQat();
+    EXPECT_NEAR(db.fp32Top1("AlexNet"), 56.52, 0.01);
+    EXPECT_NEAR(db.fp32Top1("ResNet-18"), 69.76, 0.01);
+    EXPECT_NEAR(db.fp32Top1("EfficientNet-B0"), 77.10, 0.01);
+    EXPECT_THROW(db.fp32Top1("LeNet"), FatalError);
+}
+
+TEST(AccuracyDatabase, AboveFourBitLossesBelow1Point5)
+{
+    // Section IV-B: configurations with both data sizes above 4-bit
+    // lose at most 1.5 points.
+    const auto &db = AccuracyDatabase::paperQat();
+    for (const auto &model : db.models()) {
+        const double fp32 = db.fp32Top1(model);
+        for (unsigned a = 5; a <= 8; ++a) {
+            for (unsigned w = 5; w <= 8; ++w) {
+                const double t = db.top1(model, {a, w, true, true});
+                EXPECT_GE(t, fp32 - 1.5)
+                    << model << " a" << a << "-w" << w;
+                EXPECT_LE(t, fp32 + 0.5);
+            }
+        }
+    }
+}
+
+TEST(AccuracyDatabase, FourBitLossRange)
+{
+    // 4-bit minimum data size: losses from ~0 (AlexNet) to ~4.2
+    // (EfficientNet-B0).
+    const auto &db = AccuracyDatabase::paperQat();
+    const double alex_loss =
+        db.fp32Top1("AlexNet") - db.top1("AlexNet", {4, 4, true, true});
+    EXPECT_LT(alex_loss, 0.5);
+    const double eff_loss = db.fp32Top1("EfficientNet-B0") -
+                            db.top1("EfficientNet-B0",
+                                    {4, 4, true, true});
+    EXPECT_NEAR(eff_loss, 4.2, 0.4);
+}
+
+struct LowBitCase
+{
+    const char *model;
+    double min_loss;
+    double max_loss;
+};
+
+class LowBitRangeTest : public ::testing::TestWithParam<LowBitCase>
+{
+};
+
+TEST_P(LowBitRangeTest, ThreeTwoBitLossesMatchPaperRanges)
+{
+    const auto p = GetParam();
+    const auto &db = AccuracyDatabase::paperQat();
+    const double fp32 = db.fp32Top1(p.model);
+    double lo = 1e9;
+    double hi = -1e9;
+    for (const auto &e : db.grid(p.model)) {
+        const unsigned mn = std::min(e.config.bwa, e.config.bwb);
+        if (mn > 3)
+            continue;
+        const double loss = fp32 - e.top1;
+        lo = std::min(lo, loss);
+        hi = std::max(hi, loss);
+    }
+    EXPECT_NEAR(lo, p.min_loss, std::max(0.6, p.min_loss * 0.5));
+    EXPECT_NEAR(hi, p.max_loss, std::max(0.8, p.max_loss * 0.12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRanges, LowBitRangeTest,
+    ::testing::Values(LowBitCase{"AlexNet", 0.5, 5.1},
+                      LowBitCase{"VGG-16", 1.2, 6.5},
+                      LowBitCase{"ResNet-18", 2.2, 8.6},
+                      LowBitCase{"MobileNet-V1", 7.6, 34.5},
+                      LowBitCase{"RegNet-X-400MF", 2.6, 13.0},
+                      LowBitCase{"EfficientNet-B0", 10.3, 32.8}),
+    [](const auto &info) {
+        std::string n = info.param.model;
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(AccuracyDatabase, MonotoneInBitwidthOnDiagonal)
+{
+    const auto &db = AccuracyDatabase::paperQat();
+    for (const auto &model : db.models()) {
+        double prev = -1e9;
+        for (unsigned b = 2; b <= 8; ++b) {
+            const double t = db.top1(model, {b, b, true, true});
+            EXPECT_GE(t, prev - 0.2) << model << " bits " << b;
+            prev = t;
+        }
+    }
+}
+
+TEST(AccuracyDatabase, GridIsComplete)
+{
+    const auto &db = AccuracyDatabase::paperQat();
+    EXPECT_EQ(db.grid("VGG-16").size(), 49u);
+    EXPECT_EQ(db.models().size(), 6u);
+}
+
+TEST(Pareto, FrontierExtraction)
+{
+    const std::vector<ParetoPoint> pts{
+        {1.0, 90.0}, // frontier (most accurate)
+        {2.0, 85.0}, // frontier
+        {1.5, 80.0}, // dominated by (2, 85)
+        {3.0, 70.0}, // frontier (fastest)
+        {2.5, 70.0}, // dominated by (3, 70)
+    };
+    const auto f = paretoFrontier(pts);
+    EXPECT_EQ(f, (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, Dominance)
+{
+    EXPECT_TRUE(dominates({2, 90}, {1, 90}));
+    EXPECT_TRUE(dominates({2, 90}, {2, 80}));
+    EXPECT_FALSE(dominates({2, 90}, {2, 90}));
+    EXPECT_FALSE(dominates({1, 95}, {2, 90}));
+}
+
+TEST(Pareto, SinglePointIsFrontier)
+{
+    const std::vector<ParetoPoint> pts{{1.0, 1.0}};
+    EXPECT_EQ(paretoFrontier(pts).size(), 1u);
+}
+
+TEST(RelatedWork, TableStructure)
+{
+    const auto rows = relatedWorkTable();
+    ASSERT_EQ(rows.size(), 11u);
+    EXPECT_EQ(rows[0].citation, "Baseline");
+    // Mixed-precision flags as printed in Table III.
+    unsigned mixed = 0;
+    for (const auto &r : rows)
+        mixed += r.mixed_precision;
+    EXPECT_EQ(mixed, 3u); // CMix-NN, Bruschi, Ottavi
+    // Eyeriss/UNPU publish areas at 65 nm.
+    EXPECT_EQ(rows[9].tech_nm, 65);
+    EXPECT_EQ(rows[10].tech_nm, 65);
+    EXPECT_NEAR(rows[9].area_mm2, 12.25, 1e-9);
+}
+
+TEST(RelatedWork, LookupAndRanges)
+{
+    const auto rows = relatedWorkTable();
+    const auto *gemmlowp = rows[1].result("AlexNet");
+    ASSERT_NE(gemmlowp, nullptr);
+    EXPECT_NEAR(gemmlowp->perf_gops.lo, 5.6, 1e-9);
+    EXPECT_EQ(rows[1].result("Convolution"), nullptr);
+    PubRange r{1.0, 3.0};
+    EXPECT_EQ(r.toString(), "1.0-3.0");
+    PubRange single{2.5, 2.5};
+    EXPECT_EQ(single.toString(), "2.5");
+    PubRange absent;
+    EXPECT_EQ(absent.toString(), "-");
+}
+
+TEST(RelatedWork, ConvolutionBenchmarkShape)
+{
+    const auto conv = tableIIIConvolution();
+    EXPECT_EQ(conv.gemmM(), 256u);       // 16 x 16 output pixels
+    EXPECT_EQ(conv.gemmK(), 32u * 9u);   // 3x3x32 receptive field
+    EXPECT_EQ(conv.gemmN(), 64u);
+}
+
+TEST(SoftwareBaselines, OpenblasLandsOnPaperValue)
+{
+    // Fig. 7 / Table III: ~0.9 GOPS on all six CNNs.
+    const auto &model = openblasFp32U740();
+    for (const auto &net : allModels()) {
+        const double gops = model.networkGops(net);
+        EXPECT_GT(gops, 0.6) << net.name;
+        EXPECT_LT(gops, 1.2) << net.name;
+    }
+}
+
+TEST(SoftwareBaselines, GemmlowpLandsOnPaperBand)
+{
+    // Table III row [33]: 4.7 to 5.8 GOPS across the six CNNs.
+    const auto &model = gemmlowpA53();
+    for (const auto &net : allModels()) {
+        const double gops = model.networkGops(net);
+        EXPECT_GT(gops, 3.6) << net.name;
+        EXPECT_LT(gops, 6.8) << net.name;
+    }
+}
+
+TEST(SoftwareBaselines, UtilizationDropsForSmallGemms)
+{
+    const auto &model = gemmlowpA53();
+    EXPECT_LT(model.macsPerCycle(1000, 1, 9),
+              model.macsPerCycle(1000, 256, 1024) / 4);
+    EXPECT_THROW(SoftwareBaselineModel(0.0, 1, 1, 1), FatalError);
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Unit and property tests for the binary-segmentation core (src/bs):
+ * geometry (Eq. 3-7), the Fig. 1 worked example, the Fig. 4 kua/kub and
+ * accumulation-group cycle counts, cluster datapath exactness for every
+ * supported (bwa, bwb) combination signed and unsigned, μ-vector packing,
+ * and the functional μ-engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bs/cluster.h"
+#include "bs/engine.h"
+#include "bs/geometry.h"
+#include "bs/microvector.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+DataSizeConfig
+makeConfig(unsigned bwa, unsigned bwb, bool a_signed = true,
+           bool b_signed = true)
+{
+    DataSizeConfig c;
+    c.bwa = bwa;
+    c.bwb = bwb;
+    c.a_signed = a_signed;
+    c.b_signed = b_signed;
+    return c;
+}
+
+int64_t
+naiveDot(const std::vector<int32_t> &a, const std::vector<int32_t> &b)
+{
+    int64_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += int64_t{a[i]} * b[i];
+    return acc;
+}
+
+/** Draw a random value covering the full range of the (bw, sign) format. */
+int32_t
+randomNarrow(Rng &rng, unsigned bw, bool is_signed)
+{
+    if (is_signed)
+        return static_cast<int32_t>(
+            rng.uniformInt(-(int64_t{1} << (bw - 1)),
+                           (int64_t{1} << (bw - 1)) - 1));
+    return static_cast<int32_t>(rng.uniformInt(0, (int64_t{1} << bw) - 1));
+}
+
+// ---------------------------------------------------------------------
+// Geometry (Eq. 3-7)
+// ---------------------------------------------------------------------
+
+TEST(BsGeometry, PaperExampleFig1)
+{
+    // Fig. 1: bwa = 3, bwb = 2 on a 16-bit multiplier -> cw = 8,
+    // input-cluster size = 2.
+    const auto g = computeBsGeometry(makeConfig(3, 2, false, false), 16);
+    EXPECT_EQ(g.cw, 8u);
+    EXPECT_EQ(g.cluster_size, 2u);
+    EXPECT_EQ(g.slice_lsb, 8u);
+    EXPECT_EQ(g.slice_msb, 15u);
+}
+
+TEST(BsGeometry, ClusterSizeRange64Bit)
+{
+    // Section II-B: a 64-bit multiplier sustains 3 MAC/cycle at 8-bit up
+    // to 7 MAC/cycle at 2-bit.
+    EXPECT_EQ(clusterSizeFor(8, 8, 64), 3u);
+    EXPECT_EQ(clusterSizeFor(2, 2, 64), 7u);
+    for (unsigned bwa = 2; bwa <= 8; ++bwa) {
+        for (unsigned bwb = 2; bwb <= 8; ++bwb) {
+            const unsigned n = clusterSizeFor(bwa, bwb, 64);
+            EXPECT_GE(n, 3u) << "a" << bwa << "-w" << bwb;
+            EXPECT_LE(n, 7u) << "a" << bwa << "-w" << bwb;
+        }
+    }
+}
+
+TEST(BsGeometry, Eq3Eq4Consistency)
+{
+    for (const auto &cfg : allSupportedConfigs()) {
+        const auto g = computeBsGeometry(cfg);
+        // Eq. 3 with equality for the chosen cluster size.
+        EXPECT_EQ(g.cw, 1 + cfg.bwa + cfg.bwb +
+                            ceilLog2(g.cluster_size + 1));
+        // The cluster fits the multiplier (Eq. 4) ...
+        EXPECT_LE(g.cluster_size * g.cw, g.mul_width);
+        // ... and one more element would not.
+        const unsigned cw_next =
+            1 + cfg.bwa + cfg.bwb + ceilLog2(g.cluster_size + 2);
+        EXPECT_GT((g.cluster_size + 1) * cw_next, g.mul_width);
+        // Eq. 6/7.
+        EXPECT_EQ(g.slice_lsb, (g.cluster_size - 1) * g.cw);
+        EXPECT_EQ(g.slice_msb, g.slice_lsb + g.cw - 1);
+    }
+}
+
+TEST(BsGeometry, MicroVectorElementCounts)
+{
+    // Section III-A: chunks range from 8 elements (8-bit) to 32 (2-bit).
+    EXPECT_EQ(elemsPerMicroVector(8), 8u);
+    EXPECT_EQ(elemsPerMicroVector(7), 9u);
+    EXPECT_EQ(elemsPerMicroVector(6), 10u);
+    EXPECT_EQ(elemsPerMicroVector(5), 12u);
+    EXPECT_EQ(elemsPerMicroVector(4), 16u);
+    EXPECT_EQ(elemsPerMicroVector(3), 21u);
+    EXPECT_EQ(elemsPerMicroVector(2), 32u);
+}
+
+TEST(BsGeometry, KuSelectionMatchesFig4)
+{
+    EXPECT_EQ(selectKu(makeConfig(8, 8)),
+              (std::pair<unsigned, unsigned>{4, 4}));
+    EXPECT_EQ(selectKu(makeConfig(8, 6)),
+              (std::pair<unsigned, unsigned>{4, 3}));
+    EXPECT_EQ(selectKu(makeConfig(6, 4)),
+              (std::pair<unsigned, unsigned>{3, 2}));
+}
+
+TEST(BsGeometry, GroupCyclesMatchPaperExamples)
+{
+    // Section III-B: the Control Unit advances the AccMem address after
+    // 12, 12, and 9 accumulation cycles for a8-w8, a8-w6, and a6-w4.
+    EXPECT_EQ(computeBsGeometry(makeConfig(8, 8)).group_cycles, 12u);
+    EXPECT_EQ(computeBsGeometry(makeConfig(8, 6)).group_cycles, 12u);
+    EXPECT_EQ(computeBsGeometry(makeConfig(6, 4)).group_cycles, 9u);
+}
+
+TEST(BsGeometry, A2W2MicroVectorTakesFiveCycles)
+{
+    // Section IV-B: 32 elements per μ-vector at 7 MAC/cycle -> 5 cycles.
+    const auto g = computeBsGeometry(makeConfig(2, 2));
+    EXPECT_EQ(g.kua, g.kub);
+    EXPECT_EQ(g.group_cycles % g.kua, 0u);
+    EXPECT_EQ(g.group_cycles / g.kua, 5u);
+}
+
+TEST(BsGeometry, ChunksNeverExceedClusterOrBoundaries)
+{
+    for (const auto &cfg : allSupportedConfigs()) {
+        const auto g = computeBsGeometry(cfg);
+        const auto chunks = dsuChunkSchedule(g);
+        unsigned pos = 0;
+        for (const unsigned c : chunks) {
+            ASSERT_GE(c, 1u);
+            ASSERT_LE(c, g.cluster_size);
+            // A chunk never crosses an A or B μ-vector boundary.
+            EXPECT_LE(pos % g.elems_per_avec + c, g.elems_per_avec);
+            EXPECT_LE(pos % g.elems_per_bvec + c, g.elems_per_bvec);
+            pos += c;
+        }
+        EXPECT_EQ(pos, g.group_extent);
+    }
+}
+
+TEST(BsGeometry, MacsPerCycleScalesWithNarrowerData)
+{
+    const double m88 = computeBsGeometry(makeConfig(8, 8)).macsPerCycle();
+    const double m44 = computeBsGeometry(makeConfig(4, 4)).macsPerCycle();
+    const double m22 = computeBsGeometry(makeConfig(2, 2)).macsPerCycle();
+    EXPECT_LT(m88, m44);
+    EXPECT_LT(m44, m22);
+    EXPECT_GE(m88, 2.5);
+    EXPECT_GE(m22, 6.0);
+}
+
+TEST(BsGeometry, RejectsUnsupportedWidths)
+{
+    EXPECT_THROW(computeBsGeometry(makeConfig(1, 8)), FatalError);
+    EXPECT_THROW(computeBsGeometry(makeConfig(8, 9)), FatalError);
+    EXPECT_THROW(computeBsGeometry(makeConfig(8, 8), 4), FatalError);
+}
+
+TEST(BsGeometry, AllSupportedConfigsCount)
+{
+    EXPECT_EQ(allSupportedConfigs().size(), 49u);
+}
+
+TEST(BsGeometry, PaddingOverheadSmallOnAverage)
+{
+    // Section III-C: ~2.4 % average padding overhead across configs.
+    double total = 0.0;
+    for (const auto &cfg : allSupportedConfigs())
+        total += computeBsGeometry(cfg).paddingOverhead();
+    const double avg = total / 49.0;
+    EXPECT_GE(avg, 0.0);
+    EXPECT_LE(avg, 0.06);
+}
+
+// ---------------------------------------------------------------------
+// Cluster datapath
+// ---------------------------------------------------------------------
+
+TEST(BsCluster, Fig1WorkedExample)
+{
+    // a = [4, 7, 3, 6], b = [3, 2, 0, 1]: inner product 32 computed as
+    // two 2-element cluster multiplications extracting 26 and 6.
+    const auto g = computeBsGeometry(makeConfig(3, 2, false, false), 16);
+    const std::vector<int32_t> a0{4, 7};
+    const std::vector<int32_t> b0{3, 2};
+    const std::vector<int32_t> a1{3, 6};
+    const std::vector<int32_t> b1{0, 1};
+    EXPECT_EQ(clusterInnerProduct(a0, b0, g), 26);
+    EXPECT_EQ(clusterInnerProduct(a1, b1, g), 6);
+    EXPECT_EQ(clusterInnerProduct(a0, b0, g) +
+                  clusterInnerProduct(a1, b1, g),
+              32);
+}
+
+struct ClusterParam
+{
+    unsigned bwa;
+    unsigned bwb;
+    bool a_signed;
+    bool b_signed;
+};
+
+class ClusterDatapathTest : public ::testing::TestWithParam<ClusterParam>
+{
+};
+
+TEST_P(ClusterDatapathTest, MatchesNaiveDotOnRandomChunks)
+{
+    const auto p = GetParam();
+    const auto g =
+        computeBsGeometry(makeConfig(p.bwa, p.bwb, p.a_signed, p.b_signed));
+    Rng rng(1000 + p.bwa * 16 + p.bwb + p.a_signed + 2 * p.b_signed);
+    for (int iter = 0; iter < 400; ++iter) {
+        const unsigned n = static_cast<unsigned>(
+            rng.uniformInt(1, g.cluster_size));
+        std::vector<int32_t> a(n);
+        std::vector<int32_t> b(n);
+        for (unsigned i = 0; i < n; ++i) {
+            a[i] = randomNarrow(rng, p.bwa, p.a_signed);
+            b[i] = randomNarrow(rng, p.bwb, p.b_signed);
+        }
+        ASSERT_EQ(clusterInnerProduct(a, b, g), naiveDot(a, b))
+            << g.config.name() << " iter " << iter;
+    }
+}
+
+TEST_P(ClusterDatapathTest, SliceExtractionMatchesExactExtraction)
+{
+    const auto p = GetParam();
+    const auto g =
+        computeBsGeometry(makeConfig(p.bwa, p.bwb, p.a_signed, p.b_signed));
+    Rng rng(2000 + p.bwa * 16 + p.bwb + p.a_signed + 2 * p.b_signed);
+    for (int iter = 0; iter < 400; ++iter) {
+        std::vector<int32_t> a(g.cluster_size);
+        std::vector<int32_t> b(g.cluster_size);
+        for (unsigned i = 0; i < g.cluster_size; ++i) {
+            a[i] = randomNarrow(rng, p.bwa, p.a_signed);
+            b[i] = randomNarrow(rng, p.bwb, p.b_signed);
+        }
+        const int128 prod = clusterMultiply(packClusterA(a, g),
+                                            packClusterB(b, g), g);
+        ASSERT_EQ(extractInnerProduct(prod, g),
+                  extractInnerProductExact(prod, g))
+            << g.config.name();
+    }
+}
+
+TEST_P(ClusterDatapathTest, CornerValueChunks)
+{
+    const auto p = GetParam();
+    const auto g =
+        computeBsGeometry(makeConfig(p.bwa, p.bwb, p.a_signed, p.b_signed));
+    const int32_t a_min =
+        p.a_signed ? -(1 << (p.bwa - 1)) : 0;
+    const int32_t a_max =
+        p.a_signed ? (1 << (p.bwa - 1)) - 1 : (1 << p.bwa) - 1;
+    const int32_t b_min =
+        p.b_signed ? -(1 << (p.bwb - 1)) : 0;
+    const int32_t b_max =
+        p.b_signed ? (1 << (p.bwb - 1)) - 1 : (1 << p.bwb) - 1;
+    const int32_t a_vals[] = {a_min, a_max, 0, 1};
+    const int32_t b_vals[] = {b_min, b_max, 0, 1};
+    for (const int32_t av : a_vals) {
+        for (const int32_t bv : b_vals) {
+            std::vector<int32_t> a(g.cluster_size, av);
+            std::vector<int32_t> b(g.cluster_size, bv);
+            ASSERT_EQ(clusterInnerProduct(a, b, g), naiveDot(a, b))
+                << g.config.name() << " a=" << av << " b=" << bv;
+        }
+    }
+}
+
+std::vector<ClusterParam>
+allClusterParams()
+{
+    std::vector<ClusterParam> params;
+    for (unsigned bwa = 2; bwa <= 8; ++bwa)
+        for (unsigned bwb = 2; bwb <= 8; ++bwb)
+            for (const bool as : {false, true})
+                for (const bool bs : {false, true})
+                    params.push_back({bwa, bwb, as, bs});
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ClusterDatapathTest,
+    ::testing::ValuesIn(allClusterParams()),
+    [](const ::testing::TestParamInfo<ClusterParam> &info) {
+        const auto &p = info.param;
+        return strCat("a", p.bwa, (p.a_signed ? "s" : "u"), "_w", p.bwb,
+                      (p.b_signed ? "s" : "u"));
+    });
+
+// ---------------------------------------------------------------------
+// μ-vector packing
+// ---------------------------------------------------------------------
+
+TEST(MicroVector, RoundTripAllWidths)
+{
+    Rng rng(77);
+    for (unsigned bw = 2; bw <= 8; ++bw) {
+        for (const bool is_signed : {false, true}) {
+            const unsigned n = elemsPerMicroVector(bw);
+            std::vector<int32_t> elems(n);
+            for (auto &e : elems)
+                e = randomNarrow(rng, bw, is_signed);
+            const uint64_t word = packMicroVector(elems, bw, is_signed);
+            EXPECT_EQ(unpackMicroVector(word, bw, is_signed, n), elems);
+        }
+    }
+}
+
+TEST(MicroVector, PartialPackZeroPads)
+{
+    const std::vector<int32_t> elems{1, -2, 3};
+    const uint64_t word = packMicroVector(elems, 8, true);
+    const auto back = unpackMicroVector(word, 8, true, 8);
+    EXPECT_EQ(back[0], 1);
+    EXPECT_EQ(back[1], -2);
+    EXPECT_EQ(back[2], 3);
+    for (unsigned i = 3; i < 8; ++i)
+        EXPECT_EQ(back[i], 0);
+}
+
+TEST(MicroVector, RejectsOutOfRangeValues)
+{
+    const std::vector<int32_t> too_big{128};
+    EXPECT_THROW(packMicroVector(too_big, 8, true), PanicError);
+    const std::vector<int32_t> negative{-1};
+    EXPECT_THROW(packMicroVector(negative, 8, false), PanicError);
+    const std::vector<int32_t> too_many(9, 0);
+    EXPECT_THROW(packMicroVector(too_many, 8, true), PanicError);
+}
+
+TEST(MicroVector, StreamPacking)
+{
+    std::vector<int32_t> elems(20);
+    std::iota(elems.begin(), elems.end(), 0);
+    const auto words = packMicroVectorStream(elems, 8, true);
+    ASSERT_EQ(words.size(), 3u);
+    EXPECT_EQ(microVectorElement(words[0], 8, true, 0), 0);
+    EXPECT_EQ(microVectorElement(words[1], 8, true, 0), 8);
+    EXPECT_EQ(microVectorElement(words[2], 8, true, 3), 19);
+    EXPECT_EQ(microVectorElement(words[2], 8, true, 7), 0);
+}
+
+// ---------------------------------------------------------------------
+// Functional μ-engine
+// ---------------------------------------------------------------------
+
+/** Issue one accumulation group worth of data for @p geometry. */
+void
+issueGroup(BsEngine &engine, const BsGeometry &g,
+           const std::vector<int32_t> &a, const std::vector<int32_t> &b)
+{
+    const auto a_words =
+        packMicroVectorStream(a, g.config.bwa, g.config.a_signed);
+    const auto b_words =
+        packMicroVectorStream(b, g.config.bwb, g.config.b_signed);
+    for (unsigned k = 0; k < g.group_pairs; ++k) {
+        const uint64_t aw = k < a_words.size() ? a_words[k] : 0;
+        const uint64_t bw = k < b_words.size() ? b_words[k] : 0;
+        engine.ip(aw, bw);
+    }
+}
+
+class BsEngineConfigTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(BsEngineConfigTest, AccumulatesGroupsAcrossSlots)
+{
+    const auto [bwa, bwb] = GetParam();
+    const auto g = computeBsGeometry(makeConfig(bwa, bwb));
+    BsEngine engine;
+    const unsigned slots = 4;
+    engine.set(g, slots);
+    Rng rng(31 + bwa * 8 + bwb);
+
+    std::vector<int64_t> expected(slots, 0);
+    const unsigned rounds = 3;
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (unsigned s = 0; s < slots; ++s) {
+            std::vector<int32_t> a(g.group_extent);
+            std::vector<int32_t> b(g.group_extent);
+            for (unsigned i = 0; i < g.group_extent; ++i) {
+                a[i] = randomNarrow(rng, bwa, true);
+                b[i] = randomNarrow(rng, bwb, true);
+            }
+            expected[s] += naiveDot(a, b);
+            issueGroup(engine, g, a, b);
+        }
+    }
+    EXPECT_EQ(engine.pairsIssued(),
+              uint64_t{rounds} * slots * g.group_pairs);
+    EXPECT_EQ(engine.busyCycles(),
+              uint64_t{rounds} * slots * g.group_cycles);
+    for (unsigned s = 0; s < slots; ++s)
+        EXPECT_EQ(engine.get(s), expected[s]) << "slot " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixedConfigs, BsEngineConfigTest,
+    ::testing::Values(std::pair<unsigned, unsigned>{8, 8},
+                      std::pair<unsigned, unsigned>{8, 6},
+                      std::pair<unsigned, unsigned>{6, 4},
+                      std::pair<unsigned, unsigned>{8, 2},
+                      std::pair<unsigned, unsigned>{4, 4},
+                      std::pair<unsigned, unsigned>{2, 2},
+                      std::pair<unsigned, unsigned>{5, 5},
+                      std::pair<unsigned, unsigned>{7, 3},
+                      std::pair<unsigned, unsigned>{3, 7},
+                      std::pair<unsigned, unsigned>{2, 8}),
+    [](const auto &info) {
+        return strCat("a", info.param.first, "_w", info.param.second);
+    });
+
+TEST(BsEngine, GetClearsSlot)
+{
+    const auto g = computeBsGeometry(makeConfig(8, 8));
+    BsEngine engine;
+    engine.set(g, 1);
+    std::vector<int32_t> ones(g.group_extent, 1);
+    issueGroup(engine, g, ones, ones);
+    EXPECT_EQ(engine.get(0), static_cast<int64_t>(g.group_extent));
+    EXPECT_EQ(engine.get(0), 0);
+}
+
+TEST(BsEngine, ErrorsOnProtocolViolations)
+{
+    BsEngine engine;
+    EXPECT_THROW(engine.ip(0, 0), FatalError);
+    EXPECT_THROW(engine.get(0), FatalError);
+
+    const auto g = computeBsGeometry(makeConfig(8, 8));
+    engine.set(g, 2);
+    EXPECT_THROW(engine.get(5), FatalError);
+    engine.ip(0, 0); // one pair of a 4-pair group in flight
+    EXPECT_THROW(engine.get(0), FatalError);
+    EXPECT_THROW(BsEngine(0), FatalError);
+    BsEngine small(4);
+    EXPECT_THROW(small.set(g, 5), FatalError);
+}
+
+TEST(BsEngine, SetReconfiguresBetweenDataSizes)
+{
+    BsEngine engine;
+    const auto g88 = computeBsGeometry(makeConfig(8, 8));
+    engine.set(g88, 1);
+    std::vector<int32_t> ones88(g88.group_extent, 1);
+    issueGroup(engine, g88, ones88, ones88);
+    EXPECT_EQ(engine.get(0), static_cast<int64_t>(g88.group_extent));
+
+    const auto g24 = computeBsGeometry(makeConfig(2, 4));
+    engine.set(g24, 1);
+    std::vector<int32_t> ones24(g24.group_extent, 1);
+    issueGroup(engine, g24, ones24, ones24);
+    EXPECT_EQ(engine.get(0), static_cast<int64_t>(g24.group_extent));
+}
+
+TEST(BsEngine, MixedPrecisionZeroPaddedBWords)
+{
+    // a8-w2: kua = 4, kub = 1; pairs 1..3 carry a zero B word.
+    const auto g = computeBsGeometry(makeConfig(8, 2));
+    EXPECT_EQ(g.kua, 4u);
+    EXPECT_EQ(g.kub, 1u);
+    BsEngine engine;
+    engine.set(g, 1);
+    std::vector<int32_t> a(g.group_extent);
+    std::vector<int32_t> b(g.group_extent);
+    Rng rng(9);
+    for (unsigned i = 0; i < g.group_extent; ++i) {
+        a[i] = randomNarrow(rng, 8, true);
+        b[i] = randomNarrow(rng, 2, true);
+    }
+    issueGroup(engine, g, a, b);
+    EXPECT_EQ(engine.get(0), naiveDot(a, b));
+}
+
+} // namespace
+} // namespace mixgemm

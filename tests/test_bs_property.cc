@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property-based tests for the binary-segmentation core across the
+ * whole parameter space: every multiplier width from 16 to 64 bits,
+ * every supported (bwa, bwb) combination, randomized μ-engine protocol
+ * sequences (fuzzing), and accumulator-range analysis for the AccMem
+ * width requirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bs/cluster.h"
+#include "bs/engine.h"
+#include "bs/geometry.h"
+#include "bs/microvector.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+int64_t
+naiveDot(const std::vector<int32_t> &a, const std::vector<int32_t> &b)
+{
+    int64_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += int64_t{a[i]} * b[i];
+    return acc;
+}
+
+class MulWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MulWidthTest, GeometryInvariantsHoldWhenFeasible)
+{
+    const unsigned width = GetParam();
+    for (const auto &cfg : allSupportedConfigs()) {
+        if (clusterSizeFor(cfg.bwa, cfg.bwb, width) == 0)
+            continue; // infeasible on this multiplier; rejected below
+        const auto g = computeBsGeometry(cfg, width);
+        // Eq. 3/4: the packed cluster fits the multiplier.
+        EXPECT_LE(g.cluster_size * g.cw, width) << cfg.name();
+        // The slice lies inside the double-width product.
+        EXPECT_LT(g.slice_msb, 2 * width) << cfg.name();
+        EXPECT_EQ(g.slice_msb - g.slice_lsb + 1, g.cw) << cfg.name();
+        // Schedules cover the extent exactly.
+        unsigned covered = 0;
+        for (const unsigned c : dsuChunkSchedule(g))
+            covered += c;
+        EXPECT_EQ(covered, g.group_extent) << cfg.name();
+    }
+}
+
+TEST_P(MulWidthTest, ClusterDatapathExactAtThisWidth)
+{
+    const unsigned width = GetParam();
+    Rng rng(width);
+    for (const auto &cfg : allSupportedConfigs()) {
+        if (clusterSizeFor(cfg.bwa, cfg.bwb, width) == 0)
+            continue;
+        const auto g = computeBsGeometry(cfg, width);
+        for (int iter = 0; iter < 40; ++iter) {
+            const unsigned n = static_cast<unsigned>(
+                rng.uniformInt(1, g.cluster_size));
+            std::vector<int32_t> a(n);
+            std::vector<int32_t> b(n);
+            for (unsigned i = 0; i < n; ++i) {
+                a[i] = static_cast<int32_t>(
+                    rng.uniformInt(-(1 << (cfg.bwa - 1)),
+                                   (1 << (cfg.bwa - 1)) - 1));
+                b[i] = static_cast<int32_t>(
+                    rng.uniformInt(-(1 << (cfg.bwb - 1)),
+                                   (1 << (cfg.bwb - 1)) - 1));
+            }
+            ASSERT_EQ(clusterInnerProduct(a, b, g), naiveDot(a, b))
+                << cfg.name() << " @ " << width << " bit";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MulWidthTest,
+                         ::testing::Values(16u, 20u, 24u, 32u, 40u,
+                                           48u, 64u),
+                         [](const auto &info) {
+                             return "mul" +
+                                    std::to_string(info.param);
+                         });
+
+TEST(BsProperty, NarrowWidthsRejectWideConfigs)
+{
+    // An 8x8-bit product needs cw = 19 bits minimum; a 16-bit
+    // multiplier cannot host it.
+    EXPECT_EQ(clusterSizeFor(8, 8, 16), 0u);
+    EXPECT_THROW(computeBsGeometry({8, 8, true, true}, 16), FatalError);
+    // 2x2 still fits: cw = 1+2+2+1 = 6 at n = 1.
+    EXPECT_GE(clusterSizeFor(2, 2, 16), 1u);
+}
+
+TEST(BsProperty, MacsPerCycleIsMonotoneInMultiplierWidth)
+{
+    for (const auto &cfg : allSupportedConfigs()) {
+        double prev = 0.0;
+        for (const unsigned width : {24u, 32u, 48u, 64u}) {
+            if (clusterSizeFor(cfg.bwa, cfg.bwb, width) == 0)
+                continue;
+            const auto g = computeBsGeometry(cfg, width);
+            EXPECT_GE(g.cluster_size + 0.001, prev) << cfg.name();
+            prev = g.cluster_size;
+        }
+    }
+}
+
+TEST(BsProperty, EngineFuzzRandomGroupSequences)
+{
+    // Fuzz: random sequences of reconfigurations and groups with
+    // random data; every bs.get must equal the accumulated naive dot.
+    Rng rng(0xf22);
+    const auto configs = allSupportedConfigs();
+    BsEngine engine;
+    for (int round = 0; round < 60; ++round) {
+        const auto &cfg = configs[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(configs.size()) -
+                                  1))];
+        const auto g = computeBsGeometry(cfg);
+        const unsigned slots =
+            static_cast<unsigned>(rng.uniformInt(1, 16));
+        engine.set(g, slots);
+        std::vector<int64_t> expected(slots, 0);
+        const unsigned rounds =
+            static_cast<unsigned>(rng.uniformInt(1, 3));
+        for (unsigned r = 0; r < rounds; ++r) {
+            for (unsigned s = 0; s < slots; ++s) {
+                std::vector<int32_t> a(g.group_extent);
+                std::vector<int32_t> b(g.group_extent);
+                for (unsigned i = 0; i < g.group_extent; ++i) {
+                    a[i] = static_cast<int32_t>(rng.uniformInt(
+                        -(1 << (cfg.bwa - 1)),
+                        (1 << (cfg.bwa - 1)) - 1));
+                    b[i] = static_cast<int32_t>(rng.uniformInt(
+                        -(1 << (cfg.bwb - 1)),
+                        (1 << (cfg.bwb - 1)) - 1));
+                }
+                expected[s] += naiveDot(a, b);
+                const auto aw = packMicroVectorStream(a, cfg.bwa, true);
+                const auto bw = packMicroVectorStream(b, cfg.bwb, true);
+                for (unsigned pp = 0; pp < g.group_pairs; ++pp)
+                    engine.ip(pp < aw.size() ? aw[pp] : 0,
+                              pp < bw.size() ? bw[pp] : 0);
+            }
+        }
+        for (unsigned s = 0; s < slots; ++s)
+            ASSERT_EQ(engine.get(s), expected[s])
+                << cfg.name() << " slot " << s << " round " << round;
+    }
+}
+
+TEST(BsProperty, AccumulatorRangeFitsThirtyTwoBitsForPaperShapes)
+{
+    // AccMem width requirement: with kc = 256 and worst-case operand
+    // magnitudes, the per-cell accumulation stays within int32 for
+    // every configuration (so a 32-bit AccMem entry suffices for one
+    // μ-kernel invocation; C itself accumulates in wider memory).
+    for (const auto &cfg : allSupportedConfigs()) {
+        const double max_a = 1 << (cfg.bwa - 1);
+        const double max_b = 1 << (cfg.bwb - 1);
+        const double worst = 256.0 * max_a * max_b;
+        EXPECT_LT(worst, 2147483648.0) << cfg.name();
+    }
+}
+
+TEST(BsProperty, GeometryForKMatchesFullGeometryAtBoundary)
+{
+    for (const auto &cfg : allSupportedConfigs()) {
+        const auto g = computeBsGeometry(cfg);
+        const auto same = geometryForK(g, g.group_extent);
+        EXPECT_EQ(same.group_cycles, g.group_cycles) << cfg.name();
+        EXPECT_EQ(same.kua, g.kua) << cfg.name();
+        // A 1-element k still works and takes at least one cycle.
+        const auto tiny = geometryForK(g, 1);
+        EXPECT_EQ(tiny.group_extent, 1u) << cfg.name();
+        EXPECT_EQ(tiny.group_cycles, 1u) << cfg.name();
+        EXPECT_THROW(geometryForK(g, 0), FatalError);
+    }
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for src/common: bit utilities, RNG determinism, running
+ * statistics, counters, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(BitUtils, Mask64)
+{
+    EXPECT_EQ(mask64(0), 0u);
+    EXPECT_EQ(mask64(1), 1u);
+    EXPECT_EQ(mask64(8), 0xffu);
+    EXPECT_EQ(mask64(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask64(64), ~uint64_t{0});
+}
+
+TEST(BitUtils, Mask128)
+{
+    EXPECT_EQ(mask128(0), uint128{0});
+    EXPECT_EQ(static_cast<uint64_t>(mask128(64)), ~uint64_t{0});
+    EXPECT_EQ(mask128(128), ~uint128{0});
+    EXPECT_EQ(static_cast<uint64_t>(mask128(65) >> 64), 1u);
+}
+
+TEST(BitUtils, SignExtend64)
+{
+    EXPECT_EQ(signExtend64(0x7, 3), -1);
+    EXPECT_EQ(signExtend64(0x3, 3), 3);
+    EXPECT_EQ(signExtend64(0x4, 3), -4);
+    EXPECT_EQ(signExtend64(0x80, 8), -128);
+    EXPECT_EQ(signExtend64(0x7f, 8), 127);
+    EXPECT_EQ(signExtend64(~uint64_t{0}, 64), -1);
+}
+
+TEST(BitUtils, SignExtend64RoundTripAllNarrowValues)
+{
+    for (unsigned bits = 2; bits <= 16; ++bits) {
+        const int64_t lo = -(int64_t{1} << (bits - 1));
+        const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+        for (int64_t v = lo; v <= hi; ++v) {
+            const uint64_t packed =
+                static_cast<uint64_t>(v) & mask64(bits);
+            EXPECT_EQ(signExtend64(packed, bits), v)
+                << "bits=" << bits << " v=" << v;
+        }
+    }
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(0), 0u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtils, DivCeilRoundUp)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(roundUp(5, 4), 8u);
+    EXPECT_EQ(roundUp(8, 4), 8u);
+}
+
+TEST(BitUtils, Fits)
+{
+    EXPECT_TRUE(fitsSigned(-4, 3));
+    EXPECT_TRUE(fitsSigned(3, 3));
+    EXPECT_FALSE(fitsSigned(4, 3));
+    EXPECT_FALSE(fitsSigned(-5, 3));
+    EXPECT_TRUE(fitsUnsigned(7, 3));
+    EXPECT_FALSE(fitsUnsigned(8, 3));
+}
+
+TEST(BitUtils, BitSlice128)
+{
+    const uint128 v = (uint128{0xab} << 80) | (uint128{0x1a} << 8) | 0x3c;
+    EXPECT_EQ(bitSlice128(v, 7, 0), 0x3cu);
+    EXPECT_EQ(bitSlice128(v, 15, 8), 0x1au);
+    EXPECT_EQ(bitSlice128(v, 87, 80), 0xabu);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = rng.uniformInt(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    bool seen[16] = {};
+    for (int i = 0; i < 4000; ++i)
+        seen[rng.uniformInt(0, 15)] = true;
+    for (int v = 0; v < 16; ++v)
+        EXPECT_TRUE(seen[v]) << "value " << v << " never drawn";
+}
+
+TEST(Rng, UniformRealBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RunningStat, Summary)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(8.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.geomean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(CounterSet, IncGetClear)
+{
+    CounterSet c;
+    EXPECT_EQ(c.get("missing"), 0u);
+    c.inc("cycles");
+    c.inc("cycles", 9);
+    EXPECT_EQ(c.get("cycles"), 10u);
+    c.set("cycles", 3);
+    EXPECT_EQ(c.get("cycles"), 3u);
+    c.clear();
+    EXPECT_EQ(c.get("cycles"), 0u);
+}
+
+TEST(CounterSet, MergeScaled)
+{
+    CounterSet a;
+    CounterSet b;
+    a.inc("x", 2);
+    b.inc("x", 5);
+    b.inc("y", 1);
+    a.mergeScaled(b, 3);
+    EXPECT_EQ(a.get("x"), 17u);
+    EXPECT_EQ(a.get("y"), 3u);
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, Format)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::fmtInt(0), "0");
+    EXPECT_EQ(Table::fmtInt(999), "999");
+    EXPECT_EQ(Table::fmtInt(1000), "1,000");
+    EXPECT_EQ(Table::fmtInt(1234567), "1,234,567");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, StrCat)
+{
+    EXPECT_EQ(strCat("a", 1, "-w", 2), "a1-w2");
+}
+
+} // namespace
+} // namespace mixgemm

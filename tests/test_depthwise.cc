@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the depthwise-separable path: the DepthwiseConv2d layer's
+ * gradients and QAT behaviour, the MobileNet-style demo network, and
+ * the depthwise runtime node (backend agreement, serialization,
+ * direct-conv equivalence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "nn/dataset.h"
+#include "nn/qat.h"
+#include "runtime/backend.h"
+#include "runtime/ptq.h"
+#include "runtime/qgraph.h"
+#include "tensor/conv.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(DepthwiseLayer, MatchesDirectGroupedConvolution)
+{
+    Rng rng(17);
+    const unsigned ch = 4;
+    DepthwiseConv2d layer(ch, 3, 1, QatConfig{}, rng);
+    Tensor<double> x({1, ch, 6, 6});
+    for (auto &v : x.flat())
+        v = rng.normal();
+    const auto out = layer.forward(x, false);
+
+    // Reference: directConv with groups == channels.
+    ConvSpec spec;
+    spec.in_c = spec.out_c = spec.groups = ch;
+    spec.in_h = spec.in_w = 6;
+    spec.kh = spec.kw = 3;
+    spec.pad = 1;
+    const auto ref = directConv(x, layer.weights(), spec);
+    ASSERT_EQ(out.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(out[i], ref[i] + layer.bias()[i / 36], 1e-12);
+}
+
+TEST(DepthwiseLayer, InputGradientNumericallyCorrect)
+{
+    Rng rng(18);
+    DepthwiseConv2d layer(3, 3, 1, QatConfig{}, rng);
+    Tensor<double> x({1, 3, 5, 5});
+    for (auto &v : x.flat())
+        v = rng.normal();
+    auto out = layer.forward(x, false);
+    Tensor<double> proj(out.shape());
+    for (auto &v : proj.flat())
+        v = rng.uniformReal(-1.0, 1.0);
+    const auto analytic = layer.backward(proj);
+
+    const double eps = 1e-5;
+    for (size_t i = 0; i < x.size(); i += 11) {
+        Tensor<double> xp = x;
+        xp[i] += eps;
+        Tensor<double> xm = x;
+        xm[i] -= eps;
+        const auto op = layer.forward(xp, false);
+        const auto om = layer.forward(xm, false);
+        double lp = 0.0;
+        double lm = 0.0;
+        for (size_t j = 0; j < op.size(); ++j) {
+            lp += proj[j] * op[j];
+            lm += proj[j] * om[j];
+        }
+        EXPECT_NEAR(analytic[i], (lp - lm) / (2 * eps), 1e-6);
+    }
+}
+
+TEST(DepthwiseLayer, RejectsChannelMismatch)
+{
+    Rng rng(19);
+    DepthwiseConv2d layer(4, 3, 1, QatConfig{}, rng);
+    Tensor<double> x({1, 3, 5, 5});
+    EXPECT_THROW(layer.forward(x, false), FatalError);
+}
+
+/** One trained depthwise QAT network, shared across tests. */
+struct DwFixture
+{
+    PatternDataset train{480, 123};
+    PatternDataset test{160, 777};
+    Network net = makeDepthwiseCnn(QatConfig{true, 4, 4});
+    double acc = 0.0;
+
+    DwFixture()
+    {
+        TrainConfig tc;
+        ::mixgemm::train(net, train, tc);
+        acc = evaluate(net, test);
+    }
+};
+
+DwFixture &
+dw()
+{
+    static DwFixture f;
+    return f;
+}
+
+TEST(DepthwiseNetwork, LearnsTheTaskUnderQat)
+{
+    EXPECT_GT(dw().acc, 0.80);
+}
+
+TEST(DepthwiseNetwork, ExportsAndBackendsAgree)
+{
+    const auto graph = QuantizedGraph::fromNetwork(dw().net);
+    // Node 3 is the depthwise conv.
+    ASSERT_EQ(graph.nodes()[3].kind, QNode::Kind::kDepthwise);
+    EXPECT_EQ(graph.nodes()[3].spec.groups, 8u);
+
+    NaiveBackend naive;
+    MixGemmBackend mix;
+    for (size_t i = 0; i < 12; ++i) {
+        const auto &img = dw().test.samples()[i].image;
+        const auto ln = graph.run(img, naive);
+        const auto lm = graph.run(img, mix);
+        for (size_t j = 0; j < ln.size(); ++j)
+            ASSERT_DOUBLE_EQ(ln[j], lm[j]);
+    }
+}
+
+TEST(DepthwiseNetwork, DeployedAccuracyTracksQat)
+{
+    const auto graph = QuantizedGraph::fromNetwork(dw().net);
+    MixGemmBackend mix;
+    EXPECT_NEAR(graph.evaluate(dw().test, mix), dw().acc, 0.08);
+}
+
+TEST(DepthwiseNetwork, SerializationRoundTrip)
+{
+    const auto graph = QuantizedGraph::fromNetwork(dw().net);
+    const auto back = QuantizedGraph::deserialize(graph.serialize());
+    ASSERT_EQ(back.nodes().size(), graph.nodes().size());
+    EXPECT_EQ(back.nodes()[3].kind, QNode::Kind::kDepthwise);
+    EXPECT_EQ(back.nodes()[3].spec.groups, 8u);
+    NaiveBackend backend;
+    for (size_t i = 0; i < 6; ++i) {
+        const auto &img = dw().test.samples()[i].image;
+        const auto la = graph.run(img, backend);
+        const auto lb = back.run(img, backend);
+        for (size_t j = 0; j < la.size(); ++j)
+            ASSERT_DOUBLE_EQ(la[j], lb[j]);
+    }
+}
+
+TEST(DepthwiseNetwork, PtqPipelineSupportsDepthwise)
+{
+    PatternDataset calib(64, 999);
+    Network float_net = makeDepthwiseCnn(QatConfig{false, 8, 8});
+    TrainConfig tc;
+    train(float_net, dw().train, tc);
+    const double float_acc = evaluate(float_net, dw().test);
+    ASSERT_GT(float_acc, 0.80);
+    const auto graph = buildPtqGraph(float_net, calib);
+    NaiveBackend backend;
+    EXPECT_GT(graph.evaluate(dw().test, backend), float_acc - 0.06);
+}
+
+TEST(DepthwiseNetwork, WarmStartCopiesDepthwiseParameters)
+{
+    Network a = makeDepthwiseCnn(QatConfig{true, 4, 4}, 1);
+    Network b = makeDepthwiseCnn(QatConfig{true, 2, 2}, 2);
+    copyParameters(a, b);
+    const auto *da =
+        dynamic_cast<const DepthwiseConv2d *>(a.layers()[3].get());
+    const auto *db =
+        dynamic_cast<const DepthwiseConv2d *>(b.layers()[3].get());
+    ASSERT_NE(da, nullptr);
+    ASSERT_NE(db, nullptr);
+    for (size_t i = 0; i < da->weights().size(); ++i)
+        ASSERT_DOUBLE_EQ(da->weights()[i], db->weights()[i]);
+}
+
+} // namespace
+} // namespace mixgemm

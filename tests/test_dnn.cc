@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for src/dnn: every model's layer table must reproduce the
+ * published MAC counts within tolerance, layer shapes must chain
+ * (spatial sizes consistent), and network timing must behave
+ * (narrower configs faster, first/last-layer 8-bit policy honoured).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/models.h"
+#include "dnn/network_timing.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+struct MacsCase
+{
+    const char *model;
+    double expected_gmacs;
+    double tolerance; ///< relative
+};
+
+class ModelMacsTest : public ::testing::TestWithParam<MacsCase>
+{
+};
+
+ModelSpec
+byName(const std::string &name)
+{
+    for (auto &m : allModels())
+        if (m.name == name)
+            return m;
+    throw std::runtime_error("unknown model " + name);
+}
+
+TEST_P(ModelMacsTest, MatchesPublishedMacCount)
+{
+    const auto p = GetParam();
+    const auto model = byName(p.model);
+    const double gmacs =
+        static_cast<double>(model.totalMacs()) / 1e9;
+    EXPECT_NEAR(gmacs, p.expected_gmacs,
+                p.expected_gmacs * p.tolerance)
+        << model.name << " computed " << gmacs << " GMACs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublishedCounts, ModelMacsTest,
+    ::testing::Values(MacsCase{"AlexNet", 0.714, 0.05},
+                      MacsCase{"VGG-16", 15.47, 0.05},
+                      MacsCase{"ResNet-18", 1.82, 0.05},
+                      MacsCase{"MobileNet-V1", 0.568, 0.06},
+                      MacsCase{"RegNet-X-400MF", 0.41, 0.10},
+                      MacsCase{"EfficientNet-B0", 0.39, 0.10}),
+    [](const auto &info) {
+        std::string n = info.param.model;
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(Models, SixModelsWithMarkedEnds)
+{
+    const auto models = allModels();
+    ASSERT_EQ(models.size(), 6u);
+    for (const auto &m : models) {
+        EXPECT_GE(m.layers.size(), 8u) << m.name;
+        EXPECT_TRUE(m.layers.front().is_first) << m.name;
+        EXPECT_TRUE(m.layers.back().is_last) << m.name;
+        unsigned firsts = 0;
+        unsigned lasts = 0;
+        for (const auto &l : m.layers) {
+            firsts += l.is_first;
+            lasts += l.is_last;
+            EXPECT_NO_THROW(l.conv.validate()) << m.name << " " << l.name;
+            EXPECT_GT(l.macs(), 0u) << m.name << " " << l.name;
+        }
+        EXPECT_EQ(firsts, 1u);
+        EXPECT_EQ(lasts, 1u);
+    }
+}
+
+TEST(Models, DepthwiseLayersAreGrouped)
+{
+    const auto mb = byName("MobileNet-V1");
+    unsigned depthwise = 0;
+    for (const auto &l : mb.layers)
+        depthwise += l.conv.groups > 1;
+    EXPECT_EQ(depthwise, 13u);
+}
+
+TEST(Models, KnownLayerShapes)
+{
+    const auto alex = byName("AlexNet");
+    EXPECT_EQ(alex.layers[0].conv.outH(), 55u);
+    EXPECT_EQ(alex.layers[1].conv.in_h, 27u);
+    const auto res = byName("ResNet-18");
+    EXPECT_EQ(res.layers[0].conv.outH(), 112u);
+    const auto eff = byName("EfficientNet-B0");
+    EXPECT_EQ(eff.layers.back().conv.in_c, 1280u);
+}
+
+TEST(NetworkTiming, NarrowerConfigsRunFaster)
+{
+    GemmTimingModel timing(SoCConfig::sargantana());
+    const auto model = byName("ResNet-18");
+    const auto t88 =
+        timeNetworkMixGemm(model, timing, {8, 8, true, true});
+    const auto t44 =
+        timeNetworkMixGemm(model, timing, {4, 4, true, true});
+    const auto t22 =
+        timeNetworkMixGemm(model, timing, {2, 2, true, true});
+    EXPECT_LT(t44.total_cycles, t88.total_cycles);
+    EXPECT_LT(t22.total_cycles, t44.total_cycles);
+    EXPECT_GT(t88.gops, 1.0);
+    EXPECT_GT(t22.gops, t88.gops);
+}
+
+TEST(NetworkTiming, CnnThroughputInPaperBand)
+{
+    // Section IV: Mix-GEMM reaches 4.8-13.6 GOPS across the six CNNs.
+    GemmTimingModel timing(SoCConfig::sargantana());
+    for (const auto &model : allModels()) {
+        const auto t88 =
+            timeNetworkMixGemm(model, timing, {8, 8, true, true});
+        const auto t22 =
+            timeNetworkMixGemm(model, timing, {2, 2, true, true});
+        EXPECT_GT(t88.gops, 2.5) << model.name;
+        EXPECT_LT(t88.gops, 9.0) << model.name;
+        EXPECT_GT(t22.gops, 6.0) << model.name;
+        EXPECT_LT(t22.gops, 18.0) << model.name;
+    }
+}
+
+TEST(NetworkTiming, SpeedupOverDgemmBaseline)
+{
+    // Fig. 7: Mix-GEMM outperforms the FP32/FP64 baseline by 5.3x-15.1x.
+    GemmTimingModel timing(SoCConfig::sargantana());
+    const auto model = byName("VGG-16");
+    const auto dgemm = timeNetworkDgemm(model, timing);
+    const auto mix22 =
+        timeNetworkMixGemm(model, timing, {2, 2, true, true});
+    const auto mix88 =
+        timeNetworkMixGemm(model, timing, {8, 8, true, true});
+    const double up88 = static_cast<double>(dgemm.total_cycles) /
+                        mix88.total_cycles;
+    const double up22 = static_cast<double>(dgemm.total_cycles) /
+                        mix22.total_cycles;
+    EXPECT_GT(up88, 4.0);
+    EXPECT_GT(up22, up88);
+    EXPECT_LT(up22, 35.0);
+}
+
+TEST(NetworkTiming, FirstLastLayersStayAt8Bit)
+{
+    GemmTimingModel timing(SoCConfig::sargantana());
+    const auto model = byName("AlexNet");
+    // With the policy on, a2-w2 inner layers but 8-bit ends: the first
+    // layer's cycles must match the pure-8-bit run's first layer.
+    const auto t22 =
+        timeNetworkMixGemm(model, timing, {2, 2, true, true}, true);
+    const auto t88 =
+        timeNetworkMixGemm(model, timing, {8, 8, true, true}, true);
+    EXPECT_EQ(t22.layers.front().cycles, t88.layers.front().cycles);
+    EXPECT_EQ(t22.layers.back().cycles, t88.layers.back().cycles);
+    // With the policy off they differ.
+    const auto t22_all =
+        timeNetworkMixGemm(model, timing, {2, 2, true, true}, false);
+    EXPECT_LT(t22_all.layers.front().cycles,
+              t22.layers.front().cycles);
+}
+
+TEST(NetworkTiming, LatencyConsistentWithCycles)
+{
+    GemmTimingModel timing(SoCConfig::sargantana());
+    const auto t = timeNetworkMixGemm(byName("AlexNet"), timing,
+                                      {8, 8, true, true});
+    EXPECT_NEAR(t.latency_ms,
+                static_cast<double>(t.total_cycles) / 1.2e6, 1e-9);
+    uint64_t sum = 0;
+    for (const auto &l : t.layers)
+        sum += l.cycles;
+    EXPECT_EQ(sum, t.total_cycles);
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the scalability and mixed-precision extensions: the
+ * SIMD-widened μ-engine timing, the multi-core scaling model, and the
+ * greedy per-layer mixed-precision optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accuracy/qat_database.h"
+#include "common/logging.h"
+#include "dnn/mixed_precision.h"
+#include "dnn/network_timing.h"
+#include "sim/gemm_timing.h"
+#include "sim/multicore.h"
+#include "sim/uengine_timing.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// SIMD-widened μ-engine
+// ---------------------------------------------------------------------
+
+TEST(SimdEngine, WiderEnginesDrainFaster)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    uint64_t busy[3];
+    unsigned idx = 0;
+    for (const unsigned mult : {1u, 2u, 4u}) {
+        UEngineConfig cfg;
+        cfg.multipliers = mult;
+        UEngineTiming eng(g, cfg);
+        uint64_t t = 0;
+        for (unsigned i = 0; i < 64; ++i)
+            t = eng.issueIp(t) + 1;
+        busy[idx++] = eng.busyCycles();
+    }
+    EXPECT_EQ(busy[0], 2 * busy[1]);
+    EXPECT_EQ(busy[1], 2 * busy[2]);
+}
+
+TEST(SimdEngine, GemmThroughputScalesThenSaturates)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    double gops[3];
+    unsigned idx = 0;
+    for (const unsigned mult : {1u, 2u, 4u}) {
+        SoCConfig soc = SoCConfig::sargantana();
+        soc.uengine.multipliers = mult;
+        const GemmTimingModel model(soc);
+        gops[idx++] = model.mixGemm(256, 256, 256, g).gops;
+    }
+    EXPECT_GT(gops[1], gops[0] * 1.3) << "2x engine must help a lot";
+    EXPECT_GE(gops[2], gops[1]) << "4x never slower";
+    // Saturation: the scalar core issues at most one bs.ip per cycle.
+    EXPECT_LT(gops[2], gops[0] * 4.0);
+}
+
+TEST(SimdEngine, RejectsZeroMultipliers)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    UEngineConfig cfg;
+    cfg.multipliers = 0;
+    EXPECT_THROW(UEngineTiming(g, cfg), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Multi-core model
+// ---------------------------------------------------------------------
+
+TEST(Multicore, NearLinearScaling)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const SoCConfig soc = SoCConfig::sargantana();
+    double prev_gops = 0.0;
+    for (const unsigned cores : {1u, 2u, 4u, 8u}) {
+        const auto t = multicoreMixGemm(512, 512, 512, g, soc, cores);
+        EXPECT_GT(t.gops, prev_gops) << cores << " cores";
+        EXPECT_LE(t.efficiency, 1.02) << cores << " cores";
+        if (cores > 1) {
+            EXPECT_GT(t.efficiency, 0.80)
+                << "the paper claims near-constant per-core "
+                   "performance";
+        }
+        prev_gops = t.gops;
+    }
+}
+
+TEST(Multicore, SingleCoreMatchesHybridModel)
+{
+    const auto g = computeBsGeometry({4, 4, true, true});
+    const SoCConfig soc = SoCConfig::sargantana();
+    const auto multi = multicoreMixGemm(256, 256, 256, g, soc, 1);
+    const GemmTimingModel single(soc);
+    EXPECT_EQ(multi.cycles, single.mixGemm(256, 256, 256, g).cycles);
+    EXPECT_DOUBLE_EQ(multi.speedup, 1.0);
+}
+
+TEST(Multicore, RejectsZeroCores)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    EXPECT_THROW(
+        multicoreMixGemm(64, 64, 64, g, SoCConfig::sargantana(), 0),
+        FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Per-layer mixed precision
+// ---------------------------------------------------------------------
+
+TEST(MixedPrecision, RespectsAccuracyBudget)
+{
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto &db = AccuracyDatabase::paperQat();
+    const auto model = resNet18();
+    for (const double budget : {0.3, 1.0, 5.0}) {
+        MixedPrecisionOptions opt;
+        opt.max_loss = budget;
+        const auto plan = optimizeMixedPrecision(model, timing, db, opt);
+        EXPECT_LE(plan.estimated_loss, budget + 1e-9);
+        EXPECT_EQ(plan.layer_configs.size(), model.layers.size());
+        EXPECT_NEAR(plan.estimated_loss,
+                    estimatePlanLoss(model, plan.layer_configs, db),
+                    1e-9);
+    }
+}
+
+TEST(MixedPrecision, LargerBudgetNeverSlower)
+{
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto &db = AccuracyDatabase::paperQat();
+    const auto model = vgg16();
+    uint64_t prev = ~uint64_t{0};
+    for (const double budget : {0.2, 0.5, 1.0, 2.0, 4.0}) {
+        MixedPrecisionOptions opt;
+        opt.max_loss = budget;
+        const auto plan = optimizeMixedPrecision(model, timing, db, opt);
+        EXPECT_LE(plan.total_cycles, prev) << "budget " << budget;
+        prev = plan.total_cycles;
+    }
+}
+
+TEST(MixedPrecision, BeatsOrMatchesBestUniform)
+{
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto &db = AccuracyDatabase::paperQat();
+    const auto model = alexNet();
+    MixedPrecisionOptions opt;
+    opt.max_loss = 0.5;
+    const auto plan = optimizeMixedPrecision(model, timing, db, opt);
+
+    uint64_t best_uniform = ~uint64_t{0};
+    for (const auto &cfg : allSupportedConfigs()) {
+        std::vector<DataSizeConfig> uniform(model.layers.size(), cfg);
+        for (size_t i = 0; i < model.layers.size(); ++i)
+            if (model.layers[i].is_first || model.layers[i].is_last)
+                uniform[i] = DataSizeConfig{8, 8, true, true};
+        if (estimatePlanLoss(model, uniform, db) > opt.max_loss)
+            continue;
+        best_uniform = std::min(best_uniform,
+                                planCycles(model, timing, uniform));
+    }
+    EXPECT_LE(plan.total_cycles, best_uniform);
+}
+
+TEST(MixedPrecision, PinsFirstAndLastLayers)
+{
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto &db = AccuracyDatabase::paperQat();
+    const auto model = mobileNetV1();
+    MixedPrecisionOptions opt;
+    opt.max_loss = 10.0;
+    const auto plan = optimizeMixedPrecision(model, timing, db, opt);
+    EXPECT_EQ(plan.layer_configs.front().bwa, 8u);
+    EXPECT_EQ(plan.layer_configs.front().bwb, 8u);
+    EXPECT_EQ(plan.layer_configs.back().bwa, 8u);
+    EXPECT_EQ(plan.layer_configs.back().bwb, 8u);
+    // With a generous budget, inner layers get downgraded.
+    std::set<std::string> names;
+    for (const auto &c : plan.layer_configs)
+        names.insert(c.name());
+    EXPECT_GE(names.size(), 2u);
+}
+
+TEST(MixedPrecision, RespectsMinBits)
+{
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto &db = AccuracyDatabase::paperQat();
+    const auto model = alexNet();
+    MixedPrecisionOptions opt;
+    opt.max_loss = 50.0;
+    opt.min_bits = 4;
+    const auto plan = optimizeMixedPrecision(model, timing, db, opt);
+    for (const auto &c : plan.layer_configs) {
+        EXPECT_GE(c.bwa, 4u);
+        EXPECT_GE(c.bwb, 4u);
+    }
+}
+
+TEST(MixedPrecision, ValidationErrors)
+{
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto &db = AccuracyDatabase::paperQat();
+    const auto model = alexNet();
+    EXPECT_THROW(estimatePlanLoss(model, {}, db), FatalError);
+    EXPECT_THROW(planCycles(model, timing, {}), FatalError);
+    MixedPrecisionOptions opt;
+    opt.min_bits = 1;
+    EXPECT_THROW(optimizeMixedPrecision(model, timing, db, opt),
+                 FatalError);
+    EXPECT_THROW(db.diagonalLoss("AlexNet", 9), FatalError);
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for src/gemm: blocking derivation, reference GEMMs, the blocked
+ * DGEMM/int8 baselines, and the full Mix-GEMM library (Algorithm 1)
+ * verified against naive integer GEMM across shapes, data-size
+ * configurations, and blocking parameters — including edge shapes that
+ * are not multiples of any blocking dimension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "gemm/blocked_baselines.h"
+#include "gemm/blocking.h"
+#include "gemm/mixgemm.h"
+#include "gemm/reference.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+std::vector<int32_t>
+randomNarrowMatrix(uint64_t rows, uint64_t cols, unsigned bw, Rng &rng)
+{
+    std::vector<int32_t> m(rows * cols);
+    for (auto &v : m)
+        v = static_cast<int32_t>(
+            rng.uniformInt(-(1 << (bw - 1)), (1 << (bw - 1)) - 1));
+    return m;
+}
+
+TEST(Blocking, PaperDefaultsMatchTableI)
+{
+    const auto p = BlockingParams::paperDefaults();
+    EXPECT_EQ(p.mc, 256u);
+    EXPECT_EQ(p.nc, 256u);
+    EXPECT_EQ(p.kc, 256u);
+    EXPECT_EQ(p.mr, 4u);
+    EXPECT_EQ(p.nr, 4u);
+}
+
+TEST(Blocking, Validation)
+{
+    BlockingParams p;
+    p.kc = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = BlockingParams{};
+    p.mr = 8;
+    p.mc = 4;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Blocking, DeriveForTargetSoCMatchesTableI)
+{
+    // 32 KB L1 / 512 KB L2 with 8-byte μ-vector words and mr = nr = 4
+    // lands on the Table I values.
+    const auto p = deriveBlocking(32 * 1024, 512 * 1024, 8, 4, 4);
+    EXPECT_EQ(p.kc, 256u);
+    EXPECT_EQ(p.mc, 128u);
+    EXPECT_EQ(p.nc, 256u);
+}
+
+TEST(Blocking, SmallerCachesShrinkBlocks)
+{
+    const auto small = deriveBlocking(16 * 1024, 64 * 1024, 8, 4, 4);
+    const auto big = deriveBlocking(64 * 1024, 512 * 1024, 8, 4, 4);
+    EXPECT_LE(small.kc, big.kc);
+    EXPECT_LE(small.mc, big.mc);
+    EXPECT_GE(small.kc, 4u);
+}
+
+TEST(ReferenceGemm, KnownProduct)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    const std::vector<int32_t> a{1, 2, 3, 4};
+    const std::vector<int32_t> b{5, 6, 7, 8};
+    const auto c = referenceGemmInt(a, b, 2, 2, 2);
+    EXPECT_EQ(c, (std::vector<int64_t>{19, 22, 43, 50}));
+    EXPECT_THROW(referenceGemmInt(a, b, 2, 2, 3), FatalError);
+}
+
+TEST(BlockedDgemm, MatchesReferenceOnOddShapes)
+{
+    Rng rng(21);
+    for (const auto &[m, n, k] :
+         {std::tuple<int, int, int>{1, 1, 1}, {5, 3, 7}, {17, 9, 33},
+          {64, 64, 64}, {130, 70, 90}}) {
+        std::vector<double> a(uint64_t{unsigned(m)} * k);
+        std::vector<double> b(uint64_t{unsigned(k)} * n);
+        for (auto &v : a)
+            v = rng.normal();
+        for (auto &v : b)
+            v = rng.normal();
+        const auto blocked = blockedDgemm(a, b, m, n, k);
+        const auto ref = referenceGemmDouble(a, b, m, n, k);
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_NEAR(blocked.c[i], ref[i], 1e-9)
+                << m << "x" << n << "x" << k << " elem " << i;
+    }
+}
+
+TEST(BlockedDgemm, CountsOperationMix)
+{
+    std::vector<double> a(8 * 8, 1.0);
+    std::vector<double> b(8 * 8, 1.0);
+    const auto r = blockedDgemm(a, b, 8, 8, 8);
+    EXPECT_EQ(r.counters.get("fmul"), 512u);
+    EXPECT_EQ(r.counters.get("fadd"), 512u);
+    EXPECT_EQ(r.counters.get("ops"), 1024u);
+    // mr + nr = 8 loads per k step, 4 μ-kernels x 8 k steps.
+    EXPECT_EQ(r.counters.get("operand_loads"), 256u);
+    EXPECT_EQ(r.counters.get("micro_kernels"), 4u);
+}
+
+TEST(BlockedInt8Gemm, MatchesReference)
+{
+    Rng rng(22);
+    const uint64_t m = 19;
+    const uint64_t n = 23;
+    const uint64_t k = 40;
+    std::vector<int8_t> a(m * k);
+    std::vector<int8_t> b(k * n);
+    for (auto &v : a)
+        v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+    for (auto &v : b)
+        v = static_cast<int8_t>(rng.uniformInt(-128, 127));
+    std::vector<int32_t> a32(a.begin(), a.end());
+    std::vector<int32_t> b32(b.begin(), b.end());
+    const auto ref = referenceGemmInt(a32, b32, m, n, k);
+    const auto blocked = blockedInt8Gemm(a, b, m, n, k);
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(blocked.c[i], ref[i]) << "elem " << i;
+}
+
+struct MixGemmCase
+{
+    uint64_t m, n, k;
+    unsigned bwa, bwb;
+    const char *label;
+};
+
+class MixGemmTest : public ::testing::TestWithParam<MixGemmCase>
+{
+};
+
+TEST_P(MixGemmTest, MatchesReferenceGemm)
+{
+    const auto p = GetParam();
+    const auto geom = computeBsGeometry({p.bwa, p.bwb, true, true});
+    Rng rng(300 + p.m + p.n + p.k + p.bwa * 8 + p.bwb);
+    const auto a = randomNarrowMatrix(p.m, p.k, p.bwa, rng);
+    const auto b = randomNarrowMatrix(p.k, p.n, p.bwb, rng);
+    const auto ref = referenceGemmInt(a, b, p.m, p.n, p.k);
+    const auto mix = mixGemm(a, b, p.m, p.n, p.k, geom);
+    ASSERT_EQ(mix.c.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(mix.c[i], ref[i])
+            << geom.config.name() << " " << p.m << "x" << p.n << "x"
+            << p.k << " elem " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndConfigs, MixGemmTest,
+    ::testing::Values(
+        MixGemmCase{4, 4, 32, 8, 8, "tile_a8w8"},
+        MixGemmCase{4, 4, 30, 8, 6, "tile_a8w6"},
+        MixGemmCase{4, 4, 30, 6, 4, "tile_a6w4"},
+        MixGemmCase{16, 16, 64, 8, 8, "block_a8w8"},
+        MixGemmCase{16, 16, 128, 2, 2, "block_a2w2"},
+        MixGemmCase{12, 20, 96, 4, 4, "block_a4w4"},
+        MixGemmCase{8, 8, 60, 5, 5, "block_a5w5"},
+        MixGemmCase{1, 1, 1, 8, 8, "scalar"},
+        MixGemmCase{3, 5, 7, 8, 8, "edge_tiny"},
+        MixGemmCase{13, 11, 37, 8, 2, "edge_a8w2"},
+        MixGemmCase{13, 11, 37, 2, 8, "edge_a2w8"},
+        MixGemmCase{17, 19, 61, 7, 3, "edge_a7w3"},
+        MixGemmCase{17, 19, 61, 3, 7, "edge_a3w7"},
+        MixGemmCase{70, 66, 140, 6, 6, "multi_panel_a6w6"},
+        MixGemmCase{65, 67, 300, 8, 8, "multi_kpanel_a8w8"}),
+    [](const auto &info) { return info.param.label; });
+
+TEST(MixGemm, AllConfigsSmallShape)
+{
+    // Sweep all 49 (bwa, bwb) combinations on one modest odd shape.
+    Rng rng(404);
+    const uint64_t m = 9;
+    const uint64_t n = 7;
+    const uint64_t k = 50;
+    for (const auto &cfg : allSupportedConfigs()) {
+        const auto geom = computeBsGeometry(cfg);
+        const auto a = randomNarrowMatrix(m, k, cfg.bwa, rng);
+        const auto b = randomNarrowMatrix(k, n, cfg.bwb, rng);
+        const auto ref = referenceGemmInt(a, b, m, n, k);
+        const auto mix = mixGemm(a, b, m, n, k, geom);
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(mix.c[i], ref[i])
+                << cfg.name() << " elem " << i;
+    }
+}
+
+TEST(MixGemm, UnsignedConfigs)
+{
+    Rng rng(55);
+    const uint64_t m = 6;
+    const uint64_t n = 6;
+    const uint64_t k = 40;
+    for (const auto &[bwa, bwb] : {std::pair<unsigned, unsigned>{8, 8},
+                                  std::pair<unsigned, unsigned>{4, 2}}) {
+        const auto geom = computeBsGeometry({bwa, bwb, false, false});
+        std::vector<int32_t> a(m * k);
+        std::vector<int32_t> b(k * n);
+        for (auto &v : a)
+            v = static_cast<int32_t>(rng.uniformInt(0, (1 << bwa) - 1));
+        for (auto &v : b)
+            v = static_cast<int32_t>(rng.uniformInt(0, (1 << bwb) - 1));
+        const auto ref = referenceGemmInt(a, b, m, n, k);
+        const auto mix = mixGemm(a, b, m, n, k, geom);
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(mix.c[i], ref[i]) << geom.config.name();
+    }
+}
+
+TEST(MixGemm, CustomBlockingStillCorrect)
+{
+    Rng rng(77);
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    const uint64_t m = 40;
+    const uint64_t n = 36;
+    const uint64_t k = 160;
+    const auto a = randomNarrowMatrix(m, k, 8, rng);
+    const auto b = randomNarrowMatrix(k, n, 8, rng);
+    const auto ref = referenceGemmInt(a, b, m, n, k);
+    for (const auto &[mc, nc, kc] :
+         {std::tuple<unsigned, unsigned, unsigned>{8, 8, 32},
+          {16, 12, 64}, {256, 256, 33}}) {
+        BlockingParams blk;
+        blk.mc = mc;
+        blk.nc = nc;
+        blk.kc = kc;
+        const auto mix = mixGemm(a, b, m, n, k, geom, blk);
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(mix.c[i], ref[i])
+                << "mc=" << mc << " nc=" << nc << " kc=" << kc;
+    }
+}
+
+TEST(MixGemm, CountersMatchLoopStructure)
+{
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    ASSERT_EQ(geom.group_extent, 32u);
+    const uint64_t m = 8;
+    const uint64_t n = 8;
+    const uint64_t k = 64; // 2 accumulation groups
+    const std::vector<int32_t> a(m * k, 1);
+    const std::vector<int32_t> b(k * n, 1);
+    const auto mix = mixGemm(a, b, m, n, k, geom);
+    // 4 μ-kernels (2x2 tiles of 4x4), each 2 groups x 16 cells x 4 pairs.
+    EXPECT_EQ(mix.counters.get("micro_kernels"), 4u);
+    EXPECT_EQ(mix.counters.get("bs_ip"), 4u * 2 * 16 * 4);
+    EXPECT_EQ(mix.counters.get("bs_get"), 4u * 16);
+    EXPECT_EQ(mix.counters.get("bs_set"), 1u);
+    EXPECT_EQ(mix.counters.get("ops"), 2 * m * n * k);
+    // Engine busy cycles: every group costs group_cycles.
+    EXPECT_EQ(mix.counters.get("engine_busy_cycles"),
+              4u * 2 * 16 * geom.group_cycles);
+}
+
+TEST(MixGemm, RejectsMismatchedOperands)
+{
+    const auto g88 = computeBsGeometry({8, 8, true, true});
+    const auto g44 = computeBsGeometry({4, 4, true, true});
+    const std::vector<int32_t> a(4 * 32, 1);
+    const std::vector<int32_t> b(32 * 4, 1);
+    const CompressedA ca(a, 4, 32, g88);
+    const CompressedB cb_badk(b, 16, 8, g88);
+    EXPECT_THROW(mixGemm(ca, cb_badk), FatalError);
+    const CompressedB cb_badcfg(b, 32, 4, g44);
+    EXPECT_THROW(mixGemm(ca, cb_badcfg), FatalError);
+}
+
+TEST(MixGemm, ProblemSizeReductionVsDgemm)
+{
+    // Section IV-B: compressed operands reduce the DGEMM problem size by
+    // 8x (a8) to 32x (a2) in words loaded along k.
+    for (const unsigned bw : {8u, 2u}) {
+        const auto geom = computeBsGeometry({bw, bw, true, true});
+        const uint64_t k = 256;
+        const std::vector<int32_t> a(4 * k, 0);
+        const CompressedA ca(a, 4, k, geom);
+        const uint64_t words_per_row =
+            uint64_t{ca.kGroups()} * geom.kua;
+        EXPECT_EQ(words_per_row, k / (64 / bw)) << "bw=" << bw;
+    }
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for src/isa: μ-op construction/rendering and the bit-exact
+ * RISC-V encodings of the bs.* custom instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+#include "isa/uop.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(Uop, Constructors)
+{
+    const Uop a = Uop::alu(3, 1, 2);
+    EXPECT_EQ(a.kind, UopKind::kAlu);
+    EXPECT_EQ(a.dst, 3);
+    EXPECT_EQ(a.src1, 1);
+    EXPECT_EQ(a.src2, 2);
+
+    const Uop l = Uop::load(5, 0x1000, 8);
+    EXPECT_EQ(l.kind, UopKind::kLoad);
+    EXPECT_EQ(l.addr, 0x1000u);
+    EXPECT_EQ(l.size, 8);
+
+    const Uop s = Uop::store(7, 0x2000, 4);
+    EXPECT_EQ(s.kind, UopKind::kStore);
+    EXPECT_EQ(s.src1, 7);
+
+    const Uop ip = Uop::bsIp(10, 11);
+    EXPECT_EQ(ip.kind, UopKind::kBsIp);
+    EXPECT_EQ(ip.src1, 10);
+    EXPECT_EQ(ip.src2, 11);
+
+    const Uop g = Uop::bsGet(4, 13);
+    EXPECT_EQ(g.kind, UopKind::kBsGet);
+    EXPECT_EQ(g.acc_slot, 13);
+}
+
+TEST(Uop, ToStringMentionsKindAndOperands)
+{
+    const Uop l = Uop::load(5, 0xabc, 8);
+    const std::string s = l.toString();
+    EXPECT_NE(s.find("load"), std::string::npos);
+    EXPECT_NE(s.find("0xabc"), std::string::npos);
+    EXPECT_NE(Uop::bsIp(1, 2).toString().find("bs.ip"), std::string::npos);
+}
+
+TEST(Uop, KindNames)
+{
+    EXPECT_STREQ(uopKindName(UopKind::kBsSet), "bs.set");
+    EXPECT_STREQ(uopKindName(UopKind::kFmul), "fmul");
+    EXPECT_STREQ(uopKindName(UopKind::kNop), "nop");
+}
+
+TEST(Encoding, RoundTripAllRegisters)
+{
+    for (unsigned f3 = 0; f3 <= 2; ++f3) {
+        for (unsigned rd = 0; rd < 32; rd += 5) {
+            for (unsigned rs1 = 0; rs1 < 32; rs1 += 7) {
+                for (unsigned rs2 = 0; rs2 < 32; rs2 += 3) {
+                    BsInstruction insn;
+                    insn.funct3 = static_cast<BsFunct3>(f3);
+                    insn.rd = rd;
+                    insn.rs1 = rs1;
+                    insn.rs2 = rs2;
+                    const uint32_t word = encodeBsInstruction(insn);
+                    const auto back = decodeBsInstruction(word);
+                    ASSERT_TRUE(back.has_value());
+                    EXPECT_EQ(back->funct3, insn.funct3);
+                    EXPECT_EQ(back->rd, insn.rd);
+                    EXPECT_EQ(back->rs1, insn.rs1);
+                    EXPECT_EQ(back->rs2, insn.rs2);
+                }
+            }
+        }
+    }
+}
+
+TEST(Encoding, UsesCustom0Opcode)
+{
+    BsInstruction insn;
+    insn.funct3 = BsFunct3::kIp;
+    insn.rd = 1;
+    insn.rs1 = 2;
+    insn.rs2 = 3;
+    const uint32_t word = encodeBsInstruction(insn);
+    EXPECT_EQ(word & 0x7f, kCustom0Opcode);
+    EXPECT_EQ((word >> 25) & 0x7f, 0u) << "funct7 must be zero";
+}
+
+TEST(Encoding, RejectsForeignWords)
+{
+    EXPECT_FALSE(decodeBsInstruction(0x00000013).has_value()); // addi nop
+    EXPECT_FALSE(decodeBsInstruction(0xffffffff).has_value());
+    // Right opcode, unsupported funct3.
+    const uint32_t bad_f3 = kCustom0Opcode | (5u << 12);
+    EXPECT_FALSE(decodeBsInstruction(bad_f3).has_value());
+    // Right opcode/funct3, nonzero funct7.
+    BsInstruction insn;
+    insn.funct3 = BsFunct3::kGet;
+    const uint32_t bad_f7 = encodeBsInstruction(insn) | (1u << 25);
+    EXPECT_FALSE(decodeBsInstruction(bad_f7).has_value());
+}
+
+TEST(Encoding, Disassembly)
+{
+    BsInstruction insn;
+    insn.funct3 = BsFunct3::kIp;
+    insn.rd = 10;
+    insn.rs1 = 11;
+    insn.rs2 = 12;
+    EXPECT_EQ(disassembleBs(insn), "bs.ip x10, x11, x12");
+    insn.funct3 = BsFunct3::kSet;
+    EXPECT_EQ(disassembleBs(insn), "bs.set x10, x11, x12");
+    insn.funct3 = BsFunct3::kGet;
+    EXPECT_EQ(disassembleBs(insn), "bs.get x10, x11, x12");
+}
+
+TEST(Encoding, EncodeRejectsOutOfRangeRegister)
+{
+    BsInstruction insn;
+    insn.rd = 32;
+    EXPECT_THROW(encodeBsInstruction(insn), FatalError);
+}
+
+TEST(BsSetConfigWord, RoundTrip)
+{
+    BsSetConfig c;
+    c.bwa = 6;
+    c.bwb = 4;
+    c.a_signed = true;
+    c.b_signed = false;
+    c.cluster_size = 4;
+    c.cw = 14;
+    c.ip_length = 30;
+    c.slice_lsb = 42;
+    c.slice_msb = 55;
+    const uint64_t word = packBsSetConfig(c);
+    const BsSetConfig back = unpackBsSetConfig(word);
+    EXPECT_EQ(back.bwa, c.bwa);
+    EXPECT_EQ(back.bwb, c.bwb);
+    EXPECT_EQ(back.a_signed, c.a_signed);
+    EXPECT_EQ(back.b_signed, c.b_signed);
+    EXPECT_EQ(back.cluster_size, c.cluster_size);
+    EXPECT_EQ(back.cw, c.cw);
+    EXPECT_EQ(back.ip_length, c.ip_length);
+    EXPECT_EQ(back.slice_lsb, c.slice_lsb);
+    EXPECT_EQ(back.slice_msb, c.slice_msb);
+}
+
+TEST(BsSetConfigWord, RejectsBadFields)
+{
+    BsSetConfig c;
+    c.bwa = 0;
+    EXPECT_THROW(packBsSetConfig(c), FatalError);
+    c = BsSetConfig{};
+    c.bwa = 9;
+    EXPECT_THROW(packBsSetConfig(c), FatalError);
+    c = BsSetConfig{};
+    c.cluster_size = 0;
+    EXPECT_THROW(packBsSetConfig(c), FatalError);
+    c = BsSetConfig{};
+    c.cw = 0;
+    EXPECT_THROW(packBsSetConfig(c), FatalError);
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Tests for the RV64 ISS and assembler: base-ISA semantics (ALU,
+ * branches, memory, li expansion), halting behaviour, and the flagship
+ * end-to-end validation — a blocked GEMM written in assembly against
+ * the encoded bs.set/bs.ip/bs.get instructions, executed instruction by
+ * instruction and checked against the reference integer GEMM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bs/microvector.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "gemm/reference.h"
+#include "isa/encoding.h"
+#include "iss/assembler.h"
+#include "iss/gemm_program.h"
+#include "iss/machine.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+constexpr uint64_t kText = 0x1000;
+
+RiscvMachine
+runProgram(Program &p)
+{
+    RiscvMachine m;
+    const auto words = p.assemble();
+    m.loadProgram(words, kText);
+    EXPECT_EQ(m.run(), HaltReason::kEbreak);
+    return m;
+}
+
+TEST(Assembler, LiExpandsAllImmediateSizes)
+{
+    for (const uint64_t v :
+         {uint64_t{0}, uint64_t{1}, uint64_t{2047}, uint64_t{0x800},
+          uint64_t{0x12345}, uint64_t{0x7fffffff},
+          uint64_t{0xfffffffffffff800ull}, uint64_t{0x12345678u},
+          uint64_t{0x123456789abcdef0ull}, uint64_t{0x8000000000000000ull},
+          uint64_t{0xffffffffffffffffull}}) {
+        Program p;
+        p.li(A0, v);
+        p.ebreak();
+        RiscvMachine m;
+        const auto words = p.assemble();
+        m.loadProgram(words, kText);
+        ASSERT_EQ(m.run(), HaltReason::kEbreak);
+        EXPECT_EQ(m.reg(A0), v) << std::hex << v;
+    }
+}
+
+TEST(Iss, ArithmeticLoopSumsIntegers)
+{
+    // sum = 1 + 2 + ... + 10
+    Program p;
+    p.li(T0, 10);
+    p.li(A0, 0);
+    p.label("loop");
+    p.add(A0, A0, T0);
+    p.addi(T0, T0, -1);
+    p.bne(T0, ZERO, "loop");
+    p.ebreak();
+    const auto m = runProgram(p);
+    EXPECT_EQ(m.reg(A0), 55u);
+}
+
+TEST(Iss, MulAndShifts)
+{
+    Program p;
+    p.li(A0, 12345);
+    p.li(A1, 6789);
+    p.mul(A2, A0, A1);
+    p.slli(A3, A2, 3);
+    p.srli(A4, A3, 3);
+    p.li(T0, static_cast<uint64_t>(-64));
+    p.srai(T1, T0, 4);
+    p.ebreak();
+    const auto m = runProgram(p);
+    EXPECT_EQ(m.reg(A2), 12345u * 6789u);
+    EXPECT_EQ(m.reg(A4), m.reg(A2));
+    EXPECT_EQ(static_cast<int64_t>(m.reg(T1)), -4);
+}
+
+TEST(Iss, LoadsAndStoresRoundTrip)
+{
+    Program p;
+    p.li(T0, 0x8000); // data region
+    p.li(A0, 0xdeadbeefcafef00dull);
+    p.sd(A0, T0, 0);
+    p.ld(A1, T0, 0);
+    p.lw(A2, T0, 0);  // sign-extended low word
+    p.lbu(A3, T0, 3); // byte 3 = 0xca
+    p.sw(A0, T0, 16);
+    p.ld(A4, T0, 16); // only the low 4 bytes were stored
+    p.ebreak();
+    const auto m = runProgram(p);
+    EXPECT_EQ(m.reg(A1), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.reg(A2),
+              static_cast<uint64_t>(
+                  static_cast<int64_t>(
+                      static_cast<int32_t>(0xcafef00d))));
+    EXPECT_EQ(m.reg(A3), 0xcau);
+    EXPECT_EQ(m.reg(A4), 0xcafef00dull);
+}
+
+TEST(Iss, BranchesAndJal)
+{
+    Program p;
+    p.li(A0, 0);
+    p.li(T0, 3);
+    p.li(T1, 7);
+    p.blt(T1, T0, "skip"); // not taken
+    p.addi(A0, A0, 1);
+    p.label("skip");
+    p.bge(T1, T0, "taken"); // taken
+    p.addi(A0, A0, 100);    // skipped
+    p.label("taken");
+    p.jal(RA, "func");
+    p.ebreak();
+    p.label("func");
+    p.addi(A0, A0, 10);
+    // Return: jalr x0, 0(ra) — emit via raw add of a jal? Use jalr:
+    // the assembler has no jalr; emulate return by falling through to
+    // a second ebreak instead.
+    p.ebreak();
+    const auto m = runProgram(p);
+    EXPECT_EQ(m.reg(A0), 11u);
+}
+
+TEST(Iss, HaltsOnBadInstruction)
+{
+    RiscvMachine m;
+    const std::vector<uint32_t> garbage{0xffffffffu};
+    m.loadProgram(garbage, kText);
+    EXPECT_EQ(m.run(), HaltReason::kBadInsn);
+}
+
+TEST(Iss, X0StaysZero)
+{
+    Program p;
+    p.addi(ZERO, ZERO, 5);
+    p.ebreak();
+    const auto m = runProgram(p);
+    EXPECT_EQ(m.reg(ZERO), 0u);
+}
+
+TEST(Iss, RegisterBoundsChecked)
+{
+    RiscvMachine m;
+    EXPECT_THROW(m.reg(32), FatalError);
+    EXPECT_THROW(m.setReg(40, 1), FatalError);
+}
+
+/** Pack a bs.set operand word for a geometry. */
+uint64_t
+bsSetWordFor(const BsGeometry &g)
+{
+    BsSetConfig cfg;
+    cfg.bwa = static_cast<uint8_t>(g.config.bwa);
+    cfg.bwb = static_cast<uint8_t>(g.config.bwb);
+    cfg.a_signed = g.config.a_signed;
+    cfg.b_signed = g.config.b_signed;
+    cfg.cluster_size = static_cast<uint8_t>(g.cluster_size);
+    cfg.cw = static_cast<uint8_t>(g.cw);
+    cfg.ip_length = static_cast<uint16_t>(g.group_extent);
+    cfg.slice_lsb = static_cast<uint8_t>(g.slice_lsb);
+    cfg.slice_msb = static_cast<uint8_t>(g.slice_msb);
+    return packBsSetConfig(cfg);
+}
+
+TEST(Iss, BsInnerProductProgram)
+{
+    // Inner product of two 64-element a8-w8 streams, written in
+    // assembly: 2 accumulation groups of 4 μ-vector pairs into slot 0.
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const uint64_t k = 64;
+    Rng rng(9);
+    std::vector<int32_t> a(k);
+    std::vector<int32_t> b(k);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    int64_t expected = 0;
+    for (uint64_t i = 0; i < k; ++i)
+        expected += int64_t{a[i]} * b[i];
+
+    const auto a_words = packMicroVectorStream(a, 8, true);
+    const auto b_words = packMicroVectorStream(b, 8, true);
+
+    const uint64_t a_base = 0x10000;
+    const uint64_t b_base = 0x20000;
+    RiscvMachine m;
+    m.writeBlock(a_base, a_words);
+    m.writeBlock(b_base, b_words);
+
+    Program p;
+    p.li(A0, bsSetWordFor(g));
+    p.li(A1, 1); // one active AccMem slot
+    p.bsSet(A0, A1);
+    p.li(T0, a_base);
+    p.li(T1, b_base);
+    p.li(T2, static_cast<uint64_t>(a_words.size()));
+    p.label("pair");
+    p.ld(A2, T0, 0);
+    p.ld(A3, T1, 0);
+    p.bsIp(A2, A3);
+    p.addi(T0, T0, 8);
+    p.addi(T1, T1, 8);
+    p.addi(T2, T2, -1);
+    p.bne(T2, ZERO, "pair");
+    p.li(A4, 0);
+    p.bsGet(A0, A4);
+    p.ebreak();
+
+    const auto words = p.assemble();
+    m.loadProgram(words, kText);
+    ASSERT_EQ(m.run(), HaltReason::kEbreak);
+    EXPECT_EQ(static_cast<int64_t>(m.reg(A0)), expected);
+    EXPECT_EQ(m.counters().get("bs_ip"), a_words.size());
+}
+
+TEST(Iss, AssemblyGemmMatchesReference)
+{
+    // A full 4 x 4 x 64 a6-w4 GEMM tile written in assembly against
+    // the compressed operand layout, one accumulation slot per output
+    // cell — Algorithm 1's μ-kernel, executed from encoded
+    // instructions.
+    const auto g = computeBsGeometry({6, 4, true, true});
+    const uint64_t mdim = 4, ndim = 4, k = 60; // 2 groups of extent 30
+    Rng rng(11);
+    std::vector<int32_t> a(mdim * k);
+    std::vector<int32_t> b(k * ndim);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.uniformInt(-32, 31));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.uniformInt(-8, 7));
+    const auto expected = referenceGemmInt(a, b, mdim, ndim, k);
+
+    const CompressedA ca(a, mdim, k, g);
+    const CompressedB cb(b, k, ndim, g);
+    ASSERT_EQ(ca.kGroups(), 2u);
+
+    const uint64_t a_base = 0x10000;
+    const uint64_t b_base = 0x20000;
+    const uint64_t c_base = 0x30000;
+    RiscvMachine m;
+    m.writeBlock(a_base, ca.words());
+    m.writeBlock(b_base, cb.words());
+
+    // Strides in bytes within the compressed layouts.
+    const uint32_t a_row = 8 * ca.kGroups() * g.kua;   // per A row
+    const uint32_t a_grp = 8 * g.kua;                  // per group
+    const uint32_t b_col = 8 * cb.kGroups() * g.kub;
+    const uint32_t b_grp = 8 * g.kub;
+
+    Program p;
+    p.li(A0, bsSetWordFor(g));
+    p.li(A1, 16); // mr * nr AccMem slots
+    p.bsSet(A0, A1);
+    p.li(S0, 0); // g
+    p.label("group");
+    p.li(S1, 0); // i (column)
+    p.label("col");
+    p.li(S2, 0); // j (row)
+    p.label("row");
+    // A pair pointer: a_base + j*a_row + g*a_grp
+    p.li(T0, a_base);
+    p.li(T3, a_row);
+    p.mul(T4, S2, T3);
+    p.add(T0, T0, T4);
+    p.li(T3, a_grp);
+    p.mul(T4, S0, T3);
+    p.add(T0, T0, T4);
+    // B pair pointer: b_base + i*b_col + g*b_grp
+    p.li(T1, b_base);
+    p.li(T3, b_col);
+    p.mul(T4, S1, T3);
+    p.add(T1, T1, T4);
+    p.li(T3, b_grp);
+    p.mul(T4, S0, T3);
+    p.add(T1, T1, T4);
+    // Issue the group's pairs: kua >= kub here (3 vs 2); pad B with 0.
+    p.li(S3, 0); // pair index
+    p.label("pair");
+    p.ld(A2, T0, 0);
+    p.li(A3, 0);
+    p.li(T5, static_cast<uint64_t>(g.kub));
+    p.bge(S3, T5, "skip_b");
+    p.ld(A3, T1, 0);
+    p.label("skip_b");
+    p.bsIp(A2, A3);
+    p.addi(T0, T0, 8);
+    p.addi(T1, T1, 8);
+    p.addi(S3, S3, 1);
+    p.li(T5, static_cast<uint64_t>(g.group_pairs));
+    p.blt(S3, T5, "pair");
+    // Advance j, i, g.
+    p.addi(S2, S2, 1);
+    p.li(T5, mdim);
+    p.blt(S2, T5, "row");
+    p.addi(S1, S1, 1);
+    p.li(T5, ndim);
+    p.blt(S1, T5, "col");
+    p.addi(S0, S0, 1);
+    p.li(T5, ca.kGroups());
+    p.blt(S0, T5, "group");
+    // Collect the 16 AccMem slots into C (row-major by slot index
+    // i * mr + j -> C[j, i]).
+    p.li(S1, 0); // i
+    p.label("get_col");
+    p.li(S2, 0); // j
+    p.label("get_row");
+    p.slli(T3, S1, 2); // i * mr
+    p.add(T3, T3, S2);
+    p.bsGet(A0, T3);
+    // C address: c_base + (j * ndim + i) * 8
+    p.slli(T4, S2, 2); // j * ndim
+    p.add(T4, T4, S1);
+    p.slli(T4, T4, 3);
+    p.li(T5, c_base);
+    p.add(T4, T4, T5);
+    p.sd(A0, T4, 0);
+    p.addi(S2, S2, 1);
+    p.li(T5, mdim);
+    p.blt(S2, T5, "get_row");
+    p.addi(S1, S1, 1);
+    p.li(T5, ndim);
+    p.blt(S1, T5, "get_col");
+    p.ebreak();
+
+    const auto words = p.assemble();
+    m.loadProgram(words, kText);
+    ASSERT_EQ(m.run(), HaltReason::kEbreak);
+
+    for (uint64_t j = 0; j < mdim; ++j)
+        for (uint64_t i = 0; i < ndim; ++i)
+            ASSERT_EQ(static_cast<int64_t>(
+                          m.readWord(c_base + (j * ndim + i) * 8, 8)),
+                      expected[j * ndim + i])
+                << "C[" << j << "," << i << "]";
+    EXPECT_GT(m.instructionsExecuted(), 1000u);
+}
+
+struct GenCase
+{
+    uint64_t m, n, k;
+    unsigned bwa, bwb;
+    const char *label;
+};
+
+class GeneratedGemmTest : public ::testing::TestWithParam<GenCase>
+{
+};
+
+TEST_P(GeneratedGemmTest, GeneratedProgramMatchesReference)
+{
+    const auto c = GetParam();
+    const auto g = computeBsGeometry({c.bwa, c.bwb, true, true});
+    Rng rng(500 + c.m + c.n + c.k);
+    std::vector<int32_t> a(c.m * c.k);
+    std::vector<int32_t> b(c.k * c.n);
+    for (auto &v : a)
+        v = static_cast<int32_t>(
+            rng.uniformInt(-(1 << (c.bwa - 1)), (1 << (c.bwa - 1)) - 1));
+    for (auto &v : b)
+        v = static_cast<int32_t>(
+            rng.uniformInt(-(1 << (c.bwb - 1)), (1 << (c.bwb - 1)) - 1));
+    const auto expected = referenceGemmInt(a, b, c.m, c.n, c.k);
+
+    const CompressedA ca(a, c.m, c.k, g);
+    const CompressedB cb(b, c.k, c.n, g);
+    const GemmProgramLayout layout;
+    RiscvMachine machine;
+    machine.writeBlock(layout.a_base, ca.words());
+    machine.writeBlock(layout.b_base, cb.words());
+
+    auto program = generateMixGemmProgram(c.m, c.n, c.k, g, layout);
+    const auto words = program.assemble();
+    machine.loadProgram(words, kText);
+    ASSERT_EQ(machine.run(), HaltReason::kEbreak) << c.label;
+
+    for (uint64_t row = 0; row < c.m; ++row)
+        for (uint64_t col = 0; col < c.n; ++col)
+            ASSERT_EQ(static_cast<int64_t>(machine.readWord(
+                          layout.c_base + 8 * (row * c.n + col), 8)),
+                      expected[row * c.n + col])
+                << c.label << " C[" << row << "," << col << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeneratedGemmTest,
+    ::testing::Values(GenCase{4, 4, 32, 8, 8, "tile_a8w8"},
+                      GenCase{8, 8, 64, 8, 8, "block_a8w8"},
+                      GenCase{5, 7, 50, 8, 6, "edge_a8w6"},
+                      GenCase{6, 3, 45, 6, 4, "edge_a6w4"},
+                      GenCase{9, 10, 129, 2, 2, "odd_a2w2"},
+                      GenCase{1, 1, 7, 4, 4, "scalar_a4w4"}),
+    [](const auto &info) { return info.param.label; });
+
+} // namespace
+} // namespace mixgemm

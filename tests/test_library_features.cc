@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for library conveniences added beyond the core reproduction:
+ * transposed-operand packing (BLAS op(A)/op(B)), the im2col lowering
+ * variant, batched network timing, and the sub-byte software baseline's
+ * place in the performance ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dnn/models.h"
+#include "dnn/network_timing.h"
+#include "gemm/mixgemm.h"
+#include "gemm/reference.h"
+#include "sim/gemm_timing.h"
+#include "soc/soc_config.h"
+#include "tensor/conv.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(TransposedPacking, ColumnMajorAMatchesRowMajor)
+{
+    const auto g = computeBsGeometry({6, 6, true, true});
+    const uint64_t m = 7, k = 45;
+    Rng rng(3);
+    std::vector<int32_t> a(m * k);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.uniformInt(-32, 31));
+    // Column-major copy (k x m).
+    std::vector<int32_t> at(k * m);
+    for (uint64_t r = 0; r < m; ++r)
+        for (uint64_t c = 0; c < k; ++c)
+            at[c * m + r] = a[r * k + c];
+
+    const CompressedA direct(a, m, k, g);
+    const auto transposed = CompressedA::fromColumnMajor(at, m, k, g);
+    ASSERT_EQ(direct.words().size(), transposed.words().size());
+    for (size_t i = 0; i < direct.words().size(); ++i)
+        ASSERT_EQ(direct.words()[i], transposed.words()[i]);
+}
+
+TEST(TransposedPacking, TransposedBMatchesRowMajor)
+{
+    const auto g = computeBsGeometry({4, 4, true, true});
+    const uint64_t k = 70, n = 5;
+    Rng rng(4);
+    std::vector<int32_t> b(k * n);
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.uniformInt(-8, 7));
+    std::vector<int32_t> bt(n * k); // n x k (each column contiguous)
+    for (uint64_t r = 0; r < k; ++r)
+        for (uint64_t c = 0; c < n; ++c)
+            bt[c * k + r] = b[r * n + c];
+
+    const CompressedB direct(b, k, n, g);
+    const auto transposed = CompressedB::fromTransposed(bt, k, n, g);
+    ASSERT_EQ(direct.words().size(), transposed.words().size());
+    for (size_t i = 0; i < direct.words().size(); ++i)
+        ASSERT_EQ(direct.words()[i], transposed.words()[i]);
+}
+
+TEST(TransposedPacking, GemmWithTransposedOperandsIsCorrect)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const uint64_t m = 9, n = 6, k = 40;
+    Rng rng(5);
+    std::vector<int32_t> a(m * k);
+    std::vector<int32_t> b(k * n);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    std::vector<int32_t> at(k * m);
+    std::vector<int32_t> bt(n * k);
+    for (uint64_t r = 0; r < m; ++r)
+        for (uint64_t c = 0; c < k; ++c)
+            at[c * m + r] = a[r * k + c];
+    for (uint64_t r = 0; r < k; ++r)
+        for (uint64_t c = 0; c < n; ++c)
+            bt[c * k + r] = b[r * n + c];
+
+    const auto ca = CompressedA::fromColumnMajor(at, m, k, g);
+    const auto cb = CompressedB::fromTransposed(bt, k, n, g);
+    const auto result = mixGemm(ca, cb);
+    const auto expected = referenceGemmInt(a, b, m, n, k);
+    for (size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(result.c[i], expected[i]);
+}
+
+TEST(TransposedPacking, RejectsBadSizes)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const std::vector<int32_t> data(10, 0);
+    EXPECT_THROW(CompressedA::fromColumnMajor(data, 3, 4, g),
+                 FatalError);
+    EXPECT_THROW(CompressedB::fromTransposed(data, 3, 4, g),
+                 FatalError);
+}
+
+TEST(Im2col, IsTheTransposeOfIm2row)
+{
+    ConvSpec spec;
+    spec.in_c = 3;
+    spec.in_h = spec.in_w = 7;
+    spec.out_c = 4;
+    spec.kh = spec.kw = 3;
+    spec.pad = 1;
+    Rng rng(6);
+    Tensor<double> input({1, 3, 7, 7});
+    for (auto &v : input.flat())
+        v = rng.normal();
+    const auto rows = im2row(input, spec);
+    const auto cols = im2col(input, spec);
+    ASSERT_EQ(cols.dim(0), rows.dim(1));
+    ASSERT_EQ(cols.dim(1), rows.dim(0));
+    for (size_t r = 0; r < rows.dim(0); ++r)
+        for (size_t c = 0; c < rows.dim(1); ++c)
+            ASSERT_DOUBLE_EQ(cols.at(c, r), rows.at(r, c));
+}
+
+TEST(BatchedTiming, BatchAmortizesFullyConnectedLayers)
+{
+    // AlexNet's m = 1 FC layers waste most of the 4x4 tile at batch 1;
+    // batching recovers throughput (Section II-A: im2row can take rows
+    // "from a batch of multiple input images").
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto model = alexNet();
+    const DataSizeConfig cfg{8, 8, true, true};
+    const auto b1 = timeNetworkMixGemm(model, timing, cfg, true, 1);
+    const auto b8 = timeNetworkMixGemm(model, timing, cfg, true, 8);
+    EXPECT_GT(b8.gops, b1.gops * 1.05)
+        << "batching must improve AlexNet throughput";
+    // Per-image work is identical.
+    EXPECT_NEAR(static_cast<double>(b8.total_cycles) / 8.0,
+                static_cast<double>(b1.total_cycles),
+                static_cast<double>(b1.total_cycles) * 0.35);
+    EXPECT_THROW(timeNetworkMixGemm(model, timing, cfg, true, 0),
+                 FatalError);
+}
+
+TEST(SubByteSoftware, SitsBetweenDgemmAndMixGemm)
+{
+    const GemmTimingModel model(SoCConfig::sargantana());
+    const uint64_t s = 256;
+    const auto dgemm = model.dgemm(s, s, s);
+    for (const unsigned bw : {4u, 2u}) {
+        const auto sw = model.subByteSoftware(s, s, s, bw);
+        const auto mix = model.mixGemm(
+            s, s, s, computeBsGeometry({bw, bw, true, true}));
+        EXPECT_LT(sw.cycles, dgemm.cycles) << bw;
+        EXPECT_LT(mix.cycles, sw.cycles) << bw;
+    }
+    EXPECT_THROW(model.subByteSoftware(8, 8, 8, 1), FatalError);
+}
+
+TEST(SubByteSoftware, FlatAcrossDataSizes)
+{
+    // The Introduction's point: software decompression throughput does
+    // not improve as operands shrink.
+    const GemmTimingModel model(SoCConfig::sargantana());
+    const uint64_t s = 256;
+    const auto c8 = model.subByteSoftware(s, s, s, 8).cycles;
+    const auto c2 = model.subByteSoftware(s, s, s, 2).cycles;
+    EXPECT_NEAR(static_cast<double>(c2) / c8, 1.0, 0.1);
+}
+
+} // namespace
+} // namespace mixgemm

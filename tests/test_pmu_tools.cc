@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the PMU aggregator, the power-of-two quantization scheme,
+ * and the ISS disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "iss/assembler.h"
+#include "iss/disassembler.h"
+#include "quant/calibration.h"
+#include "sim/core.h"
+#include "sim/kernel_traces.h"
+#include "sim/pmu.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(Pmu, DerivesStallFractionsFromKernelRun)
+{
+    const SoCConfig soc = SoCConfig::sargantana();
+    const auto g = computeBsGeometry({8, 8, true, true});
+    UEngineTiming engine(g, soc.uengine);
+    InOrderCore core(
+        soc,
+        [&soc](uint64_t, unsigned, bool) { return soc.l1d.hit_latency; },
+        &engine);
+    const unsigned groups = 8;
+    core.run(mixMicroKernelTrace(g, 4, 4, groups, KernelAddresses{}));
+
+    Pmu pmu;
+    pmu.ingest(core.counters());
+    pmu.ingest(engine.counters());
+    CounterSet busy;
+    busy.set("engine_busy_cycles", engine.busyCycles());
+    pmu.ingest(busy);
+    pmu.setWindow(core.now(), uint64_t{groups} * 16 * g.group_extent);
+
+    const auto m = pmu.metrics();
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.instructions, 0u);
+    EXPECT_GT(m.ipc, 0.2);
+    EXPECT_LE(m.ipc, 1.0) << "single-issue core cannot exceed IPC 1";
+    EXPECT_GT(m.srcbuf_stall_frac, 0.0);
+    EXPECT_LT(m.srcbuf_stall_frac, 0.8);
+    EXPECT_GT(m.engine_busy_frac, 0.5);
+    EXPECT_NEAR(m.macs_per_cycle, 2.0, 1.0);
+}
+
+TEST(Pmu, EmptyWindowIsSafe)
+{
+    Pmu pmu;
+    const auto m = pmu.metrics();
+    EXPECT_EQ(m.cycles, 0u);
+    EXPECT_EQ(m.ipc, 0.0);
+}
+
+TEST(Pmu, ReportMentionsKeyMetrics)
+{
+    Pmu pmu;
+    CounterSet c;
+    c.set("cycles", 1000);
+    c.set("instructions", 700);
+    c.set("srcbuf_full_stall_cycles", 143);
+    pmu.ingest(c);
+    std::ostringstream os;
+    pmu.printReport(os, "μ-kernel PMU");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("μ-kernel PMU"), std::string::npos);
+    EXPECT_NE(out.find("IPC"), std::string::npos);
+    EXPECT_NE(out.find("14.3 %"), std::string::npos);
+}
+
+TEST(PowerOfTwoQuant, ScaleIsAPowerOfTwo)
+{
+    Rng rng(12);
+    std::vector<double> vals(256);
+    for (auto &v : vals)
+        v = rng.normal(0.0, 0.7);
+    const auto p = calibratePowerOfTwo(vals, 6, true);
+    EXPECT_TRUE(isPowerOfTwoScale(p));
+    const int shift = scaleShift(p);
+    EXPECT_DOUBLE_EQ(p.scale, std::exp2(shift));
+    // Range still covers the absmax.
+    const auto absmax = calibrateAbsmax(vals, 6, true);
+    EXPECT_GE(p.scale, absmax.scale);
+    EXPECT_LT(p.scale, absmax.scale * 2.0 + 1e-12);
+}
+
+TEST(PowerOfTwoQuant, CostsAtMostOneBitOfResolution)
+{
+    Rng rng(13);
+    std::vector<double> vals(512);
+    for (auto &v : vals)
+        v = rng.normal();
+    const auto absmax = calibrateAbsmax(vals, 5, true);
+    const auto po2 = calibratePowerOfTwo(vals, 5, true);
+    double err_absmax = 0.0;
+    double err_po2 = 0.0;
+    for (const double v : vals) {
+        err_absmax += std::abs(fakeQuantize(v, absmax) - v);
+        err_po2 += std::abs(fakeQuantize(v, po2) - v);
+    }
+    EXPECT_LE(err_po2, err_absmax * 2.05);
+}
+
+TEST(PowerOfTwoQuant, ShiftRejectsNonPowerScales)
+{
+    QuantParams p;
+    p.scale = 0.3;
+    EXPECT_FALSE(isPowerOfTwoScale(p));
+    EXPECT_THROW(scaleShift(p), FatalError);
+    p.scale = 0.25;
+    EXPECT_EQ(scaleShift(p), -2);
+}
+
+TEST(Disassembler, RendersAssembledProgram)
+{
+    Program p;
+    p.li(A0, 42);
+    p.addi(A1, A0, -1);
+    p.mul(A2, A0, A1);
+    p.ld(A3, A2, 16);
+    p.sd(A3, A2, 24);
+    p.bne(A0, A1, "done");
+    p.label("done");
+    p.bsIp(A0, A1);
+    p.ebreak();
+    const auto words = p.assemble();
+    const std::string text = disassembleProgram(words, 0x1000);
+    EXPECT_NE(text.find("addi x10, x0, 42"), std::string::npos);
+    EXPECT_NE(text.find("mul x12, x10, x11"), std::string::npos);
+    EXPECT_NE(text.find("ld x13, 16(x12)"), std::string::npos);
+    EXPECT_NE(text.find("sd x13, 24(x12)"), std::string::npos);
+    EXPECT_NE(text.find("bne x10, x11, 4"), std::string::npos);
+    EXPECT_NE(text.find("bs.ip"), std::string::npos);
+    EXPECT_NE(text.find("ebreak"), std::string::npos);
+}
+
+TEST(Disassembler, UnknownWordsDoNotThrow)
+{
+    EXPECT_NE(disassemble(0xffffffffu).find(".word"),
+              std::string::npos);
+    EXPECT_NE(disassemble(0).find(".word"), std::string::npos);
+}
+
+TEST(Disassembler, ShiftImmediates)
+{
+    Program p;
+    p.slli(A0, A1, 12);
+    p.srai(A2, A3, 4);
+    p.srli(A4, A5, 63);
+    const auto words = p.assemble();
+    EXPECT_EQ(disassemble(words[0]), "slli x10, x11, 12");
+    EXPECT_EQ(disassemble(words[1]), "srai x12, x13, 4");
+    EXPECT_EQ(disassemble(words[2]), "srli x14, x15, 63");
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for src/power: Table II area reproduction, Source Buffer depth
+ * scaling (+67.6 % at depth 32), SoC area (1.96 mm², -53 % small-cache
+ * variant), energy-efficiency band and its scaling with data size, and
+ * technology scaling factors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "power/area_model.h"
+#include "power/energy_model.h"
+#include "power/tech_scaling.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(AreaModel, ReproducesTableII)
+{
+    const AreaModel model;
+    const auto parts = model.breakdown();
+    ASSERT_EQ(parts.size(), 7u);
+    EXPECT_EQ(parts[0].name, "Src Buffers");
+    EXPECT_NEAR(parts[0].um2, 4934.63, 0.01);
+    EXPECT_NEAR(parts[1].um2, 1094.45, 0.01);
+    EXPECT_NEAR(parts[2].um2, 2832.46, 0.01);
+    EXPECT_NEAR(parts[3].um2, 1842.25, 0.01);
+    EXPECT_NEAR(parts[4].um2, 741.58, 0.01);
+    EXPECT_NEAR(parts[5].um2, 1214.35, 0.01);
+    EXPECT_NEAR(parts[6].um2, 981.43, 0.01);
+    EXPECT_NEAR(model.uengineArea(), 13641.14, 0.1);
+}
+
+TEST(AreaModel, UEngineIsOnePercentOfSoC)
+{
+    const AreaModel model;
+    EXPECT_NEAR(model.socArea(), 1.96, 0.02);
+    EXPECT_NEAR(model.uengineOverhead(), 0.01, 0.0015);
+    // Source Buffers dominate and stay under 0.4 % of the SoC.
+    const auto parts = model.breakdown();
+    EXPECT_NEAR(parts[0].soc_overhead, 0.0036, 0.0005);
+}
+
+TEST(AreaModel, SourceBufferDepthScaling)
+{
+    // Section III-C: depth 16 -> 32 grows the μ-engine by 67.6 %.
+    const AreaModel d16;
+    UEngineConfig cfg;
+    cfg.srcbuf_depth = 32;
+    const AreaModel d32(cfg);
+    const double growth = d32.uengineArea() / d16.uengineArea() - 1.0;
+    EXPECT_NEAR(growth, 0.676, 0.02);
+    // Depth 8 must be smaller.
+    cfg.srcbuf_depth = 8;
+    EXPECT_LT(AreaModel(cfg).uengineArea(), d16.uengineArea());
+}
+
+TEST(AreaModel, SmallCacheSoCHalvesArea)
+{
+    // Section IV-B: 16 KB L1 + 64 KB L2 reduces SoC area by 53 %.
+    const double full =
+        AreaModel::socAreaForCaches(32 * 1024, 512 * 1024);
+    const double small =
+        AreaModel::socAreaForCaches(16 * 1024, 64 * 1024);
+    EXPECT_NEAR(1.0 - small / full, 0.53, 0.02);
+}
+
+TEST(AreaModel, AccMemScalesWithSlots)
+{
+    UEngineConfig cfg;
+    cfg.accmem_slots = 32;
+    const AreaModel doubled(cfg);
+    const auto parts = doubled.breakdown();
+    EXPECT_NEAR(parts[5].um2, 2 * 1214.35, 0.01);
+}
+
+TEST(EnergyModel, EfficiencyInPaperBand)
+{
+    // Section IV-C: 477.5 GOPS/W to 1.3 TOPS/W across CNNs/configs.
+    const EnergyModel model(SoCConfig::sargantana());
+    const uint64_t m = 256, n = 256, k = 512;
+    for (const unsigned bw : {8u, 5u, 2u}) {
+        const auto geom = computeBsGeometry({bw, bw, true, true});
+        // Assume compute-bound execution: cycles ~ engine busy cycles.
+        const uint64_t cell_groups =
+            uint64_t(kGroupCount(k, geom)) * (m / 4) * (n / 4) * 16;
+        const uint64_t cycles =
+            cell_groups * geom.group_cycles * 5 / 4; // ~80 % busy
+        const auto r = model.mixGemmEnergyFromShape(geom, m, n, k,
+                                                    cycles);
+        EXPECT_GT(r.gops_per_watt, 350.0) << "bw=" << bw;
+        EXPECT_LT(r.gops_per_watt, 1600.0) << "bw=" << bw;
+    }
+}
+
+TEST(EnergyModel, EfficiencyImprovesWithNarrowerData)
+{
+    const EnergyModel model(SoCConfig::sargantana());
+    const uint64_t m = 128, n = 128, k = 256;
+    double prev = 0.0;
+    for (const unsigned bw : {8u, 6u, 4u, 2u}) {
+        const auto geom = computeBsGeometry({bw, bw, true, true});
+        const uint64_t cell_groups =
+            uint64_t(kGroupCount(k, geom)) * (m / 4) * (n / 4) * 16;
+        const uint64_t cycles = cell_groups * geom.group_cycles;
+        const auto r =
+            model.mixGemmEnergyFromShape(geom, m, n, k, cycles);
+        EXPECT_GT(r.gops_per_watt, prev) << "bw=" << bw;
+        prev = r.gops_per_watt;
+    }
+}
+
+TEST(EnergyModel, PowerIsPlausibleForEdge)
+{
+    // The μ-engine + multiplier power the paper reports efficiency
+    // against must be milliwatt-scale, not watts.
+    const EnergyModel model(SoCConfig::sargantana());
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    const uint64_t m = 256, n = 256, k = 256;
+    const uint64_t cell_groups =
+        uint64_t(kGroupCount(k, geom)) * (m / 4) * (n / 4) * 16;
+    const uint64_t cycles = cell_groups * geom.group_cycles * 5 / 4;
+    const auto r = model.mixGemmEnergyFromShape(geom, m, n, k, cycles);
+    EXPECT_GT(r.avg_power_mw, 1.0);
+    EXPECT_LT(r.avg_power_mw, 40.0);
+}
+
+TEST(EnergyModel, RejectsZeroTime)
+{
+    const EnergyModel model(SoCConfig::sargantana());
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    EXPECT_THROW(model.mixGemmEnergy(geom, 1, 1, 0, 2), FatalError);
+}
+
+TEST(TechScaling, FactorsAreMonotone)
+{
+    EXPECT_NEAR(areaScaleFactor(65, 65), 1.0, 1e-12);
+    const double to22 = areaScaleFactor(65, 22);
+    EXPECT_GT(to22, 0.08);
+    EXPECT_LT(to22, 0.16);
+    EXPECT_LT(areaScaleFactor(65, 16), to22);
+    EXPECT_GT(areaScaleFactor(22, 65), 1.0);
+    EXPECT_THROW(areaScaleFactor(65, 7), FatalError);
+}
+
+TEST(TechScaling, EyerissAndUnpuAreaRatios)
+{
+    // Section V: scaled to 22 nm, Mix-GEMM needs ~96.8x and ~126.5x
+    // less area than Eyeriss and UNPU.
+    const double mixgemm_mm2 = 0.0136;
+    const double eyeriss22 = scaleArea(12.25, 65, 22);
+    const double unpu22 = scaleArea(16.0, 65, 22);
+    EXPECT_NEAR(eyeriss22 / mixgemm_mm2, 96.8, 25.0);
+    EXPECT_NEAR(unpu22 / mixgemm_mm2, 126.5, 32.0);
+}
+
+} // namespace
+} // namespace mixgemm

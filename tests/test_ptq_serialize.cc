@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the PTQ pipeline and QuantizedGraph serialization:
+ * 8-bit PTQ must track the float network closely without retraining,
+ * aggressive PTQ must collapse where QAT survives (the paper's
+ * motivation for QAT), bias correction must not hurt, and graphs must
+ * round-trip exactly through the text format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/dataset.h"
+#include "nn/qat.h"
+#include "runtime/backend.h"
+#include "runtime/ptq.h"
+#include "runtime/qgraph.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+/** Shared fixtures: one float training run, reused by every test. */
+struct PtqFixture
+{
+    PatternDataset train{480, 123};
+    PatternDataset test{160, 777};
+    PatternDataset calib{64, 999};
+    Network float_net = makeSmallCnn(QatConfig{false, 8, 8});
+    double float_acc = 0.0;
+
+    PtqFixture()
+    {
+        TrainConfig tc;
+        train_loss = ::mixgemm::train(float_net, train, tc);
+        float_acc = evaluate(float_net, test);
+    }
+
+    double train_loss = 0.0;
+};
+
+PtqFixture &
+fixture()
+{
+    static PtqFixture f;
+    return f;
+}
+
+TEST(Ptq, EightBitTracksFloatAccuracy)
+{
+    auto &f = fixture();
+    ASSERT_GT(f.float_acc, 0.85);
+    const auto graph = buildPtqGraph(f.float_net, f.calib);
+    NaiveBackend backend;
+    const double acc = graph.evaluate(f.test, backend);
+    EXPECT_GT(acc, f.float_acc - 0.05)
+        << "8-bit PTQ must be nearly lossless";
+}
+
+TEST(Ptq, AggressivePtqCollapsesWhereQatSurvives)
+{
+    auto &f = fixture();
+    PtqOptions opt;
+    opt.a_bits = 3;
+    opt.w_bits = 3;
+    const auto ptq_graph = buildPtqGraph(f.float_net, f.calib, opt);
+    NaiveBackend backend;
+    const double ptq_acc = ptq_graph.evaluate(f.test, backend);
+
+    Network qat_net = makeSmallCnn(QatConfig{true, 3, 3});
+    copyParameters(f.float_net, qat_net);
+    TrainConfig tc;
+    tc.epochs = 4;
+    train(qat_net, f.train, tc);
+    const double qat_acc = evaluate(qat_net, f.test);
+
+    EXPECT_GT(qat_acc, ptq_acc + 0.03)
+        << "QAT must beat PTQ at 3 bits (paper Section II-A: PTQ is "
+           "effective at 7-8 bits, QAT scales to narrower data sizes)";
+}
+
+TEST(Ptq, DegradesMonotonicallyAndCollapsesAtTwoBits)
+{
+    auto &f = fixture();
+    NaiveBackend backend;
+    double prev = 1.1;
+    double acc2 = 0.0;
+    for (const unsigned bits : {8u, 4u, 3u, 2u}) {
+        PtqOptions opt;
+        opt.a_bits = bits;
+        opt.w_bits = bits;
+        const auto graph = buildPtqGraph(f.float_net, f.calib, opt);
+        const double acc = graph.evaluate(f.test, backend);
+        EXPECT_LE(acc, prev + 0.02) << bits << " bits";
+        prev = acc;
+        if (bits == 2)
+            acc2 = acc;
+    }
+    EXPECT_LT(acc2, 0.5) << "2-bit PTQ without retraining collapses";
+}
+
+TEST(Ptq, BiasCorrectionDoesNotHurt)
+{
+    auto &f = fixture();
+    PtqOptions with;
+    with.a_bits = 4;
+    with.w_bits = 4;
+    PtqOptions without = with;
+    without.bias_correction = false;
+    NaiveBackend backend;
+    const double acc_with =
+        buildPtqGraph(f.float_net, f.calib, with)
+            .evaluate(f.test, backend);
+    const double acc_without =
+        buildPtqGraph(f.float_net, f.calib, without)
+            .evaluate(f.test, backend);
+    EXPECT_GE(acc_with, acc_without - 0.05);
+}
+
+TEST(Ptq, BackendsAgreeOnPtqGraphs)
+{
+    auto &f = fixture();
+    const auto graph = buildPtqGraph(f.float_net, f.calib);
+    NaiveBackend naive;
+    MixGemmBackend mix;
+    for (size_t i = 0; i < 8; ++i) {
+        const auto &img = f.test.samples()[i].image;
+        EXPECT_EQ(graph.predict(img, naive), graph.predict(img, mix));
+    }
+}
+
+TEST(Ptq, RejectsEmptyCalibration)
+{
+    auto &f = fixture();
+    const PatternDataset empty(0, 1);
+    EXPECT_THROW(buildPtqGraph(f.float_net, empty), FatalError);
+}
+
+TEST(QGraphSerialize, RoundTripPreservesEverything)
+{
+    auto &f = fixture();
+    const auto graph = buildPtqGraph(f.float_net, f.calib);
+    const std::string text = graph.serialize();
+    const auto back = QuantizedGraph::deserialize(text);
+
+    ASSERT_EQ(back.nodes().size(), graph.nodes().size());
+    for (size_t i = 0; i < graph.nodes().size(); ++i) {
+        const auto &a = graph.nodes()[i];
+        const auto &b = back.nodes()[i];
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.weights_q, b.weights_q);
+        ASSERT_EQ(a.bias.size(), b.bias.size());
+        for (size_t j = 0; j < a.bias.size(); ++j)
+            EXPECT_DOUBLE_EQ(a.bias[j], b.bias[j]);
+        EXPECT_DOUBLE_EQ(a.a_params.scale, b.a_params.scale);
+        EXPECT_DOUBLE_EQ(a.w_params.scale, b.w_params.scale);
+        EXPECT_EQ(a.a_params.bits, b.a_params.bits);
+        EXPECT_EQ(a.spec.in_c, b.spec.in_c);
+        EXPECT_EQ(a.spec.out_c, b.spec.out_c);
+        EXPECT_EQ(a.spec.kh, b.spec.kh);
+        EXPECT_EQ(a.spec.pad, b.spec.pad);
+    }
+
+    // The deserialized graph must predict identically.
+    NaiveBackend backend;
+    for (size_t i = 0; i < 8; ++i) {
+        const auto &img = f.test.samples()[i].image;
+        const auto la = graph.run(img, backend);
+        const auto lb = back.run(img, backend);
+        ASSERT_EQ(la.size(), lb.size());
+        for (size_t j = 0; j < la.size(); ++j)
+            ASSERT_DOUBLE_EQ(la[j], lb[j]);
+    }
+}
+
+TEST(QGraphSerialize, RejectsMalformedInput)
+{
+    EXPECT_THROW(QuantizedGraph::deserialize(""), FatalError);
+    EXPECT_THROW(QuantizedGraph::deserialize("wrong-magic 1"),
+                 FatalError);
+    EXPECT_THROW(
+        QuantizedGraph::deserialize("mixgemm-qgraph-v1\n1\nnode bogus"),
+        FatalError);
+    EXPECT_THROW(QuantizedGraph::deserialize(
+                     "mixgemm-qgraph-v1\n1\nnode conv\n1 2 3"),
+                 FatalError);
+    EXPECT_THROW(QuantizedGraph(std::vector<QNode>{}), FatalError);
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for src/quant: Eq. 1/2 semantics, symmetric/asymmetric and
+ * per-channel quantization, calibration (absmax, percentile, running
+ * percentile), and bias correction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "quant/calibration.h"
+#include "quant/quantizer.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(QuantParams, ClampRangesEq2)
+{
+    QuantParams p;
+    p.bits = 8;
+    p.is_signed = true;
+    EXPECT_EQ(p.qmin(), -128);
+    EXPECT_EQ(p.qmax(), 127);
+    p.is_signed = false;
+    EXPECT_EQ(p.qmin(), 0);
+    EXPECT_EQ(p.qmax(), 255);
+    p.bits = 2;
+    p.is_signed = true;
+    EXPECT_EQ(p.qmin(), -2);
+    EXPECT_EQ(p.qmax(), 1);
+    p.is_signed = false;
+    EXPECT_EQ(p.qmin(), 0);
+    EXPECT_EQ(p.qmax(), 3);
+}
+
+TEST(Quantize, RoundsToNearest)
+{
+    QuantParams p;
+    p.scale = 0.5;
+    EXPECT_EQ(quantize(1.0, p), 2);
+    EXPECT_EQ(quantize(1.1, p), 2);
+    EXPECT_EQ(quantize(1.3, p), 3);
+    EXPECT_EQ(quantize(-1.3, p), -3);
+}
+
+TEST(Quantize, ClampsToRange)
+{
+    QuantParams p;
+    p.scale = 1.0;
+    p.bits = 4;
+    p.is_signed = true;
+    EXPECT_EQ(quantize(100.0, p), 7);
+    EXPECT_EQ(quantize(-100.0, p), -8);
+    p.is_signed = false;
+    EXPECT_EQ(quantize(100.0, p), 15);
+    EXPECT_EQ(quantize(-3.0, p), 0);
+}
+
+TEST(Quantize, AsymmetricZeroPoint)
+{
+    QuantParams p;
+    p.scale = 0.1;
+    p.zero_point = 10;
+    p.bits = 8;
+    p.is_signed = false;
+    EXPECT_EQ(quantize(0.0, p), 10);
+    EXPECT_DOUBLE_EQ(dequantize(10, p), 0.0);
+    EXPECT_EQ(quantize(1.0, p), 20);
+    EXPECT_NEAR(dequantize(quantize(1.0, p), p), 1.0, 1e-12);
+}
+
+TEST(Quantize, FakeQuantizeIdempotent)
+{
+    QuantParams p;
+    p.scale = 0.04;
+    p.bits = 5;
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        // Stay inside the representable range [-16, 15] * scale so
+        // clamping never bites and the half-step error bound holds.
+        const double x = rng.uniformReal(-0.5, 0.5);
+        const double fq = fakeQuantize(x, p);
+        EXPECT_DOUBLE_EQ(fakeQuantize(fq, p), fq);
+        EXPECT_LE(std::abs(fq - x), p.scale / 2 + 1e-12)
+            << "in-range values round within half a step";
+    }
+}
+
+TEST(Quantize, RejectsBadParams)
+{
+    QuantParams p;
+    p.scale = 0.0;
+    EXPECT_THROW(quantize(1.0, p), FatalError);
+    p.scale = 1.0;
+    p.bits = 0;
+    EXPECT_THROW(quantize(1.0, p), FatalError);
+}
+
+TEST(Quantize, VectorForms)
+{
+    QuantParams p;
+    p.scale = 0.25;
+    const std::vector<double> xs{0.0, 0.25, -0.5, 1.0};
+    const auto qs = quantize(xs, p);
+    EXPECT_EQ(qs, (std::vector<int32_t>{0, 1, -2, 4}));
+    const auto back = dequantize(qs, p);
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_DOUBLE_EQ(back[i], xs[i]);
+}
+
+TEST(Quantize, PerChannel)
+{
+    std::vector<QuantParams> params(2);
+    params[0].scale = 1.0;
+    params[1].scale = 0.5;
+    const std::vector<double> vals{1.0, 2.0, 1.0, 2.0};
+    const auto q = quantizePerChannel(vals, 2, params);
+    EXPECT_EQ(q, (std::vector<int32_t>{1, 2, 2, 4}));
+    EXPECT_THROW(quantizePerChannel(vals, 3, params), FatalError);
+}
+
+TEST(Quantize, RequantizeMultiplier)
+{
+    QuantParams a;
+    a.scale = 0.1;
+    QuantParams w;
+    w.scale = 0.02;
+    QuantParams out;
+    out.scale = 0.05;
+    EXPECT_NEAR(requantizeMultiplier(a, w, out), 0.04, 1e-12);
+}
+
+TEST(Calibration, AbsmaxSymmetric)
+{
+    const std::vector<double> vals{0.1, -2.0, 1.5};
+    const auto p = calibrateAbsmax(vals, 8, true);
+    EXPECT_EQ(p.zero_point, 0);
+    EXPECT_NEAR(p.scale, 2.0 / 127.0, 1e-12);
+    // The extreme value must be representable.
+    EXPECT_NEAR(dequantize(quantize(-2.0, p), p), -2.0, p.scale);
+}
+
+TEST(Calibration, AbsmaxAllZeroTensor)
+{
+    const std::vector<double> vals(16, 0.0);
+    const auto p = calibrateAbsmax(vals, 8, true);
+    EXPECT_GT(p.scale, 0.0);
+    EXPECT_EQ(quantize(0.0, p), 0);
+}
+
+TEST(Calibration, PercentileIgnoresOutliers)
+{
+    std::vector<double> vals(1000, 1.0);
+    vals[0] = 100.0; // single outlier
+    const auto p99 = calibratePercentile(vals, 99.0, 8, true);
+    EXPECT_NEAR(p99.scale, 1.0 / 127.0, 1e-9);
+    const auto pmax = calibratePercentile(vals, 100.0, 8, true);
+    EXPECT_NEAR(pmax.scale, 100.0 / 127.0, 1e-9);
+}
+
+TEST(Calibration, PercentileValidation)
+{
+    const std::vector<double> vals{1.0};
+    EXPECT_THROW(calibratePercentile(vals, 0.0, 8, true), FatalError);
+    EXPECT_THROW(calibratePercentile(vals, 101.0, 8, true), FatalError);
+    EXPECT_THROW(calibrateAbsmax({}, 8, true), FatalError);
+}
+
+TEST(Calibration, RunningPercentileAveragesBatches)
+{
+    PercentileCalibrator cal(100.0, 8, true);
+    const std::vector<double> b1{1.0, 0.5};
+    const std::vector<double> b2{3.0, 0.1};
+    cal.addBatch(b1);
+    cal.addBatch(b2);
+    EXPECT_EQ(cal.batches(), 2u);
+    const auto p = cal.finish();
+    EXPECT_NEAR(p.scale, 2.0 / 127.0, 1e-9); // mean(1, 3) / 127
+    PercentileCalibrator empty(99.999, 8, true);
+    EXPECT_THROW(empty.finish(), FatalError);
+}
+
+TEST(Calibration, PerChannelAbsmax)
+{
+    const std::vector<double> vals{1.0, -4.0, 0.5, 0.25};
+    const auto params = calibratePerChannelAbsmax(vals, 2, 8, true);
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_NEAR(params[0].scale, 4.0 / 127.0, 1e-12);
+    EXPECT_NEAR(params[1].scale, 0.5 / 127.0, 1e-12);
+}
+
+TEST(Calibration, BiasCorrectionRecoversMeanShift)
+{
+    // Quantized outputs systematically 0.3 below float outputs in
+    // channel 0 and 0.1 above in channel 1.
+    std::vector<double> f;
+    std::vector<double> q;
+    Rng rng(8);
+    for (int s = 0; s < 64; ++s) {
+        const double base0 = rng.normal();
+        const double base1 = rng.normal();
+        f.push_back(base0);
+        f.push_back(base1);
+        q.push_back(base0 - 0.3);
+        q.push_back(base1 + 0.1);
+    }
+    const auto corr = biasCorrection(f, q, 2);
+    ASSERT_EQ(corr.size(), 2u);
+    EXPECT_NEAR(corr[0], 0.3, 1e-9);
+    EXPECT_NEAR(corr[1], -0.1, 1e-9);
+    EXPECT_THROW(biasCorrection(f, q, 3), FatalError);
+}
+
+TEST(FixedPointRequant, MatchesDoubleWithinOneLsb)
+{
+    Rng rng(44);
+    for (int trial = 0; trial < 200; ++trial) {
+        const double mult = rng.uniformReal(1e-6, 0.99);
+        const auto fp = quantizeMultiplier(mult);
+        EXPECT_GE(fp.mantissa, 1 << 30);
+        for (int i = 0; i < 20; ++i) {
+            const int64_t acc = rng.uniformInt(-2000000, 2000000);
+            const double exact = static_cast<double>(acc) * mult;
+            const int32_t got = requantizeFixedPoint(acc, fp);
+            EXPECT_NEAR(got, std::nearbyint(exact), 1.0)
+                << "mult=" << mult << " acc=" << acc;
+        }
+    }
+}
+
+TEST(FixedPointRequant, ExactPowersOfTwo)
+{
+    const auto half = quantizeMultiplier(0.5);
+    EXPECT_EQ(requantizeFixedPoint(10, half), 5);
+    EXPECT_EQ(requantizeFixedPoint(-10, half), -5);
+    // Rounding at the halfway point is away from zero.
+    EXPECT_EQ(requantizeFixedPoint(3, half), 2);
+    EXPECT_EQ(requantizeFixedPoint(-3, half), -2);
+    const auto quarter = quantizeMultiplier(0.25);
+    EXPECT_EQ(requantizeFixedPoint(100, quarter), 25);
+}
+
+TEST(FixedPointRequant, RejectsBadMultipliers)
+{
+    EXPECT_THROW(quantizeMultiplier(0.0), FatalError);
+    EXPECT_THROW(quantizeMultiplier(-0.5), FatalError);
+    EXPECT_THROW(quantizeMultiplier(3e9), FatalError);
+}
+
+TEST(FixedPointRequant, IntegerOnlyLayerMatchesFloatRequant)
+{
+    // The runtime's float requant path and the fixed-point path must
+    // agree on quantized-layer outputs within 1 LSB of the output
+    // format.
+    Rng rng(45);
+    QuantParams a;
+    a.scale = 0.021;
+    QuantParams w;
+    w.scale = 0.013;
+    QuantParams out;
+    out.scale = 0.11;
+    const double mult = requantizeMultiplier(a, w, out);
+    const auto fp = quantizeMultiplier(mult);
+    for (int i = 0; i < 500; ++i) {
+        const int64_t acc = rng.uniformInt(-500000, 500000);
+        const double f = static_cast<double>(acc) * mult;
+        EXPECT_NEAR(requantizeFixedPoint(acc, fp), std::nearbyint(f),
+                    1.0);
+    }
+}
+
+TEST(Quantize, SmallerBitwidthNeverMoreAccurate)
+{
+    // Property: for absmax calibration on the same data, mean absolute
+    // quantization error is non-increasing in bitwidth.
+    Rng rng(15);
+    std::vector<double> vals(512);
+    for (auto &v : vals)
+        v = rng.normal();
+    double prev_err = 1e9;
+    for (unsigned bits = 2; bits <= 8; ++bits) {
+        const auto p = calibrateAbsmax(vals, bits, true);
+        double err = 0.0;
+        for (const double v : vals)
+            err += std::abs(fakeQuantize(v, p) - v);
+        err /= vals.size();
+        EXPECT_LT(err, prev_err) << "bits=" << bits;
+        prev_err = err;
+    }
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Unit tests for src/sim: cache model behaviour (hits, LRU eviction,
+ * hierarchy latencies), in-order core issue/stall semantics, μ-engine
+ * timing (buffer back-pressure, drain), kernel trace structure, and the
+ * hybrid GEMM timing model's calibration band.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/cache.h"
+#include "sim/core.h"
+#include "sim/gemm_timing.h"
+#include "sim/kernel_traces.h"
+#include "sim/uengine_timing.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Cache model
+// ---------------------------------------------------------------------
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(CacheConfig{1024, 64, 2, 2});
+    EXPECT_FALSE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x13f, false)) << "same 64B line";
+    EXPECT_FALSE(c.access(0x140, false)) << "next line";
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 2-way, 8 sets of 64B lines: addresses 64*8 apart share a set.
+    Cache c(CacheConfig{1024, 64, 2, 2});
+    const uint64_t stride = 64 * 8;
+    c.access(0 * stride, false);
+    c.access(1 * stride, false);
+    EXPECT_TRUE(c.access(0 * stride, false));  // touch: 1*stride is LRU
+    c.access(2 * stride, false);               // evicts 1*stride
+    EXPECT_TRUE(c.contains(0 * stride));
+    EXPECT_FALSE(c.contains(1 * stride));
+    EXPECT_TRUE(c.contains(2 * stride));
+}
+
+TEST(Cache, ResetClearsState)
+{
+    Cache c(CacheConfig{1024, 64, 2, 2});
+    c.access(0x0, false);
+    c.reset();
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache(CacheConfig{1000, 64, 2, 2}), FatalError);
+    EXPECT_THROW(Cache(CacheConfig{1024, 48, 2, 2}), FatalError);
+    EXPECT_THROW(Cache(CacheConfig{1024, 64, 0, 2}), FatalError);
+}
+
+TEST(MemoryHierarchy, LatenciesPerLevel)
+{
+    const SoCConfig soc = SoCConfig::sargantana();
+    MemoryHierarchy mh(soc.l1d, soc.l2, soc.mem_latency);
+    // Cold: miss everywhere -> memory latency.
+    EXPECT_EQ(mh.access(0x1000, 8, false), soc.mem_latency);
+    // Warm in L1.
+    EXPECT_EQ(mh.access(0x1000, 8, false), soc.l1d.hit_latency);
+    // Evict from L1 only: thrash L1 sets with a large stream.
+    for (uint64_t a = 0; a < 2 * soc.l1d.size_bytes; a += 64)
+        mh.access(0x100000 + a, 8, false);
+    // 0x1000 should now be an L1 miss but (likely) an L2 hit.
+    EXPECT_EQ(mh.access(0x1000, 8, false), soc.l2.hit_latency);
+}
+
+TEST(MemoryHierarchy, StraddlingAccessTouchesBothLines)
+{
+    const SoCConfig soc = SoCConfig::sargantana();
+    MemoryHierarchy mh(soc.l1d, soc.l2, soc.mem_latency);
+    mh.access(0x103c, 8, false); // crosses the 0x1040 line boundary
+    EXPECT_EQ(mh.access(0x1000, 8, false), soc.l1d.hit_latency);
+    EXPECT_EQ(mh.access(0x1040, 8, false), soc.l1d.hit_latency);
+}
+
+// ---------------------------------------------------------------------
+// In-order core
+// ---------------------------------------------------------------------
+
+LoadLatencyFn
+fixedLatency(unsigned lat)
+{
+    return [lat](uint64_t, unsigned, bool) { return lat; };
+}
+
+TEST(InOrderCore, SingleIssueBaseline)
+{
+    InOrderCore core(SoCConfig::sargantana(), fixedLatency(2));
+    UopTrace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.push_back(Uop::alu(1));
+    EXPECT_EQ(core.run(trace), 10u);
+}
+
+TEST(InOrderCore, LoadUseStall)
+{
+    InOrderCore core(SoCConfig::sargantana(), fixedLatency(2));
+    UopTrace trace;
+    trace.push_back(Uop::load(1, 0x1000, 8)); // result at t0 + 2
+    trace.push_back(Uop::alu(2, 1));          // waits one cycle
+    trace.push_back(Uop::alu(3));
+    EXPECT_EQ(core.run(trace), 4u);
+    EXPECT_EQ(core.counters().get("raw_stall_cycles"), 1u);
+}
+
+TEST(InOrderCore, IndependentInstructionsHideLoadLatency)
+{
+    InOrderCore core(SoCConfig::sargantana(), fixedLatency(10));
+    UopTrace trace;
+    trace.push_back(Uop::load(1, 0x1000, 8));
+    for (int i = 0; i < 9; ++i)
+        trace.push_back(Uop::alu(2));
+    trace.push_back(Uop::alu(3, 1)); // ready exactly when reached
+    EXPECT_EQ(core.run(trace), 11u);
+    EXPECT_EQ(core.counters().get("raw_stall_cycles"), 0u);
+}
+
+TEST(InOrderCore, FpInitiationIntervalThrottles)
+{
+    SoCConfig soc = SoCConfig::sargantana();
+    soc.core.fmul_interval = 4;
+    InOrderCore core(soc, fixedLatency(2));
+    UopTrace trace;
+    // 4 independent fmuls: issue at 0, 4, 8, 12.
+    for (int i = 0; i < 4; ++i)
+        trace.push_back(
+            Uop::fmul(kFpRegBase + i, kFpRegBase + 10, kFpRegBase + 11));
+    EXPECT_EQ(core.run(trace), 13u);
+    EXPECT_EQ(core.counters().get("fu_struct_stall_cycles"), 9u);
+}
+
+TEST(InOrderCore, BranchPenalty)
+{
+    InOrderCore core(SoCConfig::sargantana(), fixedLatency(2));
+    UopTrace trace;
+    trace.push_back(Uop::alu(1));
+    trace.push_back(Uop::branch());
+    trace.push_back(Uop::alu(2));
+    // alu(1) at 0, branch at 1 (+1 bubble), alu(2) at 3.
+    EXPECT_EQ(core.run(trace), 4u);
+}
+
+TEST(InOrderCore, BsOpsRequireEngine)
+{
+    InOrderCore core(SoCConfig::sargantana(), fixedLatency(2));
+    UopTrace trace{Uop::bsIp(1, 2)};
+    EXPECT_THROW(core.run(trace), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// μ-engine timing
+// ---------------------------------------------------------------------
+
+TEST(UEngineTiming, GroupProcessingAdvancesDrain)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    UEngineTiming eng(g, UEngineConfig{});
+    EXPECT_EQ(eng.drainCycle(), UEngineConfig{}.pipeline_depth);
+    // Issue one full group back to back.
+    uint64_t t = 0;
+    for (unsigned p = 0; p < g.group_pairs; ++p)
+        t = eng.issueIp(t) + 1;
+    EXPECT_EQ(eng.busyCycles(), g.group_cycles);
+    // Group starts after its last pair arrives.
+    EXPECT_EQ(eng.drainCycle(),
+              g.group_pairs + g.group_cycles +
+                  UEngineConfig{}.pipeline_depth);
+}
+
+TEST(UEngineTiming, SourceBufferBackPressure)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    UEngineConfig cfg;
+    cfg.srcbuf_depth = 8;
+    UEngineTiming eng(g, cfg);
+    // Flood with pairs issued every cycle; the buffer must throttle the
+    // issue rate down to the engine's consumption rate.
+    uint64_t t = 0;
+    const unsigned pairs = 400;
+    for (unsigned i = 0; i < pairs; ++i)
+        t = eng.issueIp(t) + 1;
+    EXPECT_GT(eng.counters().get("srcbuf_full_stall_cycles"), 0u);
+    // Steady state: 4 pairs per 12-cycle group -> ~3 cycles per pair.
+    const double per_pair = static_cast<double>(t) / pairs;
+    EXPECT_NEAR(per_pair, 3.0, 0.3);
+}
+
+TEST(UEngineTiming, DeeperBuffersStallLess)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    uint64_t stalls[3];
+    unsigned idx = 0;
+    for (const unsigned depth : {8u, 16u, 32u}) {
+        UEngineConfig cfg;
+        cfg.srcbuf_depth = depth;
+        UEngineTiming eng(g, cfg);
+        uint64_t t = 0;
+        // Bursty issue: 16 pairs back to back, then a 24-cycle gap, as a
+        // μ-kernel with interleaved loads produces.
+        for (unsigned burst = 0; burst < 30; ++burst) {
+            for (unsigned i = 0; i < 16; ++i)
+                t = eng.issueIp(t) + 1;
+            t += 24;
+        }
+        stalls[idx++] = eng.counters().get("srcbuf_full_stall_cycles");
+    }
+    EXPECT_GT(stalls[0], stalls[1]);
+    EXPECT_GE(stalls[1], stalls[2]);
+}
+
+TEST(UEngineTiming, RejectsBufferSmallerThanGroup)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    UEngineConfig cfg;
+    cfg.srcbuf_depth = 2; // group needs 4 pairs
+    EXPECT_THROW(UEngineTiming(g, cfg), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Kernel traces
+// ---------------------------------------------------------------------
+
+TEST(KernelTraces, MixKernelInstructionMix)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const auto trace = mixMicroKernelTrace(g, 4, 4, 2, KernelAddresses{});
+    unsigned ips = 0;
+    unsigned gets = 0;
+    unsigned loads = 0;
+    unsigned stores = 0;
+    for (const auto &u : trace) {
+        ips += u.kind == UopKind::kBsIp;
+        gets += u.kind == UopKind::kBsGet;
+        loads += u.kind == UopKind::kLoad;
+        stores += u.kind == UopKind::kStore;
+    }
+    // 2 groups x 16 cells x 4 pairs.
+    EXPECT_EQ(ips, 2u * 16 * 4);
+    EXPECT_EQ(gets, 16u);
+    // Operands: 2 groups x (4x4 A + 4x4 B) = 64, plus 16 C loads.
+    EXPECT_EQ(loads, 64u + 16u);
+    EXPECT_EQ(stores, 16u);
+}
+
+TEST(KernelTraces, DgemmKernelInstructionMix)
+{
+    const auto trace = dgemmMicroKernelTrace(4, 4, 8, KernelAddresses{});
+    unsigned fmuls = 0;
+    unsigned fadds = 0;
+    unsigned loads = 0;
+    for (const auto &u : trace) {
+        fmuls += u.kind == UopKind::kFmul;
+        fadds += u.kind == UopKind::kFadd;
+        loads += u.kind == UopKind::kLoad;
+    }
+    EXPECT_EQ(fmuls, 8u * 16);
+    EXPECT_EQ(fadds, 8u * 16 + 16u); // + C epilogue
+    EXPECT_EQ(loads, 8u * 8 + 16u);
+}
+
+TEST(KernelTraces, RejectEmptyKernels)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    EXPECT_THROW(mixMicroKernelTrace(g, 0, 4, 1, {}), FatalError);
+    EXPECT_THROW(dgemmMicroKernelTrace(4, 4, 0, {}), FatalError);
+    EXPECT_THROW(int8MicroKernelTrace(0, 0, 1, {}), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Hybrid GEMM timing model: calibration band (Fig. 6 shape)
+// ---------------------------------------------------------------------
+
+TEST(GemmTiming, DgemmBaselineInCalibratedBand)
+{
+    GemmTimingModel model(SoCConfig::sargantana());
+    const auto t = model.dgemm(512, 512, 512);
+    // The paper's scalar FP64 baseline runs well under 1 GOPS.
+    EXPECT_GT(t.cycles_per_mac, 3.0);
+    EXPECT_LT(t.cycles_per_mac, 6.0);
+    EXPECT_GT(t.gops, 0.3);
+    EXPECT_LT(t.gops, 0.9);
+}
+
+TEST(GemmTiming, MixGemmSpeedupsScaleWithDataSize)
+{
+    GemmTimingModel model(SoCConfig::sargantana());
+    const uint64_t s = 512;
+    const double dgemm = static_cast<double>(model.dgemm(s, s, s).cycles);
+    const double up88 =
+        dgemm / model.mixGemm(s, s, s,
+                              computeBsGeometry({8, 8, true, true}))
+                    .cycles;
+    const double up44 =
+        dgemm / model.mixGemm(s, s, s,
+                              computeBsGeometry({4, 4, true, true}))
+                    .cycles;
+    const double up22 =
+        dgemm / model.mixGemm(s, s, s,
+                              computeBsGeometry({2, 2, true, true}))
+                    .cycles;
+    // Fig. 6: ~10.2x (a8-w8) to ~27.2x (a2-w2), ~16x at a4-w4.
+    EXPECT_GT(up88, 6.0);
+    EXPECT_LT(up88, 15.0);
+    EXPECT_GT(up44, up88);
+    EXPECT_GT(up22, up44);
+    EXPECT_GT(up22, 15.0);
+    EXPECT_LT(up22, 35.0);
+}
+
+TEST(GemmTiming, Int8BaselineBeatsDgemmButTrailsMixGemm)
+{
+    GemmTimingModel model(SoCConfig::sargantana());
+    const uint64_t s = 512;
+    const auto dgemm = model.dgemm(s, s, s);
+    const auto int8 = model.int8Gemm(s, s, s);
+    const auto mix =
+        model.mixGemm(s, s, s, computeBsGeometry({8, 8, true, true}));
+    EXPECT_LT(int8.cycles, dgemm.cycles);
+    EXPECT_LT(mix.cycles, int8.cycles);
+}
+
+TEST(GemmTiming, SmallerCachesCostAFewPercent)
+{
+    // Section IV-B: 16 KB L1 + 64 KB L2 costs ~11.8 % on average.
+    GemmTimingModel big(SoCConfig::sargantana());
+    GemmTimingModel small(SoCConfig::sargantanaSmallCaches());
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const uint64_t s = 512;
+    const double penalty =
+        static_cast<double>(small.mixGemm(s, s, s, g).cycles) /
+            big.mixGemm(s, s, s, g).cycles -
+        1.0;
+    EXPECT_GT(penalty, 0.0);
+    EXPECT_LT(penalty, 0.35);
+}
+
+TEST(GemmTiming, CyclesScaleRoughlyCubically)
+{
+    GemmTimingModel model(SoCConfig::sargantana());
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const double c256 =
+        static_cast<double>(model.mixGemm(256, 256, 256, g).cycles);
+    const double c512 =
+        static_cast<double>(model.mixGemm(512, 512, 512, g).cycles);
+    EXPECT_NEAR(c512 / c256, 8.0, 1.6);
+}
+
+TEST(GemmTiming, RejectsEmptyProblems)
+{
+    GemmTimingModel model(SoCConfig::sargantana());
+    EXPECT_THROW(model.dgemm(0, 4, 4), FatalError);
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cross-validation of the hybrid GEMM timing model against full-trace
+ * simulation (every μ-op through the real cache hierarchy), plus
+ * consistency checks between the timing path and the functional
+ * library (instruction counts must agree exactly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "gemm/mixgemm.h"
+#include "sim/full_trace.h"
+#include "sim/gemm_timing.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+struct ValidationCase
+{
+    uint64_t m, n, k;
+    unsigned bwa, bwb;
+    const char *label;
+};
+
+class HybridVsFullTraceTest
+    : public ::testing::TestWithParam<ValidationCase>
+{
+};
+
+TEST_P(HybridVsFullTraceTest, HybridWithinBandOfFullTrace)
+{
+    const auto p = GetParam();
+    const SoCConfig soc = SoCConfig::sargantana();
+    const auto geom =
+        computeBsGeometry({p.bwa, p.bwb, true, true});
+
+    const auto full =
+        simulateMixGemmFullTrace(p.m, p.n, p.k, geom, soc);
+    GemmTimingModel hybrid(soc);
+    const auto fast = hybrid.mixGemm(p.m, p.n, p.k, geom);
+
+    const double ratio = static_cast<double>(fast.cycles) /
+                         static_cast<double>(full.cycles);
+    // The hybrid model must track full-trace simulation closely: its
+    // job is pricing Fig. 6's large GEMMs where full trace is
+    // infeasible.
+    EXPECT_GT(ratio, 0.70) << "hybrid " << fast.cycles << " vs full "
+                           << full.cycles;
+    EXPECT_LT(ratio, 1.40) << "hybrid " << fast.cycles << " vs full "
+                           << full.cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HybridVsFullTraceTest,
+    ::testing::Values(ValidationCase{64, 64, 64, 8, 8, "a8w8_64"},
+                      ValidationCase{96, 96, 96, 8, 8, "a8w8_96"},
+                      ValidationCase{96, 96, 96, 4, 4, "a4w4_96"},
+                      ValidationCase{64, 64, 128, 2, 2, "a2w2_64"},
+                      ValidationCase{80, 64, 96, 8, 2, "a8w2_mixed"},
+                      ValidationCase{64, 96, 60, 6, 4, "a6w4_odd"}),
+    [](const auto &info) { return info.param.label; });
+
+TEST(HybridVsFullTrace, DgemmBaseline)
+{
+    const SoCConfig soc = SoCConfig::sargantana();
+    const auto full = simulateDgemmFullTrace(64, 64, 64, soc);
+    GemmTimingModel hybrid(soc);
+    const auto fast = hybrid.dgemm(64, 64, 64);
+    const double ratio = static_cast<double>(fast.cycles) /
+                         static_cast<double>(full.cycles);
+    EXPECT_GT(ratio, 0.70);
+    EXPECT_LT(ratio, 1.40);
+}
+
+TEST(FullTrace, BsIpCountMatchesFunctionalLibrary)
+{
+    // The dynamic bs.ip count of the timing path must equal the
+    // functional library's count exactly — same Algorithm 1 loop
+    // structure.
+    const auto geom = computeBsGeometry({8, 6, true, true});
+    const uint64_t m = 24, n = 20, k = 70;
+    Rng rng(5);
+    std::vector<int32_t> a(m * k);
+    std::vector<int32_t> b(k * n);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.uniformInt(-32, 31));
+    const auto functional = mixGemm(a, b, m, n, k, geom);
+
+    const auto full = simulateMixGemmFullTrace(m, n, k, geom,
+                                               SoCConfig::sargantana());
+    EXPECT_EQ(full.counters.get("bs_ip_issued"),
+              functional.counters.get("bs_ip"));
+}
+
+TEST(FullTrace, CacheCountersArePopulated)
+{
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    const auto r =
+        simulateMixGemmFullTrace(32, 32, 64, geom,
+                                 SoCConfig::sargantana());
+    EXPECT_GT(r.counters.get("l1_hits"), 0u);
+    EXPECT_GT(r.counters.get("l1_misses"), 0u);
+    EXPECT_GT(r.counters.get("instructions"), 0u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(FullTrace, SmallerCachesNeverFaster)
+{
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    const auto big =
+        simulateMixGemmFullTrace(64, 64, 64, geom,
+                                 SoCConfig::sargantana());
+    const auto small = simulateMixGemmFullTrace(
+        64, 64, 64, geom, SoCConfig::sargantanaSmallCaches());
+    EXPECT_GE(small.cycles, big.cycles);
+}
+
+TEST(FullTrace, RejectsEmptyProblems)
+{
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    EXPECT_THROW(simulateMixGemmFullTrace(0, 4, 4, geom,
+                                          SoCConfig::sargantana()),
+                 FatalError);
+    EXPECT_THROW(
+        simulateDgemmFullTrace(4, 0, 4, SoCConfig::sargantana()),
+        FatalError);
+}
+
+} // namespace
+} // namespace mixgemm

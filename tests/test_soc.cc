@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for src/soc: cache-geometry validation, SoC presets, and the
+ * configuration invariants the simulator relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "soc/soc_config.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+TEST(CacheConfig, SetsAndValidation)
+{
+    CacheConfig c{32 * 1024, 64, 8, 2};
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_EQ(c.sets(), 64u);
+
+    c.size_bytes = 33 * 1024;
+    EXPECT_THROW(c.validate(), FatalError);
+    c = CacheConfig{32 * 1024, 48, 8, 2};
+    EXPECT_THROW(c.validate(), FatalError);
+    c = CacheConfig{32 * 1024, 64, 0, 2};
+    EXPECT_THROW(c.validate(), FatalError);
+    // 3-way with a non-power-of-two set count.
+    c = CacheConfig{(3 * 64 * 64), 64, 3, 2};
+    EXPECT_THROW(c.validate(), FatalError);
+}
+
+TEST(SoCConfig, SargantanaPresetMatchesPaperSetup)
+{
+    const auto soc = SoCConfig::sargantana();
+    EXPECT_NO_THROW(soc.validate());
+    EXPECT_DOUBLE_EQ(soc.freq_ghz, 1.2);
+    EXPECT_EQ(soc.l1d.size_bytes, 32u * 1024);
+    EXPECT_EQ(soc.l2.size_bytes, 512u * 1024);
+    EXPECT_EQ(soc.uengine.srcbuf_depth, 16u);
+    EXPECT_EQ(soc.uengine.accmem_slots, 16u);
+    EXPECT_EQ(soc.uengine.multipliers, 1u);
+}
+
+TEST(SoCConfig, SmallCacheVariant)
+{
+    const auto soc = SoCConfig::sargantanaSmallCaches();
+    EXPECT_EQ(soc.l1d.size_bytes, 16u * 1024);
+    EXPECT_EQ(soc.l2.size_bytes, 64u * 1024);
+    EXPECT_NO_THROW(soc.validate());
+}
+
+TEST(SoCConfig, ComparisonProcessorPresets)
+{
+    EXPECT_EQ(SoCConfig::sifiveU740().l2.size_bytes, 2048u * 1024);
+    EXPECT_EQ(SoCConfig::cortexA53().name, "cortex-a53");
+    EXPECT_NO_THROW(SoCConfig::sifiveU740().validate());
+    EXPECT_NO_THROW(SoCConfig::cortexA53().validate());
+}
+
+TEST(SoCConfig, ValidationCatchesBadFields)
+{
+    SoCConfig soc = SoCConfig::sargantana();
+    soc.freq_ghz = 0.0;
+    EXPECT_THROW(soc.validate(), FatalError);
+    soc = SoCConfig::sargantana();
+    soc.uengine.srcbuf_depth = 0;
+    EXPECT_THROW(soc.validate(), FatalError);
+    soc = SoCConfig::sargantana();
+    soc.l1d.line_bytes = 100;
+    EXPECT_THROW(soc.validate(), FatalError);
+}
+
+TEST(CoreTimings, DefaultsModelNonPipelinedFpu)
+{
+    // The DGEMM pricing assumption documented in soc_config.h.
+    const CoreTimings t;
+    EXPECT_GT(t.fmul_interval, 1u);
+    EXPECT_GE(t.fmul_latency, t.fmul_interval);
+    EXPECT_EQ(t.alu_latency, 1u);
+}
+
+} // namespace
+} // namespace mixgemm

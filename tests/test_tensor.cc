@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for src/tensor: the dense tensor container, im2row conv
+ * lowering against direct convolution (including strides, padding, and
+ * grouped/depthwise layers), and the compressed μ-vector matrix formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bs/microvector.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "tensor/conv.h"
+#include "tensor/packing.h"
+#include "tensor/tensor.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+Tensor<double>
+randomTensor(std::vector<size_t> shape, Rng &rng)
+{
+    Tensor<double> t(std::move(shape));
+    for (auto &v : t.flat())
+        v = rng.normal();
+    return t;
+}
+
+/** Reference GEMM: C = A * B on doubles. */
+Tensor<double>
+matmul(const Tensor<double> &a, const Tensor<double> &b)
+{
+    const size_t m = a.dim(0);
+    const size_t k = a.dim(1);
+    const size_t n = b.dim(1);
+    Tensor<double> c({m, n});
+    for (size_t i = 0; i < m; ++i)
+        for (size_t l = 0; l < k; ++l)
+            for (size_t j = 0; j < n; ++j)
+                c.at(i, j) += a.at(i, l) * b.at(l, j);
+    return c;
+}
+
+TEST(Tensor, ShapeAndAccess)
+{
+    Tensor<double> t({2, 3});
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_EQ(t.rank(), 2u);
+    t.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(t[5], 5.0);
+    Tensor<int> u({2, 2, 2, 2});
+    u.at(1, 1, 1, 1) = 9;
+    EXPECT_EQ(u[15], 9);
+    EXPECT_THROW(Tensor<double>(std::vector<size_t>{}), FatalError);
+    EXPECT_THROW(Tensor<double>({2}, {1.0}), FatalError);
+}
+
+TEST(ConvSpec, OutputDimsAndMacs)
+{
+    ConvSpec s;
+    s.in_c = 3;
+    s.in_h = s.in_w = 224;
+    s.out_c = 64;
+    s.kh = s.kw = 7;
+    s.stride = 2;
+    s.pad = 3;
+    EXPECT_EQ(s.outH(), 112u);
+    EXPECT_EQ(s.outW(), 112u);
+    EXPECT_EQ(s.gemmM(), 112u * 112u);
+    EXPECT_EQ(s.gemmK(), 3u * 49u);
+    EXPECT_EQ(s.gemmN(), 64u);
+    EXPECT_EQ(s.macs(), uint64_t{112} * 112 * 147 * 64);
+}
+
+TEST(ConvSpec, ValidationErrors)
+{
+    ConvSpec s;
+    s.in_c = 3;
+    s.groups = 2;
+    EXPECT_THROW(s.validate(), FatalError);
+    s = ConvSpec{};
+    s.kh = 5;
+    s.in_h = 3;
+    EXPECT_THROW(s.validate(), FatalError);
+    s = ConvSpec{};
+    s.stride = 0;
+    EXPECT_THROW(s.validate(), FatalError);
+}
+
+struct ConvCase
+{
+    ConvSpec spec;
+    const char *label;
+};
+
+class ConvLoweringTest : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvLoweringTest, Im2rowGemmMatchesDirectConv)
+{
+    const ConvSpec spec = GetParam().spec;
+    Rng rng(123);
+    const unsigned cg = spec.in_c / spec.groups;
+    const auto input = randomTensor({1, spec.in_c, spec.in_h, spec.in_w},
+                                    rng);
+    const auto weights =
+        randomTensor({spec.out_c, cg, spec.kh, spec.kw}, rng);
+    const auto expected = directConv(input, weights, spec);
+
+    Tensor<double> actual({1, spec.out_c, spec.outH(), spec.outW()});
+    for (unsigned g = 0; g < spec.groups; ++g) {
+        const auto a = im2row(input, spec, g);
+        const auto b = weightsToGemmB(weights, spec, g);
+        EXPECT_EQ(a.dim(0), spec.gemmM());
+        EXPECT_EQ(a.dim(1), spec.gemmK());
+        EXPECT_EQ(b.dim(0), spec.gemmK());
+        EXPECT_EQ(b.dim(1), spec.gemmN());
+        gemmOutputToConv(matmul(a, b), spec, g, actual);
+    }
+    for (size_t i = 0; i < expected.size(); ++i)
+        ASSERT_NEAR(actual[i], expected[i], 1e-9) << "element " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvLoweringTest,
+    ::testing::Values(
+        ConvCase{{3, 8, 8, 4, 3, 3, 1, 1, 1}, "basic3x3"},
+        ConvCase{{3, 9, 9, 8, 3, 3, 2, 1, 1}, "stride2"},
+        ConvCase{{4, 7, 7, 6, 1, 1, 1, 0, 1}, "pointwise"},
+        ConvCase{{8, 6, 6, 8, 3, 3, 1, 1, 8}, "depthwise"},
+        ConvCase{{4, 10, 10, 8, 5, 5, 2, 2, 2}, "grouped5x5"},
+        ConvCase{{1, 5, 5, 3, 5, 5, 1, 0, 1}, "fullframe"}),
+    [](const auto &info) { return info.param.label; });
+
+TEST(Packing, GroupCount)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    ASSERT_EQ(g.group_extent, 32u);
+    EXPECT_EQ(kGroupCount(1, g), 1u);
+    EXPECT_EQ(kGroupCount(32, g), 1u);
+    EXPECT_EQ(kGroupCount(33, g), 2u);
+    EXPECT_EQ(kGroupCount(64, g), 2u);
+}
+
+class PackingConfigTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(PackingConfigTest, RoundTripsThroughWords)
+{
+    const auto [bwa, bwb] = GetParam();
+    const auto g = computeBsGeometry({bwa, bwb, true, true});
+    Rng rng(50 + bwa * 8 + bwb);
+    const uint64_t m = 5;
+    const uint64_t k = g.group_extent * 2 + 7; // force padded tail group
+    const uint64_t n = 4;
+
+    std::vector<int32_t> a(m * k);
+    std::vector<int32_t> b(k * n);
+    for (auto &v : a)
+        v = static_cast<int32_t>(
+            rng.uniformInt(-(1 << (bwa - 1)), (1 << (bwa - 1)) - 1));
+    for (auto &v : b)
+        v = static_cast<int32_t>(
+            rng.uniformInt(-(1 << (bwb - 1)), (1 << (bwb - 1)) - 1));
+
+    const CompressedA ca(a, m, k, g);
+    const CompressedB cb(b, k, n, g);
+    EXPECT_EQ(ca.kGroups(), kGroupCount(k, g));
+    EXPECT_EQ(cb.kGroups(), kGroupCount(k, g));
+
+    // Decode every element back out of the μ-vector words.
+    for (uint64_t row = 0; row < m; ++row) {
+        for (uint64_t kk = 0; kk < k; ++kk) {
+            const unsigned grp =
+                static_cast<unsigned>(kk / g.group_extent);
+            const unsigned off =
+                static_cast<unsigned>(kk % g.group_extent);
+            const unsigned w = off / g.elems_per_avec;
+            const unsigned e = off % g.elems_per_avec;
+            ASSERT_EQ(microVectorElement(ca.word(row, grp, w), bwa, true,
+                                         e),
+                      a[row * k + kk])
+                << "A row " << row << " k " << kk;
+        }
+    }
+    for (uint64_t col = 0; col < n; ++col) {
+        for (uint64_t kk = 0; kk < k; ++kk) {
+            const unsigned grp =
+                static_cast<unsigned>(kk / g.group_extent);
+            const unsigned off =
+                static_cast<unsigned>(kk % g.group_extent);
+            const unsigned w = off / g.elems_per_bvec;
+            const unsigned e = off % g.elems_per_bvec;
+            ASSERT_EQ(microVectorElement(cb.word(col, grp, w), bwb, true,
+                                         e),
+                      b[kk * n + col])
+                << "B col " << col << " k " << kk;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PackingConfigTest,
+    ::testing::Values(std::pair<unsigned, unsigned>{8, 8},
+                      std::pair<unsigned, unsigned>{8, 6},
+                      std::pair<unsigned, unsigned>{6, 4},
+                      std::pair<unsigned, unsigned>{8, 2},
+                      std::pair<unsigned, unsigned>{3, 7},
+                      std::pair<unsigned, unsigned>{2, 2}),
+    [](const auto &info) {
+        return strCat("a", info.param.first, "_w", info.param.second);
+    });
+
+TEST(Packing, CompressionRatioVsDouble)
+{
+    // Section IV-B: compressed operands shrink the problem size 8x to
+    // 32x relative to 64-bit DGEMM elements.
+    for (const unsigned bw : {8u, 4u, 2u}) {
+        const auto g = computeBsGeometry({bw, bw, true, true});
+        const uint64_t k = g.group_extent * 4; // no tail padding
+        const std::vector<int32_t> a(16 * k, 1);
+        const CompressedA ca(a, 16, k, g);
+        const double dgemm_bytes = 16.0 * k * 8.0;
+        const double ratio = dgemm_bytes / ca.bytes();
+        EXPECT_NEAR(ratio, 64.0 / bw, 64.0 / bw * 0.01) << "bw=" << bw;
+    }
+}
+
+TEST(Packing, PaddingOverheadSmall)
+{
+    // a8-w6: kua*8 = 32 vs kub*10 = 30 -> A carries 2 padded elements
+    // per 30-element group.
+    const auto g = computeBsGeometry({8, 6, true, true});
+    const uint64_t k = g.group_extent * 10;
+    const std::vector<int32_t> a(4 * k, 1);
+    const CompressedA ca(a, 4, k, g);
+    const double overhead =
+        static_cast<double>(ca.bytes()) / ca.idealBytes() - 1.0;
+    EXPECT_NEAR(overhead, 32.0 / 30.0 - 1.0, 1e-9);
+}
+
+TEST(Packing, RejectsBadShapes)
+{
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const std::vector<int32_t> data(10, 0);
+    EXPECT_THROW(CompressedA(data, 2, 4, g), FatalError);
+    EXPECT_THROW(CompressedA(data, 0, 10, g), FatalError);
+    EXPECT_THROW(CompressedB(data, 4, 2, g), FatalError);
+}
+
+} // namespace
+} // namespace mixgemm

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * mixgemm-cli — command-line front end to the simulator, for downstream
+ * users who want numbers without writing C++.
+ *
+ *   mixgemm-cli gemm <m> <n> <k> [config] [--small-caches]
+ *       Price one GEMM on the simulated SoC (plus the DGEMM baseline).
+ *
+ *   mixgemm-cli network <name> [config] [--batch N]
+ *       Price a CNN end to end (names: alexnet vgg16 resnet18
+ *       mobilenet regnet efficientnet).
+ *
+ *   mixgemm-cli dse <name> [max_top1_drop]
+ *       Greedy per-layer mixed-precision plan under an accuracy budget.
+ *
+ *   mixgemm-cli configs
+ *       List all 49 supported data-size configurations with their
+ *       μ-engine geometry.
+ *
+ * Configurations are written the paper's way: a8-w8, a6-w4, ...
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "accuracy/qat_database.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "dnn/mixed_precision.h"
+#include "dnn/models.h"
+#include "dnn/network_timing.h"
+#include "power/energy_model.h"
+#include "sim/gemm_timing.h"
+#include "soc/soc_config.h"
+#include "tensor/packing.h"
+
+using namespace mixgemm;
+
+namespace
+{
+
+DataSizeConfig
+parseConfig(const std::string &text)
+{
+    // Expected form: a<bits>-w<bits>.
+    unsigned a = 0;
+    unsigned w = 0;
+    if (std::sscanf(text.c_str(), "a%u-w%u", &a, &w) != 2)
+        fatal("bad configuration '" + text + "' (expected e.g. a8-w8)");
+    return DataSizeConfig{a, w, true, true};
+}
+
+ModelSpec
+parseModel(const std::string &key)
+{
+    if (key == "alexnet")
+        return alexNet();
+    if (key == "vgg16")
+        return vgg16();
+    if (key == "resnet18")
+        return resNet18();
+    if (key == "mobilenet")
+        return mobileNetV1();
+    if (key == "regnet")
+        return regNetX400MF();
+    if (key == "efficientnet")
+        return efficientNetB0();
+    fatal("unknown network '" + key + "'");
+}
+
+int
+cmdGemm(int argc, char **argv)
+{
+    if (argc < 3)
+        fatal("usage: mixgemm-cli gemm <m> <n> <k> [config] "
+              "[--small-caches]");
+    const uint64_t m = std::stoull(argv[0]);
+    const uint64_t n = std::stoull(argv[1]);
+    const uint64_t k = std::stoull(argv[2]);
+    DataSizeConfig cfg{8, 8, true, true};
+    SoCConfig soc = SoCConfig::sargantana();
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--small-caches") == 0)
+            soc = SoCConfig::sargantanaSmallCaches();
+        else
+            cfg = parseConfig(argv[i]);
+    }
+
+    const GemmTimingModel model(soc);
+    const EnergyModel energy(soc);
+    const auto geom = geometryForK(computeBsGeometry(cfg), k);
+    const auto mix = model.mixGemm(m, n, k, geom);
+    const auto dgemm = model.dgemm(m, n, k);
+    const auto e =
+        energy.mixGemmEnergyFromShape(geom, m, n, k, mix.cycles);
+
+    Table t({"metric", "Mix-GEMM " + cfg.name(), "DGEMM baseline"});
+    t.addRow({"cycles", Table::fmtInt(mix.cycles),
+              Table::fmtInt(dgemm.cycles)});
+    t.addRow({"GOPS", Table::fmt(mix.gops, 2),
+              Table::fmt(dgemm.gops, 2)});
+    t.addRow({"cycles/MAC", Table::fmt(mix.cycles_per_mac, 3),
+              Table::fmt(dgemm.cycles_per_mac, 3)});
+    t.addRow({"speed-up",
+              Table::fmt(static_cast<double>(dgemm.cycles) / mix.cycles,
+                         1) +
+                  "x",
+              "1.0x"});
+    t.addRow({"GOPS/W (engine+mul)", Table::fmt(e.gops_per_watt, 0),
+              "-"});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdNetwork(int argc, char **argv)
+{
+    if (argc < 1)
+        fatal("usage: mixgemm-cli network <name> [config] [--batch N]");
+    const auto model = parseModel(argv[0]);
+    DataSizeConfig cfg{8, 8, true, true};
+    unsigned batch = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc)
+            batch = static_cast<unsigned>(std::stoul(argv[++i]));
+        else
+            cfg = parseConfig(argv[i]);
+    }
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto t = timeNetworkMixGemm(model, timing, cfg, true, batch);
+    const auto dgemm = timeNetworkDgemm(model, timing);
+
+    Table out({"metric", "value"});
+    out.addRow({"network", model.name});
+    out.addRow({"config", cfg.name() + " (first/last layers a8-w8)"});
+    out.addRow({"batch", std::to_string(batch)});
+    out.addRow({"GMACs/image", Table::fmt(model.totalMacs() / 1e9, 3)});
+    out.addRow({"throughput", Table::fmt(t.gops, 2) + " GOPS"});
+    out.addRow({"latency", Table::fmt(t.latency_ms, 2) + " ms"});
+    out.addRow({"speed-up vs DGEMM",
+                Table::fmt(static_cast<double>(dgemm.total_cycles) *
+                               batch / t.total_cycles,
+                           1) +
+                    "x"});
+    out.print(std::cout);
+    return 0;
+}
+
+int
+cmdDse(int argc, char **argv)
+{
+    if (argc < 1)
+        fatal("usage: mixgemm-cli dse <name> [max_top1_drop]");
+    const auto model = parseModel(argv[0]);
+    MixedPrecisionOptions opt;
+    opt.max_loss = argc > 1 ? std::stod(argv[1]) : 1.0;
+    const GemmTimingModel timing(SoCConfig::sargantana());
+    const auto &db = AccuracyDatabase::paperQat();
+    const auto plan = optimizeMixedPrecision(model, timing, db, opt);
+
+    std::cout << model.name << ": per-layer plan under a "
+              << Table::fmt(opt.max_loss, 1) << "-point budget -> "
+              << Table::fmt(plan.gops, 2) << " GOPS at "
+              << Table::fmt(plan.estimated_top1, 2) << " % TOP-1\n\n";
+    Table t({"layer", "config", "MMACs"});
+    for (size_t i = 0; i < model.layers.size(); ++i)
+        t.addRow({model.layers[i].name,
+                  plan.layer_configs[i].name(),
+                  Table::fmt(model.layers[i].macs() / 1e6, 1)});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdConfigs()
+{
+    Table t({"config", "MAC/cycle", "kua/kub", "group extent",
+             "group cycles", "padding %"});
+    for (const auto &cfg : allSupportedConfigs()) {
+        const auto g = computeBsGeometry(cfg);
+        t.addRow({cfg.name(), Table::fmt(g.macsPerCycle(), 2),
+                  strCat(g.kua, "/", g.kub),
+                  std::to_string(g.group_extent),
+                  std::to_string(g.group_cycles),
+                  Table::fmt(100 * g.paddingOverhead(), 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2) {
+            std::cerr << "usage: mixgemm-cli "
+                         "<gemm|network|dse|configs> ...\n";
+            return 2;
+        }
+        const std::string cmd = argv[1];
+        if (cmd == "gemm")
+            return cmdGemm(argc - 2, argv + 2);
+        if (cmd == "network")
+            return cmdNetwork(argc - 2, argv + 2);
+        if (cmd == "dse")
+            return cmdDse(argc - 2, argv + 2);
+        if (cmd == "configs")
+            return cmdConfigs();
+        std::cerr << "unknown command '" << cmd << "'\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}
