@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::drainTasks(std::unique_lock<std::mutex> &lock)
+{
+    while (fn_ && next_task_ < tasks_) {
+        const unsigned task = next_task_++;
+        const auto *fn = fn_;
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+            (*fn)(task);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+        if (error && !error_)
+            error_ = error;
+        if (--unfinished_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        work_cv_.wait(lock, [this] {
+            return stop_ || (fn_ && next_task_ < tasks_);
+        });
+        if (stop_)
+            return;
+        drainTasks(lock);
+    }
+}
+
+void
+ThreadPool::run(unsigned tasks, const std::function<void(unsigned)> &fn)
+{
+    if (tasks == 0)
+        return;
+    if (tasks == 1 || threads_.empty()) {
+        for (unsigned t = 0; t < tasks; ++t)
+            fn(t);
+        return;
+    }
+    for (const auto &t : threads_)
+        if (t.get_id() == std::this_thread::get_id())
+            panic("ThreadPool::run is not reentrant");
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Serialize concurrent top-level callers: wait for the pool to idle.
+    done_cv_.wait(lock, [this] { return fn_ == nullptr; });
+    fn_ = &fn;
+    tasks_ = tasks;
+    next_task_ = 0;
+    unfinished_ = tasks;
+    error_ = nullptr;
+    work_cv_.notify_all();
+    drainTasks(lock);
+    done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+    fn_ = nullptr;
+    done_cv_.notify_all(); // wake any caller queued behind this run
+    if (error_) {
+        auto error = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(hardwareConcurrency() - 1);
+    return pool;
+}
+
+unsigned
+resolveThreadCount(unsigned requested)
+{
+    return requested ? requested : ThreadPool::hardwareConcurrency();
+}
+
+void
+parallelFor(uint64_t count, unsigned threads,
+            const std::function<void(uint64_t, uint64_t)> &fn)
+{
+    if (count == 0)
+        return;
+    const uint64_t chunks =
+        std::min<uint64_t>(resolveThreadCount(threads), count);
+    if (chunks <= 1) {
+        fn(0, count);
+        return;
+    }
+    const uint64_t chunk = divCeil(count, chunks);
+    ThreadPool::global().run(
+        static_cast<unsigned>(chunks), [&](unsigned t) {
+            const uint64_t begin = uint64_t{t} * chunk;
+            const uint64_t end = std::min(begin + chunk, count);
+            if (begin < end)
+                fn(begin, end);
+        });
+}
+
+} // namespace mixgemm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A small reusable worker pool for the parallel Mix-GEMM driver and the
+ * runtime's elementwise passes.
+ *
+ * The pool mirrors how the paper scales across the Sargantana SoC's
+ * cores (Section V): one persistent software thread per core, each
+ * driving its own functional μ-engine instance. Work is handed out as a
+ * dense task index space [0, tasks); the calling thread participates,
+ * so a pool with W background workers executes up to W + 1 tasks
+ * concurrently and a pool with zero workers degenerates to a serial
+ * loop. Task-to-thread assignment is dynamic, which is safe because
+ * every caller in this code base keys its state off the *task* index,
+ * never off the executing thread.
+ */
+
+#ifndef MIXGEMM_COMMON_THREAD_POOL_H
+#define MIXGEMM_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mixgemm
+{
+
+/** Persistent worker pool executing dense task index spaces. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers background threads (0 is valid: serial pool). */
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Execute fn(t) for every t in [0, tasks) and block until all
+     * complete. The calling thread claims tasks alongside the pool
+     * threads. The first exception thrown by any task is rethrown here
+     * after the remaining tasks finish. Not reentrant: @p fn must not
+     * call run() on the same pool.
+     */
+    void run(unsigned tasks, const std::function<void(unsigned)> &fn);
+
+    /** Number of background worker threads. */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** std::thread::hardware_concurrency(), but never 0. */
+    static unsigned hardwareConcurrency();
+
+    /**
+     * Process-wide pool sized so caller + workers equals the hardware
+     * concurrency. Lazily constructed on first use.
+     */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+    /** Claim and execute tasks; @p lock is held on entry and exit. */
+    void drainTasks(std::unique_lock<std::mutex> &lock);
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(unsigned)> *fn_ = nullptr;
+    unsigned tasks_ = 0;
+    unsigned next_task_ = 0;
+    unsigned unfinished_ = 0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+/**
+ * Resolve a user-facing thread-count knob: 0 means "one per hardware
+ * thread", anything else is taken literally.
+ */
+unsigned resolveThreadCount(unsigned requested);
+
+/**
+ * Split [0, count) into at most @p threads contiguous chunks and run
+ * fn(begin, end) for each through the global pool. threads <= 1 (or
+ * count <= 1) runs fn(0, count) inline. Chunk boundaries depend only on
+ * (count, threads), so any per-chunk computation is deterministic.
+ */
+void parallelFor(uint64_t count, unsigned threads,
+                 const std::function<void(uint64_t, uint64_t)> &fn);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_THREAD_POOL_H

@@ -16,6 +16,21 @@ BlockingParams::validate() const
         fatal("BlockingParams: register blocks exceed cache blocks");
 }
 
+namespace
+{
+
+/** Largest power of two <= @p value; @pre value >= 1. */
+uint64_t
+floorPow2(uint64_t value)
+{
+    uint64_t p = 1;
+    while (p * 2 <= value)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
 BlockingParams
 deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes, unsigned elem_bytes,
                unsigned mr, unsigned nr)
@@ -28,13 +43,17 @@ deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes, unsigned elem_bytes,
     // kc: an [mr x kc] + [nr x kc] μ-panel pair should occupy about
     // three quarters of L1 (the C μ-panel lives in registers or, for
     // Mix-GEMM, in the AccMem, so the μ-panels are the main residents).
+    // Rounded down to a power of two so panel strides stay friendly to
+    // set-indexed caches; the cap therefore scales with the actual L1
+    // budget instead of a hard 256 that wastes large caches.
     const uint64_t kc =
         l1_bytes * 3 / 4 / (uint64_t{mr + nr} * elem_bytes);
-    p.kc = std::clamp<uint64_t>(kc, mr, 256);
-    // mc: the packed [mc x kc] A panel should occupy about half of L2.
+    p.kc = std::max<uint64_t>(mr, floorPow2(std::max<uint64_t>(1, kc)));
+    // mc: the packed [mc x kc] A panel should occupy about half of L2,
+    // again capped only by the cache budget itself.
     const uint64_t mc = l2_bytes / 2 / (p.kc * elem_bytes);
-    p.mc = std::clamp<uint64_t>(mc, mr, 256);
-    p.nc = 256;
+    p.mc = std::max<uint64_t>(mr, floorPow2(std::max<uint64_t>(1, mc)));
+    p.nc = std::max<uint64_t>(256, nr);
     p.validate();
     return p;
 }

@@ -26,6 +26,15 @@ struct BlockingParams
     unsigned mr = 4;   ///< μ-panel rows (register / AccMem blocked)
     unsigned nr = 4;   ///< μ-panel columns (register / AccMem blocked)
 
+    /**
+     * Worker threads for the macro-kernel loops: each worker drives its
+     * own functional μ-engine over a disjoint set of [mc x nc] macro
+     * tiles (the BLIS jc/ic parallelization the paper uses across
+     * Sargantana cores). 1 = serial (the default); 0 = one per hardware
+     * thread. Results and counter totals are identical for every value.
+     */
+    unsigned threads = 1;
+
     /** Table I defaults. */
     static BlockingParams paperDefaults() { return BlockingParams{}; }
 
@@ -36,9 +45,10 @@ struct BlockingParams
 /**
  * Analytical blocking derivation in the spirit of Low et al. [45]:
  * choose kc so an [mr x kc] A μ-panel and [nr x kc] B μ-panel fill a
- * share of L1, mc so the A panel fits L2, and cap everything at the
- * Table I defaults. Element sizes are in bytes (8 for μ-vector words
- * and doubles).
+ * share of L1, and mc so the A panel fits L2. Both are rounded down to
+ * powers of two, so the caps scale with the cache budgets (the target
+ * SoC's 32 KB L1 / 512 KB L2 still lands on the Table I values).
+ * Element sizes are in bytes (8 for μ-vector words and doubles).
  */
 BlockingParams deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes,
                               unsigned elem_bytes, unsigned mr,

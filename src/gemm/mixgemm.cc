@@ -4,6 +4,7 @@
 
 #include "bs/engine.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace mixgemm
 {
@@ -52,6 +53,51 @@ microKernel(const CompressedA &a, const CompressedB &b, BsEngine &engine,
     }
 }
 
+/**
+ * One [mc x nc] macro tile of the output: a disjoint C sub-block, so
+ * tiles can execute on different workers with no synchronization.
+ */
+struct MacroTile
+{
+    uint64_t jc; ///< first output column
+    uint64_t nc; ///< columns in this tile
+    uint64_t ic; ///< first output row
+    uint64_t mc; ///< rows in this tile
+};
+
+/**
+ * Run the k-panel and μ-panel loops of one macro tile (MACRO-KERNEL of
+ * Algorithm 1, plus the gc panel loop hoisted per tile). Accumulation
+ * into C is int64 and each tile owns its C sub-block, so the result is
+ * bitwise identical regardless of tile execution order.
+ */
+void
+runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
+             const MacroTile &tile, const BlockingParams &blocking,
+             unsigned kc_groups, std::vector<int64_t> &c,
+             CounterSet &counters)
+{
+    const unsigned k_groups = a.kGroups();
+    const unsigned mr = blocking.mr;
+    const unsigned nr = blocking.nr;
+    for (unsigned gc = 0; gc < k_groups; gc += kc_groups) {
+        const unsigned g1 = std::min<unsigned>(gc + kc_groups, k_groups);
+        // The serial 5-loop nest counts one B panel per (jc, gc) and one
+        // A panel per (jc, gc, ic); attribute the shared B panel to the
+        // ic == 0 tile of each column panel so totals stay identical.
+        if (tile.ic == 0)
+            counters.inc("b_panels");
+        counters.inc("a_panels");
+        for (uint64_t jr = 0; jr < tile.nc; jr += nr) {
+            for (uint64_t ir = 0; ir < tile.mc; ir += mr) {
+                microKernel(a, b, engine, tile.ic + ir, tile.jc + jr,
+                            gc, g1, mr, nr, c, counters);
+                counters.inc("micro_kernels");
+            }
+        }
+    }
+}
+
 } // namespace
 
 MixGemmResult
@@ -67,45 +113,60 @@ mixGemm(const CompressedA &a, const CompressedB &b,
     const BsGeometry &geom = a.geometry();
     const uint64_t m = a.m();
     const uint64_t n = b.n();
-    const unsigned k_groups = a.kGroups();
     const unsigned mr = blocking.mr;
     const unsigned nr = blocking.nr;
     // kc in whole accumulation groups, at least one.
     const unsigned kc_groups = std::max<unsigned>(
         1, static_cast<unsigned>(blocking.kc / geom.group_extent));
 
+    // M-GEMM panel decomposition (Algorithm 1, lines 21-28): the jc/ic
+    // loops become a flat macro-tile list. Tiles cover disjoint C
+    // sub-blocks, which is what makes the BLIS jc/ic loops the natural
+    // parallel dimension (one μ-engine per core in the paper).
+    std::vector<MacroTile> tiles;
+    for (uint64_t jc = 0; jc < n; jc += blocking.nc)
+        for (uint64_t ic = 0; ic < m; ic += blocking.mc)
+            tiles.push_back({jc, std::min<uint64_t>(blocking.nc, n - jc),
+                             ic,
+                             std::min<uint64_t>(blocking.mc, m - ic)});
+
+    const unsigned threads = std::max<unsigned>(
+        1, std::min<unsigned>(resolveThreadCount(blocking.threads),
+                              static_cast<unsigned>(tiles.size())));
+
     MixGemmResult result;
     result.c.assign(m * n, 0);
-
-    BsEngine engine(uint64_t{mr} * nr);
-    engine.set(geom, mr * nr);
+    // One logical bs.set configures the computation; every worker
+    // programs its own μ-engine instance with the same configuration,
+    // exactly as the per-core engines of the multi-core SoC would.
     result.counters.inc("bs_set");
 
-    // M-GEMM panel loops (Algorithm 1, lines 21-28).
-    for (uint64_t jc = 0; jc < n; jc += blocking.nc) {
-        const uint64_t nc = std::min<uint64_t>(blocking.nc, n - jc);
-        for (unsigned gc = 0; gc < k_groups; gc += kc_groups) {
-            const unsigned g1 =
-                std::min<unsigned>(gc + kc_groups, k_groups);
-            result.counters.inc("b_panels");
-            for (uint64_t ic = 0; ic < m; ic += blocking.mc) {
-                const uint64_t mc = std::min<uint64_t>(blocking.mc,
-                                                       m - ic);
-                result.counters.inc("a_panels");
-                // MACRO-KERNEL μ-panel loops (lines 15-20).
-                for (uint64_t jr = 0; jr < nc; jr += nr) {
-                    for (uint64_t ir = 0; ir < mc; ir += mr) {
-                        microKernel(a, b, engine, ic + ir, jc + jr, gc,
-                                    g1, mr, nr, result.c,
-                                    result.counters);
-                        result.counters.inc("micro_kernels");
-                    }
-                }
-            }
-        }
-    }
+    // Per-worker μ-engine and counters: engine state is never shared,
+    // and worker w processes tiles w, w + threads, ... so the work
+    // partition depends only on (tiles, threads), not on scheduling.
+    std::vector<CounterSet> worker_counters(threads);
+    std::vector<uint64_t> worker_busy(threads, 0);
+    auto worker = [&](unsigned w) {
+        BsEngine engine(uint64_t{mr} * nr);
+        engine.set(geom, mr * nr);
+        for (size_t t = w; t < tiles.size(); t += threads)
+            runMacroTile(a, b, engine, tiles[t], blocking, kc_groups,
+                         result.c, worker_counters[w]);
+        worker_busy[w] = engine.busyCycles();
+    };
+    if (threads == 1)
+        worker(0);
+    else
+        ThreadPool::global().run(threads, worker);
 
-    result.counters.set("engine_busy_cycles", engine.busyCycles());
+    // Deterministic join: merge in worker order. Counter totals are sums
+    // of per-tile counts, so they match the serial nest exactly.
+    uint64_t busy_cycles = 0;
+    for (unsigned w = 0; w < threads; ++w) {
+        result.counters.merge(worker_counters[w]);
+        busy_cycles += worker_busy[w];
+    }
+    result.counters.set("engine_busy_cycles", busy_cycles);
     result.counters.set("ops", 2 * m * n * a.k());
     return result;
 }

@@ -17,6 +17,16 @@
  * discarded at bs.get time. The returned counters expose the dynamic
  * instruction mix; cycle-accurate timing is the job of src/sim, which is
  * cross-validated against these counts.
+ *
+ * Threading (BlockingParams::threads): the jc/ic panel loops flatten
+ * into a list of [mc x nc] macro tiles covering disjoint C sub-blocks;
+ * worker w executes tiles w, w + threads, ... with its own functional
+ * μ-engine instance and its own CounterSet, merged in worker order at
+ * join time. Because int64 accumulation is exact and the partition
+ * depends only on the problem shape, the output C and every counter
+ * total are bitwise identical for any thread count. The bs_set counter
+ * stays 1 — one logical configuration broadcast — regardless of how
+ * many per-core engine instances are programmed with it.
  */
 
 #ifndef MIXGEMM_GEMM_MIXGEMM_H

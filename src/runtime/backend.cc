@@ -20,7 +20,9 @@ MixGemmBackend::gemm(std::span<const int32_t> a,
                      uint64_t k, const DataSizeConfig &config)
 {
     const auto geometry = geometryForK(computeBsGeometry(config), k);
-    auto result = mixGemm(a, b, m, n, k, geometry);
+    BlockingParams blocking = BlockingParams::paperDefaults();
+    blocking.threads = threads_;
+    auto result = mixGemm(a, b, m, n, k, geometry, blocking);
     total_bs_ip_ += result.counters.get("bs_ip");
     return std::move(result.c);
 }

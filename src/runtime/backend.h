@@ -37,6 +37,14 @@ class GemmBackend
                                       const DataSizeConfig &config) = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * Worker threads this backend computes with (0 = one per hardware
+     * thread). The runtime reuses the same knob for its elementwise
+     * passes (zero-point corrections, requantization) so whole-network
+     * inference scales with the GEMM. Results never depend on it.
+     */
+    virtual unsigned threads() const { return 1; }
 };
 
 /** Triple-loop reference backend. */
@@ -54,16 +62,28 @@ class NaiveBackend : public GemmBackend
 class MixGemmBackend : public GemmBackend
 {
   public:
+    /**
+     * @param threads worker threads for the parallel Mix-GEMM driver
+     *        (1 = serial, 0 = one per hardware thread); output is
+     *        bitwise identical for every value.
+     */
+    explicit MixGemmBackend(unsigned threads = 1) : threads_(threads) {}
+
     std::vector<int64_t> gemm(std::span<const int32_t> a,
                               std::span<const int32_t> b, uint64_t m,
                               uint64_t n, uint64_t k,
                               const DataSizeConfig &config) override;
     std::string name() const override { return "mixgemm"; }
+    unsigned threads() const override { return threads_; }
+
+    /** Change the worker-thread count for subsequent calls. */
+    void setThreads(unsigned threads) { threads_ = threads; }
 
     /** Total bs.ip instructions issued across all calls. */
     uint64_t totalBsIp() const { return total_bs_ip_; }
 
   private:
+    unsigned threads_ = 1;
     uint64_t total_bs_ip_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "runtime/qlinear.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace mixgemm
 {
@@ -19,6 +20,30 @@ configFor(const QuantParams &a, const QuantParams &b)
     return cfg;
 }
 
+/**
+ * Row sums of a (m x k) and column sums of b (k x n), parallelized over
+ * disjoint output ranges so results are exact and order-independent.
+ */
+void
+operandSums(std::span<const int32_t> a, std::span<const int32_t> b,
+            uint64_t m, uint64_t n, uint64_t k, bool need_row,
+            bool need_col, unsigned threads, std::vector<int64_t> &row_sum,
+            std::vector<int64_t> &col_sum)
+{
+    if (need_row)
+        parallelFor(m, threads, [&](uint64_t i0, uint64_t i1) {
+            for (uint64_t i = i0; i < i1; ++i)
+                for (uint64_t l = 0; l < k; ++l)
+                    row_sum[i] += a[i * k + l];
+        });
+    if (need_col)
+        parallelFor(n, threads, [&](uint64_t j0, uint64_t j1) {
+            for (uint64_t l = 0; l < k; ++l)
+                for (uint64_t j = j0; j < j1; ++j)
+                    col_sum[j] += b[l * n + j];
+        });
+}
+
 } // namespace
 
 std::vector<int64_t>
@@ -35,22 +60,20 @@ qlinearGemm(std::span<const int32_t> a, std::span<const int32_t> b,
     auto c = backend.gemm(a, b, m, n, k, configFor(a_params, b_params));
 
     if (za != 0 || zb != 0) {
-        // Rank-1 corrections from row/column sums.
+        // Rank-1 corrections from row/column sums; integer arithmetic
+        // over disjoint row ranges, so the parallel pass is exact.
+        const unsigned threads = backend.threads();
         std::vector<int64_t> row_sum(m, 0);
         std::vector<int64_t> col_sum(n, 0);
-        if (zb != 0)
-            for (uint64_t i = 0; i < m; ++i)
-                for (uint64_t l = 0; l < k; ++l)
-                    row_sum[i] += a[i * k + l];
-        if (za != 0)
-            for (uint64_t l = 0; l < k; ++l)
-                for (uint64_t j = 0; j < n; ++j)
-                    col_sum[j] += b[l * n + j];
+        operandSums(a, b, m, n, k, zb != 0, za != 0, threads, row_sum,
+                    col_sum);
         const int64_t kzz = static_cast<int64_t>(k) * za * zb;
-        for (uint64_t i = 0; i < m; ++i)
-            for (uint64_t j = 0; j < n; ++j)
-                c[i * n + j] += kzz - za * col_sum[j] -
-                                zb * row_sum[i];
+        parallelFor(m, threads, [&](uint64_t i0, uint64_t i1) {
+            for (uint64_t i = i0; i < i1; ++i)
+                for (uint64_t j = 0; j < n; ++j)
+                    c[i * n + j] += kzz - za * col_sum[j] -
+                                    zb * row_sum[i];
+        });
     }
     return c;
 }
@@ -78,33 +101,31 @@ qlinearGemmPerChannel(std::span<const int32_t> a,
     const auto cfg_b = b_params[0];
     auto c = backend.gemm(a, b, m, n, k, configFor(a_params, cfg_b));
 
+    const unsigned threads = backend.threads();
     const int64_t za = a_params.zero_point;
     std::vector<int64_t> row_sum(m, 0);
     std::vector<int64_t> col_sum(n, 0);
     bool any_zb = false;
     for (const auto &p : b_params)
         any_zb = any_zb || p.zero_point != 0;
-    if (any_zb)
-        for (uint64_t i = 0; i < m; ++i)
-            for (uint64_t l = 0; l < k; ++l)
-                row_sum[i] += a[i * k + l];
-    if (za != 0)
-        for (uint64_t l = 0; l < k; ++l)
-            for (uint64_t j = 0; j < n; ++j)
-                col_sum[j] += b[l * n + j];
+    operandSums(a, b, m, n, k, any_zb, za != 0, threads, row_sum,
+                col_sum);
 
     std::vector<double> out(m * n);
-    for (uint64_t j = 0; j < n; ++j) {
-        const int64_t zb = b_params[j].zero_point;
-        const int64_t kzz = static_cast<int64_t>(k) * za * zb;
-        const double requant = a_params.scale * b_params[j].scale;
-        for (uint64_t i = 0; i < m; ++i) {
-            const int64_t corrected = c[i * n + j] + kzz -
-                                      za * col_sum[j] -
-                                      zb * row_sum[i];
-            out[i * n + j] = requant * static_cast<double>(corrected);
+    parallelFor(n, threads, [&](uint64_t j0, uint64_t j1) {
+        for (uint64_t j = j0; j < j1; ++j) {
+            const int64_t zb = b_params[j].zero_point;
+            const int64_t kzz = static_cast<int64_t>(k) * za * zb;
+            const double requant = a_params.scale * b_params[j].scale;
+            for (uint64_t i = 0; i < m; ++i) {
+                const int64_t corrected = c[i * n + j] + kzz -
+                                          za * col_sum[j] -
+                                          zb * row_sum[i];
+                out[i * n + j] =
+                    requant * static_cast<double>(corrected);
+            }
         }
-    }
+    });
     return out;
 }
 

@@ -9,6 +9,16 @@
  * tail of the last group in k, are zero-padded — the padding the DSE in
  * Section III-C measures at ~2.4 % on average.
  *
+ * Padding encodes the integer *code* 0 (raw zero bits), never the
+ * quantized zero-point, for signed and unsigned geometries alike. This
+ * is load-bearing for asymmetric quantization: the GEMM accumulates raw
+ * codes, and the runtime applies zero-points as a rank-1 correction
+ * over exactly k terms (see runtime/qlinear.h). Both operands pad the
+ * same out-of-range k positions, so each padded product contributes
+ * 0 * 0 = 0; padding with the zero-point code would instead inject
+ * zq_a * zq_b cross terms the correction never removes. Tests in
+ * test_tensor.cc and test_qlinear.cc pin this invariant down.
+ *
  * Layouts (all words contiguous, 8 bytes each):
  *   CompressedA (m x k): word[(row * kGroups() + g) * kua + w]
  *   CompressedB (k x n): word[(col * kGroups() + g) * kub + w]

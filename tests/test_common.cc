@@ -1,18 +1,22 @@
 /**
  * @file
  * Unit tests for src/common: bit utilities, RNG determinism, running
- * statistics, counters, and the table printer.
+ * statistics, counters, the table printer, and the worker thread pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <sstream>
+#include <vector>
 
 #include "common/bitutils.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace mixgemm
 {
@@ -234,6 +238,78 @@ TEST(Logging, FatalThrowsFatalError)
 TEST(Logging, StrCat)
 {
     EXPECT_EQ(strCat("a", 1, "-w", 2), "a1-w2");
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workerCount(), 3u);
+    const unsigned tasks = 100;
+    std::vector<std::atomic<int>> hits(tasks);
+    pool.run(tasks, [&](unsigned t) { ++hits[t]; });
+    for (unsigned t = 0; t < tasks; ++t)
+        EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsSerially)
+{
+    ThreadPool pool(0);
+    std::vector<unsigned> order;
+    pool.run(5, [&](unsigned t) { order.push_back(t); });
+    EXPECT_EQ(order, (std::vector<unsigned>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossRuns)
+{
+    ThreadPool pool(2);
+    for (unsigned round = 0; round < 20; ++round) {
+        std::atomic<unsigned> sum{0};
+        pool.run(7, [&](unsigned t) { sum += t; });
+        EXPECT_EQ(sum.load(), 21u) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, PropagatesTaskException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.run(8,
+                          [&](unsigned t) {
+                              if (t == 3)
+                                  fatal("task failure");
+                              ++completed;
+                          }),
+                 FatalError);
+    // The remaining tasks still ran; the pool stays usable.
+    EXPECT_EQ(completed.load(), 7);
+    std::atomic<int> after{0};
+    pool.run(4, [&](unsigned) { ++after; });
+    EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPool, HardwareConcurrencyNeverZero)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+    EXPECT_GE(resolveThreadCount(0), 1u);
+    EXPECT_EQ(resolveThreadCount(3), 3u);
+}
+
+TEST(ParallelFor, CoversRangeWithDisjointChunks)
+{
+    for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+        for (const uint64_t count : {0ull, 1ull, 7ull, 64ull, 1000ull}) {
+            std::vector<std::atomic<int>> hits(count);
+            parallelFor(count, threads, [&](uint64_t b, uint64_t e) {
+                ASSERT_LT(b, e);
+                for (uint64_t i = b; i < e; ++i)
+                    ++hits[i];
+            });
+            for (uint64_t i = 0; i < count; ++i)
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "threads=" << threads << " count=" << count
+                    << " i=" << i;
+        }
+    }
 }
 
 } // namespace

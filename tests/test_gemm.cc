@@ -71,6 +71,30 @@ TEST(Blocking, SmallerCachesShrinkBlocks)
     EXPECT_GE(small.kc, 4u);
 }
 
+TEST(Blocking, BigCachesGrowBlocksPastTableI)
+{
+    // Regression: kc/mc used to be hard-capped at 256, silently wasting
+    // any L1/L2 budget beyond the target SoC's. The caps must scale
+    // with the cache sizes.
+    const auto big =
+        deriveBlocking(256 * 1024, 32 * 1024 * 1024, 8, 4, 4);
+    EXPECT_GT(big.kc, 256u);
+    EXPECT_GT(big.mc, 256u);
+    // kc: a [4 x kc] + [4 x kc] panel pair in ~3/4 of 256 KB, power of
+    // two -> 2048; mc: [mc x 2048] in half of 32 MB -> 1024.
+    EXPECT_EQ(big.kc, 2048u);
+    EXPECT_EQ(big.mc, 1024u);
+    const auto huge =
+        deriveBlocking(1024 * 1024, 256 * 1024 * 1024, 8, 4, 4);
+    EXPECT_GE(huge.kc, big.kc);
+    EXPECT_GE(huge.mc, big.mc);
+    // The panel-pair working set still fits the L1 budget it was
+    // derived from.
+    EXPECT_LE(uint64_t{8} * big.kc * 8, uint64_t{256} * 1024);
+    big.validate();
+    huge.validate();
+}
+
 TEST(ReferenceGemm, KnownProduct)
 {
     // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
@@ -278,6 +302,113 @@ TEST(MixGemm, RejectsMismatchedOperands)
     EXPECT_THROW(mixGemm(ca, cb_badk), FatalError);
     const CompressedB cb_badcfg(b, 32, 4, g44);
     EXPECT_THROW(mixGemm(ca, cb_badcfg), FatalError);
+}
+
+TEST(MixGemm, ParallelMatchesSerialBitwiseOnEdgeShapes)
+{
+    // Edge shapes: m/n not multiples of mr/nr, k smaller than one
+    // accumulation group (a8-w8 extent is 32), and 1x1x1. The parallel
+    // driver must agree with the serial one bitwise — output C and
+    // every counter total — and both with the naive reference.
+    Rng rng(811);
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    ASSERT_EQ(geom.group_extent, 32u);
+    for (const auto &[m, n, k] :
+         {std::tuple<uint64_t, uint64_t, uint64_t>{1, 1, 1},
+          {5, 3, 7},     // everything smaller than one tile/group
+          {33, 29, 5},   // k < group_extent, m/n not multiples of 4
+          {13, 22, 40},  // m odd, n not a multiple of nr
+          {70, 66, 140}, // multiple mc/nc panels with edge tiles
+          {17, 4, 300}}) {
+        const auto a = randomNarrowMatrix(m, k, 8, rng);
+        const auto b = randomNarrowMatrix(k, n, 8, rng);
+        const auto ref = referenceGemmInt(a, b, m, n, k);
+
+        // Small macro tiles so several exist even for modest shapes.
+        BlockingParams blk;
+        blk.mc = 16;
+        blk.nc = 16;
+        blk.kc = 64;
+        blk.threads = 1;
+        const auto serial = mixGemm(a, b, m, n, k, geom, blk);
+        ASSERT_EQ(serial.c, ref) << m << "x" << n << "x" << k;
+
+        for (const unsigned threads : {2u, 3u, 4u, 7u}) {
+            blk.threads = threads;
+            const auto parallel = mixGemm(a, b, m, n, k, geom, blk);
+            ASSERT_EQ(parallel.c, serial.c)
+                << m << "x" << n << "x" << k << " threads=" << threads;
+            ASSERT_EQ(parallel.counters.all(), serial.counters.all())
+                << m << "x" << n << "x" << k << " threads=" << threads;
+        }
+    }
+}
+
+TEST(MixGemm, ParallelMatchesSerialAcrossConfigs)
+{
+    // Mixed-precision configurations exercise different kua/kub and
+    // group extents through the parallel path.
+    Rng rng(812);
+    const uint64_t m = 37, n = 26, k = 75;
+    for (const auto &[bwa, bwb] : {std::pair<unsigned, unsigned>{8, 6},
+                                   std::pair<unsigned, unsigned>{6, 4},
+                                   std::pair<unsigned, unsigned>{2, 2}}) {
+        const auto geom = computeBsGeometry({bwa, bwb, true, true});
+        const auto a = randomNarrowMatrix(m, k, bwa, rng);
+        const auto b = randomNarrowMatrix(k, n, bwb, rng);
+        const auto ref = referenceGemmInt(a, b, m, n, k);
+        BlockingParams blk;
+        blk.mc = 12;
+        blk.nc = 12;
+        blk.threads = 1;
+        const auto serial = mixGemm(a, b, m, n, k, geom, blk);
+        blk.threads = 4;
+        const auto parallel = mixGemm(a, b, m, n, k, geom, blk);
+        ASSERT_EQ(serial.c, ref) << geom.config.name();
+        ASSERT_EQ(parallel.c, ref) << geom.config.name();
+        ASSERT_EQ(parallel.counters.all(), serial.counters.all())
+            << geom.config.name();
+    }
+}
+
+TEST(MixGemm, ThreadsZeroMeansHardwareConcurrency)
+{
+    Rng rng(813);
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    const uint64_t m = 20, n = 20, k = 64;
+    const auto a = randomNarrowMatrix(m, k, 8, rng);
+    const auto b = randomNarrowMatrix(k, n, 8, rng);
+    const auto ref = referenceGemmInt(a, b, m, n, k);
+    BlockingParams blk;
+    blk.mc = 8;
+    blk.nc = 8;
+    blk.threads = 0; // auto
+    const auto mix = mixGemm(a, b, m, n, k, geom, blk);
+    ASSERT_EQ(mix.c, ref);
+}
+
+TEST(MixGemm, ParallelCountersMatchLoopStructure)
+{
+    // The counter contract of CountersMatchLoopStructure must hold
+    // under threading, including the single logical bs_set.
+    const auto geom = computeBsGeometry({8, 8, true, true});
+    const uint64_t m = 16, n = 16, k = 64;
+    const std::vector<int32_t> a(m * k, 1);
+    const std::vector<int32_t> b(k * n, 1);
+    BlockingParams blk;
+    blk.mc = 8;
+    blk.nc = 8;
+    blk.threads = 4;
+    const auto mix = mixGemm(a, b, m, n, k, geom, blk);
+    // 4 macro tiles of 8x8 -> 4 μ-kernels each; 2 groups per k.
+    EXPECT_EQ(mix.counters.get("micro_kernels"), 16u);
+    EXPECT_EQ(mix.counters.get("bs_set"), 1u);
+    EXPECT_EQ(mix.counters.get("bs_ip"), 16u * 2 * 16 * 4);
+    EXPECT_EQ(mix.counters.get("bs_get"), 16u * 16);
+    EXPECT_EQ(mix.counters.get("engine_busy_cycles"),
+              16u * 2 * 16 * geom.group_cycles);
+    EXPECT_EQ(mix.counters.get("a_panels"), 4u);
+    EXPECT_EQ(mix.counters.get("b_panels"), 2u);
 }
 
 TEST(MixGemm, ProblemSizeReductionVsDgemm)

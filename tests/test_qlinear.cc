@@ -97,6 +97,102 @@ INSTANTIATE_TEST_SUITE_P(
         QlinearCase{2, 2, false, false, 2, 1, "uint2_both"}),
     [](const auto &info) { return info.param.label; });
 
+TEST(QlinearGemm, NonzeroZeroPointExactAcrossPaddedTailGroups)
+{
+    // The compressed format pads partial accumulation groups with the
+    // integer code 0 (not the zero-point code). This is only correct if
+    // the zero-point expansion stays exact when k is NOT a multiple of
+    // the group extent — the padded positions must contribute nothing.
+    // Sweep signed and unsigned geometries with aggressive zero points
+    // and k values that straddle group boundaries.
+    struct Case
+    {
+        unsigned bits;
+        bool is_signed;
+        int32_t za, zb;
+    };
+    for (const auto &c : {Case{8, true, -37, 55}, Case{8, false, 128, 3},
+                          Case{5, true, -7, 9}, Case{4, false, 8, 5}}) {
+        const auto probe = computeBsGeometry(
+            {c.bits, c.bits, c.is_signed, c.is_signed});
+        for (const uint64_t k :
+             {uint64_t{1}, uint64_t{probe.group_extent - 1},
+              uint64_t{probe.group_extent + 1},
+              uint64_t{2 * probe.group_extent + 3}}) {
+            const uint64_t m = 6, n = 5;
+            Rng rng(700 + c.bits + k);
+            QuantParams ap;
+            ap.bits = c.bits;
+            ap.is_signed = c.is_signed;
+            ap.zero_point = c.za;
+            QuantParams bp;
+            bp.bits = c.bits;
+            bp.is_signed = c.is_signed;
+            bp.zero_point = c.zb;
+            std::vector<int32_t> a(m * k);
+            std::vector<int32_t> b(k * n);
+            for (auto &v : a)
+                v = static_cast<int32_t>(
+                    rng.uniformInt(ap.qmin(), ap.qmax()));
+            for (auto &v : b)
+                v = static_cast<int32_t>(
+                    rng.uniformInt(bp.qmin(), bp.qmax()));
+            const auto expected =
+                directAsymmetric(a, b, m, n, k, c.za, c.zb);
+            MixGemmBackend mix;
+            const auto got = qlinearGemm(a, b, m, n, k, ap, bp, mix);
+            for (size_t i = 0; i < expected.size(); ++i)
+                ASSERT_EQ(got[i], expected[i])
+                    << "bits=" << c.bits << " signed=" << c.is_signed
+                    << " k=" << k << " elem " << i;
+        }
+    }
+}
+
+TEST(QlinearGemm, ThreadedBackendBitwiseIdentical)
+{
+    // The whole-network path: a multi-threaded Mix-GEMM backend (GEMM
+    // tiles + parallel zero-point corrections) must be bit-identical to
+    // the serial backend.
+    const uint64_t m = 45, n = 38, k = 70;
+    Rng rng(900);
+    QuantParams ap;
+    ap.bits = 8;
+    ap.is_signed = false;
+    ap.zero_point = 117;
+    QuantParams bp;
+    bp.bits = 8;
+    bp.is_signed = true;
+    bp.zero_point = -19;
+    std::vector<int32_t> a(m * k);
+    std::vector<int32_t> b(k * n);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.uniformInt(ap.qmin(), ap.qmax()));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.uniformInt(bp.qmin(), bp.qmax()));
+
+    MixGemmBackend serial(1);
+    MixGemmBackend threaded(4);
+    EXPECT_EQ(serial.threads(), 1u);
+    EXPECT_EQ(threaded.threads(), 4u);
+    const auto c1 = qlinearGemm(a, b, m, n, k, ap, bp, serial);
+    const auto c4 = qlinearGemm(a, b, m, n, k, ap, bp, threaded);
+    ASSERT_EQ(c1, c4);
+    const auto expected = directAsymmetric(a, b, m, n, k,
+                                           ap.zero_point, bp.zero_point);
+    ASSERT_EQ(c4, expected);
+
+    // Per-channel variant through the same threaded plumbing.
+    std::vector<QuantParams> bps(n, bp);
+    for (uint64_t j = 0; j < n; ++j)
+        bps[j].zero_point = static_cast<int32_t>(j % 5) - 2;
+    const auto pc1 =
+        qlinearGemmPerChannel(a, b, m, n, k, ap, bps, serial);
+    const auto pc4 =
+        qlinearGemmPerChannel(a, b, m, n, k, ap, bps, threaded);
+    ASSERT_EQ(pc1, pc4);
+}
+
 TEST(QlinearGemm, DequantizedResultApproximatesFloatProduct)
 {
     const uint64_t m = 8, n = 8, k = 64;

@@ -10,6 +10,7 @@
 #include "bs/microvector.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "gemm/mixgemm.h"
 #include "tensor/conv.h"
 #include "tensor/packing.h"
 #include "tensor/tensor.h"
@@ -215,6 +216,89 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &info) {
         return strCat("a", info.param.first, "_w", info.param.second);
     });
+
+TEST(Packing, PaddingEncodesIntegerCodeZeroForSignedGeometries)
+{
+    // Partial accumulation groups are padded with the integer *code* 0
+    // (raw zero bits), never a quantized zero-point. For signed
+    // geometries a nonzero code would decode to a nonzero value and
+    // corrupt every GEMM over a k that is not a multiple of the group
+    // extent; the asymmetric-quantization runtime also relies on code-0
+    // padding (its rank-1 zero-point correction covers exactly k
+    // terms — see test_qlinear.cc for the end-to-end proof).
+    for (const bool is_signed : {true, false}) {
+        for (const auto &[bwa, bwb] :
+             {std::pair<unsigned, unsigned>{8, 8},
+              std::pair<unsigned, unsigned>{8, 6},
+              std::pair<unsigned, unsigned>{3, 5}}) {
+            const auto g =
+                computeBsGeometry({bwa, bwb, is_signed, is_signed});
+            const uint64_t k = g.group_extent + 3; // padded tail group
+            const uint64_t m = 2, n = 2;
+            // All-(-1) signed (or all-max unsigned) data makes any
+            // padding bit pattern that leaks into real positions
+            // visible.
+            const int32_t fill_a = is_signed ? -1 : (1 << bwa) - 1;
+            const int32_t fill_b = is_signed ? -1 : (1 << bwb) - 1;
+            const std::vector<int32_t> a(m * k, fill_a);
+            const std::vector<int32_t> b(k * n, fill_b);
+            const CompressedA ca(a, m, k, g);
+            const CompressedB cb(b, k, n, g);
+
+            // Every padded position of the tail group decodes to 0.
+            const unsigned tail = ca.kGroups() - 1;
+            for (uint64_t row = 0; row < m; ++row)
+                for (unsigned off = 3; off < g.group_extent; ++off) {
+                    const unsigned w = off / g.elems_per_avec;
+                    const unsigned e = off % g.elems_per_avec;
+                    ASSERT_EQ(microVectorElement(ca.word(row, tail, w),
+                                                 bwa, is_signed, e),
+                              0)
+                        << "a" << bwa << (is_signed ? "s" : "u")
+                        << " row " << row << " off " << off;
+                }
+            for (uint64_t col = 0; col < n; ++col)
+                for (unsigned off = 3; off < g.group_extent; ++off) {
+                    const unsigned w = off / g.elems_per_bvec;
+                    const unsigned e = off % g.elems_per_bvec;
+                    ASSERT_EQ(microVectorElement(cb.word(col, tail, w),
+                                                 bwb, is_signed, e),
+                              0)
+                        << "w" << bwb << (is_signed ? "s" : "u")
+                        << " col " << col << " off " << off;
+                }
+        }
+    }
+}
+
+TEST(Packing, PaddedTailContributesNothingToGemm)
+{
+    // The padded positions multiply to exact zeros: a GEMM over
+    // k = extent + 3 equals the first-group product plus only the three
+    // real tail elements, for signed data where any sign-extension slip
+    // in the padding would show up immediately.
+    Rng rng(606);
+    const auto g = computeBsGeometry({8, 8, true, true});
+    const uint64_t extent = g.group_extent;
+    const uint64_t k = extent + 3;
+    const uint64_t m = 5, n = 6;
+    std::vector<int32_t> a(m * k);
+    std::vector<int32_t> b(k * n);
+    for (auto &v : a)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    for (auto &v : b)
+        v = static_cast<int32_t>(rng.uniformInt(-128, 127));
+    std::vector<int64_t> expected(m * n, 0);
+    for (uint64_t i = 0; i < m; ++i)
+        for (uint64_t l = 0; l < k; ++l)
+            for (uint64_t j = 0; j < n; ++j)
+                expected[i * n + j] +=
+                    int64_t{a[i * k + l]} * b[l * n + j];
+    const CompressedA ca(a, m, k, g);
+    const CompressedB cb(b, k, n, g);
+    const auto mix = mixGemm(ca, cb);
+    EXPECT_EQ(mix.c, expected);
+}
 
 TEST(Packing, CompressionRatioVsDouble)
 {
