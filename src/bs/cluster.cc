@@ -39,43 +39,6 @@ packClusterB(std::span<const int32_t> elems, const BsGeometry &geometry)
     return packAtPositions(elems, geometry, true);
 }
 
-int128
-clusterMultiply(uint64_t cluster_a, uint64_t cluster_b,
-                const BsGeometry &geometry)
-{
-    // The μ-engine reuses the scalar multiplier, which produces a full
-    // 128-bit product; signedness selects between MUL/MULH[S]U pairs.
-    const int128 a = geometry.config.a_signed
-        ? static_cast<int128>(static_cast<int64_t>(cluster_a))
-        : static_cast<int128>(cluster_a);
-    const int128 b = geometry.config.b_signed
-        ? static_cast<int128>(static_cast<int64_t>(cluster_b))
-        : static_cast<int128>(cluster_b);
-    return a * b;
-}
-
-int64_t
-extractInnerProduct(int128 product, const BsGeometry &geometry)
-{
-    const uint128 bits = static_cast<uint128>(product);
-    uint64_t slice =
-        bitSlice128(bits, geometry.slice_msb, geometry.slice_lsb);
-    const bool any_signed =
-        geometry.config.a_signed || geometry.config.b_signed;
-    if (any_signed) {
-        // Borrow correction: coefficients below the slice can be negative;
-        // when their packed sum is negative the raw slice reads coeff - 1.
-        // Because each lower coefficient fits in cw - 1 magnitude bits, the
-        // lower part's sign is exactly the bit just below the slice.
-        if (geometry.slice_lsb > 0) {
-            const unsigned borrow_bit = geometry.slice_lsb - 1;
-            slice += static_cast<uint64_t>((bits >> borrow_bit) & 1);
-        }
-        return signExtend64(slice, geometry.cw);
-    }
-    return static_cast<int64_t>(slice);
-}
-
 int64_t
 extractInnerProductExact(int128 product, const BsGeometry &geometry)
 {

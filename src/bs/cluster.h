@@ -49,16 +49,62 @@ uint64_t packClusterB(std::span<const int32_t> elems,
  * Multiply two input-clusters on the (modelled) 64-bit multiplier.
  * Cluster words are interpreted as signed when the corresponding operand
  * is signed, matching the MULH/MULHU selection the μ-engine performs.
+ * Inline: this is the per-cycle primitive of both the modeled engine and
+ * the word-domain fast path.
  */
-int128 clusterMultiply(uint64_t cluster_a, uint64_t cluster_b,
-                       const BsGeometry &geometry);
+inline int128
+clusterMultiply(uint64_t cluster_a, uint64_t cluster_b,
+                const BsGeometry &geometry)
+{
+    // The μ-engine reuses the scalar multiplier, which produces a full
+    // 128-bit product; signedness selects between MUL/MULH[S]U pairs.
+    // Each branch is phrased as a widening 64 x 64 -> 128 multiply so
+    // the compiler emits the single-instruction form the hardware has,
+    // not a generic 128 x 128 product; the mixed cases derive from the
+    // unsigned product via the standard high-half sign correction
+    // (sx(a) * zx(b) = zx(a) * zx(b) - [a < 0] * (b << 64)).
+    const bool a_signed = geometry.config.a_signed;
+    const bool b_signed = geometry.config.b_signed;
+    if (a_signed && b_signed)
+        return static_cast<int128>(static_cast<int64_t>(cluster_a)) *
+               static_cast<int64_t>(cluster_b);
+    if (!a_signed && !b_signed)
+        return static_cast<int128>(static_cast<uint128>(cluster_a) *
+                                   cluster_b);
+    uint128 product = static_cast<uint128>(cluster_a) * cluster_b;
+    if (a_signed && static_cast<int64_t>(cluster_a) < 0)
+        product -= static_cast<uint128>(cluster_b) << 64;
+    if (b_signed && static_cast<int64_t>(cluster_b) < 0)
+        product -= static_cast<uint128>(cluster_a) << 64;
+    return static_cast<int128>(product);
+}
 
 /**
  * Extract the chunk inner product from a cluster product the way the DFU
  * does: raw bit slice (Eq. 5) plus single-bit borrow correction for
  * signed operands.
  */
-int64_t extractInnerProduct(int128 product, const BsGeometry &geometry);
+inline int64_t
+extractInnerProduct(int128 product, const BsGeometry &geometry)
+{
+    const uint128 bits = static_cast<uint128>(product);
+    uint64_t slice =
+        bitSlice128(bits, geometry.slice_msb, geometry.slice_lsb);
+    const bool any_signed =
+        geometry.config.a_signed || geometry.config.b_signed;
+    if (any_signed) {
+        // Borrow correction: coefficients below the slice can be negative;
+        // when their packed sum is negative the raw slice reads coeff - 1.
+        // Because each lower coefficient fits in cw - 1 magnitude bits, the
+        // lower part's sign is exactly the bit just below the slice.
+        if (geometry.slice_lsb > 0) {
+            const unsigned borrow_bit = geometry.slice_lsb - 1;
+            slice += static_cast<uint64_t>((bits >> borrow_bit) & 1);
+        }
+        return signExtend64(slice, geometry.cw);
+    }
+    return static_cast<int64_t>(slice);
+}
 
 /**
  * Reference extraction: iteratively peel signed cw-bit coefficients from

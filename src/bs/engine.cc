@@ -25,11 +25,15 @@ BsEngine::set(const BsGeometry &geometry, unsigned active_slots)
                      " exceed AccMem capacity ", accmem_.size()));
     geometry_ = geometry;
     chunk_schedule_ = dsuChunkSchedule(geometry);
+    plan_ = makeExpansionPlan(geometry);
     active_slots_ = active_slots;
     current_slot_ = 0;
     pairs_in_group_ = 0;
-    group_a_.clear();
-    group_b_.clear();
+    // Preallocate the group unpack buffers once: a group writes every
+    // μ-vector's full element count, so [group_extent, kua * epa) holds
+    // the zero padding of the last word — the DSU never selects it.
+    group_a_.assign(uint64_t{geometry.kua} * geometry.elems_per_avec, 0);
+    group_b_.assign(uint64_t{geometry.kub} * geometry.elems_per_bvec, 0);
     std::fill(accmem_.begin(), accmem_.end(), 0);
     busy_cycles_ = 0;
     pairs_issued_ = 0;
@@ -43,11 +47,15 @@ BsEngine::ip(uint64_t a_word, uint64_t b_word)
         fatal("bs.ip issued before bs.set");
     const auto &cfg = geometry_.config;
     if (pairs_in_group_ < geometry_.kua)
-        unpackMicroVectorInto(a_word, cfg.bwa, cfg.a_signed,
-                              geometry_.elems_per_avec, group_a_);
+        unpackMicroVectorTo(
+            a_word, cfg.bwa, cfg.a_signed, geometry_.elems_per_avec,
+            group_a_.data() +
+                uint64_t{pairs_in_group_} * geometry_.elems_per_avec);
     if (pairs_in_group_ < geometry_.kub)
-        unpackMicroVectorInto(b_word, cfg.bwb, cfg.b_signed,
-                              geometry_.elems_per_bvec, group_b_);
+        unpackMicroVectorTo(
+            b_word, cfg.bwb, cfg.b_signed, geometry_.elems_per_bvec,
+            group_b_.data() +
+                uint64_t{pairs_in_group_} * geometry_.elems_per_bvec);
     ++pairs_in_group_;
     ++pairs_issued_;
     if (pairs_in_group_ == geometry_.group_pairs)
@@ -55,12 +63,32 @@ BsEngine::ip(uint64_t a_word, uint64_t b_word)
 }
 
 void
+BsEngine::ipGroup(const uint64_t *a_words, const uint64_t *b_words)
+{
+    if (!configured_)
+        fatal("bs.ip issued before bs.set");
+    if (pairs_in_group_ != 0)
+        fatal("bs.ip group issued mid accumulation group");
+    int64_t acc = 0;
+    for (const ExpansionChunk &chunk : plan_.chunks) {
+        const uint64_t ca = expandClusterA(
+            a_words[chunk.a_word] >> chunk.a_shift, chunk.len, geometry_);
+        const uint64_t cb = expandClusterB(
+            b_words[chunk.b_word] >> chunk.b_shift, chunk.len, geometry_);
+        acc += extractInnerProduct(clusterMultiply(ca, cb, geometry_),
+                                   geometry_);
+    }
+    accmem_[current_slot_] += acc;
+    busy_cycles_ += geometry_.group_cycles;
+    pairs_issued_ += geometry_.group_pairs;
+    current_slot_ = (current_slot_ + 1) % active_slots_;
+}
+
+void
 BsEngine::finishGroup()
 {
     // Pairs beyond the group extent are zero padding by the packing
     // contract; the DSU never selects them.
-    group_a_.resize(geometry_.group_extent, 0);
-    group_b_.resize(geometry_.group_extent, 0);
     int64_t acc = 0;
     size_t pos = 0;
     for (const unsigned chunk : chunk_schedule_) {
@@ -74,8 +102,6 @@ BsEngine::finishGroup()
     busy_cycles_ += geometry_.group_cycles;
     current_slot_ = (current_slot_ + 1) % active_slots_;
     pairs_in_group_ = 0;
-    group_a_.clear();
-    group_b_.clear();
 }
 
 int64_t

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bs/expand.h"
 #include "bs/geometry.h"
 
 namespace mixgemm
@@ -54,6 +55,20 @@ class BsEngine
     void ip(uint64_t a_word, uint64_t b_word);
 
     /**
+     * Batched bs.ip: issue one whole accumulation group in a single
+     * call — @p a_words points at the group's kua A μ-vectors and
+     * @p b_words at its kub B μ-vectors (the contiguous layout of
+     * CompressedA/CompressedB). Computes in the word domain through the
+     * bw -> cw expansion — no per-element unpack/repack — with results,
+     * busy cycles, pairs-issued accounting, and AccMem sequencing
+     * identical to group_pairs individual ip() calls (trailing words of
+     * the shorter operand stream are the zero words Algorithm 1 line 7
+     * would carry).
+     * @pre the engine is at an accumulation-group boundary.
+     */
+    void ipGroup(const uint64_t *a_words, const uint64_t *b_words);
+
+    /**
      * bs.get: read AccMem slot @p slot and clear it, ready for the next
      * μ-kernel invocation.
      */
@@ -80,10 +95,15 @@ class BsEngine
 
     BsGeometry geometry_;
     std::vector<unsigned> chunk_schedule_; ///< cached DSU schedule
+    GroupExpansionPlan plan_;              ///< cached word-domain plan
     std::vector<int64_t> accmem_;
     unsigned active_slots_ = 0;
     unsigned current_slot_ = 0;
     unsigned pairs_in_group_ = 0;
+    /// Preallocated unpack buffers (kua * elems_per_avec / kub *
+    /// elems_per_bvec elements, >= group_extent): ip() writes each
+    /// μ-vector's elements at its word offset, so a group never
+    /// allocates or grows.
     std::vector<int32_t> group_a_;
     std::vector<int32_t> group_b_;
     uint64_t busy_cycles_ = 0;

@@ -1,0 +1,58 @@
+#include "bs/expand.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+GroupExpansionPlan
+makeExpansionPlan(const BsGeometry &geometry)
+{
+    GroupExpansionPlan plan;
+    const auto schedule = dsuChunkSchedule(geometry);
+    plan.chunks.reserve(schedule.size());
+    const unsigned na = geometry.elems_per_avec;
+    const unsigned nb = geometry.elems_per_bvec;
+    unsigned pos = 0;
+    for (const unsigned len : schedule) {
+        ExpansionChunk c;
+        c.len = len;
+        c.a_word = pos / na;
+        c.a_shift = geometry.config.bwa * (pos % na);
+        c.b_word = pos / nb;
+        c.b_shift = geometry.config.bwb * (pos % nb);
+        // The schedule guarantees chunks stay within one μ-vector of
+        // each operand; a violation would silently mix elements.
+        if (pos % na + len > na || pos % nb + len > nb)
+            panic("expansion plan: chunk crosses a μ-vector boundary");
+        plan.chunks.push_back(c);
+        pos += len;
+    }
+    if (pos != geometry.group_extent)
+        panic("expansion plan: schedule does not cover the group");
+    return plan;
+}
+
+void
+expandGroupA(const uint64_t *words, const BsGeometry &geometry,
+             const GroupExpansionPlan &plan, uint64_t *out)
+{
+    for (size_t c = 0; c < plan.chunks.size(); ++c) {
+        const ExpansionChunk &chunk = plan.chunks[c];
+        out[c] = expandClusterA(words[chunk.a_word] >> chunk.a_shift,
+                                chunk.len, geometry);
+    }
+}
+
+void
+expandGroupB(const uint64_t *words, const BsGeometry &geometry,
+             const GroupExpansionPlan &plan, uint64_t *out)
+{
+    for (size_t c = 0; c < plan.chunks.size(); ++c) {
+        const ExpansionChunk &chunk = plan.chunks[c];
+        out[c] = expandClusterB(words[chunk.b_word] >> chunk.b_shift,
+                                chunk.len, geometry);
+    }
+}
+
+} // namespace mixgemm

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Word-domain fast path: bw -> cw lane-widening expansion.
+ *
+ * The modeled μ-engine unpacks every packed μ-vector element-by-element
+ * and re-packs the elements into cw-spaced input-clusters one shift-add
+ * at a time. That round trip is pure software overhead — the data never
+ * needs to leave the word domain. This module converts a packed
+ * μ-vector word *directly* into the cw-spaced cluster word(s) the
+ * multiplier consumes, with shifts and masks only:
+ *
+ *   cluster = spread(raw fields, bw -> cw)              (unsigned)
+ *   cluster = spread(raw) - (spread(sign bits) << bw)   (signed)
+ *
+ * The signed identity holds because each raw bw-bit field u_i encodes
+ * the value v_i = u_i - 2^bw * s_i (s_i the sign bit), so
+ *
+ *   sum v_i * 2^(cw*i) = sum u_i * 2^(cw*i) - 2^bw * sum s_i * 2^(cw*i)
+ *
+ * — exactly the signed integer sum packClusterA()/packClusterB() compute
+ * per element (and what the hardware's sign-extending DCU produces), so
+ * the downstream borrow-correcting slice extraction is unchanged and the
+ * fast path is bit-identical to the modeled one by construction.
+ *
+ * A GroupExpansionPlan precomputes, per DSU chunk of an accumulation
+ * group, which μ-vector supplies the chunk and at which bit offset
+ * (chunks never cross μ-vector boundaries), so a whole group expands
+ * with no per-element state.
+ */
+
+#ifndef MIXGEMM_BS_EXPAND_H
+#define MIXGEMM_BS_EXPAND_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bs/cluster.h"
+#include "bs/geometry.h"
+#include "common/bitutils.h"
+
+namespace mixgemm
+{
+
+/**
+ * Expand the low @p len bw-spaced fields of a (pre-shifted) A μ-vector
+ * word into one cw-spaced cluster word, element i at position i
+ * (ascending, the packClusterA() layout). Produces the exact signed sum
+ * mod 2^64 for signed geometries.
+ */
+inline uint64_t
+expandClusterA(uint64_t word, unsigned len, const BsGeometry &geometry)
+{
+    const unsigned bw = geometry.config.bwa;
+    const unsigned cw = geometry.cw;
+    const uint64_t field = mask64(bw);
+    uint64_t spread = 0;
+    for (unsigned i = 0; i < len; ++i)
+        spread |= ((word >> (bw * i)) & field) << (cw * i);
+    if (geometry.config.a_signed) {
+        uint64_t signs = 0;
+        for (unsigned i = 0; i < len; ++i)
+            signs |= ((word >> (bw * i + bw - 1)) & 1) << (cw * i);
+        spread -= signs << bw;
+    }
+    return spread;
+}
+
+/**
+ * Expand the low @p len bw-spaced fields of a (pre-shifted) B μ-vector
+ * word into one cw-spaced cluster word, element j at position
+ * cluster_size - 1 - j (reversed, the packClusterB() layout).
+ */
+inline uint64_t
+expandClusterB(uint64_t word, unsigned len, const BsGeometry &geometry)
+{
+    const unsigned bw = geometry.config.bwb;
+    const unsigned cw = geometry.cw;
+    const unsigned top = geometry.cluster_size - 1;
+    const uint64_t field = mask64(bw);
+    uint64_t spread = 0;
+    for (unsigned j = 0; j < len; ++j)
+        spread |= ((word >> (bw * j)) & field) << (cw * (top - j));
+    if (geometry.config.b_signed) {
+        uint64_t signs = 0;
+        for (unsigned j = 0; j < len; ++j)
+            signs |= ((word >> (bw * j + bw - 1)) & 1)
+                     << (cw * (top - j));
+        spread -= signs << bw;
+    }
+    return spread;
+}
+
+/**
+ * Per-chunk source coordinates of one accumulation group: which A/B
+ * μ-vector feeds the chunk and at which bit offset within the word.
+ * Valid because the DSU chunk schedule never crosses a μ-vector
+ * boundary of either operand.
+ */
+struct ExpansionChunk
+{
+    unsigned len;     ///< elements in this chunk
+    unsigned a_word;  ///< A μ-vector index within the group [0, kua)
+    unsigned a_shift; ///< bit offset of the chunk's first A element
+    unsigned b_word;  ///< B μ-vector index within the group [0, kub)
+    unsigned b_shift; ///< bit offset of the chunk's first B element
+};
+
+/** Precomputed whole-group expansion recipe for one geometry. */
+struct GroupExpansionPlan
+{
+    std::vector<ExpansionChunk> chunks;
+
+    /** Cluster words produced per operand per accumulation group. */
+    unsigned chunkCount() const
+    {
+        return static_cast<unsigned>(chunks.size());
+    }
+};
+
+/** Build the expansion plan from the DSU chunk schedule. */
+GroupExpansionPlan makeExpansionPlan(const BsGeometry &geometry);
+
+/**
+ * Expand one accumulation group of A μ-vectors (@p words, kua entries)
+ * into its @p plan.chunkCount() cluster words.
+ */
+void expandGroupA(const uint64_t *words, const BsGeometry &geometry,
+                  const GroupExpansionPlan &plan, uint64_t *out);
+
+/** B-operand counterpart of expandGroupA (kub words, reversed layout). */
+void expandGroupB(const uint64_t *words, const BsGeometry &geometry,
+                  const GroupExpansionPlan &plan, uint64_t *out);
+
+/**
+ * Inner product of pre-expanded cluster-word streams: @p chunks
+ * multiply/extract cycles, identical arithmetic to the modeled engine's
+ * finishGroup() chunk loop. This is the whole per-cell work of the fast
+ * μ-kernel.
+ *
+ * The loop computes extractInnerProduct(clusterMultiply(...)) with
+ * 64-bit operations only: slice_msb = cluster_size * cw - 1 <= 63
+ * (Eq. 4 — the cluster fits the multiplier), so the extracted slice
+ * and its borrow bit live entirely in the low product half, and the
+ * low 64 bits of a 64 x 64 multiply are the same for every signedness
+ * combination. One plain multiply per chunk, no 128-bit arithmetic.
+ */
+inline int64_t
+clusterPanelDot(const uint64_t *cluster_a, const uint64_t *cluster_b,
+                unsigned chunks, const BsGeometry &geometry)
+{
+    const unsigned lsb = geometry.slice_lsb;
+    const unsigned cw = geometry.cw;
+    const bool any_signed =
+        geometry.config.a_signed || geometry.config.b_signed;
+    int64_t acc = 0;
+    if (!any_signed) {
+        const uint64_t field = mask64(cw);
+        for (unsigned c = 0; c < chunks; ++c)
+            acc += static_cast<int64_t>(
+                (cluster_a[c] * cluster_b[c] >> lsb) & field);
+    } else if (lsb > 0) {
+        // Two shifts sign-extend the slice (lift slice_msb to bit 63,
+        // arithmetic shift back); the borrow adds *after* extension.
+        // That reorder is exact: slice + borrow is the true chunk inner
+        // product, whose magnitude is strictly below 2^(cw - 1) (the
+        // coefficient headroom of Eq. 3), so the one diverging case —
+        // slice + borrow carrying into the sign bit at +2^(cw - 1) —
+        // cannot occur.
+        const unsigned up = 64 - lsb - cw; // slice_msb <= 63 by Eq. 4
+        const unsigned down = 64 - cw;
+        const unsigned borrow = lsb - 1;
+        int64_t acc1 = 0;
+        unsigned c = 0;
+        for (; c + 2 <= chunks; c += 2) {
+            const uint64_t p0 = cluster_a[c] * cluster_b[c];
+            const uint64_t p1 = cluster_a[c + 1] * cluster_b[c + 1];
+            acc += (static_cast<int64_t>(p0 << up) >> down) +
+                   static_cast<int64_t>((p0 >> borrow) & 1);
+            acc1 += (static_cast<int64_t>(p1 << up) >> down) +
+                    static_cast<int64_t>((p1 >> borrow) & 1);
+        }
+        for (; c < chunks; ++c) {
+            const uint64_t p = cluster_a[c] * cluster_b[c];
+            acc += (static_cast<int64_t>(p << up) >> down) +
+                   static_cast<int64_t>((p >> borrow) & 1);
+        }
+        acc += acc1;
+    } else {
+        for (unsigned c = 0; c < chunks; ++c)
+            acc += signExtend64(cluster_a[c] * cluster_b[c], cw);
+    }
+    return acc;
+}
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_BS_EXPAND_H

@@ -48,13 +48,24 @@ unpackMicroVector(uint64_t word, unsigned bw, bool is_signed, unsigned count)
 }
 
 void
+unpackMicroVectorTo(uint64_t word, unsigned bw, bool is_signed,
+                    unsigned count, int32_t *out)
+{
+    if (count > elemsPerMicroVector(bw))
+        panic("unpackMicroVectorTo: count exceeds capacity");
+    for (unsigned i = 0; i < count; ++i)
+        out[i] = microVectorElement(word, bw, is_signed, i);
+}
+
+void
 unpackMicroVectorInto(uint64_t word, unsigned bw, bool is_signed,
                       unsigned count, std::vector<int32_t> &out)
 {
-    if (count > elemsPerMicroVector(bw))
-        panic("unpackMicroVectorInto: count exceeds capacity");
-    for (unsigned i = 0; i < count; ++i)
-        out.push_back(microVectorElement(word, bw, is_signed, i));
+    // One resize + indexed writes: no per-element growth checks, and a
+    // caller that reserve()d pays no allocation at all.
+    const size_t base = out.size();
+    out.resize(base + count);
+    unpackMicroVectorTo(word, bw, is_signed, count, out.data() + base);
 }
 
 std::vector<uint64_t>

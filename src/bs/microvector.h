@@ -46,8 +46,16 @@ int32_t microVectorElement(uint64_t word, unsigned bw, bool is_signed,
                            unsigned index);
 
 /**
- * Append @p count unpacked elements to @p out without reallocating on
- * every call (hot path of the functional μ-engine).
+ * Unpack @p count elements into a caller-owned buffer of at least
+ * @p count entries — the zero-allocation path the modeled μ-engine
+ * fills its preallocated group buffers with.
+ */
+void unpackMicroVectorTo(uint64_t word, unsigned bw, bool is_signed,
+                         unsigned count, int32_t *out);
+
+/**
+ * Append @p count unpacked elements to @p out with one resize and
+ * indexed writes (no per-element push_back growth checks).
  */
 void unpackMicroVectorInto(uint64_t word, unsigned bw, bool is_signed,
                            unsigned count, std::vector<int32_t> &out);

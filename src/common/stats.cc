@@ -33,21 +33,66 @@ RunningStat::geomean() const
     return count_ ? std::exp(log_sum_ / static_cast<double>(count_)) : 0.0;
 }
 
+namespace
+{
+
+constexpr unsigned kInternedCount =
+    static_cast<unsigned>(Counter::Count);
+
+constexpr const char *kCounterNames[kInternedCount] = {
+    "bs_set",       "bs_ip",
+    "bs_get",       "a_panels",
+    "b_panels",     "micro_kernels",
+    "engine_busy_cycles", "ops",
+};
+
+/** Map a string to its interned counter, if it names one. */
+bool
+findInterned(const std::string &name, Counter &out)
+{
+    for (unsigned i = 0; i < kInternedCount; ++i) {
+        if (name == kCounterNames[i]) {
+            out = static_cast<Counter>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+counterName(Counter counter)
+{
+    return kCounterNames[static_cast<unsigned>(counter)];
+}
+
 void
 CounterSet::inc(const std::string &name, uint64_t delta)
 {
-    counters_[name] += delta;
+    Counter c;
+    if (findInterned(name, c))
+        inc(c, delta);
+    else
+        counters_[name] += delta;
 }
 
 void
 CounterSet::set(const std::string &name, uint64_t value)
 {
-    counters_[name] = value;
+    Counter c;
+    if (findInterned(name, c))
+        set(c, value);
+    else
+        counters_[name] = value;
 }
 
 uint64_t
 CounterSet::get(const std::string &name) const
 {
+    Counter c;
+    if (findInterned(name, c))
+        return get(c);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
 }
@@ -55,6 +100,7 @@ CounterSet::get(const std::string &name) const
 void
 CounterSet::clear()
 {
+    interned_.fill(0);
     for (auto &kv : counters_)
         kv.second = 0;
 }
@@ -62,6 +108,8 @@ CounterSet::clear()
 void
 CounterSet::merge(const CounterSet &other)
 {
+    for (unsigned i = 0; i < kInternedCount; ++i)
+        interned_[i] += other.interned_[i];
     for (const auto &kv : other.counters_)
         counters_[kv.first] += kv.second;
 }
@@ -69,8 +117,20 @@ CounterSet::merge(const CounterSet &other)
 void
 CounterSet::mergeScaled(const CounterSet &other, uint64_t factor)
 {
+    for (unsigned i = 0; i < kInternedCount; ++i)
+        interned_[i] += other.interned_[i] * factor;
     for (const auto &kv : other.counters_)
         counters_[kv.first] += kv.second * factor;
+}
+
+std::map<std::string, uint64_t>
+CounterSet::all() const
+{
+    std::map<std::string, uint64_t> merged = counters_;
+    for (unsigned i = 0; i < kInternedCount; ++i)
+        if (interned_[i] != 0)
+            merged[kCounterNames[i]] = interned_[i];
+    return merged;
 }
 
 } // namespace mixgemm

@@ -8,6 +8,7 @@
 #ifndef MIXGEMM_COMMON_STATS_H
 #define MIXGEMM_COMMON_STATS_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -44,13 +45,59 @@ class RunningStat
 };
 
 /**
+ * Interned handles for the counters the GEMM driver bumps in its inner
+ * loops. A `Counter` indexes a flat array inside CounterSet, so the hot
+ * path is one add instead of a std::map<std::string> lookup; the string
+ * API below transparently routes these names to the same slots, so
+ * tools and benches keep reading e.g. counters.get("bs_ip").
+ */
+enum class Counter : unsigned
+{
+    BsSet,            ///< "bs_set"
+    BsIp,             ///< "bs_ip"
+    BsGet,            ///< "bs_get"
+    APanels,          ///< "a_panels"
+    BPanels,          ///< "b_panels"
+    MicroKernels,     ///< "micro_kernels"
+    EngineBusyCycles, ///< "engine_busy_cycles"
+    Ops,              ///< "ops"
+    Count             ///< number of interned counters (not a counter)
+};
+
+/** Canonical string name of an interned counter. */
+const char *counterName(Counter counter);
+
+/**
  * A named bag of 64-bit counters. The simulator PMU and the GEMM timing
  * model both expose their event counts through one of these, so tests and
  * benches can read e.g. counters.get("srcbuf_full_stall_cycles").
+ *
+ * The handful of GEMM-driver counters (`Counter`) live in a flat array
+ * addressed by enum — the inner-loop path — while arbitrary names live
+ * in a map. The string overloads recognize the interned names and route
+ * them to the flat slots, so both APIs always agree on those counters.
  */
 class CounterSet
 {
   public:
+    /** Add @p delta to interned counter @p counter (inner-loop path). */
+    void inc(Counter counter, uint64_t delta = 1)
+    {
+        interned_[static_cast<unsigned>(counter)] += delta;
+    }
+
+    /** Set interned counter @p counter to @p value. */
+    void set(Counter counter, uint64_t value)
+    {
+        interned_[static_cast<unsigned>(counter)] = value;
+    }
+
+    /** Read interned counter @p counter. */
+    uint64_t get(Counter counter) const
+    {
+        return interned_[static_cast<unsigned>(counter)];
+    }
+
     /** Add @p delta to counter @p name (creating it at 0 if absent). */
     void inc(const std::string &name, uint64_t delta = 1);
 
@@ -60,7 +107,7 @@ class CounterSet
     /** Read counter @p name; absent counters read as 0. */
     uint64_t get(const std::string &name) const;
 
-    /** Reset every counter to zero (the set of names is preserved). */
+    /** Reset every counter to zero (the set of string names is kept). */
     void clear();
 
     /** Merge: add every counter of @p other into this set. */
@@ -69,10 +116,16 @@ class CounterSet
     /** Merge with every count of @p other scaled by @p factor. */
     void mergeScaled(const CounterSet &other, uint64_t factor);
 
-    /** Access the underlying map (sorted by name) for printing. */
-    const std::map<std::string, uint64_t> &all() const { return counters_; }
+    /**
+     * Merged view (sorted by name) for printing and comparisons:
+     * string-keyed counters plus every nonzero interned counter under
+     * its canonical name.
+     */
+    std::map<std::string, uint64_t> all() const;
 
   private:
+    std::array<uint64_t, static_cast<unsigned>(Counter::Count)>
+        interned_{};
     std::map<std::string, uint64_t> counters_;
 };
 

@@ -17,6 +17,25 @@
 namespace mixgemm
 {
 
+/**
+ * Which μ-kernel implementation mixGemm() executes.
+ *
+ *  - Modeled: every μ-vector pair goes through the functional μ-engine
+ *    (BsEngine::ip): element-by-element unpack, per-chunk re-pack, the
+ *    cycle-accurate reference.
+ *  - Fast: the word-domain fast path — operands expand once (bw -> cw,
+ *    bs/expand.h) into cached cluster-domain panels and each μ-kernel
+ *    cell is a stream of multiply/extract cycles over them. Bitwise
+ *    identical C and counter totals (the instruction and cycle counts
+ *    are arithmetic identities of the loop structure), an order of
+ *    magnitude faster in wall-clock.
+ */
+enum class KernelMode
+{
+    Modeled,
+    Fast,
+};
+
 /** Cache-blocking and register-blocking dimensions. */
 struct BlockingParams
 {
@@ -34,6 +53,14 @@ struct BlockingParams
      * thread. Results and counter totals are identical for every value.
      */
     unsigned threads = 1;
+
+    /**
+     * μ-kernel implementation; Fast (the default) computes on packed
+     * words end to end and is bitwise identical to Modeled in output
+     * and counters — keep Modeled for cycle-model cross-validation and
+     * as the arbiter if the paths ever disagree.
+     */
+    KernelMode kernel_mode = KernelMode::Fast;
 
     /** Table I defaults. */
     static BlockingParams paperDefaults() { return BlockingParams{}; }

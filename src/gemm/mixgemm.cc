@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bs/engine.h"
+#include "bs/expand.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
@@ -12,45 +13,135 @@ namespace mixgemm
 namespace
 {
 
-/** One μ-kernel: mr x nr output cells over [g0, g1) accumulation groups. */
+/**
+ * One modeled μ-kernel: mr x nr output cells over [g0, g1) accumulation
+ * groups, every μ-vector pair issued through the functional μ-engine.
+ * @p interior promises every row/col is in range, so the hot loop
+ * fetches panel words by pointer with no per-word bounds branches; edge
+ * μ-panels take the checked loop and issue zero μ-vectors out of range.
+ * Bounds are the enclosing macro tile's (@p row_end, @p col_end), not
+ * the matrix's: a tile edge that is not a matrix edge must not touch
+ * the neighboring tile's C cells.
+ */
 void
-microKernel(const CompressedA &a, const CompressedB &b, BsEngine &engine,
-            uint64_t ir, uint64_t jr, unsigned g0, unsigned g1,
-            unsigned mr, unsigned nr, std::vector<int64_t> &c,
-            CounterSet &counters)
+microKernelModeled(const CompressedA &a, const CompressedB &b,
+                   BsEngine &engine, uint64_t ir, uint64_t jr,
+                   uint64_t row_end, uint64_t col_end, unsigned g0,
+                   unsigned g1, unsigned mr, unsigned nr, bool interior,
+                   std::vector<int64_t> &c, CounterSet &counters)
 {
     const BsGeometry &geom = a.geometry();
-    const uint64_t m = a.m();
     const uint64_t n = b.n();
+    const unsigned kua = geom.kua;
+    const unsigned kub = geom.kub;
+    const unsigned pairs = geom.group_pairs;
 
-    for (unsigned g = g0; g < g1; ++g) {
-        for (unsigned i = 0; i < nr; ++i) {
-            const uint64_t col = jr + i;
-            for (unsigned j = 0; j < mr; ++j) {
-                const uint64_t row = ir + j;
-                for (unsigned p = 0; p < geom.group_pairs; ++p) {
-                    const uint64_t aw =
-                        (row < m && p < geom.kua) ? a.word(row, g, p) : 0;
-                    const uint64_t bw =
-                        (col < n && p < geom.kub) ? b.word(col, g, p) : 0;
-                    engine.ip(aw, bw);
+    if (interior) {
+        const uint64_t *a_words = a.words().data();
+        const uint64_t *b_words = b.words().data();
+        for (unsigned g = g0; g < g1; ++g) {
+            for (unsigned i = 0; i < nr; ++i) {
+                const uint64_t *bw =
+                    b_words + b.wordIndex(jr + i, g, 0);
+                for (unsigned j = 0; j < mr; ++j) {
+                    const uint64_t *aw =
+                        a_words + a.wordIndex(ir + j, g, 0);
+                    for (unsigned p = 0; p < pairs; ++p)
+                        engine.ip(p < kua ? aw[p] : 0,
+                                  p < kub ? bw[p] : 0);
                 }
             }
+            counters.inc(Counter::BsIp, uint64_t{nr} * mr * pairs);
         }
-        counters.inc("bs_ip",
-                     uint64_t{nr} * mr * geom.group_pairs);
+    } else {
+        for (unsigned g = g0; g < g1; ++g) {
+            for (unsigned i = 0; i < nr; ++i) {
+                const uint64_t col = jr + i;
+                for (unsigned j = 0; j < mr; ++j) {
+                    const uint64_t row = ir + j;
+                    for (unsigned p = 0; p < pairs; ++p) {
+                        const uint64_t aw = (row < row_end && p < kua)
+                            ? a.word(row, g, p)
+                            : 0;
+                        const uint64_t bw = (col < col_end && p < kub)
+                            ? b.word(col, g, p)
+                            : 0;
+                        engine.ip(aw, bw);
+                    }
+                }
+            }
+            counters.inc(Counter::BsIp, uint64_t{nr} * mr * pairs);
+        }
     }
 
     for (unsigned i = 0; i < nr; ++i) {
         for (unsigned j = 0; j < mr; ++j) {
             const int64_t value = engine.get(i * mr + j);
-            counters.inc("bs_get");
             const uint64_t row = ir + j;
             const uint64_t col = jr + i;
-            if (row < m && col < n)
+            if (row < row_end && col < col_end)
                 c[row * n + col] += value;
         }
     }
+    counters.inc(Counter::BsGet, uint64_t{mr} * nr);
+}
+
+/**
+ * One fast-path μ-kernel: the identical arithmetic, computed directly
+ * on the cached cluster-domain panels. A cell's [g0, g1) groups are
+ * contiguous in the panel, so each cell is a single multiply/extract
+ * stream over (g1 - g0) * chunks cluster-word pairs — no unpack, no
+ * re-pack, no per-element state. Instruction counters and busy cycles
+ * are arithmetic identities of the loop structure (group_pairs bs.ip
+ * and group_cycles per cell-group, mr * nr bs.get), so every total
+ * matches the modeled engine exactly; @p cell_groups accumulates the
+ * cell-group count the caller converts to busy cycles.
+ */
+void
+microKernelFast(const CompressedA &a, const CompressedB &b, uint64_t ir,
+                uint64_t jr, uint64_t row_end, uint64_t col_end,
+                unsigned g0, unsigned g1, unsigned mr, unsigned nr,
+                bool interior, std::vector<int64_t> &c,
+                CounterSet &counters, uint64_t &cell_groups)
+{
+    const BsGeometry &geom = a.geometry();
+    const uint64_t n = b.n();
+    const unsigned span = (g1 - g0) * a.clusterWordsPerGroup();
+
+    if (interior) {
+        for (unsigned i = 0; i < nr; ++i) {
+            const uint64_t col = jr + i;
+            const uint64_t *cb = b.groupClusters(col, g0);
+            for (unsigned j = 0; j < mr; ++j) {
+                const uint64_t row = ir + j;
+                const uint64_t *ca = a.groupClusters(row, g0);
+                c[row * n + col] +=
+                    clusterPanelDot(ca, cb, span, geom);
+            }
+        }
+    } else {
+        for (unsigned i = 0; i < nr; ++i) {
+            const uint64_t col = jr + i;
+            if (col >= col_end)
+                continue;
+            const uint64_t *cb = b.groupClusters(col, g0);
+            for (unsigned j = 0; j < mr; ++j) {
+                const uint64_t row = ir + j;
+                if (row >= row_end)
+                    continue;
+                const uint64_t *ca = a.groupClusters(row, g0);
+                c[row * n + col] +=
+                    clusterPanelDot(ca, cb, span, geom);
+            }
+        }
+    }
+
+    // Out-of-range cells issue zero μ-vectors and burn the same engine
+    // cycles in the modeled path; count them all the same way here.
+    counters.inc(Counter::BsIp,
+                 uint64_t{g1 - g0} * nr * mr * geom.group_pairs);
+    counters.inc(Counter::BsGet, uint64_t{mr} * nr);
+    cell_groups += uint64_t{g1 - g0} * mr * nr;
 }
 
 /**
@@ -69,30 +160,45 @@ struct MacroTile
  * Run the k-panel and μ-panel loops of one macro tile (MACRO-KERNEL of
  * Algorithm 1, plus the gc panel loop hoisted per tile). Accumulation
  * into C is int64 and each tile owns its C sub-block, so the result is
- * bitwise identical regardless of tile execution order.
+ * bitwise identical regardless of tile execution order — and of the
+ * kernel mode, since both μ-kernels compute the same chunk sums.
  */
 void
 runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
              const MacroTile &tile, const BlockingParams &blocking,
              unsigned kc_groups, std::vector<int64_t> &c,
-             CounterSet &counters)
+             CounterSet &counters, uint64_t &cell_groups)
 {
     const unsigned k_groups = a.kGroups();
     const unsigned mr = blocking.mr;
     const unsigned nr = blocking.nr;
+    const bool fast = blocking.kernel_mode == KernelMode::Fast;
     for (unsigned gc = 0; gc < k_groups; gc += kc_groups) {
         const unsigned g1 = std::min<unsigned>(gc + kc_groups, k_groups);
         // The serial 5-loop nest counts one B panel per (jc, gc) and one
         // A panel per (jc, gc, ic); attribute the shared B panel to the
         // ic == 0 tile of each column panel so totals stay identical.
         if (tile.ic == 0)
-            counters.inc("b_panels");
-        counters.inc("a_panels");
+            counters.inc(Counter::BPanels);
+        counters.inc(Counter::APanels);
         for (uint64_t jr = 0; jr < tile.nc; jr += nr) {
             for (uint64_t ir = 0; ir < tile.mc; ir += mr) {
-                microKernel(a, b, engine, tile.ic + ir, tile.jc + jr,
-                            gc, g1, mr, nr, c, counters);
-                counters.inc("micro_kernels");
+                // Interior μ-panels have every row/col in range (tile
+                // extents are already clamped to m/n), so the kernels
+                // drop their per-word bounds branches.
+                const bool interior =
+                    ir + mr <= tile.mc && jr + nr <= tile.nc;
+                if (fast)
+                    microKernelFast(a, b, tile.ic + ir, tile.jc + jr,
+                                    tile.ic + tile.mc,
+                                    tile.jc + tile.nc, gc, g1, mr, nr,
+                                    interior, c, counters, cell_groups);
+                else
+                    microKernelModeled(a, b, engine, tile.ic + ir,
+                                       tile.jc + jr, tile.ic + tile.mc,
+                                       tile.jc + tile.nc, gc, g1, mr,
+                                       nr, interior, c, counters);
+                counters.inc(Counter::MicroKernels);
             }
         }
     }
@@ -119,6 +225,14 @@ mixGemm(const CompressedA &a, const CompressedB &b,
     const unsigned kc_groups = std::max<unsigned>(
         1, static_cast<unsigned>(blocking.kc / geom.group_extent));
 
+    // Fast path: build (or reuse) the cluster-domain panels before any
+    // worker starts — one bw -> cw expansion per operand word, amortized
+    // across every μ-kernel that reads it.
+    if (blocking.kernel_mode == KernelMode::Fast) {
+        a.ensureClusterPanels();
+        b.ensureClusterPanels();
+    }
+
     // M-GEMM panel decomposition (Algorithm 1, lines 21-28): the jc/ic
     // loops become a flat macro-tile list. Tiles cover disjoint C
     // sub-blocks, which is what makes the BLIS jc/ic loops the natural
@@ -139,20 +253,25 @@ mixGemm(const CompressedA &a, const CompressedB &b,
     // One logical bs.set configures the computation; every worker
     // programs its own μ-engine instance with the same configuration,
     // exactly as the per-core engines of the multi-core SoC would.
-    result.counters.inc("bs_set");
+    result.counters.inc(Counter::BsSet);
 
     // Per-worker μ-engine and counters: engine state is never shared,
     // and worker w processes tiles w, w + threads, ... so the work
     // partition depends only on (tiles, threads), not on scheduling.
+    // Fast-path workers track cell-groups instead of driving the
+    // engine; group_cycles per cell-group is exactly what the modeled
+    // engine accrues, so busy-cycle totals agree bitwise.
     std::vector<CounterSet> worker_counters(threads);
     std::vector<uint64_t> worker_busy(threads, 0);
     auto worker = [&](unsigned w) {
         BsEngine engine(uint64_t{mr} * nr);
         engine.set(geom, mr * nr);
+        uint64_t cell_groups = 0;
         for (size_t t = w; t < tiles.size(); t += threads)
             runMacroTile(a, b, engine, tiles[t], blocking, kc_groups,
-                         result.c, worker_counters[w]);
-        worker_busy[w] = engine.busyCycles();
+                         result.c, worker_counters[w], cell_groups);
+        worker_busy[w] = engine.busyCycles() +
+                         cell_groups * geom.group_cycles;
     };
     if (threads == 1)
         worker(0);
@@ -166,8 +285,8 @@ mixGemm(const CompressedA &a, const CompressedB &b,
         result.counters.merge(worker_counters[w]);
         busy_cycles += worker_busy[w];
     }
-    result.counters.set("engine_busy_cycles", busy_cycles);
-    result.counters.set("ops", 2 * m * n * a.k());
+    result.counters.set(Counter::EngineBusyCycles, busy_cycles);
+    result.counters.set(Counter::Ops, 2 * m * n * a.k());
     return result;
 }
 

@@ -14,9 +14,18 @@
  *
  * Matrix edges (m or n not multiples of mr/nr) are handled the standard
  * BLIS way: μ-panels are zero-padded, and out-of-range C cells are
- * discarded at bs.get time. The returned counters expose the dynamic
- * instruction mix; cycle-accurate timing is the job of src/sim, which is
- * cross-validated against these counts.
+ * discarded at bs.get time; interior μ-panels take branch-free hot
+ * loops. The returned counters expose the dynamic instruction mix;
+ * cycle-accurate timing is the job of src/sim, which is cross-validated
+ * against these counts.
+ *
+ * Kernel modes (BlockingParams::kernel_mode): Modeled drives every
+ * μ-vector pair through the functional BsEngine; Fast (the default)
+ * computes each cell as a clusterPanelDot over cached cluster-domain
+ * panels (bw -> cw expansion, see bs/expand.h and tensor/packing.h)
+ * with counters derived from the same loop structure — output and
+ * counter totals are bitwise identical between the modes, pinned by
+ * tests/test_fastpath.cc.
  *
  * Threading (BlockingParams::threads): the jc/ic panel loops flatten
  * into a list of [mc x nc] macro tiles covering disjoint C sub-blocks;

@@ -22,8 +22,9 @@ MixGemmBackend::gemm(std::span<const int32_t> a,
     const auto geometry = geometryForK(computeBsGeometry(config), k);
     BlockingParams blocking = BlockingParams::paperDefaults();
     blocking.threads = threads_;
+    blocking.kernel_mode = kernel_mode_;
     auto result = mixGemm(a, b, m, n, k, geometry, blocking);
-    total_bs_ip_ += result.counters.get("bs_ip");
+    total_bs_ip_ += result.counters.get(Counter::BsIp);
     return std::move(result.c);
 }
 

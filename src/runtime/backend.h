@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bs/geometry.h"
+#include "gemm/blocking.h"
 
 namespace mixgemm
 {
@@ -66,8 +67,14 @@ class MixGemmBackend : public GemmBackend
      * @param threads worker threads for the parallel Mix-GEMM driver
      *        (1 = serial, 0 = one per hardware thread); output is
      *        bitwise identical for every value.
+     * @param mode μ-kernel implementation (see KernelMode); Fast and
+     *        Modeled produce bitwise-identical outputs and counters.
      */
-    explicit MixGemmBackend(unsigned threads = 1) : threads_(threads) {}
+    explicit MixGemmBackend(unsigned threads = 1,
+                            KernelMode mode = KernelMode::Fast)
+        : threads_(threads), kernel_mode_(mode)
+    {
+    }
 
     std::vector<int64_t> gemm(std::span<const int32_t> a,
                               std::span<const int32_t> b, uint64_t m,
@@ -79,11 +86,16 @@ class MixGemmBackend : public GemmBackend
     /** Change the worker-thread count for subsequent calls. */
     void setThreads(unsigned threads) { threads_ = threads; }
 
+    /** Change the μ-kernel implementation for subsequent calls. */
+    void setKernelMode(KernelMode mode) { kernel_mode_ = mode; }
+    KernelMode kernelMode() const { return kernel_mode_; }
+
     /** Total bs.ip instructions issued across all calls. */
     uint64_t totalBsIp() const { return total_bs_ip_; }
 
   private:
     unsigned threads_ = 1;
+    KernelMode kernel_mode_ = KernelMode::Fast;
     uint64_t total_bs_ip_ = 0;
 };
 

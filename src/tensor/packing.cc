@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bs/expand.h"
 #include "bs/microvector.h"
 #include "common/bitutils.h"
 #include "common/logging.h"
@@ -56,11 +57,29 @@ kGroupCount(uint64_t k, const BsGeometry &geometry)
 CompressedA::CompressedA(uint64_t m, uint64_t k,
                          const BsGeometry &geometry)
     : m_(m), k_(k), k_groups_(kGroupCount(k, geometry)),
-      geometry_(geometry)
+      geometry_(geometry), panels_(std::make_shared<ClusterPanels>())
 {
     if (m == 0 || k == 0)
         fatal("CompressedA: empty matrix");
     words_.resize(uint64_t{m} * k_groups_ * geometry.kua);
+}
+
+void
+CompressedA::ensureClusterPanels() const
+{
+    std::call_once(panels_->once, [this] {
+        const auto plan = makeExpansionPlan(geometry_);
+        panels_->words_per_group = plan.chunkCount();
+        panels_->words.resize(uint64_t{m_} * k_groups_ *
+                              plan.chunkCount());
+        for (uint64_t row = 0; row < m_; ++row)
+            for (unsigned g = 0; g < k_groups_; ++g)
+                expandGroupA(words_.data() + wordIndex(row, g, 0),
+                             geometry_, plan,
+                             panels_->words.data() +
+                                 (row * k_groups_ + g) *
+                                     plan.chunkCount());
+    });
 }
 
 CompressedA::CompressedA(std::span<const int32_t> data, uint64_t m,
@@ -125,11 +144,29 @@ CompressedA::idealBytes() const
 CompressedB::CompressedB(uint64_t k, uint64_t n,
                          const BsGeometry &geometry)
     : k_(k), n_(n), k_groups_(kGroupCount(k, geometry)),
-      geometry_(geometry)
+      geometry_(geometry), panels_(std::make_shared<ClusterPanels>())
 {
     if (k == 0 || n == 0)
         fatal("CompressedB: empty matrix");
     words_.resize(uint64_t{n} * k_groups_ * geometry.kub);
+}
+
+void
+CompressedB::ensureClusterPanels() const
+{
+    std::call_once(panels_->once, [this] {
+        const auto plan = makeExpansionPlan(geometry_);
+        panels_->words_per_group = plan.chunkCount();
+        panels_->words.resize(uint64_t{n_} * k_groups_ *
+                              plan.chunkCount());
+        for (uint64_t col = 0; col < n_; ++col)
+            for (unsigned g = 0; g < k_groups_; ++g)
+                expandGroupB(words_.data() + wordIndex(col, g, 0),
+                             geometry_, plan,
+                             panels_->words.data() +
+                                 (col * k_groups_ + g) *
+                                     plan.chunkCount());
+    });
 }
 
 CompressedB

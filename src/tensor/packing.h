@@ -28,6 +28,8 @@
 #define MIXGEMM_TENSOR_PACKING_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -35,6 +37,24 @@
 
 namespace mixgemm
 {
+
+/**
+ * Lazily-built cluster-domain mirror of a compressed operand: for every
+ * (row-or-column, accumulation group) the cw-spaced cluster words of
+ * each DSU chunk, precomputed through the bw -> cw expansion
+ * (bs/expand.h). The fast GEMM kernel reads these directly — the
+ * expansion of an A row amortizes across every output column it meets
+ * (and a B column across every row), exactly like BLIS packed-buffer
+ * reuse. Held behind a shared_ptr so compressed operands stay copyable
+ * and copies share the (immutable once built) panels; the build is
+ * thread-safe and idempotent via call_once.
+ */
+struct ClusterPanels
+{
+    std::once_flag once;
+    std::vector<uint64_t> words;
+    unsigned words_per_group = 0; ///< DSU chunks per accumulation group
+};
 
 /** Number of accumulation groups covering a logical k extent. */
 unsigned kGroupCount(uint64_t k, const BsGeometry &geometry);
@@ -79,6 +99,30 @@ class CompressedA
      * bits rounded up at the matrix level). */
     uint64_t idealBytes() const;
 
+    /**
+     * Build the cluster-domain panels if absent (thread-safe,
+     * idempotent). Call before the first groupClusters() read — the
+     * fast GEMM driver does this once before spawning workers.
+     */
+    void ensureClusterPanels() const;
+
+    /** Cluster words cached per accumulation group (DSU chunk count). */
+    unsigned clusterWordsPerGroup() const
+    {
+        return panels_->words_per_group;
+    }
+
+    /**
+     * Cached cluster words of accumulation group @p g of row @p row
+     * (clusterWordsPerGroup() entries, consecutive groups contiguous).
+     * @pre ensureClusterPanels() has completed.
+     */
+    const uint64_t *groupClusters(uint64_t row, unsigned g) const
+    {
+        return panels_->words.data() +
+               (row * k_groups_ + g) * panels_->words_per_group;
+    }
+
   private:
     CompressedA(uint64_t m, uint64_t k, const BsGeometry &geometry);
 
@@ -87,6 +131,7 @@ class CompressedA
     unsigned k_groups_;
     BsGeometry geometry_;
     std::vector<uint64_t> words_;
+    std::shared_ptr<ClusterPanels> panels_;
 };
 
 /** The B operand of a Mix-GEMM, compressed along k, column-major. */
@@ -125,6 +170,25 @@ class CompressedB
     uint64_t bytes() const { return words_.size() * 8; }
     uint64_t idealBytes() const;
 
+    /** See CompressedA::ensureClusterPanels(). */
+    void ensureClusterPanels() const;
+
+    /** Cluster words cached per accumulation group (DSU chunk count). */
+    unsigned clusterWordsPerGroup() const
+    {
+        return panels_->words_per_group;
+    }
+
+    /**
+     * Cached cluster words (reversed B layout) of accumulation group
+     * @p g of column @p col. @pre ensureClusterPanels() has completed.
+     */
+    const uint64_t *groupClusters(uint64_t col, unsigned g) const
+    {
+        return panels_->words.data() +
+               (col * k_groups_ + g) * panels_->words_per_group;
+    }
+
   private:
     CompressedB(uint64_t k, uint64_t n, const BsGeometry &geometry);
 
@@ -133,6 +197,7 @@ class CompressedB
     unsigned k_groups_;
     BsGeometry geometry_;
     std::vector<uint64_t> words_;
+    std::shared_ptr<ClusterPanels> panels_;
 };
 
 } // namespace mixgemm

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "bs/cluster.h"
 #include "bs/engine.h"
+#include "bs/expand.h"
 #include "bs/geometry.h"
 #include "bs/microvector.h"
 #include "common/logging.h"
@@ -501,6 +504,175 @@ TEST(BsEngine, MixedPrecisionZeroPaddedBWords)
     }
     issueGroup(engine, g, a, b);
     EXPECT_EQ(engine.get(0), naiveDot(a, b));
+}
+
+// ---------------------------------------------------------------------
+// Word-domain expansion (bs/expand.h)
+// ---------------------------------------------------------------------
+
+TEST(BsExpand, MatchesPerElementClusterPackingAllConfigs)
+{
+    // The SWAR bw -> cw expansion of a packed μ-vector must equal the
+    // per-element packClusterA/packClusterB of the same chunk, for every
+    // supported geometry, signed and unsigned.
+    Rng rng(77);
+    for (bool sgn : {true, false}) {
+        for (const auto &cfg : allSupportedConfigs(sgn)) {
+            const auto g = computeBsGeometry(cfg);
+            const auto plan = makeExpansionPlan(g);
+            const auto schedule = dsuChunkSchedule(g);
+            ASSERT_EQ(plan.chunkCount(), schedule.size());
+
+            std::vector<int32_t> a(g.group_extent), b(g.group_extent);
+            for (unsigned i = 0; i < g.group_extent; ++i) {
+                a[i] = randomNarrow(rng, cfg.bwa, cfg.a_signed);
+                b[i] = randomNarrow(rng, cfg.bwb, cfg.b_signed);
+            }
+            const auto a_words =
+                packMicroVectorStream(a, cfg.bwa, cfg.a_signed);
+            const auto b_words =
+                packMicroVectorStream(b, cfg.bwb, cfg.b_signed);
+            ASSERT_EQ(a_words.size(), g.kua);
+            ASSERT_EQ(b_words.size(), g.kub);
+
+            std::vector<uint64_t> ca(plan.chunkCount());
+            std::vector<uint64_t> cb(plan.chunkCount());
+            expandGroupA(a_words.data(), g, plan, ca.data());
+            expandGroupB(b_words.data(), g, plan, cb.data());
+
+            unsigned pos = 0;
+            for (size_t c = 0; c < schedule.size(); ++c) {
+                const unsigned len = schedule[c];
+                const std::span<const int32_t> ae(a.data() + pos, len);
+                const std::span<const int32_t> be(b.data() + pos, len);
+                EXPECT_EQ(ca[c], packClusterA(ae, g))
+                    << "a" << cfg.bwa << "-w" << cfg.bwb << " chunk "
+                    << c;
+                EXPECT_EQ(cb[c], packClusterB(be, g))
+                    << "a" << cfg.bwa << "-w" << cfg.bwb << " chunk "
+                    << c;
+                pos += len;
+            }
+            ASSERT_EQ(pos, g.group_extent);
+        }
+    }
+}
+
+TEST(BsExpand, PlanChunksRespectMicroVectorBoundaries)
+{
+    for (const auto &cfg : allSupportedConfigs()) {
+        const auto g = computeBsGeometry(cfg);
+        const auto plan = makeExpansionPlan(g);
+        for (const auto &chunk : plan.chunks) {
+            ASSERT_GE(chunk.len, 1u);
+            ASSERT_LE(chunk.len, g.cluster_size);
+            // The chunk's last element stays inside the word its first
+            // element starts in — the invariant that makes one shifted
+            // word read per operand sufficient.
+            EXPECT_LE(chunk.a_shift + chunk.len * cfg.bwa, 64u);
+            EXPECT_LE(chunk.b_shift + chunk.len * cfg.bwb, 64u);
+            EXPECT_LT(chunk.a_word, g.kua);
+            EXPECT_LT(chunk.b_word, g.kub);
+        }
+    }
+}
+
+TEST(BsExpand, ClusterPanelDotEqualsNaiveDot)
+{
+    Rng rng(78);
+    for (const auto &cfg :
+         {makeConfig(8, 8), makeConfig(5, 3), makeConfig(2, 2),
+          makeConfig(8, 2, false, true), makeConfig(4, 6, false, false)}) {
+        const auto g = computeBsGeometry(cfg);
+        const auto plan = makeExpansionPlan(g);
+        // Two consecutive groups expanded back to back: the panel dot
+        // streams across the group boundary exactly like the cached
+        // cluster panels do.
+        const unsigned groups = 2;
+        std::vector<uint64_t> ca(groups * plan.chunkCount());
+        std::vector<uint64_t> cb(groups * plan.chunkCount());
+        int64_t expected = 0;
+        for (unsigned grp = 0; grp < groups; ++grp) {
+            std::vector<int32_t> a(g.group_extent), b(g.group_extent);
+            for (unsigned i = 0; i < g.group_extent; ++i) {
+                a[i] = randomNarrow(rng, cfg.bwa, cfg.a_signed);
+                b[i] = randomNarrow(rng, cfg.bwb, cfg.b_signed);
+            }
+            expected += naiveDot(a, b);
+            const auto aw = packMicroVectorStream(a, cfg.bwa,
+                                                  cfg.a_signed);
+            const auto bw = packMicroVectorStream(b, cfg.bwb,
+                                                  cfg.b_signed);
+            expandGroupA(aw.data(), g, plan,
+                         ca.data() + grp * plan.chunkCount());
+            expandGroupB(bw.data(), g, plan,
+                         cb.data() + grp * plan.chunkCount());
+        }
+        EXPECT_EQ(clusterPanelDot(ca.data(), cb.data(),
+                                  groups * plan.chunkCount(), g),
+                  expected)
+            << "a" << cfg.bwa << "-w" << cfg.bwb;
+    }
+}
+
+TEST(BsEngine, IpGroupMatchesIpSequence)
+{
+    Rng rng(79);
+    for (const auto &cfg :
+         {makeConfig(8, 8), makeConfig(8, 2), makeConfig(3, 7),
+          makeConfig(2, 2, false, false), makeConfig(6, 4, false, true)}) {
+        const auto g = computeBsGeometry(cfg);
+        BsEngine scalar, batched;
+        const unsigned slots = 2;
+        scalar.set(g, slots);
+        batched.set(g, slots);
+        const unsigned rounds = 2;
+        for (unsigned r = 0; r < rounds; ++r) {
+            for (unsigned s = 0; s < slots; ++s) {
+                std::vector<int32_t> a(g.group_extent), b(g.group_extent);
+                for (unsigned i = 0; i < g.group_extent; ++i) {
+                    a[i] = randomNarrow(rng, cfg.bwa, cfg.a_signed);
+                    b[i] = randomNarrow(rng, cfg.bwb, cfg.b_signed);
+                }
+                const auto aw = packMicroVectorStream(a, cfg.bwa,
+                                                      cfg.a_signed);
+                const auto bw = packMicroVectorStream(b, cfg.bwb,
+                                                      cfg.b_signed);
+                issueGroup(scalar, g, a, b);
+                batched.ipGroup(aw.data(), bw.data());
+            }
+        }
+        EXPECT_EQ(batched.pairsIssued(), scalar.pairsIssued());
+        EXPECT_EQ(batched.busyCycles(), scalar.busyCycles());
+        for (unsigned s = 0; s < slots; ++s)
+            EXPECT_EQ(batched.get(s), scalar.get(s))
+                << "a" << cfg.bwa << "-w" << cfg.bwb << " slot " << s;
+    }
+}
+
+TEST(MicroVector, UnpackToMatchesUnpack)
+{
+    Rng rng(80);
+    for (unsigned bw = 2; bw <= 8; ++bw) {
+        for (bool sgn : {true, false}) {
+            const unsigned count = elemsPerMicroVector(bw);
+            std::vector<int32_t> elems(count);
+            for (auto &v : elems)
+                v = randomNarrow(rng, bw, sgn);
+            const uint64_t word = packMicroVector(elems, bw, sgn);
+            const auto ref = unpackMicroVector(word, bw, sgn, count);
+            std::vector<int32_t> flat(count, -12345);
+            unpackMicroVectorTo(word, bw, sgn, count, flat.data());
+            EXPECT_EQ(flat, ref) << "bw " << bw;
+            std::vector<int32_t> appended{7, 7};
+            unpackMicroVectorInto(word, bw, sgn, count, appended);
+            ASSERT_EQ(appended.size(), count + 2);
+            EXPECT_EQ(appended[0], 7);
+            EXPECT_EQ(appended[1], 7);
+            EXPECT_TRUE(std::equal(ref.begin(), ref.end(),
+                                   appended.begin() + 2));
+        }
+    }
 }
 
 } // namespace

@@ -206,6 +206,54 @@ TEST(CounterSet, MergeScaled)
     EXPECT_EQ(a.get("y"), 3u);
 }
 
+TEST(CounterSet, InternedHandlesAliasCanonicalNames)
+{
+    // The enum handles and the canonical string names address the same
+    // slots, so hot-path (enum) and reporting-path (string) views agree.
+    CounterSet c;
+    c.inc(Counter::BsIp, 40);
+    c.inc("bs_ip", 2);
+    EXPECT_EQ(c.get(Counter::BsIp), 42u);
+    EXPECT_EQ(c.get("bs_ip"), 42u);
+    c.set("engine_busy_cycles", 7);
+    EXPECT_EQ(c.get(Counter::EngineBusyCycles), 7u);
+    EXPECT_EQ(std::string(counterName(Counter::MicroKernels)),
+              "micro_kernels");
+    c.clear();
+    EXPECT_EQ(c.get(Counter::BsIp), 0u);
+}
+
+TEST(CounterSet, AllMergesInternedAndDynamicCounters)
+{
+    CounterSet c;
+    c.inc(Counter::BsSet);
+    c.inc(Counter::Ops, 100);
+    c.inc("custom_counter", 5);
+    const auto all = c.all();
+    EXPECT_EQ(all.at("bs_set"), 1u);
+    EXPECT_EQ(all.at("ops"), 100u);
+    EXPECT_EQ(all.at("custom_counter"), 5u);
+    // Zero interned counters stay out of the report.
+    EXPECT_EQ(all.count("bs_get"), 0u);
+}
+
+TEST(CounterSet, MergeCoversInternedSlots)
+{
+    CounterSet a, b;
+    a.inc(Counter::BsIp, 10);
+    b.inc(Counter::BsIp, 5);
+    b.inc("bs_get", 2); // string route to an interned slot
+    b.inc("other", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get(Counter::BsIp), 15u);
+    EXPECT_EQ(a.get(Counter::BsGet), 2u);
+    EXPECT_EQ(a.get("other"), 1u);
+    CounterSet s;
+    s.mergeScaled(b, 4);
+    EXPECT_EQ(s.get(Counter::BsIp), 20u);
+    EXPECT_EQ(s.get("other"), 4u);
+}
+
 TEST(Table, RendersAlignedCells)
 {
     Table t({"name", "value"});

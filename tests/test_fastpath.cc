@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Bit-identity tests for the word-domain fast-path μ-kernel
+ * (KernelMode::Fast) against the modeled μ-engine kernel
+ * (KernelMode::Modeled): identical C and identical counter totals for
+ * every supported data-size configuration, signed and unsigned, across
+ * edge shapes and thread counts, plus a randomized property sweep. The
+ * modeled path is the cycle-accurate arbiter; any divergence is a
+ * fast-path bug by definition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "gemm/mixgemm.h"
+#include "gemm/reference.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+DataSizeConfig
+makeConfig(unsigned bwa, unsigned bwb, bool a_signed, bool b_signed)
+{
+    DataSizeConfig c;
+    c.bwa = bwa;
+    c.bwb = bwb;
+    c.a_signed = a_signed;
+    c.b_signed = b_signed;
+    return c;
+}
+
+int32_t
+randomNarrow(Rng &rng, unsigned bw, bool is_signed)
+{
+    if (is_signed)
+        return static_cast<int32_t>(
+            rng.uniformInt(-(int64_t{1} << (bw - 1)),
+                           (int64_t{1} << (bw - 1)) - 1));
+    return static_cast<int32_t>(rng.uniformInt(0, (int64_t{1} << bw) - 1));
+}
+
+std::vector<int32_t>
+randomMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(elems);
+    for (auto &v : data)
+        v = randomNarrow(rng, bw, is_signed);
+    return data;
+}
+
+struct RunSpec
+{
+    uint64_t m, n, k;
+    DataSizeConfig config;
+    unsigned threads = 1;
+    BlockingParams blocking = BlockingParams::paperDefaults();
+};
+
+/**
+ * Run the same GEMM under both kernel modes and require bitwise-equal C
+ * and bitwise-equal counter maps; also anchor C to the naive reference.
+ */
+void
+expectModesIdentical(Rng &rng, const RunSpec &spec)
+{
+    const auto a = randomMatrix(rng, spec.m * spec.k, spec.config.bwa,
+                                spec.config.a_signed);
+    const auto b = randomMatrix(rng, spec.k * spec.n, spec.config.bwb,
+                                spec.config.b_signed);
+    const auto geometry =
+        geometryForK(computeBsGeometry(spec.config), spec.k);
+
+    BlockingParams blocking = spec.blocking;
+    blocking.threads = spec.threads;
+    blocking.kernel_mode = KernelMode::Fast;
+    const auto fast =
+        mixGemm(a, b, spec.m, spec.n, spec.k, geometry, blocking);
+    blocking.kernel_mode = KernelMode::Modeled;
+    const auto modeled =
+        mixGemm(a, b, spec.m, spec.n, spec.k, geometry, blocking);
+
+    const std::string label =
+        "a" + std::to_string(spec.config.bwa) +
+        (spec.config.a_signed ? "s" : "u") + "-w" +
+        std::to_string(spec.config.bwb) +
+        (spec.config.b_signed ? "s" : "u") + " " +
+        std::to_string(spec.m) + "x" + std::to_string(spec.n) + "x" +
+        std::to_string(spec.k) + " t" + std::to_string(spec.threads);
+    ASSERT_EQ(fast.c, modeled.c) << label;
+    EXPECT_EQ(fast.counters.all(), modeled.counters.all()) << label;
+    EXPECT_EQ(fast.c,
+              referenceGemmInt(a, b, spec.m, spec.n, spec.k))
+        << label;
+}
+
+// ---------------------------------------------------------------------
+// All 49 (bwa, bwb) configurations, signed and unsigned
+// ---------------------------------------------------------------------
+
+TEST(FastPath, AllConfigsSignedBitIdentical)
+{
+    Rng rng(20260801);
+    for (const auto &cfg : allSupportedConfigs(true))
+        expectModesIdentical(rng, {5, 3, 70, cfg});
+}
+
+TEST(FastPath, AllConfigsUnsignedBitIdentical)
+{
+    Rng rng(20260802);
+    for (const auto &cfg : allSupportedConfigs(false))
+        expectModesIdentical(rng, {5, 3, 70, cfg});
+}
+
+TEST(FastPath, MixedSignednessBitIdentical)
+{
+    // Asymmetric runtime quantization: unsigned activations against
+    // signed weights, and the reverse.
+    Rng rng(20260803);
+    for (unsigned bwa = 2; bwa <= 8; ++bwa) {
+        for (unsigned bwb = 2; bwb <= 8; ++bwb) {
+            expectModesIdentical(
+                rng, {4, 5, 40, makeConfig(bwa, bwb, false, true)});
+            expectModesIdentical(
+                rng, {4, 5, 40, makeConfig(bwa, bwb, true, false)});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Edge shapes
+// ---------------------------------------------------------------------
+
+TEST(FastPath, EdgeShapes)
+{
+    // 1x1x1, m/n not multiples of mr/nr, k shorter than one accumulation
+    // group (depthwise-style), k crossing a group boundary mid-μ-vector.
+    Rng rng(20260804);
+    const DataSizeConfig configs[] = {
+        makeConfig(8, 8, true, true),
+        makeConfig(8, 4, false, true),
+        makeConfig(3, 2, true, true),
+        makeConfig(2, 2, false, false),
+    };
+    for (const auto &cfg : configs) {
+        for (unsigned threads : {1u, 4u}) {
+            expectModesIdentical(rng, {1, 1, 1, cfg, threads});
+            expectModesIdentical(rng, {5, 3, 7, cfg, threads});
+            expectModesIdentical(rng, {13, 11, 40, cfg, threads});
+            expectModesIdentical(rng, {7, 9, 9, cfg, threads});
+        }
+    }
+}
+
+TEST(FastPath, MultiTileMultiPanelBlocking)
+{
+    // Small cache blocks force multiple macro tiles and multiple gc
+    // k-panel passes, so the fast path's edge/interior split and panel
+    // attribution are exercised together with threading.
+    Rng rng(20260805);
+    BlockingParams blocking = BlockingParams::paperDefaults();
+    blocking.mc = 8;
+    blocking.nc = 8;
+    blocking.kc = 64;
+    for (unsigned threads : {1u, 4u}) {
+        expectModesIdentical(
+            rng, {22, 19, 150, makeConfig(8, 8, true, true), threads,
+                  blocking});
+        expectModesIdentical(
+            rng, {22, 19, 150, makeConfig(5, 3, true, false), threads,
+                  blocking});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized property sweep
+// ---------------------------------------------------------------------
+
+TEST(FastPath, PropertyRandomShapesAndConfigs)
+{
+    Rng rng(20260806);
+    const auto signed_cfgs = allSupportedConfigs(true);
+    for (unsigned iter = 0; iter < 60; ++iter) {
+        DataSizeConfig cfg =
+            signed_cfgs[static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(signed_cfgs.size()) - 1))];
+        cfg.a_signed = rng.uniformInt(0, 1) != 0;
+        cfg.b_signed = rng.uniformInt(0, 1) != 0;
+        RunSpec spec;
+        spec.m = static_cast<uint64_t>(rng.uniformInt(1, 24));
+        spec.n = static_cast<uint64_t>(rng.uniformInt(1, 24));
+        spec.k = static_cast<uint64_t>(rng.uniformInt(1, 130));
+        spec.config = cfg;
+        spec.threads =
+            static_cast<unsigned>(rng.uniformInt(1, 4));
+        spec.blocking.mc = static_cast<uint64_t>(rng.uniformInt(4, 16));
+        spec.blocking.nc = static_cast<uint64_t>(rng.uniformInt(4, 16));
+        spec.blocking.kc = static_cast<uint64_t>(rng.uniformInt(32, 96));
+        expectModesIdentical(rng, spec);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster-panel cache behavior
+// ---------------------------------------------------------------------
+
+TEST(FastPath, PanelsBuildOnceAndCopiesShare)
+{
+    Rng rng(20260807);
+    const auto cfg = makeConfig(8, 8, true, true);
+    const auto geometry = computeBsGeometry(cfg);
+    const uint64_t m = 6, k = 64;
+    const auto data = randomMatrix(rng, m * k, cfg.bwa, cfg.a_signed);
+    const CompressedA a(data, m, k, geometry);
+    a.ensureClusterPanels();
+    const uint64_t *before = a.groupClusters(0, 0);
+    a.ensureClusterPanels(); // idempotent: no rebuild, no reallocation
+    EXPECT_EQ(before, a.groupClusters(0, 0));
+    const CompressedA copy = a; // copies share the immutable panels
+    EXPECT_EQ(before, copy.groupClusters(0, 0));
+}
+
+TEST(FastPath, ModeledModeNeedsNoPanels)
+{
+    // Modeled mode must not require (or build) cluster panels.
+    Rng rng(20260808);
+    const auto cfg = makeConfig(4, 4, true, true);
+    const auto geometry = computeBsGeometry(cfg);
+    const uint64_t m = 4, n = 4, k = 32;
+    const auto a = randomMatrix(rng, m * k, cfg.bwa, cfg.a_signed);
+    const auto b = randomMatrix(rng, k * n, cfg.bwb, cfg.b_signed);
+    BlockingParams blocking = BlockingParams::paperDefaults();
+    blocking.kernel_mode = KernelMode::Modeled;
+    const auto result = mixGemm(a, b, m, n, k, geometry, blocking);
+    EXPECT_EQ(result.c, referenceGemmInt(a, b, m, n, k));
+}
+
+} // namespace
+} // namespace mixgemm
