@@ -10,7 +10,10 @@
  * A second section times the library itself (wall clock, single
  * thread): the word-domain fast-path μ-kernel against the modeled
  * μ-engine kernel, verifying bitwise identity along the way, and
- * writes the measurements to BENCH_gemm.json for CI tracking.
+ * writes the measurements to BENCH_gemm.json for CI tracking. The
+ * wall-clock runs execute under a TraceSession, so the JSON also
+ * carries the driver's structured RunReports (exact counters,
+ * macro-tile timer percentiles, packed bytes) next to the timings.
  */
 
 #include <algorithm>
@@ -26,6 +29,7 @@
 #include "gemm/mixgemm.h"
 #include "sim/gemm_timing.h"
 #include "soc/soc_config.h"
+#include "trace/session.h"
 
 using namespace mixgemm;
 
@@ -62,7 +66,7 @@ randomNarrowMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
 }
 
 WallClockRow
-timeWallClock(const WallClockSpec &spec)
+timeWallClock(const WallClockSpec &spec, TraceSession *session)
 {
     Rng rng(12345);
     const auto a = randomNarrowMatrix(rng, spec.m * spec.k,
@@ -75,6 +79,11 @@ timeWallClock(const WallClockSpec &spec)
         geometryForK(computeBsGeometry(spec.config), spec.k);
     BlockingParams blocking = BlockingParams::paperDefaults();
     blocking.threads = 1;
+    blocking.session = session;
+    blocking.trace_label = std::string(spec.name) + "_" +
+                           std::to_string(spec.m) + "x" +
+                           std::to_string(spec.n) + "x" +
+                           std::to_string(spec.k);
 
     using clock = std::chrono::steady_clock;
     blocking.kernel_mode = KernelMode::Fast;
@@ -100,7 +109,8 @@ timeWallClock(const WallClockSpec &spec)
 }
 
 void
-writeBenchJson(const std::vector<WallClockRow> &rows, const char *path)
+writeBenchJson(const std::vector<WallClockRow> &rows,
+               const std::vector<RunReport> &reports, const char *path)
 {
     std::ofstream json(path);
     json << std::boolalpha << "{\n"
@@ -120,6 +130,11 @@ writeBenchJson(const std::vector<WallClockRow> &rows, const char *path)
              << ", \"identical\": " << r.identical << "}"
              << (i + 1 < rows.size() ? "," : "") << "\n";
     }
+    json << "  ],\n"
+         << "  \"run_reports\": [\n";
+    for (size_t i = 0; i < reports.size(); ++i)
+        json << "    " << runReportToJson(reports[i], "    ")
+             << (i + 1 < reports.size() ? "," : "") << "\n";
     json << "  ]\n}\n";
 }
 
@@ -204,10 +219,11 @@ main()
     };
     Table wt({"config", "m=n=k", "fast s", "modeled s", "fast GOPS",
               "speedup", "identical"});
+    TraceSession session;
     std::vector<WallClockRow> rows;
     bool all_identical = true;
     for (const auto &spec : specs) {
-        const auto row = timeWallClock(spec);
+        const auto row = timeWallClock(spec, &session);
         rows.push_back(row);
         all_identical = all_identical && row.identical;
         wt.addRow({spec.name, Table::fmtInt(spec.m),
@@ -218,7 +234,7 @@ main()
                    row.identical ? "yes" : "NO"});
     }
     wt.print(std::cout);
-    writeBenchJson(rows, "BENCH_gemm.json");
+    writeBenchJson(rows, session.reports(), "BENCH_gemm.json");
     std::cout << "\nWrote BENCH_gemm.json. Both kernels produce "
                  "bitwise-identical C and counters: "
               << (all_identical ? "verified" : "VIOLATED") << ".\n";

@@ -1,9 +1,72 @@
 #include "common/logging.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace mixgemm
 {
+
+namespace
+{
+
+LogLevel
+parseLevel(const char *text, LogLevel fallback)
+{
+    if (!text)
+        return fallback;
+    std::string value(text);
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (value == "debug")
+        return LogLevel::Debug;
+    if (value == "info")
+        return LogLevel::Info;
+    if (value == "warn" || value == "warning")
+        return LogLevel::Warn;
+    if (value == "silent" || value == "off" || value == "none")
+        return LogLevel::Silent;
+    return fallback;
+}
+
+std::atomic<int> &
+levelStore()
+{
+    static std::atomic<int> level{static_cast<int>(
+        parseLevel(std::getenv("MIXGEMM_LOG_LEVEL"), LogLevel::Info))};
+    return level;
+}
+
+/** Serialize writes so messages from pool workers never interleave. */
+void
+emit(LogLevel level, const char *prefix, const std::string &msg)
+{
+    if (static_cast<int>(level) <
+        levelStore().load(std::memory_order_relaxed))
+        return;
+    static std::mutex sink_mutex;
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    std::cerr << prefix << msg << "\n";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelStore().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStore().store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
 
 void
 fatal(const std::string &msg)
@@ -20,13 +83,19 @@ panic(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << "\n";
+    emit(LogLevel::Warn, "warn: ", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    std::cerr << "info: " << msg << "\n";
+    emit(LogLevel::Info, "info: ", msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    emit(LogLevel::Debug, "debug: ", msg);
 }
 
 } // namespace mixgemm

@@ -1,8 +1,15 @@
 /**
  * @file
- * Minimal status/error reporting, following the gem5 fatal/panic split:
+ * Status/error reporting, following the gem5 fatal/panic split:
  * fatal() for user errors (bad configuration, invalid arguments) and
  * panic() for internal invariant violations.
+ *
+ * Non-fatal messages are leveled (debug < info < warn) and routed
+ * through one thread-safe sink, so messages from pool workers never
+ * interleave mid-line. The minimum level printed defaults to Info and
+ * is settable via the MIXGEMM_LOG_LEVEL environment variable
+ * ("debug", "info", "warn", or "silent") or setLogLevel(). fatal() and
+ * panic() always throw regardless of level.
  */
 
 #ifndef MIXGEMM_COMMON_LOGGING_H
@@ -31,17 +38,39 @@ class PanicError : public std::logic_error
         : std::logic_error(msg) {}
 };
 
+/** Severity of a non-fatal log message. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Silent = 3, ///< threshold only: suppress everything
+};
+
+/**
+ * Minimum level currently printed. First use reads MIXGEMM_LOG_LEVEL
+ * ("debug" | "info" | "warn" | "silent", case-insensitive); absent or
+ * unrecognized values fall back to Info.
+ */
+LogLevel logLevel();
+
+/** Override the minimum printed level for this process. */
+void setLogLevel(LogLevel level);
+
 /** Report an unrecoverable user error. Always throws FatalError. */
 [[noreturn]] void fatal(const std::string &msg);
 
 /** Report an internal library bug. Always throws PanicError. */
 [[noreturn]] void panic(const std::string &msg);
 
-/** Print a non-fatal warning to stderr. */
+/** Print a non-fatal warning to stderr (level Warn). */
 void warn(const std::string &msg);
 
-/** Print an informational message to stderr. */
+/** Print an informational message to stderr (level Info). */
 void inform(const std::string &msg);
+
+/** Print a diagnostic message to stderr (level Debug; off by default). */
+void debug(const std::string &msg);
 
 /**
  * Format helper: streams all arguments into a string.

@@ -1,6 +1,9 @@
 #include "common/stats.h"
 
 #include <cmath>
+#include <mutex>
+
+#include "common/logging.h"
 
 namespace mixgemm
 {
@@ -18,7 +21,10 @@ RunningStat::add(double value)
     }
     ++count_;
     sum_ += value;
-    log_sum_ += value > 0.0 ? std::log(value) : 0.0;
+    if (value > 0.0)
+        log_sum_ += std::log(value);
+    else
+        ++nonpositive_;
 }
 
 double
@@ -30,7 +36,17 @@ RunningStat::mean() const
 double
 RunningStat::geomean() const
 {
-    return count_ ? std::exp(log_sum_ / static_cast<double>(count_)) : 0.0;
+    if (count_ == 0)
+        return 0.0;
+    if (nonpositive_ > 0) {
+        static std::once_flag warned;
+        std::call_once(warned, [] {
+            warn("RunningStat::geomean over non-positive samples is "
+                 "undefined; returning 0");
+        });
+        return 0.0;
+    }
+    return std::exp(log_sum_ / static_cast<double>(count_));
 }
 
 namespace
@@ -110,6 +126,7 @@ CounterSet::merge(const CounterSet &other)
 {
     for (unsigned i = 0; i < kInternedCount; ++i)
         interned_[i] += other.interned_[i];
+    touched_ |= other.touched_;
     for (const auto &kv : other.counters_)
         counters_[kv.first] += kv.second;
 }
@@ -119,6 +136,7 @@ CounterSet::mergeScaled(const CounterSet &other, uint64_t factor)
 {
     for (unsigned i = 0; i < kInternedCount; ++i)
         interned_[i] += other.interned_[i] * factor;
+    touched_ |= other.touched_;
     for (const auto &kv : other.counters_)
         counters_[kv.first] += kv.second * factor;
 }
@@ -128,7 +146,7 @@ CounterSet::all() const
 {
     std::map<std::string, uint64_t> merged = counters_;
     for (unsigned i = 0; i < kInternedCount; ++i)
-        if (interned_[i] != 0)
+        if (touched_ & (1u << i))
             merged[kCounterNames[i]] = interned_[i];
     return merged;
 }

@@ -29,7 +29,12 @@ class RunningStat
     double sum() const { return sum_; }
     /** Arithmetic mean; 0 when empty. */
     double mean() const;
-    /** Geometric mean; requires all samples > 0; 0 when empty. */
+    /**
+     * Geometric mean; 0 when empty. A geomean is only defined over
+     * positive samples: if any sample was <= 0 this returns 0 (and
+     * warns once per process) instead of the silent garbage a partial
+     * log-sum would produce.
+     */
     double geomean() const;
     /** Smallest sample; 0 when empty. */
     double min() const { return count_ ? min_ : 0.0; }
@@ -38,6 +43,7 @@ class RunningStat
 
   private:
     uint64_t count_ = 0;
+    uint64_t nonpositive_ = 0; ///< samples <= 0 (poison the geomean)
     double sum_ = 0.0;
     double log_sum_ = 0.0;
     double min_ = 0.0;
@@ -84,12 +90,14 @@ class CounterSet
     void inc(Counter counter, uint64_t delta = 1)
     {
         interned_[static_cast<unsigned>(counter)] += delta;
+        touched_ |= 1u << static_cast<unsigned>(counter);
     }
 
     /** Set interned counter @p counter to @p value. */
     void set(Counter counter, uint64_t value)
     {
         interned_[static_cast<unsigned>(counter)] = value;
+        touched_ |= 1u << static_cast<unsigned>(counter);
     }
 
     /** Read interned counter @p counter. */
@@ -118,14 +126,21 @@ class CounterSet
 
     /**
      * Merged view (sorted by name) for printing and comparisons:
-     * string-keyed counters plus every nonzero interned counter under
-     * its canonical name.
+     * string-keyed counters plus every *touched* interned counter
+     * under its canonical name. "Touched" means inc() or set() was
+     * ever called on the slot (directly or merged in) — mirroring how
+     * string counters keep their entry once created, even at zero, so
+     * the two kinds of counter report consistently.
      */
     std::map<std::string, uint64_t> all() const;
 
   private:
+    static_assert(static_cast<unsigned>(Counter::Count) <= 32,
+                  "touched_ bitmask holds one bit per interned slot");
+
     std::array<uint64_t, static_cast<unsigned>(Counter::Count)>
         interned_{};
+    uint32_t touched_ = 0; ///< interned slots ever inc()/set()
     std::map<std::string, uint64_t> counters_;
 };
 

@@ -13,9 +13,12 @@
 #define MIXGEMM_GEMM_BLOCKING_H
 
 #include <cstdint>
+#include <string>
 
 namespace mixgemm
 {
+
+class TraceSession;
 
 /**
  * Which μ-kernel implementation mixGemm() executes.
@@ -61,6 +64,19 @@ struct BlockingParams
      * as the arbiter if the paths ever disagree.
      */
     KernelMode kernel_mode = KernelMode::Fast;
+
+    /**
+     * Observability sink (trace/session.h): when set, mixGemm() times
+     * its macro tiles into per-worker histograms and appends one
+     * RunReport (shape, config, counters, timer percentiles, packed
+     * bytes) labeled @ref trace_label to the session. TRACE_SCOPE
+     * spans are independent of this knob — they follow the globally
+     * active tracer. Results never depend on either.
+     */
+    TraceSession *session = nullptr;
+
+    /** RunReport label for this GEMM (layer name, bench id, ...). */
+    std::string trace_label = "mixgemm";
 
     /** Table I defaults. */
     static BlockingParams paperDefaults() { return BlockingParams{}; }

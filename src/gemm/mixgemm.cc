@@ -1,11 +1,15 @@
 #include "gemm/mixgemm.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "bs/engine.h"
 #include "bs/expand.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "trace/metrics.h"
+#include "trace/session.h"
+#include "trace/tracer.h"
 
 namespace mixgemm
 {
@@ -163,6 +167,33 @@ struct MacroTile
  * bitwise identical regardless of tile execution order — and of the
  * kernel mode, since both μ-kernels compute the same chunk sums.
  */
+/**
+ * One μ-kernel over [ir0, ir1) rows of a jr strip; @p interior promises
+ * every panel in the range is fully inside the tile.
+ */
+void
+runKernelRange(const CompressedA &a, const CompressedB &b,
+               BsEngine &engine, const MacroTile &tile, uint64_t jr,
+               uint64_t ir0, uint64_t ir1, unsigned gc, unsigned g1,
+               unsigned mr, unsigned nr, bool interior, bool fast,
+               std::vector<int64_t> &c, CounterSet &counters,
+               uint64_t &cell_groups)
+{
+    for (uint64_t ir = ir0; ir < ir1; ir += mr) {
+        if (fast)
+            microKernelFast(a, b, tile.ic + ir, tile.jc + jr,
+                            tile.ic + tile.mc, tile.jc + tile.nc, gc,
+                            g1, mr, nr, interior, c, counters,
+                            cell_groups);
+        else
+            microKernelModeled(a, b, engine, tile.ic + ir,
+                               tile.jc + jr, tile.ic + tile.mc,
+                               tile.jc + tile.nc, gc, g1, mr, nr,
+                               interior, c, counters);
+        counters.inc(Counter::MicroKernels);
+    }
+}
+
 void
 runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
              const MacroTile &tile, const BlockingParams &blocking,
@@ -174,6 +205,7 @@ runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
     const unsigned nr = blocking.nr;
     const bool fast = blocking.kernel_mode == KernelMode::Fast;
     for (unsigned gc = 0; gc < k_groups; gc += kc_groups) {
+        TRACE_SCOPE("gemm", "k_panel");
         const unsigned g1 = std::min<unsigned>(gc + kc_groups, k_groups);
         // The serial 5-loop nest counts one B panel per (jc, gc) and one
         // A panel per (jc, gc, ic); attribute the shared B panel to the
@@ -182,23 +214,25 @@ runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
             counters.inc(Counter::BPanels);
         counters.inc(Counter::APanels);
         for (uint64_t jr = 0; jr < tile.nc; jr += nr) {
-            for (uint64_t ir = 0; ir < tile.mc; ir += mr) {
-                // Interior μ-panels have every row/col in range (tile
-                // extents are already clamped to m/n), so the kernels
-                // drop their per-word bounds branches.
-                const bool interior =
-                    ir + mr <= tile.mc && jr + nr <= tile.nc;
-                if (fast)
-                    microKernelFast(a, b, tile.ic + ir, tile.jc + jr,
-                                    tile.ic + tile.mc,
-                                    tile.jc + tile.nc, gc, g1, mr, nr,
-                                    interior, c, counters, cell_groups);
-                else
-                    microKernelModeled(a, b, engine, tile.ic + ir,
-                                       tile.jc + jr, tile.ic + tile.mc,
-                                       tile.jc + tile.nc, gc, g1, mr,
-                                       nr, interior, c, counters);
-                counters.inc(Counter::MicroKernels);
+            // Interior μ-panels have every row/col in range (tile
+            // extents are already clamped to m/n), so the kernels drop
+            // their per-word bounds branches. Splitting each jr strip
+            // into its interior run and its edge tail preserves the
+            // ascending-ir kernel order while giving the two kernel
+            // flavors distinct trace spans.
+            const uint64_t interior_rows =
+                jr + nr <= tile.nc ? tile.mc / mr * mr : 0;
+            if (interior_rows > 0) {
+                TRACE_SCOPE("kernel", "ukernels_interior");
+                runKernelRange(a, b, engine, tile, jr, 0, interior_rows,
+                               gc, g1, mr, nr, true, fast, c, counters,
+                               cell_groups);
+            }
+            if (interior_rows < tile.mc) {
+                TRACE_SCOPE("kernel", "ukernels_edge");
+                runKernelRange(a, b, engine, tile, jr, interior_rows,
+                               tile.mc, gc, g1, mr, nr, false, fast, c,
+                               counters, cell_groups);
             }
         }
     }
@@ -210,11 +244,16 @@ MixGemmResult
 mixGemm(const CompressedA &a, const CompressedB &b,
         const BlockingParams &blocking)
 {
+    TRACE_SCOPE("gemm", "mixGemm");
     blocking.validate();
     if (a.k() != b.k())
         fatal("mixGemm: operand k dimensions differ");
     if (!(a.geometry().config == b.geometry().config))
         fatal("mixGemm: operand data-size configurations differ");
+
+    using clock = std::chrono::steady_clock;
+    TraceSession *session = blocking.session;
+    const auto wall_start = session ? clock::now() : clock::time_point{};
 
     const BsGeometry &geom = a.geometry();
     const uint64_t m = a.m();
@@ -263,13 +302,30 @@ mixGemm(const CompressedA &a, const CompressedB &b,
     // engine accrues, so busy-cycle totals agree bitwise.
     std::vector<CounterSet> worker_counters(threads);
     std::vector<uint64_t> worker_busy(threads, 0);
+    // Per-worker timer sets (session only): each worker records into its
+    // own MetricSet, merged after the join in worker order so percentile
+    // summaries are deterministic for a given (tiles, threads) split.
+    std::vector<MetricSet> worker_metrics(session ? threads : 0);
     auto worker = [&](unsigned w) {
+        TRACE_SCOPE("gemm", "worker");
         BsEngine engine(uint64_t{mr} * nr);
         engine.set(geom, mr * nr);
         uint64_t cell_groups = 0;
-        for (size_t t = w; t < tiles.size(); t += threads)
+        for (size_t t = w; t < tiles.size(); t += threads) {
+            TRACE_SCOPE("gemm", "macro_tile");
+            const auto tile_start =
+                session ? clock::now() : clock::time_point{};
             runMacroTile(a, b, engine, tiles[t], blocking, kc_groups,
                          result.c, worker_counters[w], cell_groups);
+            if (session) {
+                worker_metrics[w].addNs(
+                    "macro_tile",
+                    static_cast<uint64_t>(
+                        std::chrono::duration_cast<std::chrono::
+                            nanoseconds>(clock::now() - tile_start)
+                            .count()));
+            }
+        }
         worker_busy[w] = engine.busyCycles() +
                          cell_groups * geom.group_cycles;
     };
@@ -287,6 +343,34 @@ mixGemm(const CompressedA &a, const CompressedB &b,
     }
     result.counters.set(Counter::EngineBusyCycles, busy_cycles);
     result.counters.set(Counter::Ops, 2 * m * n * a.k());
+
+    if (session) {
+        RunReport report;
+        report.name = blocking.trace_label;
+        report.backend = "mixgemm";
+        report.m = m;
+        report.n = n;
+        report.k = a.k();
+        report.config = geom.config.name();
+        report.threads = threads;
+        report.kernel_mode = blocking.kernel_mode == KernelMode::Fast
+            ? "fast"
+            : "modeled";
+        report.wall_secs =
+            std::chrono::duration<double>(clock::now() - wall_start)
+                .count();
+        report.bytes_packed = a.bytes() + b.bytes();
+        if (blocking.kernel_mode == KernelMode::Fast) {
+            report.bytes_cluster_panels =
+                (a.m() * a.kGroups() * a.clusterWordsPerGroup() +
+                 b.n() * b.kGroups() * b.clusterWordsPerGroup()) *
+                8;
+        }
+        report.counters = result.counters;
+        for (unsigned w = 0; w < threads; ++w)
+            report.timers.merge(worker_metrics[w]);
+        session->addReport(std::move(report));
+    }
     return result;
 }
 

@@ -23,6 +23,8 @@ MixGemmBackend::gemm(std::span<const int32_t> a,
     BlockingParams blocking = BlockingParams::paperDefaults();
     blocking.threads = threads_;
     blocking.kernel_mode = kernel_mode_;
+    blocking.session = session_;
+    blocking.trace_label = trace_label_;
     auto result = mixGemm(a, b, m, n, k, geometry, blocking);
     total_bs_ip_ += result.counters.get(Counter::BsIp);
     return std::move(result.c);

@@ -46,6 +46,13 @@ class GemmBackend
      * inference scales with the GEMM. Results never depend on it.
      */
     virtual unsigned threads() const { return 1; }
+
+    /**
+     * Observability sink attached to this backend, or nullptr. The
+     * runtime uses it to record per-layer timers; backends that support
+     * it also append one RunReport per GEMM. Results never depend on it.
+     */
+    virtual TraceSession *traceSession() const { return nullptr; }
 };
 
 /** Triple-loop reference backend. */
@@ -93,10 +100,24 @@ class MixGemmBackend : public GemmBackend
     /** Total bs.ip instructions issued across all calls. */
     uint64_t totalBsIp() const { return total_bs_ip_; }
 
+    /**
+     * Attach (or detach, with nullptr) an observability session: every
+     * subsequent gemm() appends a RunReport labeled with the current
+     * trace label to it. The session must outlive the attachment.
+     */
+    void attachTraceSession(TraceSession *session) { session_ = session; }
+    TraceSession *traceSession() const override { return session_; }
+
+    /** RunReport label for subsequent gemm() calls (layer name, ...). */
+    void setTraceLabel(std::string label) { trace_label_ = std::move(label); }
+    const std::string &traceLabel() const { return trace_label_; }
+
   private:
     unsigned threads_ = 1;
     KernelMode kernel_mode_ = KernelMode::Fast;
     uint64_t total_bs_ip_ = 0;
+    TraceSession *session_ = nullptr;
+    std::string trace_label_ = "mixgemm";
 };
 
 } // namespace mixgemm

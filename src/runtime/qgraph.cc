@@ -1,9 +1,12 @@
 #include "runtime/qgraph.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
+#include "trace/session.h"
+#include "trace/tracer.h"
 
 namespace mixgemm
 {
@@ -52,6 +55,26 @@ toInt(const Tensor<double> &t)
     for (size_t i = 0; i < t.size(); ++i)
         out[i] = static_cast<int32_t>(std::lround(t[i]));
     return out;
+}
+
+const char *
+kindName(QNode::Kind kind)
+{
+    switch (kind) {
+      case QNode::Kind::kConv:
+        return "conv";
+      case QNode::Kind::kDepthwise:
+        return "depthwise";
+      case QNode::Kind::kLinear:
+        return "linear";
+      case QNode::Kind::kRelu:
+        return "relu";
+      case QNode::Kind::kMaxPool2:
+        return "maxpool2";
+      case QNode::Kind::kFlatten:
+        return "flatten";
+    }
+    return "unknown";
 }
 
 } // namespace
@@ -322,8 +345,26 @@ QuantizedGraph::run(const Tensor<double> &image,
                     GemmBackend &backend) const
 {
     Tensor<double> t = image;
-    for (const QNode &node : nodes_)
+    TraceSession *session = backend.traceSession();
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const QNode &node = nodes_[i];
+        // Dynamic span names (evaluated only when a tracer is active)
+        // so Perfetto shows one slice per layer, e.g. "conv#0".
+        TraceSpan span("layer", [&] {
+            return strCat(kindName(node.kind), "#", i);
+        });
+        using clock = std::chrono::steady_clock;
+        const auto start = session ? clock::now() : clock::time_point{};
         t = runQNode(node, t, backend);
+        if (session) {
+            session->recordTimerNs(
+                strCat("layer/", kindName(node.kind), "#", i),
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        clock::now() - start)
+                        .count()));
+        }
+    }
     return std::vector<double>(t.flat().begin(), t.flat().end());
 }
 

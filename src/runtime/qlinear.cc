@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "trace/tracer.h"
 
 namespace mixgemm
 {
@@ -30,6 +31,7 @@ operandSums(std::span<const int32_t> a, std::span<const int32_t> b,
             bool need_col, unsigned threads, std::vector<int64_t> &row_sum,
             std::vector<int64_t> &col_sum)
 {
+    TRACE_SCOPE("runtime", "operand_sums");
     if (need_row)
         parallelFor(m, threads, [&](uint64_t i0, uint64_t i1) {
             for (uint64_t i = i0; i < i1; ++i)
@@ -62,6 +64,7 @@ qlinearGemm(std::span<const int32_t> a, std::span<const int32_t> b,
     if (za != 0 || zb != 0) {
         // Rank-1 corrections from row/column sums; integer arithmetic
         // over disjoint row ranges, so the parallel pass is exact.
+        TRACE_SCOPE("runtime", "qlinear_correction");
         const unsigned threads = backend.threads();
         std::vector<int64_t> row_sum(m, 0);
         std::vector<int64_t> col_sum(n, 0);
@@ -112,6 +115,7 @@ qlinearGemmPerChannel(std::span<const int32_t> a,
                 col_sum);
 
     std::vector<double> out(m * n);
+    TRACE_SCOPE("runtime", "requant_per_channel");
     parallelFor(n, threads, [&](uint64_t j0, uint64_t j1) {
         for (uint64_t j = j0; j < j1; ++j) {
             const int64_t zb = b_params[j].zero_point;

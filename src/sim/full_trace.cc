@@ -9,6 +9,7 @@
 #include "sim/kernel_traces.h"
 #include "sim/uengine_timing.h"
 #include "tensor/packing.h"
+#include "trace/tracer.h"
 
 namespace mixgemm
 {
@@ -43,6 +44,7 @@ simulateMixGemmFullTrace(uint64_t m, uint64_t n, uint64_t k,
                          const BlockingParams &blocking,
                          const TraceMemoryMap &map)
 {
+    TRACE_SCOPE("sim", "full_trace_mixgemm");
     blocking.validate();
     if (m == 0 || n == 0 || k == 0)
         fatal("simulateMixGemmFullTrace: empty GEMM");
@@ -84,29 +86,36 @@ simulateMixGemmFullTrace(uint64_t m, uint64_t n, uint64_t k,
             const unsigned groups = g1 - gc;
 
             // Pack the B panel: per column, its [gc, g1) words.
-            src.clear();
-            for (uint64_t col = jc; col < jc + nc_eff; ++col)
-                for (unsigned g = gc; g < g1; ++g)
-                    for (unsigned w = 0; w < kub; ++w)
-                        src.push_back(b_word_addr(col, g, w));
-            core.run(gatherPackTrace(src, map.b_panel));
+            {
+                TRACE_SCOPE("sim", "pack_b_panel");
+                src.clear();
+                for (uint64_t col = jc; col < jc + nc_eff; ++col)
+                    for (unsigned g = gc; g < g1; ++g)
+                        for (unsigned w = 0; w < kub; ++w)
+                            src.push_back(b_word_addr(col, g, w));
+                core.run(gatherPackTrace(src, map.b_panel));
+            }
 
             for (uint64_t ic = 0; ic < m; ic += blocking.mc) {
                 const uint64_t mc_eff =
                     std::min<uint64_t>(blocking.mc, m - ic);
 
                 // Pack the A panel: μ-panel order [ir][g][j][w].
-                src.clear();
-                for (uint64_t ir = 0; ir < mc_eff; ir += mr)
-                    for (unsigned g = gc; g < g1; ++g)
-                        for (unsigned j = 0; j < mr; ++j)
-                            for (unsigned w = 0; w < kua; ++w)
-                                src.push_back(a_word_addr(
-                                    std::min<uint64_t>(ic + ir + j,
-                                                       m - 1),
-                                    g, w));
-                core.run(gatherPackTrace(src, map.a_panel));
+                {
+                    TRACE_SCOPE("sim", "pack_a_panel");
+                    src.clear();
+                    for (uint64_t ir = 0; ir < mc_eff; ir += mr)
+                        for (unsigned g = gc; g < g1; ++g)
+                            for (unsigned j = 0; j < mr; ++j)
+                                for (unsigned w = 0; w < kua; ++w)
+                                    src.push_back(a_word_addr(
+                                        std::min<uint64_t>(ic + ir + j,
+                                                           m - 1),
+                                        g, w));
+                    core.run(gatherPackTrace(src, map.a_panel));
+                }
 
+                TRACE_SCOPE("sim", "ukernel_sweep");
                 const uint64_t a_upanel_bytes =
                     uint64_t{8} * groups * mr * kua;
                 const uint64_t b_upanel_bytes =
@@ -143,6 +152,7 @@ simulateDgemmFullTrace(uint64_t m, uint64_t n, uint64_t k,
                        const BlockingParams &blocking,
                        const TraceMemoryMap &map)
 {
+    TRACE_SCOPE("sim", "full_trace_dgemm");
     blocking.validate();
     if (m == 0 || n == 0 || k == 0)
         fatal("simulateDgemmFullTrace: empty GEMM");

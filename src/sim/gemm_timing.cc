@@ -7,6 +7,7 @@
 #include "sim/core.h"
 #include "sim/kernel_traces.h"
 #include "tensor/packing.h"
+#include "trace/tracer.h"
 
 namespace mixgemm
 {
@@ -53,6 +54,10 @@ GemmTimingModel::kernelCycles(GemmKind kind, const BsGeometry *geometry,
     const auto it = kernel_cache_.find(key);
     if (it != kernel_cache_.end())
         return it->second;
+
+    // Only cache misses simulate a μ-kernel trace; span it so hybrid
+    // model runs show where their wall-clock goes.
+    TRACE_SCOPE("sim", "kernel_trace_sim");
 
     // Steady state: μ-panel operand accesses hit L1 (the BLIS blocking
     // invariant); the analytic layer charges the difference for the
@@ -102,6 +107,7 @@ GemmTimingModel::compose(GemmKind kind, const BsGeometry *geometry,
                          uint64_t m, uint64_t n, uint64_t k,
                          unsigned sub_bw) const
 {
+    TRACE_SCOPE("sim", "hybrid_compose");
     if (m == 0 || n == 0 || k == 0)
         fatal("GemmTimingModel: empty GEMM");
 

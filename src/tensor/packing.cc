@@ -6,6 +6,7 @@
 #include "bs/microvector.h"
 #include "common/bitutils.h"
 #include "common/logging.h"
+#include "trace/tracer.h"
 
 namespace mixgemm
 {
@@ -68,6 +69,7 @@ void
 CompressedA::ensureClusterPanels() const
 {
     std::call_once(panels_->once, [this] {
+        TRACE_SCOPE("pack", "cluster_panels_a");
         const auto plan = makeExpansionPlan(geometry_);
         panels_->words_per_group = plan.chunkCount();
         panels_->words.resize(uint64_t{m_} * k_groups_ *
@@ -88,6 +90,7 @@ CompressedA::CompressedA(std::span<const int32_t> data, uint64_t m,
 {
     if (data.size() != m * k)
         fatal("CompressedA: data size does not match m x k");
+    TRACE_SCOPE("pack", "pack_a");
     for (uint64_t row = 0; row < m; ++row) {
         const int32_t *row_data = data.data() + row * k;
         packRun([row_data](uint64_t i) { return row_data[i]; }, k,
@@ -107,6 +110,7 @@ CompressedA::fromColumnMajor(std::span<const int32_t> data, uint64_t m,
     CompressedA a(m, k, geometry);
     if (data.size() != m * k)
         fatal("CompressedA: data size does not match m x k");
+    TRACE_SCOPE("pack", "pack_a");
     for (uint64_t row = 0; row < m; ++row) {
         const int32_t *base = data.data() + row;
         packRun([base, m](uint64_t i) { return base[i * m]; }, k,
@@ -155,6 +159,7 @@ void
 CompressedB::ensureClusterPanels() const
 {
     std::call_once(panels_->once, [this] {
+        TRACE_SCOPE("pack", "cluster_panels_b");
         const auto plan = makeExpansionPlan(geometry_);
         panels_->words_per_group = plan.chunkCount();
         panels_->words.resize(uint64_t{n_} * k_groups_ *
@@ -176,6 +181,7 @@ CompressedB::fromTransposed(std::span<const int32_t> data, uint64_t k,
     CompressedB b(k, n, geometry);
     if (data.size() != k * n)
         fatal("CompressedB: data size does not match k x n");
+    TRACE_SCOPE("pack", "pack_b");
     for (uint64_t col = 0; col < n; ++col) {
         const int32_t *row_data = data.data() + col * k;
         packRun([row_data](uint64_t i) { return row_data[i]; }, k,
@@ -195,6 +201,7 @@ CompressedB::CompressedB(std::span<const int32_t> data, uint64_t k,
 {
     if (data.size() != k * n)
         fatal("CompressedB: data size does not match k x n");
+    TRACE_SCOPE("pack", "pack_b");
     for (uint64_t col = 0; col < n; ++col) {
         const int32_t *base = data.data() + col;
         packRun([base, n](uint64_t i) { return base[i * n]; }, k,

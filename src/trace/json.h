@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal JSON string escaping shared by the trace and report writers.
+ * Writers in this module emit JSON by hand (no external dependency);
+ * every string they embed must pass through jsonEscape().
+ */
+
+#ifndef MIXGEMM_TRACE_JSON_H
+#define MIXGEMM_TRACE_JSON_H
+
+#include <cstdio>
+#include <string>
+
+namespace mixgemm
+{
+
+/** Escape @p text for embedding inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TRACE_JSON_H

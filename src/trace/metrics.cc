@@ -1,0 +1,104 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Inclusive [lo, hi] value range of bucket @p index. */
+std::pair<uint64_t, uint64_t>
+bucketRange(unsigned index)
+{
+    if (index < 8)
+        return {index, index};
+    const unsigned e = 3 + (index - 8) / 4;
+    const unsigned sub = (index - 8) % 4;
+    // Values with leading bit at position e whose next two bits == sub.
+    const uint64_t lo = (uint64_t{4} + sub) << (e - 2);
+    const uint64_t width = uint64_t{1} << (e - 2);
+    return {lo, lo + width - 1};
+}
+
+} // namespace
+
+unsigned
+LogHistogram::bucketIndex(uint64_t value)
+{
+    if (value < 8)
+        return static_cast<unsigned>(value);
+    const unsigned e = 63 - static_cast<unsigned>(std::countl_zero(value));
+    const unsigned sub =
+        static_cast<unsigned>((value >> (e - 2)) & 0x3);
+    return 8 + (e - 3) * 4 + sub;
+}
+
+void
+LogHistogram::add(uint64_t value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    ++buckets_[bucketIndex(value)];
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(clamped / 100.0 *
+                         static_cast<double>(count_))));
+    uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            const auto [lo, hi] = bucketRange(i);
+            const double mid =
+                (static_cast<double>(lo) + static_cast<double>(hi)) /
+                2.0;
+            return std::clamp(mid, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+    }
+    return static_cast<double>(max_);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+void
+MetricSet::merge(const MetricSet &other)
+{
+    for (const auto &[name, histogram] : other.metrics_)
+        metrics_[name].merge(histogram);
+}
+
+} // namespace mixgemm

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Metrics registry: named timers backed by log-scale histograms.
+ *
+ * Complements CounterSet (exact event counts) with *duration*
+ * summaries: each timer sample lands in a log₂ histogram with four
+ * sub-buckets per octave (≤ 12.5 % relative bucket width), from which
+ * p50/p95/p99 are read without storing samples. Histograms merge by
+ * bucket addition, so per-worker MetricSets combine deterministically
+ * in worker order exactly like the GEMM driver's CounterSet merge —
+ * the merged summary is independent of thread interleaving.
+ */
+
+#ifndef MIXGEMM_TRACE_METRICS_H
+#define MIXGEMM_TRACE_METRICS_H
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mixgemm
+{
+
+/**
+ * Log-scale histogram of non-negative integer samples (nanoseconds, by
+ * convention). Values 0..7 get exact buckets; larger values share four
+ * sub-buckets per power of two.
+ */
+class LogHistogram
+{
+  public:
+    /** 8 exact + 4 per octave for exponents 3..63. */
+    static constexpr unsigned kBuckets = 8 + 4 * 61;
+
+    void add(uint64_t value);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return count_ ? max_ : 0; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Approximate percentile @p p in [0, 100]: the representative
+     * (bucket midpoint) of the bucket holding the rank-⌈p·count/100⌉
+     * sample, clamped to the exact [min, max]. 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Bucket-wise addition; summaries stay order-independent. */
+    void merge(const LogHistogram &other);
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static unsigned bucketIndex(uint64_t value);
+
+  private:
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+    std::array<uint64_t, kBuckets> buckets_{};
+};
+
+/** Named histograms, ordered by name (deterministic iteration). */
+class MetricSet
+{
+  public:
+    /** The histogram named @p name, created empty if absent. */
+    LogHistogram &histogram(const std::string &name)
+    {
+        return metrics_[name];
+    }
+
+    /** Record one timer sample (nanoseconds) under @p name. */
+    void addNs(const std::string &name, uint64_t ns)
+    {
+        metrics_[name].add(ns);
+    }
+
+    /** Merge every histogram of @p other into this set, by name. */
+    void merge(const MetricSet &other);
+
+    bool empty() const { return metrics_.empty(); }
+    const std::map<std::string, LogHistogram> &all() const
+    {
+        return metrics_;
+    }
+
+  private:
+    std::map<std::string, LogHistogram> metrics_;
+};
+
+/**
+ * RAII timer: on destruction adds the elapsed nanoseconds to
+ * @p set's histogram @p name. A null @p set makes it a no-op (no clock
+ * read), so call sites can stay branch-free.
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(MetricSet *set, std::string name)
+        : set_(set), name_(std::move(name))
+    {
+        if (set_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (set_)
+            set_->addNs(
+                name_,
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count()));
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    MetricSet *set_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TRACE_METRICS_H

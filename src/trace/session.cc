@@ -1,0 +1,192 @@
+#include "trace/session.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "trace/json.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+void
+writeHistogramJson(std::ostream &os, const LogHistogram &h)
+{
+    os << "{\"count\":" << h.count() << ",\"sum_ns\":" << h.sum()
+       << ",\"min_ns\":" << h.min() << ",\"max_ns\":" << h.max()
+       << ",\"mean_ns\":" << h.mean() << ",\"p50_ns\":"
+       << h.percentile(50) << ",\"p95_ns\":" << h.percentile(95)
+       << ",\"p99_ns\":" << h.percentile(99) << "}";
+}
+
+void
+writeMetricSetJson(std::ostream &os, const MetricSet &metrics,
+                   const std::string &indent)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[name, histogram] : metrics.all()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << indent << "  \"" << jsonEscape(name) << "\": ";
+        writeHistogramJson(os, histogram);
+    }
+    if (!first)
+        os << "\n" << indent;
+    os << "}";
+}
+
+void
+writeCountersJson(std::ostream &os, const CounterSet &counters,
+                  const std::string &indent)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[name, value] : counters.all()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << indent << "  \"" << jsonEscape(name)
+           << "\": " << value;
+    }
+    if (!first)
+        os << "\n" << indent;
+    os << "}";
+}
+
+} // namespace
+
+std::string
+runReportToJson(const RunReport &report, const std::string &indent)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << indent << "  \"name\": \"" << jsonEscape(report.name)
+       << "\",\n";
+    os << indent << "  \"backend\": \"" << jsonEscape(report.backend)
+       << "\",\n";
+    os << indent << "  \"m\": " << report.m << ", \"n\": " << report.n
+       << ", \"k\": " << report.k << ",\n";
+    os << indent << "  \"config\": \"" << jsonEscape(report.config)
+       << "\",\n";
+    os << indent << "  \"threads\": " << report.threads << ",\n";
+    os << indent << "  \"kernel_mode\": \""
+       << jsonEscape(report.kernel_mode) << "\",\n";
+    os << indent << "  \"wall_secs\": " << report.wall_secs << ",\n";
+    os << indent << "  \"bytes_packed\": " << report.bytes_packed
+       << ",\n";
+    os << indent
+       << "  \"bytes_cluster_panels\": " << report.bytes_cluster_panels
+       << ",\n";
+    os << indent << "  \"counters\": ";
+    writeCountersJson(os, report.counters, indent + "  ");
+    os << ",\n";
+    os << indent << "  \"timers\": ";
+    writeMetricSetJson(os, report.timers, indent + "  ");
+    os << "\n" << indent << "}";
+    return os.str();
+}
+
+TraceSession::TraceSession(size_t ring_capacity) : tracer_(ring_capacity)
+{
+    tracer_.activate();
+}
+
+TraceSession::~TraceSession()
+{
+    tracer_.deactivate();
+}
+
+void
+TraceSession::recordTimerNs(const std::string &name, uint64_t ns)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.addNs(name, ns);
+}
+
+void
+TraceSession::addReport(RunReport report)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    reports_.push_back(std::move(report));
+}
+
+std::vector<RunReport>
+TraceSession::reports() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reports_;
+}
+
+MetricSet
+TraceSession::metrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_;
+}
+
+bool
+TraceSession::writeTrace(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("TraceSession: cannot open trace file '" + path + "'");
+        return false;
+    }
+    tracer_.writeJson(os);
+    return static_cast<bool>(os);
+}
+
+void
+TraceSession::writeReportJson(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, std::string>> &header) const
+{
+    std::vector<RunReport> reports_copy;
+    MetricSet metrics_copy;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reports_copy = reports_;
+        metrics_copy = metrics_;
+    }
+
+    os << "{\n";
+    os << "  \"tool\": \"mixgemm\",\n";
+    for (const auto &[key, value] : header)
+        os << "  \"" << jsonEscape(key) << "\": \"" << jsonEscape(value)
+           << "\",\n";
+    os << "  \"trace_events_recorded\": " << tracer_.eventsRecorded()
+       << ",\n";
+    os << "  \"trace_events_dropped\": " << tracer_.eventsDropped()
+       << ",\n";
+    os << "  \"trace_threads\": " << tracer_.threadCount() << ",\n";
+    os << "  \"metrics\": ";
+    writeMetricSetJson(os, metrics_copy, "  ");
+    os << ",\n";
+    os << "  \"reports\": [";
+    for (size_t i = 0; i < reports_copy.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ")
+           << runReportToJson(reports_copy[i], "    ");
+    }
+    os << (reports_copy.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+bool
+TraceSession::writeReport(
+    const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &header) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("TraceSession: cannot open report file '" + path + "'");
+        return false;
+    }
+    writeReportJson(os, header);
+    return static_cast<bool>(os);
+}
+
+} // namespace mixgemm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * TraceSession: one observability run — spans + metrics + run reports.
+ *
+ * A TraceSession owns a Tracer (activated for the session's lifetime,
+ * so every TRACE_SCOPE in the process records into it), a process-level
+ * MetricSet for named timers (per-layer wall times and the like), and a
+ * list of structured RunReports: one per GEMM executed through an
+ * instrumented driver, carrying the shape, configuration, thread count,
+ * kernel mode, exact counters, per-worker timer histograms, and packed
+ * byte counts. The session writes two artifacts:
+ *
+ *   writeTrace(path)   Chrome/Perfetto trace_event JSON (load it in
+ *                      ui.perfetto.dev or chrome://tracing)
+ *   writeReport(path)  structured JSON run report (benches append the
+ *                      same records to their BENCH_*.json files)
+ *
+ * Attach a session to the GEMM stack via BlockingParams::session or
+ * MixGemmBackend::attachTraceSession(); detached code still runs with
+ * zero observability overhead.
+ */
+
+#ifndef MIXGEMM_TRACE_SESSION_H
+#define MIXGEMM_TRACE_SESSION_H
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "trace/metrics.h"
+#include "trace/tracer.h"
+
+namespace mixgemm
+{
+
+/** Structured record of one GEMM execution. */
+struct RunReport
+{
+    std::string name;        ///< caller's label (layer name, bench id)
+    std::string backend;     ///< "mixgemm", ...
+    uint64_t m = 0, n = 0, k = 0;
+    std::string config;      ///< data-size configuration, e.g. "a8-w8"
+    unsigned threads = 1;
+    std::string kernel_mode; ///< "fast" or "modeled"
+    double wall_secs = 0.0;
+    uint64_t bytes_packed = 0;         ///< compressed operand bytes
+    uint64_t bytes_cluster_panels = 0; ///< fast-path expansion cache
+    CounterSet counters;
+    MetricSet timers; ///< merged per-worker timer histograms (ns)
+};
+
+/** Serialize one report as a JSON object (no trailing newline). */
+std::string runReportToJson(const RunReport &report,
+                            const std::string &indent = "");
+
+/** An active observability run. See file comment. */
+class TraceSession
+{
+  public:
+    explicit TraceSession(
+        size_t ring_capacity = Tracer::kDefaultRingCapacity);
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
+    /** Record one timer sample into the session metrics (thread-safe). */
+    void recordTimerNs(const std::string &name, uint64_t ns);
+
+    /** Append one run report (thread-safe). */
+    void addReport(RunReport report);
+
+    /** Copies of the collected reports / session metrics. */
+    std::vector<RunReport> reports() const;
+    MetricSet metrics() const;
+
+    /**
+     * Write the Perfetto trace / the structured report to @p path.
+     * @p header key/value pairs prefix the report's top level.
+     * @return false (with a warning) when the file cannot be opened.
+     * Call after instrumented work has joined.
+     */
+    bool writeTrace(const std::string &path) const;
+    bool writeReport(
+        const std::string &path,
+        const std::vector<std::pair<std::string, std::string>> &header =
+            {}) const;
+    void writeReportJson(
+        std::ostream &os,
+        const std::vector<std::pair<std::string, std::string>> &header =
+            {}) const;
+
+  private:
+    Tracer tracer_;
+    mutable std::mutex mutex_;
+    MetricSet metrics_;
+    std::vector<RunReport> reports_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TRACE_SESSION_H

@@ -1,0 +1,196 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+
+#include "trace/json.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/**
+ * Thread-local ring cache, keyed by session generation so pool threads
+ * that outlive a session re-register with the next one instead of
+ * writing through a stale pointer. Generation 0 never matches.
+ */
+struct ThreadSlot
+{
+    uint64_t generation = 0;
+    TraceRing *ring = nullptr;
+};
+
+thread_local ThreadSlot t_slot;
+
+std::atomic<uint64_t> g_generation{0};
+
+constexpr size_t
+ringCapacityPow2(size_t requested)
+{
+    size_t cap = 4;
+    while (cap < requested)
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+std::atomic<Tracer *> Tracer::active_tracer_{nullptr};
+
+TraceRing::TraceRing(unsigned tid, size_t capacity)
+    : tid_(tid), mask_(ringCapacityPow2(capacity) - 1),
+      buffer_(ringCapacityPow2(capacity))
+{
+}
+
+std::vector<TraceEvent>
+TraceRing::events() const
+{
+    std::vector<TraceEvent> out;
+    const uint64_t retained =
+        std::min<uint64_t>(head_, buffer_.size());
+    out.reserve(retained);
+    for (uint64_t i = head_ - retained; i < head_; ++i)
+        out.push_back(buffer_[i & mask_]);
+    return out;
+}
+
+Tracer::Tracer(size_t ring_capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_capacity_(ring_capacity)
+{
+}
+
+Tracer::~Tracer()
+{
+    deactivate();
+}
+
+void
+Tracer::activate()
+{
+    // A fresh generation invalidates every thread's cached ring slot,
+    // including slots pointing into a previous (possibly destroyed)
+    // tracer that happened to share this address.
+    generation_ = 1 + g_generation.fetch_add(1);
+    active_tracer_.store(this, std::memory_order_release);
+}
+
+void
+Tracer::deactivate()
+{
+    Tracer *expected = this;
+    active_tracer_.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel);
+}
+
+TraceRing *
+Tracer::threadRing()
+{
+    if (t_slot.generation == generation_)
+        return t_slot.ring;
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(std::make_unique<TraceRing>(
+        static_cast<unsigned>(rings_.size()), ring_capacity_));
+    t_slot = {generation_, rings_.back().get()};
+    return t_slot.ring;
+}
+
+void
+Tracer::record(const char *category, const char *name, uint64_t start_ns,
+               uint64_t dur_ns)
+{
+    TraceEvent event;
+    event.category = category;
+    event.start_ns = start_ns;
+    event.dur_ns = dur_ns;
+    event.setName(name);
+    threadRing()->push(event);
+}
+
+uint64_t
+Tracer::eventsRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto &ring : rings_)
+        total += ring->recorded();
+    return total;
+}
+
+uint64_t
+Tracer::eventsDropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto &ring : rings_)
+        total += ring->dropped();
+    return total;
+}
+
+unsigned
+Tracer::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<unsigned>(rings_.size());
+}
+
+std::vector<std::pair<unsigned, std::vector<TraceEvent>>>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<unsigned, std::vector<TraceEvent>>> out;
+    out.reserve(rings_.size());
+    for (const auto &ring : rings_)
+        out.emplace_back(ring->tid(), ring->events());
+    return out;
+}
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    const auto threads = snapshot();
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"mixgemm\"}}";
+    for (const auto &[tid, events] : threads) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread-"
+           << tid << "\"}}";
+        (void)events;
+    }
+
+    // Complete ("X") events; timestamps in microseconds with ns
+    // precision, as the trace_event format expects.
+    const auto old_flags = os.flags();
+    const auto old_precision = os.precision();
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    for (const auto &[tid, events] : threads) {
+        for (const TraceEvent &e : events) {
+            sep();
+            os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+               << ",\"cat\":\""
+               << jsonEscape(e.category ? e.category : "") << "\","
+               << "\"name\":\"" << jsonEscape(e.name) << "\","
+               << "\"ts\":" << static_cast<double>(e.start_ns) / 1000.0
+               << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0
+               << "}";
+        }
+    }
+    os.flags(old_flags);
+    os.precision(old_precision);
+    os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+} // namespace mixgemm

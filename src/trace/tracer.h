@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Low-overhead span tracing for the Mix-GEMM stack.
+ *
+ * The model is Chrome/Perfetto's trace_event: a span is a named,
+ * categorized interval on one thread; nested spans (RAII scopes) render
+ * as a flame graph per thread, so one trace of a whole-network run
+ * shows pack-vs-kernel split, host-thread utilization, and per-layer
+ * breakdown at once.
+ *
+ * Design constraints, in priority order:
+ *
+ *  1. *Disabled costs ~0.* TRACE_SCOPE compiles to one relaxed atomic
+ *     load and a branch when no Tracer is active — no allocation, no
+ *     locking, no clock read. Instrumentation can therefore live inside
+ *     the GEMM driver's per-tile loops permanently.
+ *  2. *Recording never blocks workers.* Each thread writes fixed-size
+ *     TraceEvent records into its own ring buffer; the only lock is
+ *     taken once per (thread, session) at ring registration. On
+ *     overflow the ring wraps and keeps the newest events, counting the
+ *     drops.
+ *  3. *Tracing never changes results.* Spans observe; they carry no
+ *     data back into the computation. tests/test_trace.cc pins traced
+ *     runs bitwise identical to untraced ones.
+ *
+ * Export is Chrome trace_event JSON ("traceEvents" array of ph:"X"
+ * complete events, timestamps in microseconds), loadable in Perfetto
+ * (ui.perfetto.dev) or chrome://tracing. Export requires quiescence:
+ * call writeJson() only after the instrumented work has joined.
+ */
+
+#ifndef MIXGEMM_TRACE_TRACER_H
+#define MIXGEMM_TRACE_TRACER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mixgemm
+{
+
+/**
+ * One completed span. Fixed 64-byte POD so ring writes are a copy; the
+ * category must be a string literal (stored by pointer), the name is
+ * copied (truncated) so dynamic labels like "conv4_2#11" work.
+ */
+struct TraceEvent
+{
+    static constexpr size_t kNameCapacity = 38; ///< incl. terminator
+
+    const char *category = nullptr;
+    uint64_t start_ns = 0; ///< steady-clock ns since session start
+    uint64_t dur_ns = 0;
+    char name[kNameCapacity] = {};
+
+    void setName(const char *text)
+    {
+        std::strncpy(name, text, kNameCapacity - 1);
+        name[kNameCapacity - 1] = '\0';
+    }
+};
+
+/**
+ * Per-thread event ring: single writer (the owning thread), overwrites
+ * the oldest event when full. Readers (export/snapshot) must run while
+ * the writer is quiescent.
+ */
+class TraceRing
+{
+  public:
+    /** @param capacity rounded up to a power of two, at least 4. */
+    TraceRing(unsigned tid, size_t capacity);
+
+    void push(const TraceEvent &event)
+    {
+        buffer_[head_ & mask_] = event;
+        ++head_;
+    }
+
+    unsigned tid() const { return tid_; }
+    /** Events ever pushed (monotone; may exceed capacity). */
+    uint64_t recorded() const { return head_; }
+    /** Events lost to wraparound. */
+    uint64_t dropped() const
+    {
+        return head_ > buffer_.size() ? head_ - buffer_.size() : 0;
+    }
+    size_t capacity() const { return buffer_.size(); }
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+  private:
+    unsigned tid_;
+    size_t mask_;
+    uint64_t head_ = 0;
+    std::vector<TraceEvent> buffer_;
+};
+
+/**
+ * A tracing session's event store: one ring per participating thread,
+ * registered lazily on first span. At most one Tracer is *active*
+ * (globally visible to TRACE_SCOPE) at a time; constructing one does
+ * not activate it (see TraceSession, which does).
+ */
+class Tracer
+{
+  public:
+    static constexpr size_t kDefaultRingCapacity = size_t{1} << 16;
+
+    explicit Tracer(size_t ring_capacity = kDefaultRingCapacity);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** The active tracer, or nullptr (one relaxed atomic load). */
+    static Tracer *active()
+    {
+        return active_tracer_.load(std::memory_order_relaxed);
+    }
+
+    /** Install this tracer as the process-wide active one. */
+    void activate();
+    /** Uninstall (no-op if another tracer took over). */
+    void deactivate();
+
+    /** Nanoseconds since this tracer's epoch (steady clock). */
+    uint64_t nowNs() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+    }
+
+    /** Record one completed span on the calling thread's ring. */
+    void record(const char *category, const char *name,
+                uint64_t start_ns, uint64_t dur_ns);
+
+    /** Total events recorded / dropped across all rings. */
+    uint64_t eventsRecorded() const;
+    uint64_t eventsDropped() const;
+    /** Threads that recorded at least one span. */
+    unsigned threadCount() const;
+
+    /**
+     * Retained events per thread id, oldest first. Requires writer
+     * quiescence (instrumented work joined).
+     */
+    std::vector<std::pair<unsigned, std::vector<TraceEvent>>>
+    snapshot() const;
+
+    /** Write Chrome/Perfetto trace_event JSON. Requires quiescence. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    TraceRing *threadRing();
+
+    std::chrono::steady_clock::time_point epoch_;
+    size_t ring_capacity_;
+    uint64_t generation_ = 0; ///< TLS cache key; set at activation
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<TraceRing>> rings_;
+
+    static std::atomic<Tracer *> active_tracer_;
+};
+
+/**
+ * RAII span. When no tracer is active, construction is a relaxed load
+ * plus a branch and destruction a branch — nothing else.
+ */
+class TraceSpan
+{
+  public:
+    /** Literal-name span (the common, hot-path form). */
+    TraceSpan(const char *category, const char *name)
+        : tracer_(Tracer::active())
+    {
+        if (tracer_)
+            begin(category, name);
+    }
+
+    /**
+     * Dynamic-name span: @p name_fn (returning std::string) is invoked
+     * only when a tracer is active, so idle cost stays branch-only.
+     */
+    template <typename NameFn,
+              typename = decltype(std::declval<NameFn>()())>
+    TraceSpan(const char *category, NameFn &&name_fn)
+        : tracer_(Tracer::active())
+    {
+        if (tracer_) {
+            const std::string text = name_fn();
+            begin(category, text.c_str());
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (tracer_)
+            tracer_->record(category_, name_, start_ns_,
+                            tracer_->nowNs() - start_ns_);
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    void begin(const char *category, const char *name)
+    {
+        category_ = category;
+        std::strncpy(name_, name, TraceEvent::kNameCapacity - 1);
+        name_[TraceEvent::kNameCapacity - 1] = '\0';
+        start_ns_ = tracer_->nowNs();
+    }
+
+    Tracer *tracer_;
+    const char *category_ = nullptr;
+    uint64_t start_ns_ = 0;
+    char name_[TraceEvent::kNameCapacity] = {};
+};
+
+#define MIXGEMM_TRACE_CONCAT2(a, b) a##b
+#define MIXGEMM_TRACE_CONCAT(a, b) MIXGEMM_TRACE_CONCAT2(a, b)
+
+/**
+ * Trace the enclosing scope as one span. @p category must be a string
+ * literal; @p name may be a literal or a callable returning std::string
+ * (invoked only while tracing is active).
+ */
+#define TRACE_SCOPE(category, name)                                    \
+    const ::mixgemm::TraceSpan MIXGEMM_TRACE_CONCAT(                   \
+        mixgemm_trace_scope_, __LINE__)(category, name)
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TRACE_TRACER_H

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <iostream>
 #include <numeric>
 #include <sstream>
 #include <vector>
@@ -181,6 +182,29 @@ TEST(RunningStat, Summary)
     EXPECT_DOUBLE_EQ(s.max(), 8.0);
 }
 
+TEST(RunningStat, GeomeanOverNonPositiveSamplesReturnsZero)
+{
+    // log(v) is undefined at v <= 0; a partial log-sum would silently
+    // report the geomean of the positive subset. The stat returns 0
+    // instead (and warns once per process).
+    RunningStat zero;
+    zero.add(4.0);
+    zero.add(0.0);
+    EXPECT_EQ(zero.geomean(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.mean(), 2.0); // other summaries unaffected
+
+    RunningStat negative;
+    negative.add(-2.0);
+    negative.add(8.0);
+    EXPECT_EQ(negative.geomean(), 0.0);
+    EXPECT_DOUBLE_EQ(negative.min(), -2.0);
+
+    RunningStat positive;
+    positive.add(2.0);
+    positive.add(8.0);
+    EXPECT_DOUBLE_EQ(positive.geomean(), 4.0);
+}
+
 TEST(CounterSet, IncGetClear)
 {
     CounterSet c;
@@ -233,8 +257,49 @@ TEST(CounterSet, AllMergesInternedAndDynamicCounters)
     EXPECT_EQ(all.at("bs_set"), 1u);
     EXPECT_EQ(all.at("ops"), 100u);
     EXPECT_EQ(all.at("custom_counter"), 5u);
-    // Zero interned counters stay out of the report.
+    // Never-touched interned counters stay out of the report.
     EXPECT_EQ(all.count("bs_get"), 0u);
+}
+
+TEST(CounterSet, AllReportsTouchedInternedZeros)
+{
+    // Once a slot has been inc()'d or set() — even to zero — it shows
+    // in all(), exactly like a string counter keeps its entry at zero.
+    CounterSet c;
+    c.inc(Counter::BsGet, 0);
+    c.set(Counter::MicroKernels, 0);
+    c.inc("dynamic_zero", 0);
+    const auto all = c.all();
+    EXPECT_EQ(all.at("bs_get"), 0u);
+    EXPECT_EQ(all.at("micro_kernels"), 0u);
+    EXPECT_EQ(all.at("dynamic_zero"), 0u);
+    EXPECT_EQ(all.count("bs_ip"), 0u); // untouched stays out
+}
+
+TEST(CounterSet, TouchedSlotsSurviveMergeRoundTrips)
+{
+    CounterSet touched;
+    touched.inc(Counter::BsGet, 0);
+    touched.inc("custom", 3);
+
+    CounterSet merged;
+    merged.merge(touched);
+    auto all = merged.all();
+    EXPECT_EQ(all.at("bs_get"), 0u);
+    EXPECT_EQ(all.at("custom"), 3u);
+
+    CounterSet scaled;
+    scaled.mergeScaled(touched, 5);
+    all = scaled.all();
+    EXPECT_EQ(all.at("bs_get"), 0u);
+    EXPECT_EQ(all.at("custom"), 15u);
+    EXPECT_EQ(all.count("bs_set"), 0u);
+
+    // clear() keeps the touched set, mirroring string counters, so a
+    // reused CounterSet reports the same keys before and after.
+    merged.clear();
+    EXPECT_EQ(merged.all().at("bs_get"), 0u);
+    EXPECT_EQ(merged.all().at("custom"), 0u);
 }
 
 TEST(CounterSet, MergeCoversInternedSlots)
@@ -286,6 +351,45 @@ TEST(Logging, FatalThrowsFatalError)
 TEST(Logging, StrCat)
 {
     EXPECT_EQ(strCat("a", 1, "-w", 2), "a1-w2");
+}
+
+TEST(Logging, LevelGatesSink)
+{
+    // Capture stderr while driving the level knob; restore both after.
+    const LogLevel saved = logLevel();
+    std::ostringstream captured;
+    std::streambuf *old = std::cerr.rdbuf(captured.rdbuf());
+
+    setLogLevel(LogLevel::Silent);
+    warn("suppressed");
+    inform("suppressed");
+    debug("suppressed");
+    EXPECT_EQ(captured.str(), "");
+
+    setLogLevel(LogLevel::Warn);
+    inform("suppressed");
+    debug("suppressed");
+    warn("shown");
+    EXPECT_EQ(captured.str(), "warn: shown\n");
+
+    captured.str("");
+    setLogLevel(LogLevel::Debug);
+    debug("shown");
+    inform("shown");
+    EXPECT_EQ(captured.str(), "debug: shown\ninfo: shown\n");
+
+    std::cerr.rdbuf(old);
+    setLogLevel(saved);
+}
+
+TEST(Logging, LevelRoundTrips)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(saved);
 }
 
 TEST(ThreadPool, RunsEveryTaskExactlyOnce)

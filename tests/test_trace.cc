@@ -1,0 +1,605 @@
+/**
+ * @file
+ * Tests for src/trace: ring wraparound semantics, multi-thread span
+ * export (parsed back by a minimal JSON parser), the allocation-free
+ * disabled path, log-histogram metrics, and — the load-bearing
+ * invariant — bitwise identity of traced and untraced mixGemm runs
+ * across thread counts and kernel modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bs/geometry.h"
+#include "common/random.h"
+#include "gemm/mixgemm.h"
+#include "runtime/backend.h"
+#include "runtime/qgraph.h"
+#include "trace/metrics.h"
+#include "trace/session.h"
+#include "trace/tracer.h"
+
+// Global allocation counter: the disabled-tracing test pins TRACE_SCOPE
+// to zero allocations, which needs the whole binary's operator new.
+static std::atomic<uint64_t> g_allocations{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace mixgemm
+{
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON validator: accepts exactly the JSON
+ * grammar (objects, arrays, strings with escapes, numbers, literals)
+ * and nothing else. Enough to prove the exporters emit well-formed
+ * documents without a JSON dependency.
+ */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text)
+        : p_(text.data()), end_(text.data() + text.size())
+    {
+    }
+
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return p_ == end_;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                             *p_ == '\r'))
+            ++p_;
+    }
+
+    bool literal(const char *text)
+    {
+        const size_t len = std::strlen(text);
+        if (static_cast<size_t>(end_ - p_) < len ||
+            std::memcmp(p_, text, len) != 0)
+            return false;
+        p_ += len;
+        return true;
+    }
+
+    bool string()
+    {
+        if (p_ >= end_ || *p_ != '"')
+            return false;
+        ++p_;
+        while (p_ < end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ >= end_)
+                    return false;
+                if (*p_ == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++p_;
+                        if (p_ >= end_ || !std::isxdigit(
+                                              static_cast<unsigned char>(
+                                                  *p_)))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", *p_)) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(*p_) < 0x20) {
+                return false;
+            }
+            ++p_;
+        }
+        if (p_ >= end_)
+            return false;
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const char *start = p_;
+        if (p_ < end_ && *p_ == '-')
+            ++p_;
+        while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_)))
+            ++p_;
+        if (p_ < end_ && *p_ == '.') {
+            ++p_;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                ++p_;
+        }
+        if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+            ++p_;
+            if (p_ < end_ && (*p_ == '+' || *p_ == '-'))
+                ++p_;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                ++p_;
+        }
+        return p_ > start && (*start != '-' || p_ > start + 1);
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (p_ >= end_)
+            return false;
+        switch (*p_) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool object()
+    {
+        ++p_; // '{'
+        skipWs();
+        if (p_ < end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (p_ >= end_ || *p_ != ':')
+                return false;
+            ++p_;
+            if (!value())
+                return false;
+            skipWs();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            break;
+        }
+        if (p_ >= end_ || *p_ != '}')
+            return false;
+        ++p_;
+        return true;
+    }
+
+    bool array()
+    {
+        ++p_; // '['
+        skipWs();
+        if (p_ < end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            break;
+        }
+        if (p_ >= end_ || *p_ != ']')
+            return false;
+        ++p_;
+        return true;
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+size_t
+countSubstring(const std::string &text, const std::string &needle)
+{
+    size_t count = 0;
+    for (size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+std::vector<int32_t>
+randomNarrowMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(elems);
+    const int64_t lo = is_signed ? -(int64_t{1} << (bw - 1)) : 0;
+    const int64_t hi = is_signed ? (int64_t{1} << (bw - 1)) - 1
+                                 : (int64_t{1} << bw) - 1;
+    for (auto &v : data)
+        v = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    return data;
+}
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsDrops)
+{
+    TraceRing ring(0, 4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (uint64_t i = 0; i < 10; ++i) {
+        TraceEvent e;
+        e.category = "test";
+        e.start_ns = i;
+        e.setName("event");
+        ring.push(e);
+    }
+    EXPECT_EQ(ring.recorded(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    const auto events = ring.events();
+    ASSERT_EQ(events.size(), 4u);
+    // The newest four, oldest first.
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].start_ns, 6 + i);
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(TraceRing(0, 1).capacity(), 4u);
+    EXPECT_EQ(TraceRing(0, 5).capacity(), 8u);
+    EXPECT_EQ(TraceRing(0, 64).capacity(), 64u);
+}
+
+TEST(Tracer, MultiThreadSpansExportValidJson)
+{
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kSpansPerThread = 16;
+    TraceSession session;
+    {
+        std::vector<std::thread> workers;
+        for (unsigned t = 0; t < kThreads; ++t)
+            workers.emplace_back([] {
+                for (unsigned s = 0; s < kSpansPerThread; ++s) {
+                    TRACE_SCOPE("outer", "work");
+                    TRACE_SCOPE("inner", "nested \"quoted\"\n");
+                }
+            });
+        for (auto &w : workers)
+            w.join();
+    }
+    const Tracer &tracer = session.tracer();
+    EXPECT_EQ(tracer.threadCount(), kThreads);
+    EXPECT_EQ(tracer.eventsRecorded(),
+              uint64_t{kThreads} * kSpansPerThread * 2);
+    EXPECT_EQ(tracer.eventsDropped(), 0u);
+
+    std::ostringstream os;
+    tracer.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json.substr(0, 400);
+    EXPECT_EQ(countSubstring(json, "\"ph\":\"X\""),
+              size_t{kThreads} * kSpansPerThread * 2);
+    // One process_name plus one thread_name per ring.
+    EXPECT_EQ(countSubstring(json, "\"ph\":\"M\""), size_t{kThreads} + 1);
+    // The quote and newline in the span name must arrive escaped.
+    EXPECT_NE(json.find("nested \\\"quoted\\\"\\n"), std::string::npos);
+}
+
+TEST(Tracer, SmallRingsWrapWithoutBreakingExport)
+{
+    TraceSession session(8);
+    for (unsigned i = 0; i < 100; ++i) {
+        TRACE_SCOPE("test", "span");
+    }
+    EXPECT_EQ(session.tracer().eventsRecorded(), 100u);
+    EXPECT_EQ(session.tracer().eventsDropped(), 92u);
+    std::ostringstream os;
+    session.tracer().writeJson(os);
+    EXPECT_TRUE(JsonValidator(os.str()).valid());
+    EXPECT_EQ(countSubstring(os.str(), "\"ph\":\"X\""), 8u);
+}
+
+TEST(Tracer, DisabledPathDoesNotAllocate)
+{
+    ASSERT_EQ(Tracer::active(), nullptr);
+    bool name_fn_called = false;
+    const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i) {
+        TRACE_SCOPE("test", "literal");
+        TraceSpan dynamic("test", [&] {
+            name_fn_called = true;
+            return std::string("dynamic-name");
+        });
+    }
+    const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before);
+    EXPECT_FALSE(name_fn_called); // name_fn must not run while disabled
+}
+
+TEST(Tracer, DynamicNamesRecordedAndTruncatedWhenActive)
+{
+    TraceSession session;
+    {
+        TraceSpan span("cat", [] {
+            return std::string("layer-with-a-very-long-name-") +
+                   std::string(64, 'x');
+        });
+    }
+    const auto threads = session.tracer().snapshot();
+    ASSERT_EQ(threads.size(), 1u);
+    ASSERT_EQ(threads[0].second.size(), 1u);
+    const TraceEvent &e = threads[0].second[0];
+    EXPECT_EQ(std::string(e.category), "cat");
+    // Copied and truncated to the fixed capacity, terminator included.
+    EXPECT_EQ(std::strlen(e.name), TraceEvent::kNameCapacity - 1);
+    EXPECT_EQ(std::string(e.name).substr(0, 11), "layer-with-");
+}
+
+TEST(Tracer, SequentialSessionsKeepRingsSeparate)
+{
+    {
+        TraceSession first;
+        TRACE_SCOPE("test", "first");
+    }
+    TraceSession second;
+    {
+        TRACE_SCOPE("test", "second");
+    }
+    // The thread's cached ring from the first session must not leak
+    // into the second (generation key), and spans recorded before the
+    // second session existed must not appear in it.
+    EXPECT_EQ(second.tracer().eventsRecorded(), 1u);
+    const auto threads = second.tracer().snapshot();
+    ASSERT_EQ(threads.size(), 1u);
+    EXPECT_EQ(std::string(threads[0].second[0].name), "second");
+}
+
+TEST(LogHistogram, ExactLowBucketsAndMonotoneIndex)
+{
+    for (uint64_t v = 0; v < 8; ++v)
+        EXPECT_EQ(LogHistogram::bucketIndex(v), v);
+    unsigned prev = 0;
+    for (uint64_t v = 1; v < (uint64_t{1} << 40); v = v * 2 + 1) {
+        const unsigned idx = LogHistogram::bucketIndex(v);
+        EXPECT_GE(idx, prev);
+        EXPECT_LT(idx, LogHistogram::kBuckets);
+        prev = idx;
+    }
+    EXPECT_LT(LogHistogram::bucketIndex(~uint64_t{0}),
+              LogHistogram::kBuckets);
+}
+
+TEST(LogHistogram, SummaryAndPercentiles)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.percentile(50), 0.0);
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 5050u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 100u);
+    // Buckets are at most 12.5 % wide, so the bucket-midpoint estimate
+    // sits within 12.5 % of the true order statistic.
+    EXPECT_NEAR(h.percentile(50), 50.0, 50.0 * 0.125);
+    EXPECT_NEAR(h.percentile(95), 95.0, 95.0 * 0.125);
+    EXPECT_NEAR(h.percentile(99), 99.0, 99.0 * 0.125);
+
+    LogHistogram single;
+    for (int i = 0; i < 5; ++i)
+        single.add(42);
+    // Clamping to [min, max] makes a constant stream exact.
+    EXPECT_EQ(single.percentile(50), 42.0);
+    EXPECT_EQ(single.percentile(99), 42.0);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedSamples)
+{
+    LogHistogram evens, odds, all;
+    for (uint64_t v = 1; v <= 1000; ++v) {
+        (v % 2 ? odds : evens).add(v);
+        all.add(v);
+    }
+    LogHistogram merged = evens;
+    merged.merge(odds);
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_EQ(merged.sum(), all.sum());
+    EXPECT_EQ(merged.min(), all.min());
+    EXPECT_EQ(merged.max(), all.max());
+    for (const double p : {10.0, 50.0, 95.0, 99.0})
+        EXPECT_EQ(merged.percentile(p), all.percentile(p));
+}
+
+TEST(MetricSet, MergeIsOrderIndependent)
+{
+    MetricSet a, b, c;
+    a.addNs("timer", 10);
+    a.addNs("only_a", 1);
+    b.addNs("timer", 1000);
+    c.addNs("timer", 100000);
+
+    MetricSet ab = a;
+    ab.merge(b);
+    ab.merge(c);
+    MetricSet ba = c;
+    ba.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab.all().at("timer").count(), 3u);
+    EXPECT_EQ(ab.all().at("timer").sum(), ba.all().at("timer").sum());
+    EXPECT_EQ(ab.all().at("timer").percentile(50),
+              ba.all().at("timer").percentile(50));
+    EXPECT_EQ(ab.all().count("only_a"), 1u);
+}
+
+TEST(MixGemmTrace, TracedRunsBitwiseIdenticalToUntraced)
+{
+    const uint64_t m = 33, n = 29, k = 37;
+    const DataSizeConfig cfg{4, 4, true, true};
+    Rng rng(7);
+    const auto a = randomNarrowMatrix(rng, m * k, cfg.bwa, cfg.a_signed);
+    const auto b = randomNarrowMatrix(rng, k * n, cfg.bwb, cfg.b_signed);
+    const auto geometry = geometryForK(computeBsGeometry(cfg), k);
+
+    BlockingParams base = BlockingParams::paperDefaults();
+    base.mc = 16; // several macro tiles despite the small shape
+    base.nc = 16;
+    const auto reference = mixGemm(a, b, m, n, k, geometry, base);
+
+    for (const unsigned threads : {1u, 3u}) {
+        for (const KernelMode mode :
+             {KernelMode::Fast, KernelMode::Modeled}) {
+            TraceSession session;
+            BlockingParams traced = base;
+            traced.threads = threads;
+            traced.kernel_mode = mode;
+            traced.session = &session;
+            traced.trace_label = "identity-check";
+            const auto result =
+                mixGemm(a, b, m, n, k, geometry, traced);
+            EXPECT_EQ(result.c, reference.c)
+                << "threads=" << threads << " mode="
+                << (mode == KernelMode::Fast ? "fast" : "modeled");
+            EXPECT_EQ(result.counters.all(), reference.counters.all());
+            EXPECT_GT(session.tracer().eventsRecorded(), 0u);
+            const auto reports = session.reports();
+            ASSERT_EQ(reports.size(), 1u);
+            EXPECT_EQ(reports[0].name, "identity-check");
+            EXPECT_EQ(reports[0].m, m);
+            EXPECT_GT(reports[0].bytes_packed, 0u);
+            EXPECT_GT(
+                reports[0].timers.all().at("macro_tile").count(), 0u);
+        }
+    }
+}
+
+TEST(TraceSession, ReportJsonIsValidAndCarriesCounters)
+{
+    TraceSession session;
+    MixGemmBackend backend;
+    backend.attachTraceSession(&session);
+    backend.setTraceLabel("unit-gemm");
+    Rng rng(11);
+    const DataSizeConfig cfg{8, 8, true, true};
+    const auto a = randomNarrowMatrix(rng, 12 * 16, 8, true);
+    const auto b = randomNarrowMatrix(rng, 16 * 8, 8, true);
+    backend.gemm(a, b, 12, 8, 16, cfg);
+    backend.setTraceLabel("unit-gemm-2");
+    backend.gemm(a, b, 12, 8, 16, cfg);
+
+    std::ostringstream os;
+    session.writeReportJson(os, {{"suite", "test \"escaped\""}});
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"unit-gemm\""), std::string::npos);
+    EXPECT_NE(json.find("\"unit-gemm-2\""), std::string::npos);
+    EXPECT_NE(json.find("\"bs_ip\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+    EXPECT_NE(json.find("test \\\"escaped\\\""), std::string::npos);
+
+    // Single-report serialization is itself a valid JSON object.
+    const auto reports = session.reports();
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_TRUE(JsonValidator(runReportToJson(reports[0])).valid());
+}
+
+TEST(TraceSession, QuantizedGraphRecordsPerLayerTimersAndSpans)
+{
+    const uint64_t k = 8, n = 4;
+    QNode node;
+    node.kind = QNode::Kind::kLinear;
+    node.spec.in_c = static_cast<unsigned>(k);
+    node.spec.out_c = static_cast<unsigned>(n);
+    node.spec.in_h = node.spec.in_w = 1;
+    node.a_params = QuantParams{1.0, 0, 8, true};
+    node.w_params = QuantParams{1.0, 0, 8, true};
+    node.weights_q.resize(k * n);
+    for (size_t i = 0; i < node.weights_q.size(); ++i)
+        node.weights_q[i] = static_cast<int32_t>(i % 5) - 2;
+    node.bias.assign(n, 0.0);
+    const QuantizedGraph graph({node});
+
+    TraceSession session;
+    MixGemmBackend backend;
+    backend.attachTraceSession(&session);
+    std::vector<double> input(k);
+    for (size_t i = 0; i < k; ++i)
+        input[i] = static_cast<double>(i) - 3.0;
+    const auto logits =
+        graph.run(Tensor<double>({1, k}, input), backend);
+    EXPECT_EQ(logits.size(), n);
+
+    // Per-layer timer in the session metrics...
+    const auto metrics = session.metrics();
+    ASSERT_EQ(metrics.all().count("layer/linear#0"), 1u);
+    EXPECT_EQ(metrics.all().at("layer/linear#0").count(), 1u);
+    // ...one RunReport from the backend GEMM...
+    EXPECT_EQ(session.reports().size(), 1u);
+    // ...and a "layer" span with the dynamic per-layer name.
+    bool found = false;
+    for (const auto &[tid, events] : session.tracer().snapshot())
+        for (const TraceEvent &e : events)
+            if (e.category && std::string(e.category) == "layer" &&
+                std::string(e.name) == "linear#0")
+                found = true;
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace mixgemm

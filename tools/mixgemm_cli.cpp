@@ -17,23 +17,37 @@
  *       List all 49 supported data-size configurations with their
  *       μ-engine geometry.
  *
+ * Observability (gemm and network): --trace <file.json> records a
+ * Chrome/Perfetto trace_event file, --report <file.json> a structured
+ * run report. Either flag switches the command to additionally
+ * *execute* the GEMMs through the Mix-GEMM library (random operands of
+ * the right shape and bitwidth) so the spans and counters describe a
+ * real run, not just the analytic model. --threads N, --modeled, and
+ * --layers N (network: only the first N layers) shape that execution.
+ *
  * Configurations are written the paper's way: a8-w8, a6-w4, ...
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "accuracy/qat_database.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "common/table.h"
 #include "dnn/mixed_precision.h"
 #include "dnn/models.h"
 #include "dnn/network_timing.h"
 #include "power/energy_model.h"
+#include "runtime/backend.h"
 #include "sim/gemm_timing.h"
 #include "soc/soc_config.h"
 #include "tensor/packing.h"
+#include "trace/session.h"
 
 using namespace mixgemm;
 
@@ -69,21 +83,127 @@ parseModel(const std::string &key)
     fatal("unknown network '" + key + "'");
 }
 
+/** Observability flags shared by the gemm and network commands. */
+struct TraceOptions
+{
+    std::string trace_path;  ///< --trace <file.json>
+    std::string report_path; ///< --report <file.json>
+    unsigned threads = 1;    ///< --threads N (0 = one per hw thread)
+    bool modeled = false;    ///< --modeled (default: fast kernel)
+    unsigned layers = 0;     ///< --layers N (network; 0 = all)
+
+    bool enabled() const
+    {
+        return !trace_path.empty() || !report_path.empty();
+    }
+};
+
+/**
+ * Consume one observability flag at argv[i] (advancing @p i past its
+ * value); @return false when argv[i] is not one of ours.
+ */
+bool
+parseTraceFlag(int argc, char **argv, int &i, TraceOptions &opts)
+{
+    const auto value = [&](const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            fatal(strCat("missing value for ", flag));
+        return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace") == 0)
+        opts.trace_path = value("--trace");
+    else if (std::strcmp(argv[i], "--report") == 0)
+        opts.report_path = value("--report");
+    else if (std::strcmp(argv[i], "--threads") == 0)
+        opts.threads =
+            static_cast<unsigned>(std::stoul(value("--threads")));
+    else if (std::strcmp(argv[i], "--modeled") == 0)
+        opts.modeled = true;
+    else if (std::strcmp(argv[i], "--layers") == 0)
+        opts.layers =
+            static_cast<unsigned>(std::stoul(value("--layers")));
+    else
+        return false;
+    return true;
+}
+
+std::vector<int32_t>
+randomNarrowMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(elems);
+    const int64_t lo = is_signed ? -(int64_t{1} << (bw - 1)) : 0;
+    const int64_t hi = is_signed ? (int64_t{1} << (bw - 1)) - 1
+                                 : (int64_t{1} << bw) - 1;
+    for (auto &v : data)
+        v = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    return data;
+}
+
+/**
+ * Run one labeled GEMM with random operands through @p backend, and
+ * record its wall time as session timer "gemm/<label>".
+ */
+void
+runTracedGemm(MixGemmBackend &backend, Rng &rng, std::string label,
+              uint64_t m, uint64_t n, uint64_t k,
+              const DataSizeConfig &cfg)
+{
+    const auto a = randomNarrowMatrix(rng, m * k, cfg.bwa, cfg.a_signed);
+    const auto b = randomNarrowMatrix(rng, k * n, cfg.bwb, cfg.b_signed);
+    backend.setTraceLabel(label);
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    {
+        // One "layer" span per traced GEMM so the Perfetto view groups
+        // the pack/kernel spans under the layer (or bench id) name.
+        TraceSpan span("layer", [&] { return label; });
+        backend.gemm(a, b, m, n, k, cfg);
+    }
+    if (TraceSession *session = backend.traceSession())
+        session->recordTimerNs(
+            "gemm/" + label,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock::now() - start)
+                    .count()));
+}
+
+/** Write the session artifacts the user asked for. */
+int
+writeTraceArtifacts(
+    const TraceSession &session, const TraceOptions &opts,
+    const std::vector<std::pair<std::string, std::string>> &header)
+{
+    bool ok = true;
+    if (!opts.trace_path.empty()) {
+        ok = session.writeTrace(opts.trace_path) && ok;
+        std::cout << "trace written to " << opts.trace_path
+                  << " (load in ui.perfetto.dev)\n";
+    }
+    if (!opts.report_path.empty()) {
+        ok = session.writeReport(opts.report_path, header) && ok;
+        std::cout << "report written to " << opts.report_path << "\n";
+    }
+    return ok ? 0 : 1;
+}
+
 int
 cmdGemm(int argc, char **argv)
 {
     if (argc < 3)
         fatal("usage: mixgemm-cli gemm <m> <n> <k> [config] "
-              "[--small-caches]");
+              "[--small-caches] [--trace f.json] [--report f.json] "
+              "[--threads N] [--modeled]");
     const uint64_t m = std::stoull(argv[0]);
     const uint64_t n = std::stoull(argv[1]);
     const uint64_t k = std::stoull(argv[2]);
     DataSizeConfig cfg{8, 8, true, true};
     SoCConfig soc = SoCConfig::sargantana();
+    TraceOptions trace;
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--small-caches") == 0)
             soc = SoCConfig::sargantanaSmallCaches();
-        else
+        else if (!parseTraceFlag(argc, argv, i, trace))
             cfg = parseConfig(argv[i]);
     }
 
@@ -110,6 +230,20 @@ cmdGemm(int argc, char **argv)
     t.addRow({"GOPS/W (engine+mul)", Table::fmt(e.gops_per_watt, 0),
               "-"});
     t.print(std::cout);
+
+    if (trace.enabled()) {
+        TraceSession session;
+        MixGemmBackend backend(trace.threads,
+                               trace.modeled ? KernelMode::Modeled
+                                             : KernelMode::Fast);
+        backend.attachTraceSession(&session);
+        Rng rng(12345);
+        runTracedGemm(backend, rng,
+                      strCat("gemm_", m, "x", n, "x", k), m, n, k, cfg);
+        return writeTraceArtifacts(session, trace,
+                                   {{"command", "gemm"},
+                                    {"config", cfg.name()}});
+    }
     return 0;
 }
 
@@ -117,14 +251,17 @@ int
 cmdNetwork(int argc, char **argv)
 {
     if (argc < 1)
-        fatal("usage: mixgemm-cli network <name> [config] [--batch N]");
+        fatal("usage: mixgemm-cli network <name> [config] [--batch N] "
+              "[--trace f.json] [--report f.json] [--threads N] "
+              "[--modeled] [--layers N]");
     const auto model = parseModel(argv[0]);
     DataSizeConfig cfg{8, 8, true, true};
     unsigned batch = 1;
+    TraceOptions trace;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc)
             batch = static_cast<unsigned>(std::stoul(argv[++i]));
-        else
+        else if (!parseTraceFlag(argc, argv, i, trace))
             cfg = parseConfig(argv[i]);
     }
     const GemmTimingModel timing(SoCConfig::sargantana());
@@ -144,6 +281,37 @@ cmdNetwork(int argc, char **argv)
                            1) +
                     "x"});
     out.print(std::cout);
+
+    if (trace.enabled()) {
+        // Execute the per-layer GEMM sweep for real: one Mix-GEMM call
+        // per layer shape (batch 1), first/last layers pinned to a8-w8
+        // exactly as the analytic model prices them. Depthwise layers
+        // run the per-channel column shape the runtime lowers to.
+        TraceSession session;
+        MixGemmBackend backend(trace.threads,
+                               trace.modeled ? KernelMode::Modeled
+                                             : KernelMode::Fast);
+        backend.attachTraceSession(&session);
+        Rng rng(12345);
+        const DataSizeConfig cfg88{8, 8, true, true};
+        unsigned executed = 0;
+        for (const auto &layer : model.layers) {
+            if (trace.layers && executed >= trace.layers)
+                break;
+            const DataSizeConfig layer_cfg =
+                layer.is_first || layer.is_last ? cfg88 : cfg;
+            const uint64_t ln = layer.conv.groups > 1
+                                    ? layer.conv.out_c
+                                    : layer.conv.gemmN();
+            runTracedGemm(backend, rng, layer.name, layer.conv.gemmM(),
+                          ln, layer.conv.gemmK(), layer_cfg);
+            ++executed;
+        }
+        return writeTraceArtifacts(session, trace,
+                                   {{"command", "network"},
+                                    {"network", model.name},
+                                    {"config", cfg.name()}});
+    }
     return 0;
 }
 
