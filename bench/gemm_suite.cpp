@@ -108,8 +108,75 @@ timeWallClock(const WallClockSpec &spec, TraceSession *session)
     return row;
 }
 
+struct AbftOverheadRow
+{
+    WallClockSpec spec;
+    double off_secs;         ///< FaultPolicy::Off
+    double detect_cold_secs; ///< first Detect run: includes the one-time
+                             ///< operand checksum build
+    double detect_warm_secs; ///< steady state: checksums already built
+    bool identical;          ///< Detect output bitwise equals Off output
+};
+
+/**
+ * ABFT overhead on a clean GEMM: the same compressed operands run under
+ * FaultPolicy::Off and twice under Detect. The first Detect run pays
+ * the one-time per-operand checksum build (amortized across every GEMM
+ * that reuses the operand — weights in an inference loop); the second
+ * is the steady-state verification cost. Both runs report through the
+ * trace session, so BENCH_gemm.json's run_reports carry fault_policy
+ * and abft_secs alongside the timings.
+ */
+AbftOverheadRow
+timeAbftOverhead(const WallClockSpec &spec, TraceSession *session)
+{
+    Rng rng(54321);
+    const auto a_data = randomNarrowMatrix(rng, spec.m * spec.k,
+                                           spec.config.bwa,
+                                           spec.config.a_signed);
+    const auto b_data = randomNarrowMatrix(rng, spec.k * spec.n,
+                                           spec.config.bwb,
+                                           spec.config.b_signed);
+    const auto geometry =
+        geometryForK(computeBsGeometry(spec.config), spec.k);
+    const CompressedA a(a_data, spec.m, spec.k, geometry);
+    const CompressedB b(b_data, spec.k, spec.n, geometry);
+
+    BlockingParams blocking = BlockingParams::paperDefaults();
+    blocking.threads = 1;
+    blocking.session = session;
+    const std::string label = std::string(spec.name) + "_" +
+                              std::to_string(spec.m) + "x" +
+                              std::to_string(spec.n) + "x" +
+                              std::to_string(spec.k);
+
+    using clock = std::chrono::steady_clock;
+    blocking.trace_label = "abft_off_" + label;
+    const auto t0 = clock::now();
+    const auto off = mixGemm(a, b, blocking);
+    const auto t1 = clock::now();
+    blocking.fault_policy = FaultPolicy::Detect;
+    blocking.trace_label = "abft_detect_cold_" + label;
+    const auto cold = mixGemm(a, b, blocking);
+    const auto t2 = clock::now();
+    blocking.trace_label = "abft_detect_warm_" + label;
+    const auto warm = mixGemm(a, b, blocking);
+    const auto t3 = clock::now();
+
+    AbftOverheadRow row;
+    row.spec = spec;
+    row.off_secs = std::chrono::duration<double>(t1 - t0).count();
+    row.detect_cold_secs = std::chrono::duration<double>(t2 - t1).count();
+    row.detect_warm_secs = std::chrono::duration<double>(t3 - t2).count();
+    row.identical = cold.c == off.c && warm.c == off.c &&
+                    cold.abft.tiles_flagged == 0 &&
+                    warm.abft.tiles_flagged == 0;
+    return row;
+}
+
 void
 writeBenchJson(const std::vector<WallClockRow> &rows,
+               const std::vector<AbftOverheadRow> &abft_rows,
                const std::vector<RunReport> &reports, const char *path)
 {
     std::ofstream json(path);
@@ -129,6 +196,22 @@ writeBenchJson(const std::vector<WallClockRow> &rows,
              << ", \"speedup\": " << r.modeled_secs / r.fast_secs
              << ", \"identical\": " << r.identical << "}"
              << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"abft_overhead\": [\n";
+    for (size_t i = 0; i < abft_rows.size(); ++i) {
+        const auto &r = abft_rows[i];
+        json << "    {\"config\": \"" << r.spec.name << "\", \"m\": "
+             << r.spec.m << ", \"n\": " << r.spec.n << ", \"k\": "
+             << r.spec.k << ", \"off_secs\": " << r.off_secs
+             << ", \"detect_cold_secs\": " << r.detect_cold_secs
+             << ", \"detect_warm_secs\": " << r.detect_warm_secs
+             << ", \"cold_overhead\": "
+             << r.detect_cold_secs / r.off_secs - 1.0
+             << ", \"warm_overhead\": "
+             << r.detect_warm_secs / r.off_secs - 1.0
+             << ", \"identical\": " << r.identical << "}"
+             << (i + 1 < abft_rows.size() ? "," : "") << "\n";
     }
     json << "  ],\n"
          << "  \"run_reports\": [\n";
@@ -234,9 +317,38 @@ main()
                    row.identical ? "yes" : "NO"});
     }
     wt.print(std::cout);
-    writeBenchJson(rows, session.reports(), "BENCH_gemm.json");
+
+    std::cout << "\nABFT overhead on clean GEMMs (FaultPolicy::Detect "
+                 "vs Off; cold pays the one-time operand checksum "
+                 "build)\n\n";
+    const std::vector<WallClockSpec> abft_specs = {
+        {"a8-w8", {8, 8, true, true}, 512, 512, 512},
+        {"a8-w8", {8, 8, true, true}, 256, 256, 256},
+        {"a4-w4", {4, 4, true, true}, 256, 256, 256},
+    };
+    Table at({"config", "m=n=k", "off s", "detect cold s",
+              "detect warm s", "warm ovh", "identical"});
+    std::vector<AbftOverheadRow> abft_rows;
+    for (const auto &spec : abft_specs) {
+        const auto row = timeAbftOverhead(spec, &session);
+        abft_rows.push_back(row);
+        all_identical = all_identical && row.identical;
+        at.addRow({spec.name, Table::fmtInt(spec.m),
+                   Table::fmt(row.off_secs, 3),
+                   Table::fmt(row.detect_cold_secs, 3),
+                   Table::fmt(row.detect_warm_secs, 3),
+                   Table::fmt((row.detect_warm_secs / row.off_secs - 1) *
+                                  100,
+                              1) +
+                       "%",
+                   row.identical ? "yes" : "NO"});
+    }
+    at.print(std::cout);
+
+    writeBenchJson(rows, abft_rows, session.reports(), "BENCH_gemm.json");
     std::cout << "\nWrote BENCH_gemm.json. Both kernels produce "
-                 "bitwise-identical C and counters: "
+                 "bitwise-identical C and counters, and ABFT "
+                 "verification is transparent on clean runs: "
               << (all_identical ? "verified" : "VIOLATED") << ".\n";
     return all_identical ? 0 : 1;
 }

@@ -78,6 +78,8 @@ BsEngine::ipGroup(const uint64_t *a_words, const uint64_t *b_words)
         acc += extractInnerProduct(clusterMultiply(ca, cb, geometry_),
                                    geometry_);
     }
+    if (hook_)
+        acc = hook_->onGroupResult(current_slot_, acc);
     accmem_[current_slot_] += acc;
     busy_cycles_ += geometry_.group_cycles;
     pairs_issued_ += geometry_.group_pairs;
@@ -98,6 +100,8 @@ BsEngine::finishGroup()
             geometry_);
         pos += chunk;
     }
+    if (hook_)
+        acc = hook_->onGroupResult(current_slot_, acc);
     accmem_[current_slot_] += acc;
     busy_cycles_ += geometry_.group_cycles;
     current_slot_ = (current_slot_ + 1) % active_slots_;

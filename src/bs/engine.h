@@ -30,6 +30,27 @@
 namespace mixgemm
 {
 
+/**
+ * Observer/mutator of accumulation-group results, invoked by the
+ * engine at the AccMem accumulate — the point where a hardware soft
+ * error in a partial product would land. The fault-injection layer
+ * (src/fault) installs one to corrupt selected group results; the
+ * returned value is what gets accumulated. A null hook (the default)
+ * leaves the engine bit-for-bit as before.
+ */
+class BsGroupResultHook
+{
+  public:
+    virtual ~BsGroupResultHook() = default;
+
+    /**
+     * @param slot  AccMem slot the group result accumulates into
+     * @param value the group's int64 inner product
+     * @return the value to accumulate (possibly corrupted)
+     */
+    virtual int64_t onGroupResult(unsigned slot, int64_t value) = 0;
+};
+
 /** Functional (value-computing) model of the μ-engine. */
 class BsEngine
 {
@@ -89,6 +110,12 @@ class BsEngine
     /** Currently loaded geometry. */
     const BsGeometry &geometry() const { return geometry_; }
 
+    /**
+     * Install (or clear, with nullptr) the group-result hook. Survives
+     * set(); the caller owns the hook's lifetime.
+     */
+    void setGroupResultHook(BsGroupResultHook *hook) { hook_ = hook; }
+
   private:
     /** Close the current accumulation group: compute and accumulate. */
     void finishGroup();
@@ -109,6 +136,7 @@ class BsEngine
     uint64_t busy_cycles_ = 0;
     uint64_t pairs_issued_ = 0;
     bool configured_ = false;
+    BsGroupResultHook *hook_ = nullptr;
 };
 
 /**

@@ -82,23 +82,29 @@ selectKu(const DataSizeConfig &config, unsigned max_ku)
     return {best_kua, best_kub};
 }
 
-BsGeometry
-computeBsGeometry(const DataSizeConfig &config, unsigned mul_width,
-                  unsigned max_ku)
+Expected<BsGeometry>
+tryComputeBsGeometry(const DataSizeConfig &config, unsigned mul_width,
+                     unsigned max_ku)
 {
     if (config.bwa < 2 || config.bwa > 8 || config.bwb < 2 || config.bwb > 8)
-        fatal(strCat("unsupported data sizes ", config.name(),
-                     ": bitwidths must be in [2, 8]"));
+        return Status::invalidArgument(
+            strCat("unsupported data sizes ", config.name(),
+                   ": bitwidths must be in [2, 8]"));
     if (mul_width < 8 || mul_width > 64)
-        fatal(strCat("unsupported multiplier width ", mul_width));
+        return Status::invalidArgument(
+            strCat("unsupported multiplier width ", mul_width));
+    if (max_ku == 0)
+        return Status::invalidArgument(
+            "computeBsGeometry: max_ku must be positive");
 
     BsGeometry g;
     g.config = config;
     g.mul_width = mul_width;
     g.cluster_size = clusterSizeFor(config.bwa, config.bwb, mul_width);
     if (g.cluster_size == 0)
-        fatal(strCat("no feasible input-cluster for ", config.name(),
-                     " on a ", mul_width, "-bit multiplier"));
+        return Status::failedPrecondition(
+            strCat("no feasible input-cluster for ", config.name(),
+                   " on a ", mul_width, "-bit multiplier"));
     g.cw = 1 + config.bwa + config.bwb + ceilLog2(g.cluster_size + 1);
     g.slice_lsb = (g.cluster_size - 1) * g.cw;
     g.slice_msb = g.slice_lsb + g.cw - 1;
@@ -110,6 +116,17 @@ computeBsGeometry(const DataSizeConfig &config, unsigned mul_width,
                               g.kub * g.elems_per_bvec);
     g.group_cycles = static_cast<unsigned>(dsuChunkSchedule(g).size());
     return g;
+}
+
+BsGeometry
+computeBsGeometry(const DataSizeConfig &config, unsigned mul_width,
+                  unsigned max_ku)
+{
+    Expected<BsGeometry> geometry =
+        tryComputeBsGeometry(config, mul_width, max_ku);
+    if (!geometry.ok())
+        fatal(geometry.status().toString());
+    return *geometry;
 }
 
 std::vector<unsigned>

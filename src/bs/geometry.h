@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace mixgemm
 {
 
@@ -83,6 +85,16 @@ struct BsGeometry
  */
 BsGeometry computeBsGeometry(const DataSizeConfig &config,
                              unsigned mul_width = 64, unsigned max_ku = 4);
+
+/**
+ * Checked variant of computeBsGeometry() for external-input boundaries
+ * (CLI flags, deserialized graphs): out-of-range bitwidths and
+ * infeasible geometries come back as a structured error instead of a
+ * FatalError throw.
+ */
+Expected<BsGeometry> tryComputeBsGeometry(const DataSizeConfig &config,
+                                          unsigned mul_width = 64,
+                                          unsigned max_ku = 4);
 
 /**
  * Input-cluster size for raw bitwidths: the largest n such that

@@ -60,6 +60,12 @@ constexpr const char *kCounterNames[kInternedCount] = {
     "bs_get",       "a_panels",
     "b_panels",     "micro_kernels",
     "engine_busy_cycles", "ops",
+    "faults_injected",
+    "abft_tiles_checked",
+    "abft_tiles_flagged",
+    "abft_retries",
+    "abft_tiles_corrected",
+    "abft_tiles_uncorrected",
 };
 
 /** Map a string to its interned counter, if it names one. */

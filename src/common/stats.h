@@ -67,6 +67,12 @@ enum class Counter : unsigned
     MicroKernels,     ///< "micro_kernels"
     EngineBusyCycles, ///< "engine_busy_cycles"
     Ops,              ///< "ops"
+    FaultsInjected,   ///< "faults_injected" (fault-arm applications)
+    AbftTilesChecked, ///< "abft_tiles_checked"
+    AbftTilesFlagged, ///< "abft_tiles_flagged"
+    AbftRetries,      ///< "abft_retries" (tile recompute attempts)
+    AbftTilesCorrected,   ///< "abft_tiles_corrected"
+    AbftTilesUncorrected, ///< "abft_tiles_uncorrected"
     Count             ///< number of interned counters (not a counter)
 };
 

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Lightweight structured error reporting for public API boundaries.
+ *
+ * The library's internal layers keep the gem5-style fatal()/panic()
+ * discipline (logging.h): a caller bug deep inside a kernel is a
+ * programming error and should stop the process loudly. Public entry
+ * points that face *untrusted or external* input — GEMM shapes from a
+ * model file, serialized graphs from disk, quantizer parameters from a
+ * config — must not crash on bad data. Those boundaries validate first
+ * and return a Status (or an Expected<T> carrying either the value or
+ * the Status), so a serving process can reject one bad request and keep
+ * running.
+ *
+ * Status is deliberately tiny: a code for programmatic dispatch plus a
+ * human-readable message. Expected<T> is the usual value-or-error sum
+ * type; reading value() on an error is a caller bug and panics.
+ */
+
+#ifndef MIXGEMM_COMMON_STATUS_H
+#define MIXGEMM_COMMON_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+/** Broad error class of a Status, for programmatic handling. */
+enum class StatusCode
+{
+    kOk = 0,
+    kInvalidArgument,    ///< caller-supplied value is unusable
+    kOutOfRange,         ///< index/size outside the valid domain
+    kFailedPrecondition, ///< object state does not allow the call
+    kDataLoss,           ///< serialized input is malformed or truncated
+};
+
+/** Canonical lowercase name of a status code ("ok", "invalid_argument"). */
+const char *statusCodeName(StatusCode code);
+
+/** Success-or-error result of a fallible operation. */
+class Status
+{
+  public:
+    /** Default-constructed Status is success. */
+    Status() = default;
+
+    static Status invalidArgument(std::string msg)
+    {
+        return Status(StatusCode::kInvalidArgument, std::move(msg));
+    }
+    static Status outOfRange(std::string msg)
+    {
+        return Status(StatusCode::kOutOfRange, std::move(msg));
+    }
+    static Status failedPrecondition(std::string msg)
+    {
+        return Status(StatusCode::kFailedPrecondition, std::move(msg));
+    }
+    static Status dataLoss(std::string msg)
+    {
+        return Status(StatusCode::kDataLoss, std::move(msg));
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>". */
+    std::string toString() const
+    {
+        if (ok())
+            return "ok";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+  private:
+    Status(StatusCode code, std::string msg)
+        : code_(code), message_(std::move(msg))
+    {
+    }
+
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * Value-or-Status result. Construct from a T (success) or a non-ok
+ * Status (failure); accessing the wrong alternative panics, because at
+ * that point the *caller* has a bug, not the data.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)) {}
+    Expected(Status status) : status_(std::move(status))
+    {
+        if (status_.ok())
+            panic("Expected constructed from an ok Status without a "
+                  "value");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const Status &status() const { return status_; }
+
+    T &value()
+    {
+        if (!ok())
+            panic("Expected::value() on error: " + status_.toString());
+        return *value_;
+    }
+    const T &value() const
+    {
+        if (!ok())
+            panic("Expected::value() on error: " + status_.toString());
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kInvalidArgument: return "invalid_argument";
+      case StatusCode::kOutOfRange: return "out_of_range";
+      case StatusCode::kFailedPrecondition: return "failed_precondition";
+      case StatusCode::kDataLoss: return "data_loss";
+    }
+    return "?";
+}
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_STATUS_H

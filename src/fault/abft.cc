@@ -1,0 +1,89 @@
+#include "fault/abft.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+AbftVerifier::AbftVerifier(const CompressedA &a, const CompressedB &b)
+    : a_(a), b_(b), m_(a.m()), n_(b.n()), k_(a.k())
+{
+    da_.resize(m_ * k_);
+    for (uint64_t i = 0; i < m_; ++i)
+        for (uint64_t kk = 0; kk < k_; ++kk)
+            da_[i * k_ + kk] = a.element(i, kk);
+    db_.resize(k_ * n_);
+    for (uint64_t j = 0; j < n_; ++j)
+        for (uint64_t kk = 0; kk < k_; ++kk)
+            db_[kk * n_ + j] = b.element(j, kk);
+}
+
+uint64_t
+AbftVerifier::verifyInputs() const
+{
+    const std::vector<int64_t> &aks = a_.abftKSums();
+    const std::vector<int64_t> &bks = b_.abftKSums();
+    if (aks.empty() || bks.empty()) {
+        warn("AbftVerifier::verifyInputs without a checksum snapshot "
+             "(ensureAbftChecksums was never called); skipping");
+        return 0;
+    }
+    uint64_t mismatches = 0;
+    for (uint64_t kk = 0; kk < k_; ++kk) {
+        int64_t sa = 0;
+        for (uint64_t i = 0; i < m_; ++i)
+            sa += da_[i * k_ + kk];
+        int64_t sb = 0;
+        for (uint64_t j = 0; j < n_; ++j)
+            sb += db_[kk * n_ + j];
+        if (sa != aks[kk] || sb != bks[kk])
+            ++mismatches;
+    }
+    return mismatches;
+}
+
+AbftTileVerdict
+AbftVerifier::verifyTile(const std::vector<int64_t> &c, uint64_t r0,
+                         uint64_t r1, uint64_t c0, uint64_t c1) const
+{
+    AbftTileVerdict verdict;
+
+    // Column equations: one per output column of the tile, against the
+    // row-checksum vector of the tile's A rows.
+    std::vector<int64_t> a_rowsum(k_, 0);
+    for (uint64_t i = r0; i < r1; ++i)
+        for (uint64_t kk = 0; kk < k_; ++kk)
+            a_rowsum[kk] += da_[i * k_ + kk];
+    for (uint64_t j = c0; j < c1; ++j) {
+        int64_t expected = 0;
+        for (uint64_t kk = 0; kk < k_; ++kk)
+            expected += a_rowsum[kk] * db_[kk * n_ + j];
+        int64_t actual = 0;
+        for (uint64_t i = r0; i < r1; ++i)
+            actual += c[i * n_ + j];
+        if (actual != expected)
+            ++verdict.bad_cols;
+    }
+
+    // Row equations: one per output row, against the column-checksum
+    // vector of the tile's B columns.
+    std::vector<int64_t> b_colsum(k_, 0);
+    for (uint64_t kk = 0; kk < k_; ++kk)
+        for (uint64_t j = c0; j < c1; ++j)
+            b_colsum[kk] += db_[kk * n_ + j];
+    for (uint64_t i = r0; i < r1; ++i) {
+        int64_t expected = 0;
+        for (uint64_t kk = 0; kk < k_; ++kk)
+            expected += da_[i * k_ + kk] * b_colsum[kk];
+        int64_t actual = 0;
+        for (uint64_t j = c0; j < c1; ++j)
+            actual += c[i * n_ + j];
+        if (actual != expected)
+            ++verdict.bad_rows;
+    }
+
+    verdict.ok = verdict.bad_rows == 0 && verdict.bad_cols == 0;
+    return verdict;
+}
+
+} // namespace mixgemm

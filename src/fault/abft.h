@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Algorithm-based fault tolerance (ABFT) for Mix-GEMM.
+ *
+ * Classic Huang-Abraham checksum GEMM adapted to the quantized int32
+ * domain. Two independent checks:
+ *
+ *  1. Operand integrity: per-k checksum vectors captured from the
+ *     packed operands *before* any corruption (ensureAbftChecksums(),
+ *     tensor/packing.h) are recomputed from the operands the GEMM
+ *     actually read. A mismatch means packed-SRAM corruption — the
+ *     inputs themselves are wrong, recomputation cannot help, and the
+ *     driver reports it instead of retrying.
+ *
+ *  2. Compute integrity, per macro tile: for the C sub-block
+ *     rows [r0, r1) x cols [c0, c1),
+ *
+ *       sum_i C[i][j]  ==  sum_k (sum_i A[i][k]) * B[k][j]   (per col j)
+ *       sum_j C[i][j]  ==  sum_k A[i][k] * (sum_j B[k][j])   (per row i)
+ *
+ *     Both sides are exact int64 arithmetic over int32-decoded
+ *     elements, so any single corrupted C cell (an accumulator or
+ *     inner-product fault) breaks one row equation and one column
+ *     equation — detection is exact, not probabilistic. Multi-fault
+ *     corruptions can only escape if they cancel in *both* the row and
+ *     column sums simultaneously.
+ *
+ * Overflow headroom: |A[i][k] * B[k][j]| < 2^(bwa + bwb - 2) <= 2^14,
+ * so a row/column check sum is bounded by k * max(mc, nc) * 2^14 —
+ * for k, mc, nc up to 2^20 that is < 2^55, far inside int64. The
+ * checks can neither wrap nor false-positive.
+ */
+
+#ifndef MIXGEMM_FAULT_ABFT_H
+#define MIXGEMM_FAULT_ABFT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+
+/** Outcome of one macro tile's compute-integrity check. */
+struct AbftTileVerdict
+{
+    bool ok = true;
+    unsigned bad_rows = 0; ///< row equations violated in the tile
+    unsigned bad_cols = 0; ///< column equations violated in the tile
+};
+
+/**
+ * Verifies a GEMM's operands and output tiles. Construction decodes
+ * both operands once (int64 dense mirrors), so per-tile verification
+ * is pure arithmetic — built once per mixGemm() call when the fault
+ * policy wants verification, on the operand instances the kernels
+ * actually read (fault copies included).
+ */
+class AbftVerifier
+{
+  public:
+    AbftVerifier(const CompressedA &a, const CompressedB &b);
+
+    /**
+     * Operand-integrity check: number of logical k positions whose
+     * recomputed A or B checksum disagrees with the snapshot taken by
+     * ensureAbftChecksums(). 0 = inputs intact. Returns 0 (with a
+     * warning) when no snapshot was ever taken.
+     */
+    uint64_t verifyInputs() const;
+
+    /**
+     * Compute-integrity check of the C sub-block rows [r0, r1) x
+     * cols [c0, c1) of the row-major m x n output @p c.
+     */
+    AbftTileVerdict verifyTile(const std::vector<int64_t> &c,
+                               uint64_t r0, uint64_t r1, uint64_t c0,
+                               uint64_t c1) const;
+
+  private:
+    const CompressedA &a_;
+    const CompressedB &b_;
+    uint64_t m_, n_, k_;
+    std::vector<int64_t> da_; ///< decoded A, m x k row-major
+    std::vector<int64_t> db_; ///< decoded B, k x n row-major
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_FAULT_ABFT_H

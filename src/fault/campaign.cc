@@ -1,0 +1,321 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "dnn/models.h"
+#include "fault/injector.h"
+#include "gemm/mixgemm.h"
+#include "tensor/packing.h"
+#include "trace/json.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+using clock = std::chrono::steady_clock;
+
+/** One prepared GEMM instance: operands plus the fault-free truth. */
+struct PreparedShape
+{
+    CampaignShape shape;
+    CompressedA a;
+    CompressedB b;
+    std::vector<int64_t> golden;
+};
+
+std::vector<int32_t>
+randomOperand(Rng &rng, uint64_t count, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(count);
+    const int64_t lo = is_signed ? -(int64_t{1} << (bw - 1)) : 0;
+    const int64_t hi = is_signed ? (int64_t{1} << (bw - 1)) - 1
+                                 : (int64_t{1} << bw) - 1;
+    for (auto &v : data)
+        v = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    return data;
+}
+
+/**
+ * The GEMM shapes a campaign sweeps: the configured m x n x k, or the
+ * network's first layers with each dimension clamped so a CI campaign
+ * stays small while still exercising layer-realistic aspect ratios.
+ */
+std::vector<CampaignShape>
+campaignShapes(const CampaignConfig &config)
+{
+    if (config.network.empty())
+        return {{"gemm", config.m, config.n, config.k}};
+    for (const ModelSpec &model : allModels()) {
+        if (model.name != config.network)
+            continue;
+        std::vector<CampaignShape> shapes;
+        const unsigned count = std::min<unsigned>(
+            config.max_layers,
+            static_cast<unsigned>(model.layers.size()));
+        const uint64_t cap = std::max<uint64_t>(1, config.max_layer_dim);
+        for (unsigned i = 0; i < count; ++i) {
+            const LayerSpec &layer = model.layers[i];
+            shapes.push_back({layer.name,
+                              std::min(layer.conv.gemmM(), cap),
+                              std::min(layer.conv.gemmN(), cap),
+                              std::min(layer.conv.gemmK(), cap)});
+        }
+        return shapes;
+    }
+    fatal(strCat("runFaultCampaign: unknown network \"", config.network,
+                 "\""));
+}
+
+/**
+ * Campaign blocking: tiles far smaller than the Table I defaults so
+ * even the CI-sized shapes decompose into several macro tiles — tile
+ * localization, per-tile retries, and the fallback path all get
+ * exercised instead of collapsing into one whole-matrix tile.
+ */
+BlockingParams
+campaignBlocking(const CampaignConfig &config)
+{
+    BlockingParams blocking;
+    blocking.mc = 16;
+    blocking.nc = 16;
+    blocking.kc = 64;
+    blocking.mr = 4;
+    blocking.nr = 4;
+    blocking.threads = config.threads;
+    blocking.kernel_mode = config.kernel_mode;
+    return blocking;
+}
+
+double
+secondsSince(clock::time_point start)
+{
+    return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+} // namespace
+
+CampaignResult
+runFaultCampaign(const CampaignConfig &config)
+{
+    const BsGeometry geometry = computeBsGeometry(config.config);
+    const BlockingParams base_blocking = campaignBlocking(config);
+    const unsigned runs_per_cell = std::max(1u, config.runs_per_cell);
+
+    CampaignResult result;
+    result.config = config;
+    result.shapes = campaignShapes(config);
+
+    // Prepare every shape once: deterministic operands from the base
+    // seed and the shape index, plus the fault-free golden output every
+    // faulted run is scored against.
+    std::vector<PreparedShape> prepared;
+    prepared.reserve(result.shapes.size());
+    for (size_t s = 0; s < result.shapes.size(); ++s) {
+        const CampaignShape &shape = result.shapes[s];
+        Rng rng(config.base_seed + 0x9E3779B97F4A7C15ull * (s + 1));
+        const auto a_data =
+            randomOperand(rng, shape.m * shape.k, config.config.bwa,
+                          config.config.a_signed);
+        const auto b_data =
+            randomOperand(rng, shape.k * shape.n, config.config.bwb,
+                          config.config.b_signed);
+        CompressedA a(a_data, shape.m, shape.k, geometry);
+        CompressedB b(b_data, shape.k, shape.n, geometry);
+        auto golden = mixGemm(a, b, base_blocking).c;
+        prepared.push_back({shape, std::move(a), std::move(b),
+                            std::move(golden)});
+    }
+
+    // Clean-run overhead and transparency: ABFT under a clean GEMM must
+    // cost only checksum time and change nothing. The Detect timing
+    // deliberately includes the one-time checksum build — that is the
+    // real first-GEMM cost on freshly packed operands.
+    {
+        const PreparedShape &p = prepared.front();
+        const auto off_start = clock::now();
+        auto off = mixGemm(p.a, p.b, base_blocking);
+        result.clean_off_secs = secondsSince(off_start);
+
+        BlockingParams detect = base_blocking;
+        detect.fault_policy = FaultPolicy::Detect;
+        const auto detect_start = clock::now();
+        auto det = mixGemm(p.a, p.b, detect);
+        result.clean_detect_secs = secondsSince(detect_start);
+        result.abft_overhead =
+            result.clean_off_secs > 0.0
+                ? result.clean_detect_secs / result.clean_off_secs - 1.0
+                : 0.0;
+        result.clean_runs_identical = off.c == p.golden && det.c == p.golden;
+    }
+
+    std::vector<FaultSite> sites = config.sites;
+    if (sites.empty()) {
+        sites = {FaultSite::PackedA, FaultSite::PackedB,
+                 FaultSite::BsIpResult, FaultSite::Accumulator};
+        if (config.kernel_mode == KernelMode::Fast) {
+            sites.push_back(FaultSite::ClusterPanelA);
+            sites.push_back(FaultSite::ClusterPanelB);
+        }
+    }
+    std::vector<FaultModel> models = config.models;
+    if (models.empty())
+        models = {FaultModel::BitFlip};
+    std::vector<FaultPolicy> policies = config.policies;
+    if (policies.empty())
+        policies = {FaultPolicy::Off, FaultPolicy::Detect,
+                    FaultPolicy::DetectRetry, FaultPolicy::DetectFallback};
+
+    // Transparency across every swept policy: clean runs must be
+    // bitwise what Off produces.
+    for (const FaultPolicy policy : policies) {
+        BlockingParams clean = base_blocking;
+        clean.fault_policy = policy;
+        if (mixGemm(prepared.front().a, prepared.front().b, clean).c !=
+            prepared.front().golden)
+            result.clean_runs_identical = false;
+    }
+
+    unsigned cell_index = 0;
+    for (const FaultSite site : sites) {
+        for (const FaultModel model : models) {
+            for (const FaultPolicy policy : policies) {
+                CampaignCell cell;
+                cell.site = site;
+                cell.model = model;
+                cell.policy = policy;
+                cell.runs = runs_per_cell;
+                double accuracy_sum = 0.0;
+                for (unsigned r = 0; r < runs_per_cell; ++r) {
+                    const PreparedShape &p =
+                        prepared[r % prepared.size()];
+                    FaultSpec spec;
+                    spec.seed = config.base_seed ^
+                                (0x9E3779B97F4A7C15ull *
+                                 (uint64_t{cell_index} * runs_per_cell +
+                                  r + 1));
+                    spec.site = site;
+                    spec.model = model;
+                    spec.max_faults = config.max_faults;
+                    spec.bits_per_fault = config.bits_per_fault;
+                    FaultInjector injector({spec});
+
+                    BlockingParams blocking = base_blocking;
+                    blocking.fault = &injector;
+                    blocking.fault_policy = policy;
+                    const MixGemmResult run =
+                        mixGemm(p.a, p.b, blocking);
+
+                    cell.faults_planned += injector.planned().size();
+                    cell.faults_injected += injector.injectedCount();
+                    const bool corrupted = run.c != p.golden;
+                    const bool detected =
+                        run.abft.tiles_flagged > 0 ||
+                        run.abft.input_k_mismatches > 0;
+                    if (corrupted)
+                        ++cell.corrupted_runs;
+                    if (detected)
+                        ++cell.detected_runs;
+                    if (detected && !corrupted)
+                        ++cell.corrected_runs;
+                    if (corrupted && !detected)
+                        ++cell.escaped_runs;
+
+                    uint64_t matching = 0;
+                    for (size_t i = 0; i < run.c.size(); ++i)
+                        if (run.c[i] == p.golden[i])
+                            ++matching;
+                    const double accuracy =
+                        run.c.empty()
+                            ? 1.0
+                            : static_cast<double>(matching) /
+                                  static_cast<double>(run.c.size());
+                    accuracy_sum += accuracy;
+                    cell.min_accuracy =
+                        std::min(cell.min_accuracy, accuracy);
+                }
+                cell.mean_accuracy = accuracy_sum / runs_per_cell;
+                result.cells.push_back(cell);
+                ++cell_index;
+            }
+        }
+    }
+    return result;
+}
+
+std::string
+CampaignResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"campaign\": {\n";
+    os << "    \"config\": \"" << jsonEscape(config.config.name())
+       << "\",\n";
+    os << "    \"kernel_mode\": \""
+       << (config.kernel_mode == KernelMode::Fast ? "fast" : "modeled")
+       << "\",\n";
+    os << "    \"threads\": " << config.threads << ",\n";
+    os << "    \"base_seed\": " << config.base_seed << ",\n";
+    os << "    \"runs_per_cell\": " << config.runs_per_cell << ",\n";
+    os << "    \"max_faults\": " << config.max_faults << ",\n";
+    os << "    \"bits_per_fault\": " << config.bits_per_fault << ",\n";
+    os << "    \"network\": \"" << jsonEscape(config.network) << "\",\n";
+    os << "    \"shapes\": [";
+    for (size_t i = 0; i < shapes.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << "\n      {\"label\": \"" << jsonEscape(shapes[i].label)
+           << "\", \"m\": " << shapes[i].m << ", \"n\": " << shapes[i].n
+           << ", \"k\": " << shapes[i].k << "}";
+    }
+    os << "\n    ]\n  },\n";
+    os << "  \"clean\": {\n";
+    os << "    \"off_secs\": " << clean_off_secs << ",\n";
+    os << "    \"detect_secs\": " << clean_detect_secs << ",\n";
+    os << "    \"abft_overhead\": " << abft_overhead << ",\n";
+    os << "    \"runs_identical\": "
+       << (clean_runs_identical ? "true" : "false") << "\n  },\n";
+    os << "  \"cells\": [";
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const CampaignCell &cell = cells[i];
+        // Coverage over runs whose fault actually perturbed the
+        // computation: detected / (detected + escaped). DetectRetry
+        // repairs C before scoring, so corrupted_runs alone would
+        // undercount the perturbed population.
+        const uint64_t perturbed =
+            uint64_t{cell.detected_runs} + cell.escaped_runs;
+        const double coverage =
+            perturbed > 0 ? static_cast<double>(cell.detected_runs) /
+                                static_cast<double>(perturbed)
+                          : 1.0;
+        const double correction =
+            cell.detected_runs > 0
+                ? static_cast<double>(cell.corrected_runs) /
+                      static_cast<double>(cell.detected_runs)
+                : 1.0;
+        if (i > 0)
+            os << ",";
+        os << "\n    {\"site\": \"" << faultSiteName(cell.site)
+           << "\", \"model\": \"" << faultModelName(cell.model)
+           << "\", \"policy\": \"" << faultPolicyName(cell.policy)
+           << "\",\n     \"runs\": " << cell.runs
+           << ", \"faults_planned\": " << cell.faults_planned
+           << ", \"faults_injected\": " << cell.faults_injected
+           << ",\n     \"corrupted_runs\": " << cell.corrupted_runs
+           << ", \"detected_runs\": " << cell.detected_runs
+           << ", \"corrected_runs\": " << cell.corrected_runs
+           << ", \"escaped_runs\": " << cell.escaped_runs
+           << ",\n     \"detection_coverage\": " << coverage
+           << ", \"correction_rate\": " << correction
+           << ",\n     \"mean_accuracy\": " << cell.mean_accuracy
+           << ", \"min_accuracy\": " << cell.min_accuracy << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace mixgemm

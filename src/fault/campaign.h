@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seeded fault-injection campaigns over the Mix-GEMM stack.
+ *
+ * A campaign sweeps the cross product of fault sites x fault models x
+ * ABFT policies, running `runs_per_cell` seeded GEMMs per cell against
+ * a golden fault-free reference, and scores each cell:
+ *
+ *   corrupted   final C differs from the golden output
+ *   detected    ABFT flagged a tile or an operand checksum mismatch
+ *   corrected   ABFT detected *and* the final C matches golden
+ *   escaped     corrupted but never detected (silent data corruption)
+ *
+ * plus element-level accuracy-under-faults and the ABFT overhead of a
+ * clean run (Detect vs Off wall time). Every run is deterministic in
+ * (base_seed, cell, run index), so a campaign is reproducible bit for
+ * bit at any thread count — the same property the injection engine
+ * guarantees per GEMM.
+ */
+
+#ifndef MIXGEMM_FAULT_CAMPAIGN_H
+#define MIXGEMM_FAULT_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bs/geometry.h"
+#include "fault/fault.h"
+#include "gemm/blocking.h"
+
+namespace mixgemm
+{
+
+/** What to sweep. Defaults give the small CI campaign. */
+struct CampaignConfig
+{
+    uint64_t m = 48;
+    uint64_t n = 40;
+    uint64_t k = 96;
+    /**
+     * Optional: sweep the GEMM-lowered shapes of this evaluation
+     * network's first @ref max_layers layers (each dimension clamped to
+     * @ref max_layer_dim so the campaign stays CI-sized) instead of the
+     * single m x n x k shape above. Run r of a cell executes shape
+     * r mod shape-count, so every cell sees every layer shape.
+     */
+    std::string network;
+    unsigned max_layers = 3;
+    uint64_t max_layer_dim = 64;
+    DataSizeConfig config;            ///< operand bitwidths (a8-w8)
+    KernelMode kernel_mode = KernelMode::Fast;
+    unsigned threads = 1;
+    uint64_t base_seed = 1;           ///< root of every derived seed
+    unsigned runs_per_cell = 5;       ///< seeded GEMMs per (site, model,
+                                      ///< policy) cell
+    unsigned max_faults = 1;          ///< faults per run
+    unsigned bits_per_fault = 1;      ///< bits corrupted per fault
+    /// Sites to sweep; empty = all applicable to the kernel mode
+    /// (cluster-panel sites only exist on the Fast path).
+    std::vector<FaultSite> sites;
+    /// Models to sweep; empty = bit flips only.
+    std::vector<FaultModel> models;
+    /// Policies to sweep; empty = all four.
+    std::vector<FaultPolicy> policies;
+};
+
+/** Score of one (site, model, policy) campaign cell. */
+struct CampaignCell
+{
+    FaultSite site = FaultSite::Accumulator;
+    FaultModel model = FaultModel::BitFlip;
+    FaultPolicy policy = FaultPolicy::Off;
+    unsigned runs = 0;
+    uint64_t faults_planned = 0;
+    uint64_t faults_injected = 0;
+    unsigned corrupted_runs = 0;
+    unsigned detected_runs = 0;
+    unsigned corrected_runs = 0;
+    unsigned escaped_runs = 0;
+    double mean_accuracy = 1.0; ///< mean fraction of correct C elements
+    double min_accuracy = 1.0;  ///< worst run's fraction
+};
+
+/** One GEMM shape the campaign actually ran (layer-derived or plain). */
+struct CampaignShape
+{
+    std::string label;
+    uint64_t m = 0;
+    uint64_t n = 0;
+    uint64_t k = 0;
+};
+
+/** Full campaign outcome; toJson() is the CLI/CI artifact. */
+struct CampaignResult
+{
+    CampaignConfig config;
+    std::vector<CampaignShape> shapes;
+    std::vector<CampaignCell> cells;
+    /// Clean-run (no faults) wall times under Off and Detect, and the
+    /// relative ABFT overhead detect/off - 1.
+    double clean_off_secs = 0.0;
+    double clean_detect_secs = 0.0;
+    double abft_overhead = 0.0;
+    /// Clean runs under every swept policy produced bitwise the same C
+    /// as FaultPolicy::Off (the no-faults transparency guarantee).
+    bool clean_runs_identical = true;
+
+    std::string toJson() const;
+};
+
+/** Execute the sweep. Deterministic in @p config. */
+CampaignResult runFaultCampaign(const CampaignConfig &config);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_FAULT_CAMPAIGN_H

@@ -1,0 +1,83 @@
+#include "fault/fault.h"
+
+namespace mixgemm
+{
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::PackedA: return "packed_a";
+      case FaultSite::PackedB: return "packed_b";
+      case FaultSite::ClusterPanelA: return "cluster_panel_a";
+      case FaultSite::ClusterPanelB: return "cluster_panel_b";
+      case FaultSite::BsIpResult: return "bs_ip_result";
+      case FaultSite::Accumulator: return "accumulator";
+      case FaultSite::Count: break;
+    }
+    return "?";
+}
+
+Expected<FaultSite>
+faultSiteFromName(const std::string &name)
+{
+    for (unsigned s = 0; s < kFaultSiteCount; ++s) {
+        const auto site = static_cast<FaultSite>(s);
+        if (name == faultSiteName(site))
+            return site;
+    }
+    return Status::invalidArgument("unknown fault site \"" + name + "\"");
+}
+
+const char *
+faultModelName(FaultModel model)
+{
+    switch (model) {
+      case FaultModel::BitFlip: return "bit_flip";
+      case FaultModel::StuckAt0: return "stuck_at_0";
+      case FaultModel::StuckAt1: return "stuck_at_1";
+    }
+    return "?";
+}
+
+Expected<FaultModel>
+faultModelFromName(const std::string &name)
+{
+    if (name == "bit_flip")
+        return FaultModel::BitFlip;
+    if (name == "stuck_at_0")
+        return FaultModel::StuckAt0;
+    if (name == "stuck_at_1")
+        return FaultModel::StuckAt1;
+    return Status::invalidArgument("unknown fault model \"" + name +
+                                   "\"");
+}
+
+const char *
+faultPolicyName(FaultPolicy policy)
+{
+    switch (policy) {
+      case FaultPolicy::Off: return "off";
+      case FaultPolicy::Detect: return "detect";
+      case FaultPolicy::DetectRetry: return "detect_retry";
+      case FaultPolicy::DetectFallback: return "detect_fallback";
+    }
+    return "?";
+}
+
+Expected<FaultPolicy>
+faultPolicyFromName(const std::string &name)
+{
+    if (name == "off")
+        return FaultPolicy::Off;
+    if (name == "detect")
+        return FaultPolicy::Detect;
+    if (name == "detect_retry")
+        return FaultPolicy::DetectRetry;
+    if (name == "detect_fallback")
+        return FaultPolicy::DetectFallback;
+    return Status::invalidArgument("unknown fault policy \"" + name +
+                                   "\"");
+}
+
+} // namespace mixgemm

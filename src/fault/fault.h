@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fault-tolerance vocabulary shared across the Mix-GEMM stack.
+ *
+ * Edge SoCs like the paper's GF 22FDX platform run always-on with no
+ * ECC on most of the datapath: soft errors flip bits in packed operand
+ * SRAM, in the μ-engine's partial products, and in the int32
+ * accumulator file, and without countermeasures those flips silently
+ * corrupt DNN outputs. This module names the injection sites and fault
+ * models the src/fault engine can emulate, and the recovery policies
+ * the GEMM driver implements on top of ABFT checksums (see abft.h and
+ * docs/ARCHITECTURE.md §8).
+ */
+
+#ifndef MIXGEMM_FAULT_FAULT_H
+#define MIXGEMM_FAULT_FAULT_H
+
+#include <string>
+
+#include "common/status.h"
+
+namespace mixgemm
+{
+
+class FaultInjector;
+
+/**
+ * Hardware structure a fault lands in. Coordinates are logical, not
+ * physical, so an injection plan is independent of thread count and
+ * kernel mode:
+ *
+ *  - PackedA/PackedB: one 64-bit μ-vector word of the compressed
+ *    operand (flat index into CompressedA/B::words()). Both kernel
+ *    modes read the same packed words (the fast path expands them into
+ *    cluster panels), so a packed-word flip corrupts Fast and Modeled
+ *    runs identically.
+ *  - ClusterPanelA/ClusterPanelB: one cached cluster-domain word of
+ *    the fast path's expansion cache. Only the Fast kernel reads these;
+ *    under the Modeled kernel the site is inert.
+ *  - BsIpResult: the int64 inner product of one accumulation group for
+ *    one output cell, coordinate (row, col, group). The modeled engine
+ *    applies it at the AccMem accumulate (BsEngine group-result hook);
+ *    the fast kernel applies it to the matching clusterPanelDot term.
+ *  - Accumulator: one output accumulator cell, coordinate (row, col),
+ *    corrupted when its macro tile completes — the AccMem/C writeback.
+ */
+enum class FaultSite : unsigned
+{
+    PackedA = 0,
+    PackedB,
+    ClusterPanelA,
+    ClusterPanelB,
+    BsIpResult,
+    Accumulator,
+    Count ///< number of sites (not a site)
+};
+
+constexpr unsigned kFaultSiteCount =
+    static_cast<unsigned>(FaultSite::Count);
+
+/** How a planted fault behaves at its site. */
+enum class FaultModel
+{
+    BitFlip, ///< transient single-event upset: applied once, then gone
+    StuckAt0, ///< persistent: the armed bits read 0 on every access
+    StuckAt1, ///< persistent: the armed bits read 1 on every access
+};
+
+/**
+ * What mixGemm() does about faults (BlockingParams::fault_policy).
+ *
+ *  - Off: no checksum work at all; byte-for-byte the pre-fault-
+ *    tolerance driver.
+ *  - Detect: ABFT-verify operand checksums and every macro tile's
+ *    row/column sums after the compute pass; corruption is counted and
+ *    logged but the output is returned as computed.
+ *  - DetectRetry: flagged macro tiles are recomputed in place, first
+ *    with the configured kernel, then backing off to the Modeled
+ *    kernel, up to BlockingParams::abft_max_retries attempts per tile.
+ *  - DetectFallback: any flagged tile degrades the whole GEMM to a
+ *    serial Modeled-kernel recompute (the conservative arbiter path),
+ *    logged as a warning.
+ *
+ * Clean (fault-free) runs produce bitwise-identical C under every
+ * policy; the policies differ only in verification work and in how a
+ * detected corruption is repaired.
+ */
+enum class FaultPolicy
+{
+    Off,
+    Detect,
+    DetectRetry,
+    DetectFallback,
+};
+
+/** Canonical snake_case name ("packed_a", "bs_ip_result", ...). */
+const char *faultSiteName(FaultSite site);
+/** Inverse of faultSiteName. */
+Expected<FaultSite> faultSiteFromName(const std::string &name);
+
+/** Canonical snake_case name ("bit_flip", "stuck_at_0", ...). */
+const char *faultModelName(FaultModel model);
+Expected<FaultModel> faultModelFromName(const std::string &name);
+
+/** Canonical snake_case name ("off", "detect", "detect_retry", ...). */
+const char *faultPolicyName(FaultPolicy policy);
+Expected<FaultPolicy> faultPolicyFromName(const std::string &name);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_FAULT_FAULT_H

@@ -1,0 +1,290 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Coordinate ranges a spec's tile / k-step constraints allow. */
+struct DrawRanges
+{
+    uint64_t r0, r1; ///< output rows [r0, r1)
+    uint64_t c0, c1; ///< output cols [c0, c1)
+    unsigned g0, g1; ///< accumulation groups [g0, g1)
+};
+
+DrawRanges
+rangesFor(const FaultSpec &spec, const GemmPlanShape &shape)
+{
+    DrawRanges r{0, shape.m, 0, shape.n, 0, shape.k_groups};
+    if (spec.target_tile >= 0) {
+        // The driver enumerates tiles jc-outer / ic-inner.
+        const uint64_t num_ic = divCeil(shape.m, shape.mc);
+        const uint64_t num_jc = divCeil(shape.n, shape.nc);
+        const uint64_t t =
+            static_cast<uint64_t>(spec.target_tile) % (num_ic * num_jc);
+        const uint64_t ic_idx = t % num_ic;
+        const uint64_t jc_idx = t / num_ic;
+        r.r0 = ic_idx * shape.mc;
+        r.r1 = std::min(shape.m, r.r0 + shape.mc);
+        r.c0 = jc_idx * shape.nc;
+        r.c1 = std::min(shape.n, r.c0 + shape.nc);
+    }
+    if (spec.target_group >= 0) {
+        r.g0 = static_cast<unsigned>(
+            static_cast<uint64_t>(spec.target_group) % shape.k_groups);
+        r.g1 = r.g0 + 1;
+    }
+    return r;
+}
+
+uint64_t
+drawIn(Rng &rng, uint64_t lo, uint64_t hi)
+{
+    return lo + static_cast<uint64_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(hi - lo) - 1));
+}
+
+/** Bit width of the value an arm at @p site corrupts. */
+unsigned
+siteBits(FaultSite site, const FaultSpec &spec)
+{
+    return site == FaultSite::Accumulator ? spec.acc_bits : 64;
+}
+
+} // namespace
+
+Status
+validateFaultSpec(const FaultSpec &spec)
+{
+    if (static_cast<unsigned>(spec.site) >= kFaultSiteCount)
+        return Status::invalidArgument("fault spec: invalid site");
+    if (spec.bits_per_fault == 0 || spec.bits_per_fault > 64)
+        return Status::invalidArgument(
+            strCat("fault spec: bits_per_fault ", spec.bits_per_fault,
+                   " outside [1, 64]"));
+    if (spec.acc_bits == 0 || spec.acc_bits > 64)
+        return Status::invalidArgument(
+            strCat("fault spec: acc_bits ", spec.acc_bits,
+                   " outside [1, 64]"));
+    return Status();
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs)
+    : specs_(std::move(specs))
+{
+    for (const FaultSpec &spec : specs_)
+        if (Status s = validateFaultSpec(spec); !s.ok())
+            fatal("FaultInjector: " + s.toString());
+}
+
+void
+FaultInjector::beginGemm(const GemmPlanShape &shape)
+{
+    shape_ = shape;
+    for (ArmMap &m : arm_maps_)
+        m.clear();
+    planned_.clear();
+    injected_.store(0, std::memory_order_relaxed);
+    for (const FaultSpec &spec : specs_)
+        planSpec(spec, shape);
+    ++gemm_index_;
+}
+
+void
+FaultInjector::planSpec(const FaultSpec &spec, const GemmPlanShape &shape)
+{
+    if (shape.m == 0 || shape.n == 0 || shape.k_groups == 0)
+        return;
+    const unsigned wpg = spec.site == FaultSite::ClusterPanelA
+        ? shape.a_panel_wpg
+        : shape.b_panel_wpg;
+    if ((spec.site == FaultSite::ClusterPanelA ||
+         spec.site == FaultSite::ClusterPanelB) &&
+        wpg == 0) {
+        debug(strCat("fault plan: skipping ", faultSiteName(spec.site),
+                     " spec (cluster panels absent under the Modeled "
+                     "kernel)"));
+        return;
+    }
+
+    // The plan depends only on (seed, gemm index, logical shape): the
+    // per-GEMM tweak gives a network's layers distinct fault
+    // populations from one campaign seed.
+    Rng rng(spec.seed ^ (gemm_index_ * 0x9E3779B97F4A7C15ull));
+    const DrawRanges ranges = rangesFor(spec, shape);
+    const unsigned width = siteBits(spec.site, spec);
+    const unsigned bits = std::min(spec.bits_per_fault, width);
+    ArmMap &map = arms(spec.site);
+
+    for (unsigned f = 0; f < spec.max_faults; ++f) {
+        uint64_t coord = 0;
+        bool found = false;
+        // Coordinate collisions with a *different* model are redrawn
+        // (a bit cannot be both stuck and flipped); same-model
+        // collisions just merge masks below.
+        for (unsigned attempt = 0; attempt < 64 && !found; ++attempt) {
+            switch (spec.site) {
+              case FaultSite::PackedA:
+              case FaultSite::ClusterPanelA: {
+                const uint64_t row = drawIn(rng, ranges.r0, ranges.r1);
+                const unsigned g = static_cast<unsigned>(
+                    drawIn(rng, ranges.g0, ranges.g1));
+                const unsigned per = spec.site == FaultSite::PackedA
+                    ? shape.kua
+                    : wpg;
+                const unsigned w =
+                    static_cast<unsigned>(drawIn(rng, 0, per));
+                coord = (row * shape.k_groups + g) * per + w;
+                break;
+              }
+              case FaultSite::PackedB:
+              case FaultSite::ClusterPanelB: {
+                const uint64_t col = drawIn(rng, ranges.c0, ranges.c1);
+                const unsigned g = static_cast<unsigned>(
+                    drawIn(rng, ranges.g0, ranges.g1));
+                const unsigned per = spec.site == FaultSite::PackedB
+                    ? shape.kub
+                    : wpg;
+                const unsigned w =
+                    static_cast<unsigned>(drawIn(rng, 0, per));
+                coord = (col * shape.k_groups + g) * per + w;
+                break;
+              }
+              case FaultSite::BsIpResult: {
+                const uint64_t row = drawIn(rng, ranges.r0, ranges.r1);
+                const uint64_t col = drawIn(rng, ranges.c0, ranges.c1);
+                const unsigned g = static_cast<unsigned>(
+                    drawIn(rng, ranges.g0, ranges.g1));
+                coord = (row * shape.n + col) * shape.k_groups + g;
+                break;
+              }
+              case FaultSite::Accumulator: {
+                const uint64_t row = drawIn(rng, ranges.r0, ranges.r1);
+                const uint64_t col = drawIn(rng, ranges.c0, ranges.c1);
+                coord = row * shape.n + col;
+                break;
+              }
+              case FaultSite::Count:
+                return;
+            }
+            const auto it = map.find(coord);
+            found = it == map.end() || it->second.model == spec.model;
+        }
+        if (!found) {
+            debug("fault plan: dropping a fault after 64 coordinate "
+                  "collisions with a different model");
+            continue;
+        }
+
+        uint64_t mask = 0;
+        for (unsigned b = 0; b < bits; ++b) {
+            uint64_t bit;
+            do {
+                bit = 1ull << drawIn(rng, 0, width);
+            } while (mask & bit);
+            mask |= bit;
+        }
+
+        Arm &arm = map[coord];
+        arm.model = spec.model;
+        arm.mask |= mask;
+        arm.acc_bits = spec.acc_bits;
+        planned_.push_back({spec.site, coord, mask, spec.model});
+    }
+}
+
+std::vector<uint64_t>
+FaultInjector::armedCoords(FaultSite site) const
+{
+    std::vector<uint64_t> coords;
+    coords.reserve(arms(site).size());
+    for (const auto &[coord, arm] : arms(site))
+        coords.push_back(coord);
+    return coords;
+}
+
+uint64_t
+FaultInjector::applyWord(FaultSite site, uint64_t coord, uint64_t word)
+{
+    ArmMap &map = arms(site);
+    const auto it = map.find(coord);
+    if (it == map.end())
+        return word;
+    Arm &arm = it->second;
+    if (arm.model == FaultModel::BitFlip) {
+        if (arm.consumed)
+            return word;
+        arm.consumed = true;
+    }
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return corruptBits(word, arm.mask, arm.model);
+}
+
+bool
+FaultInjector::ipArmed(uint64_t row, uint64_t col, unsigned g) const
+{
+    return ip_arms_.count((row * shape_.n + col) * shape_.k_groups + g) >
+           0;
+}
+
+int64_t
+FaultInjector::applyIp(uint64_t row, uint64_t col, unsigned g,
+                       int64_t value)
+{
+    const auto it =
+        ip_arms_.find((row * shape_.n + col) * shape_.k_groups + g);
+    if (it == ip_arms_.end())
+        return value;
+    Arm &arm = it->second;
+    if (arm.model == FaultModel::BitFlip) {
+        if (arm.consumed)
+            return value;
+        arm.consumed = true;
+    }
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<int64_t>(
+        corruptBits(static_cast<uint64_t>(value), arm.mask, arm.model));
+}
+
+void
+FaultInjector::applyAccumulator(std::vector<int64_t> &c, uint64_t n,
+                                uint64_t r0, uint64_t r1, uint64_t c0,
+                                uint64_t c1)
+{
+    for (auto &[coord, arm] : acc_arms_) {
+        const uint64_t row = coord / n;
+        const uint64_t col = coord % n;
+        if (row < r0 || row >= r1 || col < c0 || col >= c1)
+            continue;
+        if (arm.model == FaultModel::BitFlip) {
+            if (arm.consumed)
+                continue;
+            arm.consumed = true;
+        }
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        // The physical accumulator is acc_bits wide: corrupt its
+        // register image and sign-extend what it would read back.
+        const unsigned bits = arm.acc_bits;
+        const uint64_t u = static_cast<uint64_t>(c[coord]);
+        if (bits >= 64) {
+            c[coord] = static_cast<int64_t>(
+                corruptBits(u, arm.mask, arm.model));
+        } else {
+            const uint64_t field = mask64(bits);
+            const uint64_t low =
+                corruptBits(u & field, arm.mask & field, arm.model) &
+                field;
+            c[coord] = signExtend64(low, bits);
+        }
+    }
+}
+
+} // namespace mixgemm

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Deterministic fault-injection engine for Mix-GEMM campaigns.
+ *
+ * The injector pre-plans every fault of a GEMM from nothing but the
+ * campaign seed and the GEMM's *logical* shape — never from execution
+ * order — so the set of corrupted coordinates, the corrupted output,
+ * and the fault counters are bitwise-reproducible at any thread count
+ * and under either kernel mode (the per-worker determinism discipline
+ * the threaded driver already follows). Coordinates are logical:
+ * a packed-word index, an (output row, output col, accumulation group)
+ * triple, an output cell. Each coordinate is owned by exactly one macro
+ * tile and touched exactly once per compute pass, which is what lets
+ * the armed state stay lock-free under the worker pool.
+ *
+ * Fault timeline within one mixGemm() call:
+ *   1. beginGemm(shape) draws the plan (spec order, then fault order).
+ *   2. The driver copies the operands and applies PackedA/B arms to the
+ *      copies, then builds cluster panels and applies ClusterPanelA/B
+ *      arms — SRAM corruption persists across retries by construction.
+ *   3. Workers consult applyIp() at each accumulation-group result and
+ *      applyAccumulator() as each macro tile completes. BitFlip arms
+ *      are transient (consumed by their first application; a retried
+ *      tile recomputes clean); stuck-at arms reapply on every pass.
+ */
+
+#ifndef MIXGEMM_FAULT_INJECTOR_H
+#define MIXGEMM_FAULT_INJECTOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/fault.h"
+
+namespace mixgemm
+{
+
+/**
+ * One fault population to plant: up to @ref max_faults faults of one
+ * model at one site, each flipping/forcing @ref bits_per_fault distinct
+ * bits, optionally confined to one macro tile and/or one accumulation
+ * group (k-step). An injector takes a list of these, so a campaign run
+ * can mix sites and models in a single GEMM.
+ */
+struct FaultSpec
+{
+    uint64_t seed = 1;        ///< plan RNG seed (campaign axis)
+    FaultSite site = FaultSite::Accumulator;
+    FaultModel model = FaultModel::BitFlip;
+    unsigned max_faults = 1;     ///< injection-count budget per GEMM
+    unsigned bits_per_fault = 1; ///< distinct bits per fault (MBU > 1)
+    /**
+     * Restrict faults to one macro tile of the driver's jc-outer /
+     * ic-inner tile enumeration (wrapped modulo the tile count);
+     * -1 = anywhere. For A-side sites this constrains the row range,
+     * for B-side sites the column range.
+     */
+    int64_t target_tile = -1;
+    int64_t target_group = -1; ///< restrict to one k-step; -1 = any
+    unsigned acc_bits = 32;    ///< accumulator width (paper: int32)
+};
+
+/** Structured validation of one spec (site/model strings already parsed). */
+Status validateFaultSpec(const FaultSpec &spec);
+
+/**
+ * Logical shape of one GEMM, as the fault plan sees it. Everything here
+ * is derivable before any compute starts and is identical at every
+ * thread count.
+ */
+struct GemmPlanShape
+{
+    uint64_t m = 0;
+    uint64_t n = 0;
+    unsigned k_groups = 0; ///< accumulation groups covering k
+    uint64_t mc = 0;       ///< macro-tile rows (blocking)
+    uint64_t nc = 0;       ///< macro-tile cols (blocking)
+    unsigned kua = 0;      ///< A μ-vectors per group
+    unsigned kub = 0;      ///< B μ-vectors per group
+    /// Cluster words per group in the fast path's panels; 0 under the
+    /// Modeled kernel (panels absent — panel specs are skipped).
+    unsigned a_panel_wpg = 0;
+    unsigned b_panel_wpg = 0;
+};
+
+/** One planned fault, for reports and campaign JSON. */
+struct PlannedFault
+{
+    FaultSite site;
+    uint64_t coord; ///< site-specific flat coordinate
+    uint64_t mask;  ///< bits to flip / force
+    FaultModel model;
+};
+
+/**
+ * Plans and applies the faults of one or more FaultSpecs. Not
+ * thread-safe to *configure*, but apply*() calls are safe from the
+ * GEMM worker pool (see file comment). One injector can serve a
+ * sequence of GEMMs: each beginGemm() re-plans with a gemm-index-
+ * tweaked seed, so a network's layers see distinct but reproducible
+ * fault populations.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    explicit FaultInjector(std::vector<FaultSpec> specs);
+
+    /** Arm the plan for the next GEMM; clears all prior armed state. */
+    void beginGemm(const GemmPlanShape &shape);
+
+    /** All arms of the current plan, in deterministic plan order. */
+    const std::vector<PlannedFault> &planned() const { return planned_; }
+
+    /** Arm applications since beginGemm() (retries re-count stuck-ats). */
+    uint64_t injectedCount() const
+    {
+        return injected_.load(std::memory_order_relaxed);
+    }
+
+    /** True when the current plan arms @p site. */
+    bool hasSite(FaultSite site) const
+    {
+        return !arms(site).empty();
+    }
+
+    /**
+     * Distinct armed coordinates of @p site, ascending — what the
+     * driver iterates to corrupt packed/panel words exactly once each
+     * (planned() can repeat a coordinate when budgets collide).
+     */
+    std::vector<uint64_t> armedCoords(FaultSite site) const;
+
+    /**
+     * Corrupt one packed/panel word per the arm at (site, coord);
+     * returns @p word untouched when the coordinate is unarmed.
+     * Counts an injection when it fires. Serial phase only.
+     */
+    uint64_t applyWord(FaultSite site, uint64_t coord, uint64_t word);
+
+    /** Cheap worker-side gate: any BsIpResult arm in this plan? */
+    bool anyIp() const { return !ip_arms_.empty(); }
+
+    /** True when accumulation group @p g of cell (row, col) is armed. */
+    bool ipArmed(uint64_t row, uint64_t col, unsigned g) const;
+
+    /**
+     * Pass one accumulation-group inner product through the fault
+     * plan. Called by both μ-kernels for every in-tile cell-group when
+     * anyIp(); unarmed coordinates return @p value unchanged.
+     */
+    int64_t applyIp(uint64_t row, uint64_t col, unsigned g,
+                    int64_t value);
+
+    /** Any Accumulator arm in this plan? */
+    bool anyAcc() const { return !acc_arms_.empty(); }
+
+    /**
+     * Corrupt the armed accumulator cells inside the C sub-block
+     * rows [r0, r1) x cols [c0, c1) — called by the owning worker as
+     * its macro tile completes. The cell is treated as an
+     * acc_bits-wide two's-complement register (the paper's int32
+     * AccMem/writeback): the arm acts on the low acc_bits and the
+     * result is sign-extended.
+     */
+    void applyAccumulator(std::vector<int64_t> &c, uint64_t n,
+                          uint64_t r0, uint64_t r1, uint64_t c0,
+                          uint64_t c1);
+
+    /** Bit surgery shared by every site. */
+    static uint64_t corruptBits(uint64_t word, uint64_t mask,
+                                FaultModel model)
+    {
+        switch (model) {
+          case FaultModel::BitFlip: return word ^ mask;
+          case FaultModel::StuckAt0: return word & ~mask;
+          case FaultModel::StuckAt1: return word | mask;
+        }
+        return word;
+    }
+
+  private:
+    struct Arm
+    {
+        uint64_t mask = 0;
+        FaultModel model = FaultModel::BitFlip;
+        unsigned acc_bits = 32; ///< Accumulator site only
+        /// BitFlip transience: set by the first application this GEMM.
+        /// Plain bool is race-free because each coordinate is applied
+        /// by exactly one worker exactly once per compute pass.
+        bool consumed = false;
+    };
+
+    using ArmMap = std::map<uint64_t, Arm>;
+
+    const ArmMap &arms(FaultSite site) const
+    {
+        return arm_maps_[static_cast<unsigned>(site)];
+    }
+    ArmMap &arms(FaultSite site)
+    {
+        return arm_maps_[static_cast<unsigned>(site)];
+    }
+
+    void planSpec(const FaultSpec &spec, const GemmPlanShape &shape);
+
+    std::vector<FaultSpec> specs_;
+    uint64_t gemm_index_ = 0;
+    GemmPlanShape shape_;
+    ArmMap arm_maps_[kFaultSiteCount];
+    // Aliases of the two worker-hot maps, to keep the gate checks and
+    // lookups free of the site-indexed indirection.
+    ArmMap &ip_arms_ = arm_maps_[static_cast<unsigned>(
+        FaultSite::BsIpResult)];
+    ArmMap &acc_arms_ = arm_maps_[static_cast<unsigned>(
+        FaultSite::Accumulator)];
+    std::vector<PlannedFault> planned_;
+    std::atomic<uint64_t> injected_{0};
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_FAULT_INJECTOR_H

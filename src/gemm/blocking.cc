@@ -10,10 +10,25 @@ namespace mixgemm
 void
 BlockingParams::validate() const
 {
+    if (Status s = validateStatus(); !s.ok())
+        fatal(s.toString());
+}
+
+Status
+BlockingParams::validateStatus() const
+{
     if (mc == 0 || nc == 0 || kc == 0 || mr == 0 || nr == 0)
-        fatal("BlockingParams: all dimensions must be positive");
+        return Status::invalidArgument(
+            "BlockingParams: all dimensions must be positive");
     if (mr > mc || nr > nc)
-        fatal("BlockingParams: register blocks exceed cache blocks");
+        return Status::invalidArgument(
+            "BlockingParams: register blocks exceed cache blocks");
+    // mr * nr AccMem slots must exist; BsEngine sizes off this product,
+    // so an overflowing product would silently wrap.
+    if (uint64_t{mr} * nr > 1u << 20)
+        return Status::invalidArgument(
+            "BlockingParams: mr * nr unreasonably large");
+    return Status();
 }
 
 namespace

@@ -15,6 +15,9 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
+#include "fault/fault.h"
+
 namespace mixgemm
 {
 
@@ -78,11 +81,40 @@ struct BlockingParams
     /** RunReport label for this GEMM (layer name, bench id, ...). */
     std::string trace_label = "mixgemm";
 
+    /**
+     * ABFT behavior of mixGemm() (see fault/fault.h for the policy
+     * semantics). Off — the default — performs no checksum work and is
+     * bitwise-identical to the pre-ABFT driver.
+     */
+    FaultPolicy fault_policy = FaultPolicy::Off;
+
+    /**
+     * Optional fault-injection engine (fault/injector.h): when set,
+     * mixGemm() plans and applies its faults — independently of
+     * @ref fault_policy, so campaigns can measure silent corruption
+     * under Off as well as detection/correction under the ABFT
+     * policies. Not owned; must outlive the call.
+     */
+    FaultInjector *fault = nullptr;
+
+    /**
+     * Per-tile recompute budget under FaultPolicy::DetectRetry.
+     * Attempt 0 re-runs the configured kernel; later attempts back off
+     * to the Modeled kernel (the arbiter path).
+     */
+    unsigned abft_max_retries = 2;
+
     /** Table I defaults. */
     static BlockingParams paperDefaults() { return BlockingParams{}; }
 
     /** @throws FatalError when any dimension is zero or mr*nr == 0. */
     void validate() const;
+
+    /**
+     * Structured variant of validate() for external-input boundaries:
+     * returns the violation instead of throwing.
+     */
+    Status validateStatus() const;
 };
 
 /**

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "bs/engine.h"
 #include "bs/expand.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "fault/abft.h"
+#include "fault/injector.h"
 #include "trace/metrics.h"
 #include "trace/session.h"
 #include "trace/tracer.h"
@@ -16,6 +19,53 @@ namespace mixgemm
 
 namespace
 {
+
+/**
+ * Routes the modeled engine's accumulation-group results through the
+ * fault injector. One instance per worker: beginKernel() loads the
+ * μ-kernel's cell coordinates and the per-slot group counters, so each
+ * group result maps back to its logical (row, col, group) coordinate —
+ * results arrive per slot in ascending group order. Cells outside the
+ * tile bounds never consume an arm: they are discarded at bs.get time
+ * here and skipped entirely by the fast kernel, and the coordinate's
+ * owning tile applies the fault instead.
+ */
+class IpFaultHook final : public BsGroupResultHook
+{
+  public:
+    explicit IpFaultHook(FaultInjector &injector) : injector_(injector)
+    {
+    }
+
+    void beginKernel(uint64_t ir, uint64_t jr, uint64_t row_end,
+                     uint64_t col_end, unsigned g0, unsigned mr,
+                     unsigned nr)
+    {
+        ir_ = ir;
+        jr_ = jr;
+        row_end_ = row_end;
+        col_end_ = col_end;
+        g0_ = g0;
+        mr_ = mr;
+        seen_.assign(uint64_t{mr} * nr, 0);
+    }
+
+    int64_t onGroupResult(unsigned slot, int64_t value) override
+    {
+        const unsigned g = g0_ + seen_[slot]++;
+        const uint64_t row = ir_ + slot % mr_;
+        const uint64_t col = jr_ + slot / mr_;
+        if (row >= row_end_ || col >= col_end_)
+            return value;
+        return injector_.applyIp(row, col, g, value);
+    }
+
+  private:
+    FaultInjector &injector_;
+    uint64_t ir_ = 0, jr_ = 0, row_end_ = 0, col_end_ = 0;
+    unsigned g0_ = 0, mr_ = 1;
+    std::vector<unsigned> seen_;
+};
 
 /**
  * One modeled μ-kernel: mr x nr output cells over [g0, g1) accumulation
@@ -29,16 +79,20 @@ namespace
  */
 void
 microKernelModeled(const CompressedA &a, const CompressedB &b,
-                   BsEngine &engine, uint64_t ir, uint64_t jr,
-                   uint64_t row_end, uint64_t col_end, unsigned g0,
-                   unsigned g1, unsigned mr, unsigned nr, bool interior,
-                   std::vector<int64_t> &c, CounterSet &counters)
+                   BsEngine &engine, IpFaultHook *hook, uint64_t ir,
+                   uint64_t jr, uint64_t row_end, uint64_t col_end,
+                   unsigned g0, unsigned g1, unsigned mr, unsigned nr,
+                   bool interior, std::vector<int64_t> &c,
+                   CounterSet &counters)
 {
     const BsGeometry &geom = a.geometry();
     const uint64_t n = b.n();
     const unsigned kua = geom.kua;
     const unsigned kub = geom.kub;
     const unsigned pairs = geom.group_pairs;
+
+    if (hook)
+        hook->beginKernel(ir, jr, row_end, col_end, g0, mr, nr);
 
     if (interior) {
         const uint64_t *a_words = a.words().data();
@@ -100,19 +154,48 @@ microKernelModeled(const CompressedA &a, const CompressedB &b,
  * and group_cycles per cell-group, mr * nr bs.get), so every total
  * matches the modeled engine exactly; @p cell_groups accumulates the
  * cell-group count the caller converts to busy cycles.
+ *
+ * When @p injector is set (BsIpResult arms exist), each cell is
+ * computed per accumulation group so every group result passes through
+ * the injector at the same (row, col, group) coordinate the modeled
+ * engine's hook uses — int64 addition is associative, so unfaulted
+ * cells are bit-identical to the span path.
  */
 void
-microKernelFast(const CompressedA &a, const CompressedB &b, uint64_t ir,
-                uint64_t jr, uint64_t row_end, uint64_t col_end,
-                unsigned g0, unsigned g1, unsigned mr, unsigned nr,
-                bool interior, std::vector<int64_t> &c,
-                CounterSet &counters, uint64_t &cell_groups)
+microKernelFast(const CompressedA &a, const CompressedB &b,
+                FaultInjector *injector, uint64_t ir, uint64_t jr,
+                uint64_t row_end, uint64_t col_end, unsigned g0,
+                unsigned g1, unsigned mr, unsigned nr, bool interior,
+                std::vector<int64_t> &c, CounterSet &counters,
+                uint64_t &cell_groups)
 {
     const BsGeometry &geom = a.geometry();
     const uint64_t n = b.n();
-    const unsigned span = (g1 - g0) * a.clusterWordsPerGroup();
+    const unsigned wpg = a.clusterWordsPerGroup();
+    const unsigned span = (g1 - g0) * wpg;
 
-    if (interior) {
+    if (injector) {
+        for (unsigned i = 0; i < nr; ++i) {
+            const uint64_t col = jr + i;
+            if (col >= col_end)
+                continue;
+            const uint64_t *cb = b.groupClusters(col, g0);
+            for (unsigned j = 0; j < mr; ++j) {
+                const uint64_t row = ir + j;
+                if (row >= row_end)
+                    continue;
+                const uint64_t *ca = a.groupClusters(row, g0);
+                int64_t sum = 0;
+                for (unsigned g = g0; g < g1; ++g) {
+                    const unsigned off = (g - g0) * wpg;
+                    sum += injector->applyIp(
+                        row, col, g,
+                        clusterPanelDot(ca + off, cb + off, wpg, geom));
+                }
+                c[row * n + col] += sum;
+            }
+        }
+    } else if (interior) {
         for (unsigned i = 0; i < nr; ++i) {
             const uint64_t col = jr + i;
             const uint64_t *cb = b.groupClusters(col, g0);
@@ -161,32 +244,26 @@ struct MacroTile
 };
 
 /**
- * Run the k-panel and μ-panel loops of one macro tile (MACRO-KERNEL of
- * Algorithm 1, plus the gc panel loop hoisted per tile). Accumulation
- * into C is int64 and each tile owns its C sub-block, so the result is
- * bitwise identical regardless of tile execution order — and of the
- * kernel mode, since both μ-kernels compute the same chunk sums.
- */
-/**
  * One μ-kernel over [ir0, ir1) rows of a jr strip; @p interior promises
  * every panel in the range is fully inside the tile.
  */
 void
 runKernelRange(const CompressedA &a, const CompressedB &b,
-               BsEngine &engine, const MacroTile &tile, uint64_t jr,
-               uint64_t ir0, uint64_t ir1, unsigned gc, unsigned g1,
-               unsigned mr, unsigned nr, bool interior, bool fast,
-               std::vector<int64_t> &c, CounterSet &counters,
+               BsEngine &engine, IpFaultHook *hook,
+               FaultInjector *fast_injector, const MacroTile &tile,
+               uint64_t jr, uint64_t ir0, uint64_t ir1, unsigned gc,
+               unsigned g1, unsigned mr, unsigned nr, bool interior,
+               bool fast, std::vector<int64_t> &c, CounterSet &counters,
                uint64_t &cell_groups)
 {
     for (uint64_t ir = ir0; ir < ir1; ir += mr) {
         if (fast)
-            microKernelFast(a, b, tile.ic + ir, tile.jc + jr,
-                            tile.ic + tile.mc, tile.jc + tile.nc, gc,
-                            g1, mr, nr, interior, c, counters,
-                            cell_groups);
+            microKernelFast(a, b, fast_injector, tile.ic + ir,
+                            tile.jc + jr, tile.ic + tile.mc,
+                            tile.jc + tile.nc, gc, g1, mr, nr, interior,
+                            c, counters, cell_groups);
         else
-            microKernelModeled(a, b, engine, tile.ic + ir,
+            microKernelModeled(a, b, engine, hook, tile.ic + ir,
                                tile.jc + jr, tile.ic + tile.mc,
                                tile.jc + tile.nc, gc, g1, mr, nr,
                                interior, c, counters);
@@ -194,8 +271,16 @@ runKernelRange(const CompressedA &a, const CompressedB &b,
     }
 }
 
+/**
+ * Run the k-panel and μ-panel loops of one macro tile (MACRO-KERNEL of
+ * Algorithm 1, plus the gc panel loop hoisted per tile). Accumulation
+ * into C is int64 and each tile owns its C sub-block, so the result is
+ * bitwise identical regardless of tile execution order — and of the
+ * kernel mode, since both μ-kernels compute the same chunk sums.
+ */
 void
 runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
+             IpFaultHook *hook, FaultInjector *fast_injector,
              const MacroTile &tile, const BlockingParams &blocking,
              unsigned kc_groups, std::vector<int64_t> &c,
              CounterSet &counters, uint64_t &cell_groups)
@@ -224,52 +309,174 @@ runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
                 jr + nr <= tile.nc ? tile.mc / mr * mr : 0;
             if (interior_rows > 0) {
                 TRACE_SCOPE("kernel", "ukernels_interior");
-                runKernelRange(a, b, engine, tile, jr, 0, interior_rows,
-                               gc, g1, mr, nr, true, fast, c, counters,
-                               cell_groups);
+                runKernelRange(a, b, engine, hook, fast_injector, tile,
+                               jr, 0, interior_rows, gc, g1, mr, nr,
+                               true, fast, c, counters, cell_groups);
             }
             if (interior_rows < tile.mc) {
                 TRACE_SCOPE("kernel", "ukernels_edge");
-                runKernelRange(a, b, engine, tile, jr, interior_rows,
-                               tile.mc, gc, g1, mr, nr, false, fast, c,
-                               counters, cell_groups);
+                runKernelRange(a, b, engine, hook, fast_injector, tile,
+                               jr, interior_rows, tile.mc, gc, g1, mr,
+                               nr, false, fast, c, counters,
+                               cell_groups);
             }
         }
     }
 }
 
-} // namespace
+/** Zero one tile's C sub-block before a recompute attempt. */
+void
+clearTile(std::vector<int64_t> &c, uint64_t n, const MacroTile &tile)
+{
+    for (uint64_t row = tile.ic; row < tile.ic + tile.mc; ++row)
+        std::fill_n(c.begin() +
+                        static_cast<ptrdiff_t>(row * n + tile.jc),
+                    tile.nc, int64_t{0});
+}
+
+/**
+ * Serial recompute of one macro tile under @p params: fresh engine,
+ * fault hooks re-armed (stuck-at faults reapply; consumed bit flips
+ * stay consumed — they were transient), accumulator arms re-checked.
+ * Returns the engine busy cycles of the recompute so the caller can
+ * keep EngineBusyCycles honest about the extra work.
+ */
+uint64_t
+recomputeTile(const CompressedA &a, const CompressedB &b,
+              FaultInjector *injector, const MacroTile &tile,
+              const BlockingParams &params, unsigned kc_groups,
+              std::vector<int64_t> &c, CounterSet &counters)
+{
+    const BsGeometry &geom = a.geometry();
+    const unsigned mr = params.mr;
+    const unsigned nr = params.nr;
+    const bool fast = params.kernel_mode == KernelMode::Fast;
+    const uint64_t n = b.n();
+
+    clearTile(c, n, tile);
+    BsEngine engine(uint64_t{mr} * nr);
+    engine.set(geom, mr * nr);
+    std::optional<IpFaultHook> hook;
+    FaultInjector *ip_injector =
+        injector && injector->anyIp() ? injector : nullptr;
+    if (!fast && ip_injector) {
+        hook.emplace(*ip_injector);
+        engine.setGroupResultHook(&*hook);
+    }
+    uint64_t cell_groups = 0;
+    runMacroTile(a, b, engine, hook ? &*hook : nullptr,
+                 fast ? ip_injector : nullptr, tile, params, kc_groups,
+                 c, counters, cell_groups);
+    if (injector && injector->anyAcc())
+        injector->applyAccumulator(c, n, tile.ic, tile.ic + tile.mc,
+                                   tile.jc, tile.jc + tile.nc);
+    return engine.busyCycles() + cell_groups * geom.group_cycles;
+}
 
 MixGemmResult
-mixGemm(const CompressedA &a, const CompressedB &b,
-        const BlockingParams &blocking)
+mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
+               const BlockingParams &blocking)
 {
     TRACE_SCOPE("gemm", "mixGemm");
-    blocking.validate();
-    if (a.k() != b.k())
-        fatal("mixGemm: operand k dimensions differ");
-    if (!(a.geometry().config == b.geometry().config))
-        fatal("mixGemm: operand data-size configurations differ");
-
     using clock = std::chrono::steady_clock;
     TraceSession *session = blocking.session;
     const auto wall_start = session ? clock::now() : clock::time_point{};
 
-    const BsGeometry &geom = a.geometry();
-    const uint64_t m = a.m();
-    const uint64_t n = b.n();
+    const BsGeometry &geom = a0.geometry();
+    const uint64_t m = a0.m();
+    const uint64_t n = b0.n();
     const unsigned mr = blocking.mr;
     const unsigned nr = blocking.nr;
     // kc in whole accumulation groups, at least one.
     const unsigned kc_groups = std::max<unsigned>(
         1, static_cast<unsigned>(blocking.kc / geom.group_extent));
+    const bool fast = blocking.kernel_mode == KernelMode::Fast;
+    const FaultPolicy policy = blocking.fault_policy;
+    FaultInjector *injector = blocking.fault;
+
+    // ABFT snapshot of the pristine operands. Must precede fault
+    // injection: the checksums are the ground truth the input-integrity
+    // check compares against, and the fault copies below share them.
+    if (policy != FaultPolicy::Off) {
+        TRACE_SCOPE("abft", "checksums");
+        a0.ensureAbftChecksums();
+        b0.ensureAbftChecksums();
+    }
+
+    // Fault planning and operand corruption (serial). Packed-word and
+    // cluster-panel faults mutate *copies* so the caller's operands
+    // stay pristine; the corruption persists for the whole GEMM —
+    // SRAM bits stay wrong until rewritten — which is why the ABFT
+    // input check reports them as uncorrectable instead of retrying.
+    std::optional<CompressedA> fa;
+    std::optional<CompressedB> fb;
+    const CompressedA *pa = &a0;
+    const CompressedB *pb = &b0;
+    if (injector) {
+        GemmPlanShape shape;
+        shape.m = m;
+        shape.n = n;
+        shape.k_groups = a0.kGroups();
+        shape.mc = blocking.mc;
+        shape.nc = blocking.nc;
+        shape.kua = geom.kua;
+        shape.kub = geom.kub;
+        if (fast) {
+            const unsigned wpg = makeExpansionPlan(geom).chunkCount();
+            shape.a_panel_wpg = wpg;
+            shape.b_panel_wpg = wpg;
+        }
+        injector->beginGemm(shape);
+        if (injector->hasSite(FaultSite::PackedA) ||
+            (fast && injector->hasSite(FaultSite::ClusterPanelA))) {
+            fa.emplace(a0);
+            fa->resetClusterPanels();
+            pa = &*fa;
+            for (uint64_t coord :
+                 injector->armedCoords(FaultSite::PackedA))
+                fa->setWord(coord,
+                            injector->applyWord(FaultSite::PackedA,
+                                                coord,
+                                                fa->words()[coord]));
+        }
+        if (injector->hasSite(FaultSite::PackedB) ||
+            (fast && injector->hasSite(FaultSite::ClusterPanelB))) {
+            fb.emplace(b0);
+            fb->resetClusterPanels();
+            pb = &*fb;
+            for (uint64_t coord :
+                 injector->armedCoords(FaultSite::PackedB))
+                fb->setWord(coord,
+                            injector->applyWord(FaultSite::PackedB,
+                                                coord,
+                                                fb->words()[coord]));
+        }
+    }
+    const CompressedA &a = *pa;
+    const CompressedB &b = *pb;
 
     // Fast path: build (or reuse) the cluster-domain panels before any
     // worker starts — one bw -> cw expansion per operand word, amortized
-    // across every μ-kernel that reads it.
-    if (blocking.kernel_mode == KernelMode::Fast) {
+    // across every μ-kernel that reads it. Panel faults land after the
+    // build, corrupting the cached expansion only (the packed words
+    // stay clean, so a Modeled retry reads pristine data).
+    if (fast) {
         a.ensureClusterPanels();
         b.ensureClusterPanels();
+        if (injector) {
+            for (uint64_t coord :
+                 injector->armedCoords(FaultSite::ClusterPanelA))
+                fa->setClusterPanelWord(
+                    coord, injector->applyWord(
+                               FaultSite::ClusterPanelA, coord,
+                               fa->clusterPanelWord(coord)));
+            for (uint64_t coord :
+                 injector->armedCoords(FaultSite::ClusterPanelB))
+                fb->setClusterPanelWord(
+                    coord, injector->applyWord(
+                               FaultSite::ClusterPanelB, coord,
+                               fb->clusterPanelWord(coord)));
+        }
     }
 
     // M-GEMM panel decomposition (Algorithm 1, lines 21-28): the jc/ic
@@ -300,6 +507,8 @@ mixGemm(const CompressedA &a, const CompressedB &b,
     // Fast-path workers track cell-groups instead of driving the
     // engine; group_cycles per cell-group is exactly what the modeled
     // engine accrues, so busy-cycle totals agree bitwise.
+    FaultInjector *ip_injector =
+        injector && injector->anyIp() ? injector : nullptr;
     std::vector<CounterSet> worker_counters(threads);
     std::vector<uint64_t> worker_busy(threads, 0);
     // Per-worker timer sets (session only): each worker records into its
@@ -310,13 +519,29 @@ mixGemm(const CompressedA &a, const CompressedB &b,
         TRACE_SCOPE("gemm", "worker");
         BsEngine engine(uint64_t{mr} * nr);
         engine.set(geom, mr * nr);
+        // Each worker owns a hook instance: the hook carries per-
+        // μ-kernel coordinate state, which must never be shared.
+        std::optional<IpFaultHook> hook;
+        if (!fast && ip_injector) {
+            hook.emplace(*ip_injector);
+            engine.setGroupResultHook(&*hook);
+        }
         uint64_t cell_groups = 0;
         for (size_t t = w; t < tiles.size(); t += threads) {
             TRACE_SCOPE("gemm", "macro_tile");
             const auto tile_start =
                 session ? clock::now() : clock::time_point{};
-            runMacroTile(a, b, engine, tiles[t], blocking, kc_groups,
-                         result.c, worker_counters[w], cell_groups);
+            runMacroTile(a, b, engine, hook ? &*hook : nullptr,
+                         fast ? ip_injector : nullptr, tiles[t],
+                         blocking, kc_groups, result.c,
+                         worker_counters[w], cell_groups);
+            // Accumulator faults land at tile completion — the AccMem
+            // to C writeback — applied by the tile's owning worker, so
+            // coordinate ownership stays unique at any thread count.
+            if (injector && injector->anyAcc())
+                injector->applyAccumulator(
+                    result.c, n, tiles[t].ic, tiles[t].ic + tiles[t].mc,
+                    tiles[t].jc, tiles[t].jc + tiles[t].nc);
             if (session) {
                 worker_metrics[w].addNs(
                     "macro_tile",
@@ -341,6 +566,124 @@ mixGemm(const CompressedA &a, const CompressedB &b,
         result.counters.merge(worker_counters[w]);
         busy_cycles += worker_busy[w];
     }
+
+    // ABFT verification and recovery: serial, after the join, so the
+    // verdicts and any recomputation are deterministic by construction.
+    if (policy != FaultPolicy::Off) {
+        TRACE_SCOPE("abft", "verify");
+        const auto abft_start = clock::now();
+        const AbftVerifier verifier(a, b);
+        result.abft.input_k_mismatches = verifier.verifyInputs();
+        if (result.abft.input_k_mismatches > 0)
+            warn(strCat("mixGemm ABFT: operand checksums mismatch at ",
+                        result.abft.input_k_mismatches,
+                        " k position(s) — packed data corrupted; "
+                        "recomputation cannot recover the inputs"));
+
+        std::vector<size_t> flagged;
+        for (size_t t = 0; t < tiles.size(); ++t) {
+            const MacroTile &tile = tiles[t];
+            if (!verifier
+                     .verifyTile(result.c, tile.ic, tile.ic + tile.mc,
+                                 tile.jc, tile.jc + tile.nc)
+                     .ok)
+                flagged.push_back(t);
+        }
+        result.abft.tiles_checked = tiles.size();
+        result.abft.tiles_flagged = flagged.size();
+
+        if (!flagged.empty() && policy == FaultPolicy::DetectRetry) {
+            for (const size_t t : flagged) {
+                const MacroTile &tile = tiles[t];
+                bool fixed = false;
+                for (unsigned attempt = 0;
+                     attempt < blocking.abft_max_retries && !fixed;
+                     ++attempt) {
+                    ++result.abft.retries;
+                    // Attempt 0 re-runs the configured kernel (enough
+                    // for transient faults); later attempts back off
+                    // to the Modeled arbiter, which also bypasses any
+                    // corrupted cluster-panel cache.
+                    BlockingParams retry_params = blocking;
+                    if (attempt > 0)
+                        retry_params.kernel_mode = KernelMode::Modeled;
+                    busy_cycles += recomputeTile(
+                        a, b, injector, tile, retry_params, kc_groups,
+                        result.c, result.counters);
+                    fixed = verifier
+                                .verifyTile(result.c, tile.ic,
+                                            tile.ic + tile.mc, tile.jc,
+                                            tile.jc + tile.nc)
+                                .ok;
+                }
+                if (fixed) {
+                    ++result.abft.tiles_corrected;
+                } else {
+                    ++result.abft.tiles_uncorrected;
+                    warn(strCat("mixGemm ABFT: tile at row ", tile.ic,
+                                " col ", tile.jc, " still corrupt "
+                                "after ", blocking.abft_max_retries,
+                                " retries (persistent fault)"));
+                }
+            }
+        } else if (!flagged.empty() &&
+                   policy == FaultPolicy::DetectFallback) {
+            // Graceful degradation: one corrupted tile distrusts the
+            // whole configured path — recompute everything serially on
+            // the Modeled arbiter kernel and report the downgrade.
+            warn(strCat("mixGemm ABFT: ", flagged.size(), " of ",
+                        tiles.size(), " tiles corrupt; degrading the "
+                        "whole GEMM to the Modeled kernel"));
+            result.abft.fell_back = true;
+            std::fill(result.c.begin(), result.c.end(), int64_t{0});
+            BlockingParams fb_params = blocking;
+            fb_params.kernel_mode = KernelMode::Modeled;
+            for (const MacroTile &tile : tiles)
+                busy_cycles +=
+                    recomputeTile(a, b, injector, tile, fb_params,
+                                  kc_groups, result.c, result.counters);
+            uint64_t still_bad = 0;
+            for (const MacroTile &tile : tiles)
+                if (!verifier
+                         .verifyTile(result.c, tile.ic,
+                                     tile.ic + tile.mc, tile.jc,
+                                     tile.jc + tile.nc)
+                         .ok)
+                    ++still_bad;
+            if (still_bad > 0) {
+                result.abft.tiles_uncorrected = still_bad;
+                result.abft.tiles_corrected =
+                    flagged.size() > still_bad
+                        ? flagged.size() - still_bad
+                        : 0;
+                warn(strCat("mixGemm ABFT: ", still_bad,
+                            " tile(s) remain corrupt after the Modeled "
+                            "fallback (persistent fault)"));
+            } else {
+                result.abft.tiles_corrected = flagged.size();
+            }
+        }
+        result.abft.abft_secs =
+            std::chrono::duration<double>(clock::now() - abft_start)
+                .count();
+
+        result.counters.inc(Counter::AbftTilesChecked,
+                            result.abft.tiles_checked);
+        result.counters.inc(Counter::AbftTilesFlagged,
+                            result.abft.tiles_flagged);
+        result.counters.inc(Counter::AbftRetries, result.abft.retries);
+        result.counters.inc(Counter::AbftTilesCorrected,
+                            result.abft.tiles_corrected);
+        result.counters.inc(Counter::AbftTilesUncorrected,
+                            result.abft.tiles_uncorrected);
+        if (result.abft.input_k_mismatches > 0)
+            result.counters.inc("abft_input_k_mismatches",
+                                result.abft.input_k_mismatches);
+    }
+    if (injector)
+        result.counters.inc(Counter::FaultsInjected,
+                            injector->injectedCount());
+
     result.counters.set(Counter::EngineBusyCycles, busy_cycles);
     result.counters.set(Counter::Ops, 2 * m * n * a.k());
 
@@ -356,6 +699,8 @@ mixGemm(const CompressedA &a, const CompressedB &b,
         report.kernel_mode = blocking.kernel_mode == KernelMode::Fast
             ? "fast"
             : "modeled";
+        report.fault_policy = faultPolicyName(policy);
+        report.abft_secs = result.abft.abft_secs;
         report.wall_secs =
             std::chrono::duration<double>(clock::now() - wall_start)
                 .count();
@@ -372,6 +717,43 @@ mixGemm(const CompressedA &a, const CompressedB &b,
         session->addReport(std::move(report));
     }
     return result;
+}
+
+/** Shared boundary validation for mixGemm()/tryMixGemm(). */
+Status
+validateGemmInputs(const CompressedA &a, const CompressedB &b,
+                   const BlockingParams &blocking)
+{
+    if (Status s = blocking.validateStatus(); !s.ok())
+        return s;
+    if (a.k() != b.k())
+        return Status::invalidArgument(
+            strCat("mixGemm: operand k dimensions differ (", a.k(),
+                   " vs ", b.k(), ")"));
+    if (!(a.geometry().config == b.geometry().config))
+        return Status::invalidArgument(
+            "mixGemm: operand data-size configurations differ");
+    return Status();
+}
+
+} // namespace
+
+MixGemmResult
+mixGemm(const CompressedA &a, const CompressedB &b,
+        const BlockingParams &blocking)
+{
+    if (Status s = validateGemmInputs(a, b, blocking); !s.ok())
+        fatal(s.toString());
+    return mixGemmChecked(a, b, blocking);
+}
+
+Expected<MixGemmResult>
+tryMixGemm(const CompressedA &a, const CompressedB &b,
+           const BlockingParams &blocking)
+{
+    if (Status s = validateGemmInputs(a, b, blocking); !s.ok())
+        return s;
+    return mixGemmChecked(a, b, blocking);
 }
 
 MixGemmResult

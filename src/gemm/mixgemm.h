@@ -45,17 +45,37 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/status.h"
 #include "gemm/blocking.h"
 #include "tensor/packing.h"
 
 namespace mixgemm
 {
 
+/**
+ * What ABFT verification saw and did during one mixGemm() call.
+ * All-zero (the default) when BlockingParams::fault_policy is Off.
+ */
+struct AbftOutcome
+{
+    uint64_t tiles_checked = 0;
+    uint64_t tiles_flagged = 0;     ///< failed the row/col checksum test
+    uint64_t retries = 0;           ///< tile recompute attempts
+    uint64_t tiles_corrected = 0;   ///< clean after retry/fallback
+    uint64_t tiles_uncorrected = 0; ///< still corrupt after all attempts
+    /// k positions whose operand checksum mismatched — packed-SRAM
+    /// corruption; the inputs are wrong and recomputation cannot help.
+    uint64_t input_k_mismatches = 0;
+    bool fell_back = false; ///< DetectFallback degraded to Modeled
+    double abft_secs = 0.0; ///< wall-clock spent in checksum work
+};
+
 /** Result of a Mix-GEMM execution. */
 struct MixGemmResult
 {
     std::vector<int64_t> c; ///< row-major m x n output
     CounterSet counters;    ///< bs_set/bs_ip/bs_get/engine_busy_cycles/...
+    AbftOutcome abft;       ///< ABFT verdicts (fault_policy != Off)
 };
 
 /**
@@ -79,6 +99,17 @@ MixGemmResult mixGemm(std::span<const int32_t> a,
                       uint64_t k, const BsGeometry &geometry,
                       const BlockingParams &blocking =
                           BlockingParams::paperDefaults());
+
+/**
+ * Checked variant of mixGemm() for external-input boundaries: operand
+ * shape/configuration mismatches and invalid blocking parameters come
+ * back as a structured error instead of a FatalError throw. Identical
+ * computation on the success path.
+ */
+Expected<MixGemmResult> tryMixGemm(const CompressedA &a,
+                                   const CompressedB &b,
+                                   const BlockingParams &blocking =
+                                       BlockingParams::paperDefaults());
 
 } // namespace mixgemm
 

@@ -22,6 +22,41 @@ QuantParams::qmax() const
                      : (int32_t{1} << bits) - 1;
 }
 
+Status
+validateQuantParams(const QuantParams &params)
+{
+    if (!std::isfinite(params.scale) || params.scale <= 0.0)
+        return Status::invalidArgument(
+            "QuantParams: scale must be positive and finite");
+    if (params.bits < 1 || params.bits > 16)
+        return Status::invalidArgument(
+            strCat("QuantParams: bits must be in [1, 16], got ",
+                   params.bits));
+    // A zero-point outside the representable range can never be hit by
+    // a quantized value, which breaks dequantization round trips.
+    if (params.zero_point < params.qmin() ||
+        params.zero_point > params.qmax())
+        return Status::invalidArgument(
+            strCat("QuantParams: zero-point ", params.zero_point,
+                   " outside the clamp range [", params.qmin(), ", ",
+                   params.qmax(), "]"));
+    return Status();
+}
+
+Expected<QuantParams>
+makeQuantParams(double scale, int32_t zero_point, unsigned bits,
+                bool is_signed)
+{
+    QuantParams params;
+    params.scale = scale;
+    params.zero_point = zero_point;
+    params.bits = bits;
+    params.is_signed = is_signed;
+    if (Status s = validateQuantParams(params); !s.ok())
+        return s;
+    return params;
+}
+
 int32_t
 quantize(double x, const QuantParams &params)
 {

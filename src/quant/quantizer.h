@@ -18,6 +18,8 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
+
 namespace mixgemm
 {
 
@@ -36,6 +38,21 @@ struct QuantParams
     /** True when zero_point == 0. */
     bool symmetric() const { return zero_point == 0; }
 };
+
+/**
+ * Validate a QuantParams loaded from external input (config file, model
+ * checkpoint): positive finite scale, bits in [1, 16], zero-point inside
+ * the clamp range.
+ */
+Status validateQuantParams(const QuantParams &params);
+
+/**
+ * Build a validated QuantParams from externally-supplied fields —
+ * the checked construction path for deserializers and CLIs. Returns
+ * the violation from validateQuantParams() on bad input.
+ */
+Expected<QuantParams> makeQuantParams(double scale, int32_t zero_point,
+                                      unsigned bits, bool is_signed);
 
 /** Quantize one value (Eq. 1). */
 int32_t quantize(double x, const QuantParams &params);

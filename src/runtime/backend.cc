@@ -25,8 +25,12 @@ MixGemmBackend::gemm(std::span<const int32_t> a,
     blocking.kernel_mode = kernel_mode_;
     blocking.session = session_;
     blocking.trace_label = trace_label_;
+    blocking.fault_policy = fault_policy_;
+    blocking.fault = fault_;
+    blocking.abft_max_retries = abft_retries_;
     auto result = mixGemm(a, b, m, n, k, geometry, blocking);
     total_bs_ip_ += result.counters.get(Counter::BsIp);
+    last_abft_ = result.abft;
     return std::move(result.c);
 }
 

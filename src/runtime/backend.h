@@ -18,6 +18,7 @@
 
 #include "bs/geometry.h"
 #include "gemm/blocking.h"
+#include "gemm/mixgemm.h"
 
 namespace mixgemm
 {
@@ -112,12 +113,39 @@ class MixGemmBackend : public GemmBackend
     void setTraceLabel(std::string label) { trace_label_ = std::move(label); }
     const std::string &traceLabel() const { return trace_label_; }
 
+    /**
+     * ABFT policy for subsequent gemm() calls (Off — the default —
+     * skips all checksum work). Detection/correction verdicts of the
+     * most recent call are available from lastAbft().
+     */
+    void setFaultPolicy(FaultPolicy policy) { fault_policy_ = policy; }
+    FaultPolicy faultPolicy() const { return fault_policy_; }
+
+    /**
+     * Attach (or detach, with nullptr) a fault-injection engine: every
+     * subsequent gemm() plans and applies its faults. Not owned; must
+     * outlive the attachment. Campaign use only — see fault/campaign.h.
+     */
+    void setFaultInjector(FaultInjector *injector) { fault_ = injector; }
+    FaultInjector *faultInjector() const { return fault_; }
+
+    /** Per-tile recompute budget under FaultPolicy::DetectRetry. */
+    void setAbftMaxRetries(unsigned retries) { abft_retries_ = retries; }
+    unsigned abftMaxRetries() const { return abft_retries_; }
+
+    /** ABFT outcome of the most recent gemm() call. */
+    const AbftOutcome &lastAbft() const { return last_abft_; }
+
   private:
     unsigned threads_ = 1;
     KernelMode kernel_mode_ = KernelMode::Fast;
     uint64_t total_bs_ip_ = 0;
     TraceSession *session_ = nullptr;
     std::string trace_label_ = "mixgemm";
+    FaultPolicy fault_policy_ = FaultPolicy::Off;
+    FaultInjector *fault_ = nullptr;
+    unsigned abft_retries_ = 2;
+    AbftOutcome last_abft_;
 };
 
 } // namespace mixgemm

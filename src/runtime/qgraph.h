@@ -71,6 +71,20 @@ class QuantizedGraph
     /** Inverse of serialize(). @throws FatalError on malformed input. */
     static QuantizedGraph deserialize(const std::string &text);
 
+    /**
+     * Checked inverse of serialize() for untrusted bytes (model files
+     * from disk or the network): every malformed input — bad magic,
+     * truncated records, counts that disagree with the layer geometry,
+     * out-of-range quantization parameters or weight codes, trailing
+     * garbage — comes back as a kDataLoss/kInvalidArgument Status
+     * instead of a crash, with payload sizes bounds-checked against the
+     * input length *before* any allocation, so hostile headers cannot
+     * force huge buffers. The format is a linear node list (the graph
+     * is a chain by construction), so cyclic or dangling references are
+     * unrepresentable and need no reference validation.
+     */
+    static Expected<QuantizedGraph> tryDeserialize(const std::string &text);
+
     /** Run one image; returns the float logits. */
     std::vector<double> run(const Tensor<double> &image,
                             GemmBackend &backend) const;

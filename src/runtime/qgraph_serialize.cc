@@ -6,6 +6,7 @@
  * Floating-point fields round-trip exactly via 17 significant digits.
  */
 
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -34,7 +35,7 @@ kindName(QNode::Kind kind)
     return "?";
 }
 
-QNode::Kind
+Expected<QNode::Kind>
 kindFromName(const std::string &name)
 {
     if (name == "conv")
@@ -49,7 +50,7 @@ kindFromName(const std::string &name)
         return QNode::Kind::kMaxPool2;
     if (name == "flatten")
         return QNode::Kind::kFlatten;
-    fatal("qgraph: unknown node kind '" + name + "'");
+    return Status::dataLoss("qgraph: unknown node kind '" + name + "'");
 }
 
 void
@@ -59,16 +60,25 @@ writeParams(std::ostream &os, const QuantParams &p)
        << ' ' << std::setprecision(17) << p.scale;
 }
 
-QuantParams
+Expected<QuantParams>
 readParams(std::istream &is)
 {
-    QuantParams p;
+    unsigned bits = 0;
     int is_signed = 0;
-    if (!(is >> p.bits >> is_signed >> p.zero_point >> p.scale))
-        fatal("qgraph: truncated quantization parameters");
-    p.is_signed = is_signed != 0;
-    return p;
+    int32_t zero_point = 0;
+    double scale = 0.0;
+    if (!(is >> bits >> is_signed >> zero_point >> scale))
+        return Status::dataLoss(
+            "qgraph: truncated quantization parameters");
+    // Routed through the checked constructor so a hostile file cannot
+    // smuggle in a zero scale or a 64-bit-shift bit count.
+    return makeQuantParams(scale, zero_point, bits, is_signed != 0);
 }
+
+/** Upper bound on layer channel/kernel extents a serialized graph may
+ * claim; generous for any edge DNN, small enough that size products
+ * below never overflow 64 bits. */
+constexpr unsigned kMaxExtent = 1u << 16;
 
 } // namespace
 
@@ -114,16 +124,24 @@ QuantizedGraph::serialize() const
     return os.str();
 }
 
-QuantizedGraph
-QuantizedGraph::deserialize(const std::string &text)
+Expected<QuantizedGraph>
+QuantizedGraph::tryDeserialize(const std::string &text)
 {
     std::istringstream is(text);
     std::string magic;
     if (!(is >> magic) || magic != kMagic)
-        fatal("qgraph: bad magic (expected mixgemm-qgraph-v1)");
+        return Status::dataLoss(
+            "qgraph: bad magic (expected mixgemm-qgraph-v1)");
     size_t count = 0;
     if (!(is >> count) || count == 0)
-        fatal("qgraph: bad node count");
+        return Status::dataLoss("qgraph: bad node count");
+    // Every node record is at least "node X" (6 bytes), so a count the
+    // input cannot possibly hold is malformed — reject it before the
+    // reserve below turns it into an allocation.
+    if (count > text.size() / 6)
+        return Status::dataLoss(
+            strCat("qgraph: node count ", count,
+                   " exceeds what the input could hold"));
 
     std::vector<QNode> nodes;
     nodes.reserve(count);
@@ -131,46 +149,106 @@ QuantizedGraph::deserialize(const std::string &text)
         std::string tag;
         std::string kind;
         if (!(is >> tag >> kind) || tag != "node")
-            fatal("qgraph: expected a node record");
+            return Status::dataLoss("qgraph: expected a node record");
+        Expected<QNode::Kind> parsed_kind = kindFromName(kind);
+        if (!parsed_kind.ok())
+            return parsed_kind.status();
         QNode n;
-        n.kind = kindFromName(kind);
+        n.kind = *parsed_kind;
         if (n.kind == QNode::Kind::kConv ||
             n.kind == QNode::Kind::kDepthwise ||
             n.kind == QNode::Kind::kLinear) {
             unsigned k = 0;
             if (!(is >> n.spec.in_c >> n.spec.out_c >> k >> n.spec.pad))
-                fatal("qgraph: truncated layer geometry");
+                return Status::dataLoss(
+                    "qgraph: truncated layer geometry");
+            if (n.spec.in_c == 0 || n.spec.in_c > kMaxExtent ||
+                n.spec.out_c == 0 || n.spec.out_c > kMaxExtent ||
+                k == 0 || k > kMaxExtent || n.spec.pad >= kMaxExtent)
+                return Status::invalidArgument(
+                    strCat("qgraph: layer geometry out of range (in_c=",
+                           n.spec.in_c, " out_c=", n.spec.out_c, " k=",
+                           k, " pad=", n.spec.pad, ")"));
             n.spec.kh = n.spec.kw = k;
             n.spec.stride = 1;
             if (n.kind == QNode::Kind::kLinear)
                 n.spec.in_h = n.spec.in_w = 1;
-            if (n.kind == QNode::Kind::kDepthwise)
+            if (n.kind == QNode::Kind::kDepthwise) {
+                if (n.spec.out_c != n.spec.in_c)
+                    return Status::invalidArgument(
+                        "qgraph: depthwise node with out_c != in_c");
                 n.spec.groups = n.spec.in_c;
+            }
             std::string ptag;
             if (!(is >> ptag) || ptag != "a_params")
-                fatal("qgraph: expected a_params");
-            n.a_params = readParams(is);
+                return Status::dataLoss("qgraph: expected a_params");
+            Expected<QuantParams> a_params = readParams(is);
+            if (!a_params.ok())
+                return a_params.status();
+            n.a_params = *a_params;
             if (!(is >> ptag) || ptag != "w_params")
-                fatal("qgraph: expected w_params");
-            n.w_params = readParams(is);
+                return Status::dataLoss("qgraph: expected w_params");
+            Expected<QuantParams> w_params = readParams(is);
+            if (!w_params.ok())
+                return w_params.status();
+            n.w_params = *w_params;
             size_t wn = 0;
             if (!(is >> ptag >> wn) || ptag != "weights")
-                fatal("qgraph: expected weights");
+                return Status::dataLoss("qgraph: expected weights");
+            // The weight count is fully determined by the geometry just
+            // read; accepting anything else either truncates the GEMM's
+            // B operand or over-reads past it at execution time.
+            const uint64_t expected_wn =
+                n.spec.gemmK() * n.spec.gemmN() * n.spec.groups;
+            if (wn != expected_wn)
+                return Status::dataLoss(
+                    strCat("qgraph: weight count ", wn,
+                           " does not match the layer geometry (",
+                           expected_wn, " expected)"));
             n.weights_q.resize(wn);
-            for (auto &w : n.weights_q)
+            for (auto &w : n.weights_q) {
                 if (!(is >> w))
-                    fatal("qgraph: truncated weights");
+                    return Status::dataLoss(
+                        "qgraph: truncated weights");
+                if (w < n.w_params.qmin() || w > n.w_params.qmax())
+                    return Status::invalidArgument(
+                        strCat("qgraph: weight code ", w,
+                               " outside the declared ",
+                               n.w_params.bits, "-bit range"));
+            }
             size_t bn = 0;
             if (!(is >> ptag >> bn) || ptag != "bias")
-                fatal("qgraph: expected bias");
+                return Status::dataLoss("qgraph: expected bias");
+            if (bn != n.spec.out_c)
+                return Status::dataLoss(
+                    strCat("qgraph: bias count ", bn,
+                           " does not match out_c=", n.spec.out_c));
             n.bias.resize(bn);
-            for (auto &b : n.bias)
+            for (auto &b : n.bias) {
                 if (!(is >> b))
-                    fatal("qgraph: truncated bias");
+                    return Status::dataLoss("qgraph: truncated bias");
+                if (!std::isfinite(b))
+                    return Status::invalidArgument(
+                        "qgraph: non-finite bias value");
+            }
         }
         nodes.push_back(std::move(n));
     }
+    // Anything after the declared records is not this format.
+    std::string trailing;
+    if (is >> trailing)
+        return Status::dataLoss(
+            "qgraph: trailing garbage after the last node");
     return QuantizedGraph(std::move(nodes));
+}
+
+QuantizedGraph
+QuantizedGraph::deserialize(const std::string &text)
+{
+    Expected<QuantizedGraph> graph = tryDeserialize(text);
+    if (!graph.ok())
+        fatal(graph.status().toString());
+    return *graph;
 }
 
 } // namespace mixgemm

@@ -1,6 +1,7 @@
 #include "tensor/packing.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "bs/expand.h"
 #include "bs/microvector.h"
@@ -58,7 +59,8 @@ kGroupCount(uint64_t k, const BsGeometry &geometry)
 CompressedA::CompressedA(uint64_t m, uint64_t k,
                          const BsGeometry &geometry)
     : m_(m), k_(k), k_groups_(kGroupCount(k, geometry)),
-      geometry_(geometry), panels_(std::make_shared<ClusterPanels>())
+      geometry_(geometry), panels_(std::make_shared<ClusterPanels>()),
+      abft_(std::make_shared<AbftChecksums>())
 {
     if (m == 0 || k == 0)
         fatal("CompressedA: empty matrix");
@@ -136,6 +138,56 @@ CompressedA::word(uint64_t row, unsigned g, unsigned w) const
     return words_[wordIndex(row, g, w)];
 }
 
+int32_t
+CompressedA::element(uint64_t row, uint64_t k_index) const
+{
+    const unsigned g =
+        static_cast<unsigned>(k_index / geometry_.group_extent);
+    const unsigned e =
+        static_cast<unsigned>(k_index - uint64_t{g} *
+                                            geometry_.group_extent);
+    const unsigned w = e / geometry_.elems_per_avec;
+    return microVectorElement(word(row, g, w), geometry_.config.bwa,
+                              geometry_.config.a_signed,
+                              e % geometry_.elems_per_avec);
+}
+
+void
+CompressedA::setWord(uint64_t index, uint64_t word)
+{
+    if (index >= words_.size())
+        fatal(strCat("CompressedA::setWord: index ", index,
+                     " out of range ", words_.size()));
+    words_[index] = word;
+}
+
+void
+CompressedA::resetClusterPanels()
+{
+    panels_ = std::make_shared<ClusterPanels>();
+}
+
+void
+CompressedA::setClusterPanelWord(uint64_t index, uint64_t word)
+{
+    if (index >= panels_->words.size())
+        fatal(strCat("CompressedA::setClusterPanelWord: index ", index,
+                     " out of range ", panels_->words.size()));
+    panels_->words[index] = word;
+}
+
+void
+CompressedA::ensureAbftChecksums() const
+{
+    std::call_once(abft_->once, [this] {
+        TRACE_SCOPE("abft", "checksums_a");
+        abft_->ksums.assign(k_, 0);
+        for (uint64_t row = 0; row < m_; ++row)
+            for (uint64_t kk = 0; kk < k_; ++kk)
+                abft_->ksums[kk] += element(row, kk);
+    });
+}
+
 uint64_t
 CompressedA::idealBytes() const
 {
@@ -148,7 +200,8 @@ CompressedA::idealBytes() const
 CompressedB::CompressedB(uint64_t k, uint64_t n,
                          const BsGeometry &geometry)
     : k_(k), n_(n), k_groups_(kGroupCount(k, geometry)),
-      geometry_(geometry), panels_(std::make_shared<ClusterPanels>())
+      geometry_(geometry), panels_(std::make_shared<ClusterPanels>()),
+      abft_(std::make_shared<AbftChecksums>())
 {
     if (k == 0 || n == 0)
         fatal("CompressedB: empty matrix");
@@ -226,11 +279,121 @@ CompressedB::word(uint64_t col, unsigned g, unsigned w) const
     return words_[wordIndex(col, g, w)];
 }
 
+int32_t
+CompressedB::element(uint64_t col, uint64_t k_index) const
+{
+    const unsigned g =
+        static_cast<unsigned>(k_index / geometry_.group_extent);
+    const unsigned e =
+        static_cast<unsigned>(k_index - uint64_t{g} *
+                                            geometry_.group_extent);
+    const unsigned w = e / geometry_.elems_per_bvec;
+    return microVectorElement(word(col, g, w), geometry_.config.bwb,
+                              geometry_.config.b_signed,
+                              e % geometry_.elems_per_bvec);
+}
+
+void
+CompressedB::setWord(uint64_t index, uint64_t word)
+{
+    if (index >= words_.size())
+        fatal(strCat("CompressedB::setWord: index ", index,
+                     " out of range ", words_.size()));
+    words_[index] = word;
+}
+
+void
+CompressedB::resetClusterPanels()
+{
+    panels_ = std::make_shared<ClusterPanels>();
+}
+
+void
+CompressedB::setClusterPanelWord(uint64_t index, uint64_t word)
+{
+    if (index >= panels_->words.size())
+        fatal(strCat("CompressedB::setClusterPanelWord: index ", index,
+                     " out of range ", panels_->words.size()));
+    panels_->words[index] = word;
+}
+
+void
+CompressedB::ensureAbftChecksums() const
+{
+    std::call_once(abft_->once, [this] {
+        TRACE_SCOPE("abft", "checksums_b");
+        abft_->ksums.assign(k_, 0);
+        for (uint64_t col = 0; col < n_; ++col)
+            for (uint64_t kk = 0; kk < k_; ++kk)
+                abft_->ksums[kk] += element(col, kk);
+    });
+}
+
 uint64_t
 CompressedB::idealBytes() const
 {
     return static_cast<uint64_t>(
         static_cast<double>(k_) * n_ * 8.0 / geometry_.elems_per_bvec);
+}
+
+namespace
+{
+
+/**
+ * Shared boundary validation for the checked compression entry points:
+ * non-empty shape, matching buffer size, and every element inside the
+ * narrow format's representable range.
+ */
+Status
+validateOperand(const char *who, std::span<const int32_t> data,
+                uint64_t rows, uint64_t cols, unsigned bw,
+                bool is_signed)
+{
+    if (rows == 0 || cols == 0)
+        return Status::invalidArgument(
+            strCat(who, ": empty matrix (", rows, " x ", cols, ")"));
+    if (rows > std::numeric_limits<uint64_t>::max() / cols ||
+        data.size() != rows * cols)
+        return Status::invalidArgument(
+            strCat(who, ": data size ", data.size(),
+                   " does not match ", rows, " x ", cols));
+    for (size_t i = 0; i < data.size(); ++i) {
+        const int64_t v = data[i];
+        const bool fits = is_signed ? fitsSigned(v, bw)
+                                    : fitsUnsigned(v, bw);
+        if (!fits)
+            return Status::outOfRange(
+                strCat(who, ": element ", v, " at index ", i,
+                       " does not fit the ", bw, "-bit ",
+                       is_signed ? "signed" : "unsigned", " format"));
+    }
+    return Status();
+}
+
+} // namespace
+
+Expected<CompressedA>
+tryCompressA(std::span<const int32_t> data, uint64_t m, uint64_t k,
+             const BsGeometry &geometry)
+{
+    if (Status s = validateOperand("tryCompressA", data, m, k,
+                                   geometry.config.bwa,
+                                   geometry.config.a_signed);
+        !s.ok())
+        return s;
+    return CompressedA(data, m, k, geometry);
+}
+
+Expected<CompressedB>
+tryCompressB(std::span<const int32_t> data, uint64_t k, uint64_t n,
+             const BsGeometry &geometry)
+{
+    if (Status s = validateOperand("tryCompressB", data, k, n,
+                                   geometry.config.bwb,
+                                   geometry.config.b_signed);
+        !s.ok())
+        return s;
+    return CompressedB(data, k, n, geometry);
 }
 
 } // namespace mixgemm

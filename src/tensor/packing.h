@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bs/geometry.h"
+#include "common/status.h"
 
 namespace mixgemm
 {
@@ -54,6 +55,20 @@ struct ClusterPanels
     std::once_flag once;
     std::vector<uint64_t> words;
     unsigned words_per_group = 0; ///< DSU chunks per accumulation group
+};
+
+/**
+ * ABFT checksum snapshot of a compressed operand: one int64 sum per
+ * logical k position — over rows for A, over columns for B. Built once
+ * from the operand's *current* packed words by ensureAbftChecksums()
+ * and shared (shared_ptr, like ClusterPanels) by every copy, so a
+ * fault-injection copy corrupted afterwards still carries the
+ * pre-corruption truth the verifier compares against.
+ */
+struct AbftChecksums
+{
+    std::once_flag once;
+    std::vector<int64_t> ksums; ///< k entries; empty until built
 };
 
 /** Number of accumulation groups covering a logical k extent. */
@@ -92,6 +107,16 @@ class CompressedA
 
     std::span<const uint64_t> words() const { return words_; }
 
+    /** Decoded element at (row, k_index) — the packing inverse. */
+    int32_t element(uint64_t row, uint64_t k_index) const;
+
+    /**
+     * Overwrite the packed word at flat @p index (fault injection /
+     * SRAM corruption modeling). Call resetClusterPanels() afterwards
+     * if panels were already built, or they keep the stale expansion.
+     */
+    void setWord(uint64_t index, uint64_t word);
+
     /** Compressed footprint in bytes. */
     uint64_t bytes() const { return words_.size() * 8; }
 
@@ -123,6 +148,42 @@ class CompressedA
                (row * k_groups_ + g) * panels_->words_per_group;
     }
 
+    /**
+     * Detach from any shared/built cluster panels so the next
+     * ensureClusterPanels() re-expands from the current packed words.
+     * A fault-injection copy calls this before corrupting words, so
+     * the original operand's panels stay pristine.
+     */
+    void resetClusterPanels();
+
+    /** Built panel words. @pre ensureClusterPanels() has completed. */
+    uint64_t clusterPanelWordCount() const
+    {
+        return panels_->words.size();
+    }
+
+    /** Cached cluster word at flat @p index (fault injection). */
+    uint64_t clusterPanelWord(uint64_t index) const
+    {
+        return panels_->words[index];
+    }
+
+    /** Overwrite one cached cluster word (fault injection). */
+    void setClusterPanelWord(uint64_t index, uint64_t word);
+
+    /**
+     * Build (once, thread-safe) the ABFT per-k checksums: for each
+     * logical k position, the int64 sum of column k over all m rows.
+     * Shared by copies — call on the original before corrupting a copy.
+     */
+    void ensureAbftChecksums() const;
+
+    /** Built checksums, k() entries; empty until ensureAbftChecksums(). */
+    const std::vector<int64_t> &abftKSums() const
+    {
+        return abft_->ksums;
+    }
+
   private:
     CompressedA(uint64_t m, uint64_t k, const BsGeometry &geometry);
 
@@ -132,6 +193,7 @@ class CompressedA
     BsGeometry geometry_;
     std::vector<uint64_t> words_;
     std::shared_ptr<ClusterPanels> panels_;
+    std::shared_ptr<AbftChecksums> abft_;
 };
 
 /** The B operand of a Mix-GEMM, compressed along k, column-major. */
@@ -167,6 +229,12 @@ class CompressedB
 
     std::span<const uint64_t> words() const { return words_; }
 
+    /** Decoded element at (k_index, col) — the packing inverse. */
+    int32_t element(uint64_t col, uint64_t k_index) const;
+
+    /** See CompressedA::setWord(). */
+    void setWord(uint64_t index, uint64_t word);
+
     uint64_t bytes() const { return words_.size() * 8; }
     uint64_t idealBytes() const;
 
@@ -189,6 +257,36 @@ class CompressedB
                (col * k_groups_ + g) * panels_->words_per_group;
     }
 
+    /** See CompressedA::resetClusterPanels(). */
+    void resetClusterPanels();
+
+    /** Built panel words. @pre ensureClusterPanels() has completed. */
+    uint64_t clusterPanelWordCount() const
+    {
+        return panels_->words.size();
+    }
+
+    /** Cached cluster word at flat @p index (fault injection). */
+    uint64_t clusterPanelWord(uint64_t index) const
+    {
+        return panels_->words[index];
+    }
+
+    /** Overwrite one cached cluster word (fault injection). */
+    void setClusterPanelWord(uint64_t index, uint64_t word);
+
+    /**
+     * Build (once, thread-safe) the ABFT per-k checksums: for each
+     * logical k position, the int64 sum of row k over all n columns.
+     */
+    void ensureAbftChecksums() const;
+
+    /** Built checksums, k() entries; empty until ensureAbftChecksums(). */
+    const std::vector<int64_t> &abftKSums() const
+    {
+        return abft_->ksums;
+    }
+
   private:
     CompressedB(uint64_t k, uint64_t n, const BsGeometry &geometry);
 
@@ -198,7 +296,24 @@ class CompressedB
     BsGeometry geometry_;
     std::vector<uint64_t> words_;
     std::shared_ptr<ClusterPanels> panels_;
+    std::shared_ptr<AbftChecksums> abft_;
 };
+
+/**
+ * Checked compression for external-input boundaries: validates shape,
+ * data size, and that every element fits the configured (bwa, a_signed)
+ * format *before* packing, returning a structured error instead of the
+ * FatalError the constructors throw on caller bugs. @p data is
+ * row-major m x k.
+ */
+Expected<CompressedA> tryCompressA(std::span<const int32_t> data,
+                                   uint64_t m, uint64_t k,
+                                   const BsGeometry &geometry);
+
+/** Checked CompressedB construction; @p data is row-major k x n. */
+Expected<CompressedB> tryCompressB(std::span<const int32_t> data,
+                                   uint64_t k, uint64_t n,
+                                   const BsGeometry &geometry);
 
 } // namespace mixgemm
 

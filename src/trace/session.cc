@@ -76,7 +76,10 @@ runReportToJson(const RunReport &report, const std::string &indent)
     os << indent << "  \"threads\": " << report.threads << ",\n";
     os << indent << "  \"kernel_mode\": \""
        << jsonEscape(report.kernel_mode) << "\",\n";
+    os << indent << "  \"fault_policy\": \""
+       << jsonEscape(report.fault_policy) << "\",\n";
     os << indent << "  \"wall_secs\": " << report.wall_secs << ",\n";
+    os << indent << "  \"abft_secs\": " << report.abft_secs << ",\n";
     os << indent << "  \"bytes_packed\": " << report.bytes_packed
        << ",\n";
     os << indent

@@ -46,7 +46,9 @@ struct RunReport
     std::string config;      ///< data-size configuration, e.g. "a8-w8"
     unsigned threads = 1;
     std::string kernel_mode; ///< "fast" or "modeled"
+    std::string fault_policy = "off"; ///< ABFT policy the GEMM ran under
     double wall_secs = 0.0;
+    double abft_secs = 0.0; ///< wall-clock spent in ABFT checksum work
     uint64_t bytes_packed = 0;         ///< compressed operand bytes
     uint64_t bytes_cluster_panels = 0; ///< fast-path expansion cache
     CounterSet counters;

@@ -1,0 +1,564 @@
+/**
+ * @file
+ * Fault-injection engine and ABFT tests: a fault plan must be a pure
+ * function of (seed, logical GEMM shape) — identical fault sites,
+ * corrupted output, and fault counters at every thread count and under
+ * both μ-kernels — and FaultPolicy::Off must be bitwise-transparent.
+ * On top of that, the ABFT policies must honor their contracts:
+ * Detect flags every corrupting accumulator/inner-product fault,
+ * DetectRetry corrects all transient faults, DetectFallback degrades
+ * the whole GEMM to the Modeled kernel, and persistent (stuck-at) or
+ * input (packed SRAM) faults are honestly reported as uncorrectable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "fault/campaign.h"
+#include "fault/injector.h"
+#include "gemm/mixgemm.h"
+#include "gemm/reference.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+std::vector<int32_t>
+randomMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(elems);
+    const int64_t lo = is_signed ? -(int64_t{1} << (bw - 1)) : 0;
+    const int64_t hi = is_signed ? (int64_t{1} << (bw - 1)) - 1
+                                 : (int64_t{1} << bw) - 1;
+    for (auto &v : data)
+        v = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    return data;
+}
+
+/** Fixed operands shared by every test in this file. */
+struct Operands
+{
+    uint64_t m = 24;
+    uint64_t n = 20;
+    uint64_t k = 48;
+    DataSizeConfig config{8, 8, true, true};
+    CompressedA a;
+    CompressedB b;
+    std::vector<int64_t> golden;
+
+    static const Operands &instance()
+    {
+        static const Operands ops;
+        return ops;
+    }
+
+  private:
+    Operands()
+        : a(makeA()), b(makeB()),
+          golden(mixGemm(a, b, blocking()).c)
+    {
+    }
+
+    static BsGeometry geometry()
+    {
+        return computeBsGeometry(DataSizeConfig{8, 8, true, true});
+    }
+    static CompressedA makeA()
+    {
+        Rng rng(42);
+        return CompressedA(randomMatrix(rng, 24 * 48, 8, true), 24, 48,
+                           geometry());
+    }
+    static CompressedB makeB()
+    {
+        Rng rng(43);
+        return CompressedB(randomMatrix(rng, 48 * 20, 8, true), 48, 20,
+                           geometry());
+    }
+
+  public:
+    /** Small tiles so the shape decomposes into 2 x 2 macro tiles. */
+    static BlockingParams blocking()
+    {
+        BlockingParams params;
+        params.mc = 16;
+        params.nc = 16;
+        params.kc = 64;
+        params.mr = 4;
+        params.nr = 4;
+        return params;
+    }
+};
+
+using PlannedKey = std::tuple<unsigned, uint64_t, uint64_t, unsigned>;
+
+std::vector<PlannedKey>
+plannedKeys(const FaultInjector &injector)
+{
+    std::vector<PlannedKey> keys;
+    for (const PlannedFault &f : injector.planned())
+        keys.emplace_back(static_cast<unsigned>(f.site), f.coord,
+                          f.mask, static_cast<unsigned>(f.model));
+    return keys;
+}
+
+struct FaultRun
+{
+    std::vector<int64_t> c;
+    std::map<std::string, uint64_t> counters;
+    std::vector<PlannedKey> planned;
+    uint64_t injected = 0;
+    AbftOutcome abft;
+};
+
+FaultRun
+runWithFault(FaultSite site, FaultModel model, uint64_t seed,
+             unsigned threads, KernelMode mode, FaultPolicy policy,
+             unsigned max_faults = 1, unsigned bits = 1)
+{
+    const Operands &ops = Operands::instance();
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.site = site;
+    spec.model = model;
+    spec.max_faults = max_faults;
+    spec.bits_per_fault = bits;
+    FaultInjector injector({spec});
+
+    BlockingParams params = Operands::blocking();
+    params.threads = threads;
+    params.kernel_mode = mode;
+    params.fault = &injector;
+    params.fault_policy = policy;
+    const MixGemmResult result = mixGemm(ops.a, ops.b, params);
+    return {result.c, result.counters.all(), plannedKeys(injector),
+            injector.injectedCount(), result.abft};
+}
+
+// ---------------------------------------------------------------------
+// Vocabulary and plan basics
+// ---------------------------------------------------------------------
+
+TEST(FaultVocabulary, NamesRoundTrip)
+{
+    for (unsigned s = 0; s < kFaultSiteCount; ++s) {
+        const auto site = static_cast<FaultSite>(s);
+        const auto back = faultSiteFromName(faultSiteName(site));
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(*back, site);
+    }
+    for (const auto model : {FaultModel::BitFlip, FaultModel::StuckAt0,
+                             FaultModel::StuckAt1}) {
+        const auto back = faultModelFromName(faultModelName(model));
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(*back, model);
+    }
+    for (const auto policy :
+         {FaultPolicy::Off, FaultPolicy::Detect, FaultPolicy::DetectRetry,
+          FaultPolicy::DetectFallback}) {
+        const auto back = faultPolicyFromName(faultPolicyName(policy));
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(*back, policy);
+    }
+    EXPECT_FALSE(faultSiteFromName("bogus").ok());
+    EXPECT_FALSE(faultModelFromName("bogus").ok());
+    EXPECT_FALSE(faultPolicyFromName("bogus").ok());
+}
+
+TEST(FaultVocabulary, SpecValidation)
+{
+    FaultSpec good;
+    EXPECT_TRUE(validateFaultSpec(good).ok());
+    FaultSpec bad_bits = good;
+    bad_bits.bits_per_fault = 0;
+    EXPECT_FALSE(validateFaultSpec(bad_bits).ok());
+    bad_bits.bits_per_fault = 65;
+    EXPECT_FALSE(validateFaultSpec(bad_bits).ok());
+    FaultSpec bad_acc = good;
+    bad_acc.acc_bits = 0;
+    EXPECT_FALSE(validateFaultSpec(bad_acc).ok());
+}
+
+TEST(FaultInjectorTest, CorruptBitsModels)
+{
+    EXPECT_EQ(FaultInjector::corruptBits(0b1010, 0b0110,
+                                         FaultModel::BitFlip),
+              0b1100u);
+    EXPECT_EQ(FaultInjector::corruptBits(0b1010, 0b0110,
+                                         FaultModel::StuckAt0),
+              0b1000u);
+    EXPECT_EQ(FaultInjector::corruptBits(0b1010, 0b0110,
+                                         FaultModel::StuckAt1),
+              0b1110u);
+}
+
+TEST(FaultInjectorTest, PlanIsSeedDeterministicAndBudgeted)
+{
+    GemmPlanShape shape;
+    shape.m = 24;
+    shape.n = 20;
+    shape.k_groups = 6;
+    shape.mc = 16;
+    shape.nc = 16;
+    shape.kua = 4;
+    shape.kub = 4;
+
+    FaultSpec spec;
+    spec.seed = 7;
+    spec.site = FaultSite::Accumulator;
+    spec.max_faults = 3;
+    FaultInjector one({spec});
+    one.beginGemm(shape);
+    FaultInjector two({spec});
+    two.beginGemm(shape);
+    EXPECT_EQ(plannedKeys(one), plannedKeys(two));
+    EXPECT_LE(one.planned().size(), 3u);
+    EXPECT_FALSE(one.planned().empty());
+    // Distinct seed, distinct plan (astronomically unlikely to match).
+    spec.seed = 8;
+    FaultInjector three({spec});
+    three.beginGemm(shape);
+    EXPECT_NE(plannedKeys(one), plannedKeys(three));
+    // Coordinates are in range for the site.
+    for (const PlannedFault &f : one.planned()) {
+        EXPECT_EQ(f.site, FaultSite::Accumulator);
+        EXPECT_LT(f.coord, shape.m * shape.n);
+    }
+}
+
+TEST(FaultInjectorTest, TargetTileConfinesAccumulatorFaults)
+{
+    GemmPlanShape shape;
+    shape.m = 24;
+    shape.n = 20;
+    shape.k_groups = 6;
+    shape.mc = 16;
+    shape.nc = 16;
+    shape.kua = 4;
+    shape.kub = 4;
+    // Tile index 1 of the jc-outer/ic-inner enumeration: ic tile 1
+    // (rows 16..24), jc tile 0 (cols 0..16).
+    FaultSpec spec;
+    spec.seed = 11;
+    spec.site = FaultSite::Accumulator;
+    spec.max_faults = 8;
+    spec.target_tile = 1;
+    FaultInjector injector({spec});
+    injector.beginGemm(shape);
+    ASSERT_FALSE(injector.planned().empty());
+    for (const PlannedFault &f : injector.planned()) {
+        const uint64_t row = f.coord / shape.n;
+        const uint64_t col = f.coord % shape.n;
+        EXPECT_GE(row, 16u);
+        EXPECT_LT(row, 24u);
+        EXPECT_LT(col, 16u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injection determinism across threads and kernel modes
+// ---------------------------------------------------------------------
+
+/** Sites whose faulted output must agree across BOTH kernel modes. */
+const FaultSite kCrossKernelSites[] = {
+    FaultSite::PackedA,
+    FaultSite::PackedB,
+    FaultSite::BsIpResult,
+    FaultSite::Accumulator,
+};
+
+TEST(FaultDeterminism, SameSeedSameFaultsAcrossThreadsAndKernels)
+{
+    for (const FaultSite site : kCrossKernelSites) {
+        const FaultRun base =
+            runWithFault(site, FaultModel::BitFlip, 123, 1,
+                         KernelMode::Fast, FaultPolicy::Off);
+        for (const unsigned threads : {1u, 3u, 8u}) {
+            for (const KernelMode mode :
+                 {KernelMode::Fast, KernelMode::Modeled}) {
+                const FaultRun run =
+                    runWithFault(site, FaultModel::BitFlip, 123, threads,
+                                 mode, FaultPolicy::Off);
+                const std::string label =
+                    std::string(faultSiteName(site)) + " t" +
+                    std::to_string(threads) +
+                    (mode == KernelMode::Fast ? " fast" : " modeled");
+                EXPECT_EQ(run.planned, base.planned) << label;
+                ASSERT_EQ(run.c, base.c) << label;
+                EXPECT_EQ(run.injected, base.injected) << label;
+                EXPECT_EQ(run.counters, base.counters) << label;
+            }
+        }
+    }
+}
+
+TEST(FaultDeterminism, ClusterPanelFaultsDeterministicUnderFastPath)
+{
+    const FaultRun base =
+        runWithFault(FaultSite::ClusterPanelA, FaultModel::BitFlip, 321,
+                     1, KernelMode::Fast, FaultPolicy::Off);
+    for (const unsigned threads : {3u, 8u}) {
+        const FaultRun run =
+            runWithFault(FaultSite::ClusterPanelA, FaultModel::BitFlip,
+                         321, threads, KernelMode::Fast,
+                         FaultPolicy::Off);
+        EXPECT_EQ(run.planned, base.planned);
+        ASSERT_EQ(run.c, base.c);
+        EXPECT_EQ(run.counters, base.counters);
+    }
+    // Panels do not exist under the Modeled kernel: the plan arms
+    // nothing and the output is clean.
+    const FaultRun modeled =
+        runWithFault(FaultSite::ClusterPanelA, FaultModel::BitFlip, 321,
+                     1, KernelMode::Modeled, FaultPolicy::Off);
+    EXPECT_TRUE(modeled.planned.empty());
+    EXPECT_EQ(modeled.c, Operands::instance().golden);
+}
+
+TEST(FaultDeterminism, AccumulatorAndIpFlipsAlwaysCorrupt)
+{
+    // Accumulator and inner-product coordinates always name a real
+    // in-range cell, so a 1-bit flip is never masked by padding.
+    for (const FaultSite site :
+         {FaultSite::Accumulator, FaultSite::BsIpResult}) {
+        const FaultRun run = runWithFault(site, FaultModel::BitFlip, 55,
+                                          3, KernelMode::Fast,
+                                          FaultPolicy::Off);
+        EXPECT_NE(run.c, Operands::instance().golden)
+            << faultSiteName(site);
+        EXPECT_EQ(run.injected, 1u) << faultSiteName(site);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Policy transparency: clean runs
+// ---------------------------------------------------------------------
+
+TEST(FaultPolicyTest, CleanRunsBitwiseIdenticalAcrossPolicies)
+{
+    const Operands &ops = Operands::instance();
+    BlockingParams off = Operands::blocking();
+    off.fault_policy = FaultPolicy::Off;
+    const MixGemmResult base = mixGemm(ops.a, ops.b, off);
+    EXPECT_EQ(base.c, ops.golden);
+
+    for (const FaultPolicy policy :
+         {FaultPolicy::Detect, FaultPolicy::DetectRetry,
+          FaultPolicy::DetectFallback}) {
+        for (const KernelMode mode :
+             {KernelMode::Fast, KernelMode::Modeled}) {
+            BlockingParams params = Operands::blocking();
+            params.fault_policy = policy;
+            params.kernel_mode = mode;
+            params.threads = 3;
+            const MixGemmResult run = mixGemm(ops.a, ops.b, params);
+            ASSERT_EQ(run.c, base.c) << faultPolicyName(policy);
+            EXPECT_EQ(run.abft.tiles_flagged, 0u);
+            EXPECT_EQ(run.abft.tiles_checked, 4u);
+            EXPECT_FALSE(run.abft.fell_back);
+            // The compute counters (everything except the ABFT
+            // bookkeeping) must match the Off run exactly.
+            for (const auto &[name, value] : base.counters.all()) {
+                EXPECT_EQ(run.counters.get(name), value)
+                    << faultPolicyName(policy) << " " << name;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Detection, correction, and graceful degradation
+// ---------------------------------------------------------------------
+
+TEST(FaultPolicyTest, DetectFlagsButReturnsCorruptOutput)
+{
+    const FaultRun run =
+        runWithFault(FaultSite::Accumulator, FaultModel::BitFlip, 99, 1,
+                     KernelMode::Fast, FaultPolicy::Detect);
+    EXPECT_NE(run.c, Operands::instance().golden);
+    EXPECT_EQ(run.abft.tiles_flagged, 1u);
+    EXPECT_EQ(run.abft.retries, 0u);
+    EXPECT_EQ(run.abft.tiles_corrected, 0u);
+}
+
+TEST(FaultPolicyTest, DetectRetryCorrectsTransientFaults)
+{
+    for (const FaultSite site :
+         {FaultSite::Accumulator, FaultSite::BsIpResult}) {
+        for (const KernelMode mode :
+             {KernelMode::Fast, KernelMode::Modeled}) {
+            for (const unsigned threads : {1u, 3u}) {
+                const FaultRun run =
+                    runWithFault(site, FaultModel::BitFlip, 77, threads,
+                                 mode, FaultPolicy::DetectRetry);
+                const std::string label =
+                    std::string(faultSiteName(site)) +
+                    (mode == KernelMode::Fast ? " fast" : " modeled");
+                ASSERT_EQ(run.c, Operands::instance().golden) << label;
+                EXPECT_EQ(run.abft.tiles_flagged, 1u) << label;
+                EXPECT_EQ(run.abft.tiles_corrected, 1u) << label;
+                EXPECT_EQ(run.abft.tiles_uncorrected, 0u) << label;
+                EXPECT_GE(run.abft.retries, 1u) << label;
+            }
+        }
+    }
+}
+
+TEST(FaultPolicyTest, DetectRetryHealsCorruptedPanelsViaModeledBackoff)
+{
+    // A cluster-panel fault persists across same-kernel retries (the
+    // corrupted cache is reread), so correction must come from the
+    // retry ladder's Modeled backoff, which bypasses the panels.
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        const FaultRun run =
+            runWithFault(FaultSite::ClusterPanelA, FaultModel::BitFlip,
+                         seed, 1, KernelMode::Fast,
+                         FaultPolicy::DetectRetry);
+        ASSERT_EQ(run.c, Operands::instance().golden)
+            << "seed " << seed;
+        EXPECT_EQ(run.abft.tiles_uncorrected, 0u);
+    }
+}
+
+TEST(FaultPolicyTest, StuckAtAccumulatorHonestlyUncorrected)
+{
+    // A stuck-at accumulator bit reapplies on every recompute; if it
+    // corrupts at all, retries cannot fix it and the driver must say so.
+    const FaultRun run =
+        runWithFault(FaultSite::Accumulator, FaultModel::StuckAt1, 13, 1,
+                     KernelMode::Fast, FaultPolicy::DetectRetry);
+    if (run.abft.tiles_flagged > 0) {
+        EXPECT_EQ(run.abft.tiles_corrected, 0u);
+        EXPECT_EQ(run.abft.tiles_uncorrected, run.abft.tiles_flagged);
+        EXPECT_NE(run.c, Operands::instance().golden);
+    } else {
+        // The forced bit already held that value: no corruption at all.
+        EXPECT_EQ(run.c, Operands::instance().golden);
+    }
+}
+
+TEST(FaultPolicyTest, DetectFallbackDegradesWholeGemm)
+{
+    const FaultRun run =
+        runWithFault(FaultSite::BsIpResult, FaultModel::BitFlip, 202, 3,
+                     KernelMode::Fast, FaultPolicy::DetectFallback);
+    EXPECT_TRUE(run.abft.fell_back);
+    ASSERT_EQ(run.c, Operands::instance().golden);
+    EXPECT_EQ(run.abft.tiles_uncorrected, 0u);
+}
+
+TEST(FaultPolicyTest, PackedFaultsDetectedAsInputCorruption)
+{
+    // Packed-SRAM corruption changes the operands themselves:
+    // recomputation cannot help, and the tile checksums (built from the
+    // corrupted operands) stay consistent. The operand checksum snapshot
+    // is what must catch it whenever the flip lands on a live element.
+    const FaultRun run =
+        runWithFault(FaultSite::PackedA, FaultModel::BitFlip, 31, 1,
+                     KernelMode::Fast, FaultPolicy::Detect);
+    if (run.c != Operands::instance().golden) {
+        EXPECT_GT(run.abft.input_k_mismatches, 0u);
+    }
+    EXPECT_EQ(run.abft.tiles_flagged, 0u);
+}
+
+TEST(FaultPolicyTest, FaultCountersFlowIntoCounterSet)
+{
+    const FaultRun run =
+        runWithFault(FaultSite::Accumulator, FaultModel::BitFlip, 99, 1,
+                     KernelMode::Fast, FaultPolicy::DetectRetry);
+    auto get = [&](const std::string &name) -> uint64_t {
+        for (const auto &[key, value] : run.counters)
+            if (key == name)
+                return value;
+        return 0;
+    };
+    EXPECT_EQ(get("faults_injected"), run.injected);
+    EXPECT_EQ(get("abft_tiles_checked"), 4u);
+    EXPECT_EQ(get("abft_tiles_flagged"), 1u);
+    EXPECT_EQ(get("abft_tiles_corrected"), 1u);
+    EXPECT_GE(get("abft_retries"), 1u);
+}
+
+TEST(FaultPolicyTest, MultiBitUpsetsDetectedAndCorrected)
+{
+    const FaultRun run = runWithFault(FaultSite::Accumulator,
+                                      FaultModel::BitFlip, 404, 3,
+                                      KernelMode::Fast,
+                                      FaultPolicy::DetectRetry,
+                                      /*max_faults=*/3, /*bits=*/3);
+    ASSERT_EQ(run.c, Operands::instance().golden);
+    EXPECT_GE(run.abft.tiles_flagged, 1u);
+    EXPECT_EQ(run.abft.tiles_uncorrected, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Campaign smoke: the sweep engine agrees with the single-run contracts
+// ---------------------------------------------------------------------
+
+TEST(FaultCampaignTest, SmallCampaignMeetsCoverageContract)
+{
+    CampaignConfig config;
+    config.m = 24;
+    config.n = 20;
+    config.k = 48;
+    config.runs_per_cell = 3;
+    config.sites = {FaultSite::Accumulator};
+    config.policies = {FaultPolicy::Detect, FaultPolicy::DetectRetry};
+    const CampaignResult result = runFaultCampaign(config);
+
+    ASSERT_EQ(result.cells.size(), 2u);
+    EXPECT_TRUE(result.clean_runs_identical);
+    EXPECT_GT(result.clean_detect_secs, 0.0);
+    for (const CampaignCell &cell : result.cells) {
+        // Single-bit accumulator flips: every corrupting fault detected.
+        EXPECT_EQ(cell.escaped_runs, 0u);
+        EXPECT_EQ(cell.detected_runs, cell.runs);
+        if (cell.policy == FaultPolicy::DetectRetry) {
+            EXPECT_EQ(cell.corrected_runs, cell.runs);
+            EXPECT_EQ(cell.corrupted_runs, 0u);
+            EXPECT_DOUBLE_EQ(cell.min_accuracy, 1.0);
+        } else {
+            EXPECT_EQ(cell.corrupted_runs, cell.runs);
+        }
+    }
+    // The artifact parses as non-empty JSON-looking text with the two
+    // cells present (full JSON validation lives in the CI workflow).
+    const std::string json = result.toJson();
+    EXPECT_NE(json.find("\"detection_coverage\": 1"), std::string::npos);
+    EXPECT_NE(json.find("detect_retry"), std::string::npos);
+}
+
+TEST(FaultCampaignTest, CampaignIsSeedReproducible)
+{
+    CampaignConfig config;
+    config.m = 16;
+    config.n = 12;
+    config.k = 32;
+    config.runs_per_cell = 2;
+    config.threads = 3;
+    config.sites = {FaultSite::Accumulator, FaultSite::PackedB};
+    config.policies = {FaultPolicy::Off, FaultPolicy::Detect};
+    const CampaignResult one = runFaultCampaign(config);
+    config.threads = 1;
+    const CampaignResult two = runFaultCampaign(config);
+    ASSERT_EQ(one.cells.size(), two.cells.size());
+    for (size_t i = 0; i < one.cells.size(); ++i) {
+        EXPECT_EQ(one.cells[i].corrupted_runs, two.cells[i].corrupted_runs);
+        EXPECT_EQ(one.cells[i].detected_runs, two.cells[i].detected_runs);
+        EXPECT_EQ(one.cells[i].faults_injected,
+                  two.cells[i].faults_injected);
+        EXPECT_DOUBLE_EQ(one.cells[i].mean_accuracy,
+                         two.cells[i].mean_accuracy);
+    }
+}
+
+} // namespace
+} // namespace mixgemm

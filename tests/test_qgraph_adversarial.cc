@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Adversarial deserialization tests for QuantizedGraph: hostile model
+ * bytes — truncations, huge counts, out-of-range geometry, smuggled
+ * quantization parameters, weight codes outside the declared format,
+ * trailing garbage, and raw byte noise — must come back as structured
+ * Status errors from tryDeserialize(), never as a crash or a silently
+ * wrong graph. These run under ASan/UBSan in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "runtime/qgraph.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+/** A small valid graph: one quantized linear layer plus a relu. */
+QuantizedGraph
+makeGraph()
+{
+    QNode lin;
+    lin.kind = QNode::Kind::kLinear;
+    lin.spec.in_c = 4;
+    lin.spec.out_c = 3;
+    lin.spec.kh = lin.spec.kw = 1;
+    lin.spec.in_h = lin.spec.in_w = 1;
+    lin.weights_q = {10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21};
+    lin.bias = {0.5, -1.25, 2.0};
+    QNode relu;
+    relu.kind = QNode::Kind::kRelu;
+    return QuantizedGraph({lin, relu});
+}
+
+/** Replace the first occurrence of @p from; asserts it exists. */
+std::string
+replaceFirst(std::string text, const std::string &from,
+             const std::string &to)
+{
+    const size_t pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << "pattern not found: " << from;
+    if (pos != std::string::npos)
+        text.replace(pos, from.size(), to);
+    return text;
+}
+
+TEST(QGraphAdversarialTest, ValidTextRoundTrips)
+{
+    const QuantizedGraph graph = makeGraph();
+    const std::string text = graph.serialize();
+    const auto back = QuantizedGraph::tryDeserialize(text);
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    ASSERT_EQ(back->nodes().size(), 2u);
+    const QNode &lin = back->nodes()[0];
+    EXPECT_EQ(lin.kind, QNode::Kind::kLinear);
+    EXPECT_EQ(lin.spec.in_c, 4u);
+    EXPECT_EQ(lin.spec.out_c, 3u);
+    EXPECT_EQ(lin.weights_q, graph.nodes()[0].weights_q);
+    EXPECT_EQ(lin.bias, graph.nodes()[0].bias);
+    EXPECT_DOUBLE_EQ(lin.w_params.scale, 1.0);
+    EXPECT_EQ(back->nodes()[1].kind, QNode::Kind::kRelu);
+    // The round trip is a fixed point of serialization.
+    EXPECT_EQ(back->serialize(), text);
+}
+
+TEST(QGraphAdversarialTest, BadMagicRejected)
+{
+    const auto r = QuantizedGraph::tryDeserialize("onnx-model-v7\n1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize("").ok());
+}
+
+TEST(QGraphAdversarialTest, HugeNodeCountRejectedBeforeAllocation)
+{
+    // A count the input cannot possibly hold must be rejected by the
+    // length bound, not turned into a multi-gigabyte reserve.
+    const auto r = QuantizedGraph::tryDeserialize(
+        "mixgemm-qgraph-v1\n987654321\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+    EXPECT_FALSE(
+        QuantizedGraph::tryDeserialize("mixgemm-qgraph-v1\n0\n").ok());
+    EXPECT_FALSE(
+        QuantizedGraph::tryDeserialize("mixgemm-qgraph-v1\n-3\n").ok());
+}
+
+TEST(QGraphAdversarialTest, EveryTruncationFailsCleanly)
+{
+    const std::string text = makeGraph().serialize();
+    // Prefixes that end before the last payload record begins can never
+    // form a complete graph; each must fail with a structured error.
+    const size_t last_record = text.rfind("bias");
+    ASSERT_NE(last_record, std::string::npos);
+    for (size_t len = 0; len < last_record; ++len) {
+        const auto r = QuantizedGraph::tryDeserialize(
+            text.substr(0, len));
+        EXPECT_FALSE(r.ok()) << "prefix of length " << len;
+    }
+    // Longer prefixes may cut inside a trailing numeric literal and
+    // still parse; the requirement there is only no crash / no UB
+    // (exercised under the sanitizers).
+    for (size_t len = last_record; len < text.size(); ++len)
+        QuantizedGraph::tryDeserialize(text.substr(0, len));
+}
+
+TEST(QGraphAdversarialTest, UnknownNodeKindRejected)
+{
+    const std::string text =
+        replaceFirst(makeGraph().serialize(), "node linear",
+                     "node blinear");
+    const auto r = QuantizedGraph::tryDeserialize(text);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(QGraphAdversarialTest, GeometryOutOfRangeRejected)
+{
+    const std::string text = makeGraph().serialize();
+    // Zero channels.
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "4 3 1 0", "0 3 1 0"))
+                     .ok());
+    // Extent above the 2^16 bound.
+    const auto huge = QuantizedGraph::tryDeserialize(
+        replaceFirst(text, "4 3 1 0", "4 70000 1 0"));
+    ASSERT_FALSE(huge.ok());
+    EXPECT_EQ(huge.status().code(), StatusCode::kInvalidArgument);
+    // Negative geometry does not wrap around into a huge unsigned.
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "4 3 1 0", "-4 3 1 0"))
+                     .ok());
+}
+
+TEST(QGraphAdversarialTest, DepthwiseChannelMismatchRejected)
+{
+    const auto r = QuantizedGraph::tryDeserialize(
+        "mixgemm-qgraph-v1\n1\nnode depthwise\n4 5 3 1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QGraphAdversarialTest, SmuggledQuantParamsRejected)
+{
+    const std::string text = makeGraph().serialize();
+    // Zero scale would divide-by-zero every requantization.
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "a_params 8 1 0 1",
+                                  "a_params 8 1 0 0"))
+                     .ok());
+    // A 0- or 40-bit format would shift out of the int32 domain.
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "a_params 8 1 0 1",
+                                  "a_params 0 1 0 1"))
+                     .ok());
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "w_params 8 1 0 1",
+                                  "w_params 40 1 0 1"))
+                     .ok());
+    // Zero point outside the declared clamp range.
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "w_params 8 1 0 1",
+                                  "w_params 8 1 200 1"))
+                     .ok());
+}
+
+TEST(QGraphAdversarialTest, WeightViolationsRejected)
+{
+    const std::string text = makeGraph().serialize();
+    // Count disagreeing with the layer geometry (both directions).
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "weights 12", "weights 11"))
+                     .ok());
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "weights 12", "weights 13"))
+                     .ok());
+    // A weight code outside the declared 8-bit signed range.
+    const auto hot = QuantizedGraph::tryDeserialize(
+        replaceFirst(text, "10 11", "300 11"));
+    ASSERT_FALSE(hot.ok());
+    EXPECT_EQ(hot.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QGraphAdversarialTest, BiasViolationsRejected)
+{
+    const std::string text = makeGraph().serialize();
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "bias 3", "bias 2"))
+                     .ok());
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "0.5 -1.25 2", "0.5 nan 2"))
+                     .ok());
+}
+
+TEST(QGraphAdversarialTest, TrailingGarbageRejected)
+{
+    const std::string text = makeGraph().serialize();
+    const auto r = QuantizedGraph::tryDeserialize(text + "node relu\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+    // An understated node count turns the remaining records into
+    // trailing garbage.
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "\n2\n", "\n1\n"))
+                     .ok());
+    // An overstated count runs out of records.
+    EXPECT_FALSE(QuantizedGraph::tryDeserialize(
+                     replaceFirst(text, "\n2\n", "\n3\n"))
+                     .ok());
+}
+
+TEST(QGraphAdversarialTest, RandomBytesNeverCrash)
+{
+    Rng rng(0xADBEEF);
+    for (unsigned iter = 0; iter < 200; ++iter) {
+        std::string noise(rng.next() % 256, '\0');
+        for (auto &c : noise)
+            c = static_cast<char>(rng.next() & 0xFF);
+        const auto r = QuantizedGraph::tryDeserialize(noise);
+        EXPECT_FALSE(r.ok()); // noise cannot spell the magic
+    }
+}
+
+TEST(QGraphAdversarialTest, MutatedValidTextNeverCrashes)
+{
+    const std::string text = makeGraph().serialize();
+    Rng rng(0xF00D);
+    for (unsigned iter = 0; iter < 300; ++iter) {
+        std::string mutated = text;
+        const unsigned edits = 1 + rng.next() % 4;
+        for (unsigned e = 0; e < edits; ++e)
+            mutated[rng.next() % mutated.size()] =
+                static_cast<char>(rng.next() & 0xFF);
+        // Must return — ok or error — without UB; if it parses, the
+        // graph it built satisfies the structural invariants.
+        const auto r = QuantizedGraph::tryDeserialize(mutated);
+        if (!r.ok())
+            continue;
+        for (const QNode &n : r->nodes()) {
+            if (n.kind == QNode::Kind::kLinear) {
+                EXPECT_EQ(n.weights_q.size(),
+                          n.spec.gemmK() * n.spec.gemmN() *
+                              n.spec.groups);
+            }
+        }
+    }
+}
+
+TEST(QGraphAdversarialTest, ThrowingWrapperRaisesFatalError)
+{
+    EXPECT_THROW(QuantizedGraph::deserialize("garbage"), FatalError);
+    const std::string text = makeGraph().serialize();
+    EXPECT_EQ(QuantizedGraph::deserialize(text).nodes().size(), 2u);
+}
+
+} // namespace
+} // namespace mixgemm

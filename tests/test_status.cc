@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Status/Expected boundary tests: the checked entry points (tryMixGemm,
+ * tryCompressA/B, tryComputeBsGeometry, makeQuantParams,
+ * BlockingParams::validateStatus) must turn every class of bad external
+ * input into a structured error — never a crash, never silent garbage —
+ * while their success paths stay bitwise-identical to the throwing
+ * APIs. Includes a randomized property sweep fuzzing the packing
+ * round-trip with hostile shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <limits>
+#include <vector>
+
+#include "bs/geometry.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "gemm/mixgemm.h"
+#include "quant/quantizer.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+std::vector<int32_t>
+randomNarrowMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(elems);
+    const int64_t lo = is_signed ? -(int64_t{1} << (bw - 1)) : 0;
+    const int64_t hi = is_signed ? (int64_t{1} << (bw - 1)) - 1
+                                 : (int64_t{1} << bw) - 1;
+    for (auto &v : data)
+        v = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    return data;
+}
+
+// ---------------------------------------------------------------------
+// Status / Expected core semantics
+// ---------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOkAndFactoriesCarryCodeAndMessage)
+{
+    const Status ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.code(), StatusCode::kOk);
+    EXPECT_EQ(ok.toString(), "ok");
+
+    const Status bad = Status::invalidArgument("negative width");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(bad.message(), "negative width");
+    EXPECT_EQ(bad.toString(), "invalid_argument: negative width");
+
+    EXPECT_EQ(Status::outOfRange("x").code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(Status::dataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, ExpectedHoldsValueOrError)
+{
+    Expected<int> good(7);
+    EXPECT_TRUE(good.ok());
+    EXPECT_TRUE(static_cast<bool>(good));
+    EXPECT_EQ(*good, 7);
+    EXPECT_EQ(good.value(), 7);
+    EXPECT_TRUE(good.status().ok());
+
+    Expected<int> bad(Status::outOfRange("index 9 of 4"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+    // Reading the wrong alternative is a caller bug and panics.
+    EXPECT_THROW(bad.value(), PanicError);
+    // Constructing an error Expected from an ok Status is also a bug.
+    EXPECT_THROW(Expected<int>{Status{}}, PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Checked boundary: blocking and GEMM
+// ---------------------------------------------------------------------
+
+TEST(CheckedBoundaryTest, BlockingValidateStatus)
+{
+    EXPECT_TRUE(BlockingParams::paperDefaults().validateStatus().ok());
+    BlockingParams zero;
+    zero.kc = 0;
+    EXPECT_FALSE(zero.validateStatus().ok());
+    BlockingParams micro;
+    micro.mr = 8;
+    micro.mc = 4;
+    EXPECT_FALSE(micro.validateStatus().ok());
+}
+
+TEST(CheckedBoundaryTest, TryMixGemmRejectsMismatchedOperands)
+{
+    const BsGeometry g8 = computeBsGeometry(DataSizeConfig{8, 8, true,
+                                                           true});
+    const BsGeometry g4 = computeBsGeometry(DataSizeConfig{4, 4, true,
+                                                           true});
+    Rng rng(7);
+    const auto a_data = randomNarrowMatrix(rng, 8 * 16, 8, true);
+    const auto b16 = randomNarrowMatrix(rng, 16 * 4, 8, true);
+    const auto b24 = randomNarrowMatrix(rng, 24 * 4, 8, true);
+    const auto b16n4 = randomNarrowMatrix(rng, 16 * 4, 4, true);
+    const CompressedA a(a_data, 8, 16, g8);
+
+    // k mismatch.
+    const auto k_mismatch =
+        tryMixGemm(a, CompressedB(b24, 24, 4, g8));
+    ASSERT_FALSE(k_mismatch.ok());
+    EXPECT_EQ(k_mismatch.status().code(), StatusCode::kInvalidArgument);
+
+    // Data-size configuration mismatch.
+    const auto config_mismatch =
+        tryMixGemm(a, CompressedB(b16n4, 16, 4, g4));
+    ASSERT_FALSE(config_mismatch.ok());
+    EXPECT_EQ(config_mismatch.status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Bad blocking surfaces through the same boundary.
+    BlockingParams bad;
+    bad.mc = 0;
+    EXPECT_FALSE(tryMixGemm(a, CompressedB(b16, 16, 4, g8), bad).ok());
+
+    // And the success path matches the throwing API bitwise.
+    const CompressedB b(b16, 16, 4, g8);
+    const auto checked = tryMixGemm(a, b);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_EQ(checked->c, mixGemm(a, b).c);
+}
+
+TEST(CheckedBoundaryTest, TryComputeBsGeometry)
+{
+    const auto good = tryComputeBsGeometry(DataSizeConfig{8, 4, true,
+                                                          true});
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good->cw,
+              computeBsGeometry(DataSizeConfig{8, 4, true, true}).cw);
+
+    EXPECT_FALSE(
+        tryComputeBsGeometry(DataSizeConfig{1, 8, true, true}).ok());
+    EXPECT_FALSE(
+        tryComputeBsGeometry(DataSizeConfig{8, 9, true, true}).ok());
+    // A multiplier too narrow for even a single-element cluster.
+    EXPECT_FALSE(tryComputeBsGeometry(DataSizeConfig{8, 8, true, true},
+                                      /*mul_width=*/8)
+                     .ok());
+}
+
+// ---------------------------------------------------------------------
+// Checked boundary: quantizer parameters
+// ---------------------------------------------------------------------
+
+TEST(CheckedBoundaryTest, MakeQuantParams)
+{
+    const auto good = makeQuantParams(0.05, 3, 8, false);
+    ASSERT_TRUE(good.ok());
+    EXPECT_DOUBLE_EQ(good->scale, 0.05);
+    EXPECT_EQ(good->zero_point, 3);
+
+    EXPECT_FALSE(makeQuantParams(0.0, 0, 8, true).ok());
+    EXPECT_FALSE(makeQuantParams(-1.0, 0, 8, true).ok());
+    EXPECT_FALSE(makeQuantParams(
+                     std::numeric_limits<double>::infinity(), 0, 8, true)
+                     .ok());
+    EXPECT_FALSE(makeQuantParams(
+                     std::numeric_limits<double>::quiet_NaN(), 0, 8, true)
+                     .ok());
+    EXPECT_FALSE(makeQuantParams(1.0, 0, 0, true).ok());
+    EXPECT_FALSE(makeQuantParams(1.0, 0, 17, true).ok());
+    // Zero point outside the clamp range of the format.
+    EXPECT_FALSE(makeQuantParams(1.0, 300, 8, false).ok());
+    EXPECT_FALSE(makeQuantParams(1.0, -200, 8, true).ok());
+}
+
+// ---------------------------------------------------------------------
+// Checked boundary: operand compression
+// ---------------------------------------------------------------------
+
+TEST(CheckedBoundaryTest, TryCompressRejectsBadOperands)
+{
+    const BsGeometry geometry =
+        computeBsGeometry(DataSizeConfig{4, 4, true, true});
+    const std::vector<int32_t> data(12, 1);
+
+    // Empty shapes.
+    EXPECT_EQ(tryCompressA({}, 0, 4, geometry).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(tryCompressA({}, 4, 0, geometry).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(tryCompressB({}, 0, 4, geometry).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Buffer size vs shape mismatch.
+    EXPECT_EQ(tryCompressA(data, 3, 5, geometry).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(tryCompressB(data, 5, 3, geometry).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Shape product overflow must be caught, not wrapped.
+    const uint64_t huge = uint64_t{1} << 63;
+    EXPECT_EQ(tryCompressA(data, huge, huge, geometry).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Elements outside the narrow format.
+    std::vector<int32_t> hot = data;
+    hot[7] = 8; // int4 signed holds [-8, 7]
+    EXPECT_EQ(tryCompressA(hot, 3, 4, geometry).status().code(),
+              StatusCode::kOutOfRange);
+    hot[7] = -9;
+    EXPECT_EQ(tryCompressB(hot, 4, 3, geometry).status().code(),
+              StatusCode::kOutOfRange);
+
+    // Unsigned formats reject negatives.
+    const BsGeometry ugeom =
+        computeBsGeometry(DataSizeConfig{4, 4, false, false});
+    hot[7] = -1;
+    EXPECT_EQ(tryCompressA(hot, 3, 4, ugeom).status().code(),
+              StatusCode::kOutOfRange);
+}
+
+/**
+ * Property sweep: hostile shapes — k far from a multiple of the group
+ * extent or the μ-vector element count, single rows/columns, k = 1 —
+ * must either compress and decode back exactly, or fail with a
+ * structured error. Valid-by-construction data must always succeed.
+ */
+TEST(CheckedBoundaryTest, PackingRoundTripFuzz)
+{
+    Rng rng(20260806);
+    const std::vector<DataSizeConfig> configs = {
+        {8, 8, true, true},  {8, 6, true, true},  {6, 4, false, true},
+        {4, 4, false, false}, {3, 5, true, false}, {2, 2, true, true},
+    };
+    const uint64_t dims[] = {1, 2, 3, 5, 7, 9, 13, 17, 31, 33};
+
+    for (const DataSizeConfig &config : configs) {
+        const BsGeometry geometry = computeBsGeometry(config);
+        for (unsigned iter = 0; iter < 24; ++iter) {
+            const uint64_t rows = dims[rng.next() % std::size(dims)];
+            const uint64_t cols = dims[rng.next() % std::size(dims)];
+
+            const auto a_data = randomNarrowMatrix(
+                rng, rows * cols, config.bwa, config.a_signed);
+            const auto a = tryCompressA(a_data, rows, cols, geometry);
+            ASSERT_TRUE(a.ok())
+                << config.name() << " " << rows << "x" << cols << ": "
+                << a.status().toString();
+            for (uint64_t r = 0; r < rows; ++r)
+                for (uint64_t c = 0; c < cols; ++c)
+                    ASSERT_EQ(a->element(r, c), a_data[r * cols + c])
+                        << config.name() << " A(" << r << "," << c << ")";
+
+            const auto b_data = randomNarrowMatrix(
+                rng, rows * cols, config.bwb, config.b_signed);
+            const auto b = tryCompressB(b_data, rows, cols, geometry);
+            ASSERT_TRUE(b.ok())
+                << config.name() << " " << rows << "x" << cols << ": "
+                << b.status().toString();
+            for (uint64_t r = 0; r < rows; ++r)
+                for (uint64_t c = 0; c < cols; ++c)
+                    ASSERT_EQ(b->element(c, r), b_data[r * cols + c])
+                        << config.name() << " B(" << r << "," << c << ")";
+
+            // The same data with one element nudged out of range must
+            // be rejected, never mis-packed.
+            auto hostile = a_data;
+            const size_t victim = rng.next() % hostile.size();
+            hostile[victim] = config.a_signed
+                ? (int32_t{1} << (config.bwa - 1))
+                : -1;
+            EXPECT_FALSE(
+                tryCompressA(hostile, rows, cols, geometry).ok());
+        }
+    }
+}
+
+/** Extreme zero points at the format edges stay valid and round-trip. */
+TEST(CheckedBoundaryTest, QuantParamsEdgeZeroPoints)
+{
+    for (const bool is_signed : {true, false}) {
+        for (const unsigned bits : {2u, 8u, 16u}) {
+            QuantParams probe;
+            probe.bits = bits;
+            probe.is_signed = is_signed;
+            for (const int32_t zp : {probe.qmin(), probe.qmax()}) {
+                const auto params =
+                    makeQuantParams(0.125, zp, bits, is_signed);
+                ASSERT_TRUE(params.ok());
+                // quantize clamps into range around the extreme zero
+                // point; dequantize(quantize(0)) stays near zero.
+                const int32_t q = quantize(0.0, *params);
+                EXPECT_GE(q, params->qmin());
+                EXPECT_LE(q, params->qmax());
+            }
+            // One past either edge is invalid.
+            QuantParams edges;
+            edges.bits = bits;
+            edges.is_signed = is_signed;
+            EXPECT_FALSE(makeQuantParams(0.125, edges.qmax() + 1, bits,
+                                         is_signed)
+                             .ok());
+            EXPECT_FALSE(makeQuantParams(0.125, edges.qmin() - 1, bits,
+                                         is_signed)
+                             .ok());
+        }
+    }
+}
+
+} // namespace
+} // namespace mixgemm

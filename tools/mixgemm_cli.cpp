@@ -17,6 +17,16 @@
  *       List all 49 supported data-size configurations with their
  *       μ-engine geometry.
  *
+ *   mixgemm-cli fault-campaign [config] [--m M --n N --k K]
+ *       [--network name [--layers N]] [--seed S] [--runs N]
+ *       [--max-faults N] [--bits N] [--threads N] [--modeled]
+ *       [--site s]... [--fault-model m]... [--policy p]...
+ *       [--out report.json]
+ *       Seeded fault-injection sweep (sites x models x ABFT policies)
+ *       over one GEMM shape or a network's first layer shapes; emits a
+ *       JSON report of detection coverage, correction rate,
+ *       accuracy-under-faults, and clean-run ABFT overhead.
+ *
  * Observability (gemm and network): --trace <file.json> records a
  * Chrome/Perfetto trace_event file, --report <file.json> a structured
  * run report. Either flag switches the command to additionally
@@ -30,12 +40,14 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "accuracy/qat_database.h"
+#include "fault/campaign.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/table.h"
@@ -341,6 +353,98 @@ cmdDse(int argc, char **argv)
 }
 
 int
+cmdFaultCampaign(int argc, char **argv)
+{
+    CampaignConfig config;
+    std::string out_path;
+    for (int i = 0; i < argc; ++i) {
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal(strCat("missing value for ", flag));
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--m") == 0)
+            config.m = std::stoull(value("--m"));
+        else if (std::strcmp(argv[i], "--n") == 0)
+            config.n = std::stoull(value("--n"));
+        else if (std::strcmp(argv[i], "--k") == 0)
+            config.k = std::stoull(value("--k"));
+        else if (std::strcmp(argv[i], "--network") == 0)
+            config.network = parseModel(value("--network")).name;
+        else if (std::strcmp(argv[i], "--layers") == 0)
+            config.max_layers = static_cast<unsigned>(
+                std::stoul(value("--layers")));
+        else if (std::strcmp(argv[i], "--seed") == 0)
+            config.base_seed = std::stoull(value("--seed"));
+        else if (std::strcmp(argv[i], "--runs") == 0)
+            config.runs_per_cell = static_cast<unsigned>(
+                std::stoul(value("--runs")));
+        else if (std::strcmp(argv[i], "--max-faults") == 0)
+            config.max_faults = static_cast<unsigned>(
+                std::stoul(value("--max-faults")));
+        else if (std::strcmp(argv[i], "--bits") == 0)
+            config.bits_per_fault = static_cast<unsigned>(
+                std::stoul(value("--bits")));
+        else if (std::strcmp(argv[i], "--threads") == 0)
+            config.threads = static_cast<unsigned>(
+                std::stoul(value("--threads")));
+        else if (std::strcmp(argv[i], "--modeled") == 0)
+            config.kernel_mode = KernelMode::Modeled;
+        else if (std::strcmp(argv[i], "--site") == 0) {
+            const auto site = faultSiteFromName(value("--site"));
+            if (!site.ok())
+                fatal(site.status().toString());
+            config.sites.push_back(*site);
+        } else if (std::strcmp(argv[i], "--fault-model") == 0) {
+            const auto model = faultModelFromName(value("--fault-model"));
+            if (!model.ok())
+                fatal(model.status().toString());
+            config.models.push_back(*model);
+        } else if (std::strcmp(argv[i], "--policy") == 0) {
+            const auto policy = faultPolicyFromName(value("--policy"));
+            if (!policy.ok())
+                fatal(policy.status().toString());
+            config.policies.push_back(*policy);
+        } else if (std::strcmp(argv[i], "--out") == 0)
+            out_path = value("--out");
+        else
+            config.config = parseConfig(argv[i]);
+    }
+
+    const CampaignResult result = runFaultCampaign(config);
+
+    Table t({"site", "model", "policy", "corrupted", "detected",
+             "corrected", "escaped", "min acc"});
+    for (const auto &cell : result.cells)
+        t.addRow({faultSiteName(cell.site), faultModelName(cell.model),
+                  faultPolicyName(cell.policy),
+                  strCat(cell.corrupted_runs, "/", cell.runs),
+                  std::to_string(cell.detected_runs),
+                  std::to_string(cell.corrected_runs),
+                  std::to_string(cell.escaped_runs),
+                  Table::fmt(cell.min_accuracy, 3)});
+    t.print(std::cout);
+    std::cout << "clean ABFT overhead: "
+              << Table::fmt(100.0 * result.abft_overhead, 1)
+              << " % (off " << Table::fmt(result.clean_off_secs * 1e3, 2)
+              << " ms, detect "
+              << Table::fmt(result.clean_detect_secs * 1e3, 2)
+              << " ms); clean runs identical across policies: "
+              << (result.clean_runs_identical ? "yes" : "NO") << "\n";
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os)
+            fatal(strCat("cannot open ", out_path, " for writing"));
+        os << result.toJson();
+        std::cout << "campaign report written to " << out_path << "\n";
+    } else {
+        std::cout << result.toJson();
+    }
+    return result.clean_runs_identical ? 0 : 1;
+}
+
+int
 cmdConfigs()
 {
     Table t({"config", "MAC/cycle", "kua/kub", "group extent",
@@ -365,7 +469,8 @@ main(int argc, char **argv)
     try {
         if (argc < 2) {
             std::cerr << "usage: mixgemm-cli "
-                         "<gemm|network|dse|configs> ...\n";
+                         "<gemm|network|dse|configs|fault-campaign> "
+                         "...\n";
             return 2;
         }
         const std::string cmd = argv[1];
@@ -377,6 +482,8 @@ main(int argc, char **argv)
             return cmdDse(argc - 2, argv + 2);
         if (cmd == "configs")
             return cmdConfigs();
+        if (cmd == "fault-campaign")
+            return cmdFaultCampaign(argc - 2, argv + 2);
         std::cerr << "unknown command '" << cmd << "'\n";
         return 2;
     } catch (const std::exception &e) {
