@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Bounded MPMC queue for the inference serving runtime.
+ *
+ * The admission queue of a server under overload must *reject* work,
+ * not grow: an unbounded queue converts a traffic spike into unbounded
+ * memory growth and unbounded latency for everything behind the spike.
+ * This queue has a hard capacity; producers that find it full either
+ * fail fast (tryPush) or displace the least-valuable queued entry
+ * (pushEvicting — the serving layer's shed-lowest-priority-first
+ * admission control), and consumers block until work or close().
+ *
+ * All operations take one mutex; at serving request granularity
+ * (milliseconds of GEMM per entry) the lock is never contended enough
+ * to matter, and a single critical section is what makes the
+ * evict-or-reject decision atomic under concurrent producers.
+ */
+
+#ifndef MIXGEMM_COMMON_BOUNDED_QUEUE_H
+#define MIXGEMM_COMMON_BOUNDED_QUEUE_H
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+/** Outcome of a pushEvicting() admission attempt. */
+enum class QueuePush
+{
+    kPushed,        ///< there was room
+    kPushedEvicted, ///< full: a lower-value entry was displaced
+    kRejected,      ///< full: nothing queued was worth displacing
+    kClosed,        ///< queue is closed to producers
+};
+
+/** Bounded MPMC queue. T must be movable. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity)
+    {
+        if (capacity == 0)
+            fatal("BoundedQueue: capacity must be at least 1");
+    }
+
+    /** Enqueue; false when full or closed. */
+    bool tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue, displacing the least-valuable entry when full.
+     * @p retain_less orders entries by retention value (`a < b` means a
+     * is less worth keeping). When full, the minimum entry is evicted
+     * into @p evicted and replaced by @p item — but only if that
+     * minimum is also less worth keeping than @p item itself;
+     * otherwise the push is rejected and the queue is untouched.
+     * @p item is consumed only on kPushed/kPushedEvicted; on
+     * kRejected/kClosed the caller's object is left intact (so a
+     * rejected request can still be answered through it).
+     */
+    template <typename Less>
+    QueuePush pushEvicting(T &&item, Less retain_less,
+                           std::optional<T> &evicted)
+    {
+        evicted.reset();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return QueuePush::kClosed;
+            if (items_.size() < capacity_) {
+                items_.push_back(std::move(item));
+            } else {
+                auto victim = std::min_element(items_.begin(),
+                                               items_.end(), retain_less);
+                if (!retain_less(*victim, item))
+                    return QueuePush::kRejected;
+                evicted = std::move(*victim);
+                *victim = std::move(item);
+                return QueuePush::kPushedEvicted;
+            }
+        }
+        cv_.notify_one();
+        return QueuePush::kPushed;
+    }
+
+    /** Dequeue without blocking; nullopt when empty. */
+    std::optional<T> tryPop()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return popLocked();
+    }
+
+    /**
+     * Dequeue, blocking until an item arrives or the queue is closed
+     * *and* drained; nullopt only on that closed-and-empty exit.
+     */
+    std::optional<T> popWait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        return popLocked();
+    }
+
+    /**
+     * Close the queue: subsequent pushes fail, blocked consumers wake,
+     * and already-queued items remain poppable (drain-then-exit).
+     */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    std::optional<T> popLocked()
+    {
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> item(std::move(items_.front()));
+        items_.pop_front();
+        return item;
+    }
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_BOUNDED_QUEUE_H

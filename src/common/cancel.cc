@@ -1,0 +1,53 @@
+#include "common/cancel.h"
+
+namespace mixgemm
+{
+
+namespace detail
+{
+
+void
+cancelState(CancelState &state, Status reason)
+{
+    std::lock_guard<std::mutex> lock(state.reason_mutex);
+    if (state.cancelled.load(std::memory_order_relaxed))
+        return; // first cancellation wins
+    state.reason = std::move(reason);
+    state.cancelled.store(true, std::memory_order_release);
+}
+
+} // namespace detail
+
+bool
+CancelToken::poll() const
+{
+    if (!state_)
+        return false;
+    detail::CancelState &s = *state_;
+    const uint64_t index =
+        s.polls.fetch_add(1, std::memory_order_relaxed);
+    if (s.progress)
+        s.progress->fetch_add(1, std::memory_order_relaxed);
+    if (s.poll_hook)
+        s.poll_hook(index);
+    if (s.cancelled.load(std::memory_order_acquire))
+        return true;
+    if (s.deadline_ns && s.clock &&
+        s.clock->nowNs() >= s.deadline_ns) {
+        detail::cancelState(
+            s, Status::deadlineExceeded("deadline expired mid-compute"));
+        return true;
+    }
+    return false;
+}
+
+Status
+CancelToken::status() const
+{
+    if (!cancelled())
+        return Status();
+    std::lock_guard<std::mutex> lock(state_->reason_mutex);
+    return state_->reason;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running compute.
+ *
+ * A CancelSource owns the cancellation state of one request; the
+ * CancelTokens it hands out are cheap shared views that compute loops
+ * poll at natural checkpoints (the Mix-GEMM driver polls at every
+ * jc/ic macro-tile boundary). Cancellation is *cooperative*: nothing is
+ * interrupted mid-tile — the loop observes the flag at its next
+ * checkpoint, stops issuing work, and the caller reports the reason
+ * Status (kCancelled, kDeadlineExceeded, ...) with partial work
+ * discarded.
+ *
+ * A token may also carry an absolute deadline against a Clock: the
+ * first poll at or after the deadline trips the token with
+ * kDeadlineExceeded, so deadline enforcement needs no timer thread.
+ * Every poll additionally bumps an optional external progress counter —
+ * the serving watchdog's heartbeat — and an optional poll hook (tests
+ * only) runs with the poll index, which is how deterministic
+ * cancel-after-N-polls and worker-exception tests are built.
+ *
+ * An untriggered token is bitwise-transparent to the computation it is
+ * attached to: polling reads two atomics and (with a deadline) the
+ * clock, and never influences results — pinned by tests.
+ */
+
+#ifndef MIXGEMM_COMMON_CANCEL_H
+#define MIXGEMM_COMMON_CANCEL_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace mixgemm
+{
+
+namespace detail
+{
+
+/** Shared cancellation state; see file comment for the contract. */
+struct CancelState
+{
+    std::atomic<bool> cancelled{false};
+    std::atomic<uint64_t> polls{0};
+    /// External heartbeat: every poll bumps it (watchdog liveness).
+    std::atomic<uint64_t> *progress = nullptr;
+    uint64_t deadline_ns = 0; ///< absolute; 0 = none
+    const Clock *clock = nullptr;
+    /// Reason for the cancellation. Written exactly once, under the
+    /// mutex, *before* `cancelled` is set (release); readers that saw
+    /// `cancelled` (acquire) then take the mutex to copy it.
+    Status reason;
+    std::mutex reason_mutex;
+    /// Test-only: runs on every poll with the 0-based poll index.
+    /// Must be thread-safe; may throw (exercises worker-exception
+    /// handling) or cancel the source (deterministic cancellation).
+    std::function<void(uint64_t)> poll_hook;
+};
+
+void cancelState(CancelState &state, Status reason);
+
+} // namespace detail
+
+/**
+ * Shared view of a CancelSource's state. Copyable; a default-constructed
+ * token never cancels and polls for free.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** Fast flag check: no side effects beyond the atomic load. */
+    bool cancelled() const
+    {
+        return state_ && state_->cancelled.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Checkpoint poll: bumps the progress heartbeat, runs the test
+     * hook, trips the deadline if it has passed, and returns whether
+     * the computation should stop. Safe to call concurrently.
+     */
+    bool poll() const;
+
+    /**
+     * Reason the token tripped: kCancelled/kDeadlineExceeded/... —
+     * Status() while untriggered.
+     */
+    Status status() const;
+
+    /** Number of poll() calls observed so far (all threads). */
+    uint64_t pollCount() const
+    {
+        return state_ ? state_->polls.load(std::memory_order_relaxed) : 0;
+    }
+
+  private:
+    friend class CancelSource;
+    explicit CancelToken(std::shared_ptr<detail::CancelState> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<detail::CancelState> state_;
+};
+
+/** Owner of one request's cancellation state. */
+class CancelSource
+{
+  public:
+    CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+    /**
+     * Arm an absolute deadline: the first poll at or after
+     * @p deadline_ns (per @p clock) cancels with kDeadlineExceeded.
+     * Set before handing out tokens to polling threads.
+     */
+    void setDeadline(uint64_t deadline_ns, const Clock &clock)
+    {
+        state_->deadline_ns = deadline_ns;
+        state_->clock = &clock;
+    }
+
+    /** Heartbeat counter bumped by every poll (watchdog liveness). */
+    void setProgressCounter(std::atomic<uint64_t> *counter)
+    {
+        state_->progress = counter;
+    }
+
+    /** Test-only poll hook; see detail::CancelState::poll_hook. */
+    void setPollHook(std::function<void(uint64_t)> hook)
+    {
+        state_->poll_hook = std::move(hook);
+    }
+
+    /**
+     * Trip the token with @p reason (first cancellation wins; later
+     * calls are no-ops). Thread-safe.
+     */
+    void cancel(Status reason = Status::cancelled("cancelled"))
+    {
+        detail::cancelState(*state_, std::move(reason));
+    }
+
+    bool cancelled() const
+    {
+        return state_->cancelled.load(std::memory_order_acquire);
+    }
+
+    CancelToken token() const { return CancelToken(state_); }
+
+  private:
+    std::shared_ptr<detail::CancelState> state_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_CANCEL_H

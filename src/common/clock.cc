@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace mixgemm
+{
+
+uint64_t
+MonotonicClock::nowNs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+MonotonicClock &
+MonotonicClock::instance()
+{
+    static MonotonicClock clock;
+    return clock;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Monotonic time source abstraction for the serving runtime.
+ *
+ * Everything that makes a *decision* from time — deadline checks,
+ * degradation hysteresis, watchdog timeouts — reads a Clock instead of
+ * std::chrono directly, so the same decision logic runs against real
+ * wall time in production and against a VirtualClock in tests and the
+ * virtual-time soak harness, where two runs with the same seed must
+ * produce identical decision logs even though wall-clock timings vary.
+ * Timestamps are nanoseconds from an arbitrary epoch; only differences
+ * are meaningful.
+ */
+
+#ifndef MIXGEMM_COMMON_CLOCK_H
+#define MIXGEMM_COMMON_CLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace mixgemm
+{
+
+/** Monotonic nanosecond time source. Implementations are thread-safe. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Current time in nanoseconds; never decreases. */
+    virtual uint64_t nowNs() const = 0;
+};
+
+/** std::chrono::steady_clock adapter. */
+class MonotonicClock final : public Clock
+{
+  public:
+    uint64_t nowNs() const override;
+
+    /** Process-wide shared instance. */
+    static MonotonicClock &instance();
+};
+
+/**
+ * Manually advanced clock for deterministic tests and the virtual-time
+ * soak driver. Time only moves when advanceNs()/advanceToNs() is
+ * called, so every duration a decision sees is exactly what the driver
+ * scripted.
+ */
+class VirtualClock final : public Clock
+{
+  public:
+    explicit VirtualClock(uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+    uint64_t nowNs() const override
+    {
+        return now_ns_.load(std::memory_order_acquire);
+    }
+
+    /** Move time forward by @p delta_ns; returns the new time. */
+    uint64_t advanceNs(uint64_t delta_ns)
+    {
+        return now_ns_.fetch_add(delta_ns, std::memory_order_acq_rel) +
+               delta_ns;
+    }
+
+    /** Move time forward to @p target_ns (no-op if already past it). */
+    void advanceToNs(uint64_t target_ns)
+    {
+        uint64_t now = now_ns_.load(std::memory_order_relaxed);
+        while (now < target_ns &&
+               !now_ns_.compare_exchange_weak(now, target_ns,
+                                              std::memory_order_acq_rel))
+            ;
+    }
+
+  private:
+    std::atomic<uint64_t> now_ns_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_CLOCK_H

@@ -37,7 +37,27 @@ enum class StatusCode
     kOutOfRange,         ///< index/size outside the valid domain
     kFailedPrecondition, ///< object state does not allow the call
     kDataLoss,           ///< serialized input is malformed or truncated
+    kNotFound,           ///< named entity (file, graph id) does not exist
+    kResourceExhausted,  ///< a bounded resource (queue, budget) is full
+    kDeadlineExceeded,   ///< the request's deadline passed before completion
+    kCancelled,          ///< the operation was cancelled cooperatively
+    kUnavailable,        ///< transient failure; retrying may succeed
+    kInternal,           ///< invariant violation surfaced at a boundary
 };
+
+/**
+ * Whether a failed request may succeed if simply re-executed — the
+ * serving runtime's retry-with-backoff gate. Only kUnavailable
+ * qualifies: transient faults (e.g. ABFT retry exhaustion on a
+ * transient flip) are reported under it, while kDeadlineExceeded,
+ * kCancelled, kResourceExhausted, and the validation codes are
+ * deterministic re-failures.
+ */
+inline bool
+statusCodeIsRetriable(StatusCode code)
+{
+    return code == StatusCode::kUnavailable;
+}
 
 /** Canonical lowercase name of a status code ("ok", "invalid_argument"). */
 const char *statusCodeName(StatusCode code);
@@ -64,6 +84,30 @@ class Status
     static Status dataLoss(std::string msg)
     {
         return Status(StatusCode::kDataLoss, std::move(msg));
+    }
+    static Status notFound(std::string msg)
+    {
+        return Status(StatusCode::kNotFound, std::move(msg));
+    }
+    static Status resourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::kResourceExhausted, std::move(msg));
+    }
+    static Status deadlineExceeded(std::string msg)
+    {
+        return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+    }
+    static Status cancelled(std::string msg)
+    {
+        return Status(StatusCode::kCancelled, std::move(msg));
+    }
+    static Status unavailable(std::string msg)
+    {
+        return Status(StatusCode::kUnavailable, std::move(msg));
+    }
+    static Status internal(std::string msg)
+    {
+        return Status(StatusCode::kInternal, std::move(msg));
     }
 
     bool ok() const { return code_ == StatusCode::kOk; }
@@ -142,6 +186,12 @@ statusCodeName(StatusCode code)
       case StatusCode::kOutOfRange: return "out_of_range";
       case StatusCode::kFailedPrecondition: return "failed_precondition";
       case StatusCode::kDataLoss: return "data_loss";
+      case StatusCode::kNotFound: return "not_found";
+      case StatusCode::kResourceExhausted: return "resource_exhausted";
+      case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+      case StatusCode::kCancelled: return "cancelled";
+      case StatusCode::kUnavailable: return "unavailable";
+      case StatusCode::kInternal: return "internal";
     }
     return "?";
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "fault/fault.h"
 
@@ -103,6 +104,17 @@ struct BlockingParams
      * to the Modeled kernel (the arbiter path).
      */
     unsigned abft_max_retries = 2;
+
+    /**
+     * Cooperative cancellation (common/cancel.h): when set, every
+     * worker polls the token before each jc/ic macro tile and stops
+     * issuing work once it trips (expired deadline, explicit cancel);
+     * mixGemm() then returns with MixGemmResult::status carrying the
+     * reason and the partial C discarded by the caller. An untriggered
+     * token is bitwise-transparent — identical C and counters to no
+     * token at all. Not owned; must outlive the call.
+     */
+    const CancelToken *cancel = nullptr;
 
     /** Table I defaults. */
     static BlockingParams paperDefaults() { return BlockingParams{}; }

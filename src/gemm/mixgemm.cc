@@ -496,6 +496,7 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
 
     MixGemmResult result;
     result.c.assign(m * n, 0);
+    result.tiles_total = tiles.size();
     // One logical bs.set configures the computation; every worker
     // programs its own μ-engine instance with the same configuration,
     // exactly as the per-core engines of the multi-core SoC would.
@@ -509,8 +510,10 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
     // engine accrues, so busy-cycle totals agree bitwise.
     FaultInjector *ip_injector =
         injector && injector->anyIp() ? injector : nullptr;
+    const CancelToken *cancel = blocking.cancel;
     std::vector<CounterSet> worker_counters(threads);
     std::vector<uint64_t> worker_busy(threads, 0);
+    std::vector<uint64_t> worker_tiles(threads, 0);
     // Per-worker timer sets (session only): each worker records into its
     // own MetricSet, merged after the join in worker order so percentile
     // summaries are deterministic for a given (tiles, threads) split.
@@ -528,6 +531,11 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
         }
         uint64_t cell_groups = 0;
         for (size_t t = w; t < tiles.size(); t += threads) {
+            // Cancellation checkpoint: a tripped token (deadline,
+            // explicit cancel, watchdog) stops this worker before it
+            // starts another tile, so C only ever holds whole tiles.
+            if (cancel && cancel->poll())
+                break;
             TRACE_SCOPE("gemm", "macro_tile");
             const auto tile_start =
                 session ? clock::now() : clock::time_point{};
@@ -550,6 +558,7 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
                             nanoseconds>(clock::now() - tile_start)
                             .count()));
             }
+            ++worker_tiles[w];
         }
         worker_busy[w] = engine.busyCycles() +
                          cell_groups * geom.group_cycles;
@@ -565,11 +574,22 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
     for (unsigned w = 0; w < threads; ++w) {
         result.counters.merge(worker_counters[w]);
         busy_cycles += worker_busy[w];
+        result.tiles_completed += worker_tiles[w];
     }
+
+    // A tripped token surfaces as the request's terminal Status; the
+    // partial C (whole completed tiles only) is the caller's to
+    // discard. ABFT verification is skipped — unstarted tiles would
+    // flag as corrupt, and the output is already condemned.
+    const bool was_cancelled =
+        cancel && result.tiles_completed < result.tiles_total &&
+        cancel->cancelled();
+    if (was_cancelled)
+        result.status = cancel->status();
 
     // ABFT verification and recovery: serial, after the join, so the
     // verdicts and any recomputation are deterministic by construction.
-    if (policy != FaultPolicy::Off) {
+    if (policy != FaultPolicy::Off && !was_cancelled) {
         TRACE_SCOPE("abft", "verify");
         const auto abft_start = clock::now();
         const AbftVerifier verifier(a, b);
@@ -753,7 +773,20 @@ tryMixGemm(const CompressedA &a, const CompressedB &b,
 {
     if (Status s = validateGemmInputs(a, b, blocking); !s.ok())
         return s;
-    return mixGemmChecked(a, b, blocking);
+    // This is the boundary a serving process calls through: an
+    // exception escaping a worker task (rethrown at the region join by
+    // ThreadPool::run) fails this one GEMM with kInternal instead of
+    // unwinding through the server, and a tripped cancellation token
+    // comes back as its reason Status.
+    try {
+        MixGemmResult result = mixGemmChecked(a, b, blocking);
+        if (!result.status.ok())
+            return result.status;
+        return result;
+    } catch (const std::exception &e) {
+        return Status::internal(
+            strCat("mixGemm parallel region failed: ", e.what()));
+    }
 }
 
 MixGemmResult

@@ -76,6 +76,18 @@ struct MixGemmResult
     std::vector<int64_t> c; ///< row-major m x n output
     CounterSet counters;    ///< bs_set/bs_ip/bs_get/engine_busy_cycles/...
     AbftOutcome abft;       ///< ABFT verdicts (fault_policy != Off)
+
+    /**
+     * kCancelled / kDeadlineExceeded when a BlockingParams::cancel
+     * token tripped before all macro tiles completed; ok otherwise
+     * (always ok without a token). On cancellation @ref c holds only
+     * the tiles that completed before the trip — every macro tile's C
+     * sub-block is either fully computed or untouched (zero); callers
+     * must treat the whole buffer as discarded partial work.
+     */
+    Status status;
+    uint64_t tiles_total = 0;     ///< macro tiles in the decomposition
+    uint64_t tiles_completed = 0; ///< tiles finished before cancellation
 };
 
 /**
@@ -103,8 +115,11 @@ MixGemmResult mixGemm(std::span<const int32_t> a,
 /**
  * Checked variant of mixGemm() for external-input boundaries: operand
  * shape/configuration mismatches and invalid blocking parameters come
- * back as a structured error instead of a FatalError throw. Identical
- * computation on the success path.
+ * back as a structured error instead of a FatalError throw, a tripped
+ * cancellation token comes back as its kCancelled/kDeadlineExceeded
+ * Status (partial work discarded), and an exception escaping a worker
+ * task fails the parallel region with kInternal instead of propagating
+ * out of a serving process. Identical computation on the success path.
  */
 Expected<MixGemmResult> tryMixGemm(const CompressedA &a,
                                    const CompressedB &b,

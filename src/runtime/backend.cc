@@ -28,9 +28,20 @@ MixGemmBackend::gemm(std::span<const int32_t> a,
     blocking.fault_policy = fault_policy_;
     blocking.fault = fault_;
     blocking.abft_max_retries = abft_retries_;
+    blocking.cancel = cancel_;
     auto result = mixGemm(a, b, m, n, k, geometry, blocking);
     total_bs_ip_ += result.counters.get(Counter::BsIp);
     last_abft_ = result.abft;
+    last_status_ = result.status;
+    // ABFT retry exhaustion on a compute fault is transient from the
+    // caller's perspective — a whole-GEMM re-execution may land on
+    // clean hardware — so report it retriable (kUnavailable). Input
+    // corruption is not: recomputation reads the same corrupt words.
+    if (last_status_.ok() && result.abft.tiles_uncorrected > 0 &&
+        result.abft.input_k_mismatches == 0)
+        last_status_ = Status::unavailable(
+            strCat("ABFT: ", result.abft.tiles_uncorrected,
+                   " tile(s) uncorrected after retry budget"));
     return std::move(result.c);
 }
 

@@ -54,6 +54,17 @@ class GemmBackend
      * it also append one RunReport per GEMM. Results never depend on it.
      */
     virtual TraceSession *traceSession() const { return nullptr; }
+
+    /**
+     * Terminal status of the most recent gemm() call. Backends that
+     * support cooperative cancellation report kCancelled /
+     * kDeadlineExceeded here when their token tripped mid-GEMM (the
+     * returned C is then discarded partial work); the runtime's
+     * checked graph execution (QuantizedGraph::tryRun) consults this
+     * after every node so an expired deadline stops the network at the
+     * next layer instead of computing garbage to the end.
+     */
+    virtual Status lastStatus() const { return Status(); }
 };
 
 /** Triple-loop reference backend. */
@@ -136,6 +147,18 @@ class MixGemmBackend : public GemmBackend
     /** ABFT outcome of the most recent gemm() call. */
     const AbftOutcome &lastAbft() const { return last_abft_; }
 
+    /**
+     * Attach (or detach, with nullptr) a cancellation token: every
+     * subsequent gemm() polls it at macro-tile boundaries and stops
+     * early once it trips, reporting the reason via lastStatus().
+     * Untriggered, the serving path stays bitwise-identical to direct
+     * execution. Not owned; must outlive the attachment.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+    const CancelToken *cancelToken() const { return cancel_; }
+
+    Status lastStatus() const override { return last_status_; }
+
   private:
     unsigned threads_ = 1;
     KernelMode kernel_mode_ = KernelMode::Fast;
@@ -146,6 +169,8 @@ class MixGemmBackend : public GemmBackend
     FaultInjector *fault_ = nullptr;
     unsigned abft_retries_ = 2;
     AbftOutcome last_abft_;
+    const CancelToken *cancel_ = nullptr;
+    Status last_status_;
 };
 
 } // namespace mixgemm

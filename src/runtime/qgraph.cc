@@ -344,6 +344,17 @@ std::vector<double>
 QuantizedGraph::run(const Tensor<double> &image,
                     GemmBackend &backend) const
 {
+    auto logits = tryRun(image, backend);
+    if (!logits.ok())
+        fatal(strCat("QuantizedGraph::run: ",
+                     logits.status().toString()));
+    return std::move(*logits);
+}
+
+Expected<std::vector<double>>
+QuantizedGraph::tryRun(const Tensor<double> &image,
+                       GemmBackend &backend) const
+{
     Tensor<double> t = image;
     TraceSession *session = backend.traceSession();
     for (size_t i = 0; i < nodes_.size(); ++i) {
@@ -356,6 +367,15 @@ QuantizedGraph::run(const Tensor<double> &image,
         using clock = std::chrono::steady_clock;
         const auto start = session ? clock::now() : clock::time_point{};
         t = runQNode(node, t, backend);
+        // Only GEMM-bearing nodes refresh the backend status; checking
+        // after elementwise nodes would re-read a stale report from an
+        // earlier run.
+        const bool ran_gemm = node.kind == QNode::Kind::kConv ||
+                              node.kind == QNode::Kind::kDepthwise ||
+                              node.kind == QNode::Kind::kLinear;
+        if (ran_gemm)
+            if (Status s = backend.lastStatus(); !s.ok())
+                return s;
         if (session) {
             session->recordTimerNs(
                 strCat("layer/", kindName(node.kind), "#", i),

@@ -85,9 +85,35 @@ class QuantizedGraph
      */
     static Expected<QuantizedGraph> tryDeserialize(const std::string &text);
 
+    /**
+     * Load and deserialize a graph file with the paranoia serving-mode
+     * registration needs: a missing/unreadable path comes back as
+     * kNotFound/kUnavailable with the errno text, a file larger than
+     * @p max_bytes as kResourceExhausted *before* any buffer is sized
+     * from it (a garbage path can't force a huge allocation), a short
+     * read as kDataLoss, and the bytes then go through
+     * tryDeserialize() with all of its structural validation.
+     */
+    static Expected<QuantizedGraph> fromFile(
+        const std::string &path, size_t max_bytes = kMaxGraphFileBytes);
+
+    /** Default fromFile() size cap: far above any real graph here. */
+    static constexpr size_t kMaxGraphFileBytes = 64u << 20;
+
     /** Run one image; returns the float logits. */
     std::vector<double> run(const Tensor<double> &image,
                             GemmBackend &backend) const;
+
+    /**
+     * Checked variant of run() for the serving path: after every node
+     * the backend's lastStatus() is consulted, so a GEMM that stopped
+     * on a tripped cancellation token (deadline, watchdog) aborts the
+     * network at that layer and returns the reason instead of running
+     * the remaining layers on discarded partial work. With no
+     * cancellation-capable backend attached this is run() exactly.
+     */
+    Expected<std::vector<double>> tryRun(const Tensor<double> &image,
+                                         GemmBackend &backend) const;
 
     /** Predicted class (argmax of logits). */
     unsigned predict(const Tensor<double> &image,

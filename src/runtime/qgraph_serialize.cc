@@ -6,7 +6,10 @@
  * Floating-point fields round-trip exactly via 17 significant digits.
  */
 
+#include <cerrno>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -249,6 +252,40 @@ QuantizedGraph::deserialize(const std::string &text)
     if (!graph.ok())
         fatal(graph.status().toString());
     return *graph;
+}
+
+Expected<QuantizedGraph>
+QuantizedGraph::fromFile(const std::string &path, size_t max_bytes)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        const int err = errno;
+        const std::string detail =
+            err ? std::strerror(err) : "cannot open";
+        if (err == ENOENT)
+            return Status::notFound(
+                strCat("qgraph file '", path, "': ", detail));
+        return Status::unavailable(
+            strCat("qgraph file '", path, "': ", detail));
+    }
+    const std::streamoff size = is.tellg();
+    if (size < 0)
+        return Status::unavailable(
+            strCat("qgraph file '", path, "': cannot determine size"));
+    // Size gate before the read buffer exists: a huge (or
+    // hostile-sparse) file is refused without allocating for it.
+    if (static_cast<uint64_t>(size) > max_bytes)
+        return Status::resourceExhausted(
+            strCat("qgraph file '", path, "' is ", size,
+                   " bytes; limit is ", max_bytes));
+    std::string text(static_cast<size_t>(size), '\0');
+    is.seekg(0);
+    is.read(text.data(), size);
+    if (is.gcount() != size)
+        return Status::dataLoss(
+            strCat("qgraph file '", path, "': short read (",
+                   is.gcount(), " of ", size, " bytes)"));
+    return tryDeserialize(text);
 }
 
 } // namespace mixgemm

@@ -1,0 +1,30 @@
+#include "serve/ladder.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+std::vector<TierSpec>
+buildPrecisionLadder(
+    Network &network, const PatternDataset &calibration,
+    const std::vector<std::pair<unsigned, unsigned>> &precisions,
+    PtqOptions base)
+{
+    if (precisions.empty())
+        fatal("buildPrecisionLadder: no precisions requested");
+    std::vector<TierSpec> ladder;
+    ladder.reserve(precisions.size());
+    for (const auto &[a_bits, w_bits] : precisions) {
+        PtqOptions options = base;
+        options.a_bits = a_bits;
+        options.w_bits = w_bits;
+        TierSpec tier;
+        tier.graph = buildPtqGraph(network, calibration, options);
+        tier.label = strCat("a", a_bits, "-w", w_bits);
+        ladder.push_back(std::move(tier));
+    }
+    return ladder;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Precision-ladder construction for the serving runtime.
+ *
+ * The degradation policy (see server.h) trades accuracy for throughput
+ * by stepping down a ladder of pre-quantized variants of the same
+ * network — the paper's mixed-precision design point space, applied at
+ * run time. This helper builds that ladder once at registration time
+ * with the PTQ pipeline: one calibrated QuantizedGraph per requested
+ * (activation, weight) bit pair, labeled "a<bits>-w<bits>", full
+ * precision first.
+ */
+
+#ifndef MIXGEMM_SERVE_LADDER_H
+#define MIXGEMM_SERVE_LADDER_H
+
+#include <utility>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/qat.h"
+#include "runtime/ptq.h"
+#include "serve/server.h"
+
+namespace mixgemm
+{
+
+/** Default serving ladder: the paper's 8-bit baseline, then the mixed
+ * and symmetric narrow configurations. */
+inline std::vector<std::pair<unsigned, unsigned>>
+defaultLadderPrecisions()
+{
+    return {{8, 8}, {8, 4}, {4, 4}};
+}
+
+/**
+ * Quantize @p network at every (a_bits, w_bits) in @p precisions via
+ * PTQ against @p calibration, producing the TierSpec ladder
+ * registerGraph() takes. @p base forwards the remaining PTQ knobs
+ * (calibration sample count, bias correction, ...); its a_bits/w_bits
+ * are overridden per rung.
+ */
+std::vector<TierSpec> buildPrecisionLadder(
+    Network &network, const PatternDataset &calibration,
+    const std::vector<std::pair<unsigned, unsigned>> &precisions,
+    PtqOptions base = PtqOptions{});
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SERVE_LADDER_H

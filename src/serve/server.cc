@@ -1,0 +1,608 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/**
+ * Dry-run backend for graph registration: produces all-zero
+ * accumulators (enough to propagate shapes through the graph) while
+ * summing a precision-weighted MAC count, m*n*k*bwa*bwb — narrower
+ * operands pack more elements per μ-vector, so a coarser ladder rung
+ * must model as proportionally *faster* in virtual time (that speedup
+ * is the entire point of degrading). The unit is "8x8-equivalent MACs"
+ * after dividing by 64.
+ */
+class MacCountingBackend final : public GemmBackend
+{
+  public:
+    std::vector<int64_t> gemm(std::span<const int32_t>,
+                              std::span<const int32_t>, uint64_t m,
+                              uint64_t n, uint64_t k,
+                              const DataSizeConfig &config) override
+    {
+        cost_ += m * n * k * config.bwa * config.bwb;
+        return std::vector<int64_t>(m * n, 0);
+    }
+
+    std::string name() const override { return "mac-counting"; }
+
+    /** Modeled cost in 8x8-equivalent MACs. */
+    uint64_t equivalentMacs() const { return cost_ / 64; }
+
+  private:
+    uint64_t cost_ = 0;
+};
+
+} // namespace
+
+InferenceServer::InferenceServer(ServerOptions options)
+    : options_(std::move(options)),
+      clock_(options_.virtual_clock
+                 ? static_cast<const Clock *>(options_.virtual_clock)
+                 : (options_.clock ? options_.clock
+                                   : &MonotonicClock::instance())),
+      queue_(options_.queue_capacity)
+{
+    if (options_.virtual_clock && options_.workers != 0)
+        fatal("InferenceServer: virtual-time mode requires workers = 0 "
+              "(pump mode); threaded workers would race the scripted "
+              "clock");
+    if (options_.workers == 0) {
+        pump_slot_ = std::make_unique<WorkerSlot>();
+        return;
+    }
+    slots_.reserve(options_.workers);
+    for (unsigned w = 0; w < options_.workers; ++w)
+        slots_.push_back(std::make_unique<WorkerSlot>());
+    workers_.reserve(options_.workers);
+    for (unsigned w = 0; w < options_.workers; ++w)
+        workers_.emplace_back([this, w] { workerMain(w); });
+    if (options_.watchdog_timeout_ns > 0 && options_.watchdog_poll_ns > 0)
+        watchdog_ = std::thread([this] { watchdogMain(); });
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+std::unique_ptr<MixGemmBackend>
+InferenceServer::makeBackend() const
+{
+    auto backend = std::make_unique<MixGemmBackend>(
+        options_.backend_threads, options_.kernel_mode);
+    backend->setFaultPolicy(options_.fault_policy);
+    backend->setAbftMaxRetries(options_.abft_max_retries);
+    backend->setFaultInjector(options_.fault_injector);
+    backend->attachTraceSession(options_.session);
+    return backend;
+}
+
+Expected<uint64_t>
+InferenceServer::registerGraph(std::string name,
+                               std::vector<TierSpec> ladder,
+                               std::vector<size_t> input_shape)
+{
+    if (ladder.empty())
+        return Status::invalidArgument(
+            strCat("registerGraph('", name, "'): empty ladder"));
+    if (input_shape.empty())
+        return Status::invalidArgument(
+            strCat("registerGraph('", name, "'): empty input shape"));
+    for (const size_t dim : input_shape)
+        if (dim == 0 || dim > (1u << 16))
+            return Status::invalidArgument(
+                strCat("registerGraph('", name, "'): input dimension ",
+                       dim, " out of range"));
+
+    // Dry-run every rung once: catches a ladder/shape mismatch at
+    // registration (where the operator can act on it) instead of at
+    // the first request, and measures the per-rung MAC cost that
+    // virtual-time mode turns into modeled service durations.
+    auto graph = std::make_unique<RegisteredGraph>();
+    graph->tier_macs.reserve(ladder.size());
+    Tensor<double> probe(input_shape);
+    for (size_t t = 0; t < ladder.size(); ++t) {
+        MacCountingBackend counter;
+        try {
+            Expected<std::vector<double>> out =
+                ladder[t].graph.tryRun(probe, counter);
+            if (!out.ok())
+                return out.status();
+        } catch (const std::exception &e) {
+            return Status::invalidArgument(
+                strCat("registerGraph('", name, "') tier ", t, " ('",
+                       ladder[t].label, "') rejects the input shape: ",
+                       e.what()));
+        }
+        graph->tier_macs.push_back(counter.equivalentMacs());
+    }
+    graph->name = std::move(name);
+    graph->ladder = std::move(ladder);
+    graph->input_shape = std::move(input_shape);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t id = graphs_.size();
+    const unsigned deepest =
+        static_cast<unsigned>(graph->ladder.size()) - 1;
+    graphs_.push_back(std::move(graph));
+    max_level_ = std::max(max_level_, deepest);
+    stats_.completed_by_tier.resize(max_level_ + 1, 0);
+    return id;
+}
+
+void
+InferenceServer::logLocked(std::string entry)
+{
+    if (decisions_.size() >= options_.max_decision_log) {
+        ++stats_.decisions_dropped;
+        return;
+    }
+    decisions_.push_back(std::move(entry));
+}
+
+void
+InferenceServer::evaluateDegradationLocked(uint64_t now_ns)
+{
+    const DegradationPolicy &policy = options_.degradation;
+    if (!policy.enabled || max_level_ == 0)
+        return;
+    if (now_ns - last_level_change_ns_ < policy.min_dwell_ns)
+        return;
+    const size_t depth = queue_.size();
+    const double fill = static_cast<double>(depth) /
+                        static_cast<double>(queue_.capacity());
+    const bool latency_high =
+        policy.p95_high_ns > 0 && window_latency_.count() > 0 &&
+        window_latency_.percentile(95.0) >
+            static_cast<double>(policy.p95_high_ns);
+    if (level_ < max_level_ &&
+        (fill >= policy.high_watermark || latency_high)) {
+        ++level_;
+        ++stats_.degrade_steps;
+        last_level_change_ns_ = now_ns;
+        window_latency_ = LogHistogram();
+        logLocked(strCat("t=", now_ns, " degrade level=", level_ - 1,
+                         "->", level_, " depth=", depth));
+    } else if (level_ > 0 && fill <= policy.low_watermark &&
+               !latency_high) {
+        --level_;
+        ++stats_.recover_steps;
+        last_level_change_ns_ = now_ns;
+        window_latency_ = LogHistogram();
+        logLocked(strCat("t=", now_ns, " recover level=", level_ + 1,
+                         "->", level_, " depth=", depth));
+    }
+}
+
+void
+InferenceServer::recordTerminalLocked(const ServeResponse &response)
+{
+    switch (response.status.code()) {
+      case StatusCode::kOk:
+        ++stats_.completed_ok;
+        if (response.report.tier < stats_.completed_by_tier.size())
+            ++stats_.completed_by_tier[response.report.tier];
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        break;
+      case StatusCode::kCancelled:
+        ++stats_.cancelled;
+        break;
+      default:
+        ++stats_.failed;
+        break;
+    }
+    if (response.report.attempts > 1)
+        stats_.retries += response.report.attempts - 1;
+}
+
+void
+InferenceServer::finishRejected(Pending &&item, Status status)
+{
+    ServeResponse response;
+    response.report.seq = item.seq;
+    response.report.submit_ns = item.submit_ns;
+    response.report.tier = item.tier;
+    response.status = std::move(status);
+    item.promise.set_value(std::move(response));
+}
+
+std::future<ServeResponse>
+InferenceServer::submit(ServeRequest request)
+{
+    Pending item;
+    item.request = std::move(request);
+    std::future<ServeResponse> future = item.promise.get_future();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t now = clock_->nowNs();
+    item.seq = next_seq_++;
+    item.submit_ns = now;
+    ++stats_.submitted;
+
+    // Validation first: a request that can never execute must not
+    // occupy a queue slot another request could use.
+    Status invalid;
+    if (item.request.graph_id >= graphs_.size())
+        invalid = Status::notFound(
+            strCat("unknown graph id ", item.request.graph_id));
+    else if (item.request.input.shape() !=
+             graphs_[item.request.graph_id]->input_shape)
+        invalid = Status::invalidArgument(
+            strCat("input shape does not match graph '",
+                   graphs_[item.request.graph_id]->name, "'"));
+    if (!invalid.ok()) {
+        ++stats_.rejected_invalid;
+        logLocked(strCat("t=", now, " reject_invalid seq=", item.seq,
+                         " code=", statusCodeName(invalid.code())));
+        finishRejected(std::move(item), std::move(invalid));
+        return future;
+    }
+    if (item.request.deadline_ns != 0 &&
+        now >= item.request.deadline_ns) {
+        ++stats_.expired_submit;
+        logLocked(strCat("t=", now, " expire_submit seq=", item.seq));
+        finishRejected(std::move(item),
+                       Status::deadlineExceeded(
+                           "deadline already passed at submission"));
+        return future;
+    }
+
+    evaluateDegradationLocked(now);
+    item.graph = graphs_[item.request.graph_id].get();
+    item.tier = std::min<unsigned>(
+        level_, static_cast<unsigned>(item.graph->ladder.size()) - 1);
+
+    const uint64_t seq = item.seq;
+    const unsigned tier = item.tier;
+    const int priority = item.request.priority;
+    const std::string &graph_name = item.graph->name;
+    // Retention order: higher priority wins; within a priority the
+    // older request wins (so an equal-priority arrival can never shed
+    // queued work — admission stays FIFO per priority class).
+    auto retain_less = [](const Pending &a, const Pending &b) {
+        if (a.request.priority != b.request.priority)
+            return a.request.priority < b.request.priority;
+        return a.seq > b.seq;
+    };
+    std::optional<Pending> evicted;
+    switch (queue_.pushEvicting(std::move(item), retain_less, evicted)) {
+      case QueuePush::kPushed:
+      case QueuePush::kPushedEvicted:
+        // `admitted` counts entries that reached the queue; a shed
+        // victim stays counted there and additionally under `shed`.
+        ++stats_.admitted;
+        if (evicted) {
+            ++stats_.shed;
+            logLocked(strCat("t=", now, " shed seq=", evicted->seq,
+                             " prio=", evicted->request.priority,
+                             " by=", seq));
+            finishRejected(std::move(*evicted),
+                           Status::resourceExhausted(
+                               "shed for higher-priority work"));
+        }
+        logLocked(strCat("t=", now, " admit seq=", seq, " graph=",
+                         graph_name, " tier=", tier, " prio=", priority,
+                         " depth=", queue_.size()));
+        break;
+      case QueuePush::kRejected:
+        ++stats_.rejected_full;
+        logLocked(strCat("t=", now, " reject_full seq=", seq,
+                         " prio=", priority));
+        finishRejected(std::move(item),
+                       Status::resourceExhausted(
+                           "admission queue is full"));
+        break;
+      case QueuePush::kClosed:
+        logLocked(strCat("t=", now, " reject_closed seq=", seq));
+        finishRejected(std::move(item),
+                       Status::unavailable("server is shut down"));
+        break;
+    }
+    return future;
+}
+
+unsigned
+InferenceServer::pump(unsigned max_requests)
+{
+    if (options_.workers != 0)
+        fatal("InferenceServer::pump: server is running worker threads");
+    if (!pump_backend_)
+        pump_backend_ = makeBackend();
+    unsigned executed = 0;
+    while (executed < max_requests) {
+        std::optional<Pending> item = queue_.tryPop();
+        if (!item)
+            break;
+        execute(std::move(*item), *pump_slot_, *pump_backend_, 0);
+        ++executed;
+    }
+    return executed;
+}
+
+void
+InferenceServer::workerMain(unsigned index)
+{
+    WorkerSlot &slot = *slots_[index];
+    std::unique_ptr<MixGemmBackend> backend = makeBackend();
+    while (std::optional<Pending> item = queue_.popWait()) {
+        execute(std::move(*item), slot, *backend,
+                static_cast<int>(index));
+        if (slot.recycle.exchange(false))
+            backend = makeBackend();
+    }
+}
+
+void
+InferenceServer::execute(Pending item, WorkerSlot &slot,
+                         MixGemmBackend &backend, int worker_index)
+{
+    const RegisteredGraph &graph = *item.graph;
+    const TierSpec &tier = graph.ladder[item.tier];
+    const uint64_t deadline = item.request.deadline_ns;
+
+    ServeResponse response;
+    response.report.seq = item.seq;
+    response.report.submit_ns = item.submit_ns;
+    response.report.tier = item.tier;
+    response.report.tier_label = tier.label;
+    response.report.worker = worker_index;
+
+    const uint64_t start = clock_->nowNs();
+    response.report.start_ns = start;
+    if (deadline != 0 && start >= deadline) {
+        response.status = Status::deadlineExceeded(
+            "deadline passed while queued");
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.expired_queue;
+        logLocked(strCat("t=", start, " expire_queue seq=", item.seq));
+        recordTerminalLocked(response);
+        item.promise.set_value(std::move(response));
+        return;
+    }
+
+    auto source = std::make_shared<CancelSource>();
+    if (deadline != 0)
+        source->setDeadline(deadline, *clock_);
+    source->setProgressCounter(&slot.progress);
+    const CancelToken token = source->token();
+    {
+        std::lock_guard<std::mutex> lock(slot.mutex);
+        slot.active = source;
+    }
+    slot.busy_since.store(start, std::memory_order_release);
+    slot.busy_seq.store(item.seq + 1, std::memory_order_release);
+
+    backend.setCancelToken(&token);
+    backend.setTraceLabel(strCat(graph.name, "/", tier.label, "/req",
+                                 item.seq));
+
+    const unsigned max_retries =
+        item.request.max_retries >= 0
+            ? static_cast<unsigned>(item.request.max_retries)
+            : options_.max_retries;
+    Status status;
+    std::vector<double> output;
+    unsigned attempts = 0;
+    for (;;) {
+        ++attempts;
+        status = Status();
+        try {
+            if (options_.execution_hook)
+                status = options_.execution_hook(item.seq, attempts,
+                                                 token);
+            if (status.ok()) {
+                Expected<std::vector<double>> result =
+                    tier.graph.tryRun(item.request.input, backend);
+                if (result.ok())
+                    output = std::move(*result);
+                else
+                    status = result.status();
+            }
+        } catch (const std::exception &e) {
+            status = Status::internal(
+                strCat("serve worker: ", e.what()));
+        }
+        // Virtual-time mode: the GEMMs above completed instantly in
+        // scripted time, so charge the rung's modeled service cost now
+        // — this is what makes queueing dynamics (and thus every
+        // degradation decision) reproducible under a fixed seed.
+        if (options_.virtual_clock)
+            options_.virtual_clock->advanceNs(
+                graph.tier_macs[item.tier] * options_.virtual_ns_per_mac);
+        if (status.ok() || !statusCodeIsRetriable(status.code()) ||
+            attempts > max_retries || token.cancelled())
+            break;
+        const uint64_t backoff = options_.retry_backoff_ns
+                                 << (attempts - 1);
+        const uint64_t now = clock_->nowNs();
+        if (deadline != 0 && now + backoff >= deadline)
+            break; // no room left for another attempt
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            logLocked(strCat("t=", now, " retry seq=", item.seq,
+                             " attempt=", attempts + 1, " code=",
+                             statusCodeName(status.code())));
+        }
+        if (options_.virtual_clock)
+            options_.virtual_clock->advanceNs(backoff);
+        else
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(backoff));
+    }
+    backend.setCancelToken(nullptr);
+
+    slot.busy_seq.store(0, std::memory_order_release);
+    slot.busy_since.store(0, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(slot.mutex);
+        slot.active.reset();
+    }
+
+    const uint64_t done = clock_->nowNs();
+    // A response that arrives after its deadline is as useless as one
+    // that never arrives: count it as a miss and discard the output,
+    // even though the compute finished.
+    if (status.ok() && deadline != 0 && done > deadline) {
+        status = Status::deadlineExceeded(
+            "completed after the deadline; output discarded");
+        output.clear();
+    }
+    if (!status.ok())
+        output.clear();
+    response.status = std::move(status);
+    response.output = std::move(output);
+    response.report.attempts = attempts;
+    response.report.done_ns = done;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        metrics_.addNs("serve/queue_ns", start - item.submit_ns);
+        metrics_.addNs("serve/exec_ns", done - start);
+        metrics_.addNs("serve/total_ns", done - item.submit_ns);
+        window_latency_.add(done - item.submit_ns);
+        logLocked(strCat("t=", done, " done seq=", item.seq, " code=",
+                         statusCodeName(response.status.code()),
+                         " tier=", item.tier, " attempts=", attempts));
+        recordTerminalLocked(response);
+        evaluateDegradationLocked(done);
+    }
+    item.promise.set_value(std::move(response));
+}
+
+void
+InferenceServer::watchdogMain()
+{
+    struct Track
+    {
+        uint64_t seq = 0;
+        uint64_t progress = 0;
+        uint64_t last_change_ns = 0;
+    };
+    std::vector<Track> tracks(slots_.size());
+    std::unique_lock<std::mutex> lock(watchdog_mutex_);
+    while (!stopping_) {
+        watchdog_cv_.wait_for(
+            lock, std::chrono::nanoseconds(options_.watchdog_poll_ns),
+            [this] { return stopping_; });
+        if (stopping_)
+            break;
+        const uint64_t now = clock_->nowNs();
+        for (size_t w = 0; w < slots_.size(); ++w) {
+            WorkerSlot &slot = *slots_[w];
+            Track &track = tracks[w];
+            const uint64_t seq =
+                slot.busy_seq.load(std::memory_order_acquire);
+            if (seq == 0) {
+                track.seq = 0;
+                continue;
+            }
+            const uint64_t progress =
+                slot.progress.load(std::memory_order_acquire);
+            if (seq != track.seq || progress != track.progress) {
+                track.seq = seq;
+                track.progress = progress;
+                track.last_change_ns = now;
+                continue;
+            }
+            const uint64_t busy_since =
+                slot.busy_since.load(std::memory_order_acquire);
+            const uint64_t idle_since =
+                std::max(track.last_change_ns, busy_since);
+            if (now - idle_since < options_.watchdog_timeout_ns)
+                continue;
+            // No heartbeat for a full timeout: cancel the request and
+            // mark the worker's backend for replacement — whatever
+            // wedged it must not leak into the next request.
+            std::shared_ptr<CancelSource> active;
+            {
+                std::lock_guard<std::mutex> slot_lock(slot.mutex);
+                if (slot.busy_seq.load(std::memory_order_acquire) == seq)
+                    active = slot.active;
+            }
+            if (!active)
+                continue;
+            active->cancel(Status::unavailable(strCat(
+                "watchdog: worker ", w, " made no progress for ",
+                now - idle_since, " ns")));
+            slot.recycle.store(true, std::memory_order_release);
+            track.last_change_ns = now; // one cancel per timeout window
+            {
+                std::lock_guard<std::mutex> stats_lock(mutex_);
+                ++stats_.watchdog_cancels;
+                logLocked(strCat("t=", now, " watchdog_cancel worker=",
+                                 w, " seq=", seq - 1));
+            }
+        }
+    }
+}
+
+void
+InferenceServer::shutdown()
+{
+    if (shut_down_.exchange(true))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(watchdog_mutex_);
+        stopping_ = true;
+    }
+    watchdog_cv_.notify_all();
+    queue_.close();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    if (watchdog_.joinable())
+        watchdog_.join();
+    // Threaded workers drained the queue before exiting (popWait only
+    // returns empty once closed *and* drained). In pump mode — or if a
+    // worker died — whatever is left must still get a terminal status.
+    while (std::optional<Pending> item = queue_.tryPop()) {
+        ServeResponse response;
+        response.report.seq = item->seq;
+        response.report.submit_ns = item->submit_ns;
+        response.report.tier = item->tier;
+        response.status = Status::unavailable("server shut down");
+        std::lock_guard<std::mutex> lock(mutex_);
+        logLocked(strCat("t=", clock_->nowNs(), " drop_shutdown seq=",
+                         item->seq));
+        recordTerminalLocked(response);
+        item->promise.set_value(std::move(response));
+    }
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServerStats snapshot = stats_;
+    snapshot.degradation_level = level_;
+    snapshot.queue_depth = queue_.size();
+    return snapshot;
+}
+
+std::vector<std::string>
+InferenceServer::decisionLog() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return decisions_;
+}
+
+MetricSet
+InferenceServer::latencyMetrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_;
+}
+
+} // namespace mixgemm

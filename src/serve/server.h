@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Embeddable inference server over the Mix-GEMM runtime.
+ *
+ * The paper positions Mix-GEMM as the compute engine of an edge
+ * inference stack (ONNX Runtime backend, Fig. 3); this module supplies
+ * the robustness layer such a deployment needs around the kernel:
+ * bounded admission (reject, never queue unboundedly), priority-aware
+ * load shedding, per-request deadlines enforced by cooperative
+ * cancellation at macro-tile boundaries, load-aware precision
+ * degradation down a pre-quantized ladder (the paper's own
+ * accuracy-for-throughput trade, applied dynamically), a watchdog that
+ * cancels and recycles stuck workers, and retry-with-backoff for
+ * transient (kUnavailable) failures such as ABFT retry exhaustion.
+ *
+ * Every *decision* the server makes — admit/shed/reject, degrade/
+ * recover, retry, expire — reads time from a Clock and is appended to a
+ * decision log. With a VirtualClock and workers = 0 (pump mode) the
+ * whole server is synchronous and deterministic: two runs with the same
+ * seed produce byte-identical decision logs, which is how the soak
+ * harness and tests pin scheduling behaviour.
+ */
+
+#ifndef MIXGEMM_SERVE_SERVER_H
+#define MIXGEMM_SERVE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/cancel.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "runtime/backend.h"
+#include "runtime/qgraph.h"
+#include "trace/metrics.h"
+
+namespace mixgemm
+{
+
+/** One rung of a registered graph's precision ladder. */
+struct TierSpec
+{
+    QuantizedGraph graph;
+    /// Human-readable precision label ("a8-w8", "a4-w4", ...).
+    std::string label;
+};
+
+/**
+ * Load-aware precision degradation policy. The server keeps one global
+ * degradation level; each admitted request executes the rung
+ * min(level, ladder size - 1) of its graph's ladder. The level moves
+ * *up* (coarser precision, faster GEMMs) when the queue fills past
+ * @ref high_watermark or the recent-latency p95 exceeds
+ * @ref p95_high_ns, and back *down* when the queue drains below
+ * @ref low_watermark — but never more often than @ref min_dwell_ns
+ * (hysteresis), so a noisy load pattern cannot make it thrash.
+ */
+struct DegradationPolicy
+{
+    bool enabled = true;
+    double high_watermark = 0.75; ///< queue fill fraction that degrades
+    double low_watermark = 0.25;  ///< queue fill fraction that recovers
+    /// Recent total-latency p95 (ns) that also degrades; 0 disables the
+    /// latency trigger. The window resets at every level change.
+    uint64_t p95_high_ns = 0;
+    uint64_t min_dwell_ns = 0; ///< minimum time between level changes
+};
+
+/** Server construction knobs. */
+struct ServerOptions
+{
+    /**
+     * Worker threads. 0 selects *pump mode*: no threads are started and
+     * queued requests execute synchronously inside pump() on the
+     * caller's thread — the deterministic mode the virtual-time soak
+     * and the decision-log tests run in.
+     */
+    unsigned workers = 2;
+    size_t queue_capacity = 64; ///< admission queue bound (≥ 1)
+    unsigned backend_threads = 1; ///< GEMM threads per worker backend
+    KernelMode kernel_mode = KernelMode::Fast;
+    DegradationPolicy degradation;
+
+    /** Default retry budget for retriable (kUnavailable) failures. */
+    unsigned max_retries = 2;
+    /** First retry backoff; doubles per attempt. Counted against the
+     * request's deadline — a retry that cannot fit is not taken. */
+    uint64_t retry_backoff_ns = 1'000'000;
+
+    /**
+     * Watchdog: a busy worker whose progress heartbeat (cancellation-
+     * token polls) has not moved for this long is presumed stuck; its
+     * request is cancelled (kUnavailable, hence retriable on resubmit)
+     * and the worker's backend is recycled. 0 disables the watchdog.
+     * Only armed in threaded mode.
+     */
+    uint64_t watchdog_timeout_ns = 2'000'000'000;
+    uint64_t watchdog_poll_ns = 50'000'000; ///< watchdog check period
+
+    /** Decision-time source. Null selects MonotonicClock::instance(). */
+    const Clock *clock = nullptr;
+    /**
+     * Virtual-time mode: decisions read this clock, and each execution
+     * *advances* it by the rung's modeled service time — its
+     * precision-weighted MAC count (in 8x8-equivalent MACs, so coarser
+     * rungs model as faster) times @ref virtual_ns_per_mac — making
+     * queueing dynamics simulated and deterministic. Requires
+     * workers = 0.
+     */
+    VirtualClock *virtual_clock = nullptr;
+    uint64_t virtual_ns_per_mac = 100; ///< ns per 8x8-equivalent MAC
+
+    /** ABFT policy applied to every worker backend (see gemm/abft.h). */
+    FaultPolicy fault_policy = FaultPolicy::Off;
+    unsigned abft_max_retries = 2;
+    /** Fault-injection engine shared by the backends (campaign/tests;
+     * pump mode only — injectors are not thread-safe). Not owned. */
+    FaultInjector *fault_injector = nullptr;
+
+    /** Observability sink for per-GEMM reports. Not owned. */
+    TraceSession *session = nullptr;
+
+    /**
+     * Test-only execution hook, run before each attempt with the
+     * request sequence number, the 1-based attempt index, and the
+     * attempt's cancellation token. A non-ok return is taken as the
+     * attempt's outcome (the graph does not run); a throw exercises the
+     * worker-exception path; a loop polling the token simulates a stall
+     * the watchdog must break.
+     */
+    std::function<Status(uint64_t seq, unsigned attempt,
+                         const CancelToken &token)>
+        execution_hook;
+
+    /** Decision-log size cap; beyond it entries are counted, not kept. */
+    size_t max_decision_log = 200'000;
+};
+
+/** One inference request. */
+struct ServeRequest
+{
+    uint64_t graph_id = 0;       ///< from registerGraph()
+    Tensor<double> input;        ///< must match the registered shape
+    uint64_t deadline_ns = 0;    ///< absolute, per server clock; 0 = none
+    int priority = 0;            ///< higher = more valuable (shed last)
+    int max_retries = -1;        ///< -1 = server default
+};
+
+/** Per-request accounting returned with every response. */
+struct RequestReport
+{
+    uint64_t seq = 0;       ///< admission sequence number
+    unsigned tier = 0;      ///< ladder rung the request executed at
+    std::string tier_label; ///< its precision label
+    int worker = -1;        ///< worker index (-1: rejected before dispatch)
+    unsigned attempts = 0;  ///< execution attempts (≥ 1 if dispatched)
+    uint64_t submit_ns = 0;
+    uint64_t start_ns = 0; ///< dequeue time (0 if never dispatched)
+    uint64_t done_ns = 0;
+};
+
+/** Inference outcome: status, logits (empty unless ok), accounting. */
+struct ServeResponse
+{
+    Status status;
+    std::vector<double> output;
+    RequestReport report;
+};
+
+/** Aggregate server counters (one consistent snapshot). */
+struct ServerStats
+{
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t completed_ok = 0;
+    uint64_t rejected_full = 0;    ///< queue full, nothing shed
+    uint64_t rejected_invalid = 0; ///< bad graph id / shape
+    uint64_t shed = 0;             ///< displaced by higher-priority work
+    uint64_t expired_submit = 0;   ///< deadline already passed at submit
+    uint64_t expired_queue = 0;    ///< deadline passed while queued
+    uint64_t deadline_exceeded = 0;///< tripped or missed during execution
+    uint64_t cancelled = 0;        ///< explicit cancellation
+    uint64_t failed = 0;           ///< other non-ok terminal statuses
+    uint64_t retries = 0;          ///< extra attempts taken
+    uint64_t degrade_steps = 0;
+    uint64_t recover_steps = 0;
+    uint64_t watchdog_cancels = 0;
+    uint64_t decisions_dropped = 0; ///< log entries beyond the cap
+    unsigned degradation_level = 0;
+    size_t queue_depth = 0;
+    std::vector<uint64_t> completed_by_tier; ///< ok completions per rung
+};
+
+/**
+ * Embeddable inference server; see the file comment for the design.
+ * Thread-safe: submit()/stats()/decisionLog() may be called from any
+ * thread. Destruction shuts down, failing queued work with
+ * kUnavailable.
+ */
+class InferenceServer
+{
+  public:
+    explicit InferenceServer(ServerOptions options);
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Register a named graph with its precision ladder (full precision
+     * first, coarser rungs after) and the input shape every request
+     * must match. Each rung is dry-run once against a MAC-counting
+     * backend, which both validates that it accepts the declared shape
+     * and measures the modeled service cost used in virtual-time mode.
+     * Returns the graph id submit() takes.
+     */
+    Expected<uint64_t> registerGraph(std::string name,
+                                     std::vector<TierSpec> ladder,
+                                     std::vector<size_t> input_shape);
+
+    /**
+     * Submit a request. Admission happens synchronously — validation,
+     * degradation-level assignment, and the admit/shed/reject decision
+     * — and the returned future resolves when the request reaches a
+     * terminal state (possibly already, if it was rejected). Never
+     * blocks on a full queue.
+     */
+    std::future<ServeResponse> submit(ServeRequest request);
+
+    /**
+     * Pump mode only (workers = 0): synchronously execute up to
+     * @p max_requests queued requests on the calling thread; returns
+     * the number executed.
+     */
+    unsigned pump(unsigned max_requests = 1);
+
+    /**
+     * Stop accepting work, fail everything still queued with
+     * kUnavailable, and join the workers. Idempotent; the destructor
+     * calls it.
+     */
+    void shutdown();
+
+    ServerStats stats() const;
+
+    /** Decision log so far ("t=... admit seq=3 ...", one per entry). */
+    std::vector<std::string> decisionLog() const;
+
+    /** Latency histograms: serve/queue_ns, serve/exec_ns,
+     * serve/total_ns. */
+    MetricSet latencyMetrics() const;
+
+    size_t queueDepth() const { return queue_.size(); }
+
+  private:
+    struct RegisteredGraph
+    {
+        std::string name;
+        std::vector<TierSpec> ladder;
+        /// Per-rung modeled cost (8x8-equivalent MACs), from the
+        /// registration dry run.
+        std::vector<uint64_t> tier_macs;
+        std::vector<size_t> input_shape;
+    };
+
+    struct Pending
+    {
+        ServeRequest request;
+        uint64_t seq = 0;
+        uint64_t submit_ns = 0;
+        unsigned tier = 0;
+        const RegisteredGraph *graph = nullptr;
+        std::promise<ServeResponse> promise;
+    };
+
+    /** Per-worker liveness and cancellation rendezvous. */
+    struct WorkerSlot
+    {
+        std::atomic<uint64_t> progress{0};   ///< token-poll heartbeat
+        std::atomic<uint64_t> busy_seq{0};   ///< 0 = idle
+        std::atomic<uint64_t> busy_since{0}; ///< dispatch time (ns)
+        std::atomic<bool> recycle{false};    ///< backend tainted, rebuild
+        std::mutex mutex;                    ///< guards active
+        std::shared_ptr<CancelSource> active;
+    };
+
+    std::unique_ptr<MixGemmBackend> makeBackend() const;
+    void workerMain(unsigned index);
+    void watchdogMain();
+    void execute(Pending item, WorkerSlot &slot, MixGemmBackend &backend,
+                 int worker_index);
+    void finishRejected(Pending &&item, Status status);
+
+    // The following run under mutex_.
+    void logLocked(std::string entry);
+    void evaluateDegradationLocked(uint64_t now_ns);
+    void recordTerminalLocked(const ServeResponse &response);
+
+    ServerOptions options_;
+    const Clock *clock_ = nullptr;
+    std::vector<std::unique_ptr<RegisteredGraph>> graphs_;
+    BoundedQueue<Pending> queue_;
+
+    mutable std::mutex mutex_;
+    uint64_t next_seq_ = 0;
+    unsigned level_ = 0;          ///< current degradation level
+    unsigned max_level_ = 0;      ///< deepest ladder registered, - 1
+    uint64_t last_level_change_ns_ = 0;
+    LogHistogram window_latency_; ///< total-latency window since change
+    ServerStats stats_;
+    MetricSet metrics_;
+    std::vector<std::string> decisions_;
+
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    std::vector<std::thread> workers_;
+    std::thread watchdog_;
+    std::mutex watchdog_mutex_;
+    std::condition_variable watchdog_cv_;
+    bool stopping_ = false;
+    std::atomic<bool> shut_down_{false};
+    std::unique_ptr<MixGemmBackend> pump_backend_;
+    std::unique_ptr<WorkerSlot> pump_slot_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SERVE_SERVER_H

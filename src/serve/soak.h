@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Seeded open-loop load generator and soak harness for the inference
+ * server.
+ *
+ * Open-loop means arrivals do not wait for completions — a Poisson
+ * process with periodic burst windows keeps offered load independent of
+ * the server's state, which is what actually exposes overload behaviour
+ * (admission shed, precision degradation, deadline misses). A small
+ * fraction of arrivals is adversarial: wrong-shape inputs and unknown
+ * graph ids that admission must reject without disturbing service.
+ *
+ * Two modes share all generation logic:
+ *  - virtual time (default): a VirtualClock plus the server's pump mode
+ *    make the whole soak a deterministic discrete-event simulation —
+ *    the same seed reproduces the decision log byte for byte (tested,
+ *    and diffed in CI);
+ *  - wall clock: real worker threads, real sleeps, the watchdog armed —
+ *    the configuration the CI soak job and the TSan soak run to shake
+ *    out races and leaks.
+ *
+ * The result aggregates goodput, shed/reject/deadline counts, the
+ * per-tier completion mix, and latency percentiles, and serializes to
+ * JSON for the CI artifact.
+ */
+
+#ifndef MIXGEMM_SERVE_SOAK_H
+#define MIXGEMM_SERVE_SOAK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace mixgemm
+{
+
+/** Soak scenario knobs. Defaults give a bursty ~75 %-utilization run
+ * that exercises shed, degradation, and deadline misses in a couple of
+ * simulated seconds. */
+struct SoakConfig
+{
+    uint64_t seed = 1;
+    double duration_s = 2.0;    ///< offered-load window (sim or wall)
+    double arrival_hz = 1200.0; ///< base Poisson arrival rate
+    double burst_factor = 4.0;  ///< rate multiplier inside bursts
+    double burst_every_s = 0.5; ///< burst cycle period (0 = no bursts)
+    double burst_len_s = 0.1;   ///< burst duration per cycle
+    double oversized_prob = 0.02; ///< wrong-shape adversarial arrivals
+    double bad_graph_prob = 0.01; ///< unknown-graph-id arrivals
+    double no_deadline_prob = 0.2;
+    double deadline_lo_s = 0.005; ///< deadline drawn log-uniform from
+    double deadline_hi_s = 0.080; ///< [lo, hi] after submission
+    int priority_levels = 3;      ///< priorities drawn from [0, n)
+    size_t queue_capacity = 16;
+    DegradationPolicy degradation = {
+        true, 0.75, 0.25, 0, 40'000'000}; ///< 40 ms dwell
+    unsigned max_retries = 2;
+
+    bool virtual_time = true;
+    uint64_t virtual_ns_per_mac = 20; ///< ~0.6 ms per 8-bit inference
+    unsigned wall_workers = 2;        ///< threads in wall-clock mode
+    unsigned backend_threads = 1;
+    KernelMode kernel_mode = KernelMode::Fast;
+    uint64_t watchdog_timeout_ns = 2'000'000'000;
+
+    unsigned ladder_tiers = 3;  ///< rungs from defaultLadderPrecisions()
+    unsigned train_epochs = 1;  ///< CNN pre-training (1 keeps it quick)
+    bool emit_decision_log = true; ///< include the log in the JSON
+};
+
+/** Aggregated outcome of one soak run. */
+struct SoakResult
+{
+    SoakConfig config;
+    ServerStats stats;
+    MetricSet latencies;
+    std::vector<std::string> decision_log;
+    uint64_t decision_hash = 0; ///< FNV-1a over the log lines
+    double elapsed_s = 0.0;     ///< simulated or wall duration
+    double goodput_rps = 0.0;   ///< ok completions per (sim/wall) second
+
+    /** Serialize for the CI artifact; includes the decision log only
+     * when the config asked for it. */
+    std::string toJson() const;
+};
+
+/** FNV-1a over the log lines — the cheap determinism fingerprint two
+ * same-seed runs are compared by. */
+uint64_t hashDecisionLog(const std::vector<std::string> &log);
+
+/** Run one soak scenario end to end (build ladder, register, drive
+ * load, drain, aggregate). */
+SoakResult runServeSoak(const SoakConfig &config);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SERVE_SOAK_H

@@ -7,12 +7,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <iostream>
 #include <numeric>
+#include <optional>
 #include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bitutils.h"
+#include "common/bounded_queue.h"
+#include "common/cancel.h"
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -444,6 +452,175 @@ TEST(ThreadPool, HardwareConcurrencyNeverZero)
     EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
     EXPECT_GE(resolveThreadCount(0), 1u);
     EXPECT_EQ(resolveThreadCount(3), 3u);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacityAndFifoOrder)
+{
+    BoundedQueue<int> queue(2);
+    EXPECT_EQ(queue.capacity(), 2u);
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_TRUE(queue.tryPush(2));
+    EXPECT_FALSE(queue.tryPush(3)) << "push past capacity must fail";
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.tryPop(), std::optional<int>(1));
+    EXPECT_EQ(queue.tryPop(), std::optional<int>(2));
+    EXPECT_EQ(queue.tryPop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PushEvictingDisplacesOnlyLessValuableEntries)
+{
+    // Retention by plain int value: smaller is less worth keeping.
+    const auto less = [](int a, int b) { return a < b; };
+    BoundedQueue<int> queue(2);
+    std::optional<int> evicted;
+    EXPECT_EQ(queue.pushEvicting(10, less, evicted), QueuePush::kPushed);
+    EXPECT_EQ(queue.pushEvicting(20, less, evicted), QueuePush::kPushed);
+    EXPECT_FALSE(evicted.has_value());
+
+    // Full: a more valuable arrival displaces the minimum...
+    EXPECT_EQ(queue.pushEvicting(30, less, evicted),
+              QueuePush::kPushedEvicted);
+    EXPECT_EQ(evicted, std::optional<int>(10));
+
+    // ...an equal-or-less valuable one is rejected, queue untouched.
+    EXPECT_EQ(queue.pushEvicting(20, less, evicted),
+              QueuePush::kRejected);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueue, RejectedPushLeavesCallerItemIntact)
+{
+    // The serving layer answers a rejected request through the very
+    // object it tried to push — rejection must not consume it.
+    const auto less = [](const std::string &a, const std::string &b) {
+        return a < b;
+    };
+    BoundedQueue<std::string> queue(1);
+    std::optional<std::string> evicted;
+    std::string keeper = "zz-queued";
+    ASSERT_EQ(queue.pushEvicting(std::move(keeper), less, evicted),
+              QueuePush::kPushed);
+    std::string rejected = "aa-rejected";
+    ASSERT_EQ(queue.pushEvicting(std::move(rejected), less, evicted),
+              QueuePush::kRejected);
+    EXPECT_EQ(rejected, "aa-rejected");
+}
+
+TEST(BoundedQueue, CloseDrainsThenStopsConsumers)
+{
+    BoundedQueue<int> queue(4);
+    ASSERT_TRUE(queue.tryPush(7));
+    queue.close();
+    EXPECT_FALSE(queue.tryPush(8));
+    std::optional<int> evicted;
+    EXPECT_EQ(queue.pushEvicting(9, std::less<int>(), evicted),
+              QueuePush::kClosed);
+    // Already-queued work stays poppable; then consumers get the
+    // closed-and-empty exit instead of blocking forever.
+    EXPECT_EQ(queue.popWait(), std::optional<int>(7));
+    EXPECT_EQ(queue.popWait(), std::nullopt);
+}
+
+TEST(BoundedQueue, PopWaitBlocksUntilProducerArrives)
+{
+    BoundedQueue<int> queue(1);
+    std::thread producer([&queue] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        queue.tryPush(42);
+    });
+    EXPECT_EQ(queue.popWait(), std::optional<int>(42));
+    producer.join();
+}
+
+TEST(VirtualClock, AdvancesOnlyWhenDriven)
+{
+    VirtualClock clock(100);
+    EXPECT_EQ(clock.nowNs(), 100u);
+    EXPECT_EQ(clock.nowNs(), 100u) << "time must not move on its own";
+    EXPECT_EQ(clock.advanceNs(50), 150u);
+    clock.advanceToNs(200);
+    EXPECT_EQ(clock.nowNs(), 200u);
+    clock.advanceToNs(120); // behind: monotonic no-op
+    EXPECT_EQ(clock.nowNs(), 200u);
+}
+
+TEST(MonotonicClockTest, NeverDecreases)
+{
+    const Clock &clock = MonotonicClock::instance();
+    uint64_t previous = clock.nowNs();
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t now = clock.nowNs();
+        ASSERT_GE(now, previous);
+        previous = now;
+    }
+}
+
+TEST(Cancel, DefaultTokenNeverCancels)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_FALSE(token.poll());
+    EXPECT_TRUE(token.status().ok());
+    EXPECT_EQ(token.pollCount(), 0u);
+}
+
+TEST(Cancel, FirstCancellationWinsAndCarriesReason)
+{
+    CancelSource source;
+    const CancelToken token = source.token();
+    EXPECT_FALSE(token.poll());
+    source.cancel(Status::cancelled("first"));
+    source.cancel(Status::unavailable("second")); // no-op
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(token.poll());
+    EXPECT_EQ(token.status().code(), StatusCode::kCancelled);
+    EXPECT_EQ(token.status().message(), "first");
+}
+
+TEST(Cancel, DeadlineTripsOnFirstPollAtOrAfterIt)
+{
+    VirtualClock clock(0);
+    CancelSource source;
+    source.setDeadline(100, clock);
+    const CancelToken token = source.token();
+    EXPECT_FALSE(token.poll());
+    clock.advanceToNs(99);
+    EXPECT_FALSE(token.poll());
+    clock.advanceToNs(100);
+    EXPECT_TRUE(token.poll());
+    EXPECT_EQ(token.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Cancel, PollBumpsHeartbeatAndCount)
+{
+    std::atomic<uint64_t> heartbeat{0};
+    CancelSource source;
+    source.setProgressCounter(&heartbeat);
+    const CancelToken token = source.token();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(token.poll());
+    EXPECT_EQ(heartbeat.load(), 5u);
+    EXPECT_EQ(token.pollCount(), 5u);
+    // cancelled() is the cheap flag check: no heartbeat side effect.
+    (void)token.cancelled();
+    EXPECT_EQ(heartbeat.load(), 5u);
+}
+
+TEST(Cancel, PollHookSeesPollIndexAndMayCancel)
+{
+    CancelSource source;
+    std::vector<uint64_t> seen;
+    source.setPollHook([&](uint64_t poll) {
+        seen.push_back(poll);
+        if (poll == 2)
+            source.cancel(Status::cancelled("hook"));
+    });
+    const CancelToken token = source.token();
+    EXPECT_FALSE(token.poll());
+    EXPECT_FALSE(token.poll());
+    EXPECT_TRUE(token.poll());
+    EXPECT_EQ(seen, (std::vector<uint64_t>{0, 1, 2}));
 }
 
 TEST(ParallelFor, CoversRangeWithDisjointChunks)

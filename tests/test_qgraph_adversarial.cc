@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -251,6 +252,67 @@ TEST(QGraphAdversarialTest, MutatedValidTextNeverCrashes)
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// fromFile(): the serving-registration loading path
+// ---------------------------------------------------------------------
+
+/** Write @p bytes under the gtest temp dir and return the path. */
+std::string
+writeTempFile(const std::string &name, const std::string &bytes)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    EXPECT_TRUE(os.good()) << path;
+    return path;
+}
+
+TEST(QGraphFromFileTest, ValidFileRoundTrips)
+{
+    const std::string path =
+        writeTempFile("qgraph_valid.txt", makeGraph().serialize());
+    const auto graph = QuantizedGraph::fromFile(path);
+    ASSERT_TRUE(graph.ok()) << graph.status().toString();
+    EXPECT_EQ(graph->nodes().size(), 2u);
+    EXPECT_EQ(graph->serialize(), makeGraph().serialize());
+}
+
+TEST(QGraphFromFileTest, MissingFileIsNotFoundWithErrnoText)
+{
+    const auto graph = QuantizedGraph::fromFile(
+        testing::TempDir() + "qgraph_does_not_exist.txt");
+    ASSERT_FALSE(graph.ok());
+    EXPECT_EQ(graph.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(graph.status().message().find("qgraph_does_not_exist"),
+              std::string::npos);
+}
+
+TEST(QGraphFromFileTest, OversizedFileRefusedBeforeAllocation)
+{
+    const std::string text = makeGraph().serialize();
+    const std::string path = writeTempFile("qgraph_oversize.txt", text);
+    const auto graph =
+        QuantizedGraph::fromFile(path, /*max_bytes=*/text.size() - 1);
+    ASSERT_FALSE(graph.ok());
+    EXPECT_EQ(graph.status().code(), StatusCode::kResourceExhausted);
+    // At exactly the limit it loads fine.
+    const auto fits = QuantizedGraph::fromFile(path, text.size());
+    EXPECT_TRUE(fits.ok()) << fits.status().toString();
+}
+
+TEST(QGraphFromFileTest, MalformedFileFailsStructurally)
+{
+    // File-level plumbing succeeds; the bytes then go through the full
+    // tryDeserialize() validation and fail as a structured Status.
+    const std::string path = writeTempFile(
+        "qgraph_malformed.txt",
+        replaceFirst(makeGraph().serialize(), "qgraph", "notmagic"));
+    const auto graph = QuantizedGraph::fromFile(path);
+    ASSERT_FALSE(graph.ok());
+    EXPECT_EQ(graph.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(QGraphAdversarialTest, ThrowingWrapperRaisesFatalError)

@@ -27,6 +27,23 @@
  *       JSON report of detection coverage, correction rate,
  *       accuracy-under-faults, and clean-run ABFT overhead.
  *
+ *   mixgemm-cli serve-soak [--seed S] [--duration SECS] [--arrival HZ]
+ *       [--burst F] [--queue N] [--tiers N] [--retries N] [--epochs N]
+ *       [--wall] [--workers N] [--modeled] [--no-decisions]
+ *       [--out report.json]
+ *       Seeded open-loop load soak of the inference server (see
+ *       serve/soak.h): Poisson arrivals with bursts and adversarial
+ *       shapes against a degradation ladder, emitting a JSON report of
+ *       goodput, shed/deadline/reject counts, per-tier mix, and
+ *       latency percentiles. Default is deterministic virtual time
+ *       (same seed -> byte-identical decision log); --wall drives real
+ *       worker threads instead. Exits non-zero on zero goodput.
+ *
+ * Command-line robustness: every numeric argument goes through checked
+ * parsing (Expected-based) — negative counts, overflow, trailing
+ * garbage, and unknown flags are reported with the usage line and exit
+ * code 2, never a crash or a silently truncated value.
+ *
  * Observability (gemm and network): --trace <file.json> records a
  * Chrome/Perfetto trace_event file, --report <file.json> a structured
  * run report. Either flag switches the command to additionally
@@ -38,10 +55,14 @@
  * Configurations are written the paper's way: a8-w8, a6-w4, ...
  */
 
+#include <cerrno>
+#include <charconv>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,6 +77,7 @@
 #include "dnn/network_timing.h"
 #include "power/energy_model.h"
 #include "runtime/backend.h"
+#include "serve/soak.h"
 #include "sim/gemm_timing.h"
 #include "soc/soc_config.h"
 #include "tensor/packing.h"
@@ -66,14 +88,102 @@ using namespace mixgemm;
 namespace
 {
 
-DataSizeConfig
+/**
+ * Malformed command line. Thrown at argument-parsing depth, caught in
+ * main(), printed with the offending detail, exit code 2 — the
+ * convention that separates "you called it wrong" from "it failed"
+ * (exit 1).
+ */
+struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Unwrap a parse result or abort the command with usage exit code. */
+template <typename T>
+T
+orUsage(Expected<T> result)
+{
+    if (!result.ok())
+        throw UsageError(result.status().message());
+    return std::move(*result);
+}
+
+/**
+ * Checked unsigned-integer argument parse: the whole token must be a
+ * decimal number within [@p min, @p max]. A leading '-', trailing
+ * garbage ("12x"), an empty token, and overflow each come back as
+ * kInvalidArgument naming the argument — never a silently truncated or
+ * wrapped value.
+ */
+Expected<uint64_t>
+parseUint64(const char *what, const std::string &text, uint64_t min = 0,
+            uint64_t max = UINT64_MAX)
+{
+    uint64_t value = 0;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec == std::errc::result_out_of_range)
+        return Status::invalidArgument(
+            strCat(what, ": '", text, "' overflows"));
+    if (ec != std::errc() || ptr != end || text.empty())
+        return Status::invalidArgument(
+            strCat(what, ": '", text, "' is not a non-negative integer"));
+    if (value < min || value > max)
+        return Status::invalidArgument(
+            strCat(what, ": ", value, " is outside [", min, ", ", max,
+                   "]"));
+    return value;
+}
+
+Expected<unsigned>
+parseUnsigned(const char *what, const std::string &text,
+              uint64_t min = 0, uint64_t max = UINT32_MAX)
+{
+    Expected<uint64_t> value = parseUint64(what, text, min, max);
+    if (!value.ok())
+        return value.status();
+    return static_cast<unsigned>(*value);
+}
+
+/** Checked finite-double argument parse within [@p min, @p max]. */
+Expected<double>
+parseDouble(const char *what, const std::string &text, double min,
+            double max)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size() ||
+        errno == ERANGE || !std::isfinite(value))
+        return Status::invalidArgument(
+            strCat(what, ": '", text, "' is not a finite number"));
+    if (value < min || value > max)
+        return Status::invalidArgument(
+            strCat(what, ": ", text, " is outside [", min, ", ", max,
+                   "]"));
+    return value;
+}
+
+/** Largest GEMM extent the CLI accepts: far beyond anything the models
+ * price, small enough that m*n*k stays clear of 64-bit overflow. */
+constexpr uint64_t kMaxGemmDim = 1ull << 20;
+
+Expected<DataSizeConfig>
 parseConfig(const std::string &text)
 {
-    // Expected form: a<bits>-w<bits>.
+    // Expected form: a<bits>-w<bits>, bitwidths in the paper's 2..8.
     unsigned a = 0;
     unsigned w = 0;
     if (std::sscanf(text.c_str(), "a%u-w%u", &a, &w) != 2)
-        fatal("bad configuration '" + text + "' (expected e.g. a8-w8)");
+        return Status::invalidArgument(
+            strCat("bad configuration '", text,
+                   "' (expected e.g. a8-w8)"));
+    if (a < 2 || a > 8 || w < 2 || w > 8)
+        return Status::invalidArgument(
+            strCat("configuration '", text,
+                   "' outside the supported a2..a8 x w2..w8 range"));
     return DataSizeConfig{a, w, true, true};
 }
 
@@ -92,7 +202,9 @@ parseModel(const std::string &key)
         return regNetX400MF();
     if (key == "efficientnet")
         return efficientNetB0();
-    fatal("unknown network '" + key + "'");
+    throw UsageError(strCat("unknown network '", key,
+                            "' (alexnet vgg16 resnet18 mobilenet "
+                            "regnet efficientnet)"));
 }
 
 /** Observability flags shared by the gemm and network commands. */
@@ -119,7 +231,7 @@ parseTraceFlag(int argc, char **argv, int &i, TraceOptions &opts)
 {
     const auto value = [&](const char *flag) -> const char * {
         if (i + 1 >= argc)
-            fatal(strCat("missing value for ", flag));
+            throw UsageError(strCat("missing value for ", flag));
         return argv[++i];
     };
     if (std::strcmp(argv[i], "--trace") == 0)
@@ -127,13 +239,13 @@ parseTraceFlag(int argc, char **argv, int &i, TraceOptions &opts)
     else if (std::strcmp(argv[i], "--report") == 0)
         opts.report_path = value("--report");
     else if (std::strcmp(argv[i], "--threads") == 0)
-        opts.threads =
-            static_cast<unsigned>(std::stoul(value("--threads")));
+        opts.threads = orUsage(
+            parseUnsigned("--threads", value("--threads"), 0, 1024));
     else if (std::strcmp(argv[i], "--modeled") == 0)
         opts.modeled = true;
     else if (std::strcmp(argv[i], "--layers") == 0)
-        opts.layers =
-            static_cast<unsigned>(std::stoul(value("--layers")));
+        opts.layers = orUsage(
+            parseUnsigned("--layers", value("--layers"), 0, 4096));
     else
         return false;
     return true;
@@ -203,20 +315,25 @@ int
 cmdGemm(int argc, char **argv)
 {
     if (argc < 3)
-        fatal("usage: mixgemm-cli gemm <m> <n> <k> [config] "
-              "[--small-caches] [--trace f.json] [--report f.json] "
-              "[--threads N] [--modeled]");
-    const uint64_t m = std::stoull(argv[0]);
-    const uint64_t n = std::stoull(argv[1]);
-    const uint64_t k = std::stoull(argv[2]);
+        throw UsageError(
+            "usage: mixgemm-cli gemm <m> <n> <k> [config] "
+            "[--small-caches] [--trace f.json] [--report f.json] "
+            "[--threads N] [--modeled]");
+    const uint64_t m = orUsage(parseUint64("m", argv[0], 1, kMaxGemmDim));
+    const uint64_t n = orUsage(parseUint64("n", argv[1], 1, kMaxGemmDim));
+    const uint64_t k = orUsage(parseUint64("k", argv[2], 1, kMaxGemmDim));
     DataSizeConfig cfg{8, 8, true, true};
     SoCConfig soc = SoCConfig::sargantana();
     TraceOptions trace;
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--small-caches") == 0)
             soc = SoCConfig::sargantanaSmallCaches();
-        else if (!parseTraceFlag(argc, argv, i, trace))
-            cfg = parseConfig(argv[i]);
+        else if (parseTraceFlag(argc, argv, i, trace))
+            continue;
+        else if (argv[i][0] == '-')
+            throw UsageError(strCat("unknown flag '", argv[i], "'"));
+        else
+            cfg = orUsage(parseConfig(argv[i]));
     }
 
     const GemmTimingModel model(soc);
@@ -263,18 +380,27 @@ int
 cmdNetwork(int argc, char **argv)
 {
     if (argc < 1)
-        fatal("usage: mixgemm-cli network <name> [config] [--batch N] "
-              "[--trace f.json] [--report f.json] [--threads N] "
-              "[--modeled] [--layers N]");
+        throw UsageError(
+            "usage: mixgemm-cli network <name> [config] [--batch N] "
+            "[--trace f.json] [--report f.json] [--threads N] "
+            "[--modeled] [--layers N]");
     const auto model = parseModel(argv[0]);
     DataSizeConfig cfg{8, 8, true, true};
     unsigned batch = 1;
     TraceOptions trace;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc)
-            batch = static_cast<unsigned>(std::stoul(argv[++i]));
-        else if (!parseTraceFlag(argc, argv, i, trace))
-            cfg = parseConfig(argv[i]);
+        if (std::strcmp(argv[i], "--batch") == 0) {
+            if (i + 1 >= argc)
+                throw UsageError("missing value for --batch");
+            batch = orUsage(
+                parseUnsigned("--batch", argv[++i], 1, 1u << 16));
+        } else if (parseTraceFlag(argc, argv, i, trace)) {
+            continue;
+        } else if (argv[i][0] == '-') {
+            throw UsageError(strCat("unknown flag '", argv[i], "'"));
+        } else {
+            cfg = orUsage(parseConfig(argv[i]));
+        }
     }
     const GemmTimingModel timing(SoCConfig::sargantana());
     const auto t = timeNetworkMixGemm(model, timing, cfg, true, batch);
@@ -331,10 +457,12 @@ int
 cmdDse(int argc, char **argv)
 {
     if (argc < 1)
-        fatal("usage: mixgemm-cli dse <name> [max_top1_drop]");
+        throw UsageError("usage: mixgemm-cli dse <name> [max_top1_drop]");
     const auto model = parseModel(argv[0]);
     MixedPrecisionOptions opt;
-    opt.max_loss = argc > 1 ? std::stod(argv[1]) : 1.0;
+    opt.max_loss = argc > 1 ? orUsage(parseDouble("max_top1_drop",
+                                                  argv[1], 0.0, 100.0))
+                            : 1.0;
     const GemmTimingModel timing(SoCConfig::sargantana());
     const auto &db = AccuracyDatabase::paperQat();
     const auto plan = optimizeMixedPrecision(model, timing, db, opt);
@@ -360,55 +488,55 @@ cmdFaultCampaign(int argc, char **argv)
     for (int i = 0; i < argc; ++i) {
         const auto value = [&](const char *flag) -> const char * {
             if (i + 1 >= argc)
-                fatal(strCat("missing value for ", flag));
+                throw UsageError(strCat("missing value for ", flag));
             return argv[++i];
         };
         if (std::strcmp(argv[i], "--m") == 0)
-            config.m = std::stoull(value("--m"));
+            config.m = orUsage(
+                parseUint64("--m", value("--m"), 1, kMaxGemmDim));
         else if (std::strcmp(argv[i], "--n") == 0)
-            config.n = std::stoull(value("--n"));
+            config.n = orUsage(
+                parseUint64("--n", value("--n"), 1, kMaxGemmDim));
         else if (std::strcmp(argv[i], "--k") == 0)
-            config.k = std::stoull(value("--k"));
+            config.k = orUsage(
+                parseUint64("--k", value("--k"), 1, kMaxGemmDim));
         else if (std::strcmp(argv[i], "--network") == 0)
             config.network = parseModel(value("--network")).name;
         else if (std::strcmp(argv[i], "--layers") == 0)
-            config.max_layers = static_cast<unsigned>(
-                std::stoul(value("--layers")));
+            config.max_layers = orUsage(
+                parseUnsigned("--layers", value("--layers"), 0, 4096));
         else if (std::strcmp(argv[i], "--seed") == 0)
-            config.base_seed = std::stoull(value("--seed"));
+            config.base_seed =
+                orUsage(parseUint64("--seed", value("--seed")));
         else if (std::strcmp(argv[i], "--runs") == 0)
-            config.runs_per_cell = static_cast<unsigned>(
-                std::stoul(value("--runs")));
+            config.runs_per_cell = orUsage(
+                parseUnsigned("--runs", value("--runs"), 1, 1u << 20));
         else if (std::strcmp(argv[i], "--max-faults") == 0)
-            config.max_faults = static_cast<unsigned>(
-                std::stoul(value("--max-faults")));
+            config.max_faults = orUsage(parseUnsigned(
+                "--max-faults", value("--max-faults"), 1, 1u << 16));
         else if (std::strcmp(argv[i], "--bits") == 0)
-            config.bits_per_fault = static_cast<unsigned>(
-                std::stoul(value("--bits")));
+            config.bits_per_fault = orUsage(
+                parseUnsigned("--bits", value("--bits"), 1, 64));
         else if (std::strcmp(argv[i], "--threads") == 0)
-            config.threads = static_cast<unsigned>(
-                std::stoul(value("--threads")));
+            config.threads = orUsage(
+                parseUnsigned("--threads", value("--threads"), 0, 1024));
         else if (std::strcmp(argv[i], "--modeled") == 0)
             config.kernel_mode = KernelMode::Modeled;
         else if (std::strcmp(argv[i], "--site") == 0) {
-            const auto site = faultSiteFromName(value("--site"));
-            if (!site.ok())
-                fatal(site.status().toString());
-            config.sites.push_back(*site);
+            config.sites.push_back(
+                orUsage(faultSiteFromName(value("--site"))));
         } else if (std::strcmp(argv[i], "--fault-model") == 0) {
-            const auto model = faultModelFromName(value("--fault-model"));
-            if (!model.ok())
-                fatal(model.status().toString());
-            config.models.push_back(*model);
+            config.models.push_back(orUsage(
+                faultModelFromName(value("--fault-model"))));
         } else if (std::strcmp(argv[i], "--policy") == 0) {
-            const auto policy = faultPolicyFromName(value("--policy"));
-            if (!policy.ok())
-                fatal(policy.status().toString());
-            config.policies.push_back(*policy);
+            config.policies.push_back(
+                orUsage(faultPolicyFromName(value("--policy"))));
         } else if (std::strcmp(argv[i], "--out") == 0)
             out_path = value("--out");
+        else if (argv[i][0] == '-')
+            throw UsageError(strCat("unknown flag '", argv[i], "'"));
         else
-            config.config = parseConfig(argv[i]);
+            config.config = orUsage(parseConfig(argv[i]));
     }
 
     const CampaignResult result = runFaultCampaign(config);
@@ -445,6 +573,97 @@ cmdFaultCampaign(int argc, char **argv)
 }
 
 int
+cmdServeSoak(int argc, char **argv)
+{
+    SoakConfig config;
+    std::string out_path;
+    for (int i = 0; i < argc; ++i) {
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                throw UsageError(strCat("missing value for ", flag));
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--seed") == 0)
+            config.seed = orUsage(parseUint64("--seed", value("--seed")));
+        else if (std::strcmp(argv[i], "--duration") == 0)
+            config.duration_s = orUsage(parseDouble(
+                "--duration", value("--duration"), 0.01, 3600.0));
+        else if (std::strcmp(argv[i], "--arrival") == 0)
+            config.arrival_hz = orUsage(parseDouble(
+                "--arrival", value("--arrival"), 0.1, 1e6));
+        else if (std::strcmp(argv[i], "--burst") == 0)
+            config.burst_factor = orUsage(
+                parseDouble("--burst", value("--burst"), 1.0, 1000.0));
+        else if (std::strcmp(argv[i], "--queue") == 0)
+            config.queue_capacity = orUsage(
+                parseUnsigned("--queue", value("--queue"), 1, 1u << 20));
+        else if (std::strcmp(argv[i], "--tiers") == 0)
+            config.ladder_tiers = orUsage(
+                parseUnsigned("--tiers", value("--tiers"), 1, 3));
+        else if (std::strcmp(argv[i], "--retries") == 0)
+            config.max_retries = orUsage(
+                parseUnsigned("--retries", value("--retries"), 0, 16));
+        else if (std::strcmp(argv[i], "--epochs") == 0)
+            config.train_epochs = orUsage(
+                parseUnsigned("--epochs", value("--epochs"), 1, 64));
+        else if (std::strcmp(argv[i], "--wall") == 0)
+            config.virtual_time = false;
+        else if (std::strcmp(argv[i], "--workers") == 0)
+            config.wall_workers = orUsage(
+                parseUnsigned("--workers", value("--workers"), 1, 256));
+        else if (std::strcmp(argv[i], "--modeled") == 0)
+            config.kernel_mode = KernelMode::Modeled;
+        else if (std::strcmp(argv[i], "--no-decisions") == 0)
+            config.emit_decision_log = false;
+        else if (std::strcmp(argv[i], "--out") == 0)
+            out_path = value("--out");
+        else
+            throw UsageError(
+                strCat("unknown argument '", argv[i], "'"));
+    }
+
+    const SoakResult result = runServeSoak(config);
+
+    Table t({"metric", "value"});
+    t.addRow({"mode", config.virtual_time ? "virtual-time" : "wall"});
+    t.addRow({"elapsed", Table::fmt(result.elapsed_s, 3) + " s"});
+    t.addRow({"submitted", std::to_string(result.stats.submitted)});
+    t.addRow({"completed ok", std::to_string(result.stats.completed_ok)});
+    t.addRow({"goodput", Table::fmt(result.goodput_rps, 1) + " req/s"});
+    t.addRow({"shed", std::to_string(result.stats.shed)});
+    t.addRow({"rejected (full)",
+              std::to_string(result.stats.rejected_full)});
+    t.addRow({"rejected (invalid)",
+              std::to_string(result.stats.rejected_invalid)});
+    t.addRow({"deadline missed",
+              std::to_string(result.stats.expired_submit +
+                             result.stats.expired_queue +
+                             result.stats.deadline_exceeded)});
+    t.addRow({"retries", std::to_string(result.stats.retries)});
+    t.addRow({"degrade/recover",
+              strCat(result.stats.degrade_steps, "/",
+                     result.stats.recover_steps)});
+    t.addRow({"watchdog cancels",
+              std::to_string(result.stats.watchdog_cancels)});
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "0x%016llx",
+                  static_cast<unsigned long long>(result.decision_hash));
+    t.addRow({"decision hash", hash});
+    t.print(std::cout);
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os)
+            fatal(strCat("cannot open ", out_path, " for writing"));
+        os << result.toJson();
+        std::cout << "soak report written to " << out_path << "\n";
+    }
+    // Zero goodput means the server completed nothing on time — the
+    // soak's one hard invariant.
+    return result.stats.completed_ok > 0 ? 0 : 1;
+}
+
+int
 cmdConfigs()
 {
     Table t({"config", "MAC/cycle", "kua/kub", "group extent",
@@ -469,8 +688,8 @@ main(int argc, char **argv)
     try {
         if (argc < 2) {
             std::cerr << "usage: mixgemm-cli "
-                         "<gemm|network|dse|configs|fault-campaign> "
-                         "...\n";
+                         "<gemm|network|dse|configs|fault-campaign|"
+                         "serve-soak> ...\n";
             return 2;
         }
         const std::string cmd = argv[1];
@@ -484,7 +703,13 @@ main(int argc, char **argv)
             return cmdConfigs();
         if (cmd == "fault-campaign")
             return cmdFaultCampaign(argc - 2, argv + 2);
+        if (cmd == "serve-soak")
+            return cmdServeSoak(argc - 2, argv + 2);
         std::cerr << "unknown command '" << cmd << "'\n";
+        return 2;
+    } catch (const UsageError &e) {
+        std::cerr << "error: " << e.what() << "\n"
+                  << "run 'mixgemm-cli' with no arguments for usage\n";
         return 2;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
