@@ -1,0 +1,277 @@
+#include "common/jsonlite.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    const JsonValue *found = nullptr;
+    for (const auto &[name, value] : members)
+        if (name == key)
+            found = &value; // last duplicate wins, like most parsers
+    return found;
+}
+
+namespace
+{
+
+constexpr unsigned kMaxDepth = 64;
+
+/** Cursor over the input with position-carrying error helpers. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Expected<JsonValue> parseDocument()
+    {
+        skipWs();
+        JsonValue value;
+        if (Status s = parseValue(value, 0); !s.ok())
+            return s;
+        skipWs();
+        if (pos_ != text_.size())
+            return error("trailing characters after the document");
+        return value;
+    }
+
+  private:
+    Status error(const std::string &what) const
+    {
+        return Status::dataLoss(
+            strCat("JSON parse error at byte ", pos_, ": ", what));
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool consumeWord(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    Status parseValue(JsonValue &out, unsigned depth)
+    {
+        if (depth > kMaxDepth)
+            return error("nesting too deep");
+        if (pos_ >= text_.size())
+            return error("unexpected end of input");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            if (!consumeWord("true"))
+                return error("invalid literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return Status();
+          case 'f':
+            if (!consumeWord("false"))
+                return error("invalid literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return Status();
+          case 'n':
+            if (!consumeWord("null"))
+                return error("invalid literal");
+            out.kind = JsonValue::Kind::Null;
+            return Status();
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    Status parseObject(JsonValue &out, unsigned depth)
+    {
+        ++pos_; // '{'
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return Status();
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return error("expected object key string");
+            std::string key;
+            if (Status s = parseString(key); !s.ok())
+                return s;
+            skipWs();
+            if (!consume(':'))
+                return error("expected ':' after object key");
+            skipWs();
+            JsonValue value;
+            if (Status s = parseValue(value, depth + 1); !s.ok())
+                return s;
+            out.members.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Status();
+            return error("expected ',' or '}' in object");
+        }
+    }
+
+    Status parseArray(JsonValue &out, unsigned depth)
+    {
+        ++pos_; // '['
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return Status();
+        while (true) {
+            skipWs();
+            JsonValue value;
+            if (Status s = parseValue(value, depth + 1); !s.ok())
+                return s;
+            out.items.push_back(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Status();
+            return error("expected ',' or ']' in array");
+        }
+    }
+
+    Status parseString(std::string &out)
+    {
+        ++pos_; // opening '"'
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return error("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return Status();
+            if (static_cast<unsigned char>(c) < 0x20)
+                return error("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return error("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return error("truncated \\u escape");
+                unsigned code = 0;
+                for (unsigned i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return error("invalid \\u escape digit");
+                }
+                // ASCII decodes exactly; anything wider degrades to
+                // '?' (our artifacts are ASCII, see file comment).
+                out.push_back(code < 0x80 ? static_cast<char>(code)
+                                          : '?');
+                break;
+              }
+              default: return error("unknown escape character");
+            }
+        }
+    }
+
+    Status parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        consume('-');
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            return error("invalid number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (consume('.')) {
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return error("invalid number fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return error("invalid number exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        double value = 0.0;
+        const auto [ptr, ec] = std::from_chars(
+            text_.data() + start, text_.data() + pos_, value);
+        if (ec != std::errc() || ptr != text_.data() + pos_)
+            return error("number out of range");
+        out.kind = JsonValue::Kind::Number;
+        out.number = value;
+        return Status();
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Expected<JsonValue>
+parseJson(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace mixgemm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal JSON value model + parser for the toolchain's read-back paths.
+ *
+ * The library *writes* JSON in several places (trace/session.cc, the
+ * benches) with hand-rolled emitters, but until the autotuner nothing
+ * ever needed to *read* it back. This module closes that loop for the
+ * small structured artifacts we own end to end: μ-kernel tuning files
+ * and bench history sections. It is a strict recursive-descent parser
+ * over the full JSON grammar with two deliberate limits, both fine for
+ * self-produced ASCII artifacts: numbers parse into double (53-bit
+ * integer precision), and \uXXXX escapes outside ASCII decode to '?'.
+ *
+ * Parse errors come back as a Status (kDataLoss) with a byte offset —
+ * these are external-input boundaries (a user-edited tuning file, a
+ * stale CI artifact), so they must not crash the process.
+ */
+
+#ifndef MIXGEMM_COMMON_JSONLITE_H
+#define MIXGEMM_COMMON_JSONLITE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mixgemm
+{
+
+/** One parsed JSON value; a tagged union over the seven JSON kinds. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items; ///< Array elements
+    /// Object members in source order (duplicate keys keep the last).
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Typed accessors with a fallback for wrong-kind/absent values. */
+    double numberOr(double fallback) const
+    {
+        return isNumber() ? number : fallback;
+    }
+    uint64_t uintOr(uint64_t fallback) const
+    {
+        return isNumber() && number >= 0
+            ? static_cast<uint64_t>(number)
+            : fallback;
+    }
+    bool boolOr(bool fallback) const
+    {
+        return isBool() ? boolean : fallback;
+    }
+    std::string stringOr(std::string fallback) const
+    {
+        return isString() ? str : std::move(fallback);
+    }
+};
+
+/**
+ * Parse one JSON document (exactly one top-level value, whitespace
+ * allowed around it). Nesting depth is capped at 64 levels.
+ */
+Expected<JsonValue> parseJson(std::string_view text);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_JSONLITE_H

@@ -46,12 +46,19 @@ floorPow2(uint64_t value)
 
 } // namespace
 
-BlockingParams
-deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes, unsigned elem_bytes,
-               unsigned mr, unsigned nr)
+Expected<BlockingParams>
+tryDeriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes,
+                  unsigned elem_bytes, unsigned mr, unsigned nr)
 {
     if (l1_bytes == 0 || l2_bytes == 0 || elem_bytes == 0)
-        fatal("deriveBlocking: sizes must be positive");
+        return Status::invalidArgument(
+            "deriveBlocking: cache and element sizes must be positive");
+    if (mr == 0 || nr == 0)
+        return Status::invalidArgument(
+            "deriveBlocking: register blocks must be positive");
+    if (uint64_t{mr} * nr > 1u << 20)
+        return Status::invalidArgument(
+            "deriveBlocking: mr * nr exceeds any plausible AccMem");
     BlockingParams p;
     p.mr = mr;
     p.nr = nr;
@@ -60,17 +67,36 @@ deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes, unsigned elem_bytes,
     // Mix-GEMM, in the AccMem, so the μ-panels are the main residents).
     // Rounded down to a power of two so panel strides stay friendly to
     // set-indexed caches; the cap therefore scales with the actual L1
-    // budget instead of a hard 256 that wastes large caches.
+    // budget instead of a hard 256 that wastes large caches. A tiny L1
+    // drives the quotient to zero — clamp at one μ-panel (mr) so the
+    // k loop still advances in whole panels.
     const uint64_t kc =
         l1_bytes * 3 / 4 / (uint64_t{mr + nr} * elem_bytes);
     p.kc = std::max<uint64_t>(mr, floorPow2(std::max<uint64_t>(1, kc)));
     // mc: the packed [mc x kc] A panel should occupy about half of L2,
-    // again capped only by the cache budget itself.
+    // again capped only by the cache budget itself — clamped to at
+    // least one register block and rounded down to a whole multiple of
+    // mr, so a macro tile never holds a fractional μ-panel (floorPow2
+    // alone guarantees that only for power-of-two mr).
     const uint64_t mc = l2_bytes / 2 / (p.kc * elem_bytes);
     p.mc = std::max<uint64_t>(mr, floorPow2(std::max<uint64_t>(1, mc)));
+    p.mc = std::max<uint64_t>(mr, p.mc / mr * mr);
     p.nc = std::max<uint64_t>(256, nr);
-    p.validate();
+    p.nc = std::max<uint64_t>(nr, p.nc / nr * nr);
+    if (Status s = p.validateStatus(); !s.ok())
+        return s;
     return p;
+}
+
+BlockingParams
+deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes, unsigned elem_bytes,
+               unsigned mr, unsigned nr)
+{
+    Expected<BlockingParams> p =
+        tryDeriveBlocking(l1_bytes, l2_bytes, elem_bytes, mr, nr);
+    if (!p)
+        fatal(p.status().toString());
+    return *p;
 }
 
 } // namespace mixgemm

@@ -18,6 +18,7 @@
 #include "common/cancel.h"
 #include "common/status.h"
 #include "fault/fault.h"
+#include "gemm/kernels/kernel.h"
 
 namespace mixgemm
 {
@@ -68,6 +69,24 @@ struct BlockingParams
      * as the arbiter if the paths ever disagree.
      */
     KernelMode kernel_mode = KernelMode::Fast;
+
+    /**
+     * SIMD lane-width ceiling for fast-path μ-kernel selection
+     * (gemm/kernels/kernel.h). Auto — the default — dispatches the
+     * widest registered kernel this binary was compiled for; Off keeps
+     * the legacy per-cell scalar loop. Every level is bitwise
+     * identical in C and counters; only wall-clock changes.
+     */
+    SimdLevel simd = SimdLevel::Auto;
+
+    /**
+     * Force a specific registry μ-kernel by name (typically from a
+     * tuning file, see gemm/kernels/autotune.h). Empty — the default —
+     * selects automatically per @ref simd. A name that does not exist
+     * or does not apply to the GEMM's geometry/shape falls back to
+     * automatic selection with a warning.
+     */
+    std::string micro_kernel;
 
     /**
      * Observability sink (trace/session.h): when set, mixGemm() times
@@ -136,10 +155,28 @@ struct BlockingParams
  * powers of two, so the caps scale with the cache budgets (the target
  * SoC's 32 KB L1 / 512 KB L2 still lands on the Table I values).
  * Element sizes are in bytes (8 for μ-vector words and doubles).
+ *
+ * Degenerate cache budgets clamp instead of underflowing: kc and mc
+ * never drop below one μ-panel (mr), and mc/nc round down to whole
+ * multiples of mr/nr so the macro tiles always decompose into complete
+ * register blocks plus a matrix edge — never a cache block smaller
+ * than its own register block.
+ * @throws FatalError on the errors tryDeriveBlocking() reports.
  */
 BlockingParams deriveBlocking(uint64_t l1_bytes, uint64_t l2_bytes,
                               unsigned elem_bytes, unsigned mr,
                               unsigned nr);
+
+/**
+ * Checked variant of deriveBlocking() for external-input boundaries
+ * (CLI flags, tuning files): zero sizes, zero register blocks, and
+ * impossible geometries (mr * nr overflowing the AccMem bound) come
+ * back as a structured error instead of a FatalError throw.
+ */
+Expected<BlockingParams> tryDeriveBlocking(uint64_t l1_bytes,
+                                           uint64_t l2_bytes,
+                                           unsigned elem_bytes,
+                                           unsigned mr, unsigned nr);
 
 } // namespace mixgemm
 

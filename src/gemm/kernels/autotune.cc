@@ -1,0 +1,393 @@
+#include "gemm/kernels/autotune.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/jsonlite.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "gemm/kernels/kernel.h"
+#include "gemm/mixgemm.h"
+#include "tensor/packing.h"
+#include "trace/json.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Parse "aX-wY" back into bitwidths; signedness comes separately. */
+Expected<DataSizeConfig>
+parseConfigName(const std::string &name, bool a_signed, bool b_signed)
+{
+    unsigned bwa = 0, bwb = 0;
+    if (std::sscanf(name.c_str(), "a%u-w%u", &bwa, &bwb) != 2 ||
+        bwa < 2 || bwa > 8 || bwb < 2 || bwb > 8)
+        return Status::dataLoss(
+            strCat("tuning entry has invalid config name '", name, "'"));
+    DataSizeConfig config;
+    config.bwa = bwa;
+    config.bwb = bwb;
+    config.a_signed = a_signed;
+    config.b_signed = b_signed;
+    return config;
+}
+
+/** Format a double with enough digits to survive the JSON round trip. */
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    return buf;
+}
+
+std::vector<int32_t>
+randomNarrowMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(elems);
+    for (auto &v : data) {
+        if (is_signed)
+            v = static_cast<int32_t>(
+                rng.uniformInt(-(int64_t{1} << (bw - 1)),
+                               (int64_t{1} << (bw - 1)) - 1));
+        else
+            v = static_cast<int32_t>(
+                rng.uniformInt(0, (int64_t{1} << bw) - 1));
+    }
+    return data;
+}
+
+/** Candidate cache-block sizes around the analytical point. */
+std::vector<uint64_t>
+blockCandidates(uint64_t derived, uint64_t floor, bool quick)
+{
+    std::vector<uint64_t> out{derived};
+    if (!quick) {
+        if (derived / 2 >= floor)
+            out.push_back(derived / 2);
+        out.push_back(derived * 2);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace
+
+const TuningEntry *
+TuningSet::find(const DataSizeConfig &config) const
+{
+    for (const TuningEntry &entry : entries)
+        if (entry.config == config.name() &&
+            entry.a_signed == config.a_signed &&
+            entry.b_signed == config.b_signed)
+            return &entry;
+    return nullptr;
+}
+
+void
+TuningSet::upsert(TuningEntry entry)
+{
+    for (TuningEntry &existing : entries) {
+        if (existing.config == entry.config &&
+            existing.a_signed == entry.a_signed &&
+            existing.b_signed == entry.b_signed) {
+            existing = std::move(entry);
+            return;
+        }
+    }
+    entries.push_back(std::move(entry));
+}
+
+std::string
+TuningSet::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"tool\": \"mixgemm-autotune\",\n";
+    os << "  \"preset\": \"" << jsonEscape(preset) << "\",\n";
+    os << "  \"simd_bits\": " << simd_bits << ",\n";
+    os << "  \"entries\": [";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const TuningEntry &e = entries[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    { \"config\": \"" << jsonEscape(e.config)
+           << "\", \"a_signed\": " << (e.a_signed ? "true" : "false")
+           << ", \"b_signed\": " << (e.b_signed ? "true" : "false")
+           << ",\n      \"mc\": " << e.mc << ", \"nc\": " << e.nc
+           << ", \"kc\": " << e.kc << ", \"mr\": " << e.mr
+           << ", \"nr\": " << e.nr << ",\n      \"kernel\": \""
+           << jsonEscape(e.kernel) << "\", \"gops\": "
+           << formatDouble(e.gops) << ",\n      \"probe\": {\"m\": "
+           << e.probe_m << ", \"n\": " << e.probe_n << ", \"k\": "
+           << e.probe_k << "} }";
+    }
+    os << (entries.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+    return os.str();
+}
+
+Expected<TuningSet>
+TuningSet::fromJson(const std::string &text)
+{
+    Expected<JsonValue> doc = parseJson(text);
+    if (!doc)
+        return doc.status();
+    if (!doc->isObject())
+        return Status::dataLoss("tuning file: top level is not an object");
+    TuningSet set;
+    if (const JsonValue *tool = doc->find("tool");
+        tool && tool->stringOr("") != "mixgemm-autotune")
+        return Status::dataLoss(
+            strCat("tuning file: unexpected tool '",
+                   tool->stringOr(""), "'"));
+    if (const JsonValue *preset = doc->find("preset"))
+        set.preset = preset->stringOr(set.preset);
+    if (const JsonValue *bits = doc->find("simd_bits"))
+        set.simd_bits = static_cast<unsigned>(bits->uintOr(64));
+    const JsonValue *entries = doc->find("entries");
+    if (!entries || !entries->isArray())
+        return Status::dataLoss(
+            "tuning file: missing or non-array 'entries'");
+    for (const JsonValue &item : entries->items) {
+        if (!item.isObject())
+            return Status::dataLoss(
+                "tuning file: entry is not an object");
+        TuningEntry e;
+        const JsonValue *config = item.find("config");
+        if (!config || !config->isString())
+            return Status::dataLoss(
+                "tuning file: entry missing 'config'");
+        e.config = config->str;
+        if (const JsonValue *v = item.find("a_signed"))
+            e.a_signed = v->boolOr(true);
+        if (const JsonValue *v = item.find("b_signed"))
+            e.b_signed = v->boolOr(true);
+        e.mc = item.find("mc") ? item.find("mc")->uintOr(0) : 0;
+        e.nc = item.find("nc") ? item.find("nc")->uintOr(0) : 0;
+        e.kc = item.find("kc") ? item.find("kc")->uintOr(0) : 0;
+        e.mr = item.find("mr")
+            ? static_cast<unsigned>(item.find("mr")->uintOr(0))
+            : 0;
+        e.nr = item.find("nr")
+            ? static_cast<unsigned>(item.find("nr")->uintOr(0))
+            : 0;
+        if (const JsonValue *v = item.find("kernel"))
+            e.kernel = v->stringOr("");
+        if (const JsonValue *v = item.find("gops"))
+            e.gops = v->numberOr(0.0);
+        if (const JsonValue *probe = item.find("probe")) {
+            if (const JsonValue *v = probe->find("m"))
+                e.probe_m = v->uintOr(0);
+            if (const JsonValue *v = probe->find("n"))
+                e.probe_n = v->uintOr(0);
+            if (const JsonValue *v = probe->find("k"))
+                e.probe_k = v->uintOr(0);
+        }
+        // Validate the entry: the config must parse and the blocking
+        // must be an executable geometry. A hand-edited file fails
+        // here instead of deep inside the GEMM driver.
+        Expected<DataSizeConfig> parsed =
+            parseConfigName(e.config, e.a_signed, e.b_signed);
+        if (!parsed)
+            return parsed.status();
+        BlockingParams check;
+        check.mc = e.mc;
+        check.nc = e.nc;
+        check.kc = e.kc;
+        check.mr = e.mr;
+        check.nr = e.nr;
+        if (Status s = check.validateStatus(); !s.ok())
+            return Status::dataLoss(
+                strCat("tuning file: entry '", e.config,
+                       "' has invalid blocking — ", s.toString()));
+        set.entries.push_back(std::move(e));
+    }
+    return set;
+}
+
+Expected<TuningSet>
+TuningSet::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::notFound(
+            strCat("cannot open tuning file '", path, "'"));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromJson(buffer.str());
+}
+
+Status
+TuningSet::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return Status::internal(
+            strCat("cannot write tuning file '", path, "'"));
+    out << toJson();
+    return Status();
+}
+
+void
+applyTuning(const TuningEntry &entry, BlockingParams &params)
+{
+    params.mc = entry.mc;
+    params.nc = entry.nc;
+    params.kc = entry.kc;
+    params.mr = entry.mr;
+    params.nr = entry.nr;
+    params.micro_kernel = entry.kernel;
+}
+
+BlockingParams
+blockingForConfig(const TuningSet *tuning, const DataSizeConfig &config,
+                  uint64_t l1_bytes, uint64_t l2_bytes,
+                  unsigned elem_bytes)
+{
+    BlockingParams params =
+        deriveBlocking(l1_bytes, l2_bytes, elem_bytes, 4, 4);
+    if (tuning) {
+        if (const TuningEntry *entry = tuning->find(config))
+            applyTuning(*entry, params);
+    }
+    return params;
+}
+
+TuningSet
+runAutotune(const AutotuneOptions &options, std::ostream *log)
+{
+    using clock = std::chrono::steady_clock;
+
+    std::vector<DataSizeConfig> configs = options.configs;
+    if (configs.empty()) {
+        // The hot four: the configurations with slice-specialized
+        // kernel instantiations (see kernels/registry.cc).
+        constexpr std::pair<unsigned, unsigned> kHot[] = {
+            {8, 8}, {8, 4}, {4, 4}, {2, 2}};
+        for (const auto &[bwa, bwb] : kHot) {
+            DataSizeConfig c;
+            c.bwa = bwa;
+            c.bwb = bwb;
+            configs.push_back(c);
+        }
+    }
+
+    const uint64_t m = options.m, n = options.n, k = options.k;
+    const unsigned reps = std::max(1u, options.quick ? 1u : options.reps);
+    constexpr std::pair<unsigned, unsigned> kShapes[] = {
+        {4, 4}, {8, 4}, {4, 8}, {8, 8}};
+
+    TuningSet best_set;
+    best_set.preset = options.preset;
+    best_set.simd_bits = 64 * simdMaxLanes();
+
+    Rng rng(options.seed);
+    for (const DataSizeConfig &config : configs) {
+        const BsGeometry geometry =
+            geometryForK(computeBsGeometry(config), k);
+        const auto a_data =
+            randomNarrowMatrix(rng, m * k, config.bwa, config.a_signed);
+        const auto b_data =
+            randomNarrowMatrix(rng, k * n, config.bwb, config.b_signed);
+        const CompressedA a(a_data, m, k, geometry);
+        const CompressedB b(b_data, k, n, geometry);
+        // Panels build once and amortize across every candidate —
+        // blocking and kernel choice never change the expansion.
+        a.ensureClusterPanels();
+        b.ensureClusterPanels();
+
+        TuningEntry best;
+        best.config = config.name();
+        best.a_signed = config.a_signed;
+        best.b_signed = config.b_signed;
+        best.probe_m = m;
+        best.probe_n = n;
+        best.probe_k = k;
+
+        for (const auto &[mr, nr] : kShapes) {
+            const BlockingParams derived = deriveBlocking(
+                options.l1_bytes, options.l2_bytes, 8, mr, nr);
+
+            // Candidate kernels: quick mode trusts automatic
+            // selection; the full sweep measures every applicable
+            // registry entry of this shape (scalar fallback included,
+            // so a machine where SWAR loses still tunes honestly).
+            std::vector<std::string> kernel_names;
+            if (options.quick) {
+                if (const MicroKernel *k_auto = selectMicroKernel(
+                        geometry, mr, nr, SimdLevel::Auto))
+                    kernel_names.push_back(k_auto->name);
+            } else {
+                for (const MicroKernel &kernel : microKernelRegistry())
+                    if (kernel.mr == mr && kernel.nr == nr &&
+                        microKernelApplicable(kernel, geometry))
+                        kernel_names.push_back(kernel.name);
+            }
+            if (kernel_names.empty())
+                continue;
+
+            for (const uint64_t kc :
+                 blockCandidates(derived.kc, mr, options.quick)) {
+                for (const uint64_t mc : blockCandidates(
+                         std::max<uint64_t>(derived.mc, mr), mr,
+                         options.quick)) {
+                    for (const std::string &kernel_name : kernel_names) {
+                        BlockingParams params = derived;
+                        params.kc = kc;
+                        params.mc = std::max<uint64_t>(mr, mc / mr * mr);
+                        params.nc = std::max<uint64_t>(nr, derived.nc);
+                        params.threads = options.threads;
+                        params.micro_kernel = kernel_name;
+                        if (!params.validateStatus().ok())
+                            continue;
+
+                        double best_secs = 0.0;
+                        for (unsigned rep = 0; rep < reps; ++rep) {
+                            const auto start = clock::now();
+                            const MixGemmResult result =
+                                mixGemm(a, b, params);
+                            const double secs =
+                                std::chrono::duration<double>(
+                                    clock::now() - start)
+                                    .count();
+                            (void)result;
+                            if (rep == 0 || secs < best_secs)
+                                best_secs = secs;
+                        }
+                        const double gops = best_secs > 0.0
+                            ? 2.0 * static_cast<double>(m) *
+                                static_cast<double>(n) *
+                                static_cast<double>(k) / best_secs /
+                                1e9
+                            : 0.0;
+                        if (gops > best.gops) {
+                            best.mc = params.mc;
+                            best.nc = params.nc;
+                            best.kc = params.kc;
+                            best.mr = mr;
+                            best.nr = nr;
+                            best.kernel = kernel_name;
+                            best.gops = gops;
+                        }
+                    }
+                }
+            }
+        }
+
+        if (log)
+            *log << "autotune " << best.config << ": " << best.mr << "x"
+                 << best.nr << " " << best.kernel << " mc=" << best.mc
+                 << " nc=" << best.nc << " kc=" << best.kc << " "
+                 << formatDouble(best.gops) << " GOPS\n";
+        best_set.upsert(std::move(best));
+    }
+    return best_set;
+}
+
+} // namespace mixgemm

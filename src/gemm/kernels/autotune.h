@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Offline blocking/μ-kernel autotuner and its persisted tuning files.
+ *
+ * In the spirit of ISAAC/Triton-style `gemm_parameters` records
+ * (SNIPPETS.md snippet 3), a TuningEntry is one validated operating
+ * point — cache blocking (mc/nc/kc), register blocking (mr x nr) and
+ * the registry μ-kernel — measured fastest for one data-size
+ * configuration on one SoC preset. runAutotune() sweeps the candidate
+ * space (register shapes x applicable kernels x mc/nc/kc around the
+ * analytical deriveBlocking() point), times each candidate on a probe
+ * GEMM, and keeps the winner per configuration.
+ *
+ * Winners persist to a JSON tuning file (TuningSet::save/load) that the
+ * runtime consults at dispatch time: blockingForConfig() overlays the
+ * tuned entry — when one exists — onto the analytical derivation, and
+ * the forced kernel name flows into BlockingParams::micro_kernel, so a
+ * reloaded file reproduces the exact tuned dispatch (round-trip pinned
+ * by tests/test_kernels.cc). A file tuned on a wider-SIMD machine
+ * degrades gracefully: an unknown kernel name falls back to automatic
+ * selection with a warning (see selectMicroKernel()).
+ *
+ * Tuning-file format (all fields required unless noted):
+ *
+ *   {
+ *     "tool": "mixgemm-autotune",
+ *     "preset": "host",              // SoC preset label
+ *     "simd_bits": 512,              // lane width at tuning time
+ *     "entries": [
+ *       { "config": "a8-w8", "a_signed": true, "b_signed": true,
+ *         "mc": 128, "nc": 256, "kc": 256, "mr": 8, "nr": 4,
+ *         "kernel": "swar512_8x4_cw19",      // "" = auto-select
+ *         "gops": 14.2,                      // optional, informative
+ *         "probe": {"m": 192, "n": 192, "k": 384} }  // optional
+ *     ]
+ *   }
+ */
+
+#ifndef MIXGEMM_GEMM_KERNELS_AUTOTUNE_H
+#define MIXGEMM_GEMM_KERNELS_AUTOTUNE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bs/geometry.h"
+#include "common/status.h"
+#include "gemm/blocking.h"
+
+namespace mixgemm
+{
+
+/** One tuned operating point for one data-size configuration. */
+struct TuningEntry
+{
+    std::string config; ///< "aX-wY" (DataSizeConfig::name())
+    bool a_signed = true;
+    bool b_signed = true;
+    uint64_t mc = 256, nc = 256, kc = 256;
+    unsigned mr = 4, nr = 4;
+    std::string kernel; ///< registry μ-kernel name; "" = auto-select
+    double gops = 0.0;  ///< measured throughput at the probe shape
+    uint64_t probe_m = 0, probe_n = 0, probe_k = 0;
+};
+
+/** A persisted set of tuned operating points for one SoC preset. */
+struct TuningSet
+{
+    std::string preset = "host";
+    unsigned simd_bits = 64; ///< 64 * simdMaxLanes() at tuning time
+    std::vector<TuningEntry> entries;
+
+    /** Entry matching @p config (name + signedness); nullptr if none. */
+    const TuningEntry *find(const DataSizeConfig &config) const;
+
+    /** Insert or replace the entry for @p entry 's configuration. */
+    void upsert(TuningEntry entry);
+
+    /** Serialize to the tuning-file JSON (trailing newline included). */
+    std::string toJson() const;
+
+    /** Parse + validate a tuning-file document. */
+    static Expected<TuningSet> fromJson(const std::string &text);
+
+    /** Read + parse a tuning file from disk. */
+    static Expected<TuningSet> load(const std::string &path);
+
+    /** Write toJson() to @p path. */
+    Status save(const std::string &path) const;
+};
+
+/** Overlay one tuned entry onto @p params (blocking + forced kernel). */
+void applyTuning(const TuningEntry &entry, BlockingParams &params);
+
+/**
+ * Runtime dispatch consult: the analytical deriveBlocking() point for
+ * (@p l1_bytes, @p l2_bytes), overridden by the tuned entry when
+ * @p tuning (nullable) has one for @p config.
+ */
+BlockingParams blockingForConfig(const TuningSet *tuning,
+                                 const DataSizeConfig &config,
+                                 uint64_t l1_bytes, uint64_t l2_bytes,
+                                 unsigned elem_bytes = 8);
+
+/** Candidate sweep bounds for one runAutotune() invocation. */
+struct AutotuneOptions
+{
+    std::vector<DataSizeConfig> configs; ///< empty = the hot four
+    /// Quick mode (CI): one analytical blocking point per register
+    /// shape, auto-selected kernel only, smaller probe, one rep.
+    bool quick = false;
+    uint64_t m = 192, n = 192, k = 384; ///< probe GEMM shape
+    unsigned reps = 3;                  ///< best-of wall-clock reps
+    unsigned threads = 1;
+    std::string preset = "host";
+    uint64_t l1_bytes = 32 * 1024;  ///< SoC preset cache budget
+    uint64_t l2_bytes = 512 * 1024;
+    uint64_t seed = 20260807;       ///< probe-data RNG seed
+};
+
+/**
+ * Sweep and measure; returns the per-configuration winners. Progress
+ * lines go to @p log when non-null. Deterministic in everything but
+ * the wall-clock measurements themselves.
+ */
+TuningSet runAutotune(const AutotuneOptions &options,
+                      std::ostream *log = nullptr);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_GEMM_KERNELS_AUTOTUNE_H

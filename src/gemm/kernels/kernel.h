@@ -1,0 +1,136 @@
+/**
+ * @file
+ * μ-kernel registry for the word-domain fast path.
+ *
+ * The fast GEMM driver (gemm/mixgemm.cc) computes every interior
+ * [mr x nr] C μ-panel as mr * nr independent clusterPanelDot() streams.
+ * That per-cell loop is the PR-2 scalar baseline; this registry holds
+ * the generated SIMD SWAR replacements: templated kernels instantiated
+ * per register-blocking shape (4x4, 8x4, 4x8, 8x8), per SIMD lane count
+ * (1 = scalar fallback, 2/4/8 x 64-bit via GCC/Clang vector
+ * extensions), and — for the hot data-size configurations — per
+ * compile-time (cw, slice_lsb) pair so the shift/mask slice extraction
+ * constant-folds.
+ *
+ * Dispatch key: (mr x nr shape, lane width, slice constants). The
+ * signedness split — unsigned mask-extract, signed shift-pair with
+ * borrow, signed lsb == 0 sign-extend — is resolved inside each entry
+ * from the geometry, so one registry entry covers all four
+ * (a_signed, b_signed) combinations of its configuration.
+ *
+ * Every kernel computes the exact chunk sums of bs/expand.h's
+ * clusterPanelDot(): int64 addition is associative modulo 2^64, so any
+ * lane-parallel reordering of the per-chunk terms produces the same
+ * bits, and every registered kernel stays bitwise identical to the
+ * modeled μ-engine in C and counter totals (pinned by
+ * tests/test_kernels.cc across the full config x shape x thread
+ * matrix).
+ */
+
+#ifndef MIXGEMM_GEMM_KERNELS_KERNEL_H
+#define MIXGEMM_GEMM_KERNELS_KERNEL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bs/geometry.h"
+#include "common/status.h"
+
+namespace mixgemm
+{
+
+/**
+ * SIMD lane-width ceiling for μ-kernel selection.
+ *
+ *  - Off: bypass the registry entirely — the driver keeps the PR-2
+ *    per-cell scalar loop (the "legacy" kernel). The benchmark baseline.
+ *  - Scalar: registry kernels restricted to the 1-lane scalar fallback.
+ *  - V128/V256/V512: cap the lane width at 2/4/8 64-bit lanes.
+ *  - Auto: widest lane width this binary was compiled for.
+ */
+enum class SimdLevel
+{
+    Off,
+    Scalar,
+    V128,
+    V256,
+    V512,
+    Auto,
+};
+
+/** Canonical lowercase name ("off", "scalar", "v128", ..., "auto"). */
+const char *simdLevelName(SimdLevel level);
+
+/** Parse a simdLevelName() string (CLI/tuning-file boundary). */
+Expected<SimdLevel> parseSimdLevel(std::string_view name);
+
+/**
+ * One interior μ-tile of fast-path work: mr rows of A cluster panels
+ * against nr columns of B cluster panels, each pair a @ref span chunk
+ * multiply/extract stream, accumulated (+=) into the C μ-panel at
+ * @ref c. Strides are in 64-bit words; consecutive accumulation groups
+ * of one row/column are contiguous (tensor/packing.h), which is what
+ * lets the whole [g0, g1) group range flatten into one span.
+ */
+struct MicroTileArgs
+{
+    const uint64_t *a = nullptr; ///< row 0 cluster stream (at group g0)
+    const uint64_t *b = nullptr; ///< col 0 cluster stream (at group g0)
+    uint64_t a_stride = 0;       ///< words between adjacent A rows
+    uint64_t b_stride = 0;       ///< words between adjacent B columns
+    unsigned span = 0;           ///< cluster-word pairs per cell
+    int64_t *c = nullptr;        ///< &C[ir * ldc + jr]
+    uint64_t ldc = 0;            ///< C row stride in elements
+};
+
+/** A registered μ-kernel implementation. */
+using MicroKernelFn = void (*)(const MicroTileArgs &, const BsGeometry &);
+
+/** Registry entry: dispatch key + the kernel function. */
+struct MicroKernel
+{
+    std::string name; ///< e.g. "swar512_8x4_cw19", "scalar_4x4"
+    unsigned mr = 0;  ///< register-block rows the kernel computes
+    unsigned nr = 0;  ///< register-block columns
+    unsigned lanes = 1; ///< 64-bit SIMD lanes per vector op (1 = scalar)
+    /// Compile-time slice constants; 0 = generic (reads the geometry at
+    /// runtime). A specialized entry only applies to geometries whose
+    /// (cw, slice_lsb) match exactly.
+    unsigned cw = 0;
+    unsigned lsb = 0;
+    MicroKernelFn fn = nullptr;
+};
+
+/** All kernels compiled into this binary (stable order, built once). */
+const std::vector<MicroKernel> &microKernelRegistry();
+
+/** Look up a kernel by exact name; nullptr when absent. */
+const MicroKernel *findMicroKernel(std::string_view name);
+
+/** Widest lane count compiled into this binary (1, 2, 4 or 8). */
+unsigned simdMaxLanes();
+
+/** True iff @p kernel 's slice specialization matches @p geometry. */
+bool microKernelApplicable(const MicroKernel &kernel,
+                           const BsGeometry &geometry);
+
+/**
+ * Pick the μ-kernel the fast path dispatches for one GEMM: @p forced
+ * (a registry name, typically from a tuning file) wins when it exists
+ * and applies to this geometry/shape — otherwise selection falls back
+ * to automatic with a warning. Automatic selection returns the widest
+ * applicable kernel within @p level 's lane cap, preferring a
+ * slice-specialized entry over the generic one at equal width.
+ * Returns nullptr — keep the legacy per-cell loop — for
+ * SimdLevel::Off or when no registered kernel matches (mr, nr).
+ */
+const MicroKernel *selectMicroKernel(const BsGeometry &geometry,
+                                     unsigned mr, unsigned nr,
+                                     SimdLevel level,
+                                     std::string_view forced = {});
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_GEMM_KERNELS_KERNEL_H

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * μ-kernel registry: template instantiation and dispatch selection.
+ *
+ * This translation unit is the only place the SWAR templates
+ * instantiate, and the build compiles it with the widest ISA the host
+ * toolchain offers (-march=native when available, see
+ * src/gemm/CMakeLists.txt) — keeping ISA-specific codegen out of every
+ * other object file. Lane availability is a compile-time fact of this
+ * file: AVX-512DQ (native 64-bit vector multiply) enables 8-lane
+ * kernels, AVX2 4-lane, any other GNU-compatible target 2-lane, and a
+ * compiler without vector extensions still gets the 1-lane scalar
+ * instantiations.
+ *
+ * Slice-specialized entries (compile-time cw/slice_lsb) are generated
+ * for the hot data-size configurations at the widest lane count only —
+ * the width automatic selection picks anyway:
+ *
+ *   a8-w8           cluster 3, cw 19, slice_lsb 38
+ *   a8-w4 / a4-w8   cluster 4, cw 16, slice_lsb 48
+ *   a4-w4           cluster 5, cw 12, slice_lsb 48
+ *   a2-w2           cluster 7, cw  8, slice_lsb 48
+ */
+
+#include "gemm/kernels/kernel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gemm/kernels/swar.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+using kernels::microTileEntry;
+
+#if !MIXGEMM_HAVE_VECTOR_EXT
+constexpr unsigned kMaxLanes = 1;
+#elif defined(__AVX512F__) && defined(__AVX512DQ__)
+constexpr unsigned kMaxLanes = 8;
+#elif defined(__AVX2__)
+constexpr unsigned kMaxLanes = 4;
+#else
+constexpr unsigned kMaxLanes = 2;
+#endif
+
+std::string
+shapeName(unsigned mr, unsigned nr)
+{
+    return std::to_string(mr) + "x" + std::to_string(nr);
+}
+
+/** Generic (runtime-slice) entry for one (shape, lanes) pair. */
+template <unsigned MR, unsigned NR, unsigned LANES>
+void
+addGeneric(std::vector<MicroKernel> &v)
+{
+    const std::string name =
+        LANES == 1
+            ? "scalar_" + shapeName(MR, NR)
+            : "swar" + std::to_string(LANES * 64) + "_" +
+                  shapeName(MR, NR);
+    v.push_back({name, MR, NR, LANES, 0, 0,
+                 &microTileEntry<MR, NR, LANES, 0, 0>});
+}
+
+/** Slice-specialized entry for one (shape, lanes, cw, lsb) tuple. */
+template <unsigned MR, unsigned NR, unsigned LANES, unsigned CW,
+          unsigned LSB>
+void
+addSpecialized(std::vector<MicroKernel> &v)
+{
+    const std::string name = "swar" + std::to_string(LANES * 64) + "_" +
+                             shapeName(MR, NR) + "_cw" +
+                             std::to_string(CW);
+    v.push_back({name, MR, NR, LANES, CW, LSB,
+                 &microTileEntry<MR, NR, LANES, CW, LSB>});
+}
+
+template <unsigned MR, unsigned NR>
+void
+addShape(std::vector<MicroKernel> &v)
+{
+    addGeneric<MR, NR, 1>(v);
+    if constexpr (kMaxLanes >= 2)
+        addGeneric<MR, NR, 2>(v);
+    if constexpr (kMaxLanes >= 4)
+        addGeneric<MR, NR, 4>(v);
+    if constexpr (kMaxLanes >= 8)
+        addGeneric<MR, NR, 8>(v);
+    if constexpr (kMaxLanes > 1) {
+        // Hot-config specializations at the widest lane count.
+        addSpecialized<MR, NR, kMaxLanes, 19, 38>(v); // a8-w8
+        addSpecialized<MR, NR, kMaxLanes, 16, 48>(v); // a8-w4, a4-w8
+        addSpecialized<MR, NR, kMaxLanes, 12, 48>(v); // a4-w4
+        addSpecialized<MR, NR, kMaxLanes, 8, 48>(v);  // a2-w2
+    }
+}
+
+unsigned
+lanesCap(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Off: return 0;
+      case SimdLevel::Scalar: return 1;
+      case SimdLevel::V128: return 2;
+      case SimdLevel::V256: return 4;
+      case SimdLevel::V512: return 8;
+      case SimdLevel::Auto: return kMaxLanes;
+    }
+    return kMaxLanes;
+}
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Off: return "off";
+      case SimdLevel::Scalar: return "scalar";
+      case SimdLevel::V128: return "v128";
+      case SimdLevel::V256: return "v256";
+      case SimdLevel::V512: return "v512";
+      case SimdLevel::Auto: return "auto";
+    }
+    return "?";
+}
+
+Expected<SimdLevel>
+parseSimdLevel(std::string_view name)
+{
+    for (SimdLevel level :
+         {SimdLevel::Off, SimdLevel::Scalar, SimdLevel::V128,
+          SimdLevel::V256, SimdLevel::V512, SimdLevel::Auto})
+        if (name == simdLevelName(level))
+            return level;
+    return Status::invalidArgument(
+        strCat("unknown SIMD level '", std::string(name),
+               "' (off|scalar|v128|v256|v512|auto)"));
+}
+
+const std::vector<MicroKernel> &
+microKernelRegistry()
+{
+    static const std::vector<MicroKernel> registry = [] {
+        std::vector<MicroKernel> v;
+        addShape<4, 4>(v);
+        addShape<8, 4>(v);
+        addShape<4, 8>(v);
+        addShape<8, 8>(v);
+        return v;
+    }();
+    return registry;
+}
+
+const MicroKernel *
+findMicroKernel(std::string_view name)
+{
+    for (const MicroKernel &k : microKernelRegistry())
+        if (k.name == name)
+            return &k;
+    return nullptr;
+}
+
+unsigned
+simdMaxLanes()
+{
+    return kMaxLanes;
+}
+
+bool
+microKernelApplicable(const MicroKernel &kernel,
+                      const BsGeometry &geometry)
+{
+    return kernel.cw == 0 || (kernel.cw == geometry.cw &&
+                              kernel.lsb == geometry.slice_lsb);
+}
+
+const MicroKernel *
+selectMicroKernel(const BsGeometry &geometry, unsigned mr, unsigned nr,
+                  SimdLevel level, std::string_view forced)
+{
+    if (!forced.empty()) {
+        const MicroKernel *k = findMicroKernel(forced);
+        if (k && k->mr == mr && k->nr == nr &&
+            microKernelApplicable(*k, geometry))
+            return k;
+        warn(strCat("selectMicroKernel: forced kernel '",
+                    std::string(forced), "' is ",
+                    k ? "not applicable to this geometry/shape"
+                      : "not registered in this binary",
+                    "; falling back to automatic selection"));
+    }
+    if (level == SimdLevel::Off)
+        return nullptr;
+    const unsigned cap = lanesCap(level);
+    const MicroKernel *best = nullptr;
+    for (const MicroKernel &k : microKernelRegistry()) {
+        if (k.mr != mr || k.nr != nr || k.lanes > cap ||
+            !microKernelApplicable(k, geometry))
+            continue;
+        if (!best || k.lanes > best->lanes ||
+            (k.lanes == best->lanes && k.cw != 0 && best->cw == 0))
+            best = &k;
+    }
+    return best;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Templated SIMD SWAR μ-kernel bodies (included by registry.cc only).
+ *
+ * Each kernel computes the interior fast-path μ-tile of
+ * gemm/kernels/kernel.h: MR x NR cells, each the clusterPanelDot()
+ * multiply/extract stream of bs/expand.h, with the per-chunk work
+ * carried across LANES 64-bit SIMD lanes. Template parameters:
+ *
+ *   MR, NR   register-blocking shape (cells computed per call)
+ *   LANES    64-bit lanes per vector op; 1 is the scalar fallback,
+ *            2/4/8 use GCC/Clang vector extensions (vector_size), so
+ *            the same source serves SSE2/NEON, AVX2 and AVX-512 — and
+ *            still compiles (synthesized) anywhere the extension
+ *            exists, with the LANES == 1 instantiation guaranteed on
+ *            every compiler.
+ *   KIND     slice-extraction flavor (see SignKind)
+ *   CW, LSB  compile-time (cw, slice_lsb); CW == 0 reads the geometry
+ *            at runtime, CW != 0 constant-folds every shift and mask —
+ *            the "generated kernel per hot configuration" path.
+ *
+ * Bitwise identity with the scalar path needs no per-term care: each
+ * lane computes exactly the scalar per-chunk term (the low 64 multiply
+ * bits and the slice extraction are lane-local), and int64/uint64
+ * addition is associative and commutative modulo 2^64, so the
+ * lane-split accumulation order produces identical bits even at the
+ * wraparound edge.
+ */
+
+#ifndef MIXGEMM_GEMM_KERNELS_SWAR_H
+#define MIXGEMM_GEMM_KERNELS_SWAR_H
+
+#include <cstdint>
+#include <cstring>
+
+#include "bs/geometry.h"
+#include "common/bitutils.h"
+#include "gemm/kernels/kernel.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MIXGEMM_HAVE_VECTOR_EXT 1
+#else
+#define MIXGEMM_HAVE_VECTOR_EXT 0
+#endif
+
+namespace mixgemm
+{
+namespace kernels
+{
+
+/**
+ * The three slice-extraction flavors of clusterPanelDot(): unsigned
+ * mask-extract, signed shift-pair + borrow (slice_lsb > 0), and signed
+ * whole-low-slice sign extension (slice_lsb == 0).
+ */
+enum class SignKind
+{
+    Unsigned,
+    SignedShift,
+    SignedExt,
+};
+
+#if MIXGEMM_HAVE_VECTOR_EXT
+/** LANES x 64-bit vector types (GCC/Clang vector extensions). */
+template <unsigned LANES> struct VecTraits;
+template <> struct VecTraits<2>
+{
+    typedef uint64_t U __attribute__((vector_size(16)));
+    typedef int64_t I __attribute__((vector_size(16)));
+};
+template <> struct VecTraits<4>
+{
+    typedef uint64_t U __attribute__((vector_size(32)));
+    typedef int64_t I __attribute__((vector_size(32)));
+};
+template <> struct VecTraits<8>
+{
+    typedef uint64_t U __attribute__((vector_size(64)));
+    typedef int64_t I __attribute__((vector_size(64)));
+};
+#endif
+
+/**
+ * Slice constants, compile-time when CW != 0. The extraction identities
+ * and their validity are the ones documented at clusterPanelDot(): the
+ * slice plus its borrow bit never carries into the sign bit, so the
+ * shift-pair extension plus borrow-after reorder is exact.
+ */
+template <SignKind KIND, unsigned CW, unsigned LSB> struct SliceSpec
+{
+    unsigned rt_cw;
+    unsigned rt_lsb;
+
+    explicit SliceSpec(const BsGeometry &geometry)
+        : rt_cw(geometry.cw), rt_lsb(geometry.slice_lsb)
+    {
+    }
+
+    unsigned cw() const { return CW != 0 ? CW : rt_cw; }
+    unsigned lsb() const { return CW != 0 ? LSB : rt_lsb; }
+
+    int64_t extract(uint64_t p) const
+    {
+        if constexpr (KIND == SignKind::Unsigned) {
+            return static_cast<int64_t>((p >> lsb()) & mask64(cw()));
+        } else if constexpr (KIND == SignKind::SignedShift) {
+            const unsigned up = 64 - lsb() - cw();
+            const unsigned down = 64 - cw();
+            return (static_cast<int64_t>(p << up) >> down) +
+                   static_cast<int64_t>((p >> (lsb() - 1)) & 1);
+        } else {
+            return signExtend64(p, cw());
+        }
+    }
+
+#if MIXGEMM_HAVE_VECTOR_EXT
+    template <unsigned LANES>
+    typename VecTraits<LANES>::I
+    extractVec(typename VecTraits<LANES>::U p) const
+    {
+        using I = typename VecTraits<LANES>::I;
+        if constexpr (KIND == SignKind::Unsigned) {
+            return reinterpret_cast<I>((p >> lsb()) & mask64(cw()));
+        } else if constexpr (KIND == SignKind::SignedShift) {
+            const unsigned up = 64 - lsb() - cw();
+            const unsigned down = 64 - cw();
+            return (reinterpret_cast<I>(p << up) >> down) +
+                   reinterpret_cast<I>((p >> (lsb() - 1)) & uint64_t{1});
+        } else {
+            const unsigned down = 64 - cw();
+            return reinterpret_cast<I>(p << down) >> down;
+        }
+    }
+#endif
+};
+
+/**
+ * The μ-tile body. Accumulates MR x NR exact cell sums into C. The
+ * vectorized main loop carries one LANES-wide accumulator per cell;
+ * the chunk tail (span % LANES) and the LANES == 1 instantiation run
+ * the scalar extraction.
+ */
+template <unsigned MR, unsigned NR, unsigned LANES, SignKind KIND,
+          unsigned CW, unsigned LSB>
+void
+swarMicroTile(const MicroTileArgs &t, const BsGeometry &geometry)
+{
+    const SliceSpec<KIND, CW, LSB> slice(geometry);
+    const uint64_t *a_rows[MR];
+    const uint64_t *b_cols[NR];
+    for (unsigned j = 0; j < MR; ++j)
+        a_rows[j] = t.a + j * t.a_stride;
+    for (unsigned i = 0; i < NR; ++i)
+        b_cols[i] = t.b + i * t.b_stride;
+
+    int64_t acc[MR][NR];
+
+#if MIXGEMM_HAVE_VECTOR_EXT
+    if constexpr (LANES > 1) {
+        using VU = typename VecTraits<LANES>::U;
+        using VI = typename VecTraits<LANES>::I;
+        VI vacc[MR][NR] = {};
+        const unsigned vspan = t.span / LANES * LANES;
+        for (unsigned c = 0; c < vspan; c += LANES) {
+            VU va[MR], vb[NR];
+            for (unsigned j = 0; j < MR; ++j)
+                std::memcpy(&va[j], a_rows[j] + c, sizeof(VU));
+            for (unsigned i = 0; i < NR; ++i)
+                std::memcpy(&vb[i], b_cols[i] + c, sizeof(VU));
+            for (unsigned j = 0; j < MR; ++j)
+                for (unsigned i = 0; i < NR; ++i)
+                    vacc[j][i] += slice.template extractVec<LANES>(
+                        va[j] * vb[i]);
+        }
+        for (unsigned j = 0; j < MR; ++j) {
+            for (unsigned i = 0; i < NR; ++i) {
+                int64_t sum = 0;
+                for (unsigned l = 0; l < LANES; ++l)
+                    sum += vacc[j][i][l];
+                for (unsigned c = vspan; c < t.span; ++c)
+                    sum += slice.extract(a_rows[j][c] * b_cols[i][c]);
+                acc[j][i] = sum;
+            }
+        }
+    } else
+#endif
+    {
+        for (unsigned j = 0; j < MR; ++j) {
+            for (unsigned i = 0; i < NR; ++i) {
+                int64_t sum = 0;
+                for (unsigned c = 0; c < t.span; ++c)
+                    sum += slice.extract(a_rows[j][c] * b_cols[i][c]);
+                acc[j][i] = sum;
+            }
+        }
+    }
+
+    for (unsigned j = 0; j < MR; ++j)
+        for (unsigned i = 0; i < NR; ++i)
+            t.c[j * t.ldc + i] += acc[j][i];
+}
+
+/**
+ * Registry entry point: resolves the signedness flavor from the
+ * geometry (one branch per μ-tile) so a single entry serves all four
+ * (a_signed, b_signed) combinations. For specialized entries (CW != 0)
+ * the unreachable flavors fold away.
+ */
+template <unsigned MR, unsigned NR, unsigned LANES, unsigned CW,
+          unsigned LSB>
+void
+microTileEntry(const MicroTileArgs &t, const BsGeometry &geometry)
+{
+    const bool any_signed =
+        geometry.config.a_signed || geometry.config.b_signed;
+    const unsigned lsb = CW != 0 ? LSB : geometry.slice_lsb;
+    if (!any_signed)
+        swarMicroTile<MR, NR, LANES, SignKind::Unsigned, CW, LSB>(
+            t, geometry);
+    else if (lsb > 0)
+        swarMicroTile<MR, NR, LANES, SignKind::SignedShift, CW, LSB>(
+            t, geometry);
+    else
+        swarMicroTile<MR, NR, LANES, SignKind::SignedExt, CW, LSB>(
+            t, geometry);
+}
+
+} // namespace kernels
+} // namespace mixgemm
+
+#endif // MIXGEMM_GEMM_KERNELS_SWAR_H

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "fault/abft.h"
 #include "fault/injector.h"
+#include "gemm/kernels/kernel.h"
 #include "trace/metrics.h"
 #include "trace/session.h"
 #include "trace/tracer.h"
@@ -160,14 +161,21 @@ microKernelModeled(const CompressedA &a, const CompressedB &b,
  * the injector at the same (row, col, group) coordinate the modeled
  * engine's hook uses — int64 addition is associative, so unfaulted
  * cells are bit-identical to the span path.
+ *
+ * When @p uk is set (a registry μ-kernel matching this mr x nr shape,
+ * see gemm/kernels/kernel.h), interior μ-panels dispatch to it instead
+ * of the per-cell loop: same chunk terms, lane-parallel summation —
+ * bitwise identical by int64 associativity. Edge panels and the
+ * injector path always take the scalar loops, and the counters below
+ * are loop-structure identities independent of which body ran.
  */
 void
 microKernelFast(const CompressedA &a, const CompressedB &b,
-                FaultInjector *injector, uint64_t ir, uint64_t jr,
-                uint64_t row_end, uint64_t col_end, unsigned g0,
-                unsigned g1, unsigned mr, unsigned nr, bool interior,
-                std::vector<int64_t> &c, CounterSet &counters,
-                uint64_t &cell_groups)
+                FaultInjector *injector, const MicroKernel *uk,
+                uint64_t ir, uint64_t jr, uint64_t row_end,
+                uint64_t col_end, unsigned g0, unsigned g1, unsigned mr,
+                unsigned nr, bool interior, std::vector<int64_t> &c,
+                CounterSet &counters, uint64_t &cell_groups)
 {
     const BsGeometry &geom = a.geometry();
     const uint64_t n = b.n();
@@ -195,6 +203,16 @@ microKernelFast(const CompressedA &a, const CompressedB &b,
                 c[row * n + col] += sum;
             }
         }
+    } else if (interior && uk) {
+        MicroTileArgs args;
+        args.a = a.groupClusters(ir, g0);
+        args.b = b.groupClusters(jr, g0);
+        args.a_stride = uint64_t{a.kGroups()} * wpg;
+        args.b_stride = uint64_t{b.kGroups()} * wpg;
+        args.span = span;
+        args.c = c.data() + ir * n + jr;
+        args.ldc = n;
+        uk->fn(args, geom);
     } else if (interior) {
         for (unsigned i = 0; i < nr; ++i) {
             const uint64_t col = jr + i;
@@ -250,15 +268,16 @@ struct MacroTile
 void
 runKernelRange(const CompressedA &a, const CompressedB &b,
                BsEngine &engine, IpFaultHook *hook,
-               FaultInjector *fast_injector, const MacroTile &tile,
-               uint64_t jr, uint64_t ir0, uint64_t ir1, unsigned gc,
-               unsigned g1, unsigned mr, unsigned nr, bool interior,
-               bool fast, std::vector<int64_t> &c, CounterSet &counters,
+               FaultInjector *fast_injector, const MicroKernel *uk,
+               const MacroTile &tile, uint64_t jr, uint64_t ir0,
+               uint64_t ir1, unsigned gc, unsigned g1, unsigned mr,
+               unsigned nr, bool interior, bool fast,
+               std::vector<int64_t> &c, CounterSet &counters,
                uint64_t &cell_groups)
 {
     for (uint64_t ir = ir0; ir < ir1; ir += mr) {
         if (fast)
-            microKernelFast(a, b, fast_injector, tile.ic + ir,
+            microKernelFast(a, b, fast_injector, uk, tile.ic + ir,
                             tile.jc + jr, tile.ic + tile.mc,
                             tile.jc + tile.nc, gc, g1, mr, nr, interior,
                             c, counters, cell_groups);
@@ -281,9 +300,10 @@ runKernelRange(const CompressedA &a, const CompressedB &b,
 void
 runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
              IpFaultHook *hook, FaultInjector *fast_injector,
-             const MacroTile &tile, const BlockingParams &blocking,
-             unsigned kc_groups, std::vector<int64_t> &c,
-             CounterSet &counters, uint64_t &cell_groups)
+             const MicroKernel *uk, const MacroTile &tile,
+             const BlockingParams &blocking, unsigned kc_groups,
+             std::vector<int64_t> &c, CounterSet &counters,
+             uint64_t &cell_groups)
 {
     const unsigned k_groups = a.kGroups();
     const unsigned mr = blocking.mr;
@@ -309,15 +329,16 @@ runMacroTile(const CompressedA &a, const CompressedB &b, BsEngine &engine,
                 jr + nr <= tile.nc ? tile.mc / mr * mr : 0;
             if (interior_rows > 0) {
                 TRACE_SCOPE("kernel", "ukernels_interior");
-                runKernelRange(a, b, engine, hook, fast_injector, tile,
-                               jr, 0, interior_rows, gc, g1, mr, nr,
-                               true, fast, c, counters, cell_groups);
+                runKernelRange(a, b, engine, hook, fast_injector, uk,
+                               tile, jr, 0, interior_rows, gc, g1, mr,
+                               nr, true, fast, c, counters,
+                               cell_groups);
             }
             if (interior_rows < tile.mc) {
                 TRACE_SCOPE("kernel", "ukernels_edge");
-                runKernelRange(a, b, engine, hook, fast_injector, tile,
-                               jr, interior_rows, tile.mc, gc, g1, mr,
-                               nr, false, fast, c, counters,
+                runKernelRange(a, b, engine, hook, fast_injector, uk,
+                               tile, jr, interior_rows, tile.mc, gc, g1,
+                               mr, nr, false, fast, c, counters,
                                cell_groups);
             }
         }
@@ -363,10 +384,14 @@ recomputeTile(const CompressedA &a, const CompressedB &b,
         hook.emplace(*ip_injector);
         engine.setGroupResultHook(&*hook);
     }
+    const MicroKernel *uk = fast
+        ? selectMicroKernel(geom, mr, nr, params.simd,
+                            params.micro_kernel)
+        : nullptr;
     uint64_t cell_groups = 0;
     runMacroTile(a, b, engine, hook ? &*hook : nullptr,
-                 fast ? ip_injector : nullptr, tile, params, kc_groups,
-                 c, counters, cell_groups);
+                 fast ? ip_injector : nullptr, uk, tile, params,
+                 kc_groups, c, counters, cell_groups);
     if (injector && injector->anyAcc())
         injector->applyAccumulator(c, n, tile.ic, tile.ic + tile.mc,
                                    tile.jc, tile.jc + tile.nc);
@@ -391,6 +416,13 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
     const unsigned kc_groups = std::max<unsigned>(
         1, static_cast<unsigned>(blocking.kc / geom.group_extent));
     const bool fast = blocking.kernel_mode == KernelMode::Fast;
+    // Registry μ-kernel for the interior fast path, resolved once per
+    // GEMM (tuning-file forced name, then automatic by SIMD level).
+    // nullptr keeps the legacy per-cell loop.
+    const MicroKernel *uk = fast
+        ? selectMicroKernel(geom, mr, nr, blocking.simd,
+                            blocking.micro_kernel)
+        : nullptr;
     const FaultPolicy policy = blocking.fault_policy;
     FaultInjector *injector = blocking.fault;
 
@@ -496,6 +528,9 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
 
     MixGemmResult result;
     result.c.assign(m * n, 0);
+    result.micro_kernel =
+        fast ? (uk ? uk->name : std::string("legacy"))
+             : std::string("modeled");
     result.tiles_total = tiles.size();
     // One logical bs.set configures the computation; every worker
     // programs its own μ-engine instance with the same configuration,
@@ -540,7 +575,7 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
             const auto tile_start =
                 session ? clock::now() : clock::time_point{};
             runMacroTile(a, b, engine, hook ? &*hook : nullptr,
-                         fast ? ip_injector : nullptr, tiles[t],
+                         fast ? ip_injector : nullptr, uk, tiles[t],
                          blocking, kc_groups, result.c,
                          worker_counters[w], cell_groups);
             // Accumulator faults land at tile completion — the AccMem
@@ -719,6 +754,7 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
         report.kernel_mode = blocking.kernel_mode == KernelMode::Fast
             ? "fast"
             : "modeled";
+        report.kernel = result.micro_kernel;
         report.fault_policy = faultPolicyName(policy);
         report.abft_secs = result.abft.abft_secs;
         report.wall_secs =

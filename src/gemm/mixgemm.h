@@ -78,6 +78,15 @@ struct MixGemmResult
     AbftOutcome abft;       ///< ABFT verdicts (fault_policy != Off)
 
     /**
+     * The μ-kernel the interior fast path dispatched: a registry name
+     * from gemm/kernels/kernel.h (e.g. "swar512_8x4_cw19"), "legacy"
+     * when the registry was bypassed (SimdLevel::Off or an unmatched
+     * mr x nr shape), or "modeled" under KernelMode::Modeled. Also
+     * recorded in the RunReport when a session is attached.
+     */
+    std::string micro_kernel;
+
+    /**
      * kCancelled / kDeadlineExceeded when a BlockingParams::cancel
      * token tripped before all macro tiles completed; ok otherwise
      * (always ok without a token). On cancellation @ref c holds only

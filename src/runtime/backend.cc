@@ -1,5 +1,6 @@
 #include "runtime/backend.h"
 
+#include "gemm/kernels/autotune.h"
 #include "gemm/mixgemm.h"
 #include "gemm/reference.h"
 
@@ -21,6 +22,9 @@ MixGemmBackend::gemm(std::span<const int32_t> a,
 {
     const auto geometry = geometryForK(computeBsGeometry(config), k);
     BlockingParams blocking = BlockingParams::paperDefaults();
+    if (tuning_)
+        if (const TuningEntry *entry = tuning_->find(config))
+            applyTuning(*entry, blocking);
     blocking.threads = threads_;
     blocking.kernel_mode = kernel_mode_;
     blocking.session = session_;

@@ -23,6 +23,8 @@
 namespace mixgemm
 {
 
+struct TuningSet; // gemm/kernels/autotune.h
+
 /** Integer GEMM provider: C(m x n) = A(m x k) * B(k x n). */
 class GemmBackend
 {
@@ -125,6 +127,18 @@ class MixGemmBackend : public GemmBackend
     const std::string &traceLabel() const { return trace_label_; }
 
     /**
+     * Attach (or detach, with nullptr) an autotuner tuning set (see
+     * gemm/kernels/autotune.h): every subsequent gemm() whose
+     * configuration has a tuned entry runs with that entry's cache
+     * blocking, register blocking, and μ-kernel instead of the paper
+     * defaults. Not owned; must outlive the attachment. Tuning only
+     * moves work between bitwise-identical kernels, so outputs and
+     * counter totals are unchanged.
+     */
+    void setTuning(const TuningSet *tuning) { tuning_ = tuning; }
+    const TuningSet *tuning() const { return tuning_; }
+
+    /**
      * ABFT policy for subsequent gemm() calls (Off — the default —
      * skips all checksum work). Detection/correction verdicts of the
      * most recent call are available from lastAbft().
@@ -165,6 +179,7 @@ class MixGemmBackend : public GemmBackend
     uint64_t total_bs_ip_ = 0;
     TraceSession *session_ = nullptr;
     std::string trace_label_ = "mixgemm";
+    const TuningSet *tuning_ = nullptr;
     FaultPolicy fault_policy_ = FaultPolicy::Off;
     FaultInjector *fault_ = nullptr;
     unsigned abft_retries_ = 2;

@@ -57,10 +57,19 @@ LogHistogram::percentile(double p) const
     if (count_ == 0)
         return 0.0;
     const double clamped = std::clamp(p, 0.0, 100.0);
-    const uint64_t rank = std::max<uint64_t>(
-        1, static_cast<uint64_t>(
-               std::ceil(clamped / 100.0 *
-                         static_cast<double>(count_))));
+    // Nearest-rank: rank = ceil(p/100 * count). The product is not
+    // exact in binary floating point — 0.95 * 20 evaluates to
+    // 19.000000000000004 — and a raw ceil() would round such boundary
+    // counts one rank (and possibly one bucket) too high. Nudge down
+    // by a relative epsilon far above the multiply's rounding error
+    // but far below one rank, then clamp into [1, count].
+    const double exact =
+        clamped / 100.0 * static_cast<double>(count_);
+    const uint64_t rank = std::min<uint64_t>(
+        count_,
+        std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   std::ceil(exact - exact * 1e-12))));
     uint64_t seen = 0;
     for (unsigned i = 0; i < kBuckets; ++i) {
         seen += buckets_[i];

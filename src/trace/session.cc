@@ -76,6 +76,8 @@ runReportToJson(const RunReport &report, const std::string &indent)
     os << indent << "  \"threads\": " << report.threads << ",\n";
     os << indent << "  \"kernel_mode\": \""
        << jsonEscape(report.kernel_mode) << "\",\n";
+    os << indent << "  \"kernel\": \"" << jsonEscape(report.kernel)
+       << "\",\n";
     os << indent << "  \"fault_policy\": \""
        << jsonEscape(report.fault_policy) << "\",\n";
     os << indent << "  \"wall_secs\": " << report.wall_secs << ",\n";

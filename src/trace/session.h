@@ -46,6 +46,9 @@ struct RunReport
     std::string config;      ///< data-size configuration, e.g. "a8-w8"
     unsigned threads = 1;
     std::string kernel_mode; ///< "fast" or "modeled"
+    /// Dispatched μ-kernel: a registry name (gemm/kernels/kernel.h),
+    /// "legacy" (registry bypassed) or "modeled".
+    std::string kernel;
     std::string fault_policy = "off"; ///< ABFT policy the GEMM ran under
     double wall_secs = 0.0;
     double abft_secs = 0.0; ///< wall-clock spent in ABFT checksum work

@@ -95,6 +95,62 @@ TEST(Blocking, BigCachesGrowBlocksPastTableI)
     huge.validate();
 }
 
+TEST(Blocking, DegenerateCachesClampToRegisterBlocks)
+{
+    // Regression: cache budgets smaller than one register block used to
+    // derive mc < mr (or nc < nr), which validate() then rejected — a
+    // crash from inputs that merely deserved clamping. The floor is one
+    // whole register block, and mc/nc stay multiples of mr/nr.
+    for (const uint64_t l1 : {64u, 256u, 1024u, 4096u}) {
+        for (const uint64_t l2 : {256u, 4096u, 65536u}) {
+            for (const unsigned mr : {4u, 8u}) {
+                for (const unsigned nr : {4u, 8u}) {
+                    const auto p = deriveBlocking(l1, l2, 8, mr, nr);
+                    EXPECT_GE(p.mc, mr) << l1 << " " << l2;
+                    EXPECT_GE(p.nc, nr) << l1 << " " << l2;
+                    EXPECT_GE(p.kc, 1u) << l1 << " " << l2;
+                    EXPECT_EQ(p.mc % mr, 0u) << l1 << " " << l2;
+                    EXPECT_EQ(p.nc % nr, 0u) << l1 << " " << l2;
+                    p.validate();
+                }
+            }
+        }
+    }
+    // An 8 x 8 register block from a 64-byte L1: clamped, not thrown.
+    const auto tiny = deriveBlocking(64, 256, 8, 8, 8);
+    EXPECT_EQ(tiny.mc % 8, 0u);
+    EXPECT_GE(tiny.mc, 8u);
+    EXPECT_GE(tiny.nc, 8u);
+    tiny.validate();
+}
+
+TEST(Blocking, TryDeriveReportsImpossibleGeometries)
+{
+    // The checked variant turns each impossible input into a structured
+    // error naming the parameter instead of a FatalError throw.
+    EXPECT_FALSE(tryDeriveBlocking(0, 512 * 1024, 8, 4, 4).ok());
+    EXPECT_FALSE(tryDeriveBlocking(32 * 1024, 0, 8, 4, 4).ok());
+    EXPECT_FALSE(tryDeriveBlocking(32 * 1024, 512 * 1024, 0, 4, 4).ok());
+    EXPECT_FALSE(tryDeriveBlocking(32 * 1024, 512 * 1024, 8, 0, 4).ok());
+    EXPECT_FALSE(tryDeriveBlocking(32 * 1024, 512 * 1024, 8, 4, 0).ok());
+    // mr * nr beyond any plausible AccMem bound.
+    EXPECT_FALSE(
+        tryDeriveBlocking(32 * 1024, 512 * 1024, 8, 1u << 16, 1u << 16)
+            .ok());
+    const auto bad = tryDeriveBlocking(0, 0, 0, 0, 0);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+    // The throwing wrapper reports the same failures as FatalError.
+    EXPECT_THROW(deriveBlocking(0, 512 * 1024, 8, 4, 4), FatalError);
+    // And the checked variant agrees with the throwing one on good
+    // inputs, Table I included.
+    const auto ok = tryDeriveBlocking(32 * 1024, 512 * 1024, 8, 4, 4);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok->kc, 256u);
+    EXPECT_EQ(ok->mc, 128u);
+    EXPECT_EQ(ok->nc, 256u);
+}
+
 TEST(ReferenceGemm, KnownProduct)
 {
     // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * μ-kernel registry and autotuner tests: every registered SIMD kernel
+ * must be bitwise identical — C and counter totals — to both the
+ * scalar fast path and the modeled μ-engine, across the full
+ * data-size-configuration matrix, edge shapes, register-blocking
+ * shapes and thread counts; tuning files must round-trip through JSON
+ * back to the exact same dispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gemm/kernels/autotune.h"
+#include "gemm/kernels/kernel.h"
+#include "gemm/mixgemm.h"
+#include "gemm/reference.h"
+#include "trace/session.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+DataSizeConfig
+makeConfig(unsigned bwa, unsigned bwb, bool a_signed, bool b_signed)
+{
+    DataSizeConfig c;
+    c.bwa = bwa;
+    c.bwb = bwb;
+    c.a_signed = a_signed;
+    c.b_signed = b_signed;
+    return c;
+}
+
+std::vector<int32_t>
+randomMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(elems);
+    for (auto &v : data) {
+        if (is_signed)
+            v = static_cast<int32_t>(
+                rng.uniformInt(-(int64_t{1} << (bw - 1)),
+                               (int64_t{1} << (bw - 1)) - 1));
+        else
+            v = static_cast<int32_t>(
+                rng.uniformInt(0, (int64_t{1} << bw) - 1));
+    }
+    return data;
+}
+
+struct RunSpec
+{
+    uint64_t m, n, k;
+    DataSizeConfig config;
+    unsigned threads = 1;
+    BlockingParams blocking = BlockingParams::paperDefaults();
+};
+
+/**
+ * Run one GEMM three ways — modeled, fast with the registry bypassed
+ * (the PR-2 scalar per-cell loop) and fast with SIMD dispatch — and
+ * require bitwise-equal C and counter maps, anchored to the naive
+ * reference. Returns the SIMD run's dispatched kernel name.
+ */
+std::string
+expectThreeWayIdentical(Rng &rng, const RunSpec &spec)
+{
+    const auto a = randomMatrix(rng, spec.m * spec.k, spec.config.bwa,
+                                spec.config.a_signed);
+    const auto b = randomMatrix(rng, spec.k * spec.n, spec.config.bwb,
+                                spec.config.b_signed);
+    const auto geometry =
+        geometryForK(computeBsGeometry(spec.config), spec.k);
+
+    BlockingParams blocking = spec.blocking;
+    blocking.threads = spec.threads;
+    blocking.kernel_mode = KernelMode::Modeled;
+    const auto modeled =
+        mixGemm(a, b, spec.m, spec.n, spec.k, geometry, blocking);
+
+    blocking.kernel_mode = KernelMode::Fast;
+    blocking.simd = SimdLevel::Off;
+    const auto scalar =
+        mixGemm(a, b, spec.m, spec.n, spec.k, geometry, blocking);
+
+    blocking.simd = SimdLevel::Auto;
+    const auto simd =
+        mixGemm(a, b, spec.m, spec.n, spec.k, geometry, blocking);
+
+    const std::string label =
+        spec.config.name() + (spec.config.a_signed ? " s" : " u") +
+        (spec.config.b_signed ? "s" : "u") + " " +
+        std::to_string(spec.m) + "x" + std::to_string(spec.n) + "x" +
+        std::to_string(spec.k) + " t" + std::to_string(spec.threads) +
+        " mr" + std::to_string(spec.blocking.mr) + " nr" +
+        std::to_string(spec.blocking.nr) + " -> " + simd.micro_kernel;
+    EXPECT_EQ(scalar.micro_kernel, "legacy") << label;
+    EXPECT_EQ(modeled.micro_kernel, "modeled") << label;
+    EXPECT_EQ(scalar.c, modeled.c) << label;
+    EXPECT_EQ(simd.c, modeled.c) << label;
+    EXPECT_EQ(scalar.counters.all(), modeled.counters.all()) << label;
+    EXPECT_EQ(simd.counters.all(), modeled.counters.all()) << label;
+    EXPECT_EQ(simd.c, referenceGemmInt(a, b, spec.m, spec.n, spec.k))
+        << label;
+    return simd.micro_kernel;
+}
+
+// ---------------------------------------------------------------------
+// Registry sanity
+// ---------------------------------------------------------------------
+
+TEST(KernelRegistry, CoversAllShapesWithUniqueNames)
+{
+    const auto &registry = microKernelRegistry();
+    ASSERT_FALSE(registry.empty());
+    std::vector<std::string> names;
+    bool shapes[2][2] = {};
+    for (const MicroKernel &k : registry) {
+        EXPECT_NE(k.fn, nullptr) << k.name;
+        EXPECT_TRUE((k.mr == 4 || k.mr == 8) &&
+                    (k.nr == 4 || k.nr == 8))
+            << k.name;
+        EXPECT_LE(k.lanes, simdMaxLanes()) << k.name;
+        names.push_back(k.name);
+        shapes[k.mr == 8][k.nr == 8] = true;
+    }
+    EXPECT_TRUE(shapes[0][0] && shapes[0][1] && shapes[1][0] &&
+                shapes[1][1]);
+    std::sort(names.begin(), names.end());
+    EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) ==
+                names.end())
+        << "duplicate kernel names";
+    for (const MicroKernel &k : registry)
+        EXPECT_EQ(findMicroKernel(k.name), &k);
+    EXPECT_EQ(findMicroKernel("no_such_kernel"), nullptr);
+}
+
+TEST(KernelRegistry, SelectionRespectsShapeLevelAndSpecialization)
+{
+    const auto geometry = computeBsGeometry(makeConfig(8, 8, true, true));
+    // Auto: the widest applicable kernel for the shape.
+    const MicroKernel *autos =
+        selectMicroKernel(geometry, 4, 4, SimdLevel::Auto);
+    ASSERT_NE(autos, nullptr);
+    EXPECT_EQ(autos->mr, 4u);
+    EXPECT_EQ(autos->nr, 4u);
+    EXPECT_EQ(autos->lanes, simdMaxLanes());
+    if (simdMaxLanes() > 1) {
+        // a8-w8 has a slice-specialized instantiation (cw 19).
+        EXPECT_EQ(autos->cw, geometry.cw);
+        EXPECT_EQ(autos->lsb, geometry.slice_lsb);
+    }
+    // Scalar level: the 1-lane fallback.
+    const MicroKernel *scalar =
+        selectMicroKernel(geometry, 8, 4, SimdLevel::Scalar);
+    ASSERT_NE(scalar, nullptr);
+    EXPECT_EQ(scalar->lanes, 1u);
+    EXPECT_EQ(scalar->mr, 8u);
+    // Off: registry bypassed.
+    EXPECT_EQ(selectMicroKernel(geometry, 4, 4, SimdLevel::Off), nullptr);
+    // Unregistered shapes keep the legacy loop.
+    EXPECT_EQ(selectMicroKernel(geometry, 3, 5, SimdLevel::Auto),
+              nullptr);
+    // A forced name that exists and applies wins over Auto.
+    const MicroKernel *forced = selectMicroKernel(
+        geometry, 8, 4, SimdLevel::Auto, "scalar_8x4");
+    ASSERT_NE(forced, nullptr);
+    EXPECT_EQ(forced->name, "scalar_8x4");
+    // A bogus forced name falls back to automatic selection.
+    const MicroKernel *fallback = selectMicroKernel(
+        geometry, 8, 4, SimdLevel::Auto, "no_such_kernel");
+    ASSERT_NE(fallback, nullptr);
+    EXPECT_EQ(fallback->lanes, simdMaxLanes());
+}
+
+// ---------------------------------------------------------------------
+// Three-way identity: SIMD ≡ scalar-fast ≡ modeled
+// ---------------------------------------------------------------------
+
+TEST(KernelIdentity, AllConfigsAllThreadCounts)
+{
+    // The full 49-configuration matrix at an edge shape (m, n not
+    // multiples of mr/nr; k crossing several group boundaries), at the
+    // issue's 1/3/8 thread counts.
+    Rng rng(20260810);
+    for (const auto &cfg : allSupportedConfigs(true))
+        expectThreeWayIdentical(rng, {13, 11, 70, cfg, 1});
+    for (const auto &cfg : allSupportedConfigs(false))
+        expectThreeWayIdentical(rng, {13, 11, 70, cfg, 3});
+    Rng rng8(20260811);
+    BlockingParams tiled = BlockingParams::paperDefaults();
+    tiled.mc = 8;
+    tiled.nc = 8;
+    tiled.kc = 64;
+    for (const auto &cfg : allSupportedConfigs(true))
+        expectThreeWayIdentical(rng8, {13, 11, 70, cfg, 8, tiled});
+}
+
+TEST(KernelIdentity, EdgeShapes)
+{
+    Rng rng(20260812);
+    const DataSizeConfig configs[] = {
+        makeConfig(8, 8, true, true),
+        makeConfig(8, 4, false, true),
+        makeConfig(4, 8, true, false),
+        makeConfig(4, 4, true, true),
+        makeConfig(3, 2, true, true),
+        makeConfig(2, 2, false, false),
+    };
+    for (const auto &cfg : configs) {
+        for (unsigned threads : {1u, 3u, 8u}) {
+            expectThreeWayIdentical(rng, {1, 1, 1, cfg, threads});
+            expectThreeWayIdentical(rng, {5, 3, 7, cfg, threads});
+            expectThreeWayIdentical(rng, {9, 7, 53, cfg, threads});
+            expectThreeWayIdentical(rng, {17, 13, 129, cfg, threads});
+        }
+    }
+}
+
+TEST(KernelIdentity, AllRegisterBlockShapes)
+{
+    // Every registered mr x nr shape dispatches a SIMD kernel and
+    // stays identical, including when the shape does not divide the
+    // matrix (interior + edge split) or the cache blocks.
+    Rng rng(20260813);
+    const auto cfg_signed = makeConfig(8, 8, true, true);
+    const auto cfg_mixed = makeConfig(5, 3, false, true);
+    constexpr std::pair<unsigned, unsigned> kShapes[] = {
+        {4, 4}, {8, 4}, {4, 8}, {8, 8}};
+    for (const auto &[mr, nr] : kShapes) {
+        BlockingParams blocking = BlockingParams::paperDefaults();
+        blocking.mr = mr;
+        blocking.nr = nr;
+        for (unsigned threads : {1u, 3u}) {
+            const std::string kernel = expectThreeWayIdentical(
+                rng, {22, 19, 150, cfg_signed, threads, blocking});
+            if (simdMaxLanes() > 1) {
+                EXPECT_NE(kernel, "legacy")
+                    << mr << "x" << nr << " t" << threads;
+            }
+            expectThreeWayIdentical(
+                rng, {22, 19, 150, cfg_mixed, threads, blocking});
+        }
+        // Cache blocks that are not multiples of the register block.
+        BlockingParams ragged = blocking;
+        ragged.mc = mr + 1;
+        ragged.nc = nr + 3;
+        ragged.kc = 48;
+        expectThreeWayIdentical(
+            rng, {22, 19, 150, cfg_signed, 3, ragged});
+    }
+}
+
+TEST(KernelIdentity, PropertySweepRandomShapes)
+{
+    Rng rng(20260814);
+    const auto signed_cfgs = allSupportedConfigs(true);
+    for (unsigned iter = 0; iter < 40; ++iter) {
+        DataSizeConfig cfg =
+            signed_cfgs[static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(signed_cfgs.size()) - 1))];
+        cfg.a_signed = rng.uniformInt(0, 1) != 0;
+        cfg.b_signed = rng.uniformInt(0, 1) != 0;
+        RunSpec spec;
+        spec.m = static_cast<uint64_t>(rng.uniformInt(1, 24));
+        spec.n = static_cast<uint64_t>(rng.uniformInt(1, 24));
+        spec.k = static_cast<uint64_t>(rng.uniformInt(1, 130));
+        spec.config = cfg;
+        spec.threads = static_cast<unsigned>(rng.uniformInt(1, 8));
+        spec.blocking.mr = rng.uniformInt(0, 1) != 0 ? 4 : 8;
+        spec.blocking.nr = rng.uniformInt(0, 1) != 0 ? 4 : 8;
+        spec.blocking.mc = std::max<uint64_t>(
+            spec.blocking.mr,
+            static_cast<uint64_t>(rng.uniformInt(4, 16)));
+        spec.blocking.nc = std::max<uint64_t>(
+            spec.blocking.nr,
+            static_cast<uint64_t>(rng.uniformInt(4, 16)));
+        spec.blocking.kc = static_cast<uint64_t>(rng.uniformInt(32, 96));
+        expectThreeWayIdentical(rng, spec);
+    }
+}
+
+TEST(KernelIdentity, EverySimdLevelMatches)
+{
+    Rng rng(20260815);
+    const auto cfg = makeConfig(8, 8, true, true);
+    const auto a = randomMatrix(rng, 13 * 70, cfg.bwa, cfg.a_signed);
+    const auto b = randomMatrix(rng, 70 * 11, cfg.bwb, cfg.b_signed);
+    const auto geometry = geometryForK(computeBsGeometry(cfg), 70);
+    BlockingParams blocking = BlockingParams::paperDefaults();
+    blocking.kernel_mode = KernelMode::Modeled;
+    const auto modeled = mixGemm(a, b, 13, 11, 70, geometry, blocking);
+    blocking.kernel_mode = KernelMode::Fast;
+    for (SimdLevel level :
+         {SimdLevel::Off, SimdLevel::Scalar, SimdLevel::V128,
+          SimdLevel::V256, SimdLevel::V512, SimdLevel::Auto}) {
+        blocking.simd = level;
+        const auto run = mixGemm(a, b, 13, 11, 70, geometry, blocking);
+        EXPECT_EQ(run.c, modeled.c) << simdLevelName(level);
+        EXPECT_EQ(run.counters.all(), modeled.counters.all())
+            << simdLevelName(level);
+    }
+}
+
+TEST(KernelIdentity, RunReportRecordsDispatchedKernel)
+{
+    Rng rng(20260816);
+    const auto cfg = makeConfig(8, 8, true, true);
+    const auto a = randomMatrix(rng, 8 * 64, cfg.bwa, cfg.a_signed);
+    const auto b = randomMatrix(rng, 64 * 8, cfg.bwb, cfg.b_signed);
+    const auto geometry = geometryForK(computeBsGeometry(cfg), 64);
+    TraceSession session;
+    BlockingParams blocking = BlockingParams::paperDefaults();
+    blocking.session = &session;
+    const auto fast = mixGemm(a, b, 8, 8, 64, geometry, blocking);
+    blocking.kernel_mode = KernelMode::Modeled;
+    mixGemm(a, b, 8, 8, 64, geometry, blocking);
+    const auto reports = session.reports();
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].kernel, fast.micro_kernel);
+    EXPECT_FALSE(reports[0].kernel.empty());
+    EXPECT_NE(reports[0].kernel, "modeled");
+    EXPECT_EQ(reports[1].kernel, "modeled");
+    // The kernel id must survive JSON serialization.
+    EXPECT_NE(runReportToJson(reports[0]).find("\"kernel\": \"" +
+                                               fast.micro_kernel + "\""),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Autotuner round trip
+// ---------------------------------------------------------------------
+
+TEST(Autotune, TuningSetJsonRoundTrip)
+{
+    TuningSet set;
+    set.preset = "test-soc";
+    set.simd_bits = 64 * simdMaxLanes();
+    TuningEntry e;
+    e.config = "a8-w8";
+    e.a_signed = true;
+    e.b_signed = true;
+    e.mc = 128;
+    e.nc = 256;
+    e.kc = 256;
+    e.mr = 8;
+    e.nr = 4;
+    e.kernel = "scalar_8x4";
+    e.gops = 12.5;
+    e.probe_m = 64;
+    e.probe_n = 64;
+    e.probe_k = 128;
+    set.upsert(e);
+
+    const auto parsed = TuningSet::fromJson(set.toJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed->preset, "test-soc");
+    EXPECT_EQ(parsed->simd_bits, set.simd_bits);
+    ASSERT_EQ(parsed->entries.size(), 1u);
+    const TuningEntry &r = parsed->entries[0];
+    EXPECT_EQ(r.config, e.config);
+    EXPECT_EQ(r.mc, e.mc);
+    EXPECT_EQ(r.nc, e.nc);
+    EXPECT_EQ(r.kc, e.kc);
+    EXPECT_EQ(r.mr, e.mr);
+    EXPECT_EQ(r.nr, e.nr);
+    EXPECT_EQ(r.kernel, e.kernel);
+    EXPECT_NEAR(r.gops, e.gops, 1e-9);
+    EXPECT_EQ(r.probe_k, e.probe_k);
+}
+
+TEST(Autotune, RejectsMalformedTuningFiles)
+{
+    EXPECT_FALSE(TuningSet::fromJson("not json").ok());
+    EXPECT_FALSE(TuningSet::fromJson("[]").ok());
+    EXPECT_FALSE(TuningSet::fromJson("{\"entries\": 3}").ok());
+    // An entry with impossible blocking is rejected at load time.
+    EXPECT_FALSE(
+        TuningSet::fromJson(
+            "{\"entries\": [{\"config\": \"a8-w8\", \"mc\": 0, "
+            "\"nc\": 1, \"kc\": 1, \"mr\": 1, \"nr\": 1}]}")
+            .ok());
+    // And so is a nonsense config name.
+    EXPECT_FALSE(
+        TuningSet::fromJson(
+            "{\"entries\": [{\"config\": \"a9-w99\", \"mc\": 4, "
+            "\"nc\": 4, \"kc\": 4, \"mr\": 4, \"nr\": 4}]}")
+            .ok());
+}
+
+TEST(Autotune, PersistReloadSameDispatch)
+{
+    // Quick-tune one configuration on a small probe, save to disk,
+    // reload, and require the reloaded entry to drive the exact same
+    // dispatch (same μ-kernel name in MixGemmResult).
+    AutotuneOptions options;
+    options.configs = {makeConfig(8, 8, true, true)};
+    options.quick = true;
+    options.m = 32;
+    options.n = 32;
+    options.k = 64;
+    options.threads = 1;
+    const TuningSet tuned = runAutotune(options, nullptr);
+    ASSERT_EQ(tuned.entries.size(), 1u);
+    const TuningEntry &entry = tuned.entries[0];
+    EXPECT_FALSE(entry.kernel.empty());
+    EXPECT_GT(entry.gops, 0.0);
+
+    const std::string path =
+        testing::TempDir() + "mixgemm_tuning_roundtrip.json";
+    ASSERT_TRUE(tuned.save(path).ok());
+    const auto reloaded = TuningSet::load(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().toString();
+    const DataSizeConfig cfg = makeConfig(8, 8, true, true);
+    const TuningEntry *found = reloaded->find(cfg);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->kernel, entry.kernel);
+
+    Rng rng(20260817);
+    const auto a = randomMatrix(rng, 16 * 64, cfg.bwa, cfg.a_signed);
+    const auto b = randomMatrix(rng, 64 * 16, cfg.bwb, cfg.b_signed);
+    const auto geometry = geometryForK(computeBsGeometry(cfg), 64);
+    BlockingParams tuned_params =
+        blockingForConfig(&*reloaded, cfg, 32 * 1024, 512 * 1024);
+    EXPECT_EQ(tuned_params.mr, entry.mr);
+    EXPECT_EQ(tuned_params.kc, entry.kc);
+    const auto run = mixGemm(a, b, 16, 16, 64, geometry, tuned_params);
+    EXPECT_EQ(run.micro_kernel, entry.kernel);
+    // And an untuned config falls back to the analytical derivation.
+    const DataSizeConfig other = makeConfig(6, 6, true, true);
+    const BlockingParams derived =
+        blockingForConfig(&*reloaded, other, 32 * 1024, 512 * 1024);
+    EXPECT_TRUE(derived.micro_kernel.empty());
+}
+
+} // namespace
+} // namespace mixgemm

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdlib>
@@ -465,6 +466,58 @@ TEST(LogHistogram, MergeMatchesCombinedSamples)
     EXPECT_EQ(merged.max(), all.max());
     for (const double p : {10.0, 50.0, 95.0, 99.0})
         EXPECT_EQ(merged.percentile(p), all.percentile(p));
+}
+
+TEST(LogHistogram, PercentileMatchesSortedVectorOracleAtBoundaries)
+{
+    // Regression: the nearest-rank computation used
+    // ceil(p / 100 * count) in floating point, and at exact bucket
+    // boundaries (0.95 * 20 = 19.000000000000004) the representation
+    // error pushed the rank one sample — and so potentially one log
+    // bucket — too high. With 19 small samples and one huge one, p95
+    // must report the small value's bucket, not the outlier's.
+    LogHistogram skewed;
+    for (int i = 0; i < 19; ++i)
+        skewed.add(8);
+    skewed.add(1000);
+    EXPECT_EQ(LogHistogram::bucketIndex(static_cast<uint64_t>(
+                  skewed.percentile(95))),
+              LogHistogram::bucketIndex(8));
+    // Same shape at p99 / count 100: rank 99 of 99 small + 1 big.
+    LogHistogram skewed100;
+    for (int i = 0; i < 99; ++i)
+        skewed100.add(8);
+    skewed100.add(1000);
+    EXPECT_EQ(LogHistogram::bucketIndex(static_cast<uint64_t>(
+                  skewed100.percentile(99))),
+              LogHistogram::bucketIndex(8));
+
+    // Every integer percentile against a sorted-vector nearest-rank
+    // oracle, at counts chosen so p / 100 * count is a whole number for
+    // many p (the boundary cases the bug hit) as well as counts where
+    // it never is.
+    Rng rng(20260818);
+    for (const size_t count : {20u, 25u, 40u, 100u, 97u}) {
+        LogHistogram h;
+        std::vector<uint64_t> values;
+        for (size_t i = 0; i < count; ++i) {
+            const uint64_t v =
+                static_cast<uint64_t>(rng.uniformInt(1, 1 << 20));
+            values.push_back(v);
+            h.add(v);
+        }
+        std::sort(values.begin(), values.end());
+        for (unsigned p = 1; p <= 100; ++p) {
+            // Exact integer nearest-rank: ceil(p * count / 100).
+            const size_t rank =
+                std::max<size_t>(1, (p * count + 99) / 100);
+            const uint64_t oracle = values[rank - 1];
+            EXPECT_EQ(LogHistogram::bucketIndex(static_cast<uint64_t>(
+                          h.percentile(p))),
+                      LogHistogram::bucketIndex(oracle))
+                << "count " << count << " p" << p;
+        }
+    }
 }
 
 TEST(MetricSet, MergeIsOrderIndependent)

@@ -17,6 +17,19 @@
  *       List all 49 supported data-size configurations with their
  *       μ-engine geometry.
  *
+ *   mixgemm-cli autotune [config]... [--quick] [--out tuning.json]
+ *       [--m M --n N --k K] [--reps N] [--threads N]
+ *       [--preset name] [--l1 BYTES] [--l2 BYTES]
+ *       Sweep cache blocking (mc/nc/kc), register blocking (mr x nr)
+ *       and the SIMD μ-kernel registry on probe GEMMs and persist the
+ *       per-configuration winners to a tuning file (default
+ *       mixgemm_tuning.json; see src/gemm/kernels/autotune.h for the
+ *       format). No configs named = the four hot ones (a8-w8 a8-w4
+ *       a4-w4 a2-w2). --quick (CI) restricts the sweep to the
+ *       analytical blocking point per register shape with the
+ *       auto-selected kernel, one rep. The gemm command's --tuning
+ *       flag feeds the file back into execution.
+ *
  *   mixgemm-cli fault-campaign [config] [--m M --n N --k K]
  *       [--network name [--layers N]] [--seed S] [--runs N]
  *       [--max-faults N] [--bits N] [--threads N] [--modeled]
@@ -75,6 +88,8 @@
 #include "dnn/mixed_precision.h"
 #include "dnn/models.h"
 #include "dnn/network_timing.h"
+#include "gemm/kernels/autotune.h"
+#include "gemm/kernels/kernel.h"
 #include "power/energy_model.h"
 #include "runtime/backend.h"
 #include "serve/soak.h"
@@ -318,17 +333,22 @@ cmdGemm(int argc, char **argv)
         throw UsageError(
             "usage: mixgemm-cli gemm <m> <n> <k> [config] "
             "[--small-caches] [--trace f.json] [--report f.json] "
-            "[--threads N] [--modeled]");
+            "[--threads N] [--modeled] [--tuning tuning.json]");
     const uint64_t m = orUsage(parseUint64("m", argv[0], 1, kMaxGemmDim));
     const uint64_t n = orUsage(parseUint64("n", argv[1], 1, kMaxGemmDim));
     const uint64_t k = orUsage(parseUint64("k", argv[2], 1, kMaxGemmDim));
     DataSizeConfig cfg{8, 8, true, true};
     SoCConfig soc = SoCConfig::sargantana();
     TraceOptions trace;
+    std::string tuning_path;
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--small-caches") == 0)
             soc = SoCConfig::sargantanaSmallCaches();
-        else if (parseTraceFlag(argc, argv, i, trace))
+        else if (std::strcmp(argv[i], "--tuning") == 0) {
+            if (i + 1 >= argc)
+                throw UsageError("missing value for --tuning");
+            tuning_path = argv[++i];
+        } else if (parseTraceFlag(argc, argv, i, trace))
             continue;
         else if (argv[i][0] == '-')
             throw UsageError(strCat("unknown flag '", argv[i], "'"));
@@ -360,15 +380,28 @@ cmdGemm(int argc, char **argv)
               "-"});
     t.print(std::cout);
 
-    if (trace.enabled()) {
+    if (trace.enabled() || !tuning_path.empty()) {
+        // --tuning implies execution even without --trace/--report:
+        // running the GEMM is the only way to show which μ-kernel the
+        // tuned entry actually dispatches.
         TraceSession session;
         MixGemmBackend backend(trace.threads,
                                trace.modeled ? KernelMode::Modeled
                                              : KernelMode::Fast);
         backend.attachTraceSession(&session);
+        TuningSet tuning;
+        if (!tuning_path.empty()) {
+            tuning = orUsage(TuningSet::load(tuning_path));
+            backend.setTuning(&tuning);
+        }
         Rng rng(12345);
         runTracedGemm(backend, rng,
                       strCat("gemm_", m, "x", n, "x", k), m, n, k, cfg);
+        const auto reports = session.reports();
+        if (!reports.empty())
+            std::cout << "dispatched kernel: " << reports.back().kernel
+                      << (tuning.find(cfg) ? " (tuned)" : " (default)")
+                      << "\n";
         return writeTraceArtifacts(session, trace,
                                    {{"command", "gemm"},
                                     {"config", cfg.name()}});
@@ -664,6 +697,67 @@ cmdServeSoak(int argc, char **argv)
 }
 
 int
+cmdAutotune(int argc, char **argv)
+{
+    AutotuneOptions options;
+    std::string out_path = "mixgemm_tuning.json";
+    for (int i = 0; i < argc; ++i) {
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                throw UsageError(strCat("missing value for ", flag));
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--quick") == 0)
+            options.quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0)
+            out_path = value("--out");
+        else if (std::strcmp(argv[i], "--m") == 0)
+            options.m = orUsage(
+                parseUint64("--m", value("--m"), 1, kMaxGemmDim));
+        else if (std::strcmp(argv[i], "--n") == 0)
+            options.n = orUsage(
+                parseUint64("--n", value("--n"), 1, kMaxGemmDim));
+        else if (std::strcmp(argv[i], "--k") == 0)
+            options.k = orUsage(
+                parseUint64("--k", value("--k"), 1, kMaxGemmDim));
+        else if (std::strcmp(argv[i], "--reps") == 0)
+            options.reps = orUsage(
+                parseUnsigned("--reps", value("--reps"), 1, 64));
+        else if (std::strcmp(argv[i], "--threads") == 0)
+            options.threads = orUsage(parseUnsigned(
+                "--threads", value("--threads"), 0, 1024));
+        else if (std::strcmp(argv[i], "--preset") == 0)
+            options.preset = value("--preset");
+        else if (std::strcmp(argv[i], "--l1") == 0)
+            options.l1_bytes = orUsage(parseUint64(
+                "--l1", value("--l1"), 1024, 1ull << 30));
+        else if (std::strcmp(argv[i], "--l2") == 0)
+            options.l2_bytes = orUsage(parseUint64(
+                "--l2", value("--l2"), 1024, 1ull << 36));
+        else if (argv[i][0] == '-')
+            throw UsageError(strCat("unknown flag '", argv[i], "'"));
+        else
+            options.configs.push_back(orUsage(parseConfig(argv[i])));
+    }
+
+    const TuningSet tuned = runAutotune(options, &std::cout);
+
+    Table t({"config", "mc", "nc", "kc", "mr x nr", "kernel", "GOPS"});
+    for (const auto &e : tuned.entries)
+        t.addRow({e.config, std::to_string(e.mc), std::to_string(e.nc),
+                  std::to_string(e.kc), strCat(e.mr, "x", e.nr),
+                  e.kernel, Table::fmt(e.gops, 2)});
+    t.print(std::cout);
+
+    if (Status s = tuned.save(out_path); !s.ok())
+        fatal(s.toString());
+    std::cout << "tuning written to " << out_path
+              << " (feed back with: mixgemm-cli gemm ... --tuning "
+              << out_path << ")\n";
+    return 0;
+}
+
+int
 cmdConfigs()
 {
     Table t({"config", "MAC/cycle", "kua/kub", "group extent",
@@ -688,8 +782,8 @@ main(int argc, char **argv)
     try {
         if (argc < 2) {
             std::cerr << "usage: mixgemm-cli "
-                         "<gemm|network|dse|configs|fault-campaign|"
-                         "serve-soak> ...\n";
+                         "<gemm|network|dse|configs|autotune|"
+                         "fault-campaign|serve-soak> ...\n";
             return 2;
         }
         const std::string cmd = argv[1];
@@ -701,6 +795,8 @@ main(int argc, char **argv)
             return cmdDse(argc - 2, argv + 2);
         if (cmd == "configs")
             return cmdConfigs();
+        if (cmd == "autotune")
+            return cmdAutotune(argc - 2, argv + 2);
         if (cmd == "fault-campaign")
             return cmdFaultCampaign(argc - 2, argv + 2);
         if (cmd == "serve-soak")
