@@ -24,12 +24,20 @@
  * or MIXGEMM_COMMIT, else "local" — and capped at kHistoryCap,
  * oldest dropped first, so repeated local runs and CI reruns of the
  * same commit no longer grow the file without bound.
+ *
+ * A final model-lifecycle section times the packed-weight store on a
+ * synthetic resnet18 at three ladder rungs (a8-w8, a4-w4, a2-w2):
+ * cold pack + artifact persist, warm mmap load in a fresh store
+ * (the lazy-rung materialization path), and the resident LRU hit.
+ * Rows land in a "model_lifecycle" array and feed the same bounded
+ * history (kernel = "pack_cold" / "mmap_warm").
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -46,6 +54,8 @@
 #include "gemm/mixgemm.h"
 #include "sim/gemm_timing.h"
 #include "soc/soc_config.h"
+#include "store/modelgen.h"
+#include "store/store.h"
 #include "trace/json.h"
 #include "trace/session.h"
 
@@ -293,6 +303,69 @@ timeAbftOverhead(const WallClockSpec &spec, TraceSession *session)
     return row;
 }
 
+struct LifecycleRow
+{
+    std::string network;    ///< model the rung is built from
+    std::string config;     ///< rung precision, e.g. "a4-w4"
+    uint64_t nodes = 0;     ///< packable nodes in the graph
+    uint64_t packed_bytes = 0;
+    double cold_secs = 0.0;     ///< pack + artifact persist (first run)
+    double warm_secs = 0.0;     ///< mmap load in a fresh store
+    double resident_secs = 0.0; ///< LRU hit in the warm store
+    bool zero_copy = false;     ///< warm load adopted panels, no re-pack
+};
+
+/**
+ * Model-lifecycle timing for one ladder rung: synthesize the graph at
+ * the rung's precision, cold-pack it through a disk-backed store, then
+ * mmap-load the artifact in a fresh store (what a lazy rung pays on
+ * first materialization when the artifact exists) and hit the resident
+ * cache (what every later materialization pays).
+ */
+LifecycleRow
+timeModelLifecycle(const ModelSpec &model, DataSizeConfig config,
+                   const std::string &cache_dir)
+{
+    LifecycleRow row;
+    row.network = model.name;
+    row.config = config.name();
+    const QuantizedGraph graph =
+        syntheticQuantizedGraph(model, config.bwa, config.bwb);
+
+    using clock = std::chrono::steady_clock;
+    StoreOptions options;
+    options.dir = cache_dir;
+    {
+        PackedWeightStore cold_store(options);
+        const auto t0 = clock::now();
+        const auto cold = cold_store.load(graph);
+        const auto t1 = clock::now();
+        if (!cold.ok()) {
+            fatal(strCat("lifecycle bench: cold pack failed: ",
+                         cold.status().toString()));
+        }
+        row.cold_secs = std::chrono::duration<double>(t1 - t0).count();
+        row.nodes = (*cold)->entries.size();
+        row.packed_bytes = (*cold)->packed_bytes;
+    }
+    PackedWeightStore warm_store(options);
+    const PackCounters before = packCounters();
+    const auto t2 = clock::now();
+    const auto warm = warm_store.load(graph);
+    const auto t3 = clock::now();
+    const auto resident = warm_store.load(graph);
+    const auto t4 = clock::now();
+    const PackCounters after = packCounters();
+    if (!warm.ok() || !resident.ok())
+        fatal("lifecycle bench: warm load failed");
+    row.warm_secs = std::chrono::duration<double>(t3 - t2).count();
+    row.resident_secs = std::chrono::duration<double>(t4 - t3).count();
+    row.zero_copy = (*warm)->from_cache &&
+                    after.b_packs == before.b_packs &&
+                    after.cluster_builds == before.cluster_builds;
+    return row;
+}
+
 /**
  * One retained measurement in BENCH_gemm.json's bounded history. The
  * dedup key is (config, m, n, k, kernel, commit): re-running the bench
@@ -390,6 +463,7 @@ void
 writeBenchJson(const std::vector<WallClockRow> &rows,
                const std::vector<KernelSweepRow> &sweep_rows,
                const std::vector<AbftOverheadRow> &abft_rows,
+               const std::vector<LifecycleRow> &lifecycle_rows,
                const std::vector<RunReport> &reports,
                const std::vector<HistoryEntry> &history, const char *path)
 {
@@ -440,6 +514,21 @@ writeBenchJson(const std::vector<WallClockRow> &rows,
              << r.detect_warm_secs / r.off_secs - 1.0
              << ", \"identical\": " << r.identical << "}"
              << (i + 1 < abft_rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"model_lifecycle\": [\n";
+    for (size_t i = 0; i < lifecycle_rows.size(); ++i) {
+        const auto &r = lifecycle_rows[i];
+        json << "    {\"network\": \"" << jsonEscape(r.network)
+             << "\", \"config\": \"" << jsonEscape(r.config)
+             << "\", \"nodes\": " << r.nodes
+             << ", \"packed_bytes\": " << r.packed_bytes
+             << ", \"cold_pack_secs\": " << r.cold_secs
+             << ", \"warm_load_secs\": " << r.warm_secs
+             << ", \"resident_hit_secs\": " << r.resident_secs
+             << ", \"warm_speedup\": " << r.cold_secs / r.warm_secs
+             << ", \"zero_copy\": " << r.zero_copy << "}"
+             << (i + 1 < lifecycle_rows.size() ? "," : "") << "\n";
     }
     json << "  ],\n"
          << "  \"history\": [\n";
@@ -632,10 +721,48 @@ main()
     }
     at.print(std::cout);
 
+    std::cout << "\nModel lifecycle (packed-weight store): cold pack + "
+                 "persist vs warm mmap load vs resident LRU hit, one "
+                 "row per ladder rung\n\n";
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path() /
+         "mixgemm_bench_cache")
+            .string();
+    std::filesystem::remove_all(cache_dir);
+    const std::vector<DataSizeConfig> rungs = {
+        {8, 8, true, true}, {4, 4, true, true}, {2, 2, true, true}};
+    const ModelSpec lifecycle_model = resNet18();
+    Table lt({"network", "config", "nodes", "packed MB", "cold s",
+              "warm s", "resident s", "warm speedup", "zero-copy"});
+    std::vector<LifecycleRow> lifecycle_rows;
+    for (const DataSizeConfig &rung : rungs) {
+        const auto row =
+            timeModelLifecycle(lifecycle_model, rung, cache_dir);
+        all_identical = all_identical && row.zero_copy;
+        lt.addRow({row.network, row.config, Table::fmtInt(row.nodes),
+                   Table::fmt(row.packed_bytes / 1e6, 1),
+                   Table::fmt(row.cold_secs, 3),
+                   Table::fmt(row.warm_secs, 4),
+                   Table::fmt(row.resident_secs, 6),
+                   Table::fmt(row.cold_secs / row.warm_secs, 1) + "x",
+                   row.zero_copy ? "yes" : "NO"});
+        fresh_history.push_back(
+            {row.network + "-" + row.config, "pack_cold", commit,
+             row.nodes, 1, 1, row.packed_bytes / row.cold_secs / 1e9,
+             1.0});
+        fresh_history.push_back(
+            {row.network + "-" + row.config, "mmap_warm", commit,
+             row.nodes, 1, 1, row.packed_bytes / row.warm_secs / 1e9,
+             row.cold_secs / row.warm_secs});
+        lifecycle_rows.push_back(row);
+    }
+    lt.print(std::cout);
+    std::filesystem::remove_all(cache_dir);
+
     const auto history =
         mergeHistory(loadHistory("BENCH_gemm.json"), fresh_history);
-    writeBenchJson(rows, sweep_rows, abft_rows, session.reports(),
-                   history, "BENCH_gemm.json");
+    writeBenchJson(rows, sweep_rows, abft_rows, lifecycle_rows,
+                   session.reports(), history, "BENCH_gemm.json");
     std::cout << "\nWrote BENCH_gemm.json. Both kernels produce "
                  "bitwise-identical C and counters, and ABFT "
                  "verification is transparent on clean runs: "

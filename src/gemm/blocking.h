@@ -102,6 +102,19 @@ struct BlockingParams
     std::string trace_label = "mixgemm";
 
     /**
+     * Provenance of the B operand for RunReports: "packed" (compressed
+     * by this call or its caller), "prepacked" (owned panels reused
+     * from a weight cache), or "store-mmap" (zero-copy panels borrowed
+     * from a mapped artifact). Set by MixGemmBackend when a
+     * PrepackedWeights provider hits; pure metadata — results never
+     * depend on it.
+     */
+    std::string weight_source = "packed";
+
+    /** Mapped (borrowed) B bytes backing this GEMM, for RunReports. */
+    uint64_t weight_bytes_mapped = 0;
+
+    /**
      * ABFT behavior of mixGemm() (see fault/fault.h for the policy
      * semantics). Off — the default — performs no checksum work and is
      * bitwise-identical to the pre-ABFT driver.

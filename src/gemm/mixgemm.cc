@@ -761,6 +761,8 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
             std::chrono::duration<double>(clock::now() - wall_start)
                 .count();
         report.bytes_packed = a.bytes() + b.bytes();
+        report.weight_source = blocking.weight_source;
+        report.bytes_mapped = blocking.weight_bytes_mapped;
         if (blocking.kernel_mode == KernelMode::Fast) {
             report.bytes_cluster_panels =
                 (a.m() * a.kGroups() * a.clusterWordsPerGroup() +

@@ -33,7 +33,30 @@ MixGemmBackend::gemm(std::span<const int32_t> a,
     blocking.fault = fault_;
     blocking.abft_max_retries = abft_retries_;
     blocking.cancel = cancel_;
-    auto result = mixGemm(a, b, m, n, k, geometry, blocking);
+
+    // Pre-packed B (weight store): skip packing + expansion entirely
+    // and compute from the provider's panels — zero-copy when they
+    // borrow a mapped artifact. Bitwise identical either way.
+    const CompressedB *pb =
+        prepacked_ ? prepacked_->find(b.data(), k, n, config) : nullptr;
+    MixGemmResult result;
+    if (pb) {
+        ++prepack_hits_;
+        blocking.weight_source =
+            pb->borrowsStorage() ? "store-mmap" : "prepacked";
+        if (pb->borrowsStorage()) {
+            blocking.weight_bytes_mapped =
+                pb->bytes() + (pb->clusterPanelsBuilt()
+                                   ? pb->clusterPanelWordCount() * 8
+                                   : 0);
+        }
+        const CompressedA ca(a, m, k, geometry);
+        result = mixGemm(ca, *pb, blocking);
+    } else {
+        if (prepacked_)
+            ++prepack_misses_;
+        result = mixGemm(a, b, m, n, k, geometry, blocking);
+    }
     total_bs_ip_ += result.counters.get(Counter::BsIp);
     last_abft_ = result.abft;
     last_status_ = result.status;

@@ -19,6 +19,7 @@
 #include "bs/geometry.h"
 #include "gemm/blocking.h"
 #include "gemm/mixgemm.h"
+#include "runtime/prepack.h"
 
 namespace mixgemm
 {
@@ -171,6 +172,27 @@ class MixGemmBackend : public GemmBackend
     void setCancelToken(const CancelToken *token) { cancel_ = token; }
     const CancelToken *cancelToken() const { return cancel_; }
 
+    /**
+     * Attach (or detach, with nullptr) a pre-packed weight provider
+     * (see runtime/prepack.h): every subsequent gemm() first asks it
+     * for the B operand by data pointer + shape + config, and on a hit
+     * skips B packing and cluster expansion entirely, computing from
+     * the provider's (possibly mmap-borrowed) panels. Bitwise
+     * identical to fresh packing — the packed-weight store's identity
+     * tests pin this across the config matrix. Not owned; must outlive
+     * the attachment.
+     */
+    void setPrepacked(const PrepackedWeights *provider)
+    {
+        prepacked_ = provider;
+    }
+    const PrepackedWeights *prepacked() const { return prepacked_; }
+
+    /** gemm() calls served from the pre-packed provider. */
+    uint64_t prepackHits() const { return prepack_hits_; }
+    /** gemm() calls the provider was asked about but could not serve. */
+    uint64_t prepackMisses() const { return prepack_misses_; }
+
     Status lastStatus() const override { return last_status_; }
 
   private:
@@ -185,6 +207,9 @@ class MixGemmBackend : public GemmBackend
     unsigned abft_retries_ = 2;
     AbftOutcome last_abft_;
     const CancelToken *cancel_ = nullptr;
+    const PrepackedWeights *prepacked_ = nullptr;
+    uint64_t prepack_hits_ = 0;
+    uint64_t prepack_misses_ = 0;
     Status last_status_;
 };
 

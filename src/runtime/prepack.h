@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Pre-packed weight lookup for GEMM backends.
+ *
+ * MixGemmBackend receives B operands as raw int32 spans (the QNode
+ * weight tensors) and historically re-packed them on every call — per
+ * layer, per inference. A PrepackedWeights provider breaks that: the
+ * packed-weight store (src/store) indexes a model's packed panels by
+ * the weight tensor's data pointer, and the backend consults it before
+ * packing. QNode::weights_q vectors are pointer-stable for the life of
+ * a registered graph, which is exactly the provider's required
+ * lifetime, so the pointer is a sound key; k, n and the data-size
+ * configuration are re-validated on every hit anyway.
+ *
+ * The interface lives in src/runtime (not src/store) so the backend
+ * depends only on the abstraction and the store can depend on the
+ * backend-facing runtime types without a cycle.
+ */
+
+#ifndef MIXGEMM_RUNTIME_PREPACK_H
+#define MIXGEMM_RUNTIME_PREPACK_H
+
+#include <cstdint>
+
+#include "bs/geometry.h"
+
+namespace mixgemm
+{
+
+class CompressedB;
+
+/** Read-only provider of pre-packed B operands for a GEMM backend. */
+class PrepackedWeights
+{
+  public:
+    virtual ~PrepackedWeights() = default;
+
+    /**
+     * The packed B operand for the weight tensor at @p data with shape
+     * k x n under @p config, or nullptr when this provider holds no
+     * match (the backend then packs fresh, as without a provider). The
+     * returned operand must stay valid for the provider's lifetime and
+     * be safe for concurrent read-only GEMM use from many threads.
+     */
+    virtual const CompressedB *find(const int32_t *data, uint64_t k,
+                                    uint64_t n,
+                                    const DataSizeConfig &config) const = 0;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_RUNTIME_PREPACK_H

@@ -27,4 +27,39 @@ buildPrecisionLadder(
     return ladder;
 }
 
+std::vector<TierSpec>
+buildLazyPrecisionLadder(
+    Network &network, const PatternDataset &calibration,
+    const std::vector<std::pair<unsigned, unsigned>> &precisions,
+    PtqOptions base)
+{
+    if (precisions.empty())
+        fatal("buildLazyPrecisionLadder: no precisions requested");
+    std::vector<TierSpec> ladder;
+    ladder.reserve(precisions.size());
+    for (size_t i = 0; i < precisions.size(); ++i) {
+        const auto [a_bits, w_bits] = precisions[i];
+        PtqOptions options = base;
+        options.a_bits = a_bits;
+        options.w_bits = w_bits;
+        TierSpec tier;
+        tier.label = strCat("a", a_bits, "-w", w_bits);
+        tier.a_bits = a_bits;
+        tier.w_bits = w_bits;
+        if (i == 0) {
+            // The fallback rung every request can always run at.
+            tier.graph = buildPtqGraph(network, calibration, options);
+        } else {
+            // PTQ is deterministic for fixed inputs, so an evicted
+            // rung rebuilt by this closure is bitwise-identical to the
+            // original — the serve determinism tests rely on it.
+            tier.build = [&network, &calibration, options] {
+                return buildPtqGraph(network, calibration, options);
+            };
+        }
+        ladder.push_back(std::move(tier));
+    }
+    return ladder;
+}
+
 } // namespace mixgemm

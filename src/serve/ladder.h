@@ -45,6 +45,21 @@ std::vector<TierSpec> buildPrecisionLadder(
     const std::vector<std::pair<unsigned, unsigned>> &precisions,
     PtqOptions base = PtqOptions{});
 
+/**
+ * Like buildPrecisionLadder(), but only rung 0 is quantized now; every
+ * deeper rung carries a deferred builder the server invokes on the
+ * first request that actually degrades to that precision, so
+ * registering a model never pays for rungs the load pattern never
+ * reaches (and under a rung byte budget, evicted rungs re-build
+ * deterministically). The builders capture @p network and
+ * @p calibration by reference — both must outlive the server the
+ * ladder is registered with.
+ */
+std::vector<TierSpec> buildLazyPrecisionLadder(
+    Network &network, const PatternDataset &calibration,
+    const std::vector<std::pair<unsigned, unsigned>> &precisions,
+    PtqOptions base = PtqOptions{});
+
 } // namespace mixgemm
 
 #endif // MIXGEMM_SERVE_LADDER_H

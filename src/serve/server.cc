@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <limits>
 
 #include "common/logging.h"
+#include "store/store.h"
 
 namespace mixgemm
 {
@@ -30,6 +32,7 @@ class MacCountingBackend final : public GemmBackend
                               const DataSizeConfig &config) override
     {
         cost_ += m * n * k * config.bwa * config.bwb;
+        raw_ += m * n * k;
         return std::vector<int64_t>(m * n, 0);
     }
 
@@ -38,8 +41,13 @@ class MacCountingBackend final : public GemmBackend
     /** Modeled cost in 8x8-equivalent MACs. */
     uint64_t equivalentMacs() const { return cost_ / 64; }
 
+    /** Unweighted m*n*k sum — the base the analytic lazy-rung cost
+     * model scales by a_bits * w_bits / 64. */
+    uint64_t rawMacs() const { return raw_; }
+
   private:
     uint64_t cost_ = 0;
+    uint64_t raw_ = 0;
 };
 
 } // namespace
@@ -104,14 +112,40 @@ InferenceServer::registerGraph(std::string name,
                 strCat("registerGraph('", name, "'): input dimension ",
                        dim, " out of range"));
 
-    // Dry-run every rung once: catches a ladder/shape mismatch at
-    // registration (where the operator can act on it) instead of at
+    if (ladder[0].lazy())
+        return Status::invalidArgument(
+            strCat("registerGraph('", name, "'): rung 0 must be eager "
+                   "— it is the always-available fallback and "
+                   "calibrates the virtual-time cost model"));
+    for (size_t t = 0; t < ladder.size(); ++t) {
+        if (ladder[t].lazy() &&
+            (ladder[t].a_bits < 2 || ladder[t].a_bits > 8 ||
+             ladder[t].w_bits < 2 || ladder[t].w_bits > 8))
+            return Status::invalidArgument(
+                strCat("registerGraph('", name, "') tier ", t,
+                       ": lazy-rung precision a", ladder[t].a_bits,
+                       "-w", ladder[t].w_bits,
+                       " outside the supported [2, 8]"));
+    }
+
+    // Dry-run every *eager* rung once: catches a ladder/shape mismatch
+    // at registration (where the operator can act on it) instead of at
     // the first request, and measures the per-rung MAC cost that
-    // virtual-time mode turns into modeled service durations.
+    // virtual-time mode turns into modeled service durations. Lazy
+    // rungs deliberately run nothing here — not paying their build and
+    // pack cost until first use is their whole point — and get the
+    // analytic cost raw_macs * a_bits * w_bits / 64, fixed at
+    // registration so virtual-time dynamics stay deterministic.
     auto graph = std::make_unique<RegisteredGraph>();
     graph->tier_macs.reserve(ladder.size());
     Tensor<double> probe(input_shape);
     for (size_t t = 0; t < ladder.size(); ++t) {
+        if (ladder[t].lazy()) {
+            graph->tier_macs.push_back(graph->raw_macs *
+                                       ladder[t].a_bits *
+                                       ladder[t].w_bits / 64);
+            continue;
+        }
         MacCountingBackend counter;
         try {
             Expected<std::vector<double>> out =
@@ -125,11 +159,50 @@ InferenceServer::registerGraph(std::string name,
                        e.what()));
         }
         graph->tier_macs.push_back(counter.equivalentMacs());
+        if (t == 0)
+            graph->raw_macs = counter.rawMacs();
     }
     graph->name = std::move(name);
     graph->ladder = std::move(ladder);
     graph->input_shape = std::move(input_shape);
 
+    // Residency slots: eager rungs move in now (and get their packed
+    // weights from the store, pack-once / mmap-thereafter); lazy slots
+    // stay empty until first use.
+    const size_t rung_count = graph->ladder.size();
+    graph->rungs.resize(rung_count);
+    graph->rung_packs.resize(rung_count);
+    graph->rung_bytes.assign(rung_count, 0);
+    graph->rung_last_use.assign(rung_count, 0);
+    for (size_t t = 0; t < rung_count; ++t) {
+        TierSpec &tier = graph->ladder[t];
+        if (tier.lazy())
+            continue;
+        auto resident = std::make_shared<const QuantizedGraph>(
+            std::move(tier.graph));
+        tier.graph = QuantizedGraph();
+        if (options_.weight_store) {
+            auto model = options_.weight_store->load(*resident);
+            if (model.ok()) {
+                auto index = PackedModelIndex::build(*model, *resident);
+                if (index.ok())
+                    graph->rung_packs[t] = *index;
+                else
+                    warn(strCat("registerGraph('", graph->name,
+                                "') tier ", t, ": ",
+                                index.status().toString()));
+            } else {
+                warn(strCat("registerGraph('", graph->name, "') tier ",
+                            t, ": ", model.status().toString()));
+            }
+        }
+        graph->rungs[t] = std::move(resident);
+    }
+
+    {
+        std::lock_guard<std::mutex> rung_lock(rung_mutex_);
+        rung_registry_.push_back(graph.get());
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     const uint64_t id = graphs_.size();
     const unsigned deepest =
@@ -138,6 +211,120 @@ InferenceServer::registerGraph(std::string name,
     max_level_ = std::max(max_level_, deepest);
     stats_.completed_by_tier.resize(max_level_ + 1, 0);
     return id;
+}
+
+InferenceServer::RungRef
+InferenceServer::resolveRung(RegisteredGraph &graph, unsigned tier,
+                             uint64_t now)
+{
+    RungRef ref;
+    std::vector<std::string> log_lines;
+    bool materialized = false;
+    uint64_t evictions = 0;
+    uint64_t bytes_gauge = 0;
+    uint64_t count_gauge = 0;
+    {
+        std::lock_guard<std::mutex> lock(rung_mutex_);
+        std::shared_ptr<const QuantizedGraph> &slot = graph.rungs[tier];
+        if (!slot) {
+            // First request at this precision (or a re-fault after
+            // eviction): build the rung. The builder is deterministic,
+            // so with a content-addressed store the rebuild re-derives
+            // the same key and re-adopts the same artifact — results
+            // are bitwise identical across evict/refault cycles.
+            const TierSpec &spec = graph.ladder[tier];
+            auto built = std::make_shared<const QuantizedGraph>(
+                spec.build());
+            uint64_t packed_bytes = 0;
+            if (options_.weight_store) {
+                auto model = options_.weight_store->load(*built);
+                if (model.ok()) {
+                    auto index =
+                        PackedModelIndex::build(*model, *built);
+                    if (index.ok()) {
+                        graph.rung_packs[tier] = *index;
+                        // Panel payload bytes, not mapping bytes: the
+                        // value is identical for a cold pack and a warm
+                        // mmap load, keeping decision logs reproducible
+                        // across cache states.
+                        packed_bytes = (*model)->packed_bytes;
+                    } else {
+                        warn(strCat("materialize '", graph.name,
+                                    "' tier ", tier, ": ",
+                                    index.status().toString()));
+                    }
+                } else {
+                    warn(strCat("materialize '", graph.name, "' tier ",
+                                tier, ": ",
+                                model.status().toString()));
+                }
+            }
+            slot = std::move(built);
+            graph.rung_bytes[tier] =
+                graphWeightBytes(*slot) + packed_bytes;
+            lazy_resident_bytes_ += graph.rung_bytes[tier];
+            ++lazy_resident_count_;
+            materialized = true;
+            log_lines.push_back(strCat(
+                "t=", now, " materialize graph=", graph.name,
+                " tier=", tier, " bytes=", graph.rung_bytes[tier]));
+        }
+        graph.rung_last_use[tier] = ++rung_use_tick_;
+        ref.graph = slot;
+        ref.pack = graph.rung_packs[tier];
+
+        // Pooled LRU across every graph's lazy rungs. The rung just
+        // resolved is explicitly protected: a budget smaller than one
+        // rung must not evict the work in flight.
+        while (options_.rung_budget_bytes != 0 &&
+               lazy_resident_bytes_ > options_.rung_budget_bytes) {
+            RegisteredGraph *victim_graph = nullptr;
+            unsigned victim_tier = 0;
+            uint64_t oldest = std::numeric_limits<uint64_t>::max();
+            for (RegisteredGraph *g : rung_registry_) {
+                for (unsigned t = 0;
+                     t < static_cast<unsigned>(g->ladder.size()); ++t) {
+                    if (!g->ladder[t].lazy() || !g->rungs[t])
+                        continue;
+                    if (g == &graph && t == tier)
+                        continue;
+                    if (g->rung_last_use[t] < oldest) {
+                        oldest = g->rung_last_use[t];
+                        victim_graph = g;
+                        victim_tier = t;
+                    }
+                }
+            }
+            if (!victim_graph)
+                break;
+            // In-flight requests hold the graph via shared_ptr; this
+            // only drops the residency reference.
+            victim_graph->rungs[victim_tier].reset();
+            victim_graph->rung_packs[victim_tier].reset();
+            lazy_resident_bytes_ -=
+                victim_graph->rung_bytes[victim_tier];
+            --lazy_resident_count_;
+            ++evictions;
+            log_lines.push_back(strCat(
+                "t=", now, " evict_rung graph=", victim_graph->name,
+                " tier=", victim_tier,
+                " bytes=", victim_graph->rung_bytes[victim_tier]));
+            victim_graph->rung_bytes[victim_tier] = 0;
+        }
+        bytes_gauge = lazy_resident_bytes_;
+        count_gauge = lazy_resident_count_;
+    }
+    if (!log_lines.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::string &line : log_lines)
+            logLocked(std::move(line));
+        if (materialized)
+            ++stats_.rung_materializations;
+        stats_.rung_evictions += evictions;
+        stats_.lazy_resident_bytes = bytes_gauge;
+        stats_.lazy_rungs_resident = count_gauge;
+    }
+    return ref;
 }
 
 void
@@ -348,7 +535,7 @@ void
 InferenceServer::execute(Pending item, WorkerSlot &slot,
                          MixGemmBackend &backend, int worker_index)
 {
-    const RegisteredGraph &graph = *item.graph;
+    RegisteredGraph &graph = *item.graph;
     const TierSpec &tier = graph.ladder[item.tier];
     const uint64_t deadline = item.request.deadline_ns;
 
@@ -372,6 +559,11 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
         return;
     }
 
+    // Resolve (and if needed materialize) the rung *after* the queue
+    // deadline check: a request that expired waiting must not trigger
+    // a build it will never use.
+    const RungRef rung = resolveRung(graph, item.tier, start);
+
     auto source = std::make_shared<CancelSource>();
     if (deadline != 0)
         source->setDeadline(deadline, *clock_);
@@ -385,6 +577,7 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
     slot.busy_seq.store(item.seq + 1, std::memory_order_release);
 
     backend.setCancelToken(&token);
+    backend.setPrepacked(rung.pack.get());
     backend.setTraceLabel(strCat(graph.name, "/", tier.label, "/req",
                                  item.seq));
 
@@ -404,7 +597,7 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
                                                  token);
             if (status.ok()) {
                 Expected<std::vector<double>> result =
-                    tier.graph.tryRun(item.request.input, backend);
+                    rung.graph->tryRun(item.request.input, backend);
                 if (result.ok())
                     output = std::move(*result);
                 else
@@ -442,6 +635,7 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
                 std::chrono::nanoseconds(backoff));
     }
     backend.setCancelToken(nullptr);
+    backend.setPrepacked(nullptr);
 
     slot.busy_seq.store(0, std::memory_order_release);
     slot.busy_since.store(0, std::memory_order_release);

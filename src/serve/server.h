@@ -46,12 +46,34 @@
 namespace mixgemm
 {
 
+class PackedModelIndex;  // store/store.h
+class PackedWeightStore; // store/store.h
+
 /** One rung of a registered graph's precision ladder. */
 struct TierSpec
 {
     QuantizedGraph graph;
     /// Human-readable precision label ("a8-w8", "a4-w4", ...).
     std::string label;
+
+    /**
+     * Lazy rung: when set, @ref graph stays empty and this builder runs
+     * on the *first request* that degrades to this precision — unused
+     * rungs never pay their quantization or packing cost
+     * (ladder.h::buildLazyPrecisionLadder). The builder must be
+     * deterministic (same graph every invocation): an evicted rung that
+     * re-materializes must produce bitwise-identical results, and with
+     * a content-addressed weight store a rebuild re-derives the same
+     * artifact key. Rung 0 must be eager — it is the ladder's
+     * always-available fallback and its dry run calibrates the
+     * virtual-time cost model.
+     */
+    std::function<QuantizedGraph()> build;
+    /// Precision of a lazy rung (for the analytic cost model).
+    unsigned a_bits = 8;
+    unsigned w_bits = 8;
+
+    bool lazy() const { return static_cast<bool>(build); }
 };
 
 /**
@@ -130,6 +152,25 @@ struct ServerOptions
     TraceSession *session = nullptr;
 
     /**
+     * Packed-weight store consulted when a rung materializes: its
+     * weights load pack-once / mmap-thereafter, and every GEMM of the
+     * rung runs from the pre-packed panels instead of re-packing per
+     * call. Not owned; must outlive the server. Null = pack per call,
+     * as before.
+     */
+    PackedWeightStore *weight_store = nullptr;
+
+    /**
+     * LRU byte budget across *lazily materialized* rungs (graph +
+     * packed panels), all graphs pooled. When a materialization pushes
+     * the pool past the budget, least-recently-used lazy rungs are
+     * evicted (decision-logged); a later request at that precision
+     * deterministically re-materializes. Eager rungs are never
+     * evicted. 0 = unbounded.
+     */
+    uint64_t rung_budget_bytes = 0;
+
+    /**
      * Test-only execution hook, run before each attempt with the
      * request sequence number, the 1-based attempt index, and the
      * attempt's cancellation token. A non-ok return is taken as the
@@ -194,6 +235,10 @@ struct ServerStats
     uint64_t degrade_steps = 0;
     uint64_t recover_steps = 0;
     uint64_t watchdog_cancels = 0;
+    uint64_t rung_materializations = 0; ///< lazy rungs built on demand
+    uint64_t rung_evictions = 0;        ///< lazy rungs dropped by budget
+    uint64_t lazy_rungs_resident = 0;   ///< currently materialized
+    uint64_t lazy_resident_bytes = 0;   ///< their pooled footprint
     uint64_t decisions_dropped = 0; ///< log entries beyond the cap
     unsigned degradation_level = 0;
     size_t queue_depth = 0;
@@ -266,10 +311,25 @@ class InferenceServer
     {
         std::string name;
         std::vector<TierSpec> ladder;
-        /// Per-rung modeled cost (8x8-equivalent MACs), from the
-        /// registration dry run.
+        /// Per-rung modeled cost (8x8-equivalent MACs): eager rungs
+        /// from the registration dry run, lazy rungs from the analytic
+        /// uniform-precision model (raw_macs * a_bits * w_bits / 64) —
+        /// fixed at registration either way, so virtual-time dynamics
+        /// stay deterministic.
         std::vector<uint64_t> tier_macs;
         std::vector<size_t> input_shape;
+        /// Raw m*n*k MAC sum of the rung-0 dry run (lazy cost model).
+        uint64_t raw_macs = 0;
+
+        // Rung state below is guarded by the server-wide rung_mutex_.
+        /// Materialized per-rung graphs; a null slot is a lazy rung
+        /// not (or no longer) resident. Handed out as shared_ptr so
+        /// eviction never invalidates an executing request.
+        std::vector<std::shared_ptr<const QuantizedGraph>> rungs;
+        /// Pre-packed weight indexes per rung (null without a store).
+        std::vector<std::shared_ptr<const PackedModelIndex>> rung_packs;
+        std::vector<uint64_t> rung_bytes;    ///< footprint when resident
+        std::vector<uint64_t> rung_last_use; ///< logical LRU tick
     };
 
     struct Pending
@@ -278,7 +338,7 @@ class InferenceServer
         uint64_t seq = 0;
         uint64_t submit_ns = 0;
         unsigned tier = 0;
-        const RegisteredGraph *graph = nullptr;
+        RegisteredGraph *graph = nullptr;
         std::promise<ServeResponse> promise;
     };
 
@@ -300,6 +360,25 @@ class InferenceServer
                  int worker_index);
     void finishRejected(Pending &&item, Status status);
 
+    /** A resolved rung: the graph to run and its pre-packed weights
+     * (null without a weight store). Holding these shared_ptrs keeps
+     * both alive across eviction for the duration of the request. */
+    struct RungRef
+    {
+        std::shared_ptr<const QuantizedGraph> graph;
+        std::shared_ptr<const PackedModelIndex> pack;
+    };
+
+    /**
+     * Resolve @p graph's rung @p tier, materializing a lazy rung on
+     * first use (builder + weight-store load) and LRU-evicting lazy
+     * rungs past the byte budget. Locks rung_mutex_, then mutex_ for
+     * the materialize/evict decision-log entries stamped @p now —
+     * never both at once.
+     */
+    RungRef resolveRung(RegisteredGraph &graph, unsigned tier,
+                        uint64_t now);
+
     // The following run under mutex_.
     void logLocked(std::string entry);
     void evaluateDegradationLocked(uint64_t now_ns);
@@ -309,6 +388,15 @@ class InferenceServer
     const Clock *clock_ = nullptr;
     std::vector<std::unique_ptr<RegisteredGraph>> graphs_;
     BoundedQueue<Pending> queue_;
+
+    /// Guards every RegisteredGraph's rung state plus the LRU pool
+    /// below. Separate from mutex_ (and never held together with it)
+    /// so a slow materialization cannot stall admission.
+    std::mutex rung_mutex_;
+    uint64_t rung_use_tick_ = 0;       ///< logical LRU clock
+    uint64_t lazy_resident_bytes_ = 0; ///< pooled lazy-rung footprint
+    uint64_t lazy_resident_count_ = 0;
+    std::vector<RegisteredGraph *> rung_registry_; ///< eviction scan set
 
     mutable std::mutex mutex_;
     uint64_t next_seq_ = 0;

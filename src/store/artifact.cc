@@ -1,0 +1,375 @@
+#include "store/artifact.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "bs/geometry.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/// Serialized header, field for field (56 bytes, 8-aligned). The
+/// in-file layout is this struct's host layout, gated by the endian
+/// marker: a foreign-endian reader sees 0x04030201 and rejects the
+/// file before touching any other field.
+struct ArtifactHeader
+{
+    char magic[8];
+    uint32_t version;
+    uint32_t endian;
+    uint64_t content_key;
+    uint32_t node_count;
+    uint32_t tuning_bytes;
+    uint64_t file_bytes;
+    uint64_t payload_fnv; ///< FNV-1a of [kArtifactHeaderBytes, file end)
+    uint64_t header_fnv;  ///< FNV-1a of the 48 bytes preceding this field
+};
+static_assert(sizeof(ArtifactHeader) == kArtifactHeaderBytes);
+static_assert(offsetof(ArtifactHeader, endian) == kArtifactEndianOffset);
+
+/// One node-table record (80 bytes, 8-aligned).
+struct ArtifactNode
+{
+    uint64_t node_index;
+    uint64_t k;
+    uint64_t n;
+    uint32_t bwa;
+    uint32_t bwb;
+    uint32_t a_signed;
+    uint32_t b_signed;
+    uint64_t words_off;
+    uint64_t words_count;
+    uint64_t panels_off;
+    uint64_t panels_count;
+    uint32_t panel_words_per_group;
+    uint32_t reserved;
+};
+static_assert(sizeof(ArtifactNode) == 80);
+
+constexpr char kMagic[8] = {'M', 'G', 'W', 'P', 'A', 'C', 'K', '1'};
+
+uint64_t
+align8(uint64_t value)
+{
+    return (value + 7) & ~uint64_t{7};
+}
+
+/// Bounds-check a [off, off + count*8) word range against @p size,
+/// overflow-safely: off must be 8-aligned and inside the file, and
+/// count must fit in the remaining bytes.
+bool
+wordRangeOk(uint64_t off, uint64_t count, uint64_t size)
+{
+    if (off % 8 != 0 || off > size)
+        return false;
+    return count <= (size - off) / 8;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const void *data, size_t len, uint64_t seed)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+uint64_t
+artifactChecksum(const void *data, size_t len, uint64_t seed)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    uint64_t hash = seed;
+    size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        uint64_t chunk;
+        std::memcpy(&chunk, bytes + i, 8);
+        hash = (hash ^ chunk) * 0x100000001b3ull;
+    }
+    for (; i < len; ++i)
+        hash = (hash ^ bytes[i]) * 0x100000001b3ull;
+    return hash;
+}
+
+Expected<std::shared_ptr<MappedFile>>
+MappedFile::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        return Status::notFound(strCat("artifact '", path,
+                                       "': ", std::strerror(errno)));
+    }
+    struct stat st = {};
+    if (fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::unavailable(strCat("artifact '", path, "': fstat: ",
+                                          std::strerror(err)));
+    }
+    if (st.st_size <= 0) {
+        ::close(fd);
+        return Status::dataLoss(strCat("artifact '", path, "': empty file"));
+    }
+    const auto size = static_cast<uint64_t>(st.st_size);
+    void *addr = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+        return Status::unavailable(strCat("artifact '", path, "': mmap: ",
+                                          std::strerror(errno)));
+    }
+    return std::shared_ptr<MappedFile>(new MappedFile(addr, size));
+}
+
+MappedFile::~MappedFile()
+{
+    if (addr_)
+        munmap(addr_, size_);
+}
+
+Status
+writeArtifact(const PackedModel &model, const std::string &path)
+{
+    if (path.empty())
+        return Status::invalidArgument("writeArtifact: empty path");
+    if (model.entries.size() >
+        std::numeric_limits<uint32_t>::max()) {
+        return Status::invalidArgument("writeArtifact: too many entries");
+    }
+    if (model.tuning_json.size() >
+        std::numeric_limits<uint32_t>::max()) {
+        return Status::invalidArgument(
+            "writeArtifact: tuning blob too large");
+    }
+
+    // The artifact always carries cluster panels — the zero-copy win
+    // on load is skipping both the pack and the expansion.
+    for (const PackedEntry &entry : model.entries)
+        entry.weights.ensureClusterPanels();
+
+    // Lay out offsets: header, node table, tuning blob, 8-aligned
+    // word payloads (words then panels, per node).
+    std::vector<ArtifactNode> table(model.entries.size());
+    uint64_t offset = kArtifactHeaderBytes +
+                      table.size() * sizeof(ArtifactNode);
+    offset = align8(offset + model.tuning_json.size());
+    for (size_t i = 0; i < model.entries.size(); ++i) {
+        const PackedEntry &entry = model.entries[i];
+        const CompressedB &b = entry.weights;
+        ArtifactNode &node = table[i];
+        node.node_index = entry.node_index;
+        node.k = b.k();
+        node.n = b.n();
+        node.bwa = b.geometry().config.bwa;
+        node.bwb = b.geometry().config.bwb;
+        node.a_signed = b.geometry().config.a_signed ? 1 : 0;
+        node.b_signed = b.geometry().config.b_signed ? 1 : 0;
+        node.words_off = offset;
+        node.words_count = b.words().size();
+        offset += node.words_count * 8;
+        node.panels_off = offset;
+        node.panels_count = b.clusterPanelWordCount();
+        node.panel_words_per_group = b.clusterWordsPerGroup();
+        offset += node.panels_count * 8;
+    }
+    const uint64_t file_bytes = offset;
+
+    std::vector<uint8_t> buffer(file_bytes, 0);
+    uint8_t *base = buffer.data();
+    for (size_t i = 0; i < model.entries.size(); ++i) {
+        const CompressedB &b = model.entries[i].weights;
+        if (table[i].words_count) {
+            std::memcpy(base + table[i].words_off, b.words().data(),
+                        table[i].words_count * 8);
+        }
+        if (table[i].panels_count) {
+            std::memcpy(base + table[i].panels_off, b.groupClusters(0, 0),
+                        table[i].panels_count * 8);
+        }
+    }
+    if (!table.empty()) {
+        std::memcpy(base + kArtifactHeaderBytes, table.data(),
+                    table.size() * sizeof(ArtifactNode));
+    }
+    if (!model.tuning_json.empty()) {
+        std::memcpy(base + kArtifactHeaderBytes +
+                        table.size() * sizeof(ArtifactNode),
+                    model.tuning_json.data(), model.tuning_json.size());
+    }
+
+    ArtifactHeader header = {};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.version = kArtifactVersion;
+    header.endian = kArtifactEndian;
+    header.content_key = model.key;
+    header.node_count = static_cast<uint32_t>(model.entries.size());
+    header.tuning_bytes = static_cast<uint32_t>(model.tuning_json.size());
+    header.file_bytes = file_bytes;
+    header.payload_fnv = artifactChecksum(
+        base + kArtifactHeaderBytes, file_bytes - kArtifactHeaderBytes);
+    header.header_fnv =
+        artifactChecksum(&header, offsetof(ArtifactHeader, header_fnv));
+    std::memcpy(base, &header, sizeof(header));
+
+    // Write-to-temp + rename: concurrent loaders either see the old
+    // artifact or the complete new one, never a torn write.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return Status::unavailable(strCat("writeArtifact: cannot open '",
+                                              tmp, "'"));
+        }
+        out.write(reinterpret_cast<const char *>(base),
+                  static_cast<std::streamsize>(file_bytes));
+        if (!out) {
+            std::remove(tmp.c_str());
+            return Status::unavailable(strCat("writeArtifact: short write to '",
+                                              tmp, "'"));
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        return Status::unavailable(strCat("writeArtifact: rename to '", path,
+                                          "': ", std::strerror(err)));
+    }
+    return Status();
+}
+
+Expected<PackedModel>
+loadArtifact(const std::string &path, bool verify_checksum,
+             uint64_t expected_key)
+{
+    auto mapped = MappedFile::open(path);
+    if (!mapped.ok())
+        return mapped.status();
+    const std::shared_ptr<MappedFile> &file = *mapped;
+    const uint8_t *base = file->data();
+    const uint64_t size = file->size();
+
+    if (size < kArtifactHeaderBytes) {
+        return Status::dataLoss(strCat("artifact '", path,
+                                       "': shorter than header"));
+    }
+    ArtifactHeader header;
+    std::memcpy(&header, base, sizeof(header));
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+        return Status::dataLoss(strCat("artifact '", path, "': bad magic"));
+    if (header.endian != kArtifactEndian) {
+        return Status::dataLoss(strCat(
+            "artifact '", path, "': endianness mismatch (marker 0x",
+            std::to_string(header.endian), ")"));
+    }
+    if (header.version != kArtifactVersion) {
+        return Status::failedPrecondition(strCat(
+            "artifact '", path, "': format version ", header.version,
+            " != supported ", kArtifactVersion));
+    }
+    if (header.file_bytes != size) {
+        return Status::dataLoss(strCat("artifact '", path,
+                                       "': header says ", header.file_bytes,
+                                       " bytes, file has ", size));
+    }
+    if (verify_checksum) {
+        const uint64_t header_fnv =
+            artifactChecksum(base, offsetof(ArtifactHeader, header_fnv));
+        if (header_fnv != header.header_fnv) {
+            return Status::dataLoss(strCat("artifact '", path,
+                                           "': header checksum mismatch"));
+        }
+        const uint64_t payload_fnv = artifactChecksum(
+            base + kArtifactHeaderBytes, size - kArtifactHeaderBytes);
+        if (payload_fnv != header.payload_fnv) {
+            return Status::dataLoss(strCat("artifact '", path,
+                                           "': payload checksum mismatch"));
+        }
+    }
+    if (expected_key != 0 && header.content_key != expected_key) {
+        return Status::failedPrecondition(strCat(
+            "artifact '", path, "': content key mismatch (stale or "
+            "misnamed artifact)"));
+    }
+
+    // Structural bounds: the node table and tuning blob must fit, with
+    // every arithmetic step overflow-checked against the real size.
+    const uint64_t max_nodes =
+        (size - kArtifactHeaderBytes) / sizeof(ArtifactNode);
+    if (header.node_count > max_nodes) {
+        return Status::dataLoss(strCat("artifact '", path, "': node table (",
+                                       header.node_count,
+                                       " entries) exceeds file"));
+    }
+    const uint64_t table_end = kArtifactHeaderBytes +
+                               uint64_t{header.node_count} *
+                                   sizeof(ArtifactNode);
+    if (header.tuning_bytes > size - table_end) {
+        return Status::dataLoss(strCat("artifact '", path,
+                                       "': tuning blob exceeds file"));
+    }
+    const uint64_t payload_start = align8(table_end + header.tuning_bytes);
+
+    PackedModel model;
+    model.key = header.content_key;
+    model.path = path;
+    model.from_cache = true;
+    model.mapped_bytes = size;
+    model.tuning_json.assign(
+        reinterpret_cast<const char *>(base + table_end),
+        header.tuning_bytes);
+    model.entries.reserve(header.node_count);
+
+    for (uint32_t i = 0; i < header.node_count; ++i) {
+        ArtifactNode node;
+        std::memcpy(&node, base + kArtifactHeaderBytes +
+                               uint64_t{i} * sizeof(ArtifactNode),
+                    sizeof(node));
+        if (!wordRangeOk(node.words_off, node.words_count, size) ||
+            !wordRangeOk(node.panels_off, node.panels_count, size) ||
+            node.words_off < payload_start ||
+            node.panels_off < payload_start) {
+            return Status::dataLoss(strCat("artifact '", path, "': node ", i,
+                                           ": payload range out of bounds"));
+        }
+        const DataSizeConfig config{node.bwa, node.bwb, node.a_signed != 0,
+                                    node.b_signed != 0};
+        auto geometry = tryComputeBsGeometry(config);
+        if (!geometry.ok()) {
+            return Status::dataLoss(strCat("artifact '", path, "': node ", i,
+                                           ": ", geometry.status().message()));
+        }
+        const BsGeometry geom = geometryForK(*geometry, node.k);
+        const auto *words = reinterpret_cast<const uint64_t *>(
+            base + node.words_off);
+        const auto *panels = reinterpret_cast<const uint64_t *>(
+            base + node.panels_off);
+        auto adopted = CompressedB::adopt(
+            node.k, node.n, geom, {words, node.words_count}, file,
+            {panels, node.panels_count}, node.panel_words_per_group);
+        if (!adopted.ok()) {
+            return Status::dataLoss(strCat("artifact '", path, "': node ", i,
+                                           ": ", adopted.status().message()));
+        }
+        model.packed_bytes += node.words_count * 8 + node.panels_count * 8;
+        model.entries.push_back(
+            PackedEntry{node.node_index, std::move(*adopted)});
+    }
+    return model;
+}
+
+} // namespace mixgemm

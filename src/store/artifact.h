@@ -1,0 +1,144 @@
+/**
+ * @file
+ * On-disk packed-weight artifacts: pack once, mmap forever.
+ *
+ * Packing a model's weights into μ-vector panels and cluster-domain
+ * expansion panels is pure overhead the paper amortizes across operand
+ * reuse; an artifact amortizes it across *processes*. The file carries,
+ * per packable weight tensor, the exact bytes a CompressedB holds in
+ * memory — the packed 64-bit words and the pre-expanded cluster panels
+ * — at 8-byte-aligned offsets, so a loader can `mmap` the file
+ * read-only and adopt the panels zero-copy (CompressedB::adopt
+ * borrowed-storage mode). Layout (all fields little-endian, fixed
+ * width):
+ *
+ *   header (56 B): magic "MGWPACK1", format version, endianness marker
+ *     0x01020304, content key, node count, tuning-blob length, total
+ *     file bytes, payload FNV-1a, header FNV-1a
+ *   node table: one 80 B record per tensor — graph node index, k, n,
+ *     data-size configuration, word/panel offsets and counts
+ *   tuning blob: the producer's TuningSet JSON (PR 6), "" when absent
+ *   payloads: packed words, then cluster-panel words, per node
+ *
+ * Every load validates before it allocates or adopts anything: magic,
+ * version, endianness, both checksums, and every offset/count against
+ * the true file size — truncated, bit-flipped, wrong-endian and
+ * version-mismatched artifacts come back as structured errors
+ * (Status/Expected), never as crashes or wild reads. The fuzz suite in
+ * tests/test_store.cc hammers exactly these paths under ASan/UBSan.
+ */
+
+#ifndef MIXGEMM_STORE_ARTIFACT_H
+#define MIXGEMM_STORE_ARTIFACT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+
+/** Artifact format version; any layout change bumps it. */
+constexpr uint32_t kArtifactVersion = 1;
+
+/** Endianness marker as written by the packing host. */
+constexpr uint32_t kArtifactEndian = 0x01020304;
+
+/** Serialized header size in bytes (see the file comment). */
+constexpr uint64_t kArtifactHeaderBytes = 56;
+
+/** Byte offset of the endianness marker inside the header. */
+constexpr uint64_t kArtifactEndianOffset = 12;
+
+/** FNV-1a 64-bit hash (also the content-key hash primitive). */
+uint64_t fnv1a64(const void *data, size_t len,
+                 uint64_t seed = 0xcbf29ce484222325ull);
+
+/**
+ * Artifact checksum: FNV-1a folded over 8-byte chunks (byte-wise tail).
+ * Byte-serial FNV caps validated warm loads at a few hundred MB/s — the
+ * multiply dependency chain advances one byte per step; folding a word
+ * at a time keeps the same any-single-bit-flip detection (xor + odd
+ * multiply is a bijection per step) at ~8x the throughput, which is
+ * what keeps a checksummed mmap load an order of magnitude faster than
+ * a cold pack. Exported so the adversarial tests can re-seal artifacts
+ * they mutate.
+ */
+uint64_t artifactChecksum(const void *data, size_t len,
+                          uint64_t seed = 0xcbf29ce484222325ull);
+
+/**
+ * RAII read-only memory mapping of one file. Shared (shared_ptr) as
+ * the keepalive of every CompressedB adopted from it: the mapping
+ * unmaps when the last borrower releases it, so evicting an artifact
+ * from the store never invalidates in-flight GEMMs.
+ */
+class MappedFile
+{
+  public:
+    static Expected<std::shared_ptr<MappedFile>> open(
+        const std::string &path);
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const uint8_t *data() const
+    {
+        return static_cast<const uint8_t *>(addr_);
+    }
+    uint64_t size() const { return size_; }
+
+  private:
+    MappedFile(void *addr, uint64_t size) : addr_(addr), size_(size) {}
+
+    void *addr_ = nullptr;
+    uint64_t size_ = 0;
+};
+
+/** One packed weight tensor of a model. */
+struct PackedEntry
+{
+    uint64_t node_index = 0; ///< index into QuantizedGraph::nodes()
+    CompressedB weights;     ///< packed (owned or artifact-borrowed)
+};
+
+/** A model's packed weights: fresh (owned) or artifact-backed. */
+struct PackedModel
+{
+    uint64_t key = 0;          ///< content key; also the artifact stem
+    std::string path;          ///< artifact path; "" if never persisted
+    bool from_cache = false;   ///< adopted zero-copy from a mapping
+    uint64_t mapped_bytes = 0; ///< artifact mapping size (0 when owned)
+    uint64_t packed_bytes = 0; ///< μ-vector + cluster-panel bytes
+    std::string tuning_json;   ///< embedded tuning metadata ("" = none)
+    std::vector<PackedEntry> entries;
+};
+
+/**
+ * Serialize @p model to @p path (write-to-temp + rename, so a crashed
+ * writer never leaves a half-written artifact under the final name).
+ * Cluster panels are built first when absent — the artifact always
+ * carries them, that is where the zero-copy win lives.
+ */
+Status writeArtifact(const PackedModel &model, const std::string &path);
+
+/**
+ * Map @p path read-only and adopt its panels zero-copy. Validation
+ * precedes every allocation (see the file comment); @p expected_key,
+ * when non-zero, must match the header's content key (a stale or
+ * misnamed artifact is rejected as kFailedPrecondition). With
+ * @p verify_checksum false the two FNV sums are skipped — structural
+ * bounds checks still run.
+ */
+Expected<PackedModel> loadArtifact(const std::string &path,
+                                   bool verify_checksum = true,
+                                   uint64_t expected_key = 0);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_STORE_ARTIFACT_H

@@ -1,0 +1,88 @@
+#include "store/modelgen.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/// xorshift64: deterministic, platform-independent, no <random> (libc++
+/// and libstdc++ disagree on distribution algorithms).
+uint64_t
+xorshift64(uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+/// Uniform signed code in the (bits, signed) clamp range.
+int32_t
+randomCode(uint64_t &state, const QuantParams &params)
+{
+    const int64_t lo = params.qmin();
+    const int64_t hi = params.qmax();
+    const uint64_t span = static_cast<uint64_t>(hi - lo + 1);
+    return static_cast<int32_t>(lo + static_cast<int64_t>(
+                                         xorshift64(state) % span));
+}
+
+} // namespace
+
+QuantizedGraph
+syntheticQuantizedGraph(const ModelSpec &model, unsigned a_bits,
+                        unsigned w_bits, uint64_t seed,
+                        size_t max_layers)
+{
+    if (a_bits < 2 || a_bits > 8 || w_bits < 2 || w_bits > 8)
+        fatal(strCat("syntheticQuantizedGraph: bitwidths a", a_bits,
+                     "-w", w_bits, " outside the packable [2, 8]"));
+    uint64_t state = seed ? seed : 0x9e3779b97f4a7c15ull;
+    // Mix the model identity in so two networks with an identical
+    // first layer still get distinct weights.
+    for (const char c : model.name)
+        state = (state ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+
+    size_t count = model.layers.size();
+    if (max_layers > 0 && max_layers < count)
+        count = max_layers;
+
+    std::vector<QNode> nodes;
+    nodes.reserve(count * 2);
+    for (size_t i = 0; i < count; ++i) {
+        const LayerSpec &layer = model.layers[i];
+        QNode node;
+        node.spec = layer.conv;
+        node.a_params = QuantParams{1.0 / 64, 0, a_bits, true};
+        node.w_params = QuantParams{1.0 / 64, 0, w_bits, true};
+        uint64_t weight_count = 0;
+        if (layer.conv.groups > 1) {
+            node.kind = QNode::Kind::kDepthwise;
+            weight_count = uint64_t{layer.conv.groups} *
+                           layer.conv.gemmK();
+        } else if (layer.conv.in_h == 1 && layer.conv.in_w == 1 &&
+                   layer.conv.kh == 1 && layer.conv.kw == 1) {
+            node.kind = QNode::Kind::kLinear;
+            weight_count = uint64_t{layer.conv.in_c} * layer.conv.out_c;
+        } else {
+            node.kind = QNode::Kind::kConv;
+            weight_count = layer.conv.gemmK() * layer.conv.gemmN();
+        }
+        node.weights_q.resize(weight_count);
+        for (int32_t &w : node.weights_q)
+            w = randomCode(state, node.w_params);
+        node.bias.assign(layer.conv.out_c, 0.0);
+        nodes.push_back(std::move(node));
+        if (i + 1 < count) {
+            QNode relu;
+            relu.kind = QNode::Kind::kRelu;
+            nodes.push_back(std::move(relu));
+        }
+    }
+    return QuantizedGraph(std::move(nodes));
+}
+
+} // namespace mixgemm

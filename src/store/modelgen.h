@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Deterministic synthetic quantized graphs from the paper's layer
+ * tables (src/dnn/models.h). The pack lifecycle — CLI `pack`
+ * subcommand, CI cold-vs-warm assertion, bench model-lifecycle section
+ * — needs real network weight *shapes* without a training run: this
+ * generator fills each layer's GEMM-shaped weight tensor with
+ * xorshift-derived codes that exactly fit the requested bitwidths.
+ * Same (model, bits, seed) ⇒ byte-identical weights ⇒ the same content
+ * key, on every platform: the determinism the content-addressed store
+ * is keyed on.
+ */
+
+#ifndef MIXGEMM_STORE_MODELGEN_H
+#define MIXGEMM_STORE_MODELGEN_H
+
+#include <cstdint>
+
+#include "dnn/models.h"
+#include "runtime/qgraph.h"
+
+namespace mixgemm
+{
+
+/**
+ * Build a quantized graph with @p model's layer geometry and
+ * deterministic synthetic weights: grouped layers become depthwise
+ * nodes, everything else conv nodes, each followed by ReLU (except the
+ * last). @p a_bits / @p w_bits must be in the packable [2, 8] range;
+ * @p max_layers > 0 truncates the network (cheap CI runs).
+ */
+QuantizedGraph syntheticQuantizedGraph(const ModelSpec &model,
+                                       unsigned a_bits, unsigned w_bits,
+                                       uint64_t seed = 1,
+                                       size_t max_layers = 0);
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_STORE_MODELGEN_H

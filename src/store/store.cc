@@ -1,0 +1,332 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "gemm/kernels/autotune.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/// Whether @p node carries a whole-tensor B operand the backend can
+/// consume pre-packed. Depthwise nodes slice per-channel k x 1
+/// sub-operands out of weights_q and are not worth caching.
+bool
+packableNode(const QNode &node)
+{
+    return (node.kind == QNode::Kind::kConv ||
+            node.kind == QNode::Kind::kLinear) &&
+           !node.weights_q.empty();
+}
+
+/// GEMM (k, n) of a packable node, exactly as runQNode issues it.
+std::pair<uint64_t, uint64_t>
+nodeGemmShape(const QNode &node)
+{
+    if (node.kind == QNode::Kind::kLinear)
+        return {node.spec.in_c, node.spec.out_c};
+    return {node.spec.gemmK(), node.spec.gemmN()};
+}
+
+DataSizeConfig
+nodeConfig(const QNode &node)
+{
+    return {node.a_params.bits, node.w_params.bits,
+            node.a_params.is_signed, node.w_params.is_signed};
+}
+
+void
+hashValue(uint64_t &hash, uint64_t value)
+{
+    hash = fnv1a64(&value, sizeof(value), hash);
+}
+
+} // namespace
+
+uint64_t
+weightContentKey(const QuantizedGraph &graph)
+{
+    uint64_t hash = fnv1a64("mixgemm-weight-store", 20);
+    hashValue(hash, kArtifactVersion);
+    const auto &nodes = graph.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const QNode &node = nodes[i];
+        if (!packableNode(node))
+            continue;
+        const auto [k, n] = nodeGemmShape(node);
+        const DataSizeConfig config = nodeConfig(node);
+        hashValue(hash, i);
+        hashValue(hash, k);
+        hashValue(hash, n);
+        hashValue(hash, config.bwa);
+        hashValue(hash, config.bwb);
+        hashValue(hash, config.a_signed ? 1 : 0);
+        hashValue(hash, config.b_signed ? 1 : 0);
+        // The bulk of the key is the raw weight bytes; the chunked
+        // checksum keeps hashing off the warm-load critical path (a
+        // byte-serial FNV here would cost as much as the mmap + verify
+        // combined on a large model).
+        hash = artifactChecksum(node.weights_q.data(),
+                                node.weights_q.size() * sizeof(int32_t),
+                                hash);
+    }
+    return hash;
+}
+
+uint64_t
+graphWeightBytes(const QuantizedGraph &graph)
+{
+    uint64_t bytes = 0;
+    for (const QNode &node : graph.nodes()) {
+        bytes += node.weights_q.size() * sizeof(int32_t) +
+                 node.bias.size() * sizeof(double);
+    }
+    return bytes;
+}
+
+Expected<PackedModel>
+packGraphWeights(const QuantizedGraph &graph, bool build_panels)
+{
+    PackedModel model;
+    model.key = weightContentKey(graph);
+    const auto &nodes = graph.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const QNode &node = nodes[i];
+        if (!packableNode(node))
+            continue;
+        const auto [k, n] = nodeGemmShape(node);
+        if (node.weights_q.size() != k * n) {
+            return Status::invalidArgument(
+                strCat("packGraphWeights: node ", i, ": ",
+                       node.weights_q.size(), " weights, spec says ", k,
+                       " x ", n));
+        }
+        auto geometry = tryComputeBsGeometry(nodeConfig(node));
+        if (!geometry.ok()) {
+            return Status::invalidArgument(
+                strCat("packGraphWeights: node ", i, ": ",
+                       geometry.status().message()));
+        }
+        auto packed = tryCompressB(node.weights_q, k, n,
+                                   geometryForK(*geometry, k));
+        if (!packed.ok()) {
+            return Status::invalidArgument(
+                strCat("packGraphWeights: node ", i, ": ",
+                       packed.status().message()));
+        }
+        if (build_panels)
+            packed->ensureClusterPanels();
+        model.packed_bytes +=
+            packed->bytes() +
+            (build_panels ? packed->clusterPanelWordCount() * 8 : 0);
+        model.entries.push_back(PackedEntry{i, std::move(*packed)});
+    }
+    return model;
+}
+
+Expected<std::shared_ptr<const PackedModelIndex>>
+PackedModelIndex::build(std::shared_ptr<const PackedModel> model,
+                        const QuantizedGraph &graph)
+{
+    if (!model)
+        return Status::invalidArgument("PackedModelIndex: null model");
+    auto index = std::shared_ptr<PackedModelIndex>(new PackedModelIndex);
+    index->entries_.reserve(model->entries.size());
+    const auto &nodes = graph.nodes();
+    for (const PackedEntry &entry : model->entries) {
+        if (entry.node_index >= nodes.size()) {
+            return Status::failedPrecondition(
+                strCat("PackedModelIndex: entry for node ",
+                       entry.node_index, ", graph has ", nodes.size()));
+        }
+        const QNode &node = nodes[entry.node_index];
+        if (!packableNode(node)) {
+            return Status::failedPrecondition(
+                strCat("PackedModelIndex: node ", entry.node_index,
+                       " is not a packable conv/linear node"));
+        }
+        const auto [k, n] = nodeGemmShape(node);
+        if (entry.weights.k() != k || entry.weights.n() != n ||
+            !(entry.weights.geometry().config == nodeConfig(node))) {
+            return Status::failedPrecondition(
+                strCat("PackedModelIndex: node ", entry.node_index,
+                       ": packed ", entry.weights.k(), " x ",
+                       entry.weights.n(), " ",
+                       entry.weights.geometry().config.name(),
+                       " does not match graph (", k, " x ", n, " ",
+                       nodeConfig(node).name(), ")"));
+        }
+        index->entries_.push_back(
+            Entry{node.weights_q.data(), &entry.weights});
+    }
+    std::sort(index->entries_.begin(), index->entries_.end(),
+              [](const Entry &a, const Entry &b) {
+                  return std::less<const int32_t *>()(a.data, b.data);
+              });
+    index->model_ = std::move(model);
+    return std::shared_ptr<const PackedModelIndex>(std::move(index));
+}
+
+const CompressedB *
+PackedModelIndex::find(const int32_t *data, uint64_t k, uint64_t n,
+                       const DataSizeConfig &config) const
+{
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), data,
+        [](const Entry &entry, const int32_t *key) {
+            return std::less<const int32_t *>()(entry.data, key);
+        });
+    if (it == entries_.end() || it->data != data)
+        return nullptr;
+    const CompressedB *b = it->weights;
+    if (b->k() != k || b->n() != n || !(b->geometry().config == config))
+        return nullptr;
+    return b;
+}
+
+PackedWeightStore::PackedWeightStore(StoreOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::string
+PackedWeightStore::artifactPath(uint64_t key) const
+{
+    if (options_.dir.empty())
+        return "";
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.mgw",
+                  static_cast<unsigned long long>(key));
+    return options_.dir + "/" + name;
+}
+
+Expected<std::shared_ptr<const PackedModel>>
+PackedWeightStore::load(const QuantizedGraph &graph,
+                        const TuningSet *tuning)
+{
+    const uint64_t key = weightContentKey(graph);
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    if (auto it = by_key_.find(key); it != by_key_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        return it->second->model;
+    }
+
+    const std::string path = artifactPath(key);
+    if (!path.empty()) {
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec)) {
+            auto loaded =
+                loadArtifact(path, options_.verify_checksums, key);
+            if (loaded.ok()) {
+                ++stats_.hits;
+                ++stats_.artifact_loads;
+                auto model = std::make_shared<const PackedModel>(
+                    std::move(*loaded));
+                insertLocked(key, model);
+                enforceBudgetLocked(key);
+                return model;
+            }
+            // Corrupt/stale artifact: self-heal by re-packing over it.
+            warn(strCat("packed-weight store: rejecting artifact: ",
+                        loaded.status().toString()));
+            ++stats_.rejected;
+        }
+    }
+
+    ++stats_.misses;
+    auto packed = packGraphWeights(graph);
+    if (!packed.ok())
+        return packed.status();
+    ++stats_.packs;
+    packed->key = key;
+    if (tuning)
+        packed->tuning_json = tuning->toJson();
+    if (options_.persist && !path.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.dir, ec);
+        const Status written = writeArtifact(*packed, path);
+        if (written.ok()) {
+            packed->path = path;
+            ++stats_.artifact_writes;
+        } else {
+            warn(strCat("packed-weight store: persist failed: ",
+                        written.toString()));
+        }
+    }
+    auto model = std::make_shared<const PackedModel>(std::move(*packed));
+    insertLocked(key, model);
+    enforceBudgetLocked(key);
+    return model;
+}
+
+void
+PackedWeightStore::insertLocked(uint64_t key,
+                                std::shared_ptr<const PackedModel> model)
+{
+    const uint64_t bytes =
+        model->from_cache ? model->mapped_bytes : model->packed_bytes;
+    lru_.push_front(Resident{key, std::move(model), bytes});
+    by_key_[key] = lru_.begin();
+    stats_.resident_bytes += bytes;
+    stats_.resident_models = lru_.size();
+}
+
+void
+PackedWeightStore::enforceBudgetLocked(uint64_t keep_key)
+{
+    if (options_.resident_budget_bytes == 0)
+        return;
+    while (stats_.resident_bytes > options_.resident_budget_bytes &&
+           lru_.size() > 1) {
+        auto victim = std::prev(lru_.end());
+        if (victim->key == keep_key)
+            break;
+        stats_.resident_bytes -= victim->bytes;
+        ++stats_.evictions;
+        by_key_.erase(victim->key);
+        lru_.erase(victim);
+    }
+    stats_.resident_models = lru_.size();
+}
+
+bool
+PackedWeightStore::evictModel(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = by_key_.find(key);
+    if (it == by_key_.end())
+        return false;
+    stats_.resident_bytes -= it->second->bytes;
+    ++stats_.evictions;
+    lru_.erase(it->second);
+    by_key_.erase(it);
+    stats_.resident_models = lru_.size();
+    return true;
+}
+
+void
+PackedWeightStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += lru_.size();
+    lru_.clear();
+    by_key_.clear();
+    stats_.resident_bytes = 0;
+    stats_.resident_models = 0;
+}
+
+StoreStats
+PackedWeightStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace mixgemm

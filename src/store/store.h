@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Content-addressed packed-weight store (ROADMAP item 2).
+ *
+ * Registration used to pay O(pack) per model per process; the store
+ * turns every load after the first into O(mmap). A model's packable
+ * weights hash to a content key — weights bytes ⊕ quantization config
+ * ⊕ packing geometry inputs ⊕ artifact format version — and that key
+ * names a relocatable artifact on disk (see artifact.h). load() then
+ * resolves in one of three ways, cheapest first:
+ *
+ *   resident hit:  the model is already materialized in this process —
+ *                  shared_ptr handed out, zero work.
+ *   artifact hit:  the artifact exists on disk — mmap + validate +
+ *                  zero-copy adoption, no packing, no expansion.
+ *   miss:          pack fresh (μ-vectors + cluster panels), persist the
+ *                  artifact for every future process, hand it out.
+ *
+ * Resident models are LRU-evicted under a byte budget; eviction only
+ * drops the store's reference, so in-flight GEMMs holding the
+ * shared_ptr (and through it the mapping) are never invalidated. A
+ * corrupt or stale artifact is rejected by validation and silently
+ * re-packed over — the cache self-heals.
+ */
+
+#ifndef MIXGEMM_STORE_STORE_H
+#define MIXGEMM_STORE_STORE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/prepack.h"
+#include "runtime/qgraph.h"
+#include "store/artifact.h"
+
+namespace mixgemm
+{
+
+struct TuningSet;
+
+/**
+ * Content key over the packable (conv/linear) weight tensors of
+ * @p graph: FNV-1a across the artifact format version and, per tensor,
+ * its node index, GEMM shape, data-size configuration, and raw
+ * quantized weight bytes. Changing any packing-relevant input changes
+ * the key, so an artifact can never be adopted for the wrong weights.
+ */
+uint64_t weightContentKey(const QuantizedGraph &graph);
+
+/** Total weight + bias payload bytes of a graph (budget accounting). */
+uint64_t graphWeightBytes(const QuantizedGraph &graph);
+
+/**
+ * Pack every conv/linear weight tensor of @p graph into owned
+ * CompressedB panels (depthwise nodes run per-channel sub-GEMMs and
+ * are skipped). With @p build_panels the cluster-domain expansion is
+ * built too, so the artifact carries it and mapped loads skip both.
+ */
+Expected<PackedModel> packGraphWeights(const QuantizedGraph &graph,
+                                       bool build_panels = true);
+
+/**
+ * A PackedModel bound to one graph instance: maps each weight tensor's
+ * data pointer to its packed panels, implementing the backend-facing
+ * PrepackedWeights lookup. build() re-validates shape and config of
+ * every entry against the graph, so a mismatched artifact cannot be
+ * silently consumed. Immutable after build; safe to share across
+ * worker threads.
+ */
+class PackedModelIndex final : public PrepackedWeights
+{
+  public:
+    static Expected<std::shared_ptr<const PackedModelIndex>> build(
+        std::shared_ptr<const PackedModel> model,
+        const QuantizedGraph &graph);
+
+    const CompressedB *find(const int32_t *data, uint64_t k, uint64_t n,
+                            const DataSizeConfig &config) const override;
+
+    const std::shared_ptr<const PackedModel> &model() const
+    {
+        return model_;
+    }
+
+  private:
+    struct Entry
+    {
+        const int32_t *data = nullptr;
+        const CompressedB *weights = nullptr;
+    };
+
+    PackedModelIndex() = default;
+
+    std::shared_ptr<const PackedModel> model_;
+    std::vector<Entry> entries_; ///< sorted by data pointer
+};
+
+/** Store construction knobs. */
+struct StoreOptions
+{
+    /** Artifact directory; created on first persist. "" disables disk
+     * entirely (the store degrades to a resident pack cache). */
+    std::string dir = "mixgemm_cache";
+    /** LRU budget over resident model bytes; 0 = unbounded. */
+    uint64_t resident_budget_bytes = 0;
+    /** Verify artifact checksums on load (keep on; off only for
+     * measuring raw mmap cost). */
+    bool verify_checksums = true;
+    /** Persist fresh packs as artifacts. */
+    bool persist = true;
+};
+
+/** Monotonic store counters (snapshot via PackedWeightStore::stats()). */
+struct StoreStats
+{
+    uint64_t hits = 0;           ///< resident or artifact loads
+    uint64_t misses = 0;         ///< cold packs
+    uint64_t packs = 0;          ///< packGraphWeights runs
+    uint64_t artifact_loads = 0; ///< zero-copy mmap adoptions
+    uint64_t artifact_writes = 0;///< artifacts persisted
+    uint64_t rejected = 0;       ///< corrupt/stale artifacts re-packed over
+    uint64_t evictions = 0;      ///< resident models dropped by budget
+    uint64_t resident_bytes = 0; ///< current resident footprint
+    uint64_t resident_models = 0;///< current resident count
+};
+
+/** The content-addressed packed-weight cache. Thread-safe. */
+class PackedWeightStore
+{
+  public:
+    explicit PackedWeightStore(StoreOptions options);
+
+    /**
+     * Packed weights for @p graph: resident hit, artifact mmap, or
+     * cold pack (persisted when configured). @p tuning, when given, is
+     * embedded in freshly written artifacts (PR 6 metadata rides along;
+     * a loaded model exposes it via PackedModel::tuning_json).
+     */
+    Expected<std::shared_ptr<const PackedModel>> load(
+        const QuantizedGraph &graph, const TuningSet *tuning = nullptr);
+
+    /** Drop a resident model (its artifact stays). False if absent. */
+    bool evictModel(uint64_t key);
+
+    /** Drop every resident model (artifacts stay). */
+    void clear();
+
+    StoreStats stats() const;
+
+    /** Artifact path for a content key ("" when disk is disabled). */
+    std::string artifactPath(uint64_t key) const;
+
+    const StoreOptions &options() const { return options_; }
+
+  private:
+    struct Resident
+    {
+        uint64_t key = 0;
+        std::shared_ptr<const PackedModel> model;
+        uint64_t bytes = 0;
+    };
+
+    void insertLocked(uint64_t key,
+                      std::shared_ptr<const PackedModel> model);
+    void enforceBudgetLocked(uint64_t keep_key);
+
+    StoreOptions options_;
+    mutable std::mutex mutex_;
+    std::list<Resident> lru_; ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Resident>::iterator> by_key_;
+    StoreStats stats_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_STORE_STORE_H

@@ -48,7 +48,37 @@ packRun(Fetch fetch, uint64_t k, unsigned elems_per_vec, unsigned ku,
     }
 }
 
+/** Process-wide packing-work counters (see packCounters()). */
+std::atomic<uint64_t> g_a_packs{0};
+std::atomic<uint64_t> g_b_packs{0};
+std::atomic<uint64_t> g_cluster_builds{0};
+std::atomic<uint64_t> g_adoptions{0};
+
 } // namespace
+
+PackCounters
+packCounters()
+{
+    PackCounters snapshot;
+    snapshot.a_packs = g_a_packs.load(std::memory_order_relaxed);
+    snapshot.b_packs = g_b_packs.load(std::memory_order_relaxed);
+    snapshot.cluster_builds =
+        g_cluster_builds.load(std::memory_order_relaxed);
+    snapshot.adoptions = g_adoptions.load(std::memory_order_relaxed);
+    return snapshot;
+}
+
+void
+WordStore::adopt(std::span<const uint64_t> words,
+                 std::shared_ptr<const void> keepalive)
+{
+    if (!keepalive)
+        fatal("WordStore::adopt: null keepalive");
+    owned_.clear();
+    owned_.shrink_to_fit();
+    borrowed_ = words;
+    keepalive_ = std::move(keepalive);
+}
 
 unsigned
 kGroupCount(uint64_t k, const BsGeometry &geometry)
@@ -64,25 +94,28 @@ CompressedA::CompressedA(uint64_t m, uint64_t k,
 {
     if (m == 0 || k == 0)
         fatal("CompressedA: empty matrix");
-    words_.resize(uint64_t{m} * k_groups_ * geometry.kua);
 }
 
 void
 CompressedA::ensureClusterPanels() const
 {
+    if (panels_->built.load(std::memory_order_acquire))
+        return;
     std::call_once(panels_->once, [this] {
         TRACE_SCOPE("pack", "cluster_panels_a");
         const auto plan = makeExpansionPlan(geometry_);
         panels_->words_per_group = plan.chunkCount();
         panels_->words.resize(uint64_t{m_} * k_groups_ *
                               plan.chunkCount());
+        uint64_t *out = panels_->words.mutableData();
         for (uint64_t row = 0; row < m_; ++row)
             for (unsigned g = 0; g < k_groups_; ++g)
                 expandGroupA(words_.data() + wordIndex(row, g, 0),
                              geometry_, plan,
-                             panels_->words.data() +
-                                 (row * k_groups_ + g) *
-                                     plan.chunkCount());
+                             out + (row * k_groups_ + g) *
+                                       plan.chunkCount());
+        g_cluster_builds.fetch_add(1, std::memory_order_relaxed);
+        panels_->built.store(true, std::memory_order_release);
     });
 }
 
@@ -93,16 +126,18 @@ CompressedA::CompressedA(std::span<const int32_t> data, uint64_t m,
     if (data.size() != m * k)
         fatal("CompressedA: data size does not match m x k");
     TRACE_SCOPE("pack", "pack_a");
+    words_.resize(uint64_t{m} * k_groups_ * geometry.kua);
+    const std::span<uint64_t> out(words_.mutableData(), words_.size());
     for (uint64_t row = 0; row < m; ++row) {
         const int32_t *row_data = data.data() + row * k;
         packRun([row_data](uint64_t i) { return row_data[i]; }, k,
                 geometry.elems_per_avec, geometry.kua,
                 geometry.group_extent, geometry.config.bwa,
                 geometry.config.a_signed,
-                std::span<uint64_t>(words_)
-                    .subspan(row * k_groups_ * geometry.kua,
-                             uint64_t{k_groups_} * geometry.kua));
+                out.subspan(row * k_groups_ * geometry.kua,
+                            uint64_t{k_groups_} * geometry.kua));
     }
+    g_a_packs.fetch_add(1, std::memory_order_relaxed);
 }
 
 CompressedA
@@ -113,16 +148,19 @@ CompressedA::fromColumnMajor(std::span<const int32_t> data, uint64_t m,
     if (data.size() != m * k)
         fatal("CompressedA: data size does not match m x k");
     TRACE_SCOPE("pack", "pack_a");
+    a.words_.resize(uint64_t{m} * a.k_groups_ * geometry.kua);
+    const std::span<uint64_t> out(a.words_.mutableData(),
+                                  a.words_.size());
     for (uint64_t row = 0; row < m; ++row) {
         const int32_t *base = data.data() + row;
         packRun([base, m](uint64_t i) { return base[i * m]; }, k,
                 geometry.elems_per_avec, geometry.kua,
                 geometry.group_extent, geometry.config.bwa,
                 geometry.config.a_signed,
-                std::span<uint64_t>(a.words_)
-                    .subspan(row * a.k_groups_ * geometry.kua,
-                             uint64_t{a.k_groups_} * geometry.kua));
+                out.subspan(row * a.k_groups_ * geometry.kua,
+                            uint64_t{a.k_groups_} * geometry.kua));
     }
+    g_a_packs.fetch_add(1, std::memory_order_relaxed);
     return a;
 }
 
@@ -158,7 +196,7 @@ CompressedA::setWord(uint64_t index, uint64_t word)
     if (index >= words_.size())
         fatal(strCat("CompressedA::setWord: index ", index,
                      " out of range ", words_.size()));
-    words_[index] = word;
+    words_.mutableData()[index] = word;
 }
 
 void
@@ -173,7 +211,7 @@ CompressedA::setClusterPanelWord(uint64_t index, uint64_t word)
     if (index >= panels_->words.size())
         fatal(strCat("CompressedA::setClusterPanelWord: index ", index,
                      " out of range ", panels_->words.size()));
-    panels_->words[index] = word;
+    panels_->words.mutableData()[index] = word;
 }
 
 void
@@ -205,25 +243,28 @@ CompressedB::CompressedB(uint64_t k, uint64_t n,
 {
     if (k == 0 || n == 0)
         fatal("CompressedB: empty matrix");
-    words_.resize(uint64_t{n} * k_groups_ * geometry.kub);
 }
 
 void
 CompressedB::ensureClusterPanels() const
 {
+    if (panels_->built.load(std::memory_order_acquire))
+        return;
     std::call_once(panels_->once, [this] {
         TRACE_SCOPE("pack", "cluster_panels_b");
         const auto plan = makeExpansionPlan(geometry_);
         panels_->words_per_group = plan.chunkCount();
         panels_->words.resize(uint64_t{n_} * k_groups_ *
                               plan.chunkCount());
+        uint64_t *out = panels_->words.mutableData();
         for (uint64_t col = 0; col < n_; ++col)
             for (unsigned g = 0; g < k_groups_; ++g)
                 expandGroupB(words_.data() + wordIndex(col, g, 0),
                              geometry_, plan,
-                             panels_->words.data() +
-                                 (col * k_groups_ + g) *
-                                     plan.chunkCount());
+                             out + (col * k_groups_ + g) *
+                                       plan.chunkCount());
+        g_cluster_builds.fetch_add(1, std::memory_order_relaxed);
+        panels_->built.store(true, std::memory_order_release);
     });
 }
 
@@ -235,16 +276,19 @@ CompressedB::fromTransposed(std::span<const int32_t> data, uint64_t k,
     if (data.size() != k * n)
         fatal("CompressedB: data size does not match k x n");
     TRACE_SCOPE("pack", "pack_b");
+    b.words_.resize(uint64_t{n} * b.k_groups_ * geometry.kub);
+    const std::span<uint64_t> out(b.words_.mutableData(),
+                                  b.words_.size());
     for (uint64_t col = 0; col < n; ++col) {
         const int32_t *row_data = data.data() + col * k;
         packRun([row_data](uint64_t i) { return row_data[i]; }, k,
                 geometry.elems_per_bvec, geometry.kub,
                 geometry.group_extent, geometry.config.bwb,
                 geometry.config.b_signed,
-                std::span<uint64_t>(b.words_)
-                    .subspan(col * b.k_groups_ * geometry.kub,
-                             uint64_t{b.k_groups_} * geometry.kub));
+                out.subspan(col * b.k_groups_ * geometry.kub,
+                            uint64_t{b.k_groups_} * geometry.kub));
     }
+    g_b_packs.fetch_add(1, std::memory_order_relaxed);
     return b;
 }
 
@@ -255,16 +299,69 @@ CompressedB::CompressedB(std::span<const int32_t> data, uint64_t k,
     if (data.size() != k * n)
         fatal("CompressedB: data size does not match k x n");
     TRACE_SCOPE("pack", "pack_b");
+    words_.resize(uint64_t{n} * k_groups_ * geometry.kub);
+    const std::span<uint64_t> out(words_.mutableData(), words_.size());
     for (uint64_t col = 0; col < n; ++col) {
         const int32_t *base = data.data() + col;
         packRun([base, n](uint64_t i) { return base[i * n]; }, k,
                 geometry.elems_per_bvec, geometry.kub,
                 geometry.group_extent, geometry.config.bwb,
                 geometry.config.b_signed,
-                std::span<uint64_t>(words_)
-                    .subspan(col * k_groups_ * geometry.kub,
-                             uint64_t{k_groups_} * geometry.kub));
+                out.subspan(col * k_groups_ * geometry.kub,
+                            uint64_t{k_groups_} * geometry.kub));
     }
+    g_b_packs.fetch_add(1, std::memory_order_relaxed);
+}
+
+Expected<CompressedB>
+CompressedB::adopt(uint64_t k, uint64_t n, const BsGeometry &geometry,
+                   std::span<const uint64_t> words,
+                   std::shared_ptr<const void> keepalive,
+                   std::span<const uint64_t> panel_words,
+                   unsigned panel_words_per_group)
+{
+    if (k == 0 || n == 0)
+        return Status::invalidArgument(
+            strCat("CompressedB::adopt: empty matrix (", k, " x ", n,
+                   ")"));
+    if (!keepalive)
+        return Status::invalidArgument(
+            "CompressedB::adopt: null keepalive");
+    const uint64_t groups = kGroupCount(k, geometry);
+    const uint64_t per_col = groups * geometry.kub;
+    if (per_col == 0 ||
+        n > std::numeric_limits<uint64_t>::max() / per_col)
+        return Status::invalidArgument(
+            strCat("CompressedB::adopt: word count overflows for n=", n,
+                   " groups=", groups));
+    if (words.size() != n * per_col)
+        return Status::dataLoss(
+            strCat("CompressedB::adopt: ", words.size(),
+                   " packed words, expected ", n * per_col));
+    const auto plan = makeExpansionPlan(geometry);
+    if (!panel_words.empty()) {
+        if (panel_words_per_group != plan.chunkCount())
+            return Status::dataLoss(
+                strCat("CompressedB::adopt: ", panel_words_per_group,
+                       " panel words per group, geometry expands to ",
+                       plan.chunkCount()));
+        const uint64_t per_col_panels = groups * plan.chunkCount();
+        if (per_col_panels == 0 ||
+            n > std::numeric_limits<uint64_t>::max() / per_col_panels ||
+            panel_words.size() != n * per_col_panels)
+            return Status::dataLoss(
+                strCat("CompressedB::adopt: ", panel_words.size(),
+                       " panel words, expected ", n * per_col_panels));
+    }
+    CompressedB b(k, n, geometry);
+    b.words_.adopt(words, keepalive);
+    if (!panel_words.empty()) {
+        b.panels_->words_per_group = panel_words_per_group;
+        b.panels_->words.adopt(panel_words, std::move(keepalive));
+        b.panels_->built.store(true, std::memory_order_release);
+    }
+    g_adoptions.fetch_add(1, std::memory_order_relaxed);
+    return b;
 }
 
 uint64_t
@@ -299,7 +396,7 @@ CompressedB::setWord(uint64_t index, uint64_t word)
     if (index >= words_.size())
         fatal(strCat("CompressedB::setWord: index ", index,
                      " out of range ", words_.size()));
-    words_[index] = word;
+    words_.mutableData()[index] = word;
 }
 
 void
@@ -314,7 +411,7 @@ CompressedB::setClusterPanelWord(uint64_t index, uint64_t word)
     if (index >= panels_->words.size())
         fatal(strCat("CompressedB::setClusterPanelWord: index ", index,
                      " out of range ", panels_->words.size()));
-    panels_->words[index] = word;
+    panels_->words.mutableData()[index] = word;
 }
 
 void

@@ -27,6 +27,7 @@
 #ifndef MIXGEMM_TENSOR_PACKING_H
 #define MIXGEMM_TENSOR_PACKING_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,96 @@
 
 namespace mixgemm
 {
+
+/**
+ * Owned-or-borrowed 64-bit word storage for compressed operands.
+ *
+ * Freshly packed operands own their words in a vector, exactly as
+ * before. Operands adopted from a packed-weight artifact *borrow* a
+ * read-only span into the artifact's memory mapping instead, with a
+ * keepalive shared_ptr pinning the mapping for the store's lifetime —
+ * zero-copy model load (ROADMAP item 2). Reads are uniform over both
+ * modes; the first mutable access to a borrowed store copies the words
+ * into owned storage (copy-on-write), so fault injection and other
+ * writers can never scribble on a shared mapping.
+ */
+class WordStore
+{
+  public:
+    WordStore() = default;
+
+    /** Switch to owned storage of @p count zero-initialized words. */
+    void resize(uint64_t count)
+    {
+        owned_.assign(count, 0);
+        borrowed_ = {};
+        keepalive_.reset();
+    }
+
+    /**
+     * Borrow @p words read-only; @p keepalive (non-null) pins the
+     * backing storage — typically the artifact mapping — for this
+     * store's lifetime. Copies of the store share the keepalive.
+     */
+    void adopt(std::span<const uint64_t> words,
+               std::shared_ptr<const void> keepalive);
+
+    /** True when the words live in borrowed (mapped) storage. */
+    bool borrowed() const { return keepalive_ != nullptr; }
+
+    uint64_t size() const
+    {
+        return borrowed() ? borrowed_.size() : owned_.size();
+    }
+    const uint64_t *data() const
+    {
+        return borrowed() ? borrowed_.data() : owned_.data();
+    }
+    uint64_t operator[](uint64_t index) const { return data()[index]; }
+
+    operator std::span<const uint64_t>() const
+    {
+        return {data(), size()};
+    }
+
+    /**
+     * Mutable access. A borrowed store first copies its words into
+     * owned storage and drops the keepalive (copy-on-write): the
+     * mapped artifact bytes are immutable by construction.
+     */
+    uint64_t *mutableData()
+    {
+        if (borrowed()) {
+            owned_.assign(borrowed_.begin(), borrowed_.end());
+            borrowed_ = {};
+            keepalive_.reset();
+        }
+        return owned_.data();
+    }
+
+  private:
+    std::vector<uint64_t> owned_;
+    std::span<const uint64_t> borrowed_;
+    std::shared_ptr<const void> keepalive_;
+};
+
+/**
+ * Global packing-work counters (process-wide, monotonic). The
+ * packed-weight store and the serving tests use deltas of these to
+ * prove that a cached load did *no* packing or expansion work — the
+ * zero-copy / lazy-rung regression gates. Cheap relaxed atomics;
+ * snapshot with packCounters().
+ */
+struct PackCounters
+{
+    uint64_t a_packs = 0;        ///< CompressedA packing runs
+    uint64_t b_packs = 0;        ///< CompressedB packing runs
+    uint64_t cluster_builds = 0; ///< cluster-panel expansions built
+    uint64_t adoptions = 0;      ///< borrowed-storage adoptions
+};
+
+/** Snapshot of the process-wide packing counters. */
+PackCounters packCounters();
 
 /**
  * Lazily-built cluster-domain mirror of a compressed operand: for every
@@ -53,7 +144,11 @@ namespace mixgemm
 struct ClusterPanels
 {
     std::once_flag once;
-    std::vector<uint64_t> words;
+    /// True once `words` is usable — set after the lazy build, or at
+    /// construction for panels adopted from an artifact (a once_flag
+    /// cannot be born completed, so adoption needs its own gate).
+    std::atomic<bool> built{false};
+    WordStore words;
     unsigned words_per_group = 0; ///< DSU chunks per accumulation group
 };
 
@@ -191,7 +286,7 @@ class CompressedA
     uint64_t k_;
     unsigned k_groups_;
     BsGeometry geometry_;
-    std::vector<uint64_t> words_;
+    WordStore words_;
     std::shared_ptr<ClusterPanels> panels_;
     std::shared_ptr<AbftChecksums> abft_;
 };
@@ -215,6 +310,34 @@ class CompressedB
     static CompressedB fromTransposed(std::span<const int32_t> data,
                                       uint64_t k, uint64_t n,
                                       const BsGeometry &geometry);
+
+    /**
+     * Adopt already-packed words — and optionally already-expanded
+     * cluster panels — as borrowed read-only storage (zero-copy load
+     * from a packed-weight artifact, see store/artifact.h). @p keepalive
+     * (non-null) pins the backing memory, typically the artifact's
+     * mmap, for the operand's lifetime; copies share it. Word counts
+     * and @p panel_words_per_group are validated against the geometry
+     * *before* anything is allocated or copied; a mismatched artifact
+     * comes back as a structured error. When panels are supplied they
+     * are marked built, so ensureClusterPanels() is a no-op and the
+     * fast path reads the mapping directly.
+     */
+    static Expected<CompressedB> adopt(
+        uint64_t k, uint64_t n, const BsGeometry &geometry,
+        std::span<const uint64_t> words,
+        std::shared_ptr<const void> keepalive,
+        std::span<const uint64_t> panel_words = {},
+        unsigned panel_words_per_group = 0);
+
+    /** True when the packed words are borrowed (mmap-backed). */
+    bool borrowsStorage() const { return words_.borrowed(); }
+
+    /** True once cluster panels exist (lazily built or adopted). */
+    bool clusterPanelsBuilt() const
+    {
+        return panels_->built.load(std::memory_order_acquire);
+    }
 
     uint64_t k() const { return k_; }
     uint64_t n() const { return n_; }
@@ -294,7 +417,7 @@ class CompressedB
     uint64_t n_;
     unsigned k_groups_;
     BsGeometry geometry_;
-    std::vector<uint64_t> words_;
+    WordStore words_;
     std::shared_ptr<ClusterPanels> panels_;
     std::shared_ptr<AbftChecksums> abft_;
 };

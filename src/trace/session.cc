@@ -87,6 +87,10 @@ runReportToJson(const RunReport &report, const std::string &indent)
     os << indent
        << "  \"bytes_cluster_panels\": " << report.bytes_cluster_panels
        << ",\n";
+    os << indent << "  \"weight_source\": \""
+       << jsonEscape(report.weight_source) << "\",\n";
+    os << indent << "  \"bytes_mapped\": " << report.bytes_mapped
+       << ",\n";
     os << indent << "  \"counters\": ";
     writeCountersJson(os, report.counters, indent + "  ");
     os << ",\n";

@@ -54,6 +54,10 @@ struct RunReport
     double abft_secs = 0.0; ///< wall-clock spent in ABFT checksum work
     uint64_t bytes_packed = 0;         ///< compressed operand bytes
     uint64_t bytes_cluster_panels = 0; ///< fast-path expansion cache
+    /// B-operand provenance: "packed" (fresh), "prepacked" (cache hit,
+    /// owned) or "store-mmap" (zero-copy mapped artifact).
+    std::string weight_source = "packed";
+    uint64_t bytes_mapped = 0; ///< borrowed mmap-backed operand bytes
     CounterSet counters;
     MetricSet timers; ///< merged per-worker timer histograms (ns)
 };

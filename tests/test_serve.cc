@@ -28,6 +28,8 @@
 #include "runtime/backend.h"
 #include "runtime/qgraph.h"
 #include "serve/server.h"
+#include "store/store.h"
+#include "tensor/packing.h"
 #include "serve/soak.h"
 #include "tensor/packing.h"
 
@@ -270,8 +272,12 @@ registerLinear(InferenceServer &server, unsigned tiers = 1)
 {
     std::vector<TierSpec> ladder;
     const char *labels[] = {"full", "eco", "min"};
-    for (unsigned t = 0; t < tiers; ++t)
-        ladder.push_back({makeLinearGraph(7), labels[t % 3]});
+    for (unsigned t = 0; t < tiers; ++t) {
+        TierSpec tier;
+        tier.graph = makeLinearGraph(7);
+        tier.label = labels[t % 3];
+        ladder.push_back(std::move(tier));
+    }
     auto id = server.registerGraph("lin", std::move(ladder), {1, kK});
     EXPECT_TRUE(id.ok()) << id.status().toString();
     return *id;
@@ -650,6 +656,243 @@ TEST(Server, WatchdogCancelsStuckWorkerAndServiceContinues)
     EXPECT_GE(server.stats().watchdog_cancels, 1u);
     EXPECT_TRUE(logContains(server, "watchdog_cancel worker=0 seq=0"));
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Lazy precision rungs + packed-weight store
+// ---------------------------------------------------------------------
+
+/** A deferred rung whose builder counts its invocations — the pack-cost
+ * regression gate for registration and the refault witness later. */
+TierSpec
+lazyTier(const char *label, uint64_t seed, int *builds)
+{
+    TierSpec tier;
+    tier.label = label;
+    tier.a_bits = 4;
+    tier.w_bits = 4;
+    tier.build = [seed, builds] {
+        if (builds)
+            ++*builds;
+        return makeLinearGraph(seed);
+    };
+    return tier;
+}
+
+TierSpec
+eagerTier(const char *label, uint64_t seed)
+{
+    TierSpec tier;
+    tier.graph = makeLinearGraph(seed);
+    tier.label = label;
+    return tier;
+}
+
+/** Degradation tuned to step one level per admission: any queue depth
+ * is "pressure" and recovery can never fire. */
+ServerOptions
+alwaysDegradeOptions(VirtualClock &clock)
+{
+    ServerOptions options = pumpOptions(clock);
+    options.degradation.enabled = true;
+    options.degradation.high_watermark = 0.0;
+    options.degradation.low_watermark = -1.0;
+    options.degradation.min_dwell_ns = 0;
+    return options;
+}
+
+TEST(LazyLadder, RegistrationBuildsAndPacksNoLazyRungs)
+{
+    VirtualClock clock;
+    InferenceServer server(pumpOptions(clock));
+    int builds = 0;
+    std::vector<TierSpec> ladder;
+    ladder.push_back(eagerTier("full", 7));
+    ladder.push_back(lazyTier("eco", 7, &builds));
+    ladder.push_back(lazyTier("min", 7, &builds));
+    const PackCounters before = packCounters();
+    auto id =
+        server.registerGraph("lin", std::move(ladder), {1, kK});
+    ASSERT_TRUE(id.ok()) << id.status().toString();
+    const PackCounters after = packCounters();
+    // The satellite regression: registering a 3-rung ladder must not
+    // quantize or pack the rungs the load pattern never reaches — the
+    // dry run prices rung 0 on a MAC-counting backend, no packing.
+    EXPECT_EQ(builds, 0);
+    EXPECT_EQ(after.b_packs, before.b_packs);
+    EXPECT_EQ(after.a_packs, before.a_packs);
+    EXPECT_EQ(after.cluster_builds, before.cluster_builds);
+
+    // An undegraded request runs rung 0 and still touches no lazy rung.
+    auto future = server.submit(makeRequest(*id));
+    EXPECT_EQ(server.pump(1), 1u);
+    EXPECT_TRUE(future.get().status.ok());
+    EXPECT_EQ(builds, 0);
+    EXPECT_EQ(server.stats().rung_materializations, 0u);
+}
+
+TEST(LazyLadder, LazyRungZeroIsRejected)
+{
+    VirtualClock clock;
+    InferenceServer server(pumpOptions(clock));
+    std::vector<TierSpec> ladder;
+    ladder.push_back(lazyTier("full", 7, nullptr));
+    auto id = server.registerGraph("bad", std::move(ladder), {1, kK});
+    ASSERT_FALSE(id.ok());
+    EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LazyLadder, MaterializesOnFirstDegradedRequestOnly)
+{
+    VirtualClock clock;
+    InferenceServer server(alwaysDegradeOptions(clock));
+    int builds = 0;
+    std::vector<TierSpec> ladder;
+    ladder.push_back(eagerTier("full", 7));
+    ladder.push_back(lazyTier("eco", 7, &builds));
+    const uint64_t id = [&] {
+        auto r = server.registerGraph("lin", std::move(ladder), {1, kK});
+        EXPECT_TRUE(r.ok());
+        return *r;
+    }();
+
+    // Admission degrades to level 1 before the push, so the first
+    // request already lands on the lazy rung and materializes it.
+    auto first = server.submit(makeRequest(id));
+    EXPECT_EQ(server.pump(1), 1u);
+    const ServeResponse r1 = first.get();
+    ASSERT_TRUE(r1.status.ok()) << r1.status.toString();
+    EXPECT_EQ(r1.report.tier, 1u);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(server.stats().rung_materializations, 1u);
+    EXPECT_EQ(server.stats().lazy_rungs_resident, 1u);
+    EXPECT_GT(server.stats().lazy_resident_bytes, 0u);
+    EXPECT_TRUE(logContains(server, "materialize graph=lin tier=1"));
+
+    // The second degraded request reuses the resident rung.
+    auto second = server.submit(makeRequest(id));
+    EXPECT_EQ(server.pump(1), 1u);
+    const ServeResponse r2 = second.get();
+    ASSERT_TRUE(r2.status.ok());
+    EXPECT_EQ(r2.report.tier, 1u);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(server.stats().rung_materializations, 1u);
+    // Same rung, same input: bitwise-identical logits.
+    EXPECT_EQ(r2.output, r1.output);
+}
+
+TEST(LazyLadder, BudgetEvictsLruRungAndRefaultIsBitwiseIdentical)
+{
+    // Two graphs pool one tiny rung budget: every materialization
+    // evicts the other graph's lazy rung, and a refault must rebuild
+    // deterministically. The whole scenario is run twice; virtual time
+    // makes the decision logs byte-identical.
+    const auto scenario = [](std::vector<std::string> *log_out) {
+        VirtualClock clock;
+        ServerOptions options = alwaysDegradeOptions(clock);
+        options.rung_budget_bytes = 1;
+        InferenceServer server(options);
+        int builds_g1 = 0;
+        int builds_g2 = 0;
+        std::vector<TierSpec> ladder1;
+        ladder1.push_back(eagerTier("full", 7));
+        ladder1.push_back(lazyTier("eco", 7, &builds_g1));
+        std::vector<TierSpec> ladder2;
+        ladder2.push_back(eagerTier("full", 8));
+        ladder2.push_back(lazyTier("eco", 8, &builds_g2));
+        const uint64_t g1 =
+            *server.registerGraph("g1", std::move(ladder1), {1, kK});
+        const uint64_t g2 =
+            *server.registerGraph("g2", std::move(ladder2), {1, kK});
+
+        auto run = [&](uint64_t graph_id) {
+            auto future = server.submit(makeRequest(graph_id));
+            EXPECT_EQ(server.pump(1), 1u);
+            ServeResponse response = future.get();
+            EXPECT_TRUE(response.status.ok())
+                << response.status.toString();
+            EXPECT_EQ(response.report.tier, 1u);
+            return response.output;
+        };
+
+        const std::vector<double> out1 = run(g1);
+        EXPECT_EQ(builds_g1, 1);
+        // g2's materialization blows the budget; g1's rung (LRU, not
+        // current) is evicted while the rung being served is kept.
+        const std::vector<double> out2 = run(g2);
+        EXPECT_EQ(builds_g2, 1);
+        EXPECT_EQ(server.stats().rung_evictions, 1u);
+        EXPECT_EQ(server.stats().lazy_rungs_resident, 1u);
+        EXPECT_TRUE(logContains(server, "evict_rung graph=g1 tier=1"));
+        // Refault: g1 rebuilds (builder runs again) and the logits are
+        // bitwise identical to the pre-eviction run.
+        const std::vector<double> out1b = run(g1);
+        EXPECT_EQ(builds_g1, 2);
+        EXPECT_EQ(server.stats().rung_materializations, 3u);
+        EXPECT_EQ(server.stats().rung_evictions, 2u);
+        EXPECT_EQ(out1b, out1);
+        EXPECT_NE(out1, out2); // different weights, sanity
+        if (log_out)
+            *log_out = server.decisionLog();
+    };
+
+    std::vector<std::string> log_a;
+    std::vector<std::string> log_b;
+    scenario(&log_a);
+    scenario(&log_b);
+    ASSERT_GT(log_a.size(), 0u);
+    EXPECT_EQ(log_a, log_b);
+}
+
+TEST(LazyLadder, WeightStoreMakesRefaultPackFree)
+{
+    // With a content-addressed store attached, a refaulted rung's
+    // weights resolve from the resident cache: the rebuild re-derives
+    // the same content key, so no B packing or cluster expansion runs.
+    StoreOptions store_options;
+    store_options.dir = ""; // resident cache only — no disk in this test
+    PackedWeightStore store(store_options);
+
+    VirtualClock clock;
+    ServerOptions options = alwaysDegradeOptions(clock);
+    options.weight_store = &store;
+    options.rung_budget_bytes = 1; // evict after every materialization
+    InferenceServer server(options);
+    int builds_g1 = 0;
+    int builds_g2 = 0;
+    std::vector<TierSpec> ladder1;
+    ladder1.push_back(eagerTier("full", 7));
+    ladder1.push_back(lazyTier("eco", 7, &builds_g1));
+    std::vector<TierSpec> ladder2;
+    ladder2.push_back(eagerTier("full", 8));
+    ladder2.push_back(lazyTier("eco", 8, &builds_g2));
+    const uint64_t g1 =
+        *server.registerGraph("g1", std::move(ladder1), {1, kK});
+    const uint64_t g2 =
+        *server.registerGraph("g2", std::move(ladder2), {1, kK});
+
+    auto run = [&](uint64_t graph_id) {
+        auto future = server.submit(makeRequest(graph_id));
+        EXPECT_EQ(server.pump(1), 1u);
+        ServeResponse response = future.get();
+        EXPECT_TRUE(response.status.ok()) << response.status.toString();
+        return response.output;
+    };
+
+    const std::vector<double> out1 = run(g1); // materialize + pack
+    run(g2);                                  // evicts g1's rung
+    EXPECT_EQ(server.stats().rung_evictions, 1u);
+
+    // Refault g1: the builder re-runs, but the store serves the packed
+    // B panels from its resident cache — zero B packs. (A operands are
+    // packed per call and still expand, so only b_packs is gated.)
+    const PackCounters before = packCounters();
+    const std::vector<double> out1b = run(g1);
+    const PackCounters after = packCounters();
+    EXPECT_EQ(builds_g1, 2);
+    EXPECT_EQ(after.b_packs, before.b_packs);
+    EXPECT_EQ(out1b, out1);
+    EXPECT_GE(store.stats().hits, 1u);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,638 @@
+/**
+ * @file
+ * Content-addressed packed-weight store tests: artifact round trips,
+ * the adversarial artifact suite (truncations, bit flips, wrong
+ * endianness/version, out-of-bounds payload ranges, raw noise — all
+ * must come back as structured Status errors before anything is
+ * adopted; these run under ASan/UBSan in CI), bitwise identity of
+ * mmap-loaded vs freshly packed panels across the full 49-configuration
+ * matrix and {1,3,8} threads x {Fast, Modeled}, zero-copy adoption
+ * (pack-counter regression), LRU eviction + refault determinism, and
+ * copy-on-write isolation of borrowed (mapped) word storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bs/geometry.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "dnn/models.h"
+#include "gemm/kernels/autotune.h"
+#include "runtime/backend.h"
+#include "runtime/qgraph.h"
+#include "store/artifact.h"
+#include "store/modelgen.h"
+#include "store/store.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Self-cleaning unique scratch directory for artifact files. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        static int counter = 0;
+        path = fs::temp_directory_path() /
+               ("mixgemm_store_test_" + std::to_string(::getpid()) +
+                "_" + std::to_string(counter++));
+        fs::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+};
+
+/** One quantized linear node of the given shape and bitwidths, with
+ * deterministic in-range weight codes. */
+QuantizedGraph
+linearGraph(uint64_t k, uint64_t n, unsigned a_bits, unsigned w_bits,
+            uint64_t seed)
+{
+    Rng rng(seed);
+    QNode lin;
+    lin.kind = QNode::Kind::kLinear;
+    lin.spec.in_c = static_cast<unsigned>(k);
+    lin.spec.out_c = static_cast<unsigned>(n);
+    lin.spec.kh = lin.spec.kw = 1;
+    lin.spec.in_h = lin.spec.in_w = 1;
+    lin.weights_q.resize(k * n);
+    const int64_t lo = -(int64_t{1} << (w_bits - 1));
+    const int64_t hi = (int64_t{1} << (w_bits - 1)) - 1;
+    for (auto &w : lin.weights_q)
+        w = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    lin.bias.assign(n, 0.0);
+    lin.a_params = QuantParams{1.0 / 64, 0, a_bits, true};
+    lin.w_params = QuantParams{1.0 / 64, 0, w_bits, true};
+    return QuantizedGraph({lin});
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+// Header field offsets per the documented v1 layout (artifact.h). The
+// tests mirror them on purpose: moving a field is a format change and
+// must bump kArtifactVersion.
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffKey = 16;
+constexpr size_t kOffFileBytes = 32;
+constexpr size_t kOffPayloadFnv = 40;
+constexpr size_t kOffHeaderFnv = 48;
+constexpr size_t kNodeRecordBytes = 80;
+constexpr size_t kNodeOffWordsOff = 40;
+
+/** Recompute both checksums after a deliberate mutation, so the test
+ * reaches the validation layer *behind* them. */
+void
+reseal(std::vector<uint8_t> &file)
+{
+    ASSERT_GE(file.size(), kArtifactHeaderBytes);
+    const uint64_t payload =
+        artifactChecksum(file.data() + kArtifactHeaderBytes,
+                         file.size() - kArtifactHeaderBytes);
+    std::memcpy(file.data() + kOffPayloadFnv, &payload, 8);
+    const uint64_t header = artifactChecksum(file.data(), kOffHeaderFnv);
+    std::memcpy(file.data() + kOffHeaderFnv, &header, 8);
+}
+
+/** Pack a small two-node graph and serialize it; returns the bytes. */
+std::vector<uint8_t>
+makeValidArtifact(const TempDir &dir, const std::string &name,
+                  std::string tuning_json = "")
+{
+    QuantizedGraph graph = linearGraph(19, 7, 8, 4, 42);
+    auto packed = packGraphWeights(graph);
+    EXPECT_TRUE(packed.ok()) << packed.status().toString();
+    packed->tuning_json = std::move(tuning_json);
+    const std::string path = dir.file(name);
+    const Status s = writeArtifact(*packed, path);
+    EXPECT_TRUE(s.ok()) << s.toString();
+    return readFile(path);
+}
+
+// ---------------------------------------------------------------------
+// Artifact round trip
+// ---------------------------------------------------------------------
+
+TEST(Artifact, RoundTripIsBitwiseIdentical)
+{
+    TempDir dir;
+    const QuantizedGraph graph =
+        syntheticQuantizedGraph(alexNet(), 6, 4, /*seed=*/3,
+                                /*max_layers=*/3);
+    auto fresh = packGraphWeights(graph);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().toString();
+    fresh->tuning_json = "{\"preset\": \"host\"}";
+    const std::string path = dir.file("model.mgw");
+    ASSERT_TRUE(writeArtifact(*fresh, path).ok());
+
+    auto loaded = loadArtifact(path, /*verify_checksum=*/true,
+                               fresh->key);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_TRUE(loaded->from_cache);
+    EXPECT_EQ(loaded->key, fresh->key);
+    EXPECT_EQ(loaded->tuning_json, fresh->tuning_json);
+    EXPECT_GT(loaded->mapped_bytes, 0u);
+    ASSERT_EQ(loaded->entries.size(), fresh->entries.size());
+    for (size_t i = 0; i < fresh->entries.size(); ++i) {
+        const CompressedB &got = loaded->entries[i].weights;
+        const CompressedB &want = fresh->entries[i].weights;
+        EXPECT_EQ(loaded->entries[i].node_index,
+                  fresh->entries[i].node_index);
+        EXPECT_TRUE(got.borrowsStorage());
+        ASSERT_EQ(got.words().size(), want.words().size());
+        EXPECT_TRUE(std::equal(got.words().begin(), got.words().end(),
+                               want.words().begin()));
+        // The artifact carries the cluster panels; adoption marks them
+        // built without any expansion work.
+        ASSERT_TRUE(got.clusterPanelsBuilt());
+        want.ensureClusterPanels();
+        ASSERT_EQ(got.clusterPanelWordCount(),
+                  want.clusterPanelWordCount());
+        if (got.clusterPanelWordCount() > 0) {
+            EXPECT_EQ(std::memcmp(got.groupClusters(0, 0),
+                                  want.groupClusters(0, 0),
+                                  got.clusterPanelWordCount() * 8),
+                      0);
+        }
+    }
+}
+
+TEST(Artifact, ContentKeyTracksEveryPackingInput)
+{
+    const QuantizedGraph base = linearGraph(19, 7, 8, 4, 42);
+    const uint64_t key = weightContentKey(base);
+    EXPECT_EQ(weightContentKey(linearGraph(19, 7, 8, 4, 42)), key);
+    // Different weights, shape, or precision must all re-key.
+    EXPECT_NE(weightContentKey(linearGraph(19, 7, 8, 4, 43)), key);
+    EXPECT_NE(weightContentKey(linearGraph(19, 8, 8, 4, 42)), key);
+    EXPECT_NE(weightContentKey(linearGraph(19, 7, 8, 3, 42)), key);
+    EXPECT_NE(weightContentKey(linearGraph(19, 7, 4, 8, 42)), key);
+}
+
+// ---------------------------------------------------------------------
+// Adversarial artifacts
+// ---------------------------------------------------------------------
+
+TEST(ArtifactAdversarial, EveryTruncationFailsCleanly)
+{
+    TempDir dir;
+    const std::vector<uint8_t> valid = makeValidArtifact(dir, "v.mgw");
+    ASSERT_GT(valid.size(), kArtifactHeaderBytes);
+    const std::string path = dir.file("trunc.mgw");
+    std::vector<size_t> cuts = {0, 1, 7, kArtifactHeaderBytes - 1,
+                                kArtifactHeaderBytes,
+                                kArtifactHeaderBytes + 1,
+                                valid.size() - 1};
+    for (size_t cut = 0; cut < valid.size(); cut += 41)
+        cuts.push_back(cut);
+    for (const size_t cut : cuts) {
+        writeFile(path, {valid.begin(), valid.begin() + cut});
+        const auto r = loadArtifact(path);
+        EXPECT_FALSE(r.ok()) << "truncation at " << cut;
+    }
+}
+
+TEST(ArtifactAdversarial, EveryBitFlipIsDetected)
+{
+    TempDir dir;
+    const std::vector<uint8_t> valid = makeValidArtifact(dir, "v.mgw");
+    const std::string path = dir.file("flip.mgw");
+    // Two independent checksums (header + payload) mean a flip anywhere
+    // in the file — including inside either checksum field — must be
+    // rejected. Striding keeps the sweep fast while still hitting the
+    // header, both checksum fields, the node table, and the payloads.
+    std::vector<size_t> positions = {kOffVersion, kOffKey, kOffFileBytes,
+                                     kOffPayloadFnv, kOffHeaderFnv,
+                                     valid.size() - 1};
+    for (size_t pos = 0; pos < valid.size(); pos += 97)
+        positions.push_back(pos);
+    for (const size_t pos : positions) {
+        std::vector<uint8_t> mutated = valid;
+        mutated[pos] ^= uint8_t{1} << (pos % 8);
+        writeFile(path, mutated);
+        const auto r = loadArtifact(path);
+        EXPECT_FALSE(r.ok()) << "bit flip at byte " << pos;
+    }
+}
+
+TEST(ArtifactAdversarial, WrongEndianRejectedBeforeChecksums)
+{
+    TempDir dir;
+    std::vector<uint8_t> file = makeValidArtifact(dir, "v.mgw");
+    // A foreign-endian writer stores the marker byte-swapped. The
+    // endianness gate fires before the checksum pass, so no resealing
+    // can smuggle the file through.
+    const uint32_t swapped = 0x04030201;
+    std::memcpy(file.data() + kArtifactEndianOffset, &swapped, 4);
+    reseal(file);
+    const std::string path = dir.file("endian.mgw");
+    writeFile(path, file);
+    const auto r = loadArtifact(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(r.status().message().find("endian"), std::string::npos);
+}
+
+TEST(ArtifactAdversarial, FutureVersionRejectedAsFailedPrecondition)
+{
+    TempDir dir;
+    std::vector<uint8_t> file = makeValidArtifact(dir, "v.mgw");
+    const uint32_t future = kArtifactVersion + 1;
+    std::memcpy(file.data() + kOffVersion, &future, 4);
+    reseal(file);
+    const std::string path = dir.file("version.mgw");
+    writeFile(path, file);
+    const auto r = loadArtifact(path);
+    ASSERT_FALSE(r.ok());
+    // Version mismatch is "regenerate me", not "corrupt": a different
+    // code from data loss so the store can distinguish.
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ArtifactAdversarial, BadMagicAndSizeMismatchRejected)
+{
+    TempDir dir;
+    std::vector<uint8_t> file = makeValidArtifact(dir, "v.mgw");
+    {
+        std::vector<uint8_t> mutated = file;
+        std::memcpy(mutated.data(), "ONNXPROT", 8);
+        reseal(mutated);
+        const std::string path = dir.file("magic.mgw");
+        writeFile(path, mutated);
+        EXPECT_FALSE(loadArtifact(path).ok());
+    }
+    {
+        // Trailing garbage: file_bytes no longer matches the true size.
+        std::vector<uint8_t> mutated = file;
+        mutated.push_back(0xAB);
+        const std::string path = dir.file("grown.mgw");
+        writeFile(path, mutated);
+        EXPECT_FALSE(loadArtifact(path).ok());
+    }
+}
+
+TEST(ArtifactAdversarial, ContentKeyMismatchRejected)
+{
+    TempDir dir;
+    const QuantizedGraph graph = linearGraph(19, 7, 8, 4, 42);
+    auto packed = packGraphWeights(graph);
+    ASSERT_TRUE(packed.ok());
+    const std::string path = dir.file("keyed.mgw");
+    ASSERT_TRUE(writeArtifact(*packed, path).ok());
+    EXPECT_TRUE(loadArtifact(path, true, packed->key).ok());
+    const auto r = loadArtifact(path, true, packed->key + 1);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ArtifactAdversarial, OutOfBoundsPayloadRangeRejected)
+{
+    TempDir dir;
+    std::vector<uint8_t> file = makeValidArtifact(dir, "v.mgw");
+    // Point the first node's packed words far past the end of the file
+    // and reseal both checksums: the structural bounds check is the
+    // last line of defense and must hold on its own.
+    const size_t node0 = kArtifactHeaderBytes;
+    const uint64_t huge = uint64_t{1} << 60;
+    std::memcpy(file.data() + node0 + kNodeOffWordsOff, &huge, 8);
+    reseal(file);
+    const std::string path = dir.file("oob.mgw");
+    writeFile(path, file);
+    const auto r = loadArtifact(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+
+    // Same with an offset inside the file but a count that overflows
+    // past the end.
+    std::vector<uint8_t> file2 = makeValidArtifact(dir, "v2.mgw");
+    constexpr size_t kNodeOffWordsCount = kNodeOffWordsOff + 8;
+    const uint64_t huge_count = uint64_t{1} << 61;
+    std::memcpy(file2.data() + node0 + kNodeOffWordsCount, &huge_count,
+                8);
+    reseal(file2);
+    const std::string path2 = dir.file("oob2.mgw");
+    writeFile(path2, file2);
+    EXPECT_FALSE(loadArtifact(path2).ok());
+}
+
+TEST(ArtifactAdversarial, RawNoiseNeverCrashes)
+{
+    TempDir dir;
+    Rng rng(2024);
+    const std::string path = dir.file("noise.mgw");
+    for (const size_t size : {1u, 8u, 55u, 56u, 57u, 400u, 4096u}) {
+        std::vector<uint8_t> noise(size);
+        for (auto &b : noise)
+            b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+        writeFile(path, noise);
+        EXPECT_FALSE(loadArtifact(path).ok()) << size << " noise bytes";
+    }
+    EXPECT_FALSE(loadArtifact(dir.file("missing.mgw")).ok());
+}
+
+// ---------------------------------------------------------------------
+// The store: cold pack, warm mmap, residency, eviction, self-healing
+// ---------------------------------------------------------------------
+
+TEST(Store, ColdPackThenWarmMmapThenResidentHit)
+{
+    TempDir dir;
+    const QuantizedGraph graph =
+        syntheticQuantizedGraph(alexNet(), 4, 4, 3, 2);
+    StoreOptions options;
+    options.dir = dir.path.string();
+
+    PackedWeightStore cold(options);
+    auto first = cold.load(graph);
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    EXPECT_FALSE((*first)->from_cache);
+    EXPECT_EQ(cold.stats().misses, 1u);
+    EXPECT_EQ(cold.stats().packs, 1u);
+    EXPECT_EQ(cold.stats().artifact_writes, 1u);
+    ASSERT_TRUE(fs::exists(cold.artifactPath((*first)->key)));
+
+    // A fresh store (fresh process, in effect) must resolve via mmap
+    // with zero packing or expansion work — the zero-copy gate.
+    PackedWeightStore warm(options);
+    const PackCounters before = packCounters();
+    auto second = warm.load(graph);
+    const PackCounters after = packCounters();
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+    EXPECT_TRUE((*second)->from_cache);
+    EXPECT_EQ(warm.stats().hits, 1u);
+    EXPECT_EQ(warm.stats().artifact_loads, 1u);
+    EXPECT_EQ(warm.stats().packs, 0u);
+    EXPECT_EQ(after.b_packs, before.b_packs);
+    EXPECT_EQ(after.cluster_builds, before.cluster_builds);
+    EXPECT_GT(after.adoptions, before.adoptions);
+    for (const PackedEntry &entry : (*second)->entries)
+        EXPECT_TRUE(entry.weights.borrowsStorage());
+
+    // Same store again: resident hit, same model object.
+    auto third = warm.load(graph);
+    ASSERT_TRUE(third.ok());
+    EXPECT_EQ(third->get(), second->get());
+    EXPECT_EQ(warm.stats().hits, 2u);
+    EXPECT_EQ(warm.stats().artifact_loads, 1u);
+}
+
+TEST(Store, SelfHealsOverCorruptArtifact)
+{
+    TempDir dir;
+    const QuantizedGraph graph = linearGraph(33, 9, 4, 4, 7);
+    StoreOptions options;
+    options.dir = dir.path.string();
+    uint64_t key = 0;
+    {
+        PackedWeightStore store(options);
+        auto model = store.load(graph);
+        ASSERT_TRUE(model.ok());
+        key = (*model)->key;
+    }
+    const std::string path =
+        PackedWeightStore(options).artifactPath(key);
+    std::vector<uint8_t> bytes = readFile(path);
+    bytes[bytes.size() - 3] ^= 0x40; // corrupt the payload
+    writeFile(path, bytes);
+
+    // The corrupt artifact is rejected, silently re-packed over, and
+    // the rewritten artifact is valid again.
+    PackedWeightStore store(options);
+    auto model = store.load(graph);
+    ASSERT_TRUE(model.ok()) << model.status().toString();
+    EXPECT_FALSE((*model)->from_cache);
+    EXPECT_EQ(store.stats().rejected, 1u);
+    EXPECT_EQ(store.stats().packs, 1u);
+    EXPECT_EQ(store.stats().artifact_writes, 1u);
+    EXPECT_TRUE(loadArtifact(path, true, key).ok());
+}
+
+TEST(Store, LruEvictionAndRefaultAreDeterministic)
+{
+    // Disk off: the store degrades to a resident pack cache, which is
+    // exactly the LRU surface under test.
+    StoreOptions options;
+    options.dir = "";
+    options.resident_budget_bytes = 1;
+    PackedWeightStore store(options);
+
+    const QuantizedGraph g1 = linearGraph(33, 9, 4, 4, 1);
+    const QuantizedGraph g2 = linearGraph(33, 9, 4, 4, 2);
+    auto first = store.load(g1);
+    ASSERT_TRUE(first.ok());
+    const std::vector<uint64_t> words1((*first)->entries[0]
+                                           .weights.words()
+                                           .begin(),
+                                       (*first)->entries[0]
+                                           .weights.words()
+                                           .end());
+
+    // Loading g2 blows the 1-byte budget; g1 (LRU) is evicted while g2
+    // itself is kept — the budget never evicts the model just loaded.
+    auto second = store.load(g2);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(store.stats().evictions, 1u);
+    EXPECT_EQ(store.stats().resident_models, 1u);
+
+    // The in-flight shared_ptr kept the evicted model fully usable.
+    EXPECT_EQ((*first)->entries[0].weights.words().size(),
+              words1.size());
+
+    // Refault: packing is deterministic, so the rebuilt panels are
+    // bitwise identical to the evicted ones.
+    auto again = store.load(g1);
+    ASSERT_TRUE(again.ok());
+    EXPECT_NE(again->get(), first->get());
+    ASSERT_EQ((*again)->entries[0].weights.words().size(),
+              words1.size());
+    EXPECT_TRUE(std::equal(words1.begin(), words1.end(),
+                           (*again)->entries[0].weights.words().begin()));
+    EXPECT_EQ(store.stats().misses, 3u);
+    EXPECT_EQ(store.stats().hits, 0u);
+}
+
+TEST(Store, TuningMetadataRidesInTheArtifact)
+{
+    TempDir dir;
+    const QuantizedGraph graph = linearGraph(33, 9, 8, 8, 11);
+    TuningSet tuning;
+    TuningEntry entry;
+    entry.config = "a8-w8";
+    entry.mc = 96;
+    entry.nc = 88;
+    entry.kc = 80;
+    entry.kernel = "scalar";
+    tuning.upsert(entry);
+
+    StoreOptions options;
+    options.dir = dir.path.string();
+    {
+        PackedWeightStore store(options);
+        ASSERT_TRUE(store.load(graph, &tuning).ok());
+    }
+    PackedWeightStore warm(options);
+    auto model = warm.load(graph);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE((*model)->from_cache);
+    auto parsed = TuningSet::fromJson((*model)->tuning_json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const TuningEntry *found =
+        parsed->find(DataSizeConfig{8, 8, true, true});
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->mc, 96u);
+    EXPECT_EQ(found->kernel, "scalar");
+}
+
+// ---------------------------------------------------------------------
+// Bitwise identity: mmap-loaded panels across the full config matrix
+// ---------------------------------------------------------------------
+
+TEST(StoreIdentity, MmapEqualsFreshAcrossConfigsThreadsAndKernels)
+{
+    TempDir dir;
+    StoreOptions options;
+    options.dir = dir.path.string();
+    constexpr uint64_t kM = 6, kN = 9, kK = 35;
+    Rng rng(5150);
+
+    for (const DataSizeConfig &cfg : allSupportedConfigs()) {
+        const QuantizedGraph graph =
+            linearGraph(kK, kN, cfg.bwa, cfg.bwb, 1000 + cfg.bwa * 10 +
+                                                      cfg.bwb);
+        {
+            PackedWeightStore cold(options);
+            ASSERT_TRUE(cold.load(graph).ok());
+        }
+        PackedWeightStore warm(options);
+        auto model = warm.load(graph);
+        ASSERT_TRUE(model.ok()) << cfg.name();
+        ASSERT_TRUE((*model)->from_cache) << cfg.name();
+        auto index = PackedModelIndex::build(*model, graph);
+        ASSERT_TRUE(index.ok()) << cfg.name();
+
+        std::vector<int32_t> a(kM * kK);
+        const int64_t lo = -(int64_t{1} << (cfg.bwa - 1));
+        const int64_t hi = (int64_t{1} << (cfg.bwa - 1)) - 1;
+        for (auto &v : a)
+            v = static_cast<int32_t>(rng.uniformInt(lo, hi));
+        const std::span<const int32_t> weights =
+            graph.nodes()[0].weights_q;
+
+        for (const unsigned threads : {1u, 3u, 8u}) {
+            for (const KernelMode mode :
+                 {KernelMode::Fast, KernelMode::Modeled}) {
+                MixGemmBackend fresh(threads, mode);
+                const auto want =
+                    fresh.gemm(a, weights, kM, kN, kK, cfg);
+
+                MixGemmBackend mapped(threads, mode);
+                mapped.setPrepacked(index->get());
+                const auto got =
+                    mapped.gemm(a, weights, kM, kN, kK, cfg);
+                EXPECT_EQ(mapped.prepackHits(), 1u)
+                    << cfg.name() << " threads=" << threads;
+                EXPECT_EQ(got, want)
+                    << cfg.name() << " threads=" << threads
+                    << " mode="
+                    << (mode == KernelMode::Fast ? "fast" : "modeled");
+            }
+        }
+    }
+}
+
+TEST(StoreIdentity, IndexMissesOnForeignPointerShapeOrConfig)
+{
+    TempDir dir;
+    StoreOptions options;
+    options.dir = dir.path.string();
+    const QuantizedGraph graph = linearGraph(33, 9, 8, 4, 77);
+    PackedWeightStore store(options);
+    auto model = store.load(graph);
+    ASSERT_TRUE(model.ok());
+    auto index = PackedModelIndex::build(*model, graph);
+    ASSERT_TRUE(index.ok());
+
+    const int32_t *data = graph.nodes()[0].weights_q.data();
+    const DataSizeConfig cfg{8, 4, true, true};
+    EXPECT_NE((*index)->find(data, 33, 9, cfg), nullptr);
+    // Different pointer, shape, or config must all miss rather than
+    // hand back the wrong panels.
+    const std::vector<int32_t> other(33 * 9, 1);
+    EXPECT_EQ((*index)->find(other.data(), 33, 9, cfg), nullptr);
+    EXPECT_EQ((*index)->find(data, 33, 8, cfg), nullptr);
+    EXPECT_EQ((*index)->find(data, 32, 9, cfg), nullptr);
+    const DataSizeConfig cfg88{8, 8, true, true};
+    EXPECT_EQ((*index)->find(data, 33, 9, cfg88), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Borrowed storage: copy-on-write isolation
+// ---------------------------------------------------------------------
+
+TEST(Store, MutatingAdoptedPanelsCopiesInsteadOfWritingTheMapping)
+{
+    TempDir dir;
+    const QuantizedGraph graph = linearGraph(19, 7, 8, 4, 42);
+    auto packed = packGraphWeights(graph);
+    ASSERT_TRUE(packed.ok());
+    const std::string path = dir.file("cow.mgw");
+    ASSERT_TRUE(writeArtifact(*packed, path).ok());
+
+    auto loaded = loadArtifact(path);
+    ASSERT_TRUE(loaded.ok());
+    CompressedB &b = loaded->entries[0].weights;
+    ASSERT_TRUE(b.borrowsStorage());
+    const uint64_t original = b.word(0, 0, 0);
+
+    // First mutation detaches into owned storage (copy-on-write);
+    // the mapped artifact must remain byte-identical on disk.
+    b.setWord(b.wordIndex(0, 0, 0), original ^ 0xFFull);
+    EXPECT_FALSE(b.borrowsStorage());
+    EXPECT_EQ(b.word(0, 0, 0), original ^ 0xFFull);
+
+    auto reloaded = loadArtifact(path, /*verify_checksum=*/true);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().toString();
+    EXPECT_EQ(reloaded->entries[0].weights.word(0, 0, 0), original);
+}
+
+} // namespace
+} // namespace mixgemm

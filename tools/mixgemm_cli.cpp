@@ -40,6 +40,23 @@
  *       JSON report of detection coverage, correction rate,
  *       accuracy-under-faults, and clean-run ABFT overhead.
  *
+ *   mixgemm-cli pack <network> [config] [--layers N] [--seed S]
+ *       [--dir DIR] [--json f.json] [--check] [--tuning tuning.json]
+ *       [--no-verify]
+ *       Pack a network's (deterministic synthetic) quantized weights
+ *       through the content-addressed weight store: first run packs and
+ *       persists a relocatable artifact, every later run mmaps it back
+ *       zero-copy. Prints (and with --json emits) cache hit/miss, load
+ *       time, packed vs mapped bytes, and the zero-copy verdict from
+ *       the process-wide pack counters; --check additionally re-packs
+ *       fresh and asserts the mapped panels are bitwise identical.
+ *       Exits non-zero when a cached load copied or diverged.
+ *
+ *   mixgemm-cli cache-stats [--dir DIR] [--no-verify]
+ *       List the artifacts in a cache directory, validating each one
+ *       (checksums included unless --no-verify). Exits non-zero if any
+ *       artifact fails validation.
+ *
  *   mixgemm-cli serve-soak [--seed S] [--duration SECS] [--arrival HZ]
  *       [--burst F] [--queue N] [--tiers N] [--retries N] [--epochs N]
  *       [--wall] [--workers N] [--modeled] [--no-decisions]
@@ -68,13 +85,16 @@
  * Configurations are written the paper's way: a8-w8, a6-w4, ...
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -95,6 +115,9 @@
 #include "serve/soak.h"
 #include "sim/gemm_timing.h"
 #include "soc/soc_config.h"
+#include "store/artifact.h"
+#include "store/modelgen.h"
+#include "store/store.h"
 #include "tensor/packing.h"
 #include "trace/session.h"
 
@@ -774,6 +797,229 @@ cmdConfigs()
     return 0;
 }
 
+/** Minimal JSON string escape for paths and status messages. */
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+int
+cmdPack(int argc, char **argv)
+{
+    if (argc < 1)
+        throw UsageError(
+            "usage: mixgemm-cli pack <network> [config] [--layers N] "
+            "[--seed S] [--dir DIR] [--json f.json] [--check] "
+            "[--tuning tuning.json] [--no-verify]");
+    const auto model = parseModel(argv[0]);
+    DataSizeConfig cfg{8, 8, true, true};
+    unsigned layers = 0;
+    uint64_t seed = 1;
+    StoreOptions store_options;
+    std::string json_path;
+    std::string tuning_path;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                throw UsageError(strCat("missing value for ", flag));
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--layers") == 0)
+            layers = orUsage(
+                parseUnsigned("--layers", value("--layers"), 0, 4096));
+        else if (std::strcmp(argv[i], "--seed") == 0)
+            seed = orUsage(parseUint64("--seed", value("--seed")));
+        else if (std::strcmp(argv[i], "--dir") == 0)
+            store_options.dir = value("--dir");
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json_path = value("--json");
+        else if (std::strcmp(argv[i], "--tuning") == 0)
+            tuning_path = value("--tuning");
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else if (std::strcmp(argv[i], "--no-verify") == 0)
+            store_options.verify_checksums = false;
+        else if (argv[i][0] == '-')
+            throw UsageError(strCat("unknown flag '", argv[i], "'"));
+        else
+            cfg = orUsage(parseConfig(argv[i]));
+    }
+
+    // Same (network, bits, seed) => byte-identical weights => the same
+    // content key, so the second invocation of this command resolves to
+    // the artifact the first one wrote.
+    const QuantizedGraph graph =
+        syntheticQuantizedGraph(model, cfg.bwa, cfg.bwb, seed, layers);
+    TuningSet tuning;
+    const TuningSet *tuning_ptr = nullptr;
+    if (!tuning_path.empty()) {
+        tuning = orUsage(TuningSet::load(tuning_path));
+        tuning_ptr = &tuning;
+    }
+
+    PackedWeightStore store(store_options);
+    const PackCounters before = packCounters();
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    auto loaded = store.load(graph, tuning_ptr);
+    const double load_secs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    if (!loaded.ok())
+        fatal(loaded.status().toString());
+    const std::shared_ptr<const PackedModel> packed = *loaded;
+    const PackCounters after = packCounters();
+
+    // Zero-copy verdict: a cached load must have done no packing or
+    // expansion work, and every panel must borrow the mapping.
+    const bool cache_hit = packed->from_cache;
+    bool zero_copy = cache_hit && after.b_packs == before.b_packs &&
+                     after.cluster_builds == before.cluster_builds;
+    if (cache_hit)
+        for (const auto &e : packed->entries)
+            zero_copy = zero_copy && e.weights.borrowsStorage();
+
+    bool identical = true;
+    if (check) {
+        auto fresh = packGraphWeights(graph, true);
+        if (!fresh.ok())
+            fatal(fresh.status().toString());
+        identical = fresh->entries.size() == packed->entries.size();
+        for (size_t i = 0; identical && i < packed->entries.size();
+             ++i) {
+            const CompressedB &got = packed->entries[i].weights;
+            const CompressedB &want = fresh->entries[i].weights;
+            got.ensureClusterPanels();
+            want.ensureClusterPanels();
+            identical =
+                packed->entries[i].node_index ==
+                    fresh->entries[i].node_index &&
+                got.words().size() == want.words().size() &&
+                std::equal(got.words().begin(), got.words().end(),
+                           want.words().begin()) &&
+                got.clusterPanelWordCount() ==
+                    want.clusterPanelWordCount() &&
+                (got.clusterPanelWordCount() == 0 ||
+                 std::memcmp(got.groupClusters(0, 0),
+                             want.groupClusters(0, 0),
+                             got.clusterPanelWordCount() * 8) == 0);
+        }
+    }
+
+    char keybuf[32];
+    std::snprintf(keybuf, sizeof(keybuf), "0x%016llx",
+                  static_cast<unsigned long long>(packed->key));
+    Table t({"metric", "value"});
+    t.addRow({"network", model.name});
+    t.addRow({"config", cfg.name()});
+    t.addRow({"nodes packed", std::to_string(packed->entries.size())});
+    t.addRow({"content key", keybuf});
+    t.addRow({"cache", cache_hit ? "hit (mmap)" : "miss (cold pack)"});
+    t.addRow({"load time", Table::fmt(load_secs * 1e3, 3) + " ms"});
+    t.addRow({"packed bytes", std::to_string(packed->packed_bytes)});
+    t.addRow({"mapped bytes", std::to_string(packed->mapped_bytes)});
+    t.addRow({"zero-copy",
+              cache_hit ? (zero_copy ? "yes" : "NO") : "n/a"});
+    if (check)
+        t.addRow({"identical to fresh pack", identical ? "yes" : "NO"});
+    t.addRow({"artifact", packed->path.empty() ? "(not persisted)"
+                                               : packed->path});
+    t.print(std::cout);
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os)
+            fatal(strCat("cannot open ", json_path, " for writing"));
+        os << "{\n"
+           << "  \"network\": " << jsonQuote(model.name) << ",\n"
+           << "  \"config\": " << jsonQuote(cfg.name()) << ",\n"
+           << "  \"layers\": " << layers << ",\n"
+           << "  \"seed\": " << seed << ",\n"
+           << "  \"nodes\": " << packed->entries.size() << ",\n"
+           << "  \"key\": " << jsonQuote(keybuf) << ",\n"
+           << "  \"cache_hit\": " << (cache_hit ? "true" : "false")
+           << ",\n"
+           << "  \"load_secs\": " << load_secs << ",\n"
+           << "  \"packed_bytes\": " << packed->packed_bytes << ",\n"
+           << "  \"mapped_bytes\": " << packed->mapped_bytes << ",\n"
+           << "  \"zero_copy\": "
+           << (cache_hit ? (zero_copy ? "true" : "false") : "null")
+           << ",\n"
+           << "  \"identical\": "
+           << (check ? (identical ? "true" : "false") : "null") << ",\n"
+           << "  \"artifact\": " << jsonQuote(packed->path) << "\n"
+           << "}\n";
+        std::cout << "pack report written to " << json_path << "\n";
+    }
+    // A cached load that copied, or a mapped panel that diverged from a
+    // fresh pack, is a hard failure — the CI lifecycle job gates on it.
+    return (cache_hit && !zero_copy) || !identical ? 1 : 0;
+}
+
+int
+cmdCacheStats(int argc, char **argv)
+{
+    std::string dir = "mixgemm_cache";
+    bool verify = true;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dir") == 0) {
+            if (i + 1 >= argc)
+                throw UsageError("missing value for --dir");
+            dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--no-verify") == 0)
+            verify = false;
+        else
+            throw UsageError(
+                strCat("unknown argument '", argv[i], "'"));
+    }
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        std::cout << "no artifact cache at " << dir << "\n";
+        return 0;
+    }
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir, ec))
+        if (entry.path().extension() == ".mgw")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+
+    Table t({"artifact", "bytes", "nodes", "packed bytes", "status"});
+    uint64_t total_bytes = 0;
+    unsigned bad = 0;
+    for (const auto &path : files) {
+        const uint64_t bytes = fs::file_size(path, ec);
+        total_bytes += bytes;
+        auto loaded = loadArtifact(path.string(), verify);
+        if (loaded.ok()) {
+            t.addRow({path.filename().string(), std::to_string(bytes),
+                      std::to_string(loaded->entries.size()),
+                      std::to_string(loaded->packed_bytes), "ok"});
+        } else {
+            ++bad;
+            t.addRow({path.filename().string(), std::to_string(bytes),
+                      "-", "-", loaded.status().message()});
+        }
+    }
+    t.print(std::cout);
+    std::cout << files.size() << " artifact(s), " << total_bytes
+              << " bytes total"
+              << (bad ? strCat(", ", bad, " invalid") : std::string())
+              << "\n";
+    return bad ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -782,8 +1028,8 @@ main(int argc, char **argv)
     try {
         if (argc < 2) {
             std::cerr << "usage: mixgemm-cli "
-                         "<gemm|network|dse|configs|autotune|"
-                         "fault-campaign|serve-soak> ...\n";
+                         "<gemm|network|dse|configs|autotune|pack|"
+                         "cache-stats|fault-campaign|serve-soak> ...\n";
             return 2;
         }
         const std::string cmd = argv[1];
@@ -797,6 +1043,10 @@ main(int argc, char **argv)
             return cmdConfigs();
         if (cmd == "autotune")
             return cmdAutotune(argc - 2, argv + 2);
+        if (cmd == "pack")
+            return cmdPack(argc - 2, argv + 2);
+        if (cmd == "cache-stats")
+            return cmdCacheStats(argc - 2, argv + 2);
         if (cmd == "fault-campaign")
             return cmdFaultCampaign(argc - 2, argv + 2);
         if (cmd == "serve-soak")
