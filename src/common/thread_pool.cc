@@ -4,6 +4,7 @@
 
 #include "common/bitutils.h"
 #include "common/logging.h"
+#include "common/threadname.h"
 
 namespace mixgemm
 {
@@ -12,7 +13,10 @@ ThreadPool::ThreadPool(unsigned workers)
 {
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] {
+            setCurrentThreadName(strCat("worker", i));
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Process-local thread naming for observability.
+ *
+ * Subsystems that own threads (the GEMM thread pool, the serving
+ * workers, the watchdog, the virtual-time pump) name them here; the
+ * tracer captures the name when it registers a thread's event ring, so
+ * Perfetto exports label tracks "worker3" / "watchdog" / "pump" instead
+ * of anonymous thread ids. Purely observational: nothing reads the name
+ * back into any computation.
+ *
+ * Lives in common (not trace) so the thread pool can name its workers
+ * without a dependency cycle — trace already depends on common.
+ */
+
+#ifndef MIXGEMM_COMMON_THREADNAME_H
+#define MIXGEMM_COMMON_THREADNAME_H
+
+#include <string>
+
+namespace mixgemm
+{
+
+namespace detail
+{
+inline thread_local std::string t_thread_name;
+} // namespace detail
+
+/** Name the calling thread for trace/telemetry exports. */
+inline void
+setCurrentThreadName(std::string name)
+{
+    detail::t_thread_name = std::move(name);
+}
+
+/** The calling thread's name; empty if never set. */
+inline const std::string &
+currentThreadName()
+{
+    return detail::t_thread_name;
+}
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_COMMON_THREADNAME_H

@@ -115,6 +115,15 @@ struct BlockingParams
     uint64_t weight_bytes_mapped = 0;
 
     /**
+     * Request-scoped trace identity (serving path): copied verbatim
+     * into the RunReport so one served request's GEMMs are attributable
+     * to a tenant/request/rung. Pure metadata; empty outside serving.
+     */
+    std::string trace_tenant;
+    uint64_t trace_request_id = 0;
+    unsigned trace_rung = 0;
+
+    /**
      * ABFT behavior of mixGemm() (see fault/fault.h for the policy
      * semantics). Off — the default — performs no checksum work and is
      * bitwise-identical to the pre-ABFT driver.

@@ -763,6 +763,9 @@ mixGemmChecked(const CompressedA &a0, const CompressedB &b0,
         report.bytes_packed = a.bytes() + b.bytes();
         report.weight_source = blocking.weight_source;
         report.bytes_mapped = blocking.weight_bytes_mapped;
+        report.tenant = blocking.trace_tenant;
+        report.request_id = blocking.trace_request_id;
+        report.rung = blocking.trace_rung;
         if (blocking.kernel_mode == KernelMode::Fast) {
             report.bytes_cluster_panels =
                 (a.m() * a.kGroups() * a.clusterWordsPerGroup() +

@@ -29,6 +29,9 @@ MixGemmBackend::gemm(std::span<const int32_t> a,
     blocking.kernel_mode = kernel_mode_;
     blocking.session = session_;
     blocking.trace_label = trace_label_;
+    blocking.trace_tenant = request_ctx_.tenant;
+    blocking.trace_request_id = request_ctx_.request_id;
+    blocking.trace_rung = request_ctx_.rung;
     blocking.fault_policy = fault_policy_;
     blocking.fault = fault_;
     blocking.abft_max_retries = abft_retries_;

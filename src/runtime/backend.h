@@ -20,6 +20,7 @@
 #include "gemm/blocking.h"
 #include "gemm/mixgemm.h"
 #include "runtime/prepack.h"
+#include "trace/session.h"
 
 namespace mixgemm
 {
@@ -128,6 +129,19 @@ class MixGemmBackend : public GemmBackend
     const std::string &traceLabel() const { return trace_label_; }
 
     /**
+     * Request-scoped trace identity for subsequent gemm() calls: copied
+     * into each RunReport (tenant, request id, rung) so served GEMMs
+     * stitch into one per-request story. clearRequestContext() resets
+     * to the unscoped default. Pure metadata.
+     */
+    void setRequestContext(RequestContext ctx)
+    {
+        request_ctx_ = std::move(ctx);
+    }
+    void clearRequestContext() { request_ctx_ = RequestContext{}; }
+    const RequestContext &requestContext() const { return request_ctx_; }
+
+    /**
      * Attach (or detach, with nullptr) an autotuner tuning set (see
      * gemm/kernels/autotune.h): every subsequent gemm() whose
      * configuration has a tuned entry runs with that entry's cache
@@ -201,6 +215,7 @@ class MixGemmBackend : public GemmBackend
     uint64_t total_bs_ip_ = 0;
     TraceSession *session_ = nullptr;
     std::string trace_label_ = "mixgemm";
+    RequestContext request_ctx_;
     const TuningSet *tuning_ = nullptr;
     FaultPolicy fault_policy_ = FaultPolicy::Off;
     FaultInjector *fault_ = nullptr;

@@ -6,7 +6,9 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/threadname.h"
 #include "store/store.h"
+#include "trace/tracer.h"
 
 namespace mixgemm
 {
@@ -330,11 +332,19 @@ InferenceServer::resolveRung(RegisteredGraph &graph, unsigned tier,
 void
 InferenceServer::logLocked(std::string entry)
 {
+    // Every entry gets a monotonic sequence prefix, so interleaved
+    // multi-worker logs are totally ordered regardless of equal clock
+    // stamps. The observer sees every entry — including those past the
+    // retention cap — so a bounded flight recorder stays complete.
+    const uint64_t seq = decision_seq_++;
+    std::string line = strCat("#", seq, " ", std::move(entry));
+    if (ServeObserver *obs = observer())
+        obs->onDecision(seq, line);
     if (decisions_.size() >= options_.max_decision_log) {
         ++stats_.decisions_dropped;
         return;
     }
-    decisions_.push_back(std::move(entry));
+    decisions_.push_back(std::move(line));
 }
 
 void
@@ -374,24 +384,42 @@ InferenceServer::evaluateDegradationLocked(uint64_t now_ns)
 void
 InferenceServer::recordTerminalLocked(const ServeResponse &response)
 {
+    PriorityClassStats &cls =
+        classStatsLocked(response.report.priority);
     switch (response.status.code()) {
       case StatusCode::kOk:
         ++stats_.completed_ok;
+        ++cls.completed_ok;
         if (response.report.tier < stats_.completed_by_tier.size())
             ++stats_.completed_by_tier[response.report.tier];
         break;
       case StatusCode::kDeadlineExceeded:
         ++stats_.deadline_exceeded;
+        ++cls.deadline_exceeded;
         break;
       case StatusCode::kCancelled:
         ++stats_.cancelled;
+        ++cls.cancelled;
         break;
       default:
         ++stats_.failed;
+        ++cls.failed;
         break;
     }
+    // "Degraded" = dispatched and executed above rung 0; informational
+    // (overlaps the terminal buckets above).
+    if (response.report.start_ns != 0 && response.report.tier > 0)
+        ++cls.degraded;
     if (response.report.attempts > 1)
         stats_.retries += response.report.attempts - 1;
+}
+
+void
+InferenceServer::notifyTerminal(const RequestReport &report,
+                                StatusCode code)
+{
+    if (ServeObserver *obs = observer())
+        obs->onTerminal(report, code);
 }
 
 void
@@ -401,7 +429,10 @@ InferenceServer::finishRejected(Pending &&item, Status status)
     response.report.seq = item.seq;
     response.report.submit_ns = item.submit_ns;
     response.report.tier = item.tier;
+    response.report.priority = item.request.priority;
+    response.report.tenant = item.request.tenant;
     response.status = std::move(status);
+    notifyTerminal(response.report, response.status.code());
     item.promise.set_value(std::move(response));
 }
 
@@ -412,91 +443,117 @@ InferenceServer::submit(ServeRequest request)
     item.request = std::move(request);
     std::future<ServeResponse> future = item.promise.get_future();
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    const uint64_t now = clock_->nowNs();
-    item.seq = next_seq_++;
-    item.submit_ns = now;
-    ++stats_.submitted;
+    // Rejections are decided (and counted) under the lock, but their
+    // promises are fulfilled and the observer notified only after the
+    // lock is released, so observer callbacks may take their own locks
+    // without ordering against mutex_.
+    std::vector<std::pair<Pending, Status>> finished;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const uint64_t now = clock_->nowNs();
+        item.seq = next_seq_++;
+        item.submit_ns = now;
+        ++stats_.submitted;
+        ++classStatsLocked(item.request.priority).submitted;
 
-    // Validation first: a request that can never execute must not
-    // occupy a queue slot another request could use.
-    Status invalid;
-    if (item.request.graph_id >= graphs_.size())
-        invalid = Status::notFound(
-            strCat("unknown graph id ", item.request.graph_id));
-    else if (item.request.input.shape() !=
-             graphs_[item.request.graph_id]->input_shape)
-        invalid = Status::invalidArgument(
-            strCat("input shape does not match graph '",
-                   graphs_[item.request.graph_id]->name, "'"));
-    if (!invalid.ok()) {
-        ++stats_.rejected_invalid;
-        logLocked(strCat("t=", now, " reject_invalid seq=", item.seq,
-                         " code=", statusCodeName(invalid.code())));
-        finishRejected(std::move(item), std::move(invalid));
-        return future;
-    }
-    if (item.request.deadline_ns != 0 &&
-        now >= item.request.deadline_ns) {
-        ++stats_.expired_submit;
-        logLocked(strCat("t=", now, " expire_submit seq=", item.seq));
-        finishRejected(std::move(item),
-                       Status::deadlineExceeded(
-                           "deadline already passed at submission"));
-        return future;
-    }
+        // Validation first: a request that can never execute must not
+        // occupy a queue slot another request could use.
+        Status invalid;
+        if (item.request.graph_id >= graphs_.size())
+            invalid = Status::notFound(
+                strCat("unknown graph id ", item.request.graph_id));
+        else if (item.request.input.shape() !=
+                 graphs_[item.request.graph_id]->input_shape)
+            invalid = Status::invalidArgument(
+                strCat("input shape does not match graph '",
+                       graphs_[item.request.graph_id]->name, "'"));
+        if (!invalid.ok()) {
+            ++stats_.rejected_invalid;
+            ++classStatsLocked(item.request.priority).rejected_invalid;
+            logLocked(strCat("t=", now, " reject_invalid seq=",
+                             item.seq, " code=",
+                             statusCodeName(invalid.code())));
+            finished.emplace_back(std::move(item), std::move(invalid));
+        } else if (item.request.deadline_ns != 0 &&
+                   now >= item.request.deadline_ns) {
+            ++stats_.expired_submit;
+            ++classStatsLocked(item.request.priority).expired_submit;
+            logLocked(strCat("t=", now, " expire_submit seq=",
+                             item.seq));
+            finished.emplace_back(
+                std::move(item),
+                Status::deadlineExceeded(
+                    "deadline already passed at submission"));
+        } else {
+            evaluateDegradationLocked(now);
+            item.graph = graphs_[item.request.graph_id].get();
+            item.tier = std::min<unsigned>(
+                level_,
+                static_cast<unsigned>(item.graph->ladder.size()) - 1);
 
-    evaluateDegradationLocked(now);
-    item.graph = graphs_[item.request.graph_id].get();
-    item.tier = std::min<unsigned>(
-        level_, static_cast<unsigned>(item.graph->ladder.size()) - 1);
-
-    const uint64_t seq = item.seq;
-    const unsigned tier = item.tier;
-    const int priority = item.request.priority;
-    const std::string &graph_name = item.graph->name;
-    // Retention order: higher priority wins; within a priority the
-    // older request wins (so an equal-priority arrival can never shed
-    // queued work — admission stays FIFO per priority class).
-    auto retain_less = [](const Pending &a, const Pending &b) {
-        if (a.request.priority != b.request.priority)
-            return a.request.priority < b.request.priority;
-        return a.seq > b.seq;
-    };
-    std::optional<Pending> evicted;
-    switch (queue_.pushEvicting(std::move(item), retain_less, evicted)) {
-      case QueuePush::kPushed:
-      case QueuePush::kPushedEvicted:
-        // `admitted` counts entries that reached the queue; a shed
-        // victim stays counted there and additionally under `shed`.
-        ++stats_.admitted;
-        if (evicted) {
-            ++stats_.shed;
-            logLocked(strCat("t=", now, " shed seq=", evicted->seq,
-                             " prio=", evicted->request.priority,
-                             " by=", seq));
-            finishRejected(std::move(*evicted),
-                           Status::resourceExhausted(
-                               "shed for higher-priority work"));
+            const uint64_t seq = item.seq;
+            const unsigned tier = item.tier;
+            const int priority = item.request.priority;
+            const std::string &graph_name = item.graph->name;
+            // Retention order: higher priority wins; within a priority
+            // the older request wins (so an equal-priority arrival can
+            // never shed queued work — admission stays FIFO per
+            // priority class).
+            auto retain_less = [](const Pending &a, const Pending &b) {
+                if (a.request.priority != b.request.priority)
+                    return a.request.priority < b.request.priority;
+                return a.seq > b.seq;
+            };
+            std::optional<Pending> evicted;
+            switch (queue_.pushEvicting(std::move(item), retain_less,
+                                        evicted)) {
+              case QueuePush::kPushed:
+              case QueuePush::kPushedEvicted:
+                // `admitted` counts entries that reached the queue; a
+                // shed victim stays counted there and additionally
+                // under `shed`.
+                ++stats_.admitted;
+                if (evicted) {
+                    ++stats_.shed;
+                    ++classStatsLocked(evicted->request.priority).shed;
+                    logLocked(strCat("t=", now, " shed seq=",
+                                     evicted->seq, " prio=",
+                                     evicted->request.priority,
+                                     " by=", seq));
+                    finished.emplace_back(
+                        std::move(*evicted),
+                        Status::resourceExhausted(
+                            "shed for higher-priority work"));
+                }
+                logLocked(strCat("t=", now, " admit seq=", seq,
+                                 " graph=", graph_name, " tier=", tier,
+                                 " prio=", priority,
+                                 " depth=", queue_.size()));
+                break;
+              case QueuePush::kRejected:
+                ++stats_.rejected_full;
+                ++classStatsLocked(priority).rejected_full;
+                logLocked(strCat("t=", now, " reject_full seq=", seq,
+                                 " prio=", priority));
+                finished.emplace_back(
+                    std::move(item),
+                    Status::resourceExhausted(
+                        "admission queue is full"));
+                break;
+              case QueuePush::kClosed:
+                ++stats_.rejected_closed;
+                ++classStatsLocked(priority).rejected_closed;
+                logLocked(strCat("t=", now, " reject_closed seq=",
+                                 seq));
+                finished.emplace_back(
+                    std::move(item),
+                    Status::unavailable("server is shut down"));
+                break;
+            }
         }
-        logLocked(strCat("t=", now, " admit seq=", seq, " graph=",
-                         graph_name, " tier=", tier, " prio=", priority,
-                         " depth=", queue_.size()));
-        break;
-      case QueuePush::kRejected:
-        ++stats_.rejected_full;
-        logLocked(strCat("t=", now, " reject_full seq=", seq,
-                         " prio=", priority));
-        finishRejected(std::move(item),
-                       Status::resourceExhausted(
-                           "admission queue is full"));
-        break;
-      case QueuePush::kClosed:
-        logLocked(strCat("t=", now, " reject_closed seq=", seq));
-        finishRejected(std::move(item),
-                       Status::unavailable("server is shut down"));
-        break;
     }
+    for (auto &[pending, status] : finished)
+        finishRejected(std::move(pending), std::move(status));
     return future;
 }
 
@@ -505,6 +562,8 @@ InferenceServer::pump(unsigned max_requests)
 {
     if (options_.workers != 0)
         fatal("InferenceServer::pump: server is running worker threads");
+    if (currentThreadName() != "pump")
+        Tracer::nameCurrentThread("pump");
     if (!pump_backend_)
         pump_backend_ = makeBackend();
     unsigned executed = 0;
@@ -521,6 +580,7 @@ InferenceServer::pump(unsigned max_requests)
 void
 InferenceServer::workerMain(unsigned index)
 {
+    Tracer::nameCurrentThread(strCat("serve-worker", index));
     WorkerSlot &slot = *slots_[index];
     std::unique_ptr<MixGemmBackend> backend = makeBackend();
     while (std::optional<Pending> item = queue_.popWait()) {
@@ -545,16 +605,23 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
     response.report.tier = item.tier;
     response.report.tier_label = tier.label;
     response.report.worker = worker_index;
+    response.report.priority = item.request.priority;
+    response.report.tenant = item.request.tenant;
 
     const uint64_t start = clock_->nowNs();
     response.report.start_ns = start;
     if (deadline != 0 && start >= deadline) {
         response.status = Status::deadlineExceeded(
             "deadline passed while queued");
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.expired_queue;
-        logLocked(strCat("t=", start, " expire_queue seq=", item.seq));
-        recordTerminalLocked(response);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.expired_queue;
+            ++classStatsLocked(item.request.priority).expired_queue;
+            logLocked(strCat("t=", start, " expire_queue seq=",
+                             item.seq));
+            recordTerminalLocked(response);
+        }
+        notifyTerminal(response.report, response.status.code());
         item.promise.set_value(std::move(response));
         return;
     }
@@ -580,6 +647,15 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
     backend.setPrepacked(rung.pack.get());
     backend.setTraceLabel(strCat(graph.name, "/", tier.label, "/req",
                                  item.seq));
+    backend.setRequestContext(
+        {item.seq, item.request.tenant, item.tier});
+
+    // One span per request execution, so a request's attempts, retries
+    // and GEMM spans stitch into a single Perfetto track segment.
+    TRACE_SCOPE("serve", [&] {
+        return strCat("req", item.seq, "/", graph.name, "/",
+                      tier.label);
+    });
 
     const unsigned max_retries =
         item.request.max_retries >= 0
@@ -636,6 +712,9 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
     }
     backend.setCancelToken(nullptr);
     backend.setPrepacked(nullptr);
+    backend.clearRequestContext();
+    const uint64_t abft_uncorrected =
+        backend.lastAbft().tiles_uncorrected;
 
     slot.busy_seq.store(0, std::memory_order_release);
     slot.busy_since.store(0, std::memory_order_release);
@@ -672,12 +751,18 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
         recordTerminalLocked(response);
         evaluateDegradationLocked(done);
     }
+    if (abft_uncorrected > 0) {
+        if (ServeObserver *obs = observer())
+            obs->onAbftUncorrectable(item.seq, abft_uncorrected, done);
+    }
+    notifyTerminal(response.report, response.status.code());
     item.promise.set_value(std::move(response));
 }
 
 void
 InferenceServer::watchdogMain()
 {
+    Tracer::nameCurrentThread("watchdog");
     struct Track
     {
         uint64_t seq = 0;
@@ -738,6 +823,11 @@ InferenceServer::watchdogMain()
                 logLocked(strCat("t=", now, " watchdog_cancel worker=",
                                  w, " seq=", seq - 1));
             }
+            // Outside mutex_: the observer may snapshot server state
+            // (e.g. to dump a postmortem bundle).
+            if (ServeObserver *obs = observer())
+                obs->onWatchdogCancel(static_cast<unsigned>(w), seq - 1,
+                                      now);
         }
     }
 }
@@ -766,11 +856,16 @@ InferenceServer::shutdown()
         response.report.seq = item->seq;
         response.report.submit_ns = item->submit_ns;
         response.report.tier = item->tier;
+        response.report.priority = item->request.priority;
+        response.report.tenant = item->request.tenant;
         response.status = Status::unavailable("server shut down");
-        std::lock_guard<std::mutex> lock(mutex_);
-        logLocked(strCat("t=", clock_->nowNs(), " drop_shutdown seq=",
-                         item->seq));
-        recordTerminalLocked(response);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            logLocked(strCat("t=", clock_->nowNs(),
+                             " drop_shutdown seq=", item->seq));
+            recordTerminalLocked(response);
+        }
+        notifyTerminal(response.report, response.status.code());
         item->promise.set_value(std::move(response));
     }
 }

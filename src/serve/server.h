@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -194,6 +195,9 @@ struct ServeRequest
     uint64_t deadline_ns = 0;    ///< absolute, per server clock; 0 = none
     int priority = 0;            ///< higher = more valuable (shed last)
     int max_retries = -1;        ///< -1 = server default
+    /// Submitting tenant, for telemetry labels and per-tenant SLO
+    /// tracking. Pure metadata: scheduling never reads it.
+    std::string tenant = "default";
 };
 
 /** Per-request accounting returned with every response. */
@@ -204,6 +208,8 @@ struct RequestReport
     std::string tier_label; ///< its precision label
     int worker = -1;        ///< worker index (-1: rejected before dispatch)
     unsigned attempts = 0;  ///< execution attempts (≥ 1 if dispatched)
+    int priority = 0;       ///< request's priority class
+    std::string tenant;     ///< request's tenant
     uint64_t submit_ns = 0;
     uint64_t start_ns = 0; ///< dequeue time (0 if never dispatched)
     uint64_t done_ns = 0;
@@ -217,6 +223,33 @@ struct ServeResponse
     RequestReport report;
 };
 
+/**
+ * Per-priority-class terminal accounting. For every class the identity
+ *
+ *   submitted == completed_ok + shed + rejected_full + rejected_invalid
+ *              + rejected_closed + expired_submit + deadline_exceeded
+ *              + cancelled + failed
+ *
+ * holds once the server has drained (expired_queue is an informational
+ * subcount of deadline_exceeded; degraded counts dispatched requests
+ * that executed above rung 0 and overlaps the terminal buckets).
+ */
+struct PriorityClassStats
+{
+    uint64_t submitted = 0;
+    uint64_t completed_ok = 0;
+    uint64_t shed = 0;
+    uint64_t rejected_full = 0;
+    uint64_t rejected_invalid = 0;
+    uint64_t rejected_closed = 0;
+    uint64_t expired_submit = 0;
+    uint64_t expired_queue = 0;
+    uint64_t deadline_exceeded = 0;
+    uint64_t cancelled = 0;
+    uint64_t failed = 0;
+    uint64_t degraded = 0;
+};
+
 /** Aggregate server counters (one consistent snapshot). */
 struct ServerStats
 {
@@ -225,6 +258,7 @@ struct ServerStats
     uint64_t completed_ok = 0;
     uint64_t rejected_full = 0;    ///< queue full, nothing shed
     uint64_t rejected_invalid = 0; ///< bad graph id / shape
+    uint64_t rejected_closed = 0;  ///< submitted after shutdown
     uint64_t shed = 0;             ///< displaced by higher-priority work
     uint64_t expired_submit = 0;   ///< deadline already passed at submit
     uint64_t expired_queue = 0;    ///< deadline passed while queued
@@ -243,6 +277,55 @@ struct ServerStats
     unsigned degradation_level = 0;
     size_t queue_depth = 0;
     std::vector<uint64_t> completed_by_tier; ///< ok completions per rung
+    /// Terminal accounting per priority class (see PriorityClassStats).
+    std::map<int, PriorityClassStats> by_priority;
+};
+
+/**
+ * Telemetry hook into the server's event stream. All callbacks must be
+ * fast and must never call back into the InferenceServer:
+ * onDecision() runs under the server's internal mutex (calling
+ * stats()/decisionLog() from it deadlocks); the other callbacks run
+ * outside it but still sit on the serving hot path.
+ */
+class ServeObserver
+{
+  public:
+    virtual ~ServeObserver() = default;
+
+    /** One decision-log line, in log order (@p decision_seq is the
+     * line's "#N" prefix; entries past the log cap still arrive). */
+    virtual void onDecision(uint64_t decision_seq,
+                            const std::string &line)
+    {
+        (void)decision_seq;
+        (void)line;
+    }
+
+    /** A request reached a terminal state (including rejections). */
+    virtual void onTerminal(const RequestReport &report, StatusCode code)
+    {
+        (void)report;
+        (void)code;
+    }
+
+    /** The watchdog cancelled a stuck worker's request. */
+    virtual void onWatchdogCancel(unsigned worker, uint64_t seq,
+                                  uint64_t now_ns)
+    {
+        (void)worker;
+        (void)seq;
+        (void)now_ns;
+    }
+
+    /** A GEMM finished with ABFT-uncorrectable tiles. */
+    virtual void onAbftUncorrectable(uint64_t seq, uint64_t tiles,
+                                     uint64_t now_ns)
+    {
+        (void)seq;
+        (void)tiles;
+        (void)now_ns;
+    }
 };
 
 /**
@@ -303,6 +386,16 @@ class InferenceServer
     /** Latency histograms: serve/queue_ns, serve/exec_ns,
      * serve/total_ns. */
     MetricSet latencyMetrics() const;
+
+    /**
+     * Attach (or detach, with nullptr) a telemetry observer. Install
+     * before traffic starts and detach only after the server is
+     * quiescent; the observer must outlive its attachment. Not owned.
+     */
+    void setObserver(ServeObserver *observer)
+    {
+        observer_.store(observer, std::memory_order_release);
+    }
 
     size_t queueDepth() const { return queue_.size(); }
 
@@ -383,6 +476,17 @@ class InferenceServer
     void logLocked(std::string entry);
     void evaluateDegradationLocked(uint64_t now_ns);
     void recordTerminalLocked(const ServeResponse &response);
+    PriorityClassStats &classStatsLocked(int priority)
+    {
+        return stats_.by_priority[priority];
+    }
+
+    ServeObserver *observer() const
+    {
+        return observer_.load(std::memory_order_acquire);
+    }
+    /** Fire ServeObserver::onTerminal; call with mutex_ NOT held. */
+    void notifyTerminal(const RequestReport &report, StatusCode code);
 
     ServerOptions options_;
     const Clock *clock_ = nullptr;
@@ -400,6 +504,7 @@ class InferenceServer
 
     mutable std::mutex mutex_;
     uint64_t next_seq_ = 0;
+    uint64_t decision_seq_ = 0; ///< total order over decision entries
     unsigned level_ = 0;          ///< current degradation level
     unsigned max_level_ = 0;      ///< deepest ladder registered, - 1
     uint64_t last_level_change_ns_ = 0;
@@ -415,6 +520,7 @@ class InferenceServer
     std::condition_variable watchdog_cv_;
     bool stopping_ = false;
     std::atomic<bool> shut_down_{false};
+    std::atomic<ServeObserver *> observer_{nullptr};
     std::unique_ptr<MixGemmBackend> pump_backend_;
     std::unique_ptr<WorkerSlot> pump_slot_;
 };

@@ -50,6 +50,9 @@ makeRequest(const SoakConfig &config, Rng &rng, uint64_t graph_id,
     request.graph_id = graph_id;
     request.priority = static_cast<int>(rng.uniformInt(
         0, std::max(1, config.priority_levels) - 1));
+    if (config.tenants > 1)
+        request.tenant = strCat(
+            "tenant", rng.uniformInt(0, config.tenants - 1));
     if (rng.uniformReal() >= config.no_deadline_prob) {
         // Log-uniform deadline budget: most requests tight, a tail
         // generous — stresses both the expiry and the success path.
@@ -149,9 +152,30 @@ runServeSoak(const SoakConfig &config)
     options.degradation = config.degradation;
     options.max_retries = config.max_retries;
     options.watchdog_timeout_ns = config.watchdog_timeout_ns;
+    options.session = config.session;
     if (config.virtual_time) {
         options.virtual_clock = &vclock;
         options.virtual_ns_per_mac = config.virtual_ns_per_mac;
+    }
+    if (config.inject_stall && !config.virtual_time) {
+        // Wedge exactly one attempt (the first dispatched) in a
+        // no-heartbeat loop until the watchdog breaks it; clamp the
+        // timeout so the postmortem fires well inside the run.
+        options.watchdog_timeout_ns = std::min<uint64_t>(
+            options.watchdog_timeout_ns, 250'000'000);
+        options.watchdog_poll_ns =
+            std::min<uint64_t>(options.watchdog_poll_ns, 20'000'000);
+        auto stalled = std::make_shared<std::atomic<bool>>(false);
+        options.execution_hook =
+            [stalled](uint64_t, unsigned, const CancelToken &token) {
+                bool expected = false;
+                if (!stalled->compare_exchange_strong(expected, true))
+                    return Status();
+                while (!token.cancelled())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                return token.status();
+            };
     }
     InferenceServer server(options);
     Expected<uint64_t> graph_id = server.registerGraph(
@@ -159,6 +183,8 @@ runServeSoak(const SoakConfig &config)
         {1, 1, PatternDataset::kImageSize, PatternDataset::kImageSize});
     if (!graph_id.ok())
         fatal(strCat("serve-soak: ", graph_id.status().toString()));
+    if (config.on_server_start)
+        config.on_server_start(server);
 
     Rng rng(config.seed);
     const uint64_t duration_ns =
@@ -224,6 +250,8 @@ runServeSoak(const SoakConfig &config)
             static_cast<double>(clock.nowNs() - start) / 1e9;
     }
 
+    if (config.on_server_drained)
+        config.on_server_drained(server);
     result.stats = server.stats();
     result.latencies = server.latencyMetrics();
     result.decision_log = server.decisionLog();
@@ -248,11 +276,13 @@ SoakResult::toJson() const
         "\"config\":{\"seed\":%llu,\"duration_s\":%.3f,"
         "\"arrival_hz\":%.1f,\"burst_factor\":%.1f,"
         "\"queue_capacity\":%zu,\"virtual_time\":%s,"
-        "\"wall_workers\":%u,\"ladder_tiers\":%u},\n",
+        "\"wall_workers\":%u,\"ladder_tiers\":%u,\"tenants\":%u,"
+        "\"inject_stall\":%s},\n",
         static_cast<unsigned long long>(config.seed), config.duration_s,
         config.arrival_hz, config.burst_factor, config.queue_capacity,
         config.virtual_time ? "true" : "false", config.wall_workers,
-        config.ladder_tiers);
+        config.ladder_tiers, config.tenants,
+        config.inject_stall ? "true" : "false");
     os << buf;
     std::snprintf(
         buf, sizeof(buf),
@@ -283,7 +313,34 @@ SoakResult::toJson() const
     os << buf << "\"completed_by_tier\":[";
     for (size_t t = 0; t < stats.completed_by_tier.size(); ++t)
         os << (t ? "," : "") << stats.completed_by_tier[t];
-    os << "]},\n";
+    os << "],\"by_priority\":{";
+    bool first_class = true;
+    for (const auto &[priority, cls] : stats.by_priority) {
+        os << (first_class ? "" : ",");
+        first_class = false;
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"%d\":{\"submitted\":%llu,\"completed_ok\":%llu,"
+            "\"shed\":%llu,\"rejected_full\":%llu,"
+            "\"rejected_invalid\":%llu,\"rejected_closed\":%llu,"
+            "\"expired_submit\":%llu,\"expired_queue\":%llu,"
+            "\"deadline_exceeded\":%llu,\"cancelled\":%llu,"
+            "\"failed\":%llu,\"degraded\":%llu}",
+            priority, static_cast<unsigned long long>(cls.submitted),
+            static_cast<unsigned long long>(cls.completed_ok),
+            static_cast<unsigned long long>(cls.shed),
+            static_cast<unsigned long long>(cls.rejected_full),
+            static_cast<unsigned long long>(cls.rejected_invalid),
+            static_cast<unsigned long long>(cls.rejected_closed),
+            static_cast<unsigned long long>(cls.expired_submit),
+            static_cast<unsigned long long>(cls.expired_queue),
+            static_cast<unsigned long long>(cls.deadline_exceeded),
+            static_cast<unsigned long long>(cls.cancelled),
+            static_cast<unsigned long long>(cls.failed),
+            static_cast<unsigned long long>(cls.degraded));
+        os << buf;
+    }
+    os << "}},\n";
 
     os << "\"latency_ns\":{";
     const std::map<std::string, LogHistogram> &all = latencies.all();

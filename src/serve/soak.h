@@ -28,6 +28,7 @@
 #define MIXGEMM_SERVE_SOAK_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,33 @@ struct SoakConfig
     unsigned ladder_tiers = 3;  ///< rungs from defaultLadderPrecisions()
     unsigned train_epochs = 1;  ///< CNN pre-training (1 keeps it quick)
     bool emit_decision_log = true; ///< include the log in the JSON
+
+    /**
+     * Tenants > 1 draws each request's tenant uniformly from
+     * "tenant0".."tenant<n-1>" (one extra rng draw per arrival);
+     * tenants <= 1 leaves every request on the default tenant and the
+     * rng sequence untouched.
+     */
+    unsigned tenants = 1;
+
+    /** Per-GEMM report sink wired into every worker backend (telemetry
+     * attach point). Not owned; may be null. */
+    TraceSession *session = nullptr;
+
+    /**
+     * Wall-clock mode only: wedge the first dispatched attempt in a
+     * no-heartbeat loop until the watchdog cancels it (the watchdog
+     * timeout is clamped to 250 ms so the dump fires early in the run).
+     * Exercises the flight-recorder postmortem path under real load.
+     */
+    bool inject_stall = false;
+
+    /** Called with the live server after graph registration, before any
+     * traffic — attach observers/exporters here. */
+    std::function<void(InferenceServer &)> on_server_start;
+    /** Called after the run has drained, before stats are read and the
+     * server shuts down — final telemetry sync / scrapes here. */
+    std::function<void(InferenceServer &)> on_server_drained;
 };
 
 /** Aggregated outcome of one soak run. */

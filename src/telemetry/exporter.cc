@@ -1,0 +1,268 @@
+#include "telemetry/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/threadname.h"
+#include "trace/tracer.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/** Write all of @p data, retrying short writes; false on error. */
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+std::string
+httpResponse(int code, const char *reason, const std::string &type,
+             const std::string &body)
+{
+    return strCat("HTTP/1.1 ", code, " ", reason, "\r\n",
+                  "Content-Type: ", type, "\r\n",
+                  "Content-Length: ", body.size(), "\r\n",
+                  "Connection: close\r\n\r\n", body);
+}
+
+} // namespace
+
+Expected<std::unique_ptr<MetricsHttpServer>>
+MetricsHttpServer::start(MetricsRegistry *registry,
+                         HttpExporterOptions options)
+{
+    if (!registry)
+        return Status::invalidArgument(
+            "MetricsHttpServer: null registry");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::unavailable(
+            strCat("socket(): ", std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.bind_address.c_str(),
+                    &addr.sin_addr) != 1) {
+        ::close(fd);
+        return Status::invalidArgument(
+            strCat("bad bind address '", options.bind_address, "'"));
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const Status status = Status::unavailable(
+            strCat("bind(", options.bind_address, ":", options.port,
+                   "): ", std::strerror(errno)));
+        ::close(fd);
+        return status;
+    }
+    if (::listen(fd, 16) != 0) {
+        const Status status = Status::unavailable(
+            strCat("listen(): ", std::strerror(errno)));
+        ::close(fd);
+        return status;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    uint16_t port = options.port;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        port = ntohs(bound.sin_port);
+
+    return std::unique_ptr<MetricsHttpServer>(
+        new MetricsHttpServer(registry, fd, port));
+}
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry *registry,
+                                     int listen_fd, uint16_t port)
+    : registry_(registry), listen_fd_(listen_fd), port_(port)
+{
+    thread_ = std::thread([this] {
+        Tracer::nameCurrentThread("metrics-http");
+        serveLoop();
+    });
+}
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop();
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (thread_.joinable())
+        thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        handleConnection(client);
+        ::close(client);
+    }
+}
+
+void
+MetricsHttpServer::handleConnection(int fd)
+{
+    // Read until the end of the request headers (or 8 KiB, whichever
+    // comes first); only the request line matters here.
+    std::string request;
+    char buf[1024];
+    while (request.size() < 8192 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        request.append(buf, static_cast<size_t>(n));
+    }
+    const size_t line_end = request.find("\r\n");
+    const std::string line = request.substr(
+        0, line_end == std::string::npos ? request.size() : line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    const std::string method =
+        sp1 == std::string::npos ? "" : line.substr(0, sp1);
+    std::string target = sp2 == std::string::npos
+                             ? ""
+                             : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const size_t query = target.find('?');
+        query != std::string::npos)
+        target.resize(query);
+
+    std::string response;
+    if (method != "GET") {
+        response = httpResponse(405, "Method Not Allowed", "text/plain",
+                                "method not allowed\n");
+    } else if (target == "/metrics") {
+        response = httpResponse(
+            200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            registry_->renderPrometheus());
+    } else if (target == "/healthz") {
+        response = httpResponse(200, "OK", "text/plain", "ok\n");
+    } else if (target == "/varz") {
+        response = httpResponse(200, "OK", "application/json",
+                                registry_->renderVarz());
+    } else {
+        response =
+            httpResponse(404, "Not Found", "text/plain", "not found\n");
+    }
+    writeAll(fd, response);
+}
+
+MetricsFileExporter::MetricsFileExporter(MetricsRegistry *registry,
+                                         std::string path,
+                                         std::chrono::milliseconds
+                                             interval)
+    : registry_(registry), path_(std::move(path)), interval_(interval)
+{
+    if (interval_.count() <= 0)
+        return;
+    thread_ = std::thread([this] {
+        Tracer::nameCurrentThread("metrics-file");
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        while (!stopping_.load(std::memory_order_acquire)) {
+            wake_cv_.wait_for(lock, interval_, [this] {
+                return stopping_.load(std::memory_order_acquire);
+            });
+            lock.unlock();
+            const Status status = writeOnce();
+            if (!status.ok())
+                warn(strCat("MetricsFileExporter: ",
+                            status.toString()));
+            lock.lock();
+        }
+        lock.unlock();
+        // Final write on stop, so the file reflects the run's end
+        // state rather than the last interval boundary.
+        const Status status = writeOnce();
+        if (!status.ok())
+            warn(strCat("MetricsFileExporter: ", status.toString()));
+    });
+}
+
+MetricsFileExporter::~MetricsFileExporter()
+{
+    stop();
+}
+
+void
+MetricsFileExporter::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    wake_cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+Status
+MetricsFileExporter::writeOnce()
+{
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return Status::unavailable(
+                strCat("cannot open '", tmp, "'"));
+        os << registry_->renderPrometheus();
+        if (!os)
+            return Status::unavailable(strCat("write to '", tmp,
+                                              "' failed"));
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        return Status::unavailable(strCat("rename to '", path_,
+                                          "': ", std::strerror(errno)));
+    return Status();
+}
+
+} // namespace mixgemm

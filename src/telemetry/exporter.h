@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Metrics exposition transports: an embedded HTTP listener and an
+ * interval file writer, both over a MetricsRegistry.
+ *
+ * The HTTP server is deliberately minimal — blocking sockets, one
+ * connection at a time, GET only — because its job is to let a
+ * Prometheus scraper or a curl invocation read three endpoints:
+ *
+ *   /metrics   Prometheus text exposition (format 0.0.4)
+ *   /healthz   "ok" liveness probe
+ *   /varz      the same series as JSON
+ *
+ * It binds 127.0.0.1 by default (telemetry is not an ingress surface)
+ * and supports port 0 for an ephemeral port, reported by port().
+ *
+ * The file exporter renders the exposition to <path> every interval
+ * via write-to-temp + rename, so a reader never observes a torn file.
+ * Deployments without a scraper tail the file instead.
+ */
+
+#ifndef MIXGEMM_TELEMETRY_EXPORTER_H
+#define MIXGEMM_TELEMETRY_EXPORTER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "telemetry/registry.h"
+
+namespace mixgemm
+{
+
+/** HTTP listener knobs. */
+struct HttpExporterOptions
+{
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0; ///< 0 = ephemeral (read back via port())
+};
+
+/** See the file comment. */
+class MetricsHttpServer
+{
+  public:
+    /** Bind + listen + start the accept thread. */
+    static Expected<std::unique_ptr<MetricsHttpServer>>
+    start(MetricsRegistry *registry, HttpExporterOptions options = {});
+
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /** The bound TCP port (resolved when options.port was 0). */
+    uint16_t port() const { return port_; }
+
+    /** Stop accepting and join the serving thread. Idempotent. */
+    void stop();
+
+  private:
+    MetricsHttpServer(MetricsRegistry *registry, int listen_fd,
+                      uint16_t port);
+
+    void serveLoop();
+    void handleConnection(int fd);
+
+    MetricsRegistry *registry_;
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+/** See the file comment. */
+class MetricsFileExporter
+{
+  public:
+    /**
+     * Write @p registry's exposition to @p path every @p interval.
+     * An interval of zero disables the thread — call writeOnce()
+     * manually (the mode deterministic tests use).
+     */
+    MetricsFileExporter(MetricsRegistry *registry, std::string path,
+                        std::chrono::milliseconds interval =
+                            std::chrono::milliseconds(0));
+    ~MetricsFileExporter();
+
+    MetricsFileExporter(const MetricsFileExporter &) = delete;
+    MetricsFileExporter &operator=(const MetricsFileExporter &) = delete;
+
+    /** Render and atomically replace the file now. */
+    Status writeOnce();
+
+    /** Stop the interval thread (final write included). Idempotent. */
+    void stop();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    MetricsRegistry *registry_;
+    std::string path_;
+    std::chrono::milliseconds interval_;
+    std::atomic<bool> stopping_{false};
+    std::mutex wake_mutex_;
+    std::condition_variable wake_cv_;
+    std::thread thread_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TELEMETRY_EXPORTER_H

@@ -1,0 +1,364 @@
+#include "telemetry/flight_recorder.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "trace/json.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+std::string
+formatFraction(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    return buf;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options))
+{
+    if (options_.decision_ring == 0)
+        options_.decision_ring = 1;
+    if (options_.report_ring == 0)
+        options_.report_ring = 1;
+    if (options_.terminal_ring == 0)
+        options_.terminal_ring = 1;
+}
+
+void
+FlightRecorder::recordDecision(uint64_t decision_seq,
+                               const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    decisions_.emplace_back(decision_seq, line);
+    while (decisions_.size() > options_.decision_ring)
+        decisions_.pop_front();
+}
+
+void
+FlightRecorder::recordReport(const RunReport &report)
+{
+    ReportSummary summary;
+    summary.label = report.name;
+    summary.config = report.config;
+    summary.m = report.m;
+    summary.n = report.n;
+    summary.k = report.k;
+    summary.tenant = report.tenant;
+    summary.request_id = report.request_id;
+    summary.rung = report.rung;
+    summary.kernel = report.kernel;
+    summary.kernel_mode = report.kernel_mode;
+    summary.weight_source = report.weight_source;
+    summary.bytes_packed = report.bytes_packed;
+    for (const auto &[name, histogram] : report.timers.all())
+        summary.span_counts[name] = histogram.count();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    reports_.push_back(std::move(summary));
+    while (reports_.size() > options_.report_ring)
+        reports_.pop_front();
+}
+
+void
+FlightRecorder::pruneWindowLocked(TenantWindow &window, uint64_t now_ns)
+{
+    const uint64_t horizon =
+        now_ns > options_.slo_window_ns ? now_ns - options_.slo_window_ns
+                                        : 0;
+    while (!window.samples.empty() &&
+           window.samples.front().done_ns < horizon) {
+        const WindowSample &old = window.samples.front();
+        if (old.miss)
+            --window.misses;
+        window.rung_sum -= old.rung;
+        window.samples.pop_front();
+    }
+}
+
+void
+FlightRecorder::recordTerminal(const RequestReport &report,
+                               StatusCode code)
+{
+    TerminalRecord record;
+    record.seq = report.seq;
+    record.tenant = report.tenant;
+    record.code = statusCodeName(code);
+    record.priority = report.priority;
+    record.tier = report.tier;
+    record.worker = report.worker;
+    record.attempts = report.attempts;
+    record.submit_ns = report.submit_ns;
+    if (report.start_ns != 0) {
+        record.queue_ns = report.start_ns - report.submit_ns;
+        if (report.done_ns >= report.start_ns)
+            record.exec_ns = report.done_ns - report.start_ns;
+    }
+
+    std::string trigger_reason, trigger_detail;
+    uint64_t trigger_now = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        terminals_.push_back(record);
+        while (terminals_.size() > options_.terminal_ring)
+            terminals_.pop_front();
+
+        // SLO windows track *executed* requests (dispatched to a
+        // worker); admission rejections say nothing about delivered
+        // latency or precision.
+        if (report.start_ns == 0 || report.done_ns == 0)
+            return;
+        const uint64_t now = report.done_ns;
+        const uint64_t latency = now - report.submit_ns;
+        const bool miss =
+            code == StatusCode::kDeadlineExceeded ||
+            (options_.slo_latency_ns != 0 &&
+             latency > options_.slo_latency_ns);
+
+        TenantWindow &window = windows_[report.tenant];
+        pruneWindowLocked(window, now);
+        window.samples.push_back({now, miss, report.tier});
+        if (miss)
+            ++window.misses;
+        window.rung_sum += report.tier;
+
+        if (window.samples.size() < options_.min_window_samples)
+            return;
+        const double fraction =
+            static_cast<double>(window.misses) /
+            static_cast<double>(window.samples.size());
+        const double mean_rung =
+            static_cast<double>(window.rung_sum) /
+            static_cast<double>(window.samples.size());
+        if (fraction > options_.max_miss_fraction) {
+            trigger_reason = "deadline_burn_rate";
+            trigger_detail = strCat(
+                "tenant=", report.tenant, " miss_fraction=",
+                formatFraction(fraction), " window=",
+                window.samples.size());
+            trigger_now = now;
+        } else if (options_.max_mean_rung >= 0.0 &&
+                   mean_rung > options_.max_mean_rung) {
+            trigger_reason = "precision_slo";
+            trigger_detail = strCat(
+                "tenant=", report.tenant, " mean_rung=",
+                formatFraction(mean_rung), " window=",
+                window.samples.size());
+            trigger_now = now;
+        }
+    }
+    if (!trigger_reason.empty())
+        maybeDump(trigger_reason, trigger_detail, trigger_now,
+                  /*ignore_cooldown=*/false);
+}
+
+void
+FlightRecorder::triggerWatchdog(unsigned worker, uint64_t seq,
+                                uint64_t now_ns)
+{
+    maybeDump("watchdog",
+              strCat("worker=", worker, " seq=", seq), now_ns,
+              /*ignore_cooldown=*/false);
+}
+
+void
+FlightRecorder::triggerAbftUncorrectable(uint64_t seq, uint64_t tiles,
+                                         uint64_t now_ns)
+{
+    maybeDump("abft_uncorrectable",
+              strCat("seq=", seq, " tiles=", tiles), now_ns,
+              /*ignore_cooldown=*/false);
+}
+
+void
+FlightRecorder::dumpNow(const std::string &reason,
+                        const std::string &detail, uint64_t now_ns)
+{
+    maybeDump(reason, detail, now_ns, /*ignore_cooldown=*/true);
+}
+
+void
+FlightRecorder::maybeDump(const std::string &reason,
+                          const std::string &detail, uint64_t now_ns,
+                          bool ignore_cooldown)
+{
+    std::string prefix;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        prefix =
+            prepareDumpLocked(reason, detail, now_ns, ignore_cooldown);
+    }
+    if (!prefix.empty())
+        finalizeDump(std::move(prefix));
+}
+
+std::string
+FlightRecorder::prepareDumpLocked(const std::string &reason,
+                                  const std::string &detail,
+                                  uint64_t now_ns, bool ignore_cooldown)
+{
+    if (dump_index_ >= options_.max_dumps)
+        return "";
+    if (!ignore_cooldown && dumped_once_ &&
+        now_ns - last_dump_ns_ < options_.dump_cooldown_ns)
+        return "";
+    last_dump_ns_ = now_ns;
+    dumped_once_ = true;
+
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"postmortem\": " << dump_index_ << ",\n";
+    os << "  \"reason\": \"" << jsonEscape(reason) << "\",\n";
+    os << "  \"detail\": \"" << jsonEscape(detail) << "\",\n";
+    os << "  \"t_ns\": " << now_ns << ",\n";
+
+    os << "  \"tenants\": {";
+    bool first = true;
+    for (auto &[tenant, window] : windows_) {
+        pruneWindowLocked(window, now_ns);
+        os << (first ? "\n" : ",\n");
+        first = false;
+        const uint64_t count = window.samples.size();
+        os << "    \"" << jsonEscape(tenant) << "\": {\"samples\": "
+           << count << ", \"misses\": " << window.misses
+           << ", \"miss_fraction\": "
+           << formatFraction(count ? static_cast<double>(window.misses) /
+                                         static_cast<double>(count)
+                                   : 0.0)
+           << ", \"mean_rung\": "
+           << formatFraction(count
+                                 ? static_cast<double>(window.rung_sum) /
+                                       static_cast<double>(count)
+                                 : 0.0)
+           << "}";
+    }
+    os << (first ? "}" : "\n  }") << ",\n";
+
+    os << "  \"decisions\": [";
+    first = true;
+    for (const auto &[seq, line] : decisions_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    \"" << jsonEscape(line) << "\"";
+    }
+    os << (first ? "]" : "\n  ]") << ",\n";
+
+    os << "  \"terminals\": [";
+    first = true;
+    for (const TerminalRecord &t : terminals_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"seq\": " << t.seq << ", \"tenant\": \""
+           << jsonEscape(t.tenant) << "\", \"code\": \"" << t.code
+           << "\", \"prio\": " << t.priority << ", \"tier\": " << t.tier
+           << ", \"worker\": " << t.worker << ", \"attempts\": "
+           << t.attempts << ", \"submit_ns\": " << t.submit_ns
+           << ", \"queue_ns\": " << t.queue_ns << ", \"exec_ns\": "
+           << t.exec_ns << "}";
+    }
+    os << (first ? "]" : "\n  ]") << ",\n";
+
+    os << "  \"reports\": [";
+    first = true;
+    for (const ReportSummary &r : reports_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"label\": \"" << jsonEscape(r.label)
+           << "\", \"config\": \"" << jsonEscape(r.config)
+           << "\", \"m\": " << r.m << ", \"n\": " << r.n << ", \"k\": "
+           << r.k << ", \"tenant\": \"" << jsonEscape(r.tenant)
+           << "\", \"request_id\": " << r.request_id << ", \"rung\": "
+           << r.rung << ", \"kernel\": \"" << jsonEscape(r.kernel)
+           << "\", \"kernel_mode\": \"" << jsonEscape(r.kernel_mode)
+           << "\", \"weight_source\": \""
+           << jsonEscape(r.weight_source) << "\", \"bytes_packed\": "
+           << r.bytes_packed << ", \"span_counts\": {";
+        bool first_span = true;
+        for (const auto &[name, count] : r.span_counts) {
+            os << (first_span ? "" : ", ");
+            first_span = false;
+            os << "\"" << jsonEscape(name) << "\": " << count;
+        }
+        os << "}}";
+    }
+    os << (first ? "]" : "\n  ]") << ",\n";
+    os << "  \"metrics\": \"";
+    return os.str();
+}
+
+void
+FlightRecorder::finalizeDump(std::string prefix)
+{
+    // Phase 2 runs without mutex_ held: rendering the registry runs
+    // its collectors, which may snapshot the server (taking the
+    // server's lock) — holding our lock across that would order the
+    // two mutexes against the serving hot path.
+    std::string metrics;
+    if (options_.registry)
+        metrics = options_.registry->renderPrometheus();
+    std::string bundle = std::move(prefix);
+    bundle += jsonEscape(metrics);
+    bundle += "\"\n}\n";
+
+    size_t index;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        index = dump_index_++;
+        bundles_.push_back(bundle);
+    }
+    if (!options_.dump_dir.empty()) {
+        const std::string path =
+            strCat(options_.dump_dir, "/postmortem-", index, ".json");
+        std::ofstream os(path, std::ios::trunc);
+        if (os)
+            os << bundle;
+        else
+            warn(strCat("FlightRecorder: cannot write '", path, "'"));
+    }
+}
+
+std::vector<std::string>
+FlightRecorder::bundles() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bundles_;
+}
+
+size_t
+FlightRecorder::dumpCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dump_index_;
+}
+
+std::map<std::string, TenantSloStatus>
+FlightRecorder::tenantStatus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, TenantSloStatus> out;
+    for (const auto &[tenant, window] : windows_) {
+        TenantSloStatus status;
+        status.samples = window.samples.size();
+        status.misses = window.misses;
+        status.miss_fraction =
+            status.samples ? static_cast<double>(status.misses) /
+                                 static_cast<double>(status.samples)
+                           : 0.0;
+        status.mean_rung =
+            status.samples ? static_cast<double>(window.rung_sum) /
+                                 static_cast<double>(status.samples)
+                           : 0.0;
+        out.emplace(tenant, status);
+    }
+    return out;
+}
+
+} // namespace mixgemm

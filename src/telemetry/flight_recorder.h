@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Always-on flight recorder: bounded rings of recent serving evidence
+ * (decision-log entries, GEMM RunReport summaries, request terminals)
+ * plus per-tenant SLO windows, dumped as a postmortem JSON bundle when
+ * something goes wrong.
+ *
+ * Triggers:
+ *   - the watchdog cancels a stuck worker       (triggerWatchdog)
+ *   - a GEMM ends with ABFT-uncorrectable tiles (triggerAbftUncorrectable)
+ *   - a tenant's deadline-miss burn rate over the sliding SLO window
+ *     exceeds max_miss_fraction, or its mean delivered rung exceeds
+ *     max_mean_rung                              (recordTerminal)
+ *   - an explicit dumpNow()
+ *
+ * A dump renders everything the rings hold, the per-tenant SLO status,
+ * and a current metrics snapshot into one JSON document, stored
+ * in-memory (bundles()) and — when dump_dir is set — written to
+ * dump_dir/postmortem-<N>.json, where N is the dump index (not a
+ * timestamp, so filenames are deterministic). Dumps are rate-limited
+ * by dump_cooldown_ns and capped at max_dumps per recorder.
+ *
+ * Determinism: bundles exclude wall-derived RunReport fields
+ * (wall_secs/abft_secs); every timestamp they do contain comes from
+ * the server's Clock, so under VirtualClock pump mode two same-seed
+ * soaks produce byte-identical bundles.
+ */
+
+#ifndef MIXGEMM_TELEMETRY_FLIGHT_RECORDER_H
+#define MIXGEMM_TELEMETRY_FLIGHT_RECORDER_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "telemetry/registry.h"
+#include "trace/session.h"
+
+namespace mixgemm
+{
+
+/** Flight-recorder knobs; defaults suit tests and small deployments. */
+struct FlightRecorderOptions
+{
+    size_t decision_ring = 512; ///< retained decision-log entries
+    size_t report_ring = 128;   ///< retained RunReport summaries
+    size_t terminal_ring = 256; ///< retained request terminals
+
+    /** Bundle output directory; "" keeps bundles in memory only. */
+    std::string dump_dir;
+
+    uint64_t slo_window_ns = 1'000'000'000; ///< per-tenant sliding window
+    /**
+     * A terminal counts as an SLO miss when its status is
+     * kDeadlineExceeded, or when @p slo_latency_ns is nonzero and the
+     * total latency exceeds it.
+     */
+    uint64_t slo_latency_ns = 0;
+    /** Miss fraction over the window that triggers a dump; a value
+     * above 1.0 disables the burn-rate trigger. */
+    double max_miss_fraction = 1.1;
+    /** Mean delivered rung over the window that triggers a dump
+     * (delivered-precision SLO); negative disables. */
+    double max_mean_rung = -1.0;
+    size_t min_window_samples = 16; ///< don't judge a cold window
+
+    uint64_t dump_cooldown_ns = 1'000'000'000;
+    size_t max_dumps = 16;
+
+    /** Snapshot source embedded in every bundle. Not owned; may be
+     * null (bundles then carry an empty metrics section). */
+    MetricsRegistry *registry = nullptr;
+};
+
+/** Per-tenant SLO window status (returned by tenantStatus()). */
+struct TenantSloStatus
+{
+    uint64_t samples = 0;
+    uint64_t misses = 0;
+    double miss_fraction = 0.0;
+    double mean_rung = 0.0;
+};
+
+/** See the file comment. Thread-safe. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(FlightRecorderOptions options = {});
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Feed one decision-log line (ServeObserver::onDecision). Never
+     * dumps — it is called under the server's mutex. */
+    void recordDecision(uint64_t decision_seq, const std::string &line);
+
+    /** Feed one request terminal; evaluates the SLO triggers. */
+    void recordTerminal(const RequestReport &report, StatusCode code);
+
+    /** Feed one GEMM RunReport (TraceSession report sink). */
+    void recordReport(const RunReport &report);
+
+    void triggerWatchdog(unsigned worker, uint64_t seq,
+                         uint64_t now_ns);
+    void triggerAbftUncorrectable(uint64_t seq, uint64_t tiles,
+                                  uint64_t now_ns);
+
+    /** Force a dump (ignores cooldown, honors max_dumps). */
+    void dumpNow(const std::string &reason, const std::string &detail,
+                 uint64_t now_ns);
+
+    /** All bundles produced so far, oldest first. */
+    std::vector<std::string> bundles() const;
+    size_t dumpCount() const;
+
+    /** Current SLO window status per tenant. */
+    std::map<std::string, TenantSloStatus> tenantStatus() const;
+
+  private:
+    struct TerminalRecord
+    {
+        uint64_t seq = 0;
+        std::string tenant;
+        std::string code;
+        int priority = 0;
+        unsigned tier = 0;
+        int worker = -1;
+        unsigned attempts = 0;
+        uint64_t submit_ns = 0;
+        uint64_t queue_ns = 0;
+        uint64_t exec_ns = 0;
+    };
+
+    struct ReportSummary
+    {
+        std::string label;
+        std::string config;
+        uint64_t m = 0, n = 0, k = 0;
+        std::string tenant;
+        uint64_t request_id = 0;
+        unsigned rung = 0;
+        std::string kernel;
+        std::string kernel_mode;
+        std::string weight_source;
+        uint64_t bytes_packed = 0;
+        /// Span summaries: timer name -> sample count. Durations are
+        /// wall-derived and deliberately excluded.
+        std::map<std::string, uint64_t> span_counts;
+    };
+
+    struct WindowSample
+    {
+        uint64_t done_ns = 0;
+        bool miss = false;
+        unsigned rung = 0;
+    };
+
+    struct TenantWindow
+    {
+        std::deque<WindowSample> samples;
+        uint64_t misses = 0;
+        uint64_t rung_sum = 0;
+    };
+
+    void pruneWindowLocked(TenantWindow &window, uint64_t now_ns);
+    /** Gate + phase-1 snapshot under mutex_; returns the bundle body
+     * prefix or "" when the dump is suppressed. */
+    std::string prepareDumpLocked(const std::string &reason,
+                                  const std::string &detail,
+                                  uint64_t now_ns, bool ignore_cooldown);
+    /** Phase 2/3: render metrics (no locks held), store + write. */
+    void finalizeDump(std::string prefix);
+    void maybeDump(const std::string &reason, const std::string &detail,
+                   uint64_t now_ns, bool ignore_cooldown);
+
+    FlightRecorderOptions options_;
+    mutable std::mutex mutex_;
+    std::deque<std::pair<uint64_t, std::string>> decisions_;
+    std::deque<TerminalRecord> terminals_;
+    std::deque<ReportSummary> reports_;
+    std::map<std::string, TenantWindow> windows_;
+    uint64_t last_dump_ns_ = 0;
+    bool dumped_once_ = false;
+    size_t dump_index_ = 0;
+    std::vector<std::string> bundles_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TELEMETRY_FLIGHT_RECORDER_H

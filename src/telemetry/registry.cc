@@ -1,0 +1,309 @@
+#include "telemetry/registry.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/**
+ * Deterministic shortest-ish double rendering: integral values print
+ * without a fractional part (so counters mirrored through gauges stay
+ * readable) and everything else uses %.10g, which round-trips the
+ * values this plane produces and renders identically for identical
+ * bits — the property the byte-identity tests rely on.
+ */
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+        value >= -1e15 && value <= 1e15) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<int64_t>(value));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", value);
+    }
+    return buf;
+}
+
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+appendSample(std::string &out, const std::string &name,
+             const std::string &labels, const std::string &value)
+{
+    out += name;
+    if (!labels.empty()) {
+        out += '{';
+        out += labels;
+        out += '}';
+    }
+    out += ' ';
+    out += value;
+    out += '\n';
+}
+
+/** @p labels with `extra` appended (labels may be empty). */
+std::string
+withLabel(const std::string &labels, const std::string &extra)
+{
+    if (labels.empty())
+        return extra;
+    return labels + "," + extra;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::sanitizeName(const std::string &name)
+{
+    std::string out = name.empty() ? std::string("_") : name;
+    for (size_t i = 0; i < out.size(); ++i) {
+        const char c = out[i];
+        const bool ok_head = std::isalpha(static_cast<unsigned char>(c))
+                             || c == '_' || c == ':';
+        const bool ok_tail =
+            ok_head || std::isdigit(static_cast<unsigned char>(c));
+        if (i == 0 ? !ok_head : !ok_tail)
+            out[i] = '_';
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderLabels(const MetricLabels &labels)
+{
+    std::string out;
+    for (const auto &[key, value] : labels) {
+        if (!out.empty())
+            out += ',';
+        out += sanitizeName(key);
+        out += "=\"";
+        out += escapeLabelValue(value);
+        out += '"';
+    }
+    return out;
+}
+
+MetricsRegistry::Family &
+MetricsRegistry::familyLocked(const std::string &name, Kind kind,
+                              const std::string &help)
+{
+    const std::string clean = sanitizeName(name);
+    auto [it, inserted] = families_.try_emplace(clean);
+    Family &family = it->second;
+    if (inserted) {
+        family.kind = kind;
+        family.help = help;
+    } else if (family.kind != kind) {
+        panic(strCat("MetricsRegistry: family '", clean,
+                     "' registered as two different kinds"));
+    } else if (family.help.empty() && !help.empty()) {
+        family.help = help;
+    }
+    return family;
+}
+
+MetricsRegistry::Series &
+MetricsRegistry::seriesLocked(Family &family, const MetricLabels &labels)
+{
+    const std::string key = renderLabels(labels);
+    auto [it, inserted] = family.series.try_emplace(key);
+    if (inserted)
+        it->second.labels = labels;
+    return it->second;
+}
+
+CounterMetric *
+MetricsRegistry::counter(const std::string &name, const std::string &help,
+                         const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Series &series =
+        seriesLocked(familyLocked(name, Kind::kCounter, help), labels);
+    if (!series.counter)
+        series.counter = std::make_unique<CounterMetric>();
+    return series.counter.get();
+}
+
+GaugeMetric *
+MetricsRegistry::gauge(const std::string &name, const std::string &help,
+                       const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Series &series =
+        seriesLocked(familyLocked(name, Kind::kGauge, help), labels);
+    if (!series.gauge)
+        series.gauge = std::make_unique<GaugeMetric>();
+    return series.gauge.get();
+}
+
+HistogramMetric *
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help,
+                           const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Series &series =
+        seriesLocked(familyLocked(name, Kind::kHistogram, help), labels);
+    if (!series.histogram)
+        series.histogram = std::make_unique<HistogramMetric>();
+    return series.histogram.get();
+}
+
+void
+MetricsRegistry::addCollector(std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors_.push_back(std::move(fn));
+}
+
+void
+MetricsRegistry::runCollectors() const
+{
+    // Copy first: collectors may register metrics (which locks), so
+    // they must run without the registry mutex held.
+    std::vector<std::function<void()>> collectors;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        collectors = collectors_;
+    }
+    for (const auto &fn : collectors)
+        fn();
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    runCollectors();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto &[name, family] : families_) {
+        if (!family.help.empty()) {
+            out += "# HELP ";
+            out += name;
+            out += ' ';
+            out += family.help;
+            out += '\n';
+        }
+        out += "# TYPE ";
+        out += name;
+        out += ' ';
+        switch (family.kind) {
+          case Kind::kCounter: out += "counter"; break;
+          case Kind::kGauge: out += "gauge"; break;
+          case Kind::kHistogram: out += "summary"; break;
+        }
+        out += '\n';
+        for (const auto &[label_key, series] : family.series) {
+            switch (family.kind) {
+              case Kind::kCounter:
+                appendSample(out, name, label_key,
+                             std::to_string(series.counter->value()));
+                break;
+              case Kind::kGauge:
+                appendSample(out, name, label_key,
+                             formatDouble(series.gauge->value()));
+                break;
+              case Kind::kHistogram: {
+                const LogHistogram h = series.histogram->snapshot();
+                for (const double q : {0.5, 0.95, 0.99}) {
+                    appendSample(
+                        out, name,
+                        withLabel(label_key,
+                                  strCat("quantile=\"", formatDouble(q),
+                                         "\"")),
+                        formatDouble(h.percentile(q * 100.0)));
+                }
+                appendSample(out, name + "_sum", label_key,
+                             std::to_string(h.sum()));
+                appendSample(out, name + "_count", label_key,
+                             std::to_string(h.count()));
+                break;
+              }
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderVarz() const
+{
+    runCollectors();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{";
+    bool first_family = true;
+    for (const auto &[name, family] : families_) {
+        os << (first_family ? "\n" : ",\n");
+        first_family = false;
+        os << "  \"" << name << "\": {\"type\": \"";
+        switch (family.kind) {
+          case Kind::kCounter: os << "counter"; break;
+          case Kind::kGauge: os << "gauge"; break;
+          case Kind::kHistogram: os << "summary"; break;
+        }
+        os << "\", \"series\": [";
+        bool first_series = true;
+        for (const auto &[label_key, series] : family.series) {
+            os << (first_series ? "\n" : ",\n");
+            first_series = false;
+            os << "    {\"labels\": {";
+            bool first_label = true;
+            for (const auto &[k, v] : series.labels) {
+                os << (first_label ? "" : ", ");
+                first_label = false;
+                os << "\"" << sanitizeName(k) << "\": \""
+                   << escapeLabelValue(v) << "\"";
+            }
+            os << "}, ";
+            switch (family.kind) {
+              case Kind::kCounter:
+                os << "\"value\": " << series.counter->value();
+                break;
+              case Kind::kGauge:
+                os << "\"value\": "
+                   << formatDouble(series.gauge->value());
+                break;
+              case Kind::kHistogram: {
+                const LogHistogram h = series.histogram->snapshot();
+                os << "\"count\": " << h.count() << ", \"sum\": "
+                   << h.sum() << ", \"p50\": "
+                   << formatDouble(h.percentile(50)) << ", \"p95\": "
+                   << formatDouble(h.percentile(95)) << ", \"p99\": "
+                   << formatDouble(h.percentile(99));
+                break;
+              }
+            }
+            os << "}";
+        }
+        os << (first_series ? "]" : "\n  ]") << "}";
+    }
+    os << (first_family ? "}" : "\n}") << "\n";
+    return os.str();
+}
+
+} // namespace mixgemm

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Lock-light metrics registry with Prometheus text exposition.
+ *
+ * The registry holds labeled *families* of three instrument kinds:
+ *
+ *   CounterMetric    monotone uint64 (one relaxed atomic add to bump)
+ *   GaugeMetric      instantaneous double (one atomic store to set)
+ *   HistogramMetric  log-scale LogHistogram (trace/metrics.h buckets),
+ *                    rendered as a Prometheus summary with
+ *                    quantile 0.5/0.95/0.99 plus _sum/_count
+ *
+ * Registration (counter()/gauge()/histogram()) takes the registry
+ * mutex once and returns a stable pointer; the hot path then updates
+ * through that pointer without touching the registry again, so a GEMM
+ * worker bumping a counter costs one atomic RMW. Rendering walks
+ * std::maps keyed by metric and serialized label set, so two renders
+ * over identical values are byte-identical — the property the
+ * VirtualClock determinism tests pin.
+ *
+ * Collectors registered with addCollector() run at the start of every
+ * render; pull-style sources (server stats snapshots, pack counters)
+ * use them to refresh their metrics lazily instead of hooking every
+ * update site.
+ */
+
+#ifndef MIXGEMM_TELEMETRY_REGISTRY_H
+#define MIXGEMM_TELEMETRY_REGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/metrics.h"
+
+namespace mixgemm
+{
+
+/** Label set attached to one series; ordered so rendering is stable. */
+using MetricLabels = std::map<std::string, std::string>;
+
+/** Monotone counter. Thread-safe; updates are relaxed atomics. */
+class CounterMetric
+{
+  public:
+    void add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /**
+     * Raise to @p value if it is larger (CAS loop). Pull-style sources
+     * that sync from an external monotone snapshot use this so a
+     * concurrent direct add() can never be lost or double-counted
+     * backwards.
+     */
+    void setMax(uint64_t value)
+    {
+        uint64_t cur = value_.load(std::memory_order_relaxed);
+        while (cur < value &&
+               !value_.compare_exchange_weak(cur, value,
+                                             std::memory_order_relaxed))
+            ;
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous value. Thread-safe; set/read are atomic. */
+class GaugeMetric
+{
+  public:
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Log-scale histogram series (LogHistogram buckets). observe() is for
+ * push-style samples; set() replaces the whole histogram from a merged
+ * snapshot (the server's latency MetricSet). Guarded by a per-metric
+ * mutex — histogram updates are off the per-tile hot path.
+ */
+class HistogramMetric
+{
+  public:
+    void observe(uint64_t value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_.add(value);
+    }
+
+    void set(const LogHistogram &histogram)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_ = histogram;
+    }
+
+    LogHistogram snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return histogram_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    LogHistogram histogram_;
+};
+
+/** See the file comment. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * The series of family @p name with @p labels, created on first
+     * use. @p help is recorded on family creation (later calls may pass
+     * ""). Returned pointers stay valid for the registry's lifetime.
+     * Invalid metric-name characters are rewritten to '_'; registering
+     * the same name as two different kinds panics.
+     */
+    CounterMetric *counter(const std::string &name,
+                           const std::string &help = "",
+                           const MetricLabels &labels = {});
+    GaugeMetric *gauge(const std::string &name,
+                       const std::string &help = "",
+                       const MetricLabels &labels = {});
+    HistogramMetric *histogram(const std::string &name,
+                               const std::string &help = "",
+                               const MetricLabels &labels = {});
+
+    /**
+     * Run @p fn at the start of every render (exposition or varz), in
+     * registration order. Collectors may register/update metrics; they
+     * must not render (re-entrant render deadlocks).
+     */
+    void addCollector(std::function<void()> fn);
+
+    /** Prometheus text exposition (format 0.0.4). Runs collectors. */
+    std::string renderPrometheus() const;
+
+    /** JSON rendering of the same series ("/varz"). Runs collectors. */
+    std::string renderVarz() const;
+
+    /** Serialize {a:"x",b:"y"} as `a="x",b="y"` (exposed for tests). */
+    static std::string renderLabels(const MetricLabels &labels);
+
+    /** Rewrite @p name to [a-zA-Z_:][a-zA-Z0-9_:]* (exposed for tests). */
+    static std::string sanitizeName(const std::string &name);
+
+  private:
+    enum class Kind
+    {
+        kCounter,
+        kGauge,
+        kHistogram
+    };
+
+    struct Series
+    {
+        MetricLabels labels;
+        std::unique_ptr<CounterMetric> counter;
+        std::unique_ptr<GaugeMetric> gauge;
+        std::unique_ptr<HistogramMetric> histogram;
+    };
+
+    struct Family
+    {
+        Kind kind = Kind::kCounter;
+        std::string help;
+        /// Keyed by rendered label string, so iteration (and therefore
+        /// exposition) is deterministic.
+        std::map<std::string, Series> series;
+    };
+
+    Family &familyLocked(const std::string &name, Kind kind,
+                         const std::string &help);
+    Series &seriesLocked(Family &family, const MetricLabels &labels);
+    void runCollectors() const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Family> families_;
+    std::vector<std::function<void()>> collectors_;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TELEMETRY_REGISTRY_H

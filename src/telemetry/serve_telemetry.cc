@@ -1,0 +1,341 @@
+#include "telemetry/serve_telemetry.h"
+
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+ServeTelemetry::ServeTelemetry(ServeTelemetryOptions options)
+    : options_(std::move(options)), pack_baseline_(packCounters())
+{
+    if (!options_.registry)
+        fatal("ServeTelemetry: a MetricsRegistry is required");
+    abft_uncorrectable_events_ = options_.registry->counter(
+        "mixgemm_abft_uncorrectable_events_total",
+        "GEMMs that finished with ABFT-uncorrectable tiles",
+        {{"model", options_.model}});
+}
+
+CounterMetric *
+ServeTelemetry::serveCounter(const std::string &name,
+                             const std::string &help)
+{
+    return options_.registry->counter(name, help,
+                                      {{"model", options_.model}});
+}
+
+void
+ServeTelemetry::attachServer(InferenceServer *server)
+{
+    server_ = server;
+    server->setObserver(this);
+    options_.registry->addCollector([this] { sync(); });
+}
+
+void
+ServeTelemetry::attachSession(TraceSession *session, bool keep_reports)
+{
+    session->setReportSink(
+        [this](const RunReport &report) { onRunReport(report); },
+        keep_reports);
+}
+
+void
+ServeTelemetry::onDecision(uint64_t decision_seq,
+                           const std::string &line)
+{
+    if (options_.recorder)
+        options_.recorder->recordDecision(decision_seq, line);
+}
+
+void
+ServeTelemetry::onTerminal(const RequestReport &report, StatusCode code)
+{
+    options_.registry
+        ->counter("mixgemm_tenant_requests_total",
+                  "Request terminals per tenant and status code",
+                  {{"tenant", report.tenant},
+                   {"code", statusCodeName(code)}})
+        ->add(1);
+    // Latency is clock-derived (virtual time under VirtualClock), so
+    // the summary stays deterministic in pump mode.
+    if (report.start_ns != 0 && report.done_ns != 0)
+        options_.registry
+            ->histogram("mixgemm_tenant_latency_ns",
+                        "Total request latency per tenant",
+                        {{"tenant", report.tenant}})
+            ->observe(report.done_ns - report.submit_ns);
+    if (options_.recorder)
+        options_.recorder->recordTerminal(report, code);
+}
+
+void
+ServeTelemetry::onWatchdogCancel(unsigned worker, uint64_t seq,
+                                 uint64_t now_ns)
+{
+    if (options_.recorder)
+        options_.recorder->triggerWatchdog(worker, seq, now_ns);
+}
+
+void
+ServeTelemetry::onAbftUncorrectable(uint64_t seq, uint64_t tiles,
+                                    uint64_t now_ns)
+{
+    abft_uncorrectable_events_->add(1);
+    if (options_.recorder)
+        options_.recorder->triggerAbftUncorrectable(seq, tiles, now_ns);
+}
+
+void
+ServeTelemetry::onRunReport(const RunReport &report)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = config_series_.try_emplace(report.config);
+    ConfigSeries &series = it->second;
+    if (inserted) {
+        const MetricLabels labels{{"config", report.config}};
+        series.gemms = options_.registry->counter(
+            "mixgemm_gemm_total", "GEMMs executed per configuration",
+            labels);
+        series.ops = options_.registry->counter(
+            "mixgemm_gemm_ops_total",
+            "Multiply-accumulate operations (2*m*n*k) per configuration",
+            labels);
+        if (options_.include_wall_metrics) {
+            series.gops = options_.registry->gauge(
+                "mixgemm_gemm_gops",
+                "Most recent achieved GOPS per configuration", labels);
+            series.peak_gops = options_.registry->gauge(
+                "mixgemm_gemm_peak_gops",
+                "Reference peak GOPS (autotuner measurement, or the "
+                "running maximum achieved)",
+                labels);
+            series.efficiency = options_.registry->gauge(
+                "mixgemm_roofline_efficiency",
+                "Achieved / peak GOPS per configuration", labels);
+            if (options_.tuning)
+                for (const TuningEntry &entry :
+                     options_.tuning->entries)
+                    if (entry.config == report.config &&
+                        entry.gops > 0.0)
+                        series.peak_seen = entry.gops;
+        }
+    }
+    series.gemms->add(1);
+    series.ops->add(2 * report.m * report.n * report.k);
+    // Exact per-GEMM counters (μ-vector instruction mix, ABFT verdicts,
+    // panel counts) aggregate additively per configuration.
+    for (const auto &[name, value] : report.counters.all()) {
+        auto [cit, cinserted] = series.counters.try_emplace(name);
+        if (cinserted)
+            cit->second = options_.registry->counter(
+                "mixgemm_gemm_counter_total",
+                "Per-GEMM driver counters, summed per configuration",
+                {{"config", report.config}, {"name", name}});
+        cit->second->add(value);
+    }
+
+    if (options_.include_wall_metrics && report.wall_secs > 0.0) {
+        const double ops =
+            2.0 * static_cast<double>(report.m) *
+            static_cast<double>(report.n) *
+            static_cast<double>(report.k);
+        const double achieved = ops / report.wall_secs / 1e9;
+        if (achieved > series.peak_seen)
+            series.peak_seen = achieved;
+        series.gops->set(achieved);
+        series.peak_gops->set(series.peak_seen);
+        series.efficiency->set(
+            series.peak_seen > 0.0 ? achieved / series.peak_seen : 0.0);
+    }
+
+    if (options_.recorder)
+        options_.recorder->recordReport(report);
+}
+
+void
+ServeTelemetry::sync()
+{
+    if (!server_)
+        return;
+    const ServerStats stats = server_->stats();
+    const std::string &model = options_.model;
+
+    serveCounter("mixgemm_serve_submitted_total", "Requests submitted")
+        ->setMax(stats.submitted);
+    serveCounter("mixgemm_serve_admitted_total",
+                 "Requests that reached the queue")
+        ->setMax(stats.admitted);
+    serveCounter("mixgemm_serve_completed_ok_total",
+                 "Requests completed successfully")
+        ->setMax(stats.completed_ok);
+    serveCounter("mixgemm_serve_shed_total",
+                 "Requests displaced by higher-priority work")
+        ->setMax(stats.shed);
+    serveCounter("mixgemm_serve_deadline_miss_total",
+                 "Requests whose deadline passed during execution")
+        ->setMax(stats.deadline_exceeded);
+    serveCounter("mixgemm_serve_cancelled_total", "Requests cancelled")
+        ->setMax(stats.cancelled);
+    serveCounter("mixgemm_serve_failed_total",
+                 "Requests with other terminal failures")
+        ->setMax(stats.failed);
+    serveCounter("mixgemm_serve_retries_total",
+                 "Extra execution attempts taken")
+        ->setMax(stats.retries);
+    serveCounter("mixgemm_serve_degrade_steps_total",
+                 "Degradation level increases")
+        ->setMax(stats.degrade_steps);
+    serveCounter("mixgemm_serve_recover_steps_total",
+                 "Degradation level decreases")
+        ->setMax(stats.recover_steps);
+    serveCounter("mixgemm_serve_watchdog_cancels_total",
+                 "Stuck-worker cancellations")
+        ->setMax(stats.watchdog_cancels);
+    serveCounter("mixgemm_serve_rung_materializations_total",
+                 "Lazy ladder rungs built on demand")
+        ->setMax(stats.rung_materializations);
+    serveCounter("mixgemm_serve_rung_evictions_total",
+                 "Lazy ladder rungs evicted by the byte budget")
+        ->setMax(stats.rung_evictions);
+    serveCounter("mixgemm_serve_decisions_dropped_total",
+                 "Decision-log entries dropped past the retention cap")
+        ->setMax(stats.decisions_dropped);
+    options_.registry
+        ->counter("mixgemm_serve_rejected_total",
+                  "Requests rejected at admission, by reason",
+                  {{"model", model}, {"reason", "full"}})
+        ->setMax(stats.rejected_full);
+    options_.registry
+        ->counter("mixgemm_serve_rejected_total", "",
+                  {{"model", model}, {"reason", "invalid"}})
+        ->setMax(stats.rejected_invalid);
+    options_.registry
+        ->counter("mixgemm_serve_rejected_total", "",
+                  {{"model", model}, {"reason", "closed"}})
+        ->setMax(stats.rejected_closed);
+    options_.registry
+        ->counter("mixgemm_serve_expired_total",
+                  "Requests whose deadline passed before execution",
+                  {{"model", model}, {"stage", "submit"}})
+        ->setMax(stats.expired_submit);
+    options_.registry
+        ->counter("mixgemm_serve_expired_total", "",
+                  {{"model", model}, {"stage", "queue"}})
+        ->setMax(stats.expired_queue);
+
+    options_.registry
+        ->gauge("mixgemm_serve_queue_depth", "Admission queue depth",
+                {{"model", model}})
+        ->set(static_cast<double>(stats.queue_depth));
+    options_.registry
+        ->gauge("mixgemm_serve_degradation_level",
+                "Current precision degradation level",
+                {{"model", model}})
+        ->set(static_cast<double>(stats.degradation_level));
+    options_.registry
+        ->gauge("mixgemm_serve_lazy_resident_bytes",
+                "Pooled footprint of materialized lazy rungs",
+                {{"model", model}})
+        ->set(static_cast<double>(stats.lazy_resident_bytes));
+    options_.registry
+        ->gauge("mixgemm_serve_lazy_rungs_resident",
+                "Materialized lazy rungs", {{"model", model}})
+        ->set(static_cast<double>(stats.lazy_rungs_resident));
+
+    for (size_t rung = 0; rung < stats.completed_by_tier.size(); ++rung)
+        options_.registry
+            ->counter("mixgemm_serve_completed_total",
+                      "Successful completions per delivered rung",
+                      {{"model", model},
+                       {"rung", std::to_string(rung)}})
+            ->setMax(stats.completed_by_tier[rung]);
+
+    for (const auto &[priority, cls] : stats.by_priority) {
+        const std::string cls_label = strCat("p", priority);
+        const auto class_counter = [&](const char *event,
+                                       uint64_t value) {
+            options_.registry
+                ->counter("mixgemm_serve_class_total",
+                          "Per-priority-class terminal accounting",
+                          {{"class", cls_label}, {"event", event}})
+                ->setMax(value);
+        };
+        class_counter("submitted", cls.submitted);
+        class_counter("completed_ok", cls.completed_ok);
+        class_counter("shed", cls.shed);
+        class_counter("rejected_full", cls.rejected_full);
+        class_counter("rejected_invalid", cls.rejected_invalid);
+        class_counter("rejected_closed", cls.rejected_closed);
+        class_counter("expired_submit", cls.expired_submit);
+        class_counter("expired_queue", cls.expired_queue);
+        class_counter("deadline_exceeded", cls.deadline_exceeded);
+        class_counter("cancelled", cls.cancelled);
+        class_counter("failed", cls.failed);
+        class_counter("degraded", cls.degraded);
+    }
+
+    // Latency summaries from the server's merged histograms; virtual
+    // time in pump mode, so deterministic there.
+    const MetricSet latency = server_->latencyMetrics();
+    for (const auto &[name, histogram] : latency.all()) {
+        std::string path = name; // "serve/queue_ns" -> "queue"
+        if (const size_t slash = path.find('/');
+            slash != std::string::npos)
+            path = path.substr(slash + 1);
+        if (const size_t suffix = path.rfind("_ns");
+            suffix != std::string::npos && suffix + 3 == path.size())
+            path = path.substr(0, suffix);
+        options_.registry
+            ->histogram("mixgemm_serve_latency_ns",
+                        "Request latency by pipeline stage",
+                        {{"model", model}, {"path", path}})
+            ->set(histogram);
+    }
+
+    // Packing work since this telemetry instance attached: deltas from
+    // the construction-time baseline, so process-global history from
+    // earlier runs in the same process never leaks into this render.
+    const PackCounters packs = packCounters();
+    options_.registry
+        ->counter("mixgemm_pack_runs_total",
+                  "Operand packing runs since telemetry attach",
+                  {{"operand", "a"}})
+        ->setMax(packs.a_packs - pack_baseline_.a_packs);
+    options_.registry
+        ->counter("mixgemm_pack_runs_total", "", {{"operand", "b"}})
+        ->setMax(packs.b_packs - pack_baseline_.b_packs);
+    options_.registry
+        ->counter("mixgemm_cluster_builds_total",
+                  "Cluster-panel expansions since telemetry attach")
+        ->setMax(packs.cluster_builds - pack_baseline_.cluster_builds);
+    options_.registry
+        ->counter("mixgemm_pack_adoptions_total",
+                  "Zero-copy borrowed-storage adoptions since attach")
+        ->setMax(packs.adoptions - pack_baseline_.adoptions);
+
+    if (options_.recorder) {
+        options_.registry
+            ->counter("mixgemm_postmortem_dumps_total",
+                      "Flight-recorder postmortem bundles produced",
+                      {{"model", model}})
+            ->setMax(options_.recorder->dumpCount());
+        for (const auto &[tenant, status] :
+             options_.recorder->tenantStatus()) {
+            options_.registry
+                ->gauge("mixgemm_tenant_slo_miss_fraction",
+                        "Deadline/latency miss fraction over the SLO "
+                        "window",
+                        {{"tenant", tenant}})
+                ->set(status.miss_fraction);
+            options_.registry
+                ->gauge("mixgemm_tenant_slo_mean_rung",
+                        "Mean delivered precision rung over the SLO "
+                        "window",
+                        {{"tenant", tenant}})
+                ->set(status.mean_rung);
+        }
+    }
+}
+
+} // namespace mixgemm

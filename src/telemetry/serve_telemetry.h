@@ -1,0 +1,139 @@
+/**
+ * @file
+ * ServeTelemetry: wires the serving stack into the telemetry plane.
+ *
+ * One instance implements ServeObserver (decision log, terminals,
+ * watchdog, ABFT), consumes TraceSession RunReports through the report
+ * sink, and registers a pull collector that snapshots
+ * InferenceServer::stats() into labeled metric families on every
+ * render. It owns no subsystem — registry, recorder, server and
+ * session all outlive it by contract.
+ *
+ * Exported families (all prefixed mixgemm_):
+ *   serve_* counters/gauges     admission, terminals, degradation,
+ *                               watchdog, lazy-rung pool (model label)
+ *   serve_class_total           per-priority-class terminal accounting
+ *   serve_completed_total       ok completions per delivered rung
+ *   serve_latency_ns            queue/exec/total latency summaries
+ *   tenant_requests_total       terminals per tenant and status code
+ *   tenant_latency_ns           per-tenant total-latency summary
+ *   tenant_slo_*                per-tenant SLO window (via recorder)
+ *   pack_*_total                packing/adoption work since attach
+ *   gemm_*                      per-config GEMM counts, ops, counters
+ *                               (ABFT verdicts included)
+ *   gemm_gops / roofline        achieved GMACs/s vs the autotuned
+ *                               kernel's measured peak (wall mode only)
+ *   postmortem_dumps_total      flight-recorder dumps
+ *
+ * Determinism: with include_wall_metrics = false (VirtualClock pump
+ * mode) every wall-derived family (roofline, achieved gops) is
+ * suppressed, so two same-seed soaks render byte-identical
+ * expositions. Pack counters are exported as deltas from a baseline
+ * captured at construction, so process-global packing history cannot
+ * leak between runs.
+ */
+
+#ifndef MIXGEMM_TELEMETRY_SERVE_TELEMETRY_H
+#define MIXGEMM_TELEMETRY_SERVE_TELEMETRY_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "gemm/kernels/autotune.h"
+#include "serve/server.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "tensor/packing.h"
+#include "trace/session.h"
+
+namespace mixgemm
+{
+
+/** Construction knobs; registry is required, the rest optional. */
+struct ServeTelemetryOptions
+{
+    MetricsRegistry *registry = nullptr; ///< required, not owned
+    FlightRecorder *recorder = nullptr;  ///< optional, not owned
+    /** Autotuner measurements: per-config measured peak GOPS for the
+     * roofline gauge. Optional; without it the peak is the running max
+     * of achieved throughput per config. Not owned. */
+    const TuningSet *tuning = nullptr;
+    /** False under VirtualClock pump mode: suppress every wall-derived
+     * family so renders are deterministic. */
+    bool include_wall_metrics = true;
+    std::string model = "default"; ///< model label on serve_* families
+};
+
+/** See the file comment. */
+class ServeTelemetry : public ServeObserver
+{
+  public:
+    explicit ServeTelemetry(ServeTelemetryOptions options);
+
+    ServeTelemetry(const ServeTelemetry &) = delete;
+    ServeTelemetry &operator=(const ServeTelemetry &) = delete;
+
+    /**
+     * Install this instance as @p server's observer and register the
+     * stats collector. Call before traffic; the server must outlive
+     * this object's attachment (detach with server.setObserver(nullptr)
+     * before destroying either).
+     */
+    void attachServer(InferenceServer *server);
+
+    /**
+     * Route @p session's RunReports into onRunReport (and the flight
+     * recorder). @p keep_reports false stops the session accumulating
+     * reports — the right setting for long soaks.
+     */
+    void attachSession(TraceSession *session, bool keep_reports = true);
+
+    // ServeObserver
+    void onDecision(uint64_t decision_seq,
+                    const std::string &line) override;
+    void onTerminal(const RequestReport &report,
+                    StatusCode code) override;
+    void onWatchdogCancel(unsigned worker, uint64_t seq,
+                          uint64_t now_ns) override;
+    void onAbftUncorrectable(uint64_t seq, uint64_t tiles,
+                             uint64_t now_ns) override;
+
+    /** One GEMM RunReport (fed by the session sink). */
+    void onRunReport(const RunReport &report);
+
+    /** Pull snapshot: server stats, latency summaries, pack counters,
+     * SLO gauges. Runs automatically on every render once
+     * attachServer() registered the collector. */
+    void sync();
+
+  private:
+    CounterMetric *serveCounter(const std::string &name,
+                                const std::string &help);
+
+    ServeTelemetryOptions options_;
+    InferenceServer *server_ = nullptr;
+    PackCounters pack_baseline_;
+
+    // Hot-path cache: per-config series pointers so onRunReport does
+    // one map lookup instead of re-rendering label strings per metric.
+    struct ConfigSeries
+    {
+        CounterMetric *gemms = nullptr;
+        CounterMetric *ops = nullptr;
+        std::map<std::string, CounterMetric *> counters;
+        GaugeMetric *gops = nullptr;
+        GaugeMetric *peak_gops = nullptr;
+        GaugeMetric *efficiency = nullptr;
+        double peak_seen = 0.0; ///< running max fallback
+    };
+
+    std::mutex mutex_; ///< guards config_series_ and abft counters
+    std::map<std::string, ConfigSeries> config_series_;
+    CounterMetric *abft_uncorrectable_events_ = nullptr;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_TELEMETRY_SERVE_TELEMETRY_H

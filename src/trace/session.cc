@@ -91,6 +91,10 @@ runReportToJson(const RunReport &report, const std::string &indent)
        << jsonEscape(report.weight_source) << "\",\n";
     os << indent << "  \"bytes_mapped\": " << report.bytes_mapped
        << ",\n";
+    os << indent << "  \"tenant\": \"" << jsonEscape(report.tenant)
+       << "\",\n";
+    os << indent << "  \"request_id\": " << report.request_id << ",\n";
+    os << indent << "  \"rung\": " << report.rung << ",\n";
     os << indent << "  \"counters\": ";
     writeCountersJson(os, report.counters, indent + "  ");
     os << ",\n";
@@ -120,8 +124,28 @@ TraceSession::recordTimerNs(const std::string &name, uint64_t ns)
 void
 TraceSession::addReport(RunReport report)
 {
+    std::function<void(const RunReport &)> sink;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sink = report_sink_;
+        if (keep_reports_) {
+            reports_.push_back(report);
+        }
+    }
+    // The sink runs outside the session mutex: it may take its own
+    // locks (metrics registry, flight recorder) and must not deadlock
+    // against concurrent reports()/addReport callers.
+    if (sink)
+        sink(report);
+}
+
+void
+TraceSession::setReportSink(std::function<void(const RunReport &)> sink,
+                            bool keep_reports)
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    reports_.push_back(std::move(report));
+    report_sink_ = std::move(sink);
+    keep_reports_ = keep_reports;
 }
 
 std::vector<RunReport>

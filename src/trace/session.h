@@ -24,6 +24,7 @@
 #define MIXGEMM_TRACE_SESSION_H
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -36,6 +37,20 @@
 
 namespace mixgemm
 {
+
+/**
+ * Request-scoped trace identity. The serving layer stamps one of these
+ * onto each executed request; it flows InferenceServer → backend →
+ * BlockingParams → RunReport and into decision-log lines, so one
+ * request's admission, queue wait, GEMM spans and verdicts stitch into
+ * a single story across artifacts. Purely observational.
+ */
+struct RequestContext
+{
+    uint64_t request_id = 0; ///< server-assigned sequence number
+    std::string tenant;      ///< submitting tenant ("" when unscoped)
+    unsigned rung = 0;       ///< precision-ladder rung executed
+};
 
 /** Structured record of one GEMM execution. */
 struct RunReport
@@ -58,6 +73,10 @@ struct RunReport
     /// owned) or "store-mmap" (zero-copy mapped artifact).
     std::string weight_source = "packed";
     uint64_t bytes_mapped = 0; ///< borrowed mmap-backed operand bytes
+    /// Request-scoped identity (serving path; zero/"" when standalone).
+    std::string tenant;
+    uint64_t request_id = 0;
+    unsigned rung = 0;
     CounterSet counters;
     MetricSet timers; ///< merged per-worker timer histograms (ns)
 };
@@ -86,6 +105,16 @@ class TraceSession
     /** Append one run report (thread-safe). */
     void addReport(RunReport report);
 
+    /**
+     * Register a sink invoked (outside the session mutex) with every
+     * report passed to addReport — the telemetry plane's live feed.
+     * With @p keep_reports false the session stops accumulating reports
+     * so long soaks don't grow unbounded. Not thread-safe against
+     * concurrent addReport; install before instrumented work starts.
+     */
+    void setReportSink(std::function<void(const RunReport &)> sink,
+                       bool keep_reports = true);
+
     /** Copies of the collected reports / session metrics. */
     std::vector<RunReport> reports() const;
     MetricSet metrics() const;
@@ -111,6 +140,8 @@ class TraceSession
     mutable std::mutex mutex_;
     MetricSet metrics_;
     std::vector<RunReport> reports_;
+    std::function<void(const RunReport &)> report_sink_;
+    bool keep_reports_ = true;
 };
 
 } // namespace mixgemm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/threadname.h"
 #include "trace/json.h"
 
 namespace mixgemm
@@ -93,8 +94,22 @@ Tracer::threadRing()
     std::lock_guard<std::mutex> lock(mutex_);
     rings_.push_back(std::make_unique<TraceRing>(
         static_cast<unsigned>(rings_.size()), ring_capacity_));
+    rings_.back()->setName(currentThreadName());
     t_slot = {generation_, rings_.back().get()};
     return t_slot.ring;
+}
+
+void
+Tracer::nameCurrentThread(const std::string &name)
+{
+    setCurrentThreadName(name);
+    // If this thread already registered a ring with the active tracer,
+    // rename it in place; the ring is single-writer (this thread), and
+    // readers require quiescence anyway.
+    Tracer *tracer = active();
+    if (tracer && t_slot.generation == tracer->generation_ &&
+        t_slot.ring)
+        t_slot.ring->setName(name);
 }
 
 void
@@ -147,10 +162,23 @@ Tracer::snapshot() const
     return out;
 }
 
+std::vector<Tracer::RingStats>
+Tracer::ringStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<RingStats> out;
+    out.reserve(rings_.size());
+    for (const auto &ring : rings_)
+        out.push_back({ring->tid(), ring->name(), ring->recorded(),
+                       ring->dropped(), ring->capacity()});
+    return out;
+}
+
 void
 Tracer::writeJson(std::ostream &os) const
 {
     const auto threads = snapshot();
+    const auto stats = ringStats();
     os << "{\"traceEvents\":[\n";
     bool first = true;
     auto sep = [&] {
@@ -162,12 +190,23 @@ Tracer::writeJson(std::ostream &os) const
     sep();
     os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
           "\"args\":{\"name\":\"mixgemm\"}}";
-    for (const auto &[tid, events] : threads) {
+    for (const Tracer::RingStats &ring : stats) {
         sep();
-        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread-"
-           << tid << "\"}}";
-        (void)events;
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << ring.tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+        if (ring.name.empty())
+            os << "thread-" << ring.tid;
+        else
+            os << jsonEscape(ring.name);
+        os << "\"}}";
+        // Ring accounting as metadata: a wrapped ring announces how
+        // many events it lost instead of exporting a silently short
+        // track.
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << ring.tid
+           << ",\"name\":\"mixgemm_ring\",\"args\":{\"recorded\":"
+           << ring.recorded << ",\"dropped\":" << ring.dropped
+           << ",\"capacity\":" << ring.capacity << "}}";
     }
 
     // Complete ("X") events; timestamps in microseconds with ns

@@ -84,6 +84,10 @@ class TraceRing
         ++head_;
     }
 
+    /** Owner's thread name ("worker3", "watchdog", ...; may be ""). */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
     unsigned tid() const { return tid_; }
     /** Events ever pushed (monotone; may exceed capacity). */
     uint64_t recorded() const { return head_; }
@@ -99,6 +103,7 @@ class TraceRing
 
   private:
     unsigned tid_;
+    std::string name_;
     size_t mask_;
     uint64_t head_ = 0;
     std::vector<TraceEvent> buffer_;
@@ -145,11 +150,33 @@ class Tracer
     void record(const char *category, const char *name,
                 uint64_t start_ns, uint64_t dur_ns);
 
+    /**
+     * Name the calling thread for trace exports: records the name in
+     * the process-wide slot (common/threadname.h, picked up when a ring
+     * registers) and renames an already-registered ring of the active
+     * tracer in place. Call from the thread being named.
+     */
+    static void nameCurrentThread(const std::string &name);
+
     /** Total events recorded / dropped across all rings. */
     uint64_t eventsRecorded() const;
     uint64_t eventsDropped() const;
     /** Threads that recorded at least one span. */
     unsigned threadCount() const;
+
+    /** Per-ring accounting, exported as trace metadata so a truncated
+     * ring is visible in the UI instead of silently short. */
+    struct RingStats
+    {
+        unsigned tid = 0;
+        std::string name;
+        uint64_t recorded = 0;
+        uint64_t dropped = 0;
+        size_t capacity = 0;
+    };
+
+    /** One RingStats per registered ring. Requires quiescence. */
+    std::vector<RingStats> ringStats() const;
 
     /**
      * Retained events per thread id, oldest first. Requires writer

@@ -924,6 +924,18 @@ TEST(Soak, SameSeedProducesByteIdenticalDecisionLogs)
     EXPECT_GT(first.goodput_rps, 0.0);
 }
 
+TEST(Soak, DecisionLogEntriesCarryMonotonicSequenceAndTimestamp)
+{
+    const SoakResult result = runServeSoak(quickSoak(7));
+    ASSERT_GT(result.decision_log.size(), 2u);
+    for (size_t i = 0; i < result.decision_log.size(); ++i) {
+        const std::string &line = result.decision_log[i];
+        const std::string prefix = "#" + std::to_string(i) + " t=";
+        EXPECT_EQ(line.rfind(prefix, 0), 0u)
+            << "line " << i << ": " << line;
+    }
+}
+
 TEST(Soak, DifferentSeedsDiverge)
 {
     const SoakResult a = runServeSoak(quickSoak(1));

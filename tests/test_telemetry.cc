@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Tests for src/telemetry: registry exposition semantics, the embedded
+ * HTTP exporter, flight-recorder rings/triggers, request-context
+ * stamping of RunReports, and the plane's two determinism contracts —
+ * telemetry-off runs bitwise identical to no-hooks runs across thread
+ * counts and kernel modes, and same-seed VirtualClock soaks rendering
+ * byte-identical /metrics snapshots and postmortem bundles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bs/geometry.h"
+#include "common/jsonlite.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "gemm/mixgemm.h"
+#include "runtime/backend.h"
+#include "serve/soak.h"
+#include "telemetry/exporter.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "telemetry/serve_telemetry.h"
+#include "trace/session.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+std::vector<int32_t>
+randomNarrowMatrix(Rng &rng, uint64_t elems, unsigned bw, bool is_signed)
+{
+    std::vector<int32_t> data(elems);
+    const int64_t lo = is_signed ? -(int64_t{1} << (bw - 1)) : 0;
+    const int64_t hi = is_signed ? (int64_t{1} << (bw - 1)) - 1
+                                 : (int64_t{1} << bw) - 1;
+    for (auto &v : data)
+        v = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    return data;
+}
+
+// ---------------------------------------------------------------------
+// Registry + exposition
+// ---------------------------------------------------------------------
+
+TEST(Registry, RendersAllThreeKindsWithLabels)
+{
+    MetricsRegistry registry;
+    registry.counter("requests_total", "Requests served",
+                     {{"tenant", "a"}})
+        ->add(3);
+    registry.counter("requests_total", "", {{"tenant", "b"}})->add(1);
+    registry.gauge("queue_depth", "Admission queue depth")->set(2.5);
+    HistogramMetric *latency =
+        registry.histogram("latency_ns", "Total latency");
+    latency->observe(100);
+    latency->observe(1000);
+
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("# HELP requests_total Requests served"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("requests_total{tenant=\"a\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("requests_total{tenant=\"b\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+    EXPECT_NE(text.find("queue_depth 2.5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE latency_ns summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_ns{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_ns{quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_ns_count 2"), std::string::npos);
+    // Identical state renders byte-identically.
+    EXPECT_EQ(text, registry.renderPrometheus());
+}
+
+TEST(Registry, SanitizesNamesAndEscapesLabelValues)
+{
+    EXPECT_EQ(MetricsRegistry::sanitizeName("9bad-name!"),
+              "_bad_name_");
+    EXPECT_EQ(MetricsRegistry::sanitizeName("ok_name:v2"),
+              "ok_name:v2");
+    EXPECT_EQ(MetricsRegistry::sanitizeName(""), "_");
+
+    MetricsRegistry registry;
+    registry.counter("family", "", {{"path", "a\"b\\c\nd"}})->add(1);
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("family{path=\"a\\\"b\\\\c\\nd\"} 1"),
+              std::string::npos);
+}
+
+TEST(Registry, SameSeriesPointerIsReturnedAndStable)
+{
+    MetricsRegistry registry;
+    CounterMetric *first =
+        registry.counter("hits_total", "h", {{"k", "v"}});
+    CounterMetric *again =
+        registry.counter("hits_total", "", {{"k", "v"}});
+    EXPECT_EQ(first, again);
+    first->add(2);
+    again->add(40);
+    first->setMax(41); // below current value: no-op
+    EXPECT_EQ(first->value(), 42u);
+    first->setMax(50);
+    EXPECT_EQ(first->value(), 50u);
+}
+
+TEST(Registry, CollectorsRunOnEveryRender)
+{
+    MetricsRegistry registry;
+    GaugeMetric *gauge = registry.gauge("pulls", "");
+    int pulls = 0;
+    registry.addCollector([&] { gauge->set(++pulls); });
+    registry.renderPrometheus();
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("pulls 2"), std::string::npos);
+}
+
+TEST(Registry, VarzRendersValidJson)
+{
+    MetricsRegistry registry;
+    registry.counter("a_total", "A", {{"x", "1"}})->add(7);
+    registry.gauge("g", "G")->set(1.25);
+    registry.histogram("h_ns", "H")->observe(42);
+    const Expected<JsonValue> parsed = parseJson(registry.renderVarz());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    ASSERT_TRUE(parsed->isObject());
+    const JsonValue *a = parsed->find("a_total");
+    ASSERT_NE(a, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// HTTP exporter
+// ---------------------------------------------------------------------
+
+/** One blocking HTTP exchange against 127.0.0.1:port. */
+std::string
+httpExchange(uint16_t port, const std::string &request)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0)
+            break;
+        sent += static_cast<size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+TEST(HttpExporter, ServesMetricsHealthzAndVarz)
+{
+    MetricsRegistry registry;
+    registry.counter("scrapes_total", "Scrapes", {{"tenant", "t0"}})
+        ->add(5);
+    auto server = MetricsHttpServer::start(&registry, {});
+    ASSERT_TRUE(server.ok()) << server.status().toString();
+    const uint16_t port = (*server)->port();
+    ASSERT_NE(port, 0);
+
+    const std::string metrics = httpExchange(
+        port, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("scrapes_total{tenant=\"t0\"} 5"),
+              std::string::npos);
+
+    const std::string healthz = httpExchange(
+        port, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+    EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+    const std::string varz = httpExchange(
+        port, "GET /varz HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(varz.find("200 OK"), std::string::npos);
+    const size_t body_at = varz.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    const Expected<JsonValue> parsed =
+        parseJson(varz.substr(body_at + 4));
+    EXPECT_TRUE(parsed.ok()) << parsed.status().toString();
+
+    EXPECT_NE(httpExchange(port,
+                           "GET /nothing HTTP/1.1\r\nHost: x\r\n\r\n")
+                  .find("404"),
+              std::string::npos);
+    EXPECT_NE(httpExchange(port,
+                           "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                  .find("405"),
+              std::string::npos);
+    (*server)->stop();
+}
+
+TEST(FileExporter, WritesExpositionAtomically)
+{
+    MetricsRegistry registry;
+    registry.counter("writes_total", "")->add(9);
+    const std::string path =
+        strCat(::testing::TempDir(), "/telemetry_exposition.prom");
+    MetricsFileExporter exporter(&registry, path);
+    ASSERT_TRUE(exporter.writeOnce().ok());
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("writes_total 9"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorder, RingsAreBoundedAndDumpNowIgnoresCooldown)
+{
+    FlightRecorderOptions options;
+    options.decision_ring = 4;
+    FlightRecorder recorder(options);
+    for (uint64_t i = 0; i < 10; ++i)
+        recorder.recordDecision(i, strCat("#", i, " t=0 entry", i));
+    recorder.dumpNow("test", "ring bound", 100);
+    ASSERT_EQ(recorder.dumpCount(), 1u);
+    const std::string bundle = recorder.bundles()[0];
+    EXPECT_EQ(bundle.find("entry5"), std::string::npos);
+    EXPECT_NE(bundle.find("entry6"), std::string::npos);
+    EXPECT_NE(bundle.find("entry9"), std::string::npos);
+    recorder.dumpNow("test", "again", 101); // inside cooldown, ignored
+    EXPECT_EQ(recorder.dumpCount(), 2u);
+}
+
+RequestReport
+terminalReport(uint64_t seq, const std::string &tenant, unsigned tier,
+               uint64_t submit_ns, uint64_t done_ns)
+{
+    RequestReport report;
+    report.seq = seq;
+    report.tenant = tenant;
+    report.tier = tier;
+    report.submit_ns = submit_ns;
+    report.start_ns = submit_ns + 1;
+    report.done_ns = done_ns;
+    return report;
+}
+
+TEST(FlightRecorder, DeadlineBurnRateTriggersOneDumpPerCooldown)
+{
+    FlightRecorderOptions options;
+    options.slo_latency_ns = 10;
+    options.max_miss_fraction = 0.5;
+    options.min_window_samples = 4;
+    options.slo_window_ns = 1'000'000'000;
+    FlightRecorder recorder(options);
+    // 4 samples, 3 of them 100 ns latency (miss): fraction 0.75 > 0.5.
+    recorder.recordTerminal(terminalReport(0, "acme", 0, 0, 5),
+                            StatusCode::kOk);
+    for (uint64_t i = 1; i <= 3; ++i)
+        recorder.recordTerminal(
+            terminalReport(i, "acme", 0, i * 10, i * 10 + 100),
+            StatusCode::kOk);
+    ASSERT_EQ(recorder.dumpCount(), 1u);
+    const std::string bundle = recorder.bundles()[0];
+    EXPECT_NE(bundle.find("deadline_burn_rate"), std::string::npos);
+    EXPECT_NE(bundle.find("tenant=acme"), std::string::npos);
+    // Still burning, but inside the cooldown: no second dump.
+    recorder.recordTerminal(terminalReport(4, "acme", 0, 50, 160),
+                            StatusCode::kOk);
+    EXPECT_EQ(recorder.dumpCount(), 1u);
+    const auto status = recorder.tenantStatus();
+    ASSERT_EQ(status.count("acme"), 1u);
+    EXPECT_GT(status.at("acme").miss_fraction, 0.5);
+}
+
+TEST(FlightRecorder, PrecisionSloTriggersOnMeanRung)
+{
+    FlightRecorderOptions options;
+    options.max_mean_rung = 1.0;
+    options.min_window_samples = 2;
+    FlightRecorder recorder(options);
+    recorder.recordTerminal(terminalReport(0, "t", 2, 0, 5),
+                            StatusCode::kOk);
+    recorder.recordTerminal(terminalReport(1, "t", 2, 1, 6),
+                            StatusCode::kOk);
+    ASSERT_EQ(recorder.dumpCount(), 1u);
+    EXPECT_NE(recorder.bundles()[0].find("precision_slo"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Request context stamping
+// ---------------------------------------------------------------------
+
+TEST(RequestContext, StampsRunReportsThroughBackend)
+{
+    TraceSession session;
+    MixGemmBackend backend;
+    backend.attachTraceSession(&session);
+    backend.setTraceLabel("ctx-gemm");
+    backend.setRequestContext({77, "acme", 2});
+    Rng rng(3);
+    const DataSizeConfig cfg{8, 8, true, true};
+    const auto a = randomNarrowMatrix(rng, 12 * 16, 8, true);
+    const auto b = randomNarrowMatrix(rng, 16 * 8, 8, true);
+    backend.gemm(a, b, 12, 8, 16, cfg);
+    backend.clearRequestContext();
+    backend.gemm(a, b, 12, 8, 16, cfg);
+
+    const auto reports = session.reports();
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].tenant, "acme");
+    EXPECT_EQ(reports[0].request_id, 77u);
+    EXPECT_EQ(reports[0].rung, 2u);
+    EXPECT_EQ(reports[1].tenant, "");
+    EXPECT_EQ(reports[1].request_id, 0u);
+    const std::string json = runReportToJson(reports[0]);
+    EXPECT_NE(json.find("\"tenant\""), std::string::npos);
+    EXPECT_NE(json.find("\"request_id\""), std::string::npos);
+    EXPECT_NE(json.find("\"rung\""), std::string::npos);
+}
+
+TEST(TraceSession, ReportSinkReceivesReportsWithoutAccumulating)
+{
+    TraceSession session;
+    std::vector<std::string> seen;
+    session.setReportSink(
+        [&](const RunReport &report) { seen.push_back(report.name); },
+        /*keep_reports=*/false);
+    MixGemmBackend backend;
+    backend.attachTraceSession(&session);
+    backend.setTraceLabel("sunk");
+    Rng rng(5);
+    const DataSizeConfig cfg{8, 8, true, true};
+    const auto a = randomNarrowMatrix(rng, 8 * 8, 8, true);
+    const auto b = randomNarrowMatrix(rng, 8 * 8, 8, true);
+    backend.gemm(a, b, 8, 8, 8, cfg);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], "sunk");
+    EXPECT_TRUE(session.reports().empty());
+}
+
+// ---------------------------------------------------------------------
+// Determinism contract 1: telemetry off == no hooks, bitwise
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, OffRunsBitwiseIdenticalToHookedRuns)
+{
+    const uint64_t m = 33, n = 29, k = 37;
+    const DataSizeConfig cfg{4, 4, true, true};
+    Rng rng(7);
+    const auto a = randomNarrowMatrix(rng, m * k, cfg.bwa, cfg.a_signed);
+    const auto b = randomNarrowMatrix(rng, k * n, cfg.bwb, cfg.b_signed);
+    const auto geometry = geometryForK(computeBsGeometry(cfg), k);
+
+    BlockingParams base = BlockingParams::paperDefaults();
+    base.mc = 16;
+    base.nc = 16;
+
+    for (const unsigned threads : {1u, 3u, 8u}) {
+        for (const KernelMode mode :
+             {KernelMode::Fast, KernelMode::Modeled}) {
+            BlockingParams plain = base;
+            plain.threads = threads;
+            plain.kernel_mode = mode;
+            const auto reference =
+                mixGemm(a, b, m, n, k, geometry, plain);
+
+            TraceSession session;
+            unsigned sunk = 0;
+            session.setReportSink([&](const RunReport &) { ++sunk; },
+                                  /*keep_reports=*/false);
+            BlockingParams hooked = plain;
+            hooked.session = &session;
+            hooked.trace_label = "telemetry-identity";
+            hooked.trace_tenant = "tenant0";
+            hooked.trace_request_id = 42;
+            hooked.trace_rung = 1;
+            const auto result =
+                mixGemm(a, b, m, n, k, geometry, hooked);
+
+            EXPECT_EQ(result.c, reference.c)
+                << "threads=" << threads << " mode="
+                << (mode == KernelMode::Fast ? "fast" : "modeled");
+            EXPECT_EQ(result.counters.all(), reference.counters.all());
+            EXPECT_EQ(sunk, 1u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism contract 2: same-seed VirtualClock soaks render
+// byte-identical snapshots and postmortem bundles
+// ---------------------------------------------------------------------
+
+struct TelemetrySoakOutcome
+{
+    std::string exposition;
+    std::vector<std::string> bundles;
+    SoakResult result;
+};
+
+TelemetrySoakOutcome
+runTelemetrySoak(uint64_t seed)
+{
+    MetricsRegistry registry;
+    FlightRecorderOptions recorder_options;
+    recorder_options.registry = &registry;
+    FlightRecorder recorder(recorder_options);
+    ServeTelemetryOptions telemetry_options;
+    telemetry_options.registry = &registry;
+    telemetry_options.recorder = &recorder;
+    telemetry_options.include_wall_metrics = false; // virtual time
+    telemetry_options.model = "smallcnn";
+    ServeTelemetry telemetry(telemetry_options);
+    TraceSession session;
+    telemetry.attachSession(&session, /*keep_reports=*/false);
+
+    TelemetrySoakOutcome out;
+    SoakConfig config;
+    config.seed = seed;
+    config.duration_s = 0.25;
+    config.ladder_tiers = 2;
+    config.tenants = 3;
+    config.session = &session;
+    config.on_server_start = [&](InferenceServer &server) {
+        telemetry.attachServer(&server);
+    };
+    config.on_server_drained = [&](InferenceServer &) {
+        // Fixed dump time: the bundle must be a pure function of the
+        // seed, and the drain moment in virtual time already is.
+        recorder.dumpNow("drain", "test snapshot", 1'000'000'000);
+        out.exposition = registry.renderPrometheus();
+    };
+    out.result = runServeSoak(config);
+    out.bundles = recorder.bundles();
+    return out;
+}
+
+TEST(Telemetry, SameSeedVirtualSoaksRenderByteIdenticalSnapshots)
+{
+    const TelemetrySoakOutcome first = runTelemetrySoak(21);
+    const TelemetrySoakOutcome second = runTelemetrySoak(21);
+    ASSERT_FALSE(first.exposition.empty());
+    EXPECT_EQ(first.exposition, second.exposition);
+    ASSERT_GE(first.bundles.size(), 1u);
+    EXPECT_EQ(first.bundles, second.bundles);
+    EXPECT_GT(first.result.stats.completed_ok, 0u);
+
+    // The exposition carries the labeled families the plane promises:
+    // tenant, model, rung, config, and priority class.
+    for (const char *needle :
+         {"mixgemm_tenant_requests_total{code=", "tenant=\"tenant",
+          "mixgemm_serve_submitted_total{model=\"smallcnn\"}",
+          "mixgemm_serve_completed_total{model=\"smallcnn\",rung=",
+          "mixgemm_serve_class_total{class=\"p0\"",
+          "mixgemm_gemm_total{config=",
+          "mixgemm_serve_latency_ns{model=\"smallcnn\",path=\"queue\"",
+          "mixgemm_postmortem_dumps_total"})
+        EXPECT_NE(first.exposition.find(needle), std::string::npos)
+            << needle << "\n"
+            << first.exposition.substr(0, 2000);
+    // Wall-derived families are suppressed under virtual time.
+    EXPECT_EQ(first.exposition.find("mixgemm_roofline_efficiency"),
+              std::string::npos);
+    EXPECT_EQ(first.exposition.find("mixgemm_gemm_gops"),
+              std::string::npos);
+}
+
+TEST(Telemetry, PerClassAccountingIdentityHoldsAfterDrain)
+{
+    const TelemetrySoakOutcome outcome = runTelemetrySoak(33);
+    const ServerStats &stats = outcome.result.stats;
+    ASSERT_FALSE(stats.by_priority.empty());
+    uint64_t submitted = 0;
+    for (const auto &[priority, cls] : stats.by_priority) {
+        EXPECT_EQ(cls.submitted,
+                  cls.completed_ok + cls.shed + cls.rejected_full +
+                      cls.rejected_invalid + cls.rejected_closed +
+                      cls.expired_submit + cls.deadline_exceeded +
+                      cls.cancelled + cls.failed)
+            << "class " << priority;
+        EXPECT_LE(cls.expired_queue, cls.deadline_exceeded);
+        submitted += cls.submitted;
+    }
+    EXPECT_EQ(submitted, stats.submitted);
+}
+
+TEST(Telemetry, InjectedStallProducesExactlyOnePostmortemWithSeq)
+{
+    MetricsRegistry registry;
+    FlightRecorderOptions recorder_options;
+    recorder_options.registry = &registry;
+    FlightRecorder recorder(recorder_options);
+    ServeTelemetryOptions telemetry_options;
+    telemetry_options.registry = &registry;
+    telemetry_options.recorder = &recorder;
+    telemetry_options.model = "smallcnn";
+    ServeTelemetry telemetry(telemetry_options);
+
+    SoakConfig config;
+    config.seed = 11;
+    config.virtual_time = false;
+    config.wall_workers = 2;
+    config.duration_s = 1.0;
+    config.arrival_hz = 120.0;
+    config.inject_stall = true;
+    config.on_server_start = [&](InferenceServer &server) {
+        telemetry.attachServer(&server);
+    };
+    const SoakResult result = runServeSoak(config);
+    EXPECT_GE(result.stats.watchdog_cancels, 1u);
+
+    ASSERT_EQ(recorder.dumpCount(), 1u);
+    const std::string bundle = recorder.bundles()[0];
+    EXPECT_NE(bundle.find("\"reason\": \"watchdog\""),
+              std::string::npos);
+    // The dump's detail names the stalled request; the decision ring in
+    // the same bundle must contain that request's watchdog_cancel line.
+    const size_t at = bundle.find("seq=");
+    ASSERT_NE(at, std::string::npos);
+    const uint64_t stalled_seq =
+        std::strtoull(bundle.c_str() + at + 4, nullptr, 10);
+    EXPECT_NE(bundle.find(strCat("watchdog_cancel worker=")),
+              std::string::npos);
+    EXPECT_NE(bundle.find(strCat(" seq=", stalled_seq)),
+              std::string::npos);
+    EXPECT_NE(bundle.find("\"metrics\": \""), std::string::npos);
+}
+
+} // namespace
+} // namespace mixgemm

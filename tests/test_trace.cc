@@ -337,8 +337,12 @@ TEST(Tracer, MultiThreadSpansExportValidJson)
     EXPECT_TRUE(JsonValidator(json).valid()) << json.substr(0, 400);
     EXPECT_EQ(countSubstring(json, "\"ph\":\"X\""),
               size_t{kThreads} * kSpansPerThread * 2);
-    // One process_name plus one thread_name per ring.
-    EXPECT_EQ(countSubstring(json, "\"ph\":\"M\""), size_t{kThreads} + 1);
+    // One process_name plus one thread_name and one mixgemm_ring
+    // (drop-count) metadata event per ring.
+    EXPECT_EQ(countSubstring(json, "\"ph\":\"M\""),
+              size_t{kThreads} * 2 + 1);
+    EXPECT_EQ(countSubstring(json, "\"mixgemm_ring\""),
+              size_t{kThreads});
     // The quote and newline in the span name must arrive escaped.
     EXPECT_NE(json.find("nested \\\"quoted\\\"\\n"), std::string::npos);
 }

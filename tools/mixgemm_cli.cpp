@@ -60,14 +60,24 @@
  *   mixgemm-cli serve-soak [--seed S] [--duration SECS] [--arrival HZ]
  *       [--burst F] [--queue N] [--tiers N] [--retries N] [--epochs N]
  *       [--wall] [--workers N] [--modeled] [--no-decisions]
- *       [--out report.json]
+ *       [--tenants N] [--metrics-port P] [--metrics-file f.prom]
+ *       [--postmortem-dir DIR] [--inject-stall] [--out report.json]
  *       Seeded open-loop load soak of the inference server (see
  *       serve/soak.h): Poisson arrivals with bursts and adversarial
  *       shapes against a degradation ladder, emitting a JSON report of
- *       goodput, shed/deadline/reject counts, per-tier mix, and
- *       latency percentiles. Default is deterministic virtual time
- *       (same seed -> byte-identical decision log); --wall drives real
- *       worker threads instead. Exits non-zero on zero goodput.
+ *       goodput, shed/deadline/reject counts, per-tier and per-priority
+ *       mix, and latency percentiles. Default is deterministic virtual
+ *       time (same seed -> byte-identical decision log); --wall drives
+ *       real worker threads instead. Telemetry flags attach the
+ *       src/telemetry plane: --metrics-port serves /metrics, /healthz
+ *       and /varz on 127.0.0.1 for the duration of the run (port 0 =
+ *       ephemeral, printed), --metrics-file renders the Prometheus
+ *       exposition to a file (every 500 ms under --wall, once at drain
+ *       in virtual time), --postmortem-dir arms the flight recorder to
+ *       dump JSON bundles there, and --inject-stall (requires --wall)
+ *       wedges the first dispatched request until the watchdog breaks
+ *       it — producing exactly one postmortem. Exits non-zero on zero
+ *       goodput.
  *
  * Command-line robustness: every numeric argument goes through checked
  * parsing (Expected-based) — negative counts, overflow, trailing
@@ -118,6 +128,10 @@
 #include "store/artifact.h"
 #include "store/modelgen.h"
 #include "store/store.h"
+#include "telemetry/exporter.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "telemetry/serve_telemetry.h"
 #include "tensor/packing.h"
 #include "trace/session.h"
 
@@ -633,6 +647,9 @@ cmdServeSoak(int argc, char **argv)
 {
     SoakConfig config;
     std::string out_path;
+    std::string metrics_file;
+    std::string postmortem_dir;
+    int metrics_port = -1; ///< -1 = no HTTP listener
     for (int i = 0; i < argc; ++i) {
         const auto value = [&](const char *flag) -> const char * {
             if (i + 1 >= argc)
@@ -671,11 +688,94 @@ cmdServeSoak(int argc, char **argv)
             config.kernel_mode = KernelMode::Modeled;
         else if (std::strcmp(argv[i], "--no-decisions") == 0)
             config.emit_decision_log = false;
+        else if (std::strcmp(argv[i], "--tenants") == 0)
+            config.tenants = orUsage(
+                parseUnsigned("--tenants", value("--tenants"), 1, 64));
+        else if (std::strcmp(argv[i], "--metrics-port") == 0)
+            metrics_port = static_cast<int>(orUsage(parseUnsigned(
+                "--metrics-port", value("--metrics-port"), 0, 65535)));
+        else if (std::strcmp(argv[i], "--metrics-file") == 0)
+            metrics_file = value("--metrics-file");
+        else if (std::strcmp(argv[i], "--postmortem-dir") == 0)
+            postmortem_dir = value("--postmortem-dir");
+        else if (std::strcmp(argv[i], "--inject-stall") == 0)
+            config.inject_stall = true;
         else if (std::strcmp(argv[i], "--out") == 0)
             out_path = value("--out");
         else
             throw UsageError(
                 strCat("unknown argument '", argv[i], "'"));
+    }
+    if (config.inject_stall && config.virtual_time)
+        throw UsageError("--inject-stall requires --wall (the watchdog "
+                         "is only armed in threaded mode)");
+
+    // Telemetry plane, built only when a flag asks for it — the default
+    // soak stays exactly the pre-telemetry code path.
+    const bool telemetry_on = metrics_port >= 0 ||
+                              !metrics_file.empty() ||
+                              !postmortem_dir.empty();
+    std::unique_ptr<MetricsRegistry> registry;
+    std::unique_ptr<FlightRecorder> recorder;
+    std::unique_ptr<ServeTelemetry> telemetry;
+    std::unique_ptr<TraceSession> session;
+    std::unique_ptr<MetricsHttpServer> http;
+    std::unique_ptr<MetricsFileExporter> file_exporter;
+    if (telemetry_on) {
+        registry = std::make_unique<MetricsRegistry>();
+        if (!postmortem_dir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(postmortem_dir, ec);
+            if (ec)
+                fatal(strCat("cannot create --postmortem-dir '",
+                             postmortem_dir, "': ", ec.message()));
+            FlightRecorderOptions fro;
+            fro.dump_dir = postmortem_dir;
+            fro.registry = registry.get();
+            recorder = std::make_unique<FlightRecorder>(fro);
+        }
+        ServeTelemetryOptions sto;
+        sto.registry = registry.get();
+        sto.recorder = recorder.get();
+        sto.include_wall_metrics = !config.virtual_time;
+        sto.model = "smallcnn";
+        telemetry = std::make_unique<ServeTelemetry>(sto);
+        session = std::make_unique<TraceSession>();
+        telemetry->attachSession(session.get(), /*keep_reports=*/false);
+        config.session = session.get();
+        config.on_server_start = [&](InferenceServer &server) {
+            telemetry->attachServer(&server);
+            if (metrics_port >= 0) {
+                HttpExporterOptions ho;
+                ho.port = static_cast<uint16_t>(metrics_port);
+                auto listener =
+                    MetricsHttpServer::start(registry.get(), ho);
+                if (!listener.ok())
+                    fatal(strCat("serve-soak: ",
+                                 listener.status().toString()));
+                http = std::move(*listener);
+                std::cout << "metrics listening on 127.0.0.1:"
+                          << http->port() << "\n";
+            }
+            if (!metrics_file.empty())
+                file_exporter = std::make_unique<MetricsFileExporter>(
+                    registry.get(), metrics_file,
+                    config.virtual_time
+                        ? std::chrono::milliseconds(0)
+                        : std::chrono::milliseconds(500));
+        };
+        // The exporters render through the server's stats; stop them
+        // while the server is still alive (it dies when runServeSoak
+        // returns).
+        config.on_server_drained = [&](InferenceServer &) {
+            if (file_exporter) {
+                if (Status s = file_exporter->writeOnce(); !s.ok())
+                    warn(s.toString());
+                file_exporter->stop();
+            }
+            if (http)
+                http->stop();
+        };
     }
 
     const SoakResult result = runServeSoak(config);
@@ -701,6 +801,9 @@ cmdServeSoak(int argc, char **argv)
                      result.stats.recover_steps)});
     t.addRow({"watchdog cancels",
               std::to_string(result.stats.watchdog_cancels)});
+    if (recorder)
+        t.addRow({"postmortem dumps",
+                  std::to_string(recorder->dumpCount())});
     char hash[32];
     std::snprintf(hash, sizeof(hash), "0x%016llx",
                   static_cast<unsigned long long>(result.decision_hash));
