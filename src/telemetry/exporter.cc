@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -21,14 +22,23 @@ namespace mixgemm
 namespace
 {
 
-/** Write all of @p data, retrying short writes; false on error. */
+/**
+ * Write all of @p data, retrying short writes; false on error. Uses
+ * send(MSG_NOSIGNAL) so a peer that closed early yields EPIPE instead
+ * of a process-killing SIGPIPE (no handler is installed anywhere).
+ */
 bool
 writeAll(int fd, const std::string &data)
 {
+#ifdef MSG_NOSIGNAL
+    constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+    constexpr int kSendFlags = 0;
+#endif
     size_t off = 0;
     while (off < data.size()) {
-        const ssize_t n =
-            ::write(fd, data.data() + off, data.size() - off);
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, kSendFlags);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -149,6 +159,20 @@ MetricsHttpServer::serveLoop()
 void
 MetricsHttpServer::handleConnection(int fd)
 {
+    // Bound the whole exchange: a client that connects and then stalls
+    // must not wedge the single accept/serve thread (and with it
+    // stop()/~MetricsHttpServer, which join it).
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                 sizeof(timeout));
+#ifdef SO_NOSIGPIPE
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+
     // Read until the end of the request headers (or 8 KiB, whichever
     // comes first); only the request line matters here.
     std::string request;
@@ -238,9 +262,15 @@ MetricsFileExporter::~MetricsFileExporter()
 void
 MetricsFileExporter::stop()
 {
-    if (stopping_.exchange(true))
-        return;
-    wake_cv_.notify_all();
+    {
+        // The flag must flip under wake_mutex_: otherwise the exporter
+        // thread can check its wait predicate (false), lose the race to
+        // this notify, and then block for a full extra interval.
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        if (stopping_.exchange(true))
+            return;
+        wake_cv_.notify_all();
+    }
     if (thread_.joinable())
         thread_.join();
 }

@@ -191,19 +191,21 @@ FlightRecorder::maybeDump(const std::string &reason,
                           bool ignore_cooldown)
 {
     std::string prefix;
+    size_t index = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        prefix =
-            prepareDumpLocked(reason, detail, now_ns, ignore_cooldown);
+        prefix = prepareDumpLocked(reason, detail, now_ns,
+                                   ignore_cooldown, index);
     }
     if (!prefix.empty())
-        finalizeDump(std::move(prefix));
+        finalizeDump(std::move(prefix), index);
 }
 
 std::string
 FlightRecorder::prepareDumpLocked(const std::string &reason,
                                   const std::string &detail,
-                                  uint64_t now_ns, bool ignore_cooldown)
+                                  uint64_t now_ns, bool ignore_cooldown,
+                                  size_t &index_out)
 {
     if (dump_index_ >= options_.max_dumps)
         return "";
@@ -212,10 +214,14 @@ FlightRecorder::prepareDumpLocked(const std::string &reason,
         return "";
     last_dump_ns_ = now_ns;
     dumped_once_ = true;
+    // Reserve the slot while the gate above is still protected by
+    // mutex_; a concurrent trigger at the same instant must see the
+    // incremented index, not race to a duplicate one.
+    index_out = dump_index_++;
 
     std::ostringstream os;
     os << "{\n";
-    os << "  \"postmortem\": " << dump_index_ << ",\n";
+    os << "  \"postmortem\": " << index_out << ",\n";
     os << "  \"reason\": \"" << jsonEscape(reason) << "\",\n";
     os << "  \"detail\": \"" << jsonEscape(detail) << "\",\n";
     os << "  \"t_ns\": " << now_ns << ",\n";
@@ -295,7 +301,7 @@ FlightRecorder::prepareDumpLocked(const std::string &reason,
 }
 
 void
-FlightRecorder::finalizeDump(std::string prefix)
+FlightRecorder::finalizeDump(std::string prefix, size_t index)
 {
     // Phase 2 runs without mutex_ held: rendering the registry runs
     // its collectors, which may snapshot the server (taking the
@@ -308,10 +314,8 @@ FlightRecorder::finalizeDump(std::string prefix)
     bundle += jsonEscape(metrics);
     bundle += "\"\n}\n";
 
-    size_t index;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        index = dump_index_++;
         bundles_.push_back(bundle);
     }
     if (!options_.dump_dir.empty()) {

@@ -168,12 +168,15 @@ class FlightRecorder
 
     void pruneWindowLocked(TenantWindow &window, uint64_t now_ns);
     /** Gate + phase-1 snapshot under mutex_; returns the bundle body
-     * prefix or "" when the dump is suppressed. */
+     * prefix or "" when the dump is suppressed. Reserves the dump slot
+     * by incrementing dump_index_ (returned via @p index_out) so the
+     * max_dumps/cooldown gates and the index allocation are atomic. */
     std::string prepareDumpLocked(const std::string &reason,
                                   const std::string &detail,
-                                  uint64_t now_ns, bool ignore_cooldown);
+                                  uint64_t now_ns, bool ignore_cooldown,
+                                  size_t &index_out);
     /** Phase 2/3: render metrics (no locks held), store + write. */
-    void finalizeDump(std::string prefix);
+    void finalizeDump(std::string prefix, size_t index);
     void maybeDump(const std::string &reason, const std::string &detail,
                    uint64_t now_ns, bool ignore_cooldown);
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -23,6 +24,12 @@ namespace
 std::string
 formatDouble(double value)
 {
+    // Prometheus exposition spells non-finite values NaN/+Inf/-Inf;
+    // the %.10g renderings ("nan"/"inf") break scrapers' float parse.
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
     char buf[64];
     if (value == static_cast<double>(static_cast<int64_t>(value)) &&
         value >= -1e15 && value <= 1e15) {
