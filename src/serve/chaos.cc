@@ -1,0 +1,193 @@
+#include "serve/chaos.h"
+
+#include "common/random.h"
+
+namespace mixgemm
+{
+
+namespace
+{
+
+/// Mix one coordinate into a seed (splitmix-style; the Rng's own
+/// splitmix seeding diffuses the result further).
+uint64_t
+mixSeed(uint64_t seed, uint64_t value)
+{
+    seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+    return seed;
+}
+
+// Domain tags keep the three decision families statistically
+// independent even for colliding coordinates.
+constexpr uint64_t kAttemptDomain = 0xa77e3u;
+constexpr uint64_t kSubmitDomain = 0x5ab31u;
+constexpr uint64_t kStoreDomain = 0x57093u;
+
+} // namespace
+
+ChaosEngine::ChaosEngine(uint64_t seed, ChaosScenario scenario)
+    : seed_(seed), scenario_(std::move(scenario))
+{
+}
+
+bool
+ChaosEngine::enabled() const
+{
+    return scenario_.throw_prob > 0.0 || scenario_.stall_prob > 0.0 ||
+           scenario_.transient_prob > 0.0 ||
+           scenario_.queue_delay_prob > 0.0 ||
+           scenario_.clock_skew_prob > 0.0 ||
+           scenario_.store_fault_prob > 0.0;
+}
+
+bool
+ChaosEngine::active(uint64_t now_ns) const
+{
+    if (scenario_.inject_until_ns == 0)
+        return true;
+    const uint64_t elapsed =
+        now_ns > epoch_ns_ ? now_ns - epoch_ns_ : 0;
+    return elapsed < scenario_.inject_until_ns;
+}
+
+void
+ChaosEngine::armEpoch(uint64_t now_ns)
+{
+    if (epoch_armed_)
+        return;
+    epoch_armed_ = true;
+    epoch_ns_ = now_ns;
+}
+
+ChaosAttemptPlan
+ChaosEngine::planAttempt(uint64_t seq, unsigned attempt, unsigned tier,
+                         uint64_t now_ns) const
+{
+    ChaosAttemptPlan plan;
+    if (!active(now_ns))
+        return plan;
+    if (scenario_.target_tier >= 0 &&
+        tier != static_cast<unsigned>(scenario_.target_tier))
+        return plan;
+    // Private Rng per (seq, attempt); draws in fixed order, so the plan
+    // never depends on which thread asks or in what order.
+    Rng rng(mixSeed(mixSeed(mixSeed(seed_, kAttemptDomain), seq),
+                    attempt));
+    const double u_throw = rng.uniformReal();
+    const double u_stall = rng.uniformReal();
+    const double u_transient = rng.uniformReal();
+    if (u_throw < scenario_.throw_prob) {
+        plan.action = ChaosAttemptPlan::Action::kThrow;
+    } else if (u_stall < scenario_.stall_prob) {
+        plan.action = ChaosAttemptPlan::Action::kStall;
+        plan.stall_ns = scenario_.stall_ns;
+    } else if (u_transient < scenario_.transient_prob) {
+        plan.action = ChaosAttemptPlan::Action::kTransient;
+    }
+    return plan;
+}
+
+ChaosSubmitPlan
+ChaosEngine::planSubmit(uint64_t seq, uint64_t now_ns) const
+{
+    ChaosSubmitPlan plan;
+    if (!active(now_ns))
+        return plan;
+    Rng rng(mixSeed(mixSeed(seed_, kSubmitDomain), seq));
+    const double u_delay = rng.uniformReal();
+    const double u_skew = rng.uniformReal();
+    if (u_delay < scenario_.queue_delay_prob)
+        plan.delay_ns = scenario_.queue_delay_ns;
+    if (u_skew < scenario_.clock_skew_prob)
+        plan.skew_ns = scenario_.clock_skew_ns;
+    return plan;
+}
+
+bool
+ChaosEngine::planStoreFault(uint64_t load_index) const
+{
+    if (scenario_.store_fault_prob <= 0.0)
+        return false;
+    Rng rng(mixSeed(mixSeed(seed_, kStoreDomain), load_index));
+    return rng.uniformReal() < scenario_.store_fault_prob;
+}
+
+ChaosCounts
+ChaosEngine::counts() const
+{
+    ChaosCounts counts;
+    counts.throws = throws_.load(std::memory_order_relaxed);
+    counts.stalls = stalls_.load(std::memory_order_relaxed);
+    counts.transients = transients_.load(std::memory_order_relaxed);
+    counts.arrival_delays =
+        arrival_delays_.load(std::memory_order_relaxed);
+    counts.clock_skews = clock_skews_.load(std::memory_order_relaxed);
+    counts.store_faults = store_faults_.load(std::memory_order_relaxed);
+    return counts;
+}
+
+Expected<ChaosProfile>
+chaosProfileByName(const std::string &name, uint64_t duration_ns)
+{
+    ChaosProfile profile;
+    ChaosScenario &s = profile.scenario;
+    s.name = name;
+
+    // Every profile arms the breaker and the retry budget — they are
+    // the mechanisms the scenarios exist to exercise.
+    profile.breaker.enabled = true;
+    profile.breaker.window_ns = duration_ns / 10;
+    profile.breaker.min_samples = 8;
+    profile.breaker.failure_threshold = 0.5;
+    profile.breaker.open_ns = duration_ns / 20;
+    profile.breaker.half_open_probes = 2;
+    profile.breaker.close_after = 2;
+    profile.retry_budget.enabled = true;
+    profile.retry_budget.tokens_per_s = 50.0;
+    profile.retry_budget.burst = 20.0;
+
+    if (name == "rung-failure") {
+        // Rung 0 fails every attempt for the first 40 % of the run:
+        // the breaker must open (fast-fail instead of queueing behind
+        // the dead rung) and half-open probes must close it once the
+        // injection window ends.
+        s.transient_prob = 1.0;
+        s.target_tier = 0;
+        s.inject_until_ns = duration_ns * 2 / 5;
+    } else if (name == "flaky-backend") {
+        s.transient_prob = 0.05;
+        s.throw_prob = 0.01;
+    } else if (name == "storm") {
+        s.queue_delay_prob = 0.3;
+        s.queue_delay_ns = 2'000'000;
+        s.clock_skew_prob = 0.1;
+        s.clock_skew_ns = 500'000;
+        s.transient_prob = 0.05;
+    } else if (name == "stall-hedge") {
+        s.stall_prob = 0.05;
+        s.stall_ns = 20'000'000;
+        profile.hedge.enabled = true;
+        profile.hedge.delay_ns = 2'000'000;
+    } else if (name == "stall-crash") {
+        s.stall_prob = 0.03;
+        s.stall_ns = 10'000'000;
+        s.throw_prob = 0.03;
+        profile.health.enabled = true;
+        profile.health.quarantine_after = 3;
+        profile.health.quarantine_ns = duration_ns / 20;
+    } else {
+        return Status::invalidArgument(
+            strCat("unknown chaos scenario '", name, "' (expected one "
+                   "of ", chaosScenarioNames(), ")"));
+    }
+    return profile;
+}
+
+std::string
+chaosScenarioNames()
+{
+    return "rung-failure, flaky-backend, storm, stall-hedge, "
+           "stall-crash";
+}
+
+} // namespace mixgemm

@@ -1,0 +1,163 @@
+#include "serve/resilience.h"
+
+#include <algorithm>
+
+namespace mixgemm
+{
+
+void
+CircuitBreaker::pruneLocked(uint64_t now_ns)
+{
+    const uint64_t cutoff =
+        now_ns > options_.window_ns ? now_ns - options_.window_ns : 0;
+    while (!window_.empty() && window_.front().at_ns < cutoff) {
+        if (!window_.front().ok)
+            --window_failures_;
+        window_.pop_front();
+    }
+}
+
+BreakerEvent
+CircuitBreaker::recordClosedLocked(uint64_t now_ns, bool ok)
+{
+    pruneLocked(now_ns);
+    window_.push_back(Sample{now_ns, ok});
+    if (!ok)
+        ++window_failures_;
+    if (window_.size() < options_.min_samples)
+        return BreakerEvent::kNone;
+    const double rate = static_cast<double>(window_failures_) /
+                        static_cast<double>(window_.size());
+    if (rate < options_.failure_threshold)
+        return BreakerEvent::kNone;
+    state_ = State::kOpen;
+    opened_at_ns_ = now_ns;
+    window_.clear();
+    window_failures_ = 0;
+    return BreakerEvent::kOpened;
+}
+
+CircuitBreaker::Decision
+CircuitBreaker::admit(uint64_t now_ns)
+{
+    Decision decision;
+    if (!options_.enabled)
+        return decision;
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+      case State::kClosed:
+        return decision;
+      case State::kOpen:
+        if (now_ns < opened_at_ns_ + options_.open_ns) {
+            decision.allow = false;
+            return decision;
+        }
+        state_ = State::kHalfOpen;
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+        decision.event = BreakerEvent::kHalfOpened;
+        [[fallthrough]];
+      case State::kHalfOpen:
+        if (probes_in_flight_ >= options_.half_open_probes) {
+            decision.allow = false;
+            return decision;
+        }
+        ++probes_in_flight_;
+        decision.probe = true;
+        return decision;
+    }
+    return decision;
+}
+
+BreakerEvent
+CircuitBreaker::onSuccess(uint64_t now_ns, bool probe)
+{
+    if (!options_.enabled)
+        return BreakerEvent::kNone;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kHalfOpen && probe) {
+        if (probes_in_flight_ > 0)
+            --probes_in_flight_;
+        ++probe_successes_;
+        if (probe_successes_ >= options_.close_after) {
+            state_ = State::kClosed;
+            window_.clear();
+            window_failures_ = 0;
+            probe_successes_ = 0;
+            return BreakerEvent::kClosed;
+        }
+        return BreakerEvent::kNone;
+    }
+    if (state_ == State::kClosed)
+        return recordClosedLocked(now_ns, /*ok=*/true);
+    return BreakerEvent::kNone;
+}
+
+BreakerEvent
+CircuitBreaker::onFailure(uint64_t now_ns, bool probe)
+{
+    if (!options_.enabled)
+        return BreakerEvent::kNone;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kHalfOpen && probe) {
+        // One failed probe is enough evidence the rung is still sick.
+        state_ = State::kOpen;
+        opened_at_ns_ = now_ns;
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+        return BreakerEvent::kReopened;
+    }
+    if (state_ == State::kClosed)
+        return recordClosedLocked(now_ns, /*ok=*/false);
+    return BreakerEvent::kNone;
+}
+
+void
+CircuitBreaker::abandonProbe(bool probe)
+{
+    if (!options_.enabled || !probe)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kHalfOpen && probes_in_flight_ > 0)
+        --probes_in_flight_;
+}
+
+void
+RetryBudget::refillLocked(uint64_t now_ns) const
+{
+    if (now_ns <= last_refill_ns_) {
+        // Backwards or frozen clock: refill nothing, never debit.
+        return;
+    }
+    const double elapsed_s =
+        static_cast<double>(now_ns - last_refill_ns_) / 1e9;
+    tokens_ = std::min(options_.burst,
+                       tokens_ + elapsed_s * options_.tokens_per_s);
+    last_refill_ns_ = now_ns;
+}
+
+bool
+RetryBudget::tryAcquire(uint64_t now_ns)
+{
+    if (!options_.enabled)
+        return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    refillLocked(now_ns);
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        ++granted_;
+        return true;
+    }
+    ++denied_;
+    return false;
+}
+
+double
+RetryBudget::level(uint64_t now_ns) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    refillLocked(now_ns);
+    return tokens_;
+}
+
+} // namespace mixgemm

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Resilience primitives for the inference server: per-rung circuit
+ * breakers, a global retry-budget token bucket, and the option structs
+ * for hedged requests and backend health quarantine.
+ *
+ * All of these read time from the caller (a Clock-derived now_ns), so
+ * under VirtualClock pump mode every state transition is a pure
+ * function of the request schedule — two same-seed soaks drive the
+ * breakers and the budget through byte-identical histories. Every
+ * option struct defaults to *disabled*: a server built with default
+ * options takes none of these code paths, keeping the default serving
+ * path bitwise-identical to a build without them.
+ *
+ * CircuitBreaker implements the classic three-state machine:
+ *
+ *   Closed    all requests pass; outcomes feed a sliding failure-rate
+ *             window. When the window holds at least min_samples and
+ *             the failure fraction reaches failure_threshold, the
+ *             breaker opens.
+ *   Open      requests fast-fail (the server rejects at admission, so
+ *             nothing queues behind a dead rung) until open_ns has
+ *             elapsed.
+ *   HalfOpen  up to half_open_probes requests are admitted as probes;
+ *             close_after consecutive probe successes close the
+ *             breaker, any probe failure re-opens it.
+ *
+ * RetryBudget is a token bucket shared by every request: each retry
+ * consumes one token, tokens refill at tokens_per_s up to burst. A
+ * denied acquisition suppresses the retry (the attempt's failure is
+ * final), which is what turns a correlated failure burst into bounded
+ * extra load instead of a retry storm.
+ */
+
+#ifndef MIXGEMM_SERVE_RESILIENCE_H
+#define MIXGEMM_SERVE_RESILIENCE_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace mixgemm
+{
+
+/** Circuit-breaker knobs (per model rung). Disabled by default. */
+struct BreakerOptions
+{
+    bool enabled = false;
+    uint64_t window_ns = 1'000'000'000; ///< failure-rate window
+    unsigned min_samples = 8;           ///< don't judge a cold window
+    double failure_threshold = 0.5;     ///< open at this failure rate
+    uint64_t open_ns = 500'000'000;     ///< cooldown before half-open
+    unsigned half_open_probes = 2;      ///< concurrent probes allowed
+    unsigned close_after = 2;           ///< probe successes to close
+};
+
+/** State transition produced by a breaker call; the server logs it. */
+enum class BreakerEvent
+{
+    kNone,
+    kOpened,    ///< closed -> open (window tripped)
+    kHalfOpened,///< open -> half-open (cooldown elapsed)
+    kClosed,    ///< half-open -> closed (probes succeeded)
+    kReopened,  ///< half-open -> open (a probe failed)
+};
+
+/** See the file comment. Thread-safe (internal leaf mutex). */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        kClosed,
+        kOpen,
+        kHalfOpen
+    };
+
+    /** Admission verdict for one request. */
+    struct Decision
+    {
+        bool allow = true;
+        bool probe = false; ///< admitted as a half-open probe
+        BreakerEvent event = BreakerEvent::kNone;
+    };
+
+    explicit CircuitBreaker(BreakerOptions options = {})
+        : options_(options)
+    {
+    }
+
+    /**
+     * Gate one request at @p now_ns. May transition open -> half-open
+     * when the cooldown has elapsed; a half-open admit reserves one of
+     * the bounded probe slots. An admitted probe MUST be resolved by
+     * exactly one of onSuccess/onFailure/abandonProbe(probe = true).
+     */
+    Decision admit(uint64_t now_ns);
+
+    /** Record a successful outcome. */
+    BreakerEvent onSuccess(uint64_t now_ns, bool probe);
+
+    /** Record a failed outcome (retriable or internal error). */
+    BreakerEvent onFailure(uint64_t now_ns, bool probe);
+
+    /** Release a probe slot whose request never produced an outcome
+     * the breaker should judge (expired in queue, cancelled). */
+    void abandonProbe(bool probe);
+
+    State state() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return state_;
+    }
+
+    /** Probe slots currently reserved (tests pin <= half_open_probes). */
+    unsigned probesInFlight() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return probes_in_flight_;
+    }
+
+    const BreakerOptions &options() const { return options_; }
+
+  private:
+    struct Sample
+    {
+        uint64_t at_ns = 0;
+        bool ok = false;
+    };
+
+    void pruneLocked(uint64_t now_ns);
+    BreakerEvent recordClosedLocked(uint64_t now_ns, bool ok);
+
+    BreakerOptions options_;
+    mutable std::mutex mutex_;
+    State state_ = State::kClosed;
+    std::deque<Sample> window_;
+    unsigned window_failures_ = 0;
+    uint64_t opened_at_ns_ = 0;
+    unsigned probes_in_flight_ = 0;
+    unsigned probe_successes_ = 0;
+};
+
+/** Global retry token bucket. Disabled by default. */
+struct RetryBudgetOptions
+{
+    bool enabled = false;
+    double tokens_per_s = 10.0; ///< refill rate
+    double burst = 10.0;        ///< bucket capacity (starts full)
+};
+
+/**
+ * Token bucket over the caller's clock. Refill is monotonic: a now_ns
+ * that goes backwards (clock skew) refills nothing rather than
+ * debiting the bucket. Thread-safe.
+ */
+class RetryBudget
+{
+  public:
+    explicit RetryBudget(RetryBudgetOptions options = {})
+        : options_(options), tokens_(options.burst)
+    {
+    }
+
+    /** Consume one token; false when the budget is exhausted. */
+    bool tryAcquire(uint64_t now_ns);
+
+    /** Current token level (refilled to @p now_ns). */
+    double level(uint64_t now_ns) const;
+
+    uint64_t granted() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return granted_;
+    }
+
+    uint64_t denied() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return denied_;
+    }
+
+    const RetryBudgetOptions &options() const { return options_; }
+
+  private:
+    void refillLocked(uint64_t now_ns) const;
+
+    RetryBudgetOptions options_;
+    mutable std::mutex mutex_;
+    mutable double tokens_ = 0.0;
+    mutable uint64_t last_refill_ns_ = 0;
+    uint64_t granted_ = 0;
+    uint64_t denied_ = 0;
+};
+
+/** Hedged-request knobs. Disabled by default. */
+struct HedgeOptions
+{
+    bool enabled = false;
+    /** Launch a duplicate attempt when the primary has not completed
+     * after this long; the first result wins and the loser is
+     * cancelled. In virtual-time mode hedging is *modeled*: a
+     * chaos-stalled attempt whose stall exceeds the delay is charged
+     * delay + service time and logged as a hedge win. */
+    uint64_t delay_ns = 50'000'000;
+};
+
+/** Per-backend health scoring / quarantine knobs. Disabled by default. */
+struct HealthOptions
+{
+    bool enabled = false;
+    /** Consecutive failed attempts on one worker that quarantine it:
+     * its backend is recycled and it sits out quarantine_ns before
+     * taking the next request. */
+    unsigned quarantine_after = 3;
+    uint64_t quarantine_ns = 500'000'000;
+};
+
+} // namespace mixgemm
+
+#endif // MIXGEMM_SERVE_RESILIENCE_H

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/threadname.h"
+#include "serve/chaos.h"
 #include "store/store.h"
 #include "trace/tracer.h"
 
@@ -60,12 +61,17 @@ InferenceServer::InferenceServer(ServerOptions options)
                  ? static_cast<const Clock *>(options_.virtual_clock)
                  : (options_.clock ? options_.clock
                                    : &MonotonicClock::instance())),
-      queue_(options_.queue_capacity)
+      queue_(options_.queue_capacity),
+      retry_budget_(options_.retry_budget)
 {
     if (options_.virtual_clock && options_.workers != 0)
         fatal("InferenceServer: virtual-time mode requires workers = 0 "
               "(pump mode); threaded workers would race the scripted "
               "clock");
+    // Pin the chaos window's origin to server start so a windowed
+    // scenario measures run time, not absolute wall nanoseconds.
+    if (options_.chaos)
+        options_.chaos->armEpoch(clock_->nowNs());
     if (options_.workers == 0) {
         pump_slot_ = std::make_unique<WorkerSlot>();
         return;
@@ -215,6 +221,140 @@ InferenceServer::registerGraph(std::string name,
     return id;
 }
 
+Expected<uint64_t>
+InferenceServer::reloadGraph(uint64_t id, std::vector<TierSpec> ladder)
+{
+    RegisteredGraph *graph = nullptr;
+    std::vector<size_t> input_shape;
+    std::string name;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (id >= graphs_.size())
+            return Status::notFound(
+                strCat("reloadGraph: unknown graph id ", id));
+        graph = graphs_[id].get();
+        input_shape = graph->input_shape; // immutable after register
+        name = graph->name;
+    }
+
+    // Validation and dry runs mirror registerGraph and happen outside
+    // every server lock: building and packing the new ladder must not
+    // stall admission or execution of in-flight traffic.
+    if (ladder.empty())
+        return Status::invalidArgument(
+            strCat("reloadGraph('", name, "'): empty ladder"));
+    if (ladder[0].lazy())
+        return Status::invalidArgument(
+            strCat("reloadGraph('", name, "'): rung 0 must be eager"));
+    for (size_t t = 0; t < ladder.size(); ++t) {
+        if (ladder[t].lazy() &&
+            (ladder[t].a_bits < 2 || ladder[t].a_bits > 8 ||
+             ladder[t].w_bits < 2 || ladder[t].w_bits > 8))
+            return Status::invalidArgument(
+                strCat("reloadGraph('", name, "') tier ", t,
+                       ": lazy-rung precision a", ladder[t].a_bits,
+                       "-w", ladder[t].w_bits,
+                       " outside the supported [2, 8]"));
+    }
+
+    std::vector<uint64_t> tier_macs;
+    tier_macs.reserve(ladder.size());
+    uint64_t raw_macs = 0;
+    Tensor<double> probe(input_shape);
+    for (size_t t = 0; t < ladder.size(); ++t) {
+        if (ladder[t].lazy()) {
+            tier_macs.push_back(raw_macs * ladder[t].a_bits *
+                                ladder[t].w_bits / 64);
+            continue;
+        }
+        MacCountingBackend counter;
+        try {
+            Expected<std::vector<double>> out =
+                ladder[t].graph.tryRun(probe, counter);
+            if (!out.ok())
+                return out.status();
+        } catch (const std::exception &e) {
+            return Status::invalidArgument(
+                strCat("reloadGraph('", name, "') tier ", t, " ('",
+                       ladder[t].label, "') rejects the input shape: ",
+                       e.what()));
+        }
+        tier_macs.push_back(counter.equivalentMacs());
+        if (t == 0)
+            raw_macs = counter.rawMacs();
+    }
+
+    const size_t rung_count = ladder.size();
+    std::vector<std::shared_ptr<const QuantizedGraph>> rungs(rung_count);
+    std::vector<std::shared_ptr<const PackedModelIndex>> packs(
+        rung_count);
+    std::vector<uint64_t> bytes(rung_count, 0);
+    std::vector<uint64_t> last_use(rung_count, 0);
+    for (size_t t = 0; t < rung_count; ++t) {
+        TierSpec &tier = ladder[t];
+        if (tier.lazy())
+            continue;
+        auto resident = std::make_shared<const QuantizedGraph>(
+            std::move(tier.graph));
+        tier.graph = QuantizedGraph();
+        if (options_.weight_store) {
+            auto model = options_.weight_store->load(*resident);
+            if (model.ok()) {
+                auto index = PackedModelIndex::build(*model, *resident);
+                if (index.ok())
+                    packs[t] = *index;
+                else
+                    warn(strCat("reloadGraph('", name, "') tier ", t,
+                                ": ", index.status().toString()));
+            } else {
+                warn(strCat("reloadGraph('", name, "') tier ", t, ": ",
+                            model.status().toString()));
+            }
+        }
+        rungs[t] = std::move(resident);
+    }
+
+    // Atomic flip. This is the one place both locks nest (rung_mutex_
+    // then mutex_): the ladder is read under either lock, so the swap
+    // must exclude both readers at once. No other path nests them, so
+    // the single fixed order cannot deadlock. In-flight requests keep
+    // the old rungs alive through their shared_ptrs; queued requests
+    // clamp their tier at execution.
+    uint64_t generation = 0;
+    const uint64_t now = clock_->nowNs();
+    {
+        std::lock_guard<std::mutex> rung_lock(rung_mutex_);
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Retire the old ladder's lazy-resident pool accounting; the
+        // new eager rungs are not pool-tracked (same as registration).
+        for (size_t t = 0; t < graph->ladder.size(); ++t) {
+            if (graph->ladder[t].lazy() && graph->rungs[t]) {
+                lazy_resident_bytes_ -= graph->rung_bytes[t];
+                --lazy_resident_count_;
+            }
+        }
+        graph->ladder = std::move(ladder);
+        graph->tier_macs = std::move(tier_macs);
+        graph->raw_macs = raw_macs;
+        graph->rungs = std::move(rungs);
+        graph->rung_packs = std::move(packs);
+        graph->rung_bytes = std::move(bytes);
+        graph->rung_last_use = std::move(last_use);
+        stats_.lazy_resident_bytes = lazy_resident_bytes_;
+        stats_.lazy_rungs_resident = lazy_resident_count_;
+
+        generation = ++graph->generation;
+        const unsigned deepest = static_cast<unsigned>(rung_count) - 1;
+        max_level_ = std::max(max_level_, deepest);
+        stats_.completed_by_tier.resize(max_level_ + 1, 0);
+        ++stats_.graph_reloads;
+        logLocked(strCat("t=", now, " reload graph=", name,
+                         " generation=", generation,
+                         " rungs=", rung_count));
+    }
+    return generation;
+}
+
 InferenceServer::RungRef
 InferenceServer::resolveRung(RegisteredGraph &graph, unsigned tier,
                              uint64_t now)
@@ -227,6 +367,10 @@ InferenceServer::resolveRung(RegisteredGraph &graph, unsigned tier,
     uint64_t count_gauge = 0;
     {
         std::lock_guard<std::mutex> lock(rung_mutex_);
+        // Re-clamp: a reload may have swapped in a shallower ladder
+        // since the caller snapshotted its tier.
+        tier = std::min<unsigned>(
+            tier, static_cast<unsigned>(graph.ladder.size()) - 1);
         std::shared_ptr<const QuantizedGraph> &slot = graph.rungs[tier];
         if (!slot) {
             // First request at this precision (or a re-fault after
@@ -327,6 +471,66 @@ InferenceServer::resolveRung(RegisteredGraph &graph, unsigned tier,
         stats_.lazy_rungs_resident = count_gauge;
     }
     return ref;
+}
+
+CircuitBreaker &
+InferenceServer::breakerLocked(RegisteredGraph &graph, unsigned tier)
+{
+    // Grows on demand (register and reload can deepen a ladder); never
+    // shrinks, so an in-flight request's breaker index stays valid
+    // across a reload to a shallower ladder.
+    while (graph.breakers.size() <= tier)
+        graph.breakers.push_back(
+            std::make_unique<CircuitBreaker>(options_.breaker));
+    return *graph.breakers[tier];
+}
+
+void
+InferenceServer::recordBreakerOutcomeLocked(const Pending &item,
+                                            StatusCode code,
+                                            uint64_t now_ns)
+{
+    if (!options_.breaker.enabled || item.graph == nullptr)
+        return;
+    CircuitBreaker &breaker = breakerLocked(*item.graph, item.tier);
+    BreakerEvent event = BreakerEvent::kNone;
+    switch (code) {
+      case StatusCode::kOk:
+        event = breaker.onSuccess(now_ns, item.breaker_probe);
+        break;
+      case StatusCode::kUnavailable:
+      case StatusCode::kInternal:
+        // The two codes that indicate the rung (backend) is sick;
+        // deadline misses and cancellations say nothing about it.
+        event = breaker.onFailure(now_ns, item.breaker_probe);
+        break;
+      default:
+        breaker.abandonProbe(item.breaker_probe);
+        break;
+    }
+    switch (event) {
+      case BreakerEvent::kOpened:
+        ++stats_.breaker_open_events;
+        ++stats_.breakers_open;
+        logLocked(strCat("t=", now_ns, " breaker_open graph=",
+                         item.graph->name, " tier=", item.tier));
+        break;
+      case BreakerEvent::kClosed:
+        ++stats_.breaker_close_events;
+        if (stats_.breakers_open > 0)
+            --stats_.breakers_open;
+        logLocked(strCat("t=", now_ns, " breaker_close graph=",
+                         item.graph->name, " tier=", item.tier));
+        break;
+      case BreakerEvent::kReopened:
+        // Still open for the gauge's purposes (it tracks not-closed).
+        ++stats_.breaker_reopen_events;
+        logLocked(strCat("t=", now_ns, " breaker_reopen graph=",
+                         item.graph->name, " tier=", item.tier));
+        break;
+      default:
+        break;
+    }
 }
 
 void
@@ -450,8 +654,33 @@ InferenceServer::submit(ServeRequest request)
     std::vector<std::pair<Pending, Status>> finished;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        const uint64_t now = clock_->nowNs();
+        uint64_t now = clock_->nowNs();
         item.seq = next_seq_++;
+        // Chaos arrival perturbations (virtual-time only: wall time is
+        // not ours to skew). Each applied event advances the scripted
+        // clock and is decision-logged, so the perturbed schedule is
+        // still a pure function of the seed.
+        if (options_.chaos && options_.virtual_clock) {
+            const ChaosSubmitPlan plan =
+                options_.chaos->planSubmit(item.seq, now);
+            if (plan.delay_ns > 0) {
+                options_.chaos->noteArrivalDelay();
+                ++stats_.chaos_events;
+                logLocked(strCat("t=", now, " chaos kind=queue_delay",
+                                 " seq=", item.seq,
+                                 " ns=", plan.delay_ns));
+                options_.virtual_clock->advanceNs(plan.delay_ns);
+            }
+            if (plan.skew_ns > 0) {
+                options_.chaos->noteClockSkew();
+                ++stats_.chaos_events;
+                logLocked(strCat("t=", now, " chaos kind=clock_skew",
+                                 " seq=", item.seq,
+                                 " ns=", plan.skew_ns));
+                options_.virtual_clock->advanceNs(plan.skew_ns);
+            }
+            now = clock_->nowNs();
+        }
         item.submit_ns = now;
         ++stats_.submitted;
         ++classStatsLocked(item.request.priority).submitted;
@@ -495,6 +724,47 @@ InferenceServer::submit(ServeRequest request)
             const unsigned tier = item.tier;
             const int priority = item.request.priority;
             const std::string &graph_name = item.graph->name;
+
+            // Circuit breaker: an open rung fast-fails here, at
+            // admission, so nothing queues behind a dead rung. A
+            // half-open admit tags the request as a probe; the probe
+            // slot is released by exactly one terminal outcome (or an
+            // explicit abandon on the reject/shed paths below).
+            bool fast_failed = false;
+            if (options_.breaker.enabled) {
+                CircuitBreaker &breaker =
+                    breakerLocked(*item.graph, tier);
+                const CircuitBreaker::Decision decision =
+                    breaker.admit(now);
+                if (decision.event == BreakerEvent::kHalfOpened)
+                    logLocked(strCat("t=", now, " breaker_half_open",
+                                     " graph=", graph_name,
+                                     " tier=", tier));
+                if (!decision.allow) {
+                    fast_failed = true;
+                    ++stats_.breaker_fast_fails;
+                    ++stats_.failed;
+                    ++classStatsLocked(priority).failed;
+                    logLocked(strCat("t=", now, " breaker_fast_fail",
+                                     " seq=", seq, " graph=",
+                                     graph_name, " tier=", tier,
+                                     " prio=", priority));
+                    finished.emplace_back(
+                        std::move(item),
+                        Status::unavailable(strCat(
+                            "circuit breaker open for '", graph_name,
+                            "' tier ", tier)));
+                } else if (decision.probe) {
+                    item.breaker_probe = true;
+                    ++stats_.breaker_probes;
+                    logLocked(strCat("t=", now, " breaker_probe seq=",
+                                     seq, " graph=", graph_name,
+                                     " tier=", tier));
+                }
+            }
+            if (fast_failed) {
+                // fall through to fulfilment outside the lock
+            } else {
             // Retention order: higher priority wins; within a priority
             // the older request wins (so an equal-priority arrival can
             // never shed queued work — admission stays FIFO per
@@ -504,6 +774,8 @@ InferenceServer::submit(ServeRequest request)
                     return a.request.priority < b.request.priority;
                 return a.seq > b.seq;
             };
+            RegisteredGraph *graph_ptr = item.graph;
+            const bool was_probe = item.breaker_probe;
             std::optional<Pending> evicted;
             switch (queue_.pushEvicting(std::move(item), retain_less,
                                         evicted)) {
@@ -516,6 +788,9 @@ InferenceServer::submit(ServeRequest request)
                 if (evicted) {
                     ++stats_.shed;
                     ++classStatsLocked(evicted->request.priority).shed;
+                    if (evicted->breaker_probe && evicted->graph)
+                        breakerLocked(*evicted->graph, evicted->tier)
+                            .abandonProbe(true);
                     logLocked(strCat("t=", now, " shed seq=",
                                      evicted->seq, " prio=",
                                      evicted->request.priority,
@@ -533,6 +808,8 @@ InferenceServer::submit(ServeRequest request)
               case QueuePush::kRejected:
                 ++stats_.rejected_full;
                 ++classStatsLocked(priority).rejected_full;
+                if (was_probe)
+                    breakerLocked(*graph_ptr, tier).abandonProbe(true);
                 logLocked(strCat("t=", now, " reject_full seq=", seq,
                                  " prio=", priority));
                 finished.emplace_back(
@@ -543,12 +820,15 @@ InferenceServer::submit(ServeRequest request)
               case QueuePush::kClosed:
                 ++stats_.rejected_closed;
                 ++classStatsLocked(priority).rejected_closed;
+                if (was_probe)
+                    breakerLocked(*graph_ptr, tier).abandonProbe(true);
                 logLocked(strCat("t=", now, " reject_closed seq=",
                                  seq));
                 finished.emplace_back(
                     std::move(item),
                     Status::unavailable("server is shut down"));
                 break;
+            }
             }
         }
     }
@@ -573,6 +853,10 @@ InferenceServer::pump(unsigned max_requests)
             break;
         execute(std::move(*item), *pump_slot_, *pump_backend_, 0);
         ++executed;
+        // Chaos worker-crash injection can taint the pump backend just
+        // as a real throw taints a threaded worker's; rebuild it.
+        if (pump_slot_->recycle.exchange(false))
+            pump_backend_ = makeBackend();
     }
     return executed;
 }
@@ -596,14 +880,51 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
                          MixGemmBackend &backend, int worker_index)
 {
     RegisteredGraph &graph = *item.graph;
-    const TierSpec &tier = graph.ladder[item.tier];
     const uint64_t deadline = item.request.deadline_ns;
+
+    // A quarantined worker sits out its penalty before taking the next
+    // request (its backend was already marked for recycling when the
+    // quarantine was imposed).
+    if (options_.health.enabled && slot.quarantined) {
+        const uint64_t now = clock_->nowNs();
+        if (now < slot.quarantined_until_ns) {
+            if (options_.virtual_clock)
+                options_.virtual_clock->advanceToNs(
+                    slot.quarantined_until_ns);
+            else
+                std::this_thread::sleep_for(std::chrono::nanoseconds(
+                    slot.quarantined_until_ns - now));
+        }
+        slot.quarantined = false;
+        slot.health_failures = 0;
+        const uint64_t resumed = clock_->nowNs();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.backend_recoveries;
+        if (stats_.backends_quarantined > 0)
+            --stats_.backends_quarantined;
+        logLocked(strCat("t=", resumed, " quarantine_recover worker=",
+                         worker_index));
+    }
+
+    // Snapshot the rung under rung_mutex_: a concurrent reloadGraph()
+    // may swap the ladder out from under us, and a request admitted
+    // against a deeper old ladder clamps to the new depth.
+    std::string tier_label;
+    uint64_t tier_service_macs = 0;
+    {
+        std::lock_guard<std::mutex> rung_lock(rung_mutex_);
+        item.tier = std::min<unsigned>(
+            item.tier,
+            static_cast<unsigned>(graph.ladder.size()) - 1);
+        tier_label = graph.ladder[item.tier].label;
+        tier_service_macs = graph.tier_macs[item.tier];
+    }
 
     ServeResponse response;
     response.report.seq = item.seq;
     response.report.submit_ns = item.submit_ns;
     response.report.tier = item.tier;
-    response.report.tier_label = tier.label;
+    response.report.tier_label = tier_label;
     response.report.worker = worker_index;
     response.report.priority = item.request.priority;
     response.report.tenant = item.request.tenant;
@@ -619,6 +940,9 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
             ++classStatsLocked(item.request.priority).expired_queue;
             logLocked(strCat("t=", start, " expire_queue seq=",
                              item.seq));
+            // Releases the breaker probe slot, if this request held one.
+            recordBreakerOutcomeLocked(item, response.status.code(),
+                                       start);
             recordTerminalLocked(response);
         }
         notifyTerminal(response.report, response.status.code());
@@ -645,7 +969,7 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
 
     backend.setCancelToken(&token);
     backend.setPrepacked(rung.pack.get());
-    backend.setTraceLabel(strCat(graph.name, "/", tier.label, "/req",
+    backend.setTraceLabel(strCat(graph.name, "/", tier_label, "/req",
                                  item.seq));
     backend.setRequestContext(
         {item.seq, item.request.tenant, item.tier});
@@ -654,7 +978,7 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
     // and GEMM spans stitch into a single Perfetto track segment.
     TRACE_SCOPE("serve", [&] {
         return strCat("req", item.seq, "/", graph.name, "/",
-                      tier.label);
+                      tier_label);
     });
 
     const unsigned max_retries =
@@ -664,24 +988,223 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
     Status status;
     std::vector<double> output;
     unsigned attempts = 0;
+    uint64_t hedges_launched = 0;
+    uint64_t hedge_wins = 0;
     for (;;) {
         ++attempts;
         status = Status();
+        // Chaos plan for this attempt: a pure function of
+        // (seed, seq, attempt), so the injected fault schedule is
+        // identical across same-seed runs regardless of interleaving.
+        ChaosAttemptPlan plan;
+        if (options_.chaos)
+            plan = options_.chaos->planAttempt(item.seq, attempts,
+                                               item.tier,
+                                               clock_->nowNs());
+        using ChaosAction = ChaosAttemptPlan::Action;
+        bool modeled_hedge = false;
         try {
             if (options_.execution_hook)
                 status = options_.execution_hook(item.seq, attempts,
                                                  token);
+            if (status.ok() && plan.action == ChaosAction::kThrow) {
+                options_.chaos->noteThrow();
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.chaos_events;
+                    logLocked(strCat("t=", clock_->nowNs(),
+                                     " chaos kind=throw seq=", item.seq,
+                                     " attempt=", attempts));
+                }
+                throw std::runtime_error(
+                    "chaos: injected worker crash");
+            }
+            if (status.ok() && plan.action == ChaosAction::kTransient) {
+                options_.chaos->noteTransient();
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.chaos_events;
+                    logLocked(strCat("t=", clock_->nowNs(),
+                                     " chaos kind=transient seq=",
+                                     item.seq, " attempt=", attempts));
+                }
+                status = Status::unavailable(
+                    "chaos: injected transient backend error");
+            }
+            if (status.ok() && plan.action == ChaosAction::kStall) {
+                options_.chaos->noteStall();
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.chaos_events;
+                    logLocked(strCat("t=", clock_->nowNs(),
+                                     " chaos kind=stall seq=", item.seq,
+                                     " attempt=", attempts,
+                                     " ns=", plan.stall_ns));
+                }
+                if (options_.virtual_clock) {
+                    if (options_.hedge.enabled &&
+                        options_.hedge.delay_ns < plan.stall_ns) {
+                        // Modeled hedge: the primary would stall past
+                        // the hedge delay, so the request is charged
+                        // the delay plus a normal service time and the
+                        // hedge's result is used.
+                        options_.virtual_clock->advanceNs(
+                            options_.hedge.delay_ns);
+                        ++hedges_launched;
+                        modeled_hedge = true;
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        logLocked(strCat("t=", clock_->nowNs(),
+                                         " hedge_launch seq=", item.seq,
+                                         " attempt=", attempts));
+                    } else {
+                        options_.virtual_clock->advanceNs(
+                            plan.stall_ns);
+                        status = Status::unavailable(
+                            "chaos: stalled attempt");
+                    }
+                } else if (!options_.hedge.enabled) {
+                    // Wall mode without hedging: spin with no heartbeat
+                    // so the watchdog sees a genuinely stuck worker.
+                    const auto until =
+                        std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(plan.stall_ns);
+                    while (!token.cancelled() &&
+                           std::chrono::steady_clock::now() < until)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    status = token.cancelled()
+                                 ? token.status()
+                                 : Status::unavailable(
+                                       "chaos: stalled attempt");
+                }
+                // Wall mode *with* hedging folds the stall into the
+                // hedged race below.
+            }
             if (status.ok()) {
-                Expected<std::vector<double>> result =
-                    rung.graph->tryRun(item.request.input, backend);
-                if (result.ok())
-                    output = std::move(*result);
-                else
-                    status = result.status();
+                if (!options_.virtual_clock && options_.hedge.enabled) {
+                    // Hedged execution: the primary runs on a helper
+                    // thread (including any chaos-planned stall); if
+                    // it has not finished after delay_ns, a duplicate
+                    // launches on the slot's lazily created second
+                    // backend. First result wins, the loser is
+                    // cancelled, and both threads complete before this
+                    // scope exits (declaration order guarantees the
+                    // futures are destroyed before their tokens).
+                    const bool stall =
+                        plan.action == ChaosAction::kStall;
+                    auto hedge_source = std::make_shared<CancelSource>();
+                    if (deadline != 0)
+                        hedge_source->setDeadline(deadline, *clock_);
+                    const CancelToken hedge_token =
+                        hedge_source->token();
+                    std::future<Expected<std::vector<double>>> primary =
+                        std::async(std::launch::async,
+                                   [&]() -> Expected<std::vector<double>> {
+                            if (stall) {
+                                const auto until =
+                                    std::chrono::steady_clock::now() +
+                                    std::chrono::nanoseconds(
+                                        plan.stall_ns);
+                                while (!token.cancelled() &&
+                                       std::chrono::steady_clock::now() <
+                                           until)
+                                    std::this_thread::sleep_for(
+                                        std::chrono::milliseconds(1));
+                                if (token.cancelled())
+                                    return token.status();
+                            }
+                            return rung.graph->tryRun(
+                                item.request.input, backend);
+                        });
+                    std::future<Expected<std::vector<double>>> hedged;
+                    if (primary.wait_for(std::chrono::nanoseconds(
+                            options_.hedge.delay_ns)) !=
+                        std::future_status::ready) {
+                        if (!slot.hedge_backend)
+                            slot.hedge_backend = makeBackend();
+                        MixGemmBackend &spare = *slot.hedge_backend;
+                        spare.setCancelToken(&hedge_token);
+                        spare.setPrepacked(rung.pack.get());
+                        spare.setRequestContext({item.seq,
+                                                 item.request.tenant,
+                                                 item.tier});
+                        ++hedges_launched;
+                        {
+                            std::lock_guard<std::mutex> lock(mutex_);
+                            logLocked(strCat("t=", clock_->nowNs(),
+                                             " hedge_launch seq=",
+                                             item.seq, " attempt=",
+                                             attempts));
+                        }
+                        hedged = std::async(
+                            std::launch::async,
+                            [&]() -> Expected<std::vector<double>> {
+                                return rung.graph->tryRun(
+                                    item.request.input, spare);
+                            });
+                    }
+                    std::optional<Expected<std::vector<double>>> result;
+                    bool hedge_won = false;
+                    if (!hedged.valid()) {
+                        result.emplace(primary.get());
+                    } else {
+                        for (;;) {
+                            if (primary.wait_for(
+                                    std::chrono::milliseconds(1)) ==
+                                std::future_status::ready) {
+                                result.emplace(primary.get());
+                                break;
+                            }
+                            if (hedged.wait_for(
+                                    std::chrono::seconds(0)) ==
+                                std::future_status::ready) {
+                                result.emplace(hedged.get());
+                                hedge_won = true;
+                                break;
+                            }
+                        }
+                        if (hedge_won) {
+                            source->cancel(Status::cancelled(
+                                "hedge won the race"));
+                            primary.wait();
+                        } else {
+                            hedge_source->cancel(Status::cancelled(
+                                "primary won the race"));
+                            hedged.wait();
+                        }
+                        slot.hedge_backend->setCancelToken(nullptr);
+                        slot.hedge_backend->setPrepacked(nullptr);
+                        slot.hedge_backend->clearRequestContext();
+                    }
+                    if (hedge_won) {
+                        ++hedge_wins;
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        logLocked(strCat("t=", clock_->nowNs(),
+                                         " hedge_win seq=", item.seq,
+                                         " attempt=", attempts));
+                    }
+                    if (result->ok())
+                        output = std::move(**result);
+                    else
+                        status = result->status();
+                } else {
+                    Expected<std::vector<double>> result =
+                        rung.graph->tryRun(item.request.input, backend);
+                    if (result.ok())
+                        output = std::move(*result);
+                    else
+                        status = result.status();
+                }
             }
         } catch (const std::exception &e) {
             status = Status::internal(
                 strCat("serve worker: ", e.what()));
+        }
+        if (modeled_hedge && status.ok()) {
+            ++hedge_wins;
+            std::lock_guard<std::mutex> lock(mutex_);
+            logLocked(strCat("t=", clock_->nowNs(), " hedge_win seq=",
+                             item.seq, " attempt=", attempts));
         }
         // Virtual-time mode: the GEMMs above completed instantly in
         // scripted time, so charge the rung's modeled service cost now
@@ -689,7 +1212,7 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
         // degradation decision) reproducible under a fixed seed.
         if (options_.virtual_clock)
             options_.virtual_clock->advanceNs(
-                graph.tier_macs[item.tier] * options_.virtual_ns_per_mac);
+                tier_service_macs * options_.virtual_ns_per_mac);
         if (status.ok() || !statusCodeIsRetriable(status.code()) ||
             attempts > max_retries || token.cancelled())
             break;
@@ -698,6 +1221,16 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
         const uint64_t now = clock_->nowNs();
         if (deadline != 0 && now + backoff >= deadline)
             break; // no room left for another attempt
+        // Global retry budget: a denied token makes this failure final
+        // — under a correlated failure burst, retries stay bounded
+        // instead of amplifying the load.
+        if (!retry_budget_.tryAcquire(now)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.retry_budget_denied;
+            logLocked(strCat("t=", now, " retry_denied_budget seq=",
+                             item.seq, " attempt=", attempts + 1));
+            break;
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             logLocked(strCat("t=", now, " retry seq=", item.seq,
@@ -748,6 +1281,36 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
         logLocked(strCat("t=", done, " done seq=", item.seq, " code=",
                          statusCodeName(response.status.code()),
                          " tier=", item.tier, " attempts=", attempts));
+        recordBreakerOutcomeLocked(item, response.status.code(), done);
+        stats_.hedges_launched += hedges_launched;
+        stats_.hedge_wins += hedge_wins;
+        // Per-backend health scoring: consecutive kUnavailable /
+        // kInternal outcomes quarantine the worker — its backend is
+        // recycled and it sits out quarantine_ns before the next
+        // request (see the top of this function). The slot's health
+        // fields are owned by this thread; only the stats need mutex_.
+        if (options_.health.enabled) {
+            const StatusCode code = response.status.code();
+            if (code == StatusCode::kUnavailable ||
+                code == StatusCode::kInternal) {
+                if (++slot.health_failures >=
+                        options_.health.quarantine_after &&
+                    !slot.quarantined) {
+                    slot.quarantined = true;
+                    slot.quarantined_until_ns =
+                        done + options_.health.quarantine_ns;
+                    slot.recycle.store(true,
+                                       std::memory_order_release);
+                    ++stats_.backend_quarantines;
+                    ++stats_.backends_quarantined;
+                    logLocked(strCat("t=", done, " quarantine worker=",
+                                     worker_index, " until=",
+                                     slot.quarantined_until_ns));
+                }
+            } else if (code == StatusCode::kOk) {
+                slot.health_failures = 0;
+            }
+        }
         recordTerminalLocked(response);
         evaluateDegradationLocked(done);
     }
@@ -863,6 +1426,11 @@ InferenceServer::shutdown()
             std::lock_guard<std::mutex> lock(mutex_);
             logLocked(strCat("t=", clock_->nowNs(),
                              " drop_shutdown seq=", item->seq));
+            // A drop at shutdown says nothing about the rung's health:
+            // release the probe slot without judging the outcome.
+            if (item->breaker_probe && item->graph)
+                breakerLocked(*item->graph, item->tier)
+                    .abandonProbe(true);
             recordTerminalLocked(response);
         }
         notifyTerminal(response.report, response.status.code());
@@ -877,6 +1445,7 @@ InferenceServer::stats() const
     ServerStats snapshot = stats_;
     snapshot.degradation_level = level_;
     snapshot.queue_depth = queue_.size();
+    snapshot.retry_budget_level = retry_budget_.level(clock_->nowNs());
     return snapshot;
 }
 

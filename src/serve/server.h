@@ -42,6 +42,7 @@
 #include "common/status.h"
 #include "runtime/backend.h"
 #include "runtime/qgraph.h"
+#include "serve/resilience.h"
 #include "trace/metrics.h"
 
 namespace mixgemm
@@ -49,6 +50,8 @@ namespace mixgemm
 
 class PackedModelIndex;  // store/store.h
 class PackedWeightStore; // store/store.h
+class ChaosEngine;       // serve/chaos.h
+struct ChaosAttemptPlan; // serve/chaos.h
 
 /** One rung of a registered graph's precision ladder. */
 struct TierSpec
@@ -183,6 +186,28 @@ struct ServerOptions
                          const CancelToken &token)>
         execution_hook;
 
+    /**
+     * Deterministic chaos plane (serve/chaos.h). When set, every
+     * execution attempt and (under a VirtualClock) every submission
+     * consults the engine for injected faults; each applied event is
+     * decision-logged, so same-seed chaos soaks stay byte-identical.
+     * Null — the default — takes none of these code paths. Not owned.
+     */
+    ChaosEngine *chaos = nullptr;
+
+    /** Per-(graph, rung) circuit breakers; disabled by default. An
+     * open breaker fast-fails requests for its rung at admission. */
+    BreakerOptions breaker;
+    /** Global retry token bucket; disabled by default. A retry that
+     * cannot acquire a token is suppressed (the failure is final). */
+    RetryBudgetOptions retry_budget;
+    /** Hedged requests; disabled by default. Modeled under a
+     * VirtualClock, real first-wins racing in threaded mode. */
+    HedgeOptions hedge;
+    /** Per-backend health scoring with quarantine; disabled by
+     * default. */
+    HealthOptions health;
+
     /** Decision-log size cap; beyond it entries are counted, not kept. */
     size_t max_decision_log = 200'000;
 };
@@ -274,6 +299,24 @@ struct ServerStats
     uint64_t lazy_rungs_resident = 0;   ///< currently materialized
     uint64_t lazy_resident_bytes = 0;   ///< their pooled footprint
     uint64_t decisions_dropped = 0; ///< log entries beyond the cap
+
+    // Resilience layer (all zero unless the matching option is on).
+    uint64_t breaker_open_events = 0;   ///< closed -> open transitions
+    uint64_t breaker_reopen_events = 0; ///< half-open probe failures
+    uint64_t breaker_close_events = 0;  ///< half-open -> closed
+    uint64_t breaker_probes = 0;        ///< half-open probe admissions
+    uint64_t breaker_fast_fails = 0;    ///< fast-failed at admission
+    uint64_t breakers_open = 0;         ///< breakers currently not closed
+    uint64_t retry_budget_denied = 0;   ///< retries the budget suppressed
+    double retry_budget_level = 0.0;    ///< tokens left (snapshot time)
+    uint64_t hedges_launched = 0;
+    uint64_t hedge_wins = 0;            ///< hedge result was used
+    uint64_t backend_quarantines = 0;
+    uint64_t backend_recoveries = 0;
+    uint64_t backends_quarantined = 0;  ///< currently quarantined
+    uint64_t chaos_events = 0;          ///< injected chaos events applied
+    uint64_t graph_reloads = 0;         ///< hot ladder swaps
+
     unsigned degradation_level = 0;
     size_t queue_depth = 0;
     std::vector<uint64_t> completed_by_tier; ///< ok completions per rung
@@ -365,6 +408,20 @@ class InferenceServer
     std::future<ServeResponse> submit(ServeRequest request);
 
     /**
+     * Hot-reload a registered graph's precision ladder in place: the
+     * new rungs are built and dry-run *outside* the server locks, then
+     * swapped atomically under rung_mutex_. In-flight and queued
+     * requests keep running — a request admitted against the old
+     * ladder whose rung index exceeds the new ladder is clamped at
+     * execution. The input shape is unchanged; the new ladder must
+     * satisfy the same invariants as registerGraph (rung 0 eager).
+     * Returns the graph's new generation number (1 for the first
+     * reload).
+     */
+    Expected<uint64_t> reloadGraph(uint64_t id,
+                                   std::vector<TierSpec> ladder);
+
+    /**
      * Pump mode only (workers = 0): synchronously execute up to
      * @p max_requests queued requests on the calling thread; returns
      * the number executed.
@@ -423,6 +480,14 @@ class InferenceServer
         std::vector<std::shared_ptr<const PackedModelIndex>> rung_packs;
         std::vector<uint64_t> rung_bytes;    ///< footprint when resident
         std::vector<uint64_t> rung_last_use; ///< logical LRU tick
+
+        // Guarded by mutex_ (admission-side state, not rung state).
+        /// Per-rung circuit breakers; grows on register/reload, never
+        /// shrinks, so in-flight requests keep a stable breaker index.
+        std::vector<std::unique_ptr<CircuitBreaker>> breakers;
+        /// Bumped by every reloadGraph(); reload safety for requests
+        /// admitted against the previous ladder.
+        uint64_t generation = 0;
     };
 
     struct Pending
@@ -432,6 +497,9 @@ class InferenceServer
         uint64_t submit_ns = 0;
         unsigned tier = 0;
         RegisteredGraph *graph = nullptr;
+        /// Admitted as a half-open breaker probe; exactly one of
+        /// onSuccess/onFailure/abandonProbe must resolve it.
+        bool breaker_probe = false;
         std::promise<ServeResponse> promise;
     };
 
@@ -444,6 +512,13 @@ class InferenceServer
         std::atomic<bool> recycle{false};    ///< backend tainted, rebuild
         std::mutex mutex;                    ///< guards active
         std::shared_ptr<CancelSource> active;
+
+        // Owned by the executing thread (no locking needed).
+        /// Lazily created second backend for hedged attempts.
+        std::unique_ptr<MixGemmBackend> hedge_backend;
+        unsigned health_failures = 0; ///< consecutive failed attempts
+        bool quarantined = false;
+        uint64_t quarantined_until_ns = 0;
     };
 
     std::unique_ptr<MixGemmBackend> makeBackend() const;
@@ -473,6 +548,12 @@ class InferenceServer
                         uint64_t now);
 
     // The following run under mutex_.
+    /** Breaker for @p graph's rung @p tier, created on first use. */
+    CircuitBreaker &breakerLocked(RegisteredGraph &graph, unsigned tier);
+    /** Feed a terminal outcome to the request's rung breaker; logs the
+     * state transition and maintains the open-breaker gauge. */
+    void recordBreakerOutcomeLocked(const Pending &item, StatusCode code,
+                                    uint64_t now_ns);
     void logLocked(std::string entry);
     void evaluateDegradationLocked(uint64_t now_ns);
     void recordTerminalLocked(const ServeResponse &response);
@@ -509,6 +590,7 @@ class InferenceServer
     unsigned max_level_ = 0;      ///< deepest ladder registered, - 1
     uint64_t last_level_change_ns_ = 0;
     LogHistogram window_latency_; ///< total-latency window since change
+    RetryBudget retry_budget_;    ///< global retry token bucket
     ServerStats stats_;
     MetricSet metrics_;
     std::vector<std::string> decisions_;

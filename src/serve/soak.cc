@@ -143,7 +143,25 @@ runServeSoak(const SoakConfig &config)
         inputs.push_back(calib.samples()[i].image);
 
     // --- Server.
+    const uint64_t duration_ns =
+        static_cast<uint64_t>(config.duration_s * 1e9);
     VirtualClock vclock;
+    // The chaos engine must outlive the server (declared first so it is
+    // destroyed last); the fault schedule seed derives from the soak
+    // seed, keeping the injected events inside the same determinism
+    // contract as arrivals.
+    std::unique_ptr<ChaosEngine> chaos;
+    ChaosProfile profile;
+    if (!config.chaos_scenario.empty()) {
+        Expected<ChaosProfile> looked_up =
+            chaosProfileByName(config.chaos_scenario, duration_ns);
+        if (!looked_up.ok())
+            fatal(strCat("serve-soak: ",
+                         looked_up.status().toString()));
+        profile = std::move(*looked_up);
+        chaos = std::make_unique<ChaosEngine>(
+            config.seed ^ 0xc4a05c4a05ull, profile.scenario);
+    }
     ServerOptions options;
     options.workers = config.virtual_time ? 0 : config.wall_workers;
     options.queue_capacity = config.queue_capacity;
@@ -156,6 +174,13 @@ runServeSoak(const SoakConfig &config)
     if (config.virtual_time) {
         options.virtual_clock = &vclock;
         options.virtual_ns_per_mac = config.virtual_ns_per_mac;
+    }
+    if (chaos) {
+        options.chaos = chaos.get();
+        options.breaker = profile.breaker;
+        options.retry_budget = profile.retry_budget;
+        options.hedge = profile.hedge;
+        options.health = profile.health;
     }
     if (config.inject_stall && !config.virtual_time) {
         // Wedge exactly one attempt (the first dispatched) in a
@@ -187,8 +212,6 @@ runServeSoak(const SoakConfig &config)
         config.on_server_start(server);
 
     Rng rng(config.seed);
-    const uint64_t duration_ns =
-        static_cast<uint64_t>(config.duration_s * 1e9);
     std::vector<std::future<ServeResponse>> futures;
     SoakResult result;
     result.config = config;
@@ -256,6 +279,8 @@ runServeSoak(const SoakConfig &config)
     result.latencies = server.latencyMetrics();
     result.decision_log = server.decisionLog();
     result.decision_hash = hashDecisionLog(result.decision_log);
+    if (chaos)
+        result.chaos = chaos->counts();
     result.goodput_rps =
         result.elapsed_s > 0.0
             ? static_cast<double>(result.stats.completed_ok) /
@@ -277,12 +302,13 @@ SoakResult::toJson() const
         "\"arrival_hz\":%.1f,\"burst_factor\":%.1f,"
         "\"queue_capacity\":%zu,\"virtual_time\":%s,"
         "\"wall_workers\":%u,\"ladder_tiers\":%u,\"tenants\":%u,"
-        "\"inject_stall\":%s},\n",
+        "\"inject_stall\":%s,\"chaos_scenario\":\"%s\"},\n",
         static_cast<unsigned long long>(config.seed), config.duration_s,
         config.arrival_hz, config.burst_factor, config.queue_capacity,
         config.virtual_time ? "true" : "false", config.wall_workers,
         config.ladder_tiers, config.tenants,
-        config.inject_stall ? "true" : "false");
+        config.inject_stall ? "true" : "false",
+        config.chaos_scenario.c_str());
     os << buf;
     std::snprintf(
         buf, sizeof(buf),
@@ -341,6 +367,43 @@ SoakResult::toJson() const
         os << buf;
     }
     os << "}},\n";
+
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"resilience\":{\"breaker_open_events\":%llu,"
+        "\"breaker_reopen_events\":%llu,\"breaker_close_events\":%llu,"
+        "\"breaker_probes\":%llu,\"breaker_fast_fails\":%llu,"
+        "\"breakers_open\":%llu,\"retry_budget_denied\":%llu,"
+        "\"retry_budget_level\":%.3f,\"hedges_launched\":%llu,"
+        "\"hedge_wins\":%llu,\"backend_quarantines\":%llu,"
+        "\"backend_recoveries\":%llu,\"graph_reloads\":%llu,",
+        static_cast<unsigned long long>(stats.breaker_open_events),
+        static_cast<unsigned long long>(stats.breaker_reopen_events),
+        static_cast<unsigned long long>(stats.breaker_close_events),
+        static_cast<unsigned long long>(stats.breaker_probes),
+        static_cast<unsigned long long>(stats.breaker_fast_fails),
+        static_cast<unsigned long long>(stats.breakers_open),
+        static_cast<unsigned long long>(stats.retry_budget_denied),
+        stats.retry_budget_level,
+        static_cast<unsigned long long>(stats.hedges_launched),
+        static_cast<unsigned long long>(stats.hedge_wins),
+        static_cast<unsigned long long>(stats.backend_quarantines),
+        static_cast<unsigned long long>(stats.backend_recoveries),
+        static_cast<unsigned long long>(stats.graph_reloads));
+    os << buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"chaos_events\":%llu,\"chaos\":{\"throws\":%llu,"
+        "\"stalls\":%llu,\"transients\":%llu,\"arrival_delays\":%llu,"
+        "\"clock_skews\":%llu,\"store_faults\":%llu}},\n",
+        static_cast<unsigned long long>(stats.chaos_events),
+        static_cast<unsigned long long>(chaos.throws),
+        static_cast<unsigned long long>(chaos.stalls),
+        static_cast<unsigned long long>(chaos.transients),
+        static_cast<unsigned long long>(chaos.arrival_delays),
+        static_cast<unsigned long long>(chaos.clock_skews),
+        static_cast<unsigned long long>(chaos.store_faults));
+    os << buf;
 
     os << "\"latency_ns\":{";
     const std::map<std::string, LogHistogram> &all = latencies.all();

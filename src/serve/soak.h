@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/chaos.h"
 #include "serve/server.h"
 
 namespace mixgemm
@@ -90,6 +91,16 @@ struct SoakConfig
      */
     bool inject_stall = false;
 
+    /**
+     * Non-empty: run under a named chaos scenario (see
+     * chaosProfileByName()). The scenario's profile arms the circuit
+     * breakers, retry budget, hedging and backend health for the run;
+     * the chaos seed derives from the soak seed, so the injected fault
+     * schedule is part of the same determinism contract as the rest of
+     * the soak.
+     */
+    std::string chaos_scenario;
+
     /** Called with the live server after graph registration, before any
      * traffic — attach observers/exporters here. */
     std::function<void(InferenceServer &)> on_server_start;
@@ -108,6 +119,7 @@ struct SoakResult
     uint64_t decision_hash = 0; ///< FNV-1a over the log lines
     double elapsed_s = 0.0;     ///< simulated or wall duration
     double goodput_rps = 0.0;   ///< ok completions per (sim/wall) second
+    ChaosCounts chaos;          ///< applied-event counts (chaos runs)
 
     /** Serialize for the CI artifact; includes the decision log only
      * when the config asked for it. */

@@ -226,28 +226,66 @@ writeArtifact(const PackedModel &model, const std::string &path)
         artifactChecksum(&header, offsetof(ArtifactHeader, header_fnv));
     std::memcpy(base, &header, sizeof(header));
 
-    // Write-to-temp + rename: concurrent loaders either see the old
-    // artifact or the complete new one, never a torn write.
+    // Write-to-temp + fsync + rename + directory fsync: concurrent
+    // loaders either see the old artifact or the complete new one,
+    // never a torn write — and after a crash *at any point*, either the
+    // old content or the new content is durably on disk (the fsync
+    // before the rename keeps the rename from outrunning the data; the
+    // directory fsync makes the rename itself durable). A stale *.tmp
+    // left by a crash mid-write is swept by PackedWeightStore on open.
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            return Status::unavailable(strCat("writeArtifact: cannot open '",
-                                              tmp, "'"));
-        }
-        out.write(reinterpret_cast<const char *>(base),
-                  static_cast<std::streamsize>(file_bytes));
-        if (!out) {
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        return Status::unavailable(strCat("writeArtifact: cannot open '",
+                                          tmp, "': ",
+                                          std::strerror(errno)));
+    }
+    uint64_t written = 0;
+    while (written < file_bytes) {
+        const ssize_t n = ::write(fd, base + written,
+                                  file_bytes - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
             std::remove(tmp.c_str());
-            return Status::unavailable(strCat("writeArtifact: short write to '",
-                                              tmp, "'"));
+            return Status::unavailable(
+                strCat("writeArtifact: short write to '", tmp, "': ",
+                       std::strerror(err)));
         }
+        written += static_cast<uint64_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return Status::unavailable(strCat("writeArtifact: fsync '", tmp,
+                                          "': ", std::strerror(err)));
+    }
+    if (::close(fd) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        return Status::unavailable(strCat("writeArtifact: close '", tmp,
+                                          "': ", std::strerror(err)));
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         const int err = errno;
         std::remove(tmp.c_str());
         return Status::unavailable(strCat("writeArtifact: rename to '", path,
                                           "': ", std::strerror(err)));
+    }
+    // Durability of the rename is best-effort: a failure here leaves a
+    // fully valid file that may revert to absent after a crash, which
+    // the store handles by re-packing.
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+        ::fsync(dirfd);
+        ::close(dirfd);
     }
     return Status();
 }

@@ -192,6 +192,30 @@ PackedModelIndex::find(const int32_t *data, uint64_t k, uint64_t n,
 PackedWeightStore::PackedWeightStore(StoreOptions options)
     : options_(std::move(options))
 {
+    if (options_.dir.empty())
+        return;
+    // Sweep temp files left by a crash mid-persist: writeArtifact
+    // stages to "<key>.mgw.tmp" and renames, so any *.mgw.tmp that
+    // survived to the next open is garbage from an interrupted write.
+    std::error_code ec;
+    std::filesystem::directory_iterator it(options_.dir, ec);
+    if (ec)
+        return;
+    for (const auto &entry : it) {
+        const std::string name = entry.path().filename().string();
+        constexpr const char kSuffix[] = ".mgw.tmp";
+        constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+        if (name.size() <= kSuffixLen ||
+            name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) !=
+                0)
+            continue;
+        std::error_code rm;
+        if (std::filesystem::remove(entry.path(), rm) && !rm) {
+            ++stats_.stale_tmp_swept;
+            warn(strCat("packed-weight store: swept stale temp file '",
+                        entry.path().string(), "'"));
+        }
+    }
 }
 
 std::string
@@ -222,20 +246,28 @@ PackedWeightStore::load(const QuantizedGraph &graph,
     if (!path.empty()) {
         std::error_code ec;
         if (std::filesystem::exists(path, ec)) {
-            auto loaded =
-                loadArtifact(path, options_.verify_checksums, key);
-            if (loaded.ok()) {
-                ++stats_.hits;
-                ++stats_.artifact_loads;
-                auto model = std::make_shared<const PackedModel>(
-                    std::move(*loaded));
-                insertLocked(key, model);
-                enforceBudgetLocked(key);
-                return model;
+            const uint64_t load_index = load_index_++;
+            Status fault;
+            if (options_.load_fault_hook)
+                fault = options_.load_fault_hook(load_index);
+            if (fault.ok()) {
+                auto loaded =
+                    loadArtifact(path, options_.verify_checksums, key);
+                if (loaded.ok()) {
+                    ++stats_.hits;
+                    ++stats_.artifact_loads;
+                    auto model = std::make_shared<const PackedModel>(
+                        std::move(*loaded));
+                    insertLocked(key, model);
+                    enforceBudgetLocked(key);
+                    return model;
+                }
+                fault = loaded.status();
             }
-            // Corrupt/stale artifact: self-heal by re-packing over it.
+            // Corrupt/stale artifact (or an injected fault): self-heal
+            // by re-packing over it.
             warn(strCat("packed-weight store: rejecting artifact: ",
-                        loaded.status().toString()));
+                        fault.toString()));
             ++stats_.rejected;
         }
     }

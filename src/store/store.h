@@ -27,6 +27,7 @@
 #define MIXGEMM_STORE_STORE_H
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -114,6 +115,14 @@ struct StoreOptions
     bool verify_checksums = true;
     /** Persist fresh packs as artifacts. */
     bool persist = true;
+    /**
+     * Fault hook consulted before each artifact load, with a monotonic
+     * per-store load index. A non-ok return is treated exactly like a
+     * corrupt mapping: the artifact is rejected and re-packed over
+     * (self-heal). Used by the chaos plane to inject deterministic
+     * store faults; null — the default — is free.
+     */
+    std::function<Status(uint64_t load_index)> load_fault_hook;
 };
 
 /** Monotonic store counters (snapshot via PackedWeightStore::stats()). */
@@ -125,6 +134,7 @@ struct StoreStats
     uint64_t artifact_loads = 0; ///< zero-copy mmap adoptions
     uint64_t artifact_writes = 0;///< artifacts persisted
     uint64_t rejected = 0;       ///< corrupt/stale artifacts re-packed over
+    uint64_t stale_tmp_swept = 0;///< crash-leftover *.tmp removed on open
     uint64_t evictions = 0;      ///< resident models dropped by budget
     uint64_t resident_bytes = 0; ///< current resident footprint
     uint64_t resident_models = 0;///< current resident count
@@ -172,6 +182,7 @@ class PackedWeightStore
 
     StoreOptions options_;
     mutable std::mutex mutex_;
+    uint64_t load_index_ = 0; ///< artifact-load counter (fault hook)
     std::list<Resident> lru_; ///< front = most recently used
     std::unordered_map<uint64_t, std::list<Resident>::iterator> by_key_;
     StoreStats stats_;

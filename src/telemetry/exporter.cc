@@ -106,13 +106,15 @@ MetricsHttpServer::start(MetricsRegistry *registry,
                       &bound_len) == 0)
         port = ntohs(bound.sin_port);
 
-    return std::unique_ptr<MetricsHttpServer>(
-        new MetricsHttpServer(registry, fd, port));
+    return std::unique_ptr<MetricsHttpServer>(new MetricsHttpServer(
+        registry, fd, port, std::move(options.health)));
 }
 
 MetricsHttpServer::MetricsHttpServer(MetricsRegistry *registry,
-                                     int listen_fd, uint16_t port)
-    : registry_(registry), listen_fd_(listen_fd), port_(port)
+                                     int listen_fd, uint16_t port,
+                                     std::function<HealthReport()> health)
+    : registry_(registry), health_(std::move(health)),
+      listen_fd_(listen_fd), port_(port)
 {
     thread_ = std::thread([this] {
         Tracer::nameCurrentThread("metrics-http");
@@ -212,7 +214,27 @@ MetricsHttpServer::handleConnection(int fd)
             200, "OK", "text/plain; version=0.0.4; charset=utf-8",
             registry_->renderPrometheus());
     } else if (target == "/healthz") {
-        response = httpResponse(200, "OK", "text/plain", "ok\n");
+        HealthReport report;
+        if (health_)
+            report = health_();
+        if (report.healthy) {
+            response = httpResponse(200, "OK", "text/plain", "ok\n");
+        } else {
+            // 503 takes the instance out of an orchestrator's rotation;
+            // the JSON body names why, for a human following up.
+            std::string reason;
+            reason.reserve(report.reason.size());
+            for (const char c : report.reason) {
+                if (c == '"' || c == '\\')
+                    reason.push_back('\\');
+                if (static_cast<unsigned char>(c) >= 0x20)
+                    reason.push_back(c);
+            }
+            response = httpResponse(
+                503, "Service Unavailable", "application/json",
+                strCat("{\"healthy\":false,\"reason\":\"", reason,
+                       "\"}\n"));
+        }
     } else if (target == "/varz") {
         response = httpResponse(200, "OK", "application/json",
                                 registry_->renderVarz());

@@ -26,6 +26,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,11 +38,27 @@
 namespace mixgemm
 {
 
+/** What /healthz should report. */
+struct HealthReport
+{
+    bool healthy = true;
+    std::string reason; ///< why degraded (empty when healthy)
+};
+
 /** HTTP listener knobs. */
 struct HttpExporterOptions
 {
     std::string bind_address = "127.0.0.1";
     uint16_t port = 0; ///< 0 = ephemeral (read back via port())
+    /**
+     * Health callback consulted on every /healthz hit. A degraded
+     * report turns the endpoint into HTTP 503 with a JSON body naming
+     * the reason, so an orchestrator's probe takes the instance out of
+     * rotation while (say) a circuit breaker is open or a backend is
+     * quarantined. Null — the default — always reports healthy. Must
+     * be thread-safe; runs on the serve thread.
+     */
+    std::function<HealthReport()> health;
 };
 
 /** See the file comment. */
@@ -65,12 +82,14 @@ class MetricsHttpServer
 
   private:
     MetricsHttpServer(MetricsRegistry *registry, int listen_fd,
-                      uint16_t port);
+                      uint16_t port,
+                      std::function<HealthReport()> health);
 
     void serveLoop();
     void handleConnection(int fd);
 
     MetricsRegistry *registry_;
+    std::function<HealthReport()> health_;
     int listen_fd_ = -1;
     uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};

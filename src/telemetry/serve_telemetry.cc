@@ -153,6 +153,29 @@ ServeTelemetry::onRunReport(const RunReport &report)
         options_.recorder->recordReport(report);
 }
 
+HealthReport
+ServeTelemetry::healthReport() const
+{
+    HealthReport report;
+    if (!server_)
+        return report;
+    const ServerStats stats = server_->stats();
+    if (stats.breakers_open == 0 && stats.backends_quarantined == 0)
+        return report;
+    report.healthy = false;
+    std::string reason;
+    if (stats.breakers_open > 0)
+        reason = strCat(stats.breakers_open, " circuit breaker(s) open");
+    if (stats.backends_quarantined > 0) {
+        if (!reason.empty())
+            reason += "; ";
+        reason += strCat(stats.backends_quarantined,
+                         " backend(s) quarantined");
+    }
+    report.reason = std::move(reason);
+    return report;
+}
+
 void
 ServeTelemetry::sync()
 {
@@ -201,6 +224,42 @@ ServeTelemetry::sync()
     serveCounter("mixgemm_serve_decisions_dropped_total",
                  "Decision-log entries dropped past the retention cap")
         ->setMax(stats.decisions_dropped);
+    serveCounter("mixgemm_serve_breaker_open_total",
+                 "Circuit-breaker closed->open transitions")
+        ->setMax(stats.breaker_open_events);
+    serveCounter("mixgemm_serve_breaker_reopen_total",
+                 "Circuit breakers re-opened by a failed probe")
+        ->setMax(stats.breaker_reopen_events);
+    serveCounter("mixgemm_serve_breaker_close_total",
+                 "Circuit breakers closed after successful probes")
+        ->setMax(stats.breaker_close_events);
+    serveCounter("mixgemm_serve_breaker_probes_total",
+                 "Requests admitted as half-open breaker probes")
+        ->setMax(stats.breaker_probes);
+    serveCounter("mixgemm_serve_breaker_fast_fail_total",
+                 "Requests fast-failed by an open circuit breaker")
+        ->setMax(stats.breaker_fast_fails);
+    serveCounter("mixgemm_serve_retry_budget_denied_total",
+                 "Retries suppressed by the global retry budget")
+        ->setMax(stats.retry_budget_denied);
+    serveCounter("mixgemm_serve_hedges_total",
+                 "Hedged duplicate attempts launched")
+        ->setMax(stats.hedges_launched);
+    serveCounter("mixgemm_serve_hedge_wins_total",
+                 "Requests whose hedge finished first")
+        ->setMax(stats.hedge_wins);
+    serveCounter("mixgemm_serve_quarantine_total",
+                 "Worker backends quarantined by health scoring")
+        ->setMax(stats.backend_quarantines);
+    serveCounter("mixgemm_serve_quarantine_recoveries_total",
+                 "Worker backends returned from quarantine")
+        ->setMax(stats.backend_recoveries);
+    serveCounter("mixgemm_serve_chaos_events_total",
+                 "Chaos-plane events injected")
+        ->setMax(stats.chaos_events);
+    serveCounter("mixgemm_serve_graph_reloads_total",
+                 "Hot ladder reloads applied")
+        ->setMax(stats.graph_reloads);
     options_.registry
         ->counter("mixgemm_serve_rejected_total",
                   "Requests rejected at admission, by reason",
@@ -242,6 +301,20 @@ ServeTelemetry::sync()
         ->gauge("mixgemm_serve_lazy_rungs_resident",
                 "Materialized lazy rungs", {{"model", model}})
         ->set(static_cast<double>(stats.lazy_rungs_resident));
+    options_.registry
+        ->gauge("mixgemm_serve_breakers_open",
+                "Circuit breakers currently not closed",
+                {{"model", model}})
+        ->set(static_cast<double>(stats.breakers_open));
+    options_.registry
+        ->gauge("mixgemm_serve_backends_quarantined",
+                "Worker backends currently quarantined",
+                {{"model", model}})
+        ->set(static_cast<double>(stats.backends_quarantined));
+    options_.registry
+        ->gauge("mixgemm_serve_retry_budget_level",
+                "Retry-budget tokens remaining", {{"model", model}})
+        ->set(stats.retry_budget_level);
 
     for (size_t rung = 0; rung < stats.completed_by_tier.size(); ++rung)
         options_.registry

@@ -43,6 +43,7 @@
 
 #include "gemm/kernels/autotune.h"
 #include "serve/server.h"
+#include "telemetry/exporter.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/registry.h"
 #include "tensor/packing.h"
@@ -107,6 +108,14 @@ class ServeTelemetry : public ServeObserver
      * SLO gauges. Runs automatically on every render once
      * attachServer() registered the collector. */
     void sync();
+
+    /**
+     * Liveness verdict for the /healthz endpoint
+     * (HttpExporterOptions::health): degraded while any circuit
+     * breaker is open or any worker backend is quarantined, with a
+     * reason naming the counts. Thread-safe.
+     */
+    HealthReport healthReport() const;
 
   private:
     CounterMetric *serveCounter(const std::string &name,

@@ -1,0 +1,862 @@
+/**
+ * @file
+ * Chaos plane and resilience tests: the circuit-breaker state machine
+ * (closed -> open -> half-open -> closed, probe accounting, reopen on a
+ * failed probe), retry-budget token-bucket properties under adversarial
+ * schedules (never exceeds budget, refill monotonic under a backwards
+ * clock), ChaosEngine determinism (pure function of seed x logical
+ * coordinates, call-order independent), server integration under a
+ * VirtualClock pump (a persistently failing rung opens its breaker,
+ * fast-fails, then half-open probes close it once injection stops;
+ * modeled hedges; backend quarantine and recovery; hot ladder reload
+ * with requests in flight), chaos-off bitwise equivalence, same-seed
+ * chaos-soak determinism, and the packed-weight store's crash-safety
+ * satellites (stale temp sweep, load-fault self-heal).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "runtime/backend.h"
+#include "runtime/qgraph.h"
+#include "serve/chaos.h"
+#include "serve/resilience.h"
+#include "serve/server.h"
+#include "serve/soak.h"
+#include "store/store.h"
+#include "tensor/packing.h"
+
+namespace mixgemm
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Circuit breaker state machine
+// ---------------------------------------------------------------------
+
+BreakerOptions
+quickBreaker()
+{
+    BreakerOptions options;
+    options.enabled = true;
+    options.window_ns = 1'000'000;
+    options.min_samples = 4;
+    options.failure_threshold = 0.5;
+    options.open_ns = 1'000;
+    options.half_open_probes = 2;
+    options.close_after = 2;
+    return options;
+}
+
+TEST(CircuitBreaker, DisabledBreakerIsTransparent)
+{
+    CircuitBreaker breaker; // default options: disabled
+    for (int i = 0; i < 32; ++i) {
+        const auto d = breaker.admit(static_cast<uint64_t>(i));
+        EXPECT_TRUE(d.allow);
+        EXPECT_FALSE(d.probe);
+        EXPECT_EQ(breaker.onFailure(static_cast<uint64_t>(i), false),
+                  BreakerEvent::kNone);
+    }
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, ClosedOpensHalfOpensThenCloses)
+{
+    CircuitBreaker breaker(quickBreaker());
+    uint64_t now = 100;
+
+    // Below min_samples nothing trips, even at 100 % failure.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(breaker.onFailure(now++, false), BreakerEvent::kNone);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+    // Fourth failure: window full, rate 1.0 >= 0.5 -> opens.
+    EXPECT_EQ(breaker.onFailure(now++, false), BreakerEvent::kOpened);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+    // Open: requests fast-fail until the cooldown elapses.
+    EXPECT_FALSE(breaker.admit(now).allow);
+
+    // Cooldown elapsed: half-open, probes admitted.
+    now += 2'000;
+    const auto probe1 = breaker.admit(now);
+    EXPECT_TRUE(probe1.allow);
+    EXPECT_TRUE(probe1.probe);
+    EXPECT_EQ(probe1.event, BreakerEvent::kHalfOpened);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+    const auto probe2 = breaker.admit(now);
+    EXPECT_TRUE(probe2.probe);
+    EXPECT_EQ(probe2.event, BreakerEvent::kNone);
+
+    // close_after = 2 consecutive probe successes close it.
+    EXPECT_EQ(breaker.onSuccess(now, /*probe=*/true),
+              BreakerEvent::kNone);
+    EXPECT_EQ(breaker.onSuccess(now, /*probe=*/true),
+              BreakerEvent::kClosed);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    EXPECT_EQ(breaker.probesInFlight(), 0u);
+
+    // The window was cleared on close: old failures cannot re-trip it.
+    EXPECT_EQ(breaker.onFailure(now, false), BreakerEvent::kNone);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopens)
+{
+    CircuitBreaker breaker(quickBreaker());
+    uint64_t now = 0;
+    for (int i = 0; i < 4; ++i)
+        breaker.onFailure(now, false);
+    ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+    now += 2'000;
+    ASSERT_TRUE(breaker.admit(now).probe);
+    EXPECT_EQ(breaker.onFailure(now, /*probe=*/true),
+              BreakerEvent::kReopened);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+    EXPECT_EQ(breaker.probesInFlight(), 0u);
+
+    // The new cooldown starts at the reopen time.
+    EXPECT_FALSE(breaker.admit(now + 500).allow);
+    EXPECT_TRUE(breaker.admit(now + 2'000).probe);
+}
+
+TEST(CircuitBreaker, ProbeSlotsAreBoundedAndAbandonReleases)
+{
+    CircuitBreaker breaker(quickBreaker());
+    uint64_t now = 0;
+    for (int i = 0; i < 4; ++i)
+        breaker.onFailure(now, false);
+    now += 2'000;
+
+    // Exactly half_open_probes slots; further admits are denied.
+    EXPECT_TRUE(breaker.admit(now).probe);
+    EXPECT_TRUE(breaker.admit(now).probe);
+    EXPECT_EQ(breaker.probesInFlight(), 2u);
+    EXPECT_FALSE(breaker.admit(now).allow);
+
+    // An abandoned probe (expired in queue, cancelled) frees its slot
+    // without feeding the verdict.
+    breaker.abandonProbe(true);
+    EXPECT_EQ(breaker.probesInFlight(), 1u);
+    EXPECT_TRUE(breaker.admit(now).probe);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreaker, MixedWindowRespectsThreshold)
+{
+    BreakerOptions options = quickBreaker();
+    options.min_samples = 4;
+    options.failure_threshold = 0.75;
+    CircuitBreaker breaker(options);
+    uint64_t now = 0;
+    // 2/4 failures = 0.5 < 0.75: stays closed.
+    breaker.onFailure(now++, false);
+    breaker.onSuccess(now++, false);
+    breaker.onFailure(now++, false);
+    EXPECT_EQ(breaker.onSuccess(now++, false), BreakerEvent::kNone);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    // Two more failures push the rate to 4/6 = 0.66 — still under. A
+    // seventh sample at 5/7 = 0.71 under, the eighth tips 6/8 = 0.75.
+    breaker.onFailure(now++, false);
+    breaker.onFailure(now++, false);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    breaker.onFailure(now++, false);
+    EXPECT_EQ(breaker.onFailure(now++, false), BreakerEvent::kOpened);
+}
+
+// ---------------------------------------------------------------------
+// Retry budget token bucket
+// ---------------------------------------------------------------------
+
+TEST(RetryBudget, NeverExceedsBudgetUnderAdversarialSchedule)
+{
+    RetryBudgetOptions options;
+    options.enabled = true;
+    options.tokens_per_s = 100.0; // 1 token per 10 ms
+    options.burst = 5.0;
+    RetryBudget budget(options);
+
+    // Property: at any time t, grants <= burst + rate * elapsed(t),
+    // for an adversarial schedule that bursts, idles, and rewinds.
+    Rng rng(7);
+    uint64_t now = 0;
+    uint64_t max_seen = 0;
+    for (int step = 0; step < 2'000; ++step) {
+        const int kind = static_cast<int>(rng.uniformInt(0, 3));
+        if (kind == 0)
+            now += rng.uniformInt(0, 20'000'000); // jump ahead
+        else if (kind == 1 && now > 1'000)
+            now -= 1'000; // clock skew backwards
+        budget.tryAcquire(now);
+        max_seen = std::max(max_seen, now);
+        const double ceiling =
+            options.burst +
+            options.tokens_per_s * static_cast<double>(max_seen) / 1e9;
+        EXPECT_LE(static_cast<double>(budget.granted()),
+                  ceiling + 1e-9)
+            << "step " << step << " now " << now;
+    }
+    EXPECT_GT(budget.denied(), 0u);
+}
+
+TEST(RetryBudget, RefillIsMonotonicUnderBackwardsClock)
+{
+    RetryBudgetOptions options;
+    options.enabled = true;
+    options.tokens_per_s = 1'000.0;
+    options.burst = 2.0;
+    RetryBudget budget(options);
+
+    EXPECT_TRUE(budget.tryAcquire(1'000'000));
+    EXPECT_TRUE(budget.tryAcquire(1'000'000));
+    const double drained = budget.level(1'000'000);
+    EXPECT_LT(drained, 1.0);
+
+    // A clock that goes backwards must refill nothing — and must not
+    // debit the bucket either.
+    EXPECT_EQ(budget.level(500'000), drained);
+    EXPECT_FALSE(budget.tryAcquire(500'000));
+
+    // Time moving forward refills at the configured rate, capped at
+    // burst.
+    EXPECT_GT(budget.level(2'000'000), drained);
+    EXPECT_DOUBLE_EQ(budget.level(1'000'000'000), options.burst);
+}
+
+TEST(RetryBudget, DisabledBudgetAlwaysGrants)
+{
+    RetryBudget budget; // disabled
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(budget.tryAcquire(0));
+    EXPECT_EQ(budget.denied(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ChaosEngine determinism
+// ---------------------------------------------------------------------
+
+ChaosScenario
+noisyScenario()
+{
+    ChaosScenario s;
+    s.name = "test";
+    s.throw_prob = 0.1;
+    s.stall_prob = 0.2;
+    s.stall_ns = 5'000;
+    s.transient_prob = 0.3;
+    s.queue_delay_prob = 0.25;
+    s.queue_delay_ns = 700;
+    s.clock_skew_prob = 0.2;
+    s.clock_skew_ns = 300;
+    s.store_fault_prob = 0.5;
+    return s;
+}
+
+TEST(ChaosEngine, SameSeedSamePlansAnyCallOrder)
+{
+    const ChaosEngine a(42, noisyScenario());
+    const ChaosEngine b(42, noisyScenario());
+
+    // b is queried in reverse and with interleaved unrelated calls;
+    // every plan must still match a's, because each decision is a pure
+    // function of (seed, coordinates), not of engine call history.
+    std::vector<ChaosAttemptPlan> plans_a;
+    for (uint64_t seq = 0; seq < 64; ++seq)
+        plans_a.push_back(a.planAttempt(seq, 1 + seq % 3, 0, 0));
+    for (uint64_t seq = 64; seq-- > 0;) {
+        (void)b.planSubmit(seq, 0);
+        (void)b.planStoreFault(seq);
+        const ChaosAttemptPlan plan =
+            b.planAttempt(seq, 1 + seq % 3, 0, 0);
+        EXPECT_EQ(static_cast<int>(plan.action),
+                  static_cast<int>(plans_a[seq].action))
+            << "seq " << seq;
+        EXPECT_EQ(plan.stall_ns, plans_a[seq].stall_ns);
+    }
+    for (uint64_t seq = 0; seq < 64; ++seq) {
+        const auto sa = a.planSubmit(seq, 0);
+        const auto sb = b.planSubmit(seq, 0);
+        EXPECT_EQ(sa.delay_ns, sb.delay_ns);
+        EXPECT_EQ(sa.skew_ns, sb.skew_ns);
+        EXPECT_EQ(a.planStoreFault(seq), b.planStoreFault(seq));
+    }
+}
+
+TEST(ChaosEngine, DifferentSeedsDiverge)
+{
+    const ChaosEngine a(1, noisyScenario());
+    const ChaosEngine b(2, noisyScenario());
+    bool diverged = false;
+    for (uint64_t seq = 0; seq < 256 && !diverged; ++seq) {
+        diverged =
+            a.planAttempt(seq, 1, 0, 0).action !=
+                b.planAttempt(seq, 1, 0, 0).action ||
+            a.planSubmit(seq, 0).delay_ns !=
+                b.planSubmit(seq, 0).delay_ns;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(ChaosEngine, WindowAndTierGateInjection)
+{
+    ChaosScenario s;
+    s.transient_prob = 1.0;
+    s.target_tier = 1;
+    s.inject_until_ns = 1'000;
+    const ChaosEngine engine(9, s);
+    EXPECT_TRUE(engine.enabled());
+
+    // Wrong tier: never injected.
+    EXPECT_EQ(engine.planAttempt(0, 1, 0, 0).action,
+              ChaosAttemptPlan::Action::kNone);
+    // Right tier inside the window: always injected.
+    EXPECT_EQ(engine.planAttempt(0, 1, 1, 0).action,
+              ChaosAttemptPlan::Action::kTransient);
+    // Window closed: injection stops.
+    EXPECT_FALSE(engine.active(1'000));
+    EXPECT_EQ(engine.planAttempt(0, 1, 1, 1'000).action,
+              ChaosAttemptPlan::Action::kNone);
+}
+
+TEST(ChaosEngine, ProfilesResolveAndUnknownNameIsRejected)
+{
+    for (const char *name : {"rung-failure", "flaky-backend", "storm",
+                             "stall-hedge", "stall-crash"}) {
+        const auto profile = chaosProfileByName(name, 1'000'000'000);
+        ASSERT_TRUE(profile.ok()) << name;
+        EXPECT_EQ(profile->scenario.name, name);
+        EXPECT_TRUE(profile->breaker.enabled) << name;
+        EXPECT_TRUE(profile->retry_budget.enabled) << name;
+    }
+    const auto bad = chaosProfileByName("nope", 1'000'000'000);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(bad.status().message().find("rung-failure"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Server integration under the VirtualClock pump
+// ---------------------------------------------------------------------
+
+constexpr uint64_t kK = 32;
+constexpr uint64_t kN = 8;
+
+QuantizedGraph
+makeLinearGraph(uint64_t seed)
+{
+    Rng rng(seed);
+    QNode lin;
+    lin.kind = QNode::Kind::kLinear;
+    lin.spec.in_c = static_cast<unsigned>(kK);
+    lin.spec.out_c = static_cast<unsigned>(kN);
+    lin.spec.kh = lin.spec.kw = 1;
+    lin.spec.in_h = lin.spec.in_w = 1;
+    lin.weights_q.resize(kK * kN);
+    for (auto &w : lin.weights_q)
+        w = static_cast<int32_t>(rng.uniformInt(-20, 20));
+    lin.bias.assign(kN, 0.25);
+    lin.a_params = QuantParams{0.05, 0, 8, true};
+    lin.w_params = QuantParams{0.05, 0, 8, true};
+    return QuantizedGraph({lin});
+}
+
+Tensor<double>
+makeInput(uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> data(kK);
+    for (auto &v : data)
+        v = rng.uniformReal(-1.0, 1.0);
+    return Tensor<double>({1, kK}, std::move(data));
+}
+
+ServerOptions
+pumpOptions(VirtualClock &clock)
+{
+    ServerOptions options;
+    options.workers = 0;
+    options.virtual_clock = &clock;
+    options.degradation.enabled = false;
+    options.queue_capacity = 8;
+    return options;
+}
+
+uint64_t
+registerLinear(InferenceServer &server, unsigned tiers = 1,
+               uint64_t graph_seed = 7)
+{
+    std::vector<TierSpec> ladder;
+    const char *labels[] = {"full", "eco", "min"};
+    for (unsigned t = 0; t < tiers; ++t) {
+        TierSpec tier;
+        tier.graph = makeLinearGraph(graph_seed);
+        tier.label = labels[t % 3];
+        ladder.push_back(std::move(tier));
+    }
+    auto id = server.registerGraph("lin", std::move(ladder), {1, kK});
+    EXPECT_TRUE(id.ok()) << id.status().toString();
+    return *id;
+}
+
+bool
+logContains(const InferenceServer &server, const std::string &needle)
+{
+    for (const std::string &line : server.decisionLog())
+        if (line.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+ServeRequest
+makeRequest(uint64_t graph_id, int priority = 0,
+            uint64_t deadline_ns = 0)
+{
+    ServeRequest request;
+    request.graph_id = graph_id;
+    request.input = makeInput(11);
+    request.priority = priority;
+    request.deadline_ns = deadline_ns;
+    return request;
+}
+
+TEST(ChaosServer, FailingRungOpensBreakerFastFailsThenRecovers)
+{
+    // The acceptance scenario in miniature: rung 0 fails every attempt
+    // inside the injection window. The breaker opens, fast-fails at
+    // admission, then half-open probes close it once injection stops.
+    VirtualClock clock;
+    ChaosScenario scenario;
+    scenario.transient_prob = 1.0;
+    scenario.target_tier = 0;
+    // The window must dwarf the retry backoff (~1 ms of virtual time
+    // per failed request), or retries escape the injection.
+    scenario.inject_until_ns = 50'000'000;
+    ChaosEngine chaos(5, scenario);
+
+    ServerOptions options = pumpOptions(clock);
+    options.chaos = &chaos;
+    options.breaker.enabled = true;
+    options.breaker.window_ns = 50'000'000;
+    options.breaker.min_samples = 4;
+    options.breaker.failure_threshold = 0.5;
+    options.breaker.open_ns = 10'000'000;
+    options.breaker.half_open_probes = 1;
+    options.breaker.close_after = 1;
+    options.max_retries = 1;
+    InferenceServer server(options);
+    const uint64_t id = registerLinear(server);
+
+    // Four failing requests trip the breaker.
+    for (int i = 0; i < 4; ++i) {
+        auto f = server.submit(makeRequest(id));
+        ASSERT_EQ(server.pump(1), 1u);
+        EXPECT_EQ(f.get().status.code(), StatusCode::kUnavailable);
+    }
+    EXPECT_TRUE(logContains(server, "chaos kind=transient"));
+    EXPECT_TRUE(logContains(server, "breaker_open graph=lin tier=0"));
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.breaker_open_events, 1u);
+    EXPECT_EQ(stats.breakers_open, 1u);
+    EXPECT_GT(stats.retries, 0u);
+
+    // While open, admission fast-fails without queueing anything.
+    auto fast = server.submit(makeRequest(id));
+    EXPECT_EQ(fast.get().status.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(logContains(server, "breaker_fast_fail"));
+    stats = server.stats();
+    EXPECT_GE(stats.breaker_fast_fails, 1u);
+    EXPECT_EQ(server.queueDepth(), 0u);
+
+    // Past the cooldown and past the injection window: the next
+    // request is a half-open probe, it succeeds, and close_after = 1
+    // closes the breaker.
+    clock.advanceToNs(60'000'000);
+    auto probe = server.submit(makeRequest(id));
+    ASSERT_EQ(server.pump(1), 1u);
+    EXPECT_TRUE(probe.get().status.ok());
+    EXPECT_TRUE(logContains(server, "breaker_half_open"));
+    EXPECT_TRUE(logContains(server, "breaker_probe"));
+    EXPECT_TRUE(logContains(server, "breaker_close graph=lin tier=0"));
+    stats = server.stats();
+    EXPECT_EQ(stats.breaker_close_events, 1u);
+    EXPECT_EQ(stats.breakers_open, 0u);
+    EXPECT_EQ(stats.breaker_probes, 1u);
+
+    // Healthy again: ordinary requests flow.
+    auto after = server.submit(makeRequest(id));
+    ASSERT_EQ(server.pump(1), 1u);
+    EXPECT_TRUE(after.get().status.ok());
+}
+
+TEST(ChaosServer, RetryBudgetBoundsRetriesUnderInjection)
+{
+    VirtualClock clock;
+    ChaosScenario scenario;
+    scenario.transient_prob = 1.0;
+    ChaosEngine chaos(6, scenario);
+
+    ServerOptions options = pumpOptions(clock);
+    options.chaos = &chaos;
+    options.max_retries = 3;
+    options.retry_budget.enabled = true;
+    options.retry_budget.tokens_per_s = 0.0; // nothing ever refills
+    options.retry_budget.burst = 2.0;
+    InferenceServer server(options);
+    const uint64_t id = registerLinear(server);
+
+    // Every attempt fails; only two retries exist in the whole budget,
+    // so across three requests at most two retries happen and the rest
+    // are denied and logged.
+    for (int i = 0; i < 3; ++i) {
+        auto f = server.submit(makeRequest(id));
+        ASSERT_EQ(server.pump(1), 1u);
+        EXPECT_EQ(f.get().status.code(), StatusCode::kUnavailable);
+    }
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.retries, 2u);
+    EXPECT_GT(stats.retry_budget_denied, 0u);
+    EXPECT_TRUE(logContains(server, "retry_denied_budget"));
+}
+
+TEST(ChaosServer, ModeledHedgeWinsOnStalledAttempt)
+{
+    VirtualClock clock;
+    ChaosScenario scenario;
+    scenario.stall_prob = 1.0;
+    scenario.stall_ns = 10'000'000;
+    ChaosEngine chaos(8, scenario);
+
+    ServerOptions options = pumpOptions(clock);
+    options.chaos = &chaos;
+    options.hedge.enabled = true;
+    options.hedge.delay_ns = 1'000'000; // < stall -> hedge fires
+    InferenceServer server(options);
+    const uint64_t id = registerLinear(server);
+
+    auto f = server.submit(makeRequest(id));
+    ASSERT_EQ(server.pump(1), 1u);
+    EXPECT_TRUE(f.get().status.ok());
+    EXPECT_TRUE(logContains(server, "chaos kind=stall"));
+    EXPECT_TRUE(logContains(server, "hedge_launch"));
+    EXPECT_TRUE(logContains(server, "hedge_win"));
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.hedges_launched, 1u);
+    EXPECT_EQ(stats.hedge_wins, 1u);
+    EXPECT_EQ(stats.completed_ok, 1u);
+    // The hedge charged delay + service rather than the full stall.
+    EXPECT_LT(clock.nowNs(), scenario.stall_ns);
+}
+
+TEST(ChaosServer, QuarantineAfterConsecutiveFailuresThenRecovery)
+{
+    VirtualClock clock;
+    ChaosScenario scenario;
+    scenario.transient_prob = 1.0;
+    scenario.inject_until_ns = 1'000'000;
+    ChaosEngine chaos(12, scenario);
+
+    ServerOptions options = pumpOptions(clock);
+    options.chaos = &chaos;
+    options.max_retries = 0;
+    options.health.enabled = true;
+    options.health.quarantine_after = 2;
+    // Release well past the injection window: sitting out the
+    // quarantine advances virtual time beyond inject_until_ns, so the
+    // recovered backend's first attempt is clean.
+    options.health.quarantine_ns = 2'000'000;
+    InferenceServer server(options);
+    const uint64_t id = registerLinear(server);
+
+    for (int i = 0; i < 2; ++i) {
+        auto f = server.submit(makeRequest(id));
+        ASSERT_EQ(server.pump(1), 1u);
+        EXPECT_EQ(f.get().status.code(), StatusCode::kUnavailable);
+    }
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.backend_quarantines, 1u);
+    EXPECT_EQ(stats.backends_quarantined, 1u);
+    EXPECT_TRUE(logContains(server, "quarantine worker="));
+
+    // Next dispatch sits out the quarantine (the pump advances virtual
+    // time to the release point), recycles the backend, and — with the
+    // injection window over by then — completes fine.
+    auto f = server.submit(makeRequest(id));
+    ASSERT_EQ(server.pump(1), 1u);
+    EXPECT_TRUE(f.get().status.ok());
+    EXPECT_TRUE(logContains(server, "quarantine_recover worker="));
+    stats = server.stats();
+    EXPECT_EQ(stats.backend_recoveries, 1u);
+    EXPECT_EQ(stats.backends_quarantined, 0u);
+}
+
+TEST(ChaosServer, ChaosOffIsBitwiseIdenticalToNoEngine)
+{
+    // A present-but-inert chaos plane (all probabilities zero, every
+    // resilience option disabled) must leave the decision log
+    // byte-identical to a server built with no engine at all — pinned
+    // across thread counts and kernel modes via the modeled service
+    // path in pump mode.
+    const auto runOnce = [](bool with_engine, KernelMode mode) {
+        VirtualClock clock;
+        ChaosScenario off;
+        ChaosEngine engine(99, off);
+        ServerOptions options;
+        options.workers = 0;
+        options.virtual_clock = &clock;
+        options.queue_capacity = 8;
+        options.kernel_mode = mode;
+        if (with_engine)
+            options.chaos = &engine;
+        InferenceServer server(options);
+        const uint64_t id = registerLinear(server);
+        std::vector<std::future<ServeResponse>> futures;
+        for (int i = 0; i < 6; ++i) {
+            futures.push_back(server.submit(makeRequest(
+                id, i % 3, i % 2 ? clock.nowNs() + 50'000'000 : 0)));
+            if (i % 2)
+                server.pump(1);
+            clock.advanceNs(1'000);
+        }
+        server.pump(16);
+        for (auto &f : futures)
+            f.wait();
+        return server.decisionLog();
+    };
+    for (const KernelMode mode :
+         {KernelMode::Fast, KernelMode::Modeled}) {
+        const auto base = runOnce(false, mode);
+        const auto inert = runOnce(true, mode);
+        EXPECT_EQ(base, inert);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hot model reload
+// ---------------------------------------------------------------------
+
+TEST(HotReload, SwapsLadderWhileRequestsAreQueued)
+{
+    VirtualClock clock;
+    InferenceServer server(pumpOptions(clock));
+    const uint64_t id = registerLinear(server, 1, /*graph_seed=*/7);
+
+    // Queue work, then swap the ladder underneath it before pumping.
+    auto before = server.submit(makeRequest(id));
+    std::vector<TierSpec> next;
+    TierSpec tier;
+    tier.graph = makeLinearGraph(21);
+    tier.label = "full";
+    next.push_back(std::move(tier));
+    const auto generation = server.reloadGraph(id, std::move(next));
+    ASSERT_TRUE(generation.ok()) << generation.status().toString();
+    EXPECT_EQ(*generation, 1u);
+
+    ASSERT_EQ(server.pump(1), 1u);
+    EXPECT_TRUE(before.get().status.ok());
+    EXPECT_TRUE(logContains(server, "reload graph=lin generation=1"));
+    EXPECT_EQ(server.stats().graph_reloads, 1u);
+
+    // The swapped weights actually serve: output matches a direct run
+    // of the NEW graph.
+    MixGemmBackend direct(1, KernelMode::Fast);
+    const std::vector<double> expected =
+        makeLinearGraph(21).run(makeInput(11), direct);
+    auto after = server.submit(makeRequest(id));
+    ASSERT_EQ(server.pump(1), 1u);
+    const ServeResponse response = after.get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.output, expected);
+
+    // A second reload bumps the generation again.
+    std::vector<TierSpec> third;
+    TierSpec t3;
+    t3.graph = makeLinearGraph(22);
+    t3.label = "full";
+    third.push_back(std::move(t3));
+    const auto gen2 = server.reloadGraph(id, std::move(third));
+    ASSERT_TRUE(gen2.ok());
+    EXPECT_EQ(*gen2, 2u);
+}
+
+TEST(HotReload, RejectsUnknownIdAndBadLadders)
+{
+    VirtualClock clock;
+    InferenceServer server(pumpOptions(clock));
+    const uint64_t id = registerLinear(server);
+
+    EXPECT_EQ(server.reloadGraph(id + 5, {}).status().code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ(server.reloadGraph(id, {}).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // A reload that shrinks the ladder still serves (tiers clamp).
+    const uint64_t wide = registerLinear(server, 3);
+    std::vector<TierSpec> narrow;
+    TierSpec tier;
+    tier.graph = makeLinearGraph(7);
+    tier.label = "full";
+    narrow.push_back(std::move(tier));
+    ASSERT_TRUE(server.reloadGraph(wide, std::move(narrow)).ok());
+    auto f = server.submit(makeRequest(wide));
+    ASSERT_EQ(server.pump(1), 1u);
+    EXPECT_TRUE(f.get().status.ok());
+}
+
+// ---------------------------------------------------------------------
+// Chaos soak determinism
+// ---------------------------------------------------------------------
+
+SoakConfig
+quickChaosSoak(const std::string &scenario)
+{
+    SoakConfig config;
+    config.seed = 42;
+    config.duration_s = 0.4;
+    config.arrival_hz = 600.0;
+    config.chaos_scenario = scenario;
+    config.emit_decision_log = false;
+    return config;
+}
+
+TEST(ChaosSoak, SameSeedChaosSoakIsByteIdentical)
+{
+    const SoakResult a = runServeSoak(quickChaosSoak("rung-failure"));
+    const SoakResult b = runServeSoak(quickChaosSoak("rung-failure"));
+    EXPECT_EQ(a.decision_hash, b.decision_hash);
+    EXPECT_EQ(a.stats.submitted, b.stats.submitted);
+    EXPECT_EQ(a.stats.breaker_fast_fails, b.stats.breaker_fast_fails);
+    EXPECT_EQ(a.chaos.total(), b.chaos.total());
+
+    // The scenario did what it says: the rung-0 breaker opened under
+    // injection and closed again after the window.
+    EXPECT_GE(a.stats.breaker_open_events, 1u);
+    EXPECT_GE(a.stats.breaker_close_events, 1u);
+    EXPECT_GT(a.stats.breaker_fast_fails, 0u);
+    EXPECT_GT(a.chaos.transients, 0u);
+    EXPECT_GT(a.stats.completed_ok, 0u);
+    EXPECT_EQ(a.stats.breakers_open, 0u); // healthy at drain
+
+    // JSON report carries the resilience section.
+    const std::string json = a.toJson();
+    EXPECT_NE(json.find("\"chaos_scenario\":\"rung-failure\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"resilience\":"), std::string::npos);
+}
+
+TEST(ChaosSoak, DifferentSeedsDiverge)
+{
+    SoakConfig a_config = quickChaosSoak("flaky-backend");
+    SoakConfig b_config = a_config;
+    b_config.seed = 43;
+    const SoakResult a = runServeSoak(a_config);
+    const SoakResult b = runServeSoak(b_config);
+    EXPECT_NE(a.decision_hash, b.decision_hash);
+}
+
+// ---------------------------------------------------------------------
+// Store crash-safety satellites
+// ---------------------------------------------------------------------
+
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        static int counter = 0;
+        path = fs::temp_directory_path() /
+               ("mixgemm_chaos_test_" + std::to_string(::getpid()) +
+                "_" + std::to_string(counter++));
+        fs::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+TEST(ChaosStore, StaleTempFilesAreSweptOnOpen)
+{
+    TempDir dir;
+    // Simulate a crash mid-persist: a staged temp file that never got
+    // renamed into place.
+    {
+        std::ofstream os(dir.path / "deadbeefdeadbeef.mgw.tmp");
+        os << "partial garbage";
+    }
+    std::ofstream(dir.path / "keep.mgw") << "not a temp file";
+
+    StoreOptions options;
+    options.dir = dir.path.string();
+    PackedWeightStore store(options);
+    EXPECT_EQ(store.stats().stale_tmp_swept, 1u);
+    EXPECT_FALSE(fs::exists(dir.path / "deadbeefdeadbeef.mgw.tmp"));
+    EXPECT_TRUE(fs::exists(dir.path / "keep.mgw"));
+}
+
+TEST(ChaosStore, LoadFaultHookForcesSelfHealingRepack)
+{
+    TempDir dir;
+    const QuantizedGraph graph = makeLinearGraph(7);
+
+    // First store persists the artifact.
+    {
+        StoreOptions options;
+        options.dir = dir.path.string();
+        PackedWeightStore store(options);
+        auto model = store.load(graph, nullptr);
+        ASSERT_TRUE(model.ok()) << model.status().toString();
+        EXPECT_EQ(store.stats().artifact_writes, 1u);
+    }
+
+    // Second store finds the artifact but the injected fault rejects
+    // the load; the store must self-heal by re-packing — the same path
+    // a corrupt mapping takes — and still return a usable model.
+    StoreOptions options;
+    options.dir = dir.path.string();
+    uint64_t faulted = 0;
+    options.load_fault_hook = [&faulted](uint64_t load_index) {
+        ++faulted;
+        return load_index == 0
+                   ? Status::dataLoss("chaos: injected artifact fault")
+                   : Status();
+    };
+    PackedWeightStore store(options);
+    auto healed = store.load(graph, nullptr);
+    ASSERT_TRUE(healed.ok()) << healed.status().toString();
+    EXPECT_EQ(faulted, 1u);
+    EXPECT_EQ(store.stats().rejected, 1u);
+    EXPECT_EQ(store.stats().packs, 1u);
+    EXPECT_FALSE((*healed)->entries.empty());
+
+    // A third store with no hook loads the (re-persisted or original)
+    // artifact cleanly.
+    StoreOptions clean;
+    clean.dir = dir.path.string();
+    PackedWeightStore verify(clean);
+    auto loaded = verify.load(graph, nullptr);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(verify.stats().artifact_loads, 1u);
+}
+
+} // namespace
+} // namespace mixgemm

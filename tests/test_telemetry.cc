@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
@@ -222,6 +223,54 @@ TEST(HttpExporter, ServesMetricsHealthzAndVarz)
                            "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
                   .find("405"),
               std::string::npos);
+    (*server)->stop();
+}
+
+TEST(HttpExporter, HealthzDegradesTo503WithJsonReason)
+{
+    MetricsRegistry registry;
+    HttpExporterOptions options;
+    std::atomic<bool> degraded{false};
+    options.health = [&degraded] {
+        HealthReport report;
+        if (degraded.load()) {
+            report.healthy = false;
+            report.reason = "1 circuit breaker(s) open";
+        }
+        return report;
+    };
+    auto server = MetricsHttpServer::start(&registry,
+                                           std::move(options));
+    ASSERT_TRUE(server.ok()) << server.status().toString();
+    const uint16_t port = (*server)->port();
+
+    // Healthy callback: plain 200 "ok", exactly like no callback.
+    std::string healthz = httpExchange(
+        port, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+    EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+    // Degraded: 503 takes the instance out of rotation, JSON body
+    // names why.
+    degraded = true;
+    healthz = httpExchange(port,
+                           "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(healthz.find("503 Service Unavailable"),
+              std::string::npos);
+    EXPECT_NE(healthz.find("application/json"), std::string::npos);
+    const size_t body_at = healthz.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    const Expected<JsonValue> parsed =
+        parseJson(healthz.substr(body_at + 4));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_NE(healthz.find("\"healthy\":false"), std::string::npos);
+    EXPECT_NE(healthz.find("circuit breaker"), std::string::npos);
+
+    // Recovery flips it straight back to 200.
+    degraded = false;
+    healthz = httpExchange(port,
+                           "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(healthz.find("200 OK"), std::string::npos);
     (*server)->stop();
 }
 

@@ -61,7 +61,8 @@
  *       [--burst F] [--queue N] [--tiers N] [--retries N] [--epochs N]
  *       [--wall] [--workers N] [--modeled] [--no-decisions]
  *       [--tenants N] [--metrics-port P] [--metrics-file f.prom]
- *       [--postmortem-dir DIR] [--inject-stall] [--out report.json]
+ *       [--postmortem-dir DIR] [--inject-stall] [--chaos SCENARIO]
+ *       [--out report.json]
  *       Seeded open-loop load soak of the inference server (see
  *       serve/soak.h): Poisson arrivals with bursts and adversarial
  *       shapes against a degradation ladder, emitting a JSON report of
@@ -76,7 +77,13 @@
  *       in virtual time), --postmortem-dir arms the flight recorder to
  *       dump JSON bundles there, and --inject-stall (requires --wall)
  *       wedges the first dispatched request until the watchdog breaks
- *       it — producing exactly one postmortem. Exits non-zero on zero
+ *       it — producing exactly one postmortem. --chaos runs the soak
+ *       under a named deterministic chaos scenario (rung-failure,
+ *       flaky-backend, storm, stall-hedge, stall-crash — see
+ *       serve/chaos.h) with the matching resilience profile armed
+ *       (circuit breakers, retry budget, hedging, quarantine); the
+ *       fault schedule derives from --seed, so same-seed chaos runs
+ *       stay byte-identical in virtual time. Exits non-zero on zero
  *       goodput.
  *
  * Command-line robustness: every numeric argument goes through checked
@@ -700,6 +707,8 @@ cmdServeSoak(int argc, char **argv)
             postmortem_dir = value("--postmortem-dir");
         else if (std::strcmp(argv[i], "--inject-stall") == 0)
             config.inject_stall = true;
+        else if (std::strcmp(argv[i], "--chaos") == 0)
+            config.chaos_scenario = value("--chaos");
         else if (std::strcmp(argv[i], "--out") == 0)
             out_path = value("--out");
         else
@@ -709,6 +718,15 @@ cmdServeSoak(int argc, char **argv)
     if (config.inject_stall && config.virtual_time)
         throw UsageError("--inject-stall requires --wall (the watchdog "
                          "is only armed in threaded mode)");
+    if (!config.chaos_scenario.empty()) {
+        // Validate the scenario name up front so a typo is a usage
+        // error here, not a fatal() deep inside the soak.
+        const Expected<ChaosProfile> probe = chaosProfileByName(
+            config.chaos_scenario,
+            static_cast<uint64_t>(config.duration_s * 1e9));
+        if (!probe.ok())
+            throw UsageError(probe.status().message());
+    }
 
     // Telemetry plane, built only when a flag asks for it — the default
     // soak stays exactly the pre-telemetry code path.
@@ -748,6 +766,12 @@ cmdServeSoak(int argc, char **argv)
             if (metrics_port >= 0) {
                 HttpExporterOptions ho;
                 ho.port = static_cast<uint16_t>(metrics_port);
+                // /healthz degrades to 503 while breakers are open or
+                // backends quarantined; the listener stops at drain,
+                // before the telemetry object dies.
+                ho.health = [t = telemetry.get()] {
+                    return t->healthReport();
+                };
                 auto listener =
                     MetricsHttpServer::start(registry.get(), ho);
                 if (!listener.ok())
@@ -801,6 +825,23 @@ cmdServeSoak(int argc, char **argv)
                      result.stats.recover_steps)});
     t.addRow({"watchdog cancels",
               std::to_string(result.stats.watchdog_cancels)});
+    if (!config.chaos_scenario.empty()) {
+        t.addRow({"chaos scenario", config.chaos_scenario});
+        t.addRow({"chaos events",
+                  std::to_string(result.stats.chaos_events)});
+        t.addRow({"breaker open/close",
+                  strCat(result.stats.breaker_open_events, "/",
+                         result.stats.breaker_close_events)});
+        t.addRow({"breaker fast-fails",
+                  std::to_string(result.stats.breaker_fast_fails)});
+        t.addRow({"retry budget denied",
+                  std::to_string(result.stats.retry_budget_denied)});
+        t.addRow({"hedges (wins)",
+                  strCat(result.stats.hedges_launched, " (",
+                         result.stats.hedge_wins, ")")});
+        t.addRow({"quarantines",
+                  std::to_string(result.stats.backend_quarantines)});
+    }
     if (recorder)
         t.addRow({"postmortem dumps",
                   std::to_string(recorder->dumpCount())});
