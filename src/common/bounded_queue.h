@@ -101,11 +101,78 @@ class BoundedQueue
         return QueuePush::kPushed;
     }
 
+    /**
+     * Group-scoped variant of pushEvicting for multi-tenant admission:
+     * the victim search only considers entries for which @p eligible
+     * returns true (the pusher's own tenant sub-queue), so one tenant's
+     * arrival can never displace another tenant's queued work — the
+     * isolation invariant the fairness layer depends on. Eviction is
+     * attempted when the queue is globally full *or* when the caller
+     * reports the pusher's group at its own bound (@p at_group_bound);
+     * in either case the least-valuable *eligible* entry is displaced
+     * iff it is worth less than @p item, otherwise the push is
+     * rejected. Consumption semantics match pushEvicting.
+     */
+    template <typename Less, typename Eligible>
+    QueuePush pushEvictingWithin(T &&item, Less retain_less,
+                                 Eligible eligible, bool at_group_bound,
+                                 std::optional<T> &evicted)
+    {
+        evicted.reset();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return QueuePush::kClosed;
+            if (!at_group_bound && items_.size() < capacity_) {
+                items_.push_back(std::move(item));
+            } else {
+                auto victim = items_.end();
+                for (auto it = items_.begin(); it != items_.end();
+                     ++it) {
+                    if (!eligible(*it))
+                        continue;
+                    if (victim == items_.end() ||
+                        retain_less(*it, *victim))
+                        victim = it;
+                }
+                if (victim == items_.end() ||
+                    !retain_less(*victim, item))
+                    return QueuePush::kRejected;
+                evicted = std::move(*victim);
+                *victim = std::move(item);
+                return QueuePush::kPushedEvicted;
+            }
+        }
+        cv_.notify_one();
+        return QueuePush::kPushed;
+    }
+
     /** Dequeue without blocking; nullopt when empty. */
     std::optional<T> tryPop()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         return popLocked();
+    }
+
+    /**
+     * Dequeue the *oldest* entry satisfying @p pred without blocking;
+     * nullopt when no entry matches. FIFO order within the matching
+     * subset is preserved — this is how a fair-share scheduler pops
+     * the chosen tenant's head-of-line request out of the shared
+     * storage.
+     */
+    template <typename Pred>
+    std::optional<T> tryPopWhere(Pred pred)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (pred(*it)) {
+                std::optional<T> item(std::move(*it));
+                items_.erase(it);
+                return item;
+            }
+        }
+        return std::nullopt;
     }
 
     /**

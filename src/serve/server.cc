@@ -72,6 +72,19 @@ InferenceServer::InferenceServer(ServerOptions options)
     // scenario measures run time, not absolute wall nanoseconds.
     if (options_.chaos)
         options_.chaos->armEpoch(clock_->nowNs());
+    if (options_.tenancy.enabled) {
+        tenants_ = std::make_unique<TenantRegistry>(options_.tenancy);
+        sched_ = std::make_unique<TenantScheduler<Pending>>(
+            options_.queue_capacity, options_.tenancy.quantum);
+        // Configured tenants get their lanes up front, in registry id
+        // order, so lane indices never depend on traffic order.
+        for (uint32_t id = 0; id < tenants_->count(); ++id) {
+            const TenantState &state = tenants_->state(id);
+            sched_->ensureLane(id, state.policy.weight,
+                               state.policy.max_queue);
+        }
+        stats_.tenant_count = tenants_->count();
+    }
     if (options_.workers == 0) {
         pump_slot_ = std::make_unique<WorkerSlot>();
         return;
@@ -559,7 +572,7 @@ InferenceServer::evaluateDegradationLocked(uint64_t now_ns)
         return;
     if (now_ns - last_level_change_ns_ < policy.min_dwell_ns)
         return;
-    const size_t depth = queue_.size();
+    const size_t depth = queueDepthLocked();
     const double fill = static_cast<double>(depth) /
                         static_cast<double>(queue_.capacity());
     const bool latency_high =
@@ -590,32 +603,114 @@ InferenceServer::recordTerminalLocked(const ServeResponse &response)
 {
     PriorityClassStats &cls =
         classStatsLocked(response.report.priority);
+    TenantStats &ten = tenantStatsLocked(response.report.tenant);
     switch (response.status.code()) {
       case StatusCode::kOk:
         ++stats_.completed_ok;
         ++cls.completed_ok;
+        ++ten.completed_ok;
         if (response.report.tier < stats_.completed_by_tier.size())
             ++stats_.completed_by_tier[response.report.tier];
         break;
       case StatusCode::kDeadlineExceeded:
         ++stats_.deadline_exceeded;
         ++cls.deadline_exceeded;
+        ++ten.deadline_exceeded;
         break;
       case StatusCode::kCancelled:
         ++stats_.cancelled;
         ++cls.cancelled;
+        ++ten.cancelled;
         break;
       default:
         ++stats_.failed;
         ++cls.failed;
+        ++ten.failed;
         break;
     }
     // "Degraded" = dispatched and executed above rung 0; informational
     // (overlaps the terminal buckets above).
-    if (response.report.start_ns != 0 && response.report.tier > 0)
+    if (response.report.start_ns != 0 && response.report.tier > 0) {
         ++cls.degraded;
-    if (response.report.attempts > 1)
+        ++ten.degraded;
+    }
+    if (response.report.attempts > 1) {
         stats_.retries += response.report.attempts - 1;
+        ten.retries += response.report.attempts - 1;
+    }
+}
+
+void
+InferenceServer::releaseTenantLocked(const Pending &item)
+{
+    if (!tenants_)
+        return;
+    TenantState &state = tenants_->state(item.tenant_id);
+    if (state.outstanding > 0)
+        --state.outstanding;
+}
+
+void
+InferenceServer::evaluateBrownoutLocked(uint64_t now_ns)
+{
+    if (!tenants_ || !sched_ || max_level_ == 0)
+        return;
+    const BrownoutPolicy &policy = tenants_->options().brownout;
+    if (!policy.enabled)
+        return;
+    const std::vector<TenantScheduler<Pending>::LaneView> lanes =
+        sched_->lanes();
+    size_t total = 0;
+    uint64_t active_weight = 0;
+    for (const auto &lane : lanes) {
+        total += lane.queued;
+        if (lane.queued > 0)
+            active_weight += lane.weight;
+    }
+    const double fill = static_cast<double>(total) /
+                        static_cast<double>(sched_->capacity());
+    // Dense-id iteration order: deterministic across same-seed runs.
+    for (uint32_t id = 0;
+         id < tenants_->count() && id < lanes.size(); ++id) {
+        TenantState &state = tenants_->state(id);
+        if (now_ns - state.last_brownout_ns < policy.min_dwell_ns)
+            continue;
+        // Over quota = holding more than over_share_factor times the
+        // weight-fair share of the queued work.
+        bool over = false;
+        if (total > 0 && lanes[id].queued > 0 && active_weight > 0) {
+            const double share = static_cast<double>(lanes[id].queued) /
+                                 static_cast<double>(total);
+            const double fair =
+                static_cast<double>(lanes[id].weight) /
+                static_cast<double>(active_weight);
+            over = share > policy.over_share_factor * fair;
+        }
+        if (fill >= policy.high_watermark && over &&
+            state.brownout_level < policy.max_steps) {
+            ++state.brownout_level;
+            state.last_brownout_ns = now_ns;
+            ++stats_.brownout_steps;
+            ++tenantStatsLocked(state.name).brownout_steps;
+            logLocked(strCat("t=", now_ns, " brownout level=",
+                             state.brownout_level - 1, "->",
+                             state.brownout_level,
+                             " depth=", lanes[id].queued,
+                             " total=", total,
+                             " tenant=", state.name));
+        } else if (state.brownout_level > 0 &&
+                   (fill <= policy.low_watermark || !over)) {
+            --state.brownout_level;
+            state.last_brownout_ns = now_ns;
+            ++stats_.brownout_clears;
+            ++tenantStatsLocked(state.name).brownout_clears;
+            logLocked(strCat("t=", now_ns, " brownout_clear level=",
+                             state.brownout_level + 1, "->",
+                             state.brownout_level,
+                             " depth=", lanes[id].queued,
+                             " tenant=", state.name));
+        }
+    }
 }
 
 void
@@ -682,8 +777,42 @@ InferenceServer::submit(ServeRequest request)
             now = clock_->nowNs();
         }
         item.submit_ns = now;
+
+        // Tenancy admission prologue: resolve the tenant (registering
+        // unknown names until the table cap) and apply its priority
+        // ceiling *before* the submitted counters, so per-class
+        // accounting is keyed by the clamped priority and over-cap
+        // tenants land under the synthetic overflow key.
+        std::string tenant_key = item.request.tenant;
+        bool tenant_overflow = false;
+        TenantState *tenant = nullptr;
+        if (tenants_) {
+            const std::optional<uint32_t> id =
+                tenants_->resolve(item.request.tenant);
+            if (!id) {
+                tenant_overflow = true;
+                tenant_key = TenantRegistry::kOverflowName;
+            } else {
+                item.tenant_id = *id;
+                tenant = &tenants_->state(*id);
+                stats_.tenant_count = tenants_->count();
+                if (item.request.priority >
+                    tenant->policy.priority_ceiling) {
+                    ++stats_.priority_clamps;
+                    ++tenantStatsLocked(tenant_key).priority_clamps;
+                    logLocked(strCat(
+                        "t=", now, " priority_clamp seq=", item.seq,
+                        " prio=", item.request.priority, "->",
+                        tenant->policy.priority_ceiling,
+                        " tenant=", tenant_key));
+                    item.request.priority =
+                        tenant->policy.priority_ceiling;
+                }
+            }
+        }
         ++stats_.submitted;
         ++classStatsLocked(item.request.priority).submitted;
+        ++tenantStatsLocked(tenant_key).submitted;
 
         // Validation first: a request that can never execute must not
         // occupy a queue slot another request could use.
@@ -696,29 +825,92 @@ InferenceServer::submit(ServeRequest request)
             invalid = Status::invalidArgument(
                 strCat("input shape does not match graph '",
                        graphs_[item.request.graph_id]->name, "'"));
-        if (!invalid.ok()) {
+        if (tenant_overflow) {
+            ++stats_.rejected_tenant_limit;
+            ++classStatsLocked(item.request.priority).rejected_quota;
+            ++tenantStatsLocked(tenant_key).rejected_limit;
+            logLocked(strCat("t=", now, " reject_tenant_limit seq=",
+                             item.seq, " tenant=", tenant_key));
+            finished.emplace_back(
+                std::move(item),
+                Status::resourceExhausted(strCat(
+                    "tenant_limit: tenant table is full (max_tenants=",
+                    tenants_->options().max_tenants, ")")));
+        } else if (draining_) {
+            ++stats_.rejected_draining;
+            ++classStatsLocked(item.request.priority).rejected_draining;
+            ++tenantStatsLocked(tenant_key).rejected_draining;
+            logLocked(strCat("t=", now, " reject_draining seq=",
+                             item.seq, " tenant=", tenant_key));
+            finished.emplace_back(
+                std::move(item),
+                Status::unavailable(
+                    "tenant_drain: server is draining"));
+        } else if (!invalid.ok()) {
             ++stats_.rejected_invalid;
             ++classStatsLocked(item.request.priority).rejected_invalid;
+            ++tenantStatsLocked(tenant_key).rejected_invalid;
             logLocked(strCat("t=", now, " reject_invalid seq=",
                              item.seq, " code=",
-                             statusCodeName(invalid.code())));
+                             statusCodeName(invalid.code()),
+                             " tenant=", tenant_key));
             finished.emplace_back(std::move(item), std::move(invalid));
         } else if (item.request.deadline_ns != 0 &&
                    now >= item.request.deadline_ns) {
             ++stats_.expired_submit;
             ++classStatsLocked(item.request.priority).expired_submit;
+            ++tenantStatsLocked(tenant_key).expired_submit;
             logLocked(strCat("t=", now, " expire_submit seq=",
-                             item.seq));
+                             item.seq, " tenant=", tenant_key));
             finished.emplace_back(
                 std::move(item),
                 Status::deadlineExceeded(
                     "deadline already passed at submission"));
+        } else if (tenant && !tenants_->tryAcquireToken(*tenant, now)) {
+            ++stats_.rejected_rate;
+            ++classStatsLocked(item.request.priority).rejected_quota;
+            ++tenantStatsLocked(tenant_key).rejected_rate;
+            logLocked(strCat("t=", now, " reject_rate seq=", item.seq,
+                             " tenant=", tenant_key));
+            finished.emplace_back(
+                std::move(item),
+                Status::resourceExhausted(strCat(
+                    "tenant_rate: tenant '", tenant_key,
+                    "' exceeded its admission rate")));
+        } else if (tenant && tenant->policy.max_in_flight != 0 &&
+                   tenant->outstanding >=
+                       tenant->policy.max_in_flight) {
+            ++stats_.rejected_bulkhead;
+            ++classStatsLocked(item.request.priority).rejected_quota;
+            ++tenantStatsLocked(tenant_key).rejected_bulkhead;
+            logLocked(strCat("t=", now, " reject_bulkhead seq=",
+                             item.seq, " outstanding=",
+                             tenant->outstanding,
+                             " tenant=", tenant_key));
+            finished.emplace_back(
+                std::move(item),
+                Status::resourceExhausted(strCat(
+                    "tenant_bulkhead: tenant '", tenant_key, "' has ",
+                    tenant->outstanding,
+                    " outstanding requests (max_in_flight=",
+                    tenant->policy.max_in_flight, ")")));
         } else {
             evaluateDegradationLocked(now);
+            evaluateBrownoutLocked(now);
             item.graph = graphs_[item.request.graph_id].get();
+            // Effective precision: the global degradation level plus
+            // the tenant's brownout penalty, clamped to the ladder and
+            // then to the tenant's accuracy floor.
+            unsigned level = level_;
+            if (tenant)
+                level += tenant->brownout_level;
             item.tier = std::min<unsigned>(
-                level_,
+                level,
                 static_cast<unsigned>(item.graph->ladder.size()) - 1);
+            if (tenant && tenant->policy.tier_floor >= 0)
+                item.tier = std::min<unsigned>(
+                    item.tier,
+                    static_cast<unsigned>(tenant->policy.tier_floor));
 
             const uint64_t seq = item.seq;
             const unsigned tier = item.tier;
@@ -745,10 +937,12 @@ InferenceServer::submit(ServeRequest request)
                     ++stats_.breaker_fast_fails;
                     ++stats_.failed;
                     ++classStatsLocked(priority).failed;
+                    ++tenantStatsLocked(tenant_key).failed;
                     logLocked(strCat("t=", now, " breaker_fast_fail",
                                      " seq=", seq, " graph=",
                                      graph_name, " tier=", tier,
-                                     " prio=", priority));
+                                     " prio=", priority,
+                                     " tenant=", tenant_key));
                     finished.emplace_back(
                         std::move(item),
                         Status::unavailable(strCat(
@@ -776,25 +970,43 @@ InferenceServer::submit(ServeRequest request)
             };
             RegisteredGraph *graph_ptr = item.graph;
             const bool was_probe = item.breaker_probe;
+            const uint32_t tenant_id = item.tenant_id;
             std::optional<Pending> evicted;
-            switch (queue_.pushEvicting(std::move(item), retain_less,
-                                        evicted)) {
+            QueuePush outcome;
+            if (sched_) {
+                // Per-tenant lane: overload evicts strictly within the
+                // submitting tenant's own sub-queue.
+                sched_->ensureLane(tenant_id, tenant->policy.weight,
+                                   tenant->policy.max_queue);
+                outcome = sched_->push(tenant_id, std::move(item),
+                                       retain_less, evicted);
+            } else {
+                outcome = queue_.pushEvicting(std::move(item),
+                                              retain_less, evicted);
+            }
+            switch (outcome) {
               case QueuePush::kPushed:
               case QueuePush::kPushedEvicted:
                 // `admitted` counts entries that reached the queue; a
                 // shed victim stays counted there and additionally
                 // under `shed`.
                 ++stats_.admitted;
+                ++tenantStatsLocked(tenant_key).admitted;
+                if (tenant)
+                    ++tenant->outstanding;
                 if (evicted) {
                     ++stats_.shed;
                     ++classStatsLocked(evicted->request.priority).shed;
+                    ++tenantStatsLocked(evicted->request.tenant).shed;
+                    releaseTenantLocked(*evicted);
                     if (evicted->breaker_probe && evicted->graph)
                         breakerLocked(*evicted->graph, evicted->tier)
                             .abandonProbe(true);
                     logLocked(strCat("t=", now, " shed seq=",
                                      evicted->seq, " prio=",
                                      evicted->request.priority,
-                                     " by=", seq));
+                                     " by=", seq, " tenant=",
+                                     evicted->request.tenant));
                     finished.emplace_back(
                         std::move(*evicted),
                         Status::resourceExhausted(
@@ -803,15 +1015,18 @@ InferenceServer::submit(ServeRequest request)
                 logLocked(strCat("t=", now, " admit seq=", seq,
                                  " graph=", graph_name, " tier=", tier,
                                  " prio=", priority,
-                                 " depth=", queue_.size()));
+                                 " depth=", queueDepthLocked(),
+                                 " tenant=", tenant_key));
                 break;
               case QueuePush::kRejected:
                 ++stats_.rejected_full;
                 ++classStatsLocked(priority).rejected_full;
+                ++tenantStatsLocked(tenant_key).rejected_full;
                 if (was_probe)
                     breakerLocked(*graph_ptr, tier).abandonProbe(true);
                 logLocked(strCat("t=", now, " reject_full seq=", seq,
-                                 " prio=", priority));
+                                 " prio=", priority,
+                                 " tenant=", tenant_key));
                 finished.emplace_back(
                     std::move(item),
                     Status::resourceExhausted(
@@ -820,10 +1035,11 @@ InferenceServer::submit(ServeRequest request)
               case QueuePush::kClosed:
                 ++stats_.rejected_closed;
                 ++classStatsLocked(priority).rejected_closed;
+                ++tenantStatsLocked(tenant_key).rejected_closed;
                 if (was_probe)
                     breakerLocked(*graph_ptr, tier).abandonProbe(true);
                 logLocked(strCat("t=", now, " reject_closed seq=",
-                                 seq));
+                                 seq, " tenant=", tenant_key));
                 finished.emplace_back(
                     std::move(item),
                     Status::unavailable("server is shut down"));
@@ -848,9 +1064,26 @@ InferenceServer::pump(unsigned max_requests)
         pump_backend_ = makeBackend();
     unsigned executed = 0;
     while (executed < max_requests) {
-        std::optional<Pending> item = queue_.tryPop();
-        if (!item)
-            break;
+        std::optional<Pending> item;
+        if (sched_) {
+            std::optional<TenantScheduler<Pending>::Popped> popped =
+                sched_->tryPop();
+            if (!popped)
+                break;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                logLocked(strCat("t=", clock_->nowNs(),
+                                 " dispatch seq=", popped->item.seq,
+                                 " deficit=", popped->deficit,
+                                 " tenant=",
+                                 popped->item.request.tenant));
+            }
+            item = std::move(popped->item);
+        } else {
+            item = queue_.tryPop();
+            if (!item)
+                break;
+        }
         execute(std::move(*item), *pump_slot_, *pump_backend_, 0);
         ++executed;
         // Chaos worker-crash injection can taint the pump backend just
@@ -867,6 +1100,24 @@ InferenceServer::workerMain(unsigned index)
     Tracer::nameCurrentThread(strCat("serve-worker", index));
     WorkerSlot &slot = *slots_[index];
     std::unique_ptr<MixGemmBackend> backend = makeBackend();
+    if (sched_) {
+        while (std::optional<TenantScheduler<Pending>::Popped> popped =
+                   sched_->popWait()) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                logLocked(strCat("t=", clock_->nowNs(),
+                                 " dispatch seq=", popped->item.seq,
+                                 " deficit=", popped->deficit,
+                                 " tenant=",
+                                 popped->item.request.tenant));
+            }
+            execute(std::move(popped->item), slot, *backend,
+                    static_cast<int>(index));
+            if (slot.recycle.exchange(false))
+                backend = makeBackend();
+        }
+        return;
+    }
     while (std::optional<Pending> item = queue_.popWait()) {
         execute(std::move(*item), slot, *backend,
                 static_cast<int>(index));
@@ -938,8 +1189,11 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.expired_queue;
             ++classStatsLocked(item.request.priority).expired_queue;
+            ++tenantStatsLocked(item.request.tenant).expired_queue;
+            releaseTenantLocked(item);
             logLocked(strCat("t=", start, " expire_queue seq=",
-                             item.seq));
+                             item.seq, " tenant=",
+                             item.request.tenant));
             // Releases the breaker probe slot, if this request held one.
             recordBreakerOutcomeLocked(item, response.status.code(),
                                        start);
@@ -1228,14 +1482,16 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.retry_budget_denied;
             logLocked(strCat("t=", now, " retry_denied_budget seq=",
-                             item.seq, " attempt=", attempts + 1));
+                             item.seq, " attempt=", attempts + 1,
+                             " tenant=", item.request.tenant));
             break;
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             logLocked(strCat("t=", now, " retry seq=", item.seq,
                              " attempt=", attempts + 1, " code=",
-                             statusCodeName(status.code())));
+                             statusCodeName(status.code()),
+                             " tenant=", item.request.tenant));
         }
         if (options_.virtual_clock)
             options_.virtual_clock->advanceNs(backoff);
@@ -1280,7 +1536,9 @@ InferenceServer::execute(Pending item, WorkerSlot &slot,
         window_latency_.add(done - item.submit_ns);
         logLocked(strCat("t=", done, " done seq=", item.seq, " code=",
                          statusCodeName(response.status.code()),
-                         " tier=", item.tier, " attempts=", attempts));
+                         " tier=", item.tier, " attempts=", attempts,
+                         " tenant=", item.request.tenant));
+        releaseTenantLocked(item);
         recordBreakerOutcomeLocked(item, response.status.code(), done);
         stats_.hedges_launched += hedges_launched;
         stats_.hedge_wins += hedge_wins;
@@ -1396,6 +1654,65 @@ InferenceServer::watchdogMain()
 }
 
 void
+InferenceServer::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_)
+        return;
+    draining_ = true;
+    stats_.draining = true;
+    const uint64_t now = clock_->nowNs();
+    logLocked(strCat("t=", now, " drain_begin depth=",
+                     queueDepthLocked()));
+    if (tenants_ && sched_) {
+        const std::vector<TenantScheduler<Pending>::LaneView> lanes =
+            sched_->lanes();
+        for (uint32_t id = 0; id < tenants_->count(); ++id) {
+            const size_t queued =
+                id < lanes.size() ? lanes[id].queued : 0;
+            const uint64_t deficit =
+                id < lanes.size() ? lanes[id].deficit : 0;
+            logLocked(strCat("t=", now, " drain_tenant queued=",
+                             queued, " deficit=", deficit,
+                             " outstanding=",
+                             tenants_->state(id).outstanding,
+                             " tenant=", tenants_->state(id).name));
+        }
+    }
+}
+
+bool
+InferenceServer::drained() const
+{
+    if (queueDepth() != 0)
+        return false;
+    for (const std::unique_ptr<WorkerSlot> &slot : slots_)
+        if (slot->busy_seq.load(std::memory_order_acquire) != 0)
+            return false;
+    if (pump_slot_ &&
+        pump_slot_->busy_seq.load(std::memory_order_acquire) != 0)
+        return false;
+    return true;
+}
+
+bool
+InferenceServer::awaitDrained(uint64_t timeout_ns)
+{
+    // Pump / virtual-time mode: time only advances when the caller
+    // pumps, so waiting here could never make progress.
+    if (options_.workers == 0 || options_.virtual_clock)
+        return drained();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(timeout_ns);
+    while (!drained()) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return drained();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+void
 InferenceServer::shutdown()
 {
     if (shut_down_.exchange(true))
@@ -1405,7 +1722,10 @@ InferenceServer::shutdown()
         stopping_ = true;
     }
     watchdog_cv_.notify_all();
-    queue_.close();
+    if (sched_)
+        sched_->close();
+    else
+        queue_.close();
     for (std::thread &worker : workers_)
         worker.join();
     workers_.clear();
@@ -1414,7 +1734,21 @@ InferenceServer::shutdown()
     // Threaded workers drained the queue before exiting (popWait only
     // returns empty once closed *and* drained). In pump mode — or if a
     // worker died — whatever is left must still get a terminal status.
-    while (std::optional<Pending> item = queue_.tryPop()) {
+    // With tenancy on, leftovers come out in DWRR order, so even the
+    // cancellations at shutdown are weight-fair across tenants.
+    for (;;) {
+        std::optional<Pending> item;
+        if (sched_) {
+            std::optional<TenantScheduler<Pending>::Popped> popped =
+                sched_->tryPop();
+            if (!popped)
+                break;
+            item = std::move(popped->item);
+        } else {
+            item = queue_.tryPop();
+            if (!item)
+                break;
+        }
         ServeResponse response;
         response.report.seq = item->seq;
         response.report.submit_ns = item->submit_ns;
@@ -1425,12 +1759,21 @@ InferenceServer::shutdown()
         {
             std::lock_guard<std::mutex> lock(mutex_);
             logLocked(strCat("t=", clock_->nowNs(),
-                             " drop_shutdown seq=", item->seq));
+                             " drop_shutdown seq=", item->seq,
+                             " tenant=", item->request.tenant));
             // A drop at shutdown says nothing about the rung's health:
             // release the probe slot without judging the outcome.
             if (item->breaker_probe && item->graph)
                 breakerLocked(*item->graph, item->tier)
                     .abandonProbe(true);
+            releaseTenantLocked(*item);
+            if (draining_) {
+                // Cut-short drain: fair cancellation with per-tenant
+                // accounting.
+                ++stats_.drain_cancelled;
+                ++tenantStatsLocked(item->request.tenant)
+                      .drain_cancelled;
+            }
             recordTerminalLocked(response);
         }
         notifyTerminal(response.report, response.status.code());
@@ -1444,8 +1787,27 @@ InferenceServer::stats() const
     std::lock_guard<std::mutex> lock(mutex_);
     ServerStats snapshot = stats_;
     snapshot.degradation_level = level_;
-    snapshot.queue_depth = queue_.size();
+    snapshot.queue_depth = queueDepthLocked();
     snapshot.retry_budget_level = retry_budget_.level(clock_->nowNs());
+    snapshot.draining = draining_;
+    if (tenants_ && sched_) {
+        snapshot.tenant_count = tenants_->count();
+        const std::vector<TenantScheduler<Pending>::LaneView> lanes =
+            sched_->lanes();
+        for (uint32_t id = 0; id < tenants_->count(); ++id) {
+            const TenantState &state = tenants_->state(id);
+            TenantStats &ten = snapshot.by_tenant[state.name];
+            ten.brownout_level = state.brownout_level;
+            ten.in_flight = state.outstanding;
+            ten.tokens = state.tokens;
+            ten.weight = state.policy.weight;
+            if (id < lanes.size()) {
+                ten.queue_depth = lanes[id].queued;
+                ten.deficit = lanes[id].deficit;
+                ten.weight = lanes[id].weight;
+            }
+        }
+    }
     return snapshot;
 }
 

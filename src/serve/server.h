@@ -43,6 +43,7 @@
 #include "runtime/backend.h"
 #include "runtime/qgraph.h"
 #include "serve/resilience.h"
+#include "serve/tenancy.h"
 #include "trace/metrics.h"
 
 namespace mixgemm
@@ -208,6 +209,18 @@ struct ServerOptions
      * default. */
     HealthOptions health;
 
+    /**
+     * Multi-tenant isolation plane (serve/tenancy.h); disabled by
+     * default. When enabled, admission enforces per-tenant token-bucket
+     * rates, bulkheads, priority ceilings and accuracy floors, the
+     * single global queue becomes per-tenant bounded sub-queues drained
+     * by deficit weighted round robin, and a load-aware brownout
+     * controller degrades over-quota tenants down the precision ladder
+     * before in-quota ones. Disabled, the server takes the identical
+     * scheduling path it took before tenancy existed.
+     */
+    TenancyOptions tenancy;
+
     /** Decision-log size cap; beyond it entries are counted, not kept. */
     size_t max_decision_log = 200'000;
 };
@@ -220,8 +233,10 @@ struct ServeRequest
     uint64_t deadline_ns = 0;    ///< absolute, per server clock; 0 = none
     int priority = 0;            ///< higher = more valuable (shed last)
     int max_retries = -1;        ///< -1 = server default
-    /// Submitting tenant, for telemetry labels and per-tenant SLO
-    /// tracking. Pure metadata: scheduling never reads it.
+    /// Submitting tenant. With tenancy disabled this is pure metadata
+    /// (telemetry labels, per-tenant SLO tracking); with
+    /// ServerOptions::tenancy enabled it selects the tenant's quota,
+    /// fair-share lane, and brownout/accuracy policy.
     std::string tenant = "default";
 };
 
@@ -252,7 +267,8 @@ struct ServeResponse
  * Per-priority-class terminal accounting. For every class the identity
  *
  *   submitted == completed_ok + shed + rejected_full + rejected_invalid
- *              + rejected_closed + expired_submit + deadline_exceeded
+ *              + rejected_closed + rejected_quota + rejected_draining
+ *              + expired_submit + deadline_exceeded
  *              + cancelled + failed
  *
  * holds once the server has drained (expired_queue is an informational
@@ -267,6 +283,11 @@ struct PriorityClassStats
     uint64_t rejected_full = 0;
     uint64_t rejected_invalid = 0;
     uint64_t rejected_closed = 0;
+    /// Tenancy quota rejections (rate, bulkhead, tenant-table limit);
+    /// zero unless ServerOptions::tenancy is enabled.
+    uint64_t rejected_quota = 0;
+    /// Rejected because the server was draining (beginDrain()).
+    uint64_t rejected_draining = 0;
     uint64_t expired_submit = 0;
     uint64_t expired_queue = 0;
     uint64_t deadline_exceeded = 0;
@@ -317,11 +338,27 @@ struct ServerStats
     uint64_t chaos_events = 0;          ///< injected chaos events applied
     uint64_t graph_reloads = 0;         ///< hot ladder swaps
 
+    // Tenancy plane (all zero / empty unless tenancy is enabled,
+    // except by_tenant, which accumulates terminal accounting keyed by
+    // request tenant in both modes).
+    uint64_t rejected_rate = 0;     ///< tenant token bucket empty
+    uint64_t rejected_bulkhead = 0; ///< tenant max_in_flight exceeded
+    uint64_t rejected_tenant_limit = 0; ///< tenant table full
+    uint64_t rejected_draining = 0; ///< submitted after beginDrain()
+    uint64_t brownout_steps = 0;    ///< per-tenant brownout escalations
+    uint64_t brownout_clears = 0;   ///< per-tenant brownout recoveries
+    uint64_t priority_clamps = 0;   ///< priorities clamped to ceilings
+    uint64_t drain_cancelled = 0;   ///< queued work cancelled by drain
+    uint64_t tenant_count = 0;      ///< tenants registered
+    bool draining = false;          ///< beginDrain() has been called
+
     unsigned degradation_level = 0;
     size_t queue_depth = 0;
     std::vector<uint64_t> completed_by_tier; ///< ok completions per rung
     /// Terminal accounting per priority class (see PriorityClassStats).
     std::map<int, PriorityClassStats> by_priority;
+    /// Per-tenant accounting (see TenantStats for the identity).
+    std::map<std::string, TenantStats> by_tenant;
 };
 
 /**
@@ -429,6 +466,30 @@ class InferenceServer
     unsigned pump(unsigned max_requests = 1);
 
     /**
+     * Graceful drain, phase 1: stop admission. Every later submit is
+     * rejected with kUnavailable ("tenant_drain: ..."); queued and
+     * in-flight work keeps executing (pump() in pump mode, the workers
+     * in threaded mode). Idempotent; decision-logs the drain with
+     * per-tenant queue depths when tenancy is enabled. Complete the
+     * drain by pumping/waiting until drained(), or cut it short with
+     * shutdown(), which cancels the remainder with per-tenant
+     * accounting (ServerStats::drain_cancelled, TenantStats::
+     * drain_cancelled).
+     */
+    void beginDrain();
+
+    /** True when nothing is queued and no worker is executing. */
+    bool drained() const;
+
+    /**
+     * Block until drained() or @p timeout_ns elapses (0 = one
+     * immediate check); returns drained(). Threaded mode polls; in
+     * pump mode time only advances when the caller pumps, so this is
+     * just the check.
+     */
+    bool awaitDrained(uint64_t timeout_ns);
+
+    /**
      * Stop accepting work, fail everything still queued with
      * kUnavailable, and join the workers. Idempotent; the destructor
      * calls it.
@@ -454,7 +515,10 @@ class InferenceServer
         observer_.store(observer, std::memory_order_release);
     }
 
-    size_t queueDepth() const { return queue_.size(); }
+    size_t queueDepth() const
+    {
+        return sched_ ? sched_->size() : queue_.size();
+    }
 
   private:
     struct RegisteredGraph
@@ -497,6 +561,9 @@ class InferenceServer
         uint64_t submit_ns = 0;
         unsigned tier = 0;
         RegisteredGraph *graph = nullptr;
+        /// Dense tenant id (TenantRegistry); 0 when tenancy is off.
+        /// TenantScheduler keys its lanes on this member.
+        uint32_t tenant_id = 0;
         /// Admitted as a half-open breaker probe; exactly one of
         /// onSuccess/onFailure/abandonProbe must resolve it.
         bool breaker_probe = false;
@@ -556,11 +623,25 @@ class InferenceServer
                                     uint64_t now_ns);
     void logLocked(std::string entry);
     void evaluateDegradationLocked(uint64_t now_ns);
+    /** Per-tenant brownout controller: step over-share tenants' extra
+     * degradation up/down from the current queue fill (tenancy only). */
+    void evaluateBrownoutLocked(uint64_t now_ns);
     void recordTerminalLocked(const ServeResponse &response);
     PriorityClassStats &classStatsLocked(int priority)
     {
         return stats_.by_priority[priority];
     }
+    TenantStats &tenantStatsLocked(const std::string &tenant)
+    {
+        return stats_.by_tenant[tenant];
+    }
+    size_t queueDepthLocked() const
+    {
+        return sched_ ? sched_->size() : queue_.size();
+    }
+    /** Release the tenant's bulkhead slot for a request that left the
+     * queued/executing pipeline (terminal after admission). */
+    void releaseTenantLocked(const Pending &item);
 
     ServeObserver *observer() const
     {
@@ -573,6 +654,11 @@ class InferenceServer
     const Clock *clock_ = nullptr;
     std::vector<std::unique_ptr<RegisteredGraph>> graphs_;
     BoundedQueue<Pending> queue_;
+    /// Tenancy plane; both null when options_.tenancy.enabled is false,
+    /// in which case queue_ above carries all work exactly as before.
+    /// The registry is externally synchronized: accessed under mutex_.
+    std::unique_ptr<TenantRegistry> tenants_;
+    std::unique_ptr<TenantScheduler<Pending>> sched_;
 
     /// Guards every RegisteredGraph's rung state plus the LRU pool
     /// below. Separate from mutex_ (and never held together with it)
@@ -589,6 +675,7 @@ class InferenceServer
     unsigned level_ = 0;          ///< current degradation level
     unsigned max_level_ = 0;      ///< deepest ladder registered, - 1
     uint64_t last_level_change_ns_ = 0;
+    bool draining_ = false; ///< beginDrain() called; admission closed
     LogHistogram window_latency_; ///< total-latency window since change
     RetryBudget retry_budget_;    ///< global retry token bucket
     ServerStats stats_;

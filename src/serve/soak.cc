@@ -44,15 +44,32 @@ drawInterarrivalNs(Rng &rng, double rate_hz)
 
 ServeRequest
 makeRequest(const SoakConfig &config, Rng &rng, uint64_t graph_id,
-            const std::vector<Tensor<double>> &inputs, uint64_t now_ns)
+            const std::vector<Tensor<double>> &inputs, uint64_t now_ns,
+            const std::vector<std::pair<std::string, double>> &mix)
 {
     ServeRequest request;
     request.graph_id = graph_id;
     request.priority = static_cast<int>(rng.uniformInt(
         0, std::max(1, config.priority_levels) - 1));
-    if (config.tenants > 1)
+    if (!mix.empty()) {
+        // Tenant scenario: draw from the scenario's arrival mix (one
+        // rng draw, mirroring the uniform path below).
+        double total = 0.0;
+        for (const auto &[name, share] : mix)
+            total += share;
+        double u = rng.uniformReal() * total;
+        request.tenant = mix.back().first;
+        for (const auto &[name, share] : mix) {
+            if (u < share) {
+                request.tenant = name;
+                break;
+            }
+            u -= share;
+        }
+    } else if (config.tenants > 1) {
         request.tenant = strCat(
             "tenant", rng.uniformInt(0, config.tenants - 1));
+    }
     if (rng.uniformReal() >= config.no_deadline_prob) {
         // Log-uniform deadline budget: most requests tight, a tail
         // generous — stresses both the expiry and the success path.
@@ -162,6 +179,19 @@ runServeSoak(const SoakConfig &config)
         chaos = std::make_unique<ChaosEngine>(
             config.seed ^ 0xc4a05c4a05ull, profile.scenario);
     }
+    // Tenancy plane: a named scenario supplies both the policies and
+    // the arrival mix; otherwise config.tenancy is used verbatim.
+    TenancyOptions tenancy = config.tenancy;
+    std::vector<std::pair<std::string, double>> arrival_mix;
+    if (!config.tenant_scenario.empty()) {
+        Expected<TenantScenario> scenario =
+            tenantScenarioByName(config.tenant_scenario);
+        if (!scenario.ok())
+            fatal(strCat("serve-soak: ",
+                         scenario.status().toString()));
+        tenancy = scenario->options;
+        arrival_mix = scenario->arrival_mix;
+    }
     ServerOptions options;
     options.workers = config.virtual_time ? 0 : config.wall_workers;
     options.queue_capacity = config.queue_capacity;
@@ -171,6 +201,7 @@ runServeSoak(const SoakConfig &config)
     options.max_retries = config.max_retries;
     options.watchdog_timeout_ns = config.watchdog_timeout_ns;
     options.session = config.session;
+    options.tenancy = tenancy;
     if (config.virtual_time) {
         options.virtual_clock = &vclock;
         options.virtual_ns_per_mac = config.virtual_ns_per_mac;
@@ -215,6 +246,7 @@ runServeSoak(const SoakConfig &config)
     std::vector<std::future<ServeResponse>> futures;
     SoakResult result;
     result.config = config;
+    result.config.tenancy = tenancy; // reflect a resolved scenario
 
     if (config.virtual_time) {
         // Discrete-event loop: the only events are arrivals (scripted
@@ -225,8 +257,16 @@ runServeSoak(const SoakConfig &config)
         uint64_t next_arrival = drawInterarrivalNs(
             rng, arrivalRate(config, 0.0));
         uint64_t free_at = 0;
+        bool drain_begun = false;
         while (true) {
             const bool have_arrival = next_arrival <= end_ns;
+            if (!have_arrival && config.graceful_drain &&
+                !drain_begun) {
+                // Offered-load window closed: stop admission and let
+                // the remaining queued work pump out.
+                server.beginDrain();
+                drain_begun = true;
+            }
             const size_t depth = server.queueDepth();
             if (!have_arrival && depth == 0)
                 break;
@@ -237,7 +277,7 @@ runServeSoak(const SoakConfig &config)
                 vclock.advanceToNs(next_arrival);
                 futures.push_back(server.submit(
                     makeRequest(config, rng, *graph_id, inputs,
-                                next_arrival)));
+                                next_arrival, arrival_mix)));
                 next_arrival += drawInterarrivalNs(
                     rng, arrivalRate(config,
                                      static_cast<double>(next_arrival) /
@@ -262,10 +302,15 @@ runServeSoak(const SoakConfig &config)
                     std::chrono::nanoseconds(next - now));
             const uint64_t at = std::max(next, clock.nowNs());
             futures.push_back(server.submit(
-                makeRequest(config, rng, *graph_id, inputs, at)));
+                makeRequest(config, rng, *graph_id, inputs, at,
+                            arrival_mix)));
             next += drawInterarrivalNs(
                 rng, arrivalRate(config,
                                  static_cast<double>(at - start) / 1e9));
+        }
+        if (config.graceful_drain) {
+            server.beginDrain();
+            server.awaitDrained(duration_ns);
         }
         for (std::future<ServeResponse> &f : futures)
             f.wait();
@@ -302,13 +347,17 @@ SoakResult::toJson() const
         "\"arrival_hz\":%.1f,\"burst_factor\":%.1f,"
         "\"queue_capacity\":%zu,\"virtual_time\":%s,"
         "\"wall_workers\":%u,\"ladder_tiers\":%u,\"tenants\":%u,"
-        "\"inject_stall\":%s,\"chaos_scenario\":\"%s\"},\n",
+        "\"inject_stall\":%s,\"chaos_scenario\":\"%s\","
+        "\"tenant_scenario\":\"%s\",\"tenancy_enabled\":%s,"
+        "\"graceful_drain\":%s},\n",
         static_cast<unsigned long long>(config.seed), config.duration_s,
         config.arrival_hz, config.burst_factor, config.queue_capacity,
         config.virtual_time ? "true" : "false", config.wall_workers,
         config.ladder_tiers, config.tenants,
         config.inject_stall ? "true" : "false",
-        config.chaos_scenario.c_str());
+        config.chaos_scenario.c_str(), config.tenant_scenario.c_str(),
+        config.tenancy.enabled ? "true" : "false",
+        config.graceful_drain ? "true" : "false");
     os << buf;
     std::snprintf(
         buf, sizeof(buf),
@@ -349,6 +398,7 @@ SoakResult::toJson() const
             "\"%d\":{\"submitted\":%llu,\"completed_ok\":%llu,"
             "\"shed\":%llu,\"rejected_full\":%llu,"
             "\"rejected_invalid\":%llu,\"rejected_closed\":%llu,"
+            "\"rejected_quota\":%llu,\"rejected_draining\":%llu,"
             "\"expired_submit\":%llu,\"expired_queue\":%llu,"
             "\"deadline_exceeded\":%llu,\"cancelled\":%llu,"
             "\"failed\":%llu,\"degraded\":%llu}",
@@ -358,6 +408,8 @@ SoakResult::toJson() const
             static_cast<unsigned long long>(cls.rejected_full),
             static_cast<unsigned long long>(cls.rejected_invalid),
             static_cast<unsigned long long>(cls.rejected_closed),
+            static_cast<unsigned long long>(cls.rejected_quota),
+            static_cast<unsigned long long>(cls.rejected_draining),
             static_cast<unsigned long long>(cls.expired_submit),
             static_cast<unsigned long long>(cls.expired_queue),
             static_cast<unsigned long long>(cls.deadline_exceeded),
@@ -365,6 +417,76 @@ SoakResult::toJson() const
             static_cast<unsigned long long>(cls.failed),
             static_cast<unsigned long long>(cls.degraded));
         os << buf;
+    }
+    os << "}},\n";
+
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"tenancy\":{\"enabled\":%s,\"draining\":%s,"
+        "\"tenant_count\":%llu,\"rejected_rate\":%llu,"
+        "\"rejected_bulkhead\":%llu,\"rejected_tenant_limit\":%llu,"
+        "\"rejected_draining\":%llu,\"brownout_steps\":%llu,"
+        "\"brownout_clears\":%llu,\"priority_clamps\":%llu,"
+        "\"drain_cancelled\":%llu,\"by_tenant\":{",
+        config.tenancy.enabled ? "true" : "false",
+        stats.draining ? "true" : "false",
+        static_cast<unsigned long long>(stats.tenant_count),
+        static_cast<unsigned long long>(stats.rejected_rate),
+        static_cast<unsigned long long>(stats.rejected_bulkhead),
+        static_cast<unsigned long long>(stats.rejected_tenant_limit),
+        static_cast<unsigned long long>(stats.rejected_draining),
+        static_cast<unsigned long long>(stats.brownout_steps),
+        static_cast<unsigned long long>(stats.brownout_clears),
+        static_cast<unsigned long long>(stats.priority_clamps),
+        static_cast<unsigned long long>(stats.drain_cancelled));
+    os << buf;
+    bool first_tenant = true;
+    for (const auto &[name, ten] : stats.by_tenant) {
+        os << (first_tenant ? "" : ",");
+        first_tenant = false;
+        char tbuf[1024];
+        std::snprintf(
+            tbuf, sizeof(tbuf),
+            "\"%s\":{\"submitted\":%llu,\"admitted\":%llu,"
+            "\"completed_ok\":%llu,\"shed\":%llu,"
+            "\"rejected_full\":%llu,\"rejected_invalid\":%llu,"
+            "\"rejected_closed\":%llu,\"rejected_rate\":%llu,"
+            "\"rejected_bulkhead\":%llu,\"rejected_limit\":%llu,"
+            "\"rejected_draining\":%llu,\"expired_submit\":%llu,"
+            "\"expired_queue\":%llu,\"deadline_exceeded\":%llu,"
+            "\"cancelled\":%llu,\"failed\":%llu,\"degraded\":%llu,"
+            "\"retries\":%llu,\"brownout_steps\":%llu,"
+            "\"brownout_clears\":%llu,\"priority_clamps\":%llu,"
+            "\"drain_cancelled\":%llu,\"brownout_level\":%u,"
+            "\"weight\":%u,\"goodput_rps\":%.3f}",
+            jsonEscape(name).c_str(),
+            static_cast<unsigned long long>(ten.submitted),
+            static_cast<unsigned long long>(ten.admitted),
+            static_cast<unsigned long long>(ten.completed_ok),
+            static_cast<unsigned long long>(ten.shed),
+            static_cast<unsigned long long>(ten.rejected_full),
+            static_cast<unsigned long long>(ten.rejected_invalid),
+            static_cast<unsigned long long>(ten.rejected_closed),
+            static_cast<unsigned long long>(ten.rejected_rate),
+            static_cast<unsigned long long>(ten.rejected_bulkhead),
+            static_cast<unsigned long long>(ten.rejected_limit),
+            static_cast<unsigned long long>(ten.rejected_draining),
+            static_cast<unsigned long long>(ten.expired_submit),
+            static_cast<unsigned long long>(ten.expired_queue),
+            static_cast<unsigned long long>(ten.deadline_exceeded),
+            static_cast<unsigned long long>(ten.cancelled),
+            static_cast<unsigned long long>(ten.failed),
+            static_cast<unsigned long long>(ten.degraded),
+            static_cast<unsigned long long>(ten.retries),
+            static_cast<unsigned long long>(ten.brownout_steps),
+            static_cast<unsigned long long>(ten.brownout_clears),
+            static_cast<unsigned long long>(ten.priority_clamps),
+            static_cast<unsigned long long>(ten.drain_cancelled),
+            ten.brownout_level, ten.weight,
+            elapsed_s > 0.0
+                ? static_cast<double>(ten.completed_ok) / elapsed_s
+                : 0.0);
+        os << tbuf;
     }
     os << "}},\n";
 

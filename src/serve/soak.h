@@ -34,6 +34,7 @@
 
 #include "serve/chaos.h"
 #include "serve/server.h"
+#include "serve/tenancy.h"
 
 namespace mixgemm
 {
@@ -75,9 +76,32 @@ struct SoakConfig
      * Tenants > 1 draws each request's tenant uniformly from
      * "tenant0".."tenant<n-1>" (one extra rng draw per arrival);
      * tenants <= 1 leaves every request on the default tenant and the
-     * rng sequence untouched.
+     * rng sequence untouched. Ignored when a tenant scenario supplies
+     * its own arrival mix.
      */
     unsigned tenants = 1;
+
+    /**
+     * Multi-tenant isolation plane for the run (see serve/tenancy.h).
+     * Disabled by default; the CLI fills it from --tenant-policy.
+     * Overridden wholesale by @ref tenant_scenario when that is set.
+     */
+    TenancyOptions tenancy;
+
+    /**
+     * Non-empty: run a named tenant scenario (tenantScenarioByName()):
+     * its TenancyOptions replace @ref tenancy and each arrival draws
+     * its tenant from the scenario's arrival mix (one extra rng draw
+     * per arrival, same determinism contract as everything else).
+     */
+    std::string tenant_scenario;
+
+    /**
+     * Exercise graceful drain: once the offered-load window closes,
+     * beginDrain() stops admission and the remaining queued work
+     * completes (decision-logged with per-tenant queue state).
+     */
+    bool graceful_drain = false;
 
     /** Per-GEMM report sink wired into every worker backend (telemetry
      * attach point). Not owned; may be null. */

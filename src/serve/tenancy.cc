@@ -1,0 +1,332 @@
+#include "serve/tenancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/jsonlite.h"
+#include "common/logging.h"
+
+namespace mixgemm
+{
+
+TenantRegistry::TenantRegistry(TenancyOptions options)
+    : options_(std::move(options))
+{
+    // Configured tenants are registered up front in name (map) order,
+    // so their ids do not depend on arrival order — a prerequisite for
+    // byte-identical same-seed soaks when traffic interleaving varies.
+    for (const auto &[name, policy] : options_.tenants) {
+        const uint32_t id = static_cast<uint32_t>(states_.size());
+        ids_.emplace(name, id);
+        TenantState state;
+        state.name = name;
+        state.policy = policy;
+        state.tokens = policy.burst;
+        states_.push_back(std::move(state));
+    }
+}
+
+std::optional<uint32_t>
+TenantRegistry::resolve(const std::string &name)
+{
+    const auto it = ids_.find(name);
+    if (it != ids_.end())
+        return it->second;
+    if (states_.size() >= options_.max_tenants)
+        return std::nullopt;
+    const uint32_t id = static_cast<uint32_t>(states_.size());
+    ids_.emplace(name, id);
+    TenantState state;
+    state.name = name;
+    state.policy = options_.default_policy;
+    state.tokens = state.policy.burst;
+    states_.push_back(std::move(state));
+    return id;
+}
+
+std::optional<uint32_t>
+TenantRegistry::findId(const std::string &name) const
+{
+    const auto it = ids_.find(name);
+    if (it == ids_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+TenantRegistry::tryAcquireToken(TenantState &state, uint64_t now_ns)
+{
+    if (state.policy.rate_per_s <= 0.0)
+        return true;
+    // Same shape as the global RetryBudget: continuous refill from the
+    // server clock, capped at the burst, one token per admission. The
+    // first call pins the epoch so absolute clock origin (wall vs
+    // virtual) never leaks into the level.
+    if (!state.bucket_armed) {
+        state.bucket_armed = true;
+        state.bucket_ns = now_ns;
+    }
+    if (now_ns > state.bucket_ns) {
+        const double elapsed_s =
+            static_cast<double>(now_ns - state.bucket_ns) / 1e9;
+        state.tokens = std::min(
+            state.policy.burst,
+            state.tokens + elapsed_s * state.policy.rate_per_s);
+        state.bucket_ns = now_ns;
+    }
+    if (state.tokens < 1.0)
+        return false;
+    state.tokens -= 1.0;
+    return true;
+}
+
+namespace
+{
+
+Status
+parsePolicy(const JsonValue &value, const char *where,
+            TenantPolicy &policy)
+{
+    if (!value.isObject())
+        return Status::invalidArgument(
+            strCat("tenant policy ", where, ": expected an object"));
+    for (const auto &[key, member] : value.members) {
+        static const char *known[] = {
+            "weight",        "rate_per_s",       "burst",
+            "max_queue",     "max_in_flight",    "priority_ceiling",
+            "tier_floor"};
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            return Status::invalidArgument(
+                strCat("tenant policy ", where, ": unknown key \"",
+                       key, "\""));
+        if (!member.isNumber())
+            return Status::invalidArgument(strCat(
+                "tenant policy ", where, ": \"", key,
+                "\" must be a number"));
+    }
+    if (const JsonValue *v = value.find("weight")) {
+        const uint64_t weight = v->uintOr(0);
+        if (weight == 0 || weight > 1'000'000)
+            return Status::invalidArgument(strCat(
+                "tenant policy ", where,
+                ": weight must be an integer in [1, 1e6]"));
+        policy.weight = static_cast<uint32_t>(weight);
+    }
+    if (const JsonValue *v = value.find("rate_per_s")) {
+        const double rate = v->numberOr(-1.0);
+        if (rate < 0.0 || !std::isfinite(rate))
+            return Status::invalidArgument(
+                strCat("tenant policy ", where,
+                       ": rate_per_s must be a finite number >= 0"));
+        policy.rate_per_s = rate;
+    }
+    if (const JsonValue *v = value.find("burst")) {
+        const double burst = v->numberOr(-1.0);
+        if (burst < 1.0 || !std::isfinite(burst))
+            return Status::invalidArgument(
+                strCat("tenant policy ", where,
+                       ": burst must be a finite number >= 1"));
+        policy.burst = burst;
+    }
+    if (const JsonValue *v = value.find("max_queue"))
+        policy.max_queue = static_cast<size_t>(v->uintOr(0));
+    if (const JsonValue *v = value.find("max_in_flight"))
+        policy.max_in_flight = static_cast<uint32_t>(v->uintOr(0));
+    if (const JsonValue *v = value.find("priority_ceiling")) {
+        const double ceiling = v->numberOr(-1.0);
+        policy.priority_ceiling =
+            ceiling < 0.0 ? std::numeric_limits<int>::max()
+                          : static_cast<int>(ceiling);
+    }
+    if (const JsonValue *v = value.find("tier_floor")) {
+        const double floor = v->numberOr(-1.0);
+        if (floor > 64.0)
+            return Status::invalidArgument(
+                strCat("tenant policy ", where,
+                       ": tier_floor out of range"));
+        policy.tier_floor =
+            floor < 0.0 ? -1 : static_cast<int>(floor);
+    }
+    return Status();
+}
+
+} // namespace
+
+Expected<TenancyOptions>
+parseTenancyJson(const std::string &text)
+{
+    Expected<JsonValue> parsed = parseJson(text);
+    if (!parsed.ok())
+        return parsed.status();
+    const JsonValue &root = *parsed;
+    if (!root.isObject())
+        return Status::invalidArgument(
+            "tenant policy: top-level value must be an object");
+
+    // Unknown keys are configuration typos, not extensions to ignore —
+    // a silently dropped "tennants" section would run unlimited.
+    for (const auto &[key, member] : root.members) {
+        (void)member;
+        if (key != "default" && key != "tenants" && key != "brownout" &&
+            key != "quantum" && key != "max_tenants")
+            return Status::invalidArgument(
+                strCat("tenant policy: unknown key \"", key, "\""));
+    }
+
+    TenancyOptions options;
+    options.enabled = true;
+    if (const JsonValue *v = root.find("default")) {
+        const Status status =
+            parsePolicy(*v, "default", options.default_policy);
+        if (!status.ok())
+            return status;
+    }
+    if (const JsonValue *v = root.find("tenants")) {
+        if (!v->isObject())
+            return Status::invalidArgument(
+                "tenant policy: \"tenants\" must be an object");
+        for (const auto &[name, member] : v->members) {
+            if (name.empty() || name.size() > 128)
+                return Status::invalidArgument(
+                    "tenant policy: tenant names must be 1..128 "
+                    "bytes");
+            TenantPolicy policy = options.default_policy;
+            const Status status =
+                parsePolicy(member, name.c_str(), policy);
+            if (!status.ok())
+                return status;
+            options.tenants[name] = policy;
+        }
+    }
+    if (const JsonValue *v = root.find("brownout")) {
+        if (!v->isObject())
+            return Status::invalidArgument(
+                "tenant policy: \"brownout\" must be an object");
+        BrownoutPolicy &b = options.brownout;
+        if (const JsonValue *f = v->find("enabled")) {
+            if (!f->isBool())
+                return Status::invalidArgument(
+                    "tenant policy: brownout.enabled must be a bool");
+            b.enabled = f->boolOr(b.enabled);
+        }
+        const auto number_field = [&](const char *key,
+                                      double &out) -> Status {
+            if (const JsonValue *f = v->find(key)) {
+                if (!f->isNumber())
+                    return Status::invalidArgument(
+                        strCat("tenant policy: brownout.", key,
+                               " must be a number"));
+                out = f->numberOr(out);
+            }
+            return Status();
+        };
+        if (Status s = number_field("high_watermark", b.high_watermark);
+            !s.ok())
+            return s;
+        if (Status s = number_field("low_watermark", b.low_watermark);
+            !s.ok())
+            return s;
+        if (Status s =
+                number_field("over_share_factor", b.over_share_factor);
+            !s.ok())
+            return s;
+        if (const JsonValue *f = v->find("max_steps")) {
+            if (!f->isNumber())
+                return Status::invalidArgument(
+                    "tenant policy: brownout.max_steps must be a "
+                    "number");
+            b.max_steps = static_cast<unsigned>(f->uintOr(b.max_steps));
+        }
+        if (const JsonValue *f = v->find("min_dwell_ns")) {
+            if (!f->isNumber())
+                return Status::invalidArgument(
+                    "tenant policy: brownout.min_dwell_ns must be a "
+                    "number");
+            b.min_dwell_ns = f->uintOr(b.min_dwell_ns);
+        }
+        if (!(b.high_watermark > 0.0) || b.high_watermark > 1.0 ||
+            b.low_watermark < 0.0 ||
+            b.low_watermark >= b.high_watermark ||
+            !(b.over_share_factor > 0.0) ||
+            !std::isfinite(b.over_share_factor))
+            return Status::invalidArgument(
+                "tenant policy: brownout watermarks must satisfy "
+                "0 <= low < high <= 1 with a positive share factor");
+    }
+    if (const JsonValue *v = root.find("quantum")) {
+        options.quantum = v->uintOr(0);
+        if (options.quantum == 0 || options.quantum > 1'000'000)
+            return Status::invalidArgument(
+                "tenant policy: quantum must be in [1, 1e6]");
+    }
+    if (const JsonValue *v = root.find("max_tenants")) {
+        const uint64_t cap = v->uintOr(0);
+        if (cap == 0 || cap > 100'000)
+            return Status::invalidArgument(
+                "tenant policy: max_tenants must be in [1, 1e5]");
+        options.max_tenants = static_cast<uint32_t>(cap);
+    }
+    return options;
+}
+
+Expected<TenantScenario>
+tenantScenarioByName(const std::string &name)
+{
+    TenantScenario scenario;
+    scenario.name = name;
+    scenario.options.enabled = true;
+    if (name == "noisy-neighbor") {
+        // A high-weight tenant with a modest arrival share vs a
+        // low-weight flood. DWRR keeps the victim's dispatch share at
+        // 10/11 of capacity whenever it has work queued, and the
+        // aggressor — persistently over its weight-fair queue share —
+        // is browned out first. The victim's accuracy floor keeps its
+        // precision at rung <= 1 even under global degradation.
+        TenantPolicy victim;
+        victim.weight = 10;
+        victim.tier_floor = 1;
+        TenantPolicy aggressor;
+        aggressor.weight = 1;
+        scenario.options.tenants["victim"] = victim;
+        scenario.options.tenants["aggressor"] = aggressor;
+        scenario.options.brownout.enabled = true;
+        scenario.options.brownout.high_watermark = 0.6;
+        scenario.options.brownout.low_watermark = 0.2;
+        scenario.options.brownout.over_share_factor = 1.25;
+        scenario.options.brownout.max_steps = 2;
+        scenario.options.brownout.min_dwell_ns = 10'000'000;
+        scenario.arrival_mix = {{"victim", 0.25}, {"aggressor", 0.75}};
+        return scenario;
+    }
+    if (name == "quota-storm") {
+        // Four equal tenants, each rate- and bulkhead-limited, offered
+        // far more load than their buckets admit: admission must shed
+        // the storm as tenant_rate / tenant_bulkhead rejections while
+        // in-quota requests keep completing.
+        TenantPolicy limited;
+        limited.weight = 1;
+        limited.rate_per_s = 150.0;
+        limited.burst = 4.0;
+        limited.max_in_flight = 8;
+        for (const char *tenant : {"t0", "t1", "t2", "t3"}) {
+            scenario.options.tenants[tenant] = limited;
+            scenario.arrival_mix.emplace_back(tenant, 0.25);
+        }
+        scenario.options.brownout.enabled = false;
+        return scenario;
+    }
+    return Status::invalidArgument(
+        strCat("unknown tenant scenario '", name, "'; expected one of ",
+               tenantScenarioNames()));
+}
+
+std::string
+tenantScenarioNames()
+{
+    return "noisy-neighbor, quota-storm";
+}
+
+} // namespace mixgemm

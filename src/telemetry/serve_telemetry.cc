@@ -346,6 +346,91 @@ ServeTelemetry::sync()
         class_counter("cancelled", cls.cancelled);
         class_counter("failed", cls.failed);
         class_counter("degraded", cls.degraded);
+        class_counter("rejected_quota", cls.rejected_quota);
+        class_counter("rejected_draining", cls.rejected_draining);
+    }
+
+    // Multi-tenant isolation plane. The global quota counters carry a
+    // machine-readable reason label matching the rejection status
+    // prefixes; the per-tenant families come from the same snapshot the
+    // per-class identity is checked against, so the two always agree.
+    const auto quota_counter = [&](const char *reason, uint64_t value) {
+        options_.registry
+            ->counter("mixgemm_tenant_quota_rejections_total",
+                      "Requests rejected by tenant quotas, by reason",
+                      {{"model", model}, {"reason", reason}})
+            ->setMax(value);
+    };
+    quota_counter("rate", stats.rejected_rate);
+    quota_counter("bulkhead", stats.rejected_bulkhead);
+    quota_counter("limit", stats.rejected_tenant_limit);
+    quota_counter("draining", stats.rejected_draining);
+    serveCounter("mixgemm_serve_brownout_steps_total",
+                 "Per-tenant brownout level increases")
+        ->setMax(stats.brownout_steps);
+    serveCounter("mixgemm_serve_brownout_clears_total",
+                 "Per-tenant brownout level decreases")
+        ->setMax(stats.brownout_clears);
+    serveCounter("mixgemm_serve_priority_clamps_total",
+                 "Priorities clamped to a tenant's ceiling")
+        ->setMax(stats.priority_clamps);
+    serveCounter("mixgemm_serve_drain_cancelled_total",
+                 "Queued requests cancelled by graceful drain")
+        ->setMax(stats.drain_cancelled);
+    options_.registry
+        ->gauge("mixgemm_serve_tenants", "Registered tenants",
+                {{"model", model}})
+        ->set(static_cast<double>(stats.tenant_count));
+    options_.registry
+        ->gauge("mixgemm_serve_draining",
+                "1 while graceful drain is in progress",
+                {{"model", model}})
+        ->set(stats.draining ? 1.0 : 0.0);
+    for (const auto &[tenant, ts] : stats.by_tenant) {
+        const auto tenant_counter = [&](const char *event,
+                                        uint64_t value) {
+            options_.registry
+                ->counter("mixgemm_tenant_events_total",
+                          "Per-tenant scheduling and terminal "
+                          "accounting",
+                          {{"tenant", tenant}, {"event", event}})
+                ->setMax(value);
+        };
+        tenant_counter("submitted", ts.submitted);
+        tenant_counter("admitted", ts.admitted);
+        tenant_counter("completed_ok", ts.completed_ok);
+        tenant_counter("shed", ts.shed);
+        tenant_counter("rejected_rate", ts.rejected_rate);
+        tenant_counter("rejected_bulkhead", ts.rejected_bulkhead);
+        tenant_counter("rejected_limit", ts.rejected_limit);
+        tenant_counter("rejected_draining", ts.rejected_draining);
+        tenant_counter("brownout_steps", ts.brownout_steps);
+        tenant_counter("priority_clamps", ts.priority_clamps);
+        tenant_counter("drain_cancelled", ts.drain_cancelled);
+        const auto tenant_gauge = [&](const char *name,
+                                      const char *help, double value) {
+            options_.registry
+                ->gauge(name, help, {{"tenant", tenant}})
+                ->set(value);
+        };
+        tenant_gauge("mixgemm_tenant_brownout_level",
+                     "Per-tenant brownout level on top of the global "
+                     "degradation level",
+                     static_cast<double>(ts.brownout_level));
+        tenant_gauge("mixgemm_tenant_queue_depth",
+                     "Queued requests in the tenant's DWRR lane",
+                     static_cast<double>(ts.queue_depth));
+        tenant_gauge("mixgemm_tenant_in_flight",
+                     "Outstanding (queued + executing) requests",
+                     static_cast<double>(ts.in_flight));
+        tenant_gauge("mixgemm_tenant_weight",
+                     "DWRR queue-share weight",
+                     static_cast<double>(ts.weight));
+        tenant_gauge("mixgemm_tenant_deficit",
+                     "DWRR deficit at snapshot time",
+                     static_cast<double>(ts.deficit));
+        tenant_gauge("mixgemm_tenant_tokens",
+                     "Admission token-bucket level", ts.tokens);
     }
 
     // Latency summaries from the server's merged histograms; virtual

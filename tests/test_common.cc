@@ -522,6 +522,172 @@ TEST(BoundedQueue, CloseDrainsThenStopsConsumers)
     EXPECT_EQ(queue.popWait(), std::nullopt);
 }
 
+namespace
+{
+/** Tenant-tagged queue entry for the group-scoped eviction tests. */
+struct GroupItem
+{
+    int group = 0;
+    int value = 0; ///< retention worth: smaller is evicted first
+    uint64_t seq = 0;
+};
+} // namespace
+
+TEST(BoundedQueue, PushEvictingWithinNeverEvictsAcrossGroups)
+{
+    // A full queue holding only group-0 work must reject a group-1
+    // arrival outright — no cross-group victim, however cheap.
+    BoundedQueue<GroupItem> queue(2);
+    const auto less = [](const GroupItem &a, const GroupItem &b) {
+        return a.value < b.value;
+    };
+    std::optional<GroupItem> evicted;
+    ASSERT_EQ(queue.pushEvictingWithin(
+                  GroupItem{0, 1, 0}, less,
+                  [](const GroupItem &it) { return it.group == 0; },
+                  false, evicted),
+              QueuePush::kPushed);
+    ASSERT_EQ(queue.pushEvictingWithin(
+                  GroupItem{0, 2, 1}, less,
+                  [](const GroupItem &it) { return it.group == 0; },
+                  false, evicted),
+              QueuePush::kPushed);
+    // Queue is globally full; the group-1 push may only consider
+    // group-1 victims, of which there are none.
+    EXPECT_EQ(queue.pushEvictingWithin(
+                  GroupItem{1, 100, 2}, less,
+                  [](const GroupItem &it) { return it.group == 1; },
+                  false, evicted),
+              QueuePush::kRejected);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(queue.size(), 2u);
+    // A group-0 arrival still displaces the group-0 minimum.
+    EXPECT_EQ(queue.pushEvictingWithin(
+                  GroupItem{0, 50, 3}, less,
+                  [](const GroupItem &it) { return it.group == 0; },
+                  false, evicted),
+              QueuePush::kPushedEvicted);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->group, 0);
+    EXPECT_EQ(evicted->value, 1);
+}
+
+TEST(BoundedQueue, PushEvictingWithinHonorsGroupBound)
+{
+    // at_group_bound forces the evict-or-reject path even when the
+    // shared queue has global headroom — the per-tenant sub-queue
+    // bound, not global capacity, is the binding constraint.
+    BoundedQueue<GroupItem> queue(8);
+    const auto less = [](const GroupItem &a, const GroupItem &b) {
+        return a.value < b.value;
+    };
+    const auto in_group0 = [](const GroupItem &it) {
+        return it.group == 0;
+    };
+    std::optional<GroupItem> evicted;
+    ASSERT_EQ(queue.pushEvictingWithin(GroupItem{0, 5, 0}, less,
+                                       in_group0, false, evicted),
+              QueuePush::kPushed);
+    // Group bound reached: an equal-worth arrival is rejected...
+    EXPECT_EQ(queue.pushEvictingWithin(GroupItem{0, 5, 1}, less,
+                                       in_group0, true, evicted),
+              QueuePush::kRejected);
+    EXPECT_EQ(queue.size(), 1u);
+    // ...a more valuable one swaps in place (size unchanged).
+    EXPECT_EQ(queue.pushEvictingWithin(GroupItem{0, 9, 2}, less,
+                                       in_group0, true, evicted),
+              QueuePush::kPushedEvicted);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->value, 5);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedQueue, TryPopWhereIsFifoWithinTheMatchingSubset)
+{
+    BoundedQueue<GroupItem> queue(8);
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(queue.tryPush(GroupItem{
+            i % 2, i, static_cast<uint64_t>(i)}));
+    // Popping group 1 repeatedly yields its entries oldest-first,
+    // leaving group 0 untouched and in order.
+    const auto group1 = [](const GroupItem &it) {
+        return it.group == 1;
+    };
+    EXPECT_EQ(queue.tryPopWhere(group1)->seq, 1u);
+    EXPECT_EQ(queue.tryPopWhere(group1)->seq, 3u);
+    EXPECT_EQ(queue.tryPopWhere(group1)->seq, 5u);
+    EXPECT_EQ(queue.tryPopWhere(group1), std::nullopt);
+    EXPECT_EQ(queue.tryPop()->seq, 0u);
+    EXPECT_EQ(queue.tryPop()->seq, 2u);
+    EXPECT_EQ(queue.tryPop()->seq, 4u);
+}
+
+TEST(BoundedQueue, PushEvictingWithinPropertyNoCrossGroupEviction)
+{
+    // Randomized property check: across thousands of group-scoped
+    // pushes with per-group bounds, (a) an eviction victim always
+    // belongs to the pusher's group, (b) no group ever exceeds its
+    // bound, (c) global capacity holds, (d) accounting identity
+    // pushed - evicted - popped == queued per group.
+    Rng rng(0xfeedu);
+    constexpr size_t kCapacity = 12;
+    constexpr int kGroups = 3;
+    const size_t bound[kGroups] = {3, 5, 12};
+    BoundedQueue<GroupItem> queue(kCapacity);
+    size_t queued[kGroups] = {};
+    uint64_t pushed[kGroups] = {}, evictions[kGroups] = {},
+             popped[kGroups] = {};
+    const auto less = [](const GroupItem &a, const GroupItem &b) {
+        return a.value < b.value;
+    };
+    for (uint64_t step = 0; step < 4000; ++step) {
+        const int group =
+            static_cast<int>(rng.uniformInt(0, kGroups - 1));
+        if (rng.uniformInt(0, 3) == 0) { // occasional group-aware pop
+            const auto match = [group](const GroupItem &it) {
+                return it.group == group;
+            };
+            if (const auto item = queue.tryPopWhere(match)) {
+                ASSERT_EQ(item->group, group);
+                --queued[group];
+                ++popped[group];
+            }
+            continue;
+        }
+        GroupItem item{
+            group, static_cast<int>(rng.uniformInt(0, 999)), step};
+        std::optional<GroupItem> evicted;
+        const auto eligible = [group](const GroupItem &it) {
+            return it.group == group;
+        };
+        const bool at_bound = queued[group] >= bound[group];
+        const QueuePush outcome = queue.pushEvictingWithin(
+            std::move(item), less, eligible, at_bound, evicted);
+        if (outcome == QueuePush::kPushed) {
+            ++queued[group];
+            ++pushed[group];
+        } else if (outcome == QueuePush::kPushedEvicted) {
+            ASSERT_TRUE(evicted.has_value());
+            ASSERT_EQ(evicted->group, group)
+                << "eviction crossed a group boundary at step "
+                << step;
+            ++pushed[group];
+            ++evictions[group];
+        }
+        size_t total = 0;
+        for (int g = 0; g < kGroups; ++g) {
+            ASSERT_LE(queued[g], bound[g]) << "group " << g
+                                           << " exceeded its bound";
+            total += queued[g];
+        }
+        ASSERT_LE(total, kCapacity);
+        ASSERT_EQ(queue.size(), total);
+    }
+    for (int g = 0; g < kGroups; ++g)
+        EXPECT_EQ(pushed[g] - evictions[g] - popped[g], queued[g])
+            << "accounting identity broke for group " << g;
+}
+
 TEST(BoundedQueue, PopWaitBlocksUntilProducerArrives)
 {
     BoundedQueue<int> queue(1);

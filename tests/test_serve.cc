@@ -943,6 +943,93 @@ TEST(Soak, DifferentSeedsDiverge)
     EXPECT_NE(a.decision_hash, b.decision_hash);
 }
 
+TEST(Soak, EveryDecisionLogEntryIsTenantStamped)
+{
+    // Tenancy on or off, terminal/degrade/shed/admit decisions carry
+    // a trailing tenant annotation — the forensic key the isolation
+    // plane and the flight recorder join on.
+    const SoakResult result = runServeSoak(quickSoak(31));
+    size_t stamped = 0;
+    for (const std::string &line : result.decision_log) {
+        const bool lifecycle =
+            line.find(" admit seq=") != std::string::npos ||
+            line.find(" done seq=") != std::string::npos ||
+            line.find(" shed seq=") != std::string::npos ||
+            line.find(" expire_queue seq=") != std::string::npos ||
+            line.find(" retry seq=") != std::string::npos;
+        if (!lifecycle)
+            continue;
+        EXPECT_NE(line.find(" tenant="), std::string::npos) << line;
+        ++stamped;
+    }
+    EXPECT_GT(stamped, 0u);
+}
+
+TEST(Soak, PerClassAccountingIdentityIncludesQuotaAndDrainBuckets)
+{
+    // The identity documented on PriorityClassStats, with the tenancy
+    // buckets live: a quota-storm soak drives mass rate rejections and
+    // a graceful drain, and every class must still balance.
+    SoakConfig config = quickSoak(17);
+    config.tenant_scenario = "quota-storm";
+    config.graceful_drain = true;
+    const SoakResult result = runServeSoak(config);
+    EXPECT_GT(result.stats.rejected_rate, 0u);
+    ASSERT_FALSE(result.stats.by_priority.empty());
+    for (const auto &[priority, cls] : result.stats.by_priority) {
+        EXPECT_EQ(cls.submitted,
+                  cls.completed_ok + cls.shed + cls.rejected_full +
+                      cls.rejected_invalid + cls.rejected_closed +
+                      cls.rejected_quota + cls.rejected_draining +
+                      cls.expired_submit + cls.deadline_exceeded +
+                      cls.cancelled + cls.failed)
+            << "class p" << priority;
+    }
+}
+
+TEST(Soak, WeightedFairnessContractHoldsUnderSaturation)
+{
+    // Satellite fairness contract: 10:1 weights, equal offered load,
+    // saturated bounded lanes -> per-tenant goodput within ±5 % of the
+    // weight split, and the run replays byte-identically.
+    SoakConfig config;
+    config.seed = 43;
+    config.duration_s = 0.75;
+    config.arrival_hz = 6000.0;
+    config.burst_every_s = 0.0;
+    config.oversized_prob = 0.0;
+    config.bad_graph_prob = 0.0;
+    config.no_deadline_prob = 1.0;
+    config.priority_levels = 1;
+    config.queue_capacity = 32;
+    config.degradation.enabled = false;
+    config.ladder_tiers = 1;
+    config.tenants = 2;
+    config.tenancy.enabled = true;
+    config.tenancy.brownout.enabled = false;
+    TenantPolicy heavy;
+    heavy.weight = 10;
+    heavy.max_queue = 16;
+    TenantPolicy light;
+    light.weight = 1;
+    light.max_queue = 16;
+    config.tenancy.tenants["tenant0"] = heavy;
+    config.tenancy.tenants["tenant1"] = light;
+
+    const SoakResult first = runServeSoak(config);
+    const SoakResult second = runServeSoak(config);
+    EXPECT_EQ(first.decision_hash, second.decision_hash);
+    const double heavy_ok = static_cast<double>(
+        first.stats.by_tenant.at("tenant0").completed_ok);
+    const double light_ok = static_cast<double>(
+        first.stats.by_tenant.at("tenant1").completed_ok);
+    ASSERT_GT(heavy_ok, 0.0);
+    ASSERT_GT(light_ok, 0.0);
+    const double share = heavy_ok / (heavy_ok + light_ok);
+    EXPECT_GE(share, (10.0 / 11.0) * 0.95);
+    EXPECT_LE(share, (10.0 / 11.0) * 1.05);
+}
+
 TEST(Soak, AdversarialArrivalsAreRejectedWithoutDisturbingService)
 {
     SoakConfig config = quickSoak(5);

@@ -60,7 +60,9 @@
  *   mixgemm-cli serve-soak [--seed S] [--duration SECS] [--arrival HZ]
  *       [--burst F] [--queue N] [--tiers N] [--retries N] [--epochs N]
  *       [--wall] [--workers N] [--modeled] [--no-decisions]
- *       [--tenants N] [--metrics-port P] [--metrics-file f.prom]
+ *       [--tenants N] [--tenant-policy JSON|FILE]
+ *       [--tenant-scenario NAME] [--drain]
+ *       [--metrics-port P] [--metrics-file f.prom]
  *       [--postmortem-dir DIR] [--inject-stall] [--chaos SCENARIO]
  *       [--out report.json]
  *       Seeded open-loop load soak of the inference server (see
@@ -83,8 +85,15 @@
  *       serve/chaos.h) with the matching resilience profile armed
  *       (circuit breakers, retry budget, hedging, quarantine); the
  *       fault schedule derives from --seed, so same-seed chaos runs
- *       stay byte-identical in virtual time. Exits non-zero on zero
- *       goodput.
+ *       stay byte-identical in virtual time. --tenant-policy enables
+ *       the multi-tenant isolation plane (serve/tenancy.h) from inline
+ *       JSON ('{...}') or a JSON file: per-tenant weights, token-bucket
+ *       admission rates, bulkheads, priority ceilings, tier floors and
+ *       the brownout controller. --tenant-scenario runs a named
+ *       scenario instead (noisy-neighbor, quota-storm) whose arrival
+ *       mix drives the per-request tenant draw, and --drain exercises
+ *       graceful drain once the offered-load window closes. Exits
+ *       non-zero on zero goodput.
  *
  * Command-line robustness: every numeric argument goes through checked
  * parsing (Expected-based) — negative counts, overflow, trailing
@@ -112,6 +121,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -698,6 +708,26 @@ cmdServeSoak(int argc, char **argv)
         else if (std::strcmp(argv[i], "--tenants") == 0)
             config.tenants = orUsage(
                 parseUnsigned("--tenants", value("--tenants"), 1, 64));
+        else if (std::strcmp(argv[i], "--tenant-policy") == 0) {
+            // Inline JSON ('{...}') or a path to a JSON file.
+            std::string text = value("--tenant-policy");
+            if (text.empty() || text[0] != '{') {
+                std::ifstream in(text);
+                if (!in)
+                    throw UsageError(strCat(
+                        "--tenant-policy: cannot read '", text, "'"));
+                std::ostringstream ss;
+                ss << in.rdbuf();
+                text = ss.str();
+            }
+            Expected<TenancyOptions> parsed = parseTenancyJson(text);
+            if (!parsed.ok())
+                throw UsageError(parsed.status().message());
+            config.tenancy = std::move(*parsed);
+        } else if (std::strcmp(argv[i], "--tenant-scenario") == 0)
+            config.tenant_scenario = value("--tenant-scenario");
+        else if (std::strcmp(argv[i], "--drain") == 0)
+            config.graceful_drain = true;
         else if (std::strcmp(argv[i], "--metrics-port") == 0)
             metrics_port = static_cast<int>(orUsage(parseUnsigned(
                 "--metrics-port", value("--metrics-port"), 0, 65535)));
@@ -724,6 +754,12 @@ cmdServeSoak(int argc, char **argv)
         const Expected<ChaosProfile> probe = chaosProfileByName(
             config.chaos_scenario,
             static_cast<uint64_t>(config.duration_s * 1e9));
+        if (!probe.ok())
+            throw UsageError(probe.status().message());
+    }
+    if (!config.tenant_scenario.empty()) {
+        const Expected<TenantScenario> probe =
+            tenantScenarioByName(config.tenant_scenario);
         if (!probe.ok())
             throw UsageError(probe.status().message());
     }
@@ -841,6 +877,35 @@ cmdServeSoak(int argc, char **argv)
                          result.stats.hedge_wins, ")")});
         t.addRow({"quarantines",
                   std::to_string(result.stats.backend_quarantines)});
+    }
+    if (result.config.tenancy.enabled) {
+        if (!config.tenant_scenario.empty())
+            t.addRow({"tenant scenario", config.tenant_scenario});
+        t.addRow({"tenants", std::to_string(result.stats.tenant_count)});
+        t.addRow({"tenant rejects (rate/bulkhead/limit)",
+                  strCat(result.stats.rejected_rate, "/",
+                         result.stats.rejected_bulkhead, "/",
+                         result.stats.rejected_tenant_limit)});
+        t.addRow({"brownout steps/clears",
+                  strCat(result.stats.brownout_steps, "/",
+                         result.stats.brownout_clears)});
+        if (config.graceful_drain)
+            t.addRow({"drain rejects/cancels",
+                      strCat(result.stats.rejected_draining, "/",
+                             result.stats.drain_cancelled)});
+        for (const auto &entry : result.stats.by_tenant) {
+            const TenantStats &ts = entry.second;
+            const double goodput =
+                result.elapsed_s > 0
+                    ? static_cast<double>(ts.completed_ok) /
+                          result.elapsed_s
+                    : 0.0;
+            t.addRow({strCat("tenant ", entry.first),
+                      strCat(ts.completed_ok, " ok (",
+                             Table::fmt(goodput, 1), " req/s), ",
+                             ts.shed, " shed, brownout x",
+                             ts.brownout_steps)});
+        }
     }
     if (recorder)
         t.addRow({"postmortem dumps",
